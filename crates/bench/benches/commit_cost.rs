@@ -1,0 +1,22 @@
+//! Criterion bench for E3: shadow commit vs in-place update wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ficus_bench::e3_commit::measure;
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_cost");
+    group.sample_size(10);
+    for &(n, k) in &[(64 * 1024usize, 64usize), (1024 * 1024, 64)] {
+        group.bench_with_input(
+            BenchmarkId::new("update", format!("{n}B_file_{k}B_update")),
+            &(n, k),
+            |b, &(n, k)| {
+                b.iter(|| measure(n, k));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit);
+criterion_main!(benches);

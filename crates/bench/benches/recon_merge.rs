@@ -1,0 +1,49 @@
+//! Criterion bench: directory-merge throughput (the §3.3 reconciliation
+//! inner loop) as a function of directory size.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ficus_core::dirfile::{FicusDir, FicusEntry};
+use ficus_core::ids::{EntryId, FicusFileId, ReplicaId};
+use ficus_vnode::VnodeType;
+
+fn dir_with(n: usize, creator: u32) -> FicusDir {
+    let mut d = FicusDir::new();
+    for i in 0..n {
+        d.insert(
+            FicusEntry::live(
+                &format!("file-{creator}-{i}"),
+                FicusFileId::new(creator, i as u64 + 1),
+                VnodeType::Regular,
+                EntryId::new(creator, i as u64 + 1),
+            ),
+            ReplicaId(creator),
+        )
+        .unwrap();
+    }
+    d
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let all: BTreeSet<u32> = [1, 2].into_iter().collect();
+    let mut group = c.benchmark_group("dir_merge");
+    for n in [16usize, 128, 1024] {
+        let remote = dir_with(n, 2);
+        group.bench_with_input(BenchmarkId::new("disjoint", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut local = dir_with(n, 1);
+                local.merge_from(&remote, ReplicaId(2), ReplicaId(1), &all)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("idempotent", n), &n, |b, &n| {
+            let mut local = dir_with(n, 1);
+            local.merge_from(&remote, ReplicaId(2), ReplicaId(1), &all);
+            b.iter(|| local.clone().merge_from(&remote, ReplicaId(2), ReplicaId(1), &all));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

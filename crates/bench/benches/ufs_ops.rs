@@ -1,0 +1,59 @@
+//! Criterion bench: raw UFS operation throughput (the storage substrate's
+//! baseline costs under warm and cold caches).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
+use ficus_vnode::{Credentials, FileSystem};
+
+fn bench_ufs(c: &mut Criterion) {
+    let cred = Credentials::root();
+    let mut group = c.benchmark_group("ufs_ops");
+
+    // Warm lookup through the DNLC.
+    let fs = Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap();
+    let root = fs.root();
+    root.create(&cred, "hot", 0o644).unwrap();
+    group.bench_function("lookup_warm", |b| {
+        b.iter(|| root.lookup(&cred, "hot").unwrap());
+    });
+
+    // Sequential write throughput (buffered).
+    for &size in &[4096usize, 65536] {
+        let fs = Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap();
+        let f = fs.root().create(&cred, "w", 0o644).unwrap();
+        let data = vec![7u8; size];
+        let mut off = 0u64;
+        group.bench_with_input(BenchmarkId::new("write", size), &size, |b, _| {
+            b.iter(|| {
+                f.write(&cred, off % (32 * 1024 * 1024), &data).unwrap();
+                off += size as u64;
+            });
+        });
+    }
+
+    // Cached read.
+    let fs = Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap();
+    let f = fs.root().create(&cred, "r", 0o644).unwrap();
+    f.write(&cred, 0, &vec![1u8; 65536]).unwrap();
+    group.bench_function("read_64k_warm", |b| {
+        b.iter(|| f.read(&cred, 0, 65536).unwrap());
+    });
+
+    // Create+remove cycle (metadata-heavy, synchronous writes).
+    let fs = Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap();
+    let root = fs.root();
+    let mut i = 0u64;
+    group.bench_function("create_remove", |b| {
+        b.iter(|| {
+            let name = format!("churn{i}");
+            i += 1;
+            root.create(&cred, &name, 0o644).unwrap();
+            root.remove(&cred, &name).unwrap();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ufs);
+criterion_main!(benches);

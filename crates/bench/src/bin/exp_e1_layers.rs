@@ -1,0 +1,4 @@
+//! E1: layer-crossing overhead table (paper §6).
+fn main() {
+    print!("{}", ficus_bench::e1_layers::run().render());
+}

@@ -1,0 +1,4 @@
+//! e2_open_io: see the corresponding module in ficus-bench for the paper claim.
+fn main() {
+    print!("{}", ficus_bench::e2_open_io::run().render());
+}

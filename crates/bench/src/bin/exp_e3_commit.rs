@@ -1,0 +1,4 @@
+//! e3_commit: see the corresponding module in ficus-bench for the paper claim.
+fn main() {
+    print!("{}", ficus_bench::e3_commit::run().render());
+}

@@ -1,0 +1,4 @@
+//! e4_availability: see the corresponding module in ficus-bench for the paper claim.
+fn main() {
+    print!("{}", ficus_bench::e4_availability::run().render());
+}

@@ -1,0 +1,4 @@
+//! e6_locality: see the corresponding module in ficus-bench for the paper claim.
+fn main() {
+    print!("{}", ficus_bench::e6_locality::run().render());
+}

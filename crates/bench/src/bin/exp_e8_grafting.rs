@@ -1,0 +1,4 @@
+//! e8_grafting: see the corresponding module in ficus-bench for the paper claim.
+fn main() {
+    print!("{}", ficus_bench::e8_grafting::run().render());
+}

@@ -1,0 +1,4 @@
+//! e9_nfs_overload: see the corresponding module in ficus-bench for the paper claim.
+fn main() {
+    print!("{}", ficus_bench::e9_nfs_overload::run().render());
+}

@@ -1,0 +1,178 @@
+//! E2 — open() I/O overhead (paper §6).
+//!
+//! "The Ficus physical layer design and implementation accrues additional
+//! I/O overhead when opening a file in a non-recently accessed directory.
+//! Four I/Os beyond the normal Unix overhead occur: an inode and data page
+//! for the underlying Unix directory and an auxiliary replication data file
+//! must be loaded from disk, as well as the Ficus directory inode and data
+//! page. (The last two correspond to normal Unix overhead.) Opening a
+//! recently accessed file or directory involves no overhead not already
+//! incurred by the normal Unix file system."
+//!
+//! Plain-UFS cold open of `dir/file` = directory inode + directory data +
+//! file inode = **3 reads**. The Ficus path additionally reads the
+//! underlying UFS directory (inode + data, to map the hex handle) and the
+//! auxiliary attributes file (inode + data) = **7 reads**, i.e. **+4**.
+//! Warm opens are free in both systems.
+
+use std::sync::Arc;
+
+use ficus_core::ids::{FicusFileId, ROOT_FILE};
+use ficus_core::phys::{FicusPhysical, PhysParams, StorageLayout};
+use ficus_ufs::{Disk, DiskStats, Geometry, Ufs, UfsParams};
+use ficus_vnode::{
+    Credentials, FileSystem, LogicalClock, OpenFlags, TimeSource, VnodeType,
+};
+
+use crate::table::Table;
+
+/// Measured I/O counts for one configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenCost {
+    /// Disk reads on a cold open.
+    pub cold_reads: u64,
+    /// Disk reads on a warm (immediately repeated) open.
+    pub warm_reads: u64,
+}
+
+/// Aged-FS mount parameters: every inode in its own table block, so each
+/// structure costs its own inode read (the accounting the paper uses).
+fn aged() -> UfsParams {
+    UfsParams {
+        spread_inodes: true,
+        ..UfsParams::default()
+    }
+}
+
+/// Plain UFS: cold and warm reads for `open("dir/file")`.
+#[must_use]
+pub fn measure_ufs() -> OpenCost {
+    let ufs = Ufs::format(Disk::new(Geometry::medium()), aged()).unwrap();
+    let cred = Credentials::root();
+    let root = ufs.root();
+    let dir = root.mkdir(&cred, "dir", 0o755).unwrap();
+    dir.create(&cred, "file", 0o644).unwrap();
+    // Bind the directory vnode, then go cold.
+    let dir = ufs.root().lookup(&cred, "dir").unwrap();
+    ufs.drop_caches().unwrap();
+
+    let before = ufs.disk().stats();
+    let f = dir.lookup(&cred, "file").unwrap();
+    f.open(&cred, OpenFlags::read_only()).unwrap();
+    let cold = ufs.disk().stats().since(before);
+
+    let before = ufs.disk().stats();
+    let f = dir.lookup(&cred, "file").unwrap();
+    f.open(&cred, OpenFlags::read_only()).unwrap();
+    let warm = ufs.disk().stats().since(before);
+    OpenCost {
+        cold_reads: cold.reads,
+        warm_reads: warm.reads,
+    }
+}
+
+/// Ficus physical layer over UFS: cold and warm reads for the same open
+/// (lookup + attribute load + open notification on the data file).
+#[must_use]
+pub fn measure_ficus(layout: StorageLayout) -> OpenCost {
+    let ufs = Arc::new(Ufs::format(Disk::new(Geometry::medium()), aged()).unwrap());
+    let clock: Arc<dyn TimeSource> = Arc::new(LogicalClock::new());
+    let phys = FicusPhysical::create_volume(
+        Arc::clone(&ufs) as Arc<dyn FileSystem>,
+        "vol",
+        ficus_core::ids::VolumeName::new(1, 1),
+        ficus_core::ids::ReplicaId(1),
+        &[1],
+        clock,
+        PhysParams {
+            layout,
+            ..PhysParams::default()
+        },
+    )
+    .unwrap();
+    let cred = Credentials::root();
+    let _ = &cred;
+    let dir = phys.mkdir(ROOT_FILE, "dir").unwrap();
+    let file = phys.create(dir, "file", VnodeType::Regular).unwrap();
+    ufs.drop_caches().unwrap();
+
+    let open_path = |file: FicusFileId| {
+        // The physical layer's open path: resolve the name in the Ficus
+        // directory, load the replication attributes, touch the data file.
+        let entry = phys.lookup(dir, "file").unwrap();
+        assert_eq!(entry.file, file);
+        let _ = phys.repl_attrs(file).unwrap();
+        let _ = phys.read(file, 0, 0).unwrap();
+        phys.note_open(file, OpenFlags::read_only());
+    };
+
+    let before = ufs.disk().stats();
+    open_path(file);
+    let cold = ufs.disk().stats().since(before);
+
+    let before = ufs.disk().stats();
+    open_path(file);
+    let warm = ufs.disk().stats().since(before);
+    OpenCost {
+        cold_reads: cold.reads,
+        warm_reads: warm.reads,
+    }
+}
+
+/// Runs E2 and renders its table.
+#[must_use]
+pub fn run() -> Table {
+    let ufs = measure_ufs();
+    let ficus = measure_ficus(StorageLayout::Tree);
+    let mut t = Table::new(
+        "E2: open() disk reads, cold vs warm (paper §6: Ficus = +4 I/Os cold, +0 warm)",
+        &["stack", "cold reads", "warm reads", "extra vs UFS (cold)"],
+    );
+    t.row(vec![
+        "UFS".into(),
+        ufs.cold_reads.to_string(),
+        ufs.warm_reads.to_string(),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "Ficus/UFS".into(),
+        ficus.cold_reads.to_string(),
+        ficus.warm_reads.to_string(),
+        format!("+{}", ficus.cold_reads.saturating_sub(ufs.cold_reads)),
+    ]);
+    t.note("paper: UFS cold = dir inode + dir data + file inode; Ficus adds UFS-dir inode+data and aux inode+data");
+    t
+}
+
+/// Ignore write traffic; E2 is about the read path (the `since` deltas
+/// above include only reads in the assertions).
+#[must_use]
+pub fn reads_of(stats: DiskStats) -> u64 {
+    stats.reads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ufs_cold_open_is_three_reads_warm_is_free() {
+        let c = measure_ufs();
+        assert_eq!(c.cold_reads, 3, "dir inode + dir data + file inode");
+        assert_eq!(c.warm_reads, 0);
+    }
+
+    #[test]
+    fn ficus_cold_open_costs_four_extra_reads() {
+        let ufs = measure_ufs();
+        let ficus = measure_ficus(StorageLayout::Tree);
+        assert_eq!(
+            ficus.cold_reads - ufs.cold_reads,
+            4,
+            "the paper's four extra I/Os (ficus={}, ufs={})",
+            ficus.cold_reads,
+            ufs.cold_reads
+        );
+        assert_eq!(ficus.warm_reads, 0, "recently accessed: no overhead");
+    }
+}

@@ -1,0 +1,129 @@
+//! E4 — availability comparison (paper §1).
+//!
+//! "One-copy availability provides strictly greater availability than
+//! primary copy \[2\], voting \[21\], weighted voting \[7\], and quorum
+//! consensus \[10\]." We measure read and update availability for all five
+//! policies under the same seeded failure scenarios.
+
+use ficus_replctl::{
+    measure, Availability, FailureModel, MajorityVoting, OneCopyAvailability, PrimaryCopy,
+    QuorumConsensus, ReplicaControl, WeightedVoting,
+};
+
+use crate::table::{f3, Table};
+
+/// Number of sampled scenarios per measurement.
+pub const TRIALS: usize = 20_000;
+
+/// The five policies for `n` replicas.
+#[must_use]
+pub fn policies(n: usize) -> Vec<Box<dyn ReplicaControl>> {
+    let majority = n as u32 / 2 + 1;
+    vec![
+        Box::new(OneCopyAvailability { n }),
+        Box::new(PrimaryCopy { n, primary: 0 }),
+        Box::new(MajorityVoting { n }),
+        Box::new(WeightedVoting {
+            // Gifford-style: one heavy replica.
+            weights: std::iter::once(2)
+                .chain(std::iter::repeat(1))
+                .take(n)
+                .collect(),
+            r: majority,
+            w: majority + 1,
+        }),
+        Box::new(QuorumConsensus {
+            n,
+            // Read-cheap legal quorums: w as large as legality demands,
+            // r the matching minimum (r + w > n, 2w > n).
+            w: (n - 1).max(n / 2 + 1),
+            r: (n + 1).saturating_sub((n - 1).max(n / 2 + 1)).max(1),
+        }),
+    ]
+}
+
+/// Availability of every policy under one model.
+#[must_use]
+pub fn sweep(n: usize, model: FailureModel, seed: u64) -> Vec<(String, Availability)> {
+    policies(n)
+        .iter()
+        .map(|p| (p.name().to_owned(), measure(p.as_ref(), model, TRIALS, seed)))
+        .collect()
+}
+
+/// Runs E4 and renders its table.
+#[must_use]
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E4: read/update availability by policy (paper §1: one-copy strictly dominates)",
+        &[
+            "policy",
+            "replicas",
+            "model",
+            "read avail",
+            "update avail",
+        ],
+    );
+    for &n in &[2usize, 3, 5, 8] {
+        for (model, label) in [
+            (FailureModel::Crash { p_up: 0.9 }, "crash p=0.9"),
+            (FailureModel::Crash { p_up: 0.7 }, "crash p=0.7"),
+            (FailureModel::Partition { fragments: 2 }, "2-way partition"),
+            (FailureModel::Partition { fragments: 4 }, "4-way partition"),
+        ] {
+            for (name, a) in sweep(n, model, 42) {
+                t.row(vec![
+                    name,
+                    n.to_string(),
+                    label.to_owned(),
+                    f3(a.read),
+                    f3(a.update),
+                ]);
+            }
+        }
+    }
+    t.note("one-copy update availability = P(client's own site is up) = 1 under pure partitions");
+    t.note("voting/quorum trade read availability against update availability; one-copy needs no trade");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ficus_dominates_in_every_swept_cell() {
+        for &n in &[2usize, 3, 5] {
+            for model in [
+                FailureModel::Crash { p_up: 0.8 },
+                FailureModel::Partition { fragments: 3 },
+            ] {
+                let results = sweep(n, model, 7);
+                let ficus = results[0].1;
+                for (name, a) in &results[1..] {
+                    assert!(
+                        ficus.update >= a.update - 1e-9,
+                        "{name} beat one-copy on updates (n={n})"
+                    );
+                    assert!(
+                        ficus.read >= a.read - 1e-9,
+                        "{name} beat one-copy on reads (n={n})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_hurt_quorums_but_not_one_copy() {
+        let results = sweep(5, FailureModel::Partition { fragments: 4 }, 11);
+        let ficus = results[0].1;
+        assert!(ficus.update > 0.999, "co-located replica always reachable");
+        let majority = &results[2];
+        assert!(
+            majority.1.update < 0.75,
+            "majority voting should suffer under 4-way partitions: {}",
+            majority.1.update
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! The benchmark harness: one module per experiment, regenerating every
+//! evaluation claim of the Ficus paper (see `EXPERIMENTS.md` at the
+//! repository root for the experiment ↔ paper-claim index).
+//!
+//! Each experiment is a library function returning a [`table::Table`], so
+//! the `exp_*` binaries stay thin and integration tests can assert on the
+//! measured shapes (who wins, by what factor) rather than scraping stdout.
+
+pub mod e1_layers;
+pub mod e2_open_io;
+pub mod e3_commit;
+pub mod e4_availability;
+pub mod e5_reconciliation;
+pub mod e6_locality;
+pub mod e7_propagation;
+pub mod e8_grafting;
+pub mod e9_nfs_overload;
+pub mod table;

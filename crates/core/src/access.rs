@@ -1,0 +1,187 @@
+//! Uniform access to a volume replica, local or remote.
+//!
+//! The propagation daemon and the reconciliation protocol both need to read
+//! a peer replica's state: directory entry sets, replication attributes, and
+//! file data. When the peer is co-resident, they talk to the
+//! [`FicusPhysical`] directly; when it is remote, the same questions are
+//! asked through the vnode interface — via the overloaded-lookup control
+//! plane (§2.3) across an NFS mount — "without having to build a transport
+//! service" (§2.2). [`ReplicaAccess`] abstracts over the two so every
+//! algorithm above it is written once.
+
+use std::sync::Arc;
+
+use ficus_vnode::{Credentials, FsError, FsResult, VnodeRef};
+
+use crate::attrs::ReplAttrs;
+use crate::dirfile::FicusDir;
+use crate::ids::{FicusFileId, ReplicaId};
+use crate::phys::FicusPhysical;
+
+/// Read access to one volume replica.
+pub trait ReplicaAccess: Send + Sync {
+    /// The replica's id.
+    fn replica(&self) -> ReplicaId;
+
+    /// Replication attributes of one file.
+    fn fetch_attrs(&self, file: FicusFileId) -> FsResult<ReplAttrs>;
+
+    /// Full contents of one regular file.
+    fn fetch_data(&self, file: FicusFileId) -> FsResult<Vec<u8>>;
+
+    /// A directory's entry set plus its own replication attributes.
+    fn fetch_dir(&self, dir: FicusFileId) -> FsResult<(FicusDir, ReplAttrs)>;
+}
+
+/// Direct access to a co-resident physical layer.
+pub struct LocalAccess {
+    phys: Arc<FicusPhysical>,
+}
+
+impl LocalAccess {
+    /// Wraps a local physical layer.
+    #[must_use]
+    pub fn new(phys: Arc<FicusPhysical>) -> Self {
+        LocalAccess { phys }
+    }
+}
+
+impl ReplicaAccess for LocalAccess {
+    fn replica(&self) -> ReplicaId {
+        self.phys.replica()
+    }
+
+    fn fetch_attrs(&self, file: FicusFileId) -> FsResult<ReplAttrs> {
+        self.phys.repl_attrs(file)
+    }
+
+    fn fetch_data(&self, file: FicusFileId) -> FsResult<Vec<u8>> {
+        let size = self.phys.storage_attr(file)?.size as usize;
+        Ok(self.phys.read(file, 0, size)?.to_vec())
+    }
+
+    fn fetch_dir(&self, dir: FicusFileId) -> FsResult<(FicusDir, ReplAttrs)> {
+        let entries = self.phys.dir_entries(dir)?;
+        let attrs = self.phys.repl_attrs(dir)?;
+        Ok((entries, attrs))
+    }
+}
+
+/// Access to a remote replica through its exported vnode root (typically an
+/// NFS-client mount of the peer's physical layer).
+pub struct VnodeAccess {
+    replica: ReplicaId,
+    root: VnodeRef,
+    cred: Credentials,
+}
+
+impl VnodeAccess {
+    /// Wraps the root vnode of a (possibly remote) physical-layer export.
+    #[must_use]
+    pub fn new(replica: ReplicaId, root: VnodeRef) -> Self {
+        VnodeAccess {
+            replica,
+            root,
+            cred: Credentials::root(),
+        }
+    }
+
+    /// Reads the whole contents of a control vnode.
+    fn slurp(&self, v: &VnodeRef) -> FsResult<Vec<u8>> {
+        let size = v.getattr(&self.cred)?.size as usize;
+        Ok(v.read(&self.cred, 0, size)?.to_vec())
+    }
+}
+
+impl ReplicaAccess for VnodeAccess {
+    fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    fn fetch_attrs(&self, file: FicusFileId) -> FsResult<ReplAttrs> {
+        let ctl = self.root.lookup(&self.cred, &format!(";f;vv;{}", file.hex()))?;
+        ReplAttrs::decode(&self.slurp(&ctl)?)
+    }
+
+    fn fetch_data(&self, file: FicusFileId) -> FsResult<Vec<u8>> {
+        let v = self.root.lookup(&self.cred, &format!(";f;id;{}", file.hex()))?;
+        self.slurp(&v)
+    }
+
+    fn fetch_dir(&self, dir: FicusFileId) -> FsResult<(FicusDir, ReplAttrs)> {
+        let dv = if dir.is_root() {
+            self.root.clone()
+        } else {
+            self.root.lookup(&self.cred, &format!(";f;id;{}", dir.hex()))?
+        };
+        if !dv.kind().is_directory_like() {
+            return Err(FsError::NotDir);
+        }
+        let entries = FicusDir::decode(&self.slurp(&dv.lookup(&self.cred, ";f;dir")?)?)?;
+        let attrs = ReplAttrs::decode(&self.slurp(&dv.lookup(&self.cred, ";f;dvv")?)?)?;
+        Ok((entries, attrs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
+    use ficus_vnode::{FileSystem, LogicalClock, TimeSource, VnodeType};
+
+    use crate::ids::{VolumeName, ROOT_FILE};
+    use crate::phys::vnode::PhysFs;
+    use crate::phys::PhysParams;
+
+    fn phys() -> Arc<FicusPhysical> {
+        let ufs = Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap();
+        FicusPhysical::create_volume(
+            Arc::new(ufs),
+            "vol",
+            VolumeName::new(1, 1),
+            ReplicaId(1),
+            &[1, 2],
+            Arc::new(LogicalClock::new()) as Arc<dyn TimeSource>,
+            PhysParams::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn local_and_vnode_access_agree() {
+        let p = phys();
+        let f = p.create(ROOT_FILE, "file", VnodeType::Regular).unwrap();
+        p.write(f, 0, b"same view").unwrap();
+        let d = p.mkdir(ROOT_FILE, "dir").unwrap();
+
+        let local = LocalAccess::new(Arc::clone(&p));
+        let via_vnode = VnodeAccess::new(ReplicaId(1), PhysFs::new(Arc::clone(&p)).root());
+
+        assert_eq!(local.replica(), via_vnode.replica());
+        assert_eq!(
+            local.fetch_attrs(f).unwrap(),
+            via_vnode.fetch_attrs(f).unwrap()
+        );
+        assert_eq!(
+            local.fetch_data(f).unwrap(),
+            via_vnode.fetch_data(f).unwrap()
+        );
+        let (le, la) = local.fetch_dir(ROOT_FILE).unwrap();
+        let (ve, va) = via_vnode.fetch_dir(ROOT_FILE).unwrap();
+        assert_eq!(le, ve);
+        assert_eq!(la, va);
+        let (sub_l, _) = local.fetch_dir(d).unwrap();
+        let (sub_v, _) = via_vnode.fetch_dir(d).unwrap();
+        assert_eq!(sub_l, sub_v);
+    }
+
+    #[test]
+    fn vnode_access_missing_file() {
+        let p = phys();
+        let acc = VnodeAccess::new(ReplicaId(1), PhysFs::new(p).root());
+        assert_eq!(
+            acc.fetch_attrs(crate::ids::FicusFileId::new(9, 9)).unwrap_err(),
+            FsError::NotFound
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Conflict detection records (paper §1, §3.3).
+//!
+//! "Conflicting updates to directories are detected and automatically
+//! repaired; conflicting updates to ordinary files are detected and
+//! reported to the owner." This module is the reporting half: a log of
+//! conflicts the reconciliation machinery found, queryable per volume and
+//! per file — the reproduction's stand-in for Ficus's owner notification
+//! mail.
+
+use parking_lot::Mutex;
+
+use ficus_vnode::Timestamp;
+use ficus_vv::VersionVector;
+
+use crate::ids::{FicusFileId, ReplicaId, VolumeName};
+
+/// What kind of conflict was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Two replicas of a regular file were updated concurrently (version
+    /// vectors incomparable).
+    ConcurrentUpdate,
+    /// A file was removed at one replica while another replica updated it
+    /// (the tombstone's recorded vector does not cover the local history).
+    RemoveUpdate,
+    /// Two live directory entries share one name after a merge (kept, but
+    /// noteworthy).
+    NameCollision,
+}
+
+/// One conflict report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictReport {
+    /// Volume of the conflicted object.
+    pub volume: VolumeName,
+    /// The conflicted file.
+    pub file: FicusFileId,
+    /// Conflict category.
+    pub kind: ConflictKind,
+    /// The replica that detected the conflict.
+    pub detected_by: ReplicaId,
+    /// The replica whose divergent version triggered detection.
+    pub other: ReplicaId,
+    /// The divergent version vector observed.
+    pub vv: VersionVector,
+    /// Detection time.
+    pub at: Timestamp,
+}
+
+/// An append-only conflict log.
+#[derive(Debug, Default)]
+pub struct ConflictLog {
+    reports: Mutex<Vec<ConflictReport>>,
+}
+
+impl ConflictLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a report.
+    #[allow(clippy::too_many_arguments)]
+    pub fn report(
+        &self,
+        volume: VolumeName,
+        file: FicusFileId,
+        kind: ConflictKind,
+        detected_by: ReplicaId,
+        other: ReplicaId,
+        vv: VersionVector,
+        at: Timestamp,
+    ) {
+        self.reports.lock().push(ConflictReport {
+            volume,
+            file,
+            kind,
+            detected_by,
+            other,
+            vv,
+            at,
+        });
+    }
+
+    /// Every report so far.
+    #[must_use]
+    pub fn all(&self) -> Vec<ConflictReport> {
+        self.reports.lock().clone()
+    }
+
+    /// Reports concerning one file.
+    #[must_use]
+    pub fn for_file(&self, file: FicusFileId) -> Vec<ConflictReport> {
+        self.reports
+            .lock()
+            .iter()
+            .filter(|r| r.file == file)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of reports.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.reports.lock().len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of reports of one kind.
+    #[must_use]
+    pub fn count_kind(&self, kind: ConflictKind) -> usize {
+        self.reports.lock().iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Clears the log (a resolved mailbox).
+    pub fn clear(&self) {
+        self.reports.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: ConflictKind, file: FicusFileId) -> ConflictReport {
+        ConflictReport {
+            volume: VolumeName::new(1, 1),
+            file,
+            kind,
+            detected_by: ReplicaId(1),
+            other: ReplicaId(2),
+            vv: VersionVector::single(2),
+            at: Timestamp(5),
+        }
+    }
+
+    #[test]
+    fn log_accumulates_and_filters() {
+        let log = ConflictLog::new();
+        assert!(log.is_empty());
+        let f1 = FicusFileId::new(1, 1);
+        let f2 = FicusFileId::new(1, 2);
+        let r1 = sample(ConflictKind::ConcurrentUpdate, f1);
+        let r2 = sample(ConflictKind::RemoveUpdate, f2);
+        log.report(r1.volume, r1.file, r1.kind, r1.detected_by, r1.other, r1.vv.clone(), r1.at);
+        log.report(r2.volume, r2.file, r2.kind, r2.detected_by, r2.other, r2.vv.clone(), r2.at);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.for_file(f1), vec![r1]);
+        assert_eq!(log.count_kind(ConflictKind::RemoveUpdate), 1);
+        assert_eq!(log.count_kind(ConflictKind::NameCollision), 0);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,466 @@
+//! Ficus directories as replicated data files (paper §2.6, §3.3).
+//!
+//! "Ficus directories are stored as UFS files, not UFS directories. A Ficus
+//! directory entry maps a client-specified name into a Ficus file handle."
+//!
+//! Beyond the name→handle mapping, each entry carries the state that makes
+//! the directory reconciliation algorithm of §3.3 work without
+//! coordination:
+//!
+//! * a globally unique [`EntryId`] minted at creation — entry identity is
+//!   creation identity, so a name deleted in one partition and re-created in
+//!   another yields two distinct entries rather than an update conflict;
+//! * a **tombstone** stamp — deletion is a monotonic state change on the
+//!   entry (never a removal) carrying its own globally unique event stamp
+//!   and the deleted file's version vector, the evidence needed to detect
+//!   *remove/update conflicts*.
+//!
+//! Tombstones are garbage-collected with the two-phase scheme of Wuu &
+//! Bernstein's replicated log/dictionary work (the paper's reference \[22\],
+//! whose techniques Ficus's reconciliation descends from): every event
+//! (entry creation or deletion) carries a `(replica, seq)` stamp, and the
+//! directory gossips a **knowledge matrix** — for each replica, the vector
+//! of event sequences it is known to have processed. A tombstone may be
+//! purged once *every* replica's row covers the deletion stamp: at that
+//! point no replica can still hold the entry live, and replicas that purge
+//! can never resurrect it. Rows are monotone vectors merged by pointwise
+//! maximum, so the matrix (a few dozen integers) converges even under
+//! adversarial reconciliation orders — which the property tests at the
+//! bottom of this file drive hard.
+//!
+//! Concurrent creation of the *same name* in different partitions leaves two
+//! live entries with that name after merging. The directory keeps both
+//! (the automatic repair: no update is lost) with deterministic
+//! disambiguation: the smallest [`EntryId`] owns the plain name; the rest
+//! surface with a `#e<replica>.<seq>` suffix.
+
+use std::collections::BTreeMap;
+
+use ficus_nfs::wire::{Dec, Enc};
+use ficus_vnode::{FsError, FsResult, VnodeType};
+use ficus_vv::VersionVector;
+
+use crate::attrs::{decode_vv, encode_vv};
+use crate::ids::{EntryId, FicusFileId, ReplicaId};
+
+/// One directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FicusEntry {
+    /// Component name.
+    pub name: String,
+    /// The logical file this entry names.
+    pub file: FicusFileId,
+    /// The named object's type.
+    pub kind: VnodeType,
+    /// Globally unique creation stamp.
+    pub id: EntryId,
+    /// Tombstone: the deletion's own event stamp, when deleted.
+    pub death: Option<EntryId>,
+    /// The file's version vector as observed when the tombstone was set
+    /// (empty for live entries).
+    pub deleted_file_vv: VersionVector,
+}
+
+impl FicusEntry {
+    /// A fresh live entry.
+    #[must_use]
+    pub fn live(name: &str, file: FicusFileId, kind: VnodeType, id: EntryId) -> Self {
+        FicusEntry {
+            name: name.to_owned(),
+            file,
+            kind,
+            id,
+            death: None,
+            deleted_file_vv: VersionVector::new(),
+        }
+    }
+
+    /// Whether the entry is tombstoned.
+    #[must_use]
+    pub fn deleted(&self) -> bool {
+        self.death.is_some()
+    }
+
+    /// The disambiguated display name: the plain name for the primary entry,
+    /// a suffixed variant for entries that lost the name race.
+    #[must_use]
+    pub fn display_name(&self, primary: bool) -> String {
+        if primary {
+            self.name.clone()
+        } else {
+            format!("{}#e{}.{}", self.name, self.id.creator.0, self.id.seq)
+        }
+    }
+}
+
+/// What one merge step did (for logging and experiment E5's tallies).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Live entries adopted from the remote replica.
+    pub inserted: Vec<EntryId>,
+    /// Tombstones adopted (locally live or unknown before).
+    pub tombstoned: Vec<EntryId>,
+    /// Tombstones purged by two-phase GC during this merge.
+    pub purged: Vec<EntryId>,
+    /// Tombstones newly applied whose files must be checked for
+    /// remove/update conflicts: `(entry, file, file vv at deletion)`.
+    pub suspects: Vec<(EntryId, FicusFileId, VersionVector)>,
+    /// Whether the local directory changed at all (entries or knowledge).
+    pub changed: bool,
+}
+
+/// Per-replica event knowledge: `row[r]` = highest event sequence originated
+/// at replica `r` that the row's owner has processed for this directory.
+type KnowledgeRow = BTreeMap<u32, u64>;
+
+/// A Ficus directory: the entry set plus the gossiped knowledge matrix.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FicusDir {
+    /// All entries, live and tombstoned, in insertion order.
+    pub entries: Vec<FicusEntry>,
+    /// The knowledge matrix: `knowledge[k]` is replica `k`'s event vector.
+    pub knowledge: BTreeMap<u32, KnowledgeRow>,
+}
+
+fn row_covers(row: Option<&KnowledgeRow>, stamp: EntryId) -> bool {
+    row.and_then(|r| r.get(&stamp.creator.0))
+        .is_some_and(|&seq| seq >= stamp.seq)
+}
+
+fn row_note(row: &mut KnowledgeRow, stamp: EntryId) {
+    let slot = row.entry(stamp.creator.0).or_insert(0);
+    if stamp.seq > *slot {
+        *slot = stamp.seq;
+    }
+}
+
+/// Pointwise-max merge of knowledge rows; returns whether `dst` grew.
+fn row_merge(dst: &mut KnowledgeRow, src: &KnowledgeRow) -> bool {
+    let mut grew = false;
+    for (&r, &s) in src {
+        let slot = dst.entry(r).or_insert(0);
+        if s > *slot {
+            *slot = s;
+            grew = true;
+        }
+    }
+    grew
+}
+
+impl FicusDir {
+    /// An empty directory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Live entries only.
+    pub fn live(&self) -> impl Iterator<Item = &FicusEntry> {
+        self.entries.iter().filter(|e| !e.deleted())
+    }
+
+    /// The *primary* live entry for `name`: smallest [`EntryId`] wins, so
+    /// every replica resolves a conflicted name identically after merging.
+    #[must_use]
+    pub fn primary(&self, name: &str) -> Option<&FicusEntry> {
+        self.live()
+            .filter(|e| e.name == name)
+            .min_by_key(|e| e.id)
+    }
+
+    /// All live entries bearing `name` (more than one after a concurrent
+    /// create/create conflict).
+    #[must_use]
+    pub fn named(&self, name: &str) -> Vec<&FicusEntry> {
+        self.live().filter(|e| e.name == name).collect()
+    }
+
+    /// Names carried by more than one live entry, with their entry counts —
+    /// the name conflicts the merge retained.
+    #[must_use]
+    pub fn name_conflicts(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for e in self.live() {
+            match counts.iter_mut().find(|(n, _)| *n == e.name) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((e.name.clone(), 1)),
+            }
+        }
+        counts.retain(|(_, c)| *c > 1);
+        counts
+    }
+
+    /// Finds an entry by id.
+    #[must_use]
+    pub fn find(&self, id: EntryId) -> Option<&FicusEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    fn find_mut(&mut self, id: EntryId) -> Option<&mut FicusEntry> {
+        self.entries.iter_mut().find(|e| e.id == id)
+    }
+
+    /// The knowledge row of replica `me` (created on demand).
+    fn own_row(&mut self, me: ReplicaId) -> &mut KnowledgeRow {
+        self.knowledge.entry(me.0).or_default()
+    }
+
+    /// Inserts a fresh live entry (local create/link/rename-target),
+    /// recording the event in `me`'s knowledge row.
+    ///
+    /// Fails with [`FsError::Exists`] if a live entry already bears the
+    /// name — *local* operations keep names unique; only merges may
+    /// introduce duplicates.
+    pub fn insert(&mut self, entry: FicusEntry, me: ReplicaId) -> FsResult<()> {
+        if self.primary(&entry.name).is_some() {
+            return Err(FsError::Exists);
+        }
+        debug_assert!(self.find(entry.id).is_none(), "entry ids must be unique");
+        row_note(self.own_row(me), entry.id);
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Tombstones the entry `id` (local remove/rename-source) with a fresh
+    /// deletion stamp, recording the file's version vector.
+    pub fn tombstone(
+        &mut self,
+        id: EntryId,
+        file_vv: &VersionVector,
+        death: EntryId,
+        me: ReplicaId,
+    ) -> FsResult<()> {
+        let Some(e) = self.find_mut(id) else {
+            return Err(FsError::NotFound);
+        };
+        if e.death.is_none() {
+            e.death = Some(death);
+            e.deleted_file_vv = file_vv.clone();
+            row_note(self.own_row(me), death);
+        }
+        Ok(())
+    }
+
+    /// Whether any live entry (under any name) references `file`.
+    #[must_use]
+    pub fn references(&self, file: FicusFileId) -> bool {
+        self.live().any(|e| e.file == file)
+    }
+
+    /// One directory-reconciliation step: fold the remote replica's entry
+    /// set and knowledge into this one (paper §3.3).
+    ///
+    /// `remote_replica` identifies whose state `remote` is (its knowledge
+    /// row bounds what we have now processed); `me` is the local replica;
+    /// `all_replicas` is the volume's full replica set, needed for
+    /// tombstone GC.
+    pub fn merge_from(
+        &mut self,
+        remote: &FicusDir,
+        remote_replica: ReplicaId,
+        me: ReplicaId,
+        all_replicas: &std::collections::BTreeSet<u32>,
+    ) -> MergeOutcome {
+        let mut out = MergeOutcome::default();
+        for r in &remote.entries {
+            match self.find_mut(r.id) {
+                None => {
+                    // Previously unseen entry. A *live* entry can never be
+                    // one we purged — purging requires every replica,
+                    // including the remote, to have processed its deletion,
+                    // and a replica that processed the deletion cannot hold
+                    // the entry live — so live entries are always adopted.
+                    // An unseen tombstone is adopted unless our knowledge
+                    // row already covers the deletion stamp. (Rows track
+                    // the *maximum* sequence per originator, so this guard
+                    // may over-claim; that is safe for tombstones — skipping
+                    // one we never saw leaves us equivalent to having
+                    // purged it, and we can never resurrect the entry — but
+                    // it would lose data for live entries, hence the
+                    // asymmetry.)
+                    // NOTE: the skip check below consults our knowledge
+                    // row, which this loop never modifies (rows only grow
+                    // at event origination and by absorbing the remote's
+                    // own row after the whole directory has been ingested).
+                    // Updating the row per entry would break the prefix-
+                    // closure rows rely on: entries arrive in arbitrary
+                    // order, and noting a later event before processing an
+                    // earlier one over-claims — which once caused a skipped
+                    // tombstone and a resurrected entry.
+                    if let Some(death) = r.death {
+                        if row_covers(self.knowledge.get(&me.0), death) {
+                            continue; // processed (and purged) here before
+                        }
+                        out.tombstoned.push(r.id);
+                        out.suspects
+                            .push((r.id, r.file, r.deleted_file_vv.clone()));
+                        self.entries.push(r.clone());
+                        out.changed = true;
+                    } else {
+                        out.inserted.push(r.id);
+                        self.entries.push(r.clone());
+                        out.changed = true;
+                    }
+                }
+                Some(l) => {
+                    debug_assert_eq!(l.file, r.file, "entry id collision");
+                    if let (Some(death), None) = (r.death, l.death) {
+                        l.death = Some(death);
+                        l.deleted_file_vv = r.deleted_file_vv.clone();
+                        out.tombstoned.push(r.id);
+                        out.suspects
+                            .push((r.id, r.file, r.deleted_file_vv.clone()));
+                        out.changed = true;
+                    }
+                }
+            }
+        }
+        // Knowledge gossip: adopt every remote row by pointwise max...
+        for (&k, row) in &remote.knowledge {
+            if row_merge(self.knowledge.entry(k).or_default(), row) {
+                out.changed = true;
+            }
+        }
+        // ...and we have now processed everything the remote replica had
+        // (its own honest row covers every event visible in its directory,
+        // inductively), so our own row absorbs it. This is the ONLY way a
+        // row grows during a merge, preserving the honesty invariant: our
+        // row covers an event only if we processed it or it was already
+        // globally purged when we absorbed the claim.
+        if let Some(remote_row) = remote.knowledge.get(&remote_replica.0).cloned() {
+            if row_merge(self.own_row(me), &remote_row) {
+                out.changed = true;
+            }
+        }
+        // Two-phase GC: drop tombstones whose deletion every replica has
+        // provably processed.
+        let knowledge = &self.knowledge;
+        let purged: Vec<EntryId> = self
+            .entries
+            .iter()
+            .filter(|e| {
+                e.death.is_some_and(|death| {
+                    all_replicas
+                        .iter()
+                        .all(|k| row_covers(knowledge.get(k), death))
+                })
+            })
+            .map(|e| e.id)
+            .collect();
+        if !purged.is_empty() {
+            self.entries.retain(|e| !purged.contains(&e.id));
+            out.changed = true;
+        }
+        out.purged = purged;
+        out
+    }
+
+    /// Serializes the directory to its on-disk (UFS file) form.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.entries.len() as u32);
+        for entry in &self.entries {
+            e.string(&entry.name);
+            e.u32(entry.file.issuer.0);
+            e.u64(entry.file.unique);
+            e.u8(match entry.kind {
+                VnodeType::Regular => 1,
+                VnodeType::Directory => 2,
+                VnodeType::Symlink => 3,
+                VnodeType::GraftPoint => 4,
+            });
+            e.u32(entry.id.creator.0);
+            e.u64(entry.id.seq);
+            match entry.death {
+                None => e.u8(0),
+                Some(d) => {
+                    e.u8(1);
+                    e.u32(d.creator.0);
+                    e.u64(d.seq);
+                }
+            }
+            encode_vv(&mut e, &entry.deleted_file_vv);
+        }
+        e.u32(self.knowledge.len() as u32);
+        for (&k, row) in &self.knowledge {
+            e.u32(k);
+            e.u32(row.len() as u32);
+            for (&r, &s) in row {
+                e.u32(r);
+                e.u64(s);
+            }
+        }
+        e.finish()
+    }
+
+    /// Parses the on-disk form.
+    pub fn decode(buf: &[u8]) -> FsResult<Self> {
+        let mut d = Dec::new(buf);
+        let n = d.u32()? as usize;
+        if n > 1 << 24 {
+            return Err(FsError::Io);
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = d.string()?;
+            let file = FicusFileId {
+                issuer: ReplicaId(d.u32()?),
+                unique: d.u64()?,
+            };
+            let kind = match d.u8()? {
+                1 => VnodeType::Regular,
+                2 => VnodeType::Directory,
+                3 => VnodeType::Symlink,
+                4 => VnodeType::GraftPoint,
+                _ => return Err(FsError::Io),
+            };
+            let id = EntryId {
+                creator: ReplicaId(d.u32()?),
+                seq: d.u64()?,
+            };
+            let death = match d.u8()? {
+                0 => None,
+                _ => Some(EntryId {
+                    creator: ReplicaId(d.u32()?),
+                    seq: d.u64()?,
+                }),
+            };
+            let deleted_file_vv = decode_vv(&mut d)?;
+            entries.push(FicusEntry {
+                name,
+                file,
+                kind,
+                id,
+                death,
+                deleted_file_vv,
+            });
+        }
+        let kn = d.u32()? as usize;
+        if kn > 1 << 20 {
+            return Err(FsError::Io);
+        }
+        let mut knowledge = BTreeMap::new();
+        for _ in 0..kn {
+            let k = d.u32()?;
+            let m = d.u32()? as usize;
+            if m > 1 << 20 {
+                return Err(FsError::Io);
+            }
+            let mut row = KnowledgeRow::new();
+            for _ in 0..m {
+                let r = d.u32()?;
+                let s = d.u64()?;
+                row.insert(r, s);
+            }
+            knowledge.insert(k, row);
+        }
+        if !d.at_end() {
+            return Err(FsError::Io);
+        }
+        Ok(FicusDir { entries, knowledge })
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,494 @@
+//! Unit and property tests for the directory merge — the engine behind the
+//! paper's claim that "conflicting updates to directories are detected and
+//! automatically repaired".
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use ficus_vnode::{FsError, VnodeType};
+use ficus_vv::VersionVector;
+
+use crate::dirfile::{FicusDir, FicusEntry};
+use crate::ids::{EntryId, FicusFileId, ReplicaId};
+
+fn replicas(ids: &[u32]) -> BTreeSet<u32> {
+    ids.iter().copied().collect()
+}
+
+/// A replica-side wrapper that mints event stamps like the physical layer
+/// does.
+struct Rep {
+    me: ReplicaId,
+    dir: FicusDir,
+    seq: u64,
+}
+
+impl Rep {
+    fn new(me: u32) -> Self {
+        Rep {
+            me: ReplicaId(me),
+            dir: FicusDir::new(),
+            seq: 0,
+        }
+    }
+
+    fn stamp(&mut self) -> EntryId {
+        self.seq += 1;
+        EntryId::new(self.me.0, self.seq)
+    }
+
+    fn create(&mut self, name: &str) -> Result<EntryId, FsError> {
+        let id = self.stamp();
+        let file = FicusFileId::new(self.me.0, id.seq + 1000);
+        self.dir
+            .insert(FicusEntry::live(name, file, VnodeType::Regular, id), self.me)?;
+        Ok(id)
+    }
+
+    fn delete(&mut self, name: &str) -> Result<(), FsError> {
+        let target = self.dir.primary(name).map(|e| e.id).ok_or(FsError::NotFound)?;
+        let death = self.stamp();
+        self.dir
+            .tombstone(target, &VersionVector::new(), death, self.me)
+    }
+
+    fn merge(&mut self, other: &Rep, all: &BTreeSet<u32>) -> crate::dirfile::MergeOutcome {
+        self.dir.merge_from(&other.dir, other.me, self.me, all)
+    }
+}
+
+#[test]
+fn encode_decode_round_trips() {
+    let mut r = Rep::new(1);
+    r.create("plain").unwrap();
+    r.create("doomed").unwrap();
+    r.delete("doomed").unwrap();
+    assert_eq!(FicusDir::decode(&r.dir.encode()).unwrap(), r.dir);
+}
+
+#[test]
+fn empty_round_trips() {
+    let d = FicusDir::new();
+    assert_eq!(FicusDir::decode(&d.encode()).unwrap(), d);
+}
+
+#[test]
+fn junk_rejected() {
+    assert!(FicusDir::decode(&[1, 2, 3]).is_err());
+}
+
+#[test]
+fn local_insert_enforces_unique_names() {
+    let mut r = Rep::new(1);
+    r.create("x").unwrap();
+    assert_eq!(r.create("x").unwrap_err(), FsError::Exists);
+    // But a tombstoned name can be reused.
+    r.delete("x").unwrap();
+    r.create("x").unwrap();
+    assert_eq!(r.dir.live().count(), 1);
+}
+
+#[test]
+fn tombstone_is_idempotent_and_missing_entry_errors() {
+    let mut r = Rep::new(1);
+    let id = r.create("x").unwrap();
+    let death = r.stamp();
+    r.dir
+        .tombstone(id, &VersionVector::new(), death, r.me)
+        .unwrap();
+    // Second tombstone keeps the first death stamp.
+    let death2 = r.stamp();
+    r.dir
+        .tombstone(id, &VersionVector::new(), death2, r.me)
+        .unwrap();
+    assert_eq!(r.dir.find(id).unwrap().death, Some(death));
+    assert_eq!(
+        r.dir
+            .tombstone(EntryId::new(9, 9), &VersionVector::new(), death2, r.me)
+            .unwrap_err(),
+        FsError::NotFound
+    );
+}
+
+#[test]
+fn merge_adopts_remote_creation_idempotently() {
+    let all = replicas(&[1, 2]);
+    let mut a = Rep::new(1);
+    let mut b = Rep::new(2);
+    let id = b.create("born-remote").unwrap();
+    let out = a.merge(&b, &all);
+    assert_eq!(out.inserted, vec![id]);
+    assert!(a.dir.primary("born-remote").is_some());
+    let out2 = a.merge(&b, &all);
+    assert!(!out2.changed, "idempotent merge");
+}
+
+#[test]
+fn merge_applies_remote_delete_and_reports_suspect() {
+    let all = replicas(&[1, 2]);
+    let mut a = Rep::new(1);
+    a.create("shared").unwrap();
+    let mut b = Rep::new(2);
+    b.merge(&a, &all);
+    b.delete("shared").unwrap();
+    let out = a.merge(&b, &all);
+    assert_eq!(out.tombstoned.len(), 1);
+    assert_eq!(out.suspects.len(), 1);
+    assert_eq!(a.dir.live().count(), 0);
+}
+
+#[test]
+fn concurrent_create_delete_of_same_name_is_not_a_conflict() {
+    // Partition: replica 2 deletes x; replica 1 deletes + re-creates x.
+    // After merging, exactly the new entry is live. No lost update.
+    let all = replicas(&[1, 2]);
+    let mut a = Rep::new(1);
+    let first = a.create("x").unwrap();
+    let mut b = Rep::new(2);
+    b.merge(&a, &all);
+    b.delete("x").unwrap();
+    a.delete("x").unwrap();
+    let second = a.create("x").unwrap();
+    a.merge(&b, &all);
+    b.merge(&a, &all);
+    for r in [&a, &b] {
+        assert_eq!(r.dir.named("x").len(), 1);
+        assert_eq!(r.dir.primary("x").unwrap().id, second);
+        assert!(r.dir.find(first).is_none_or(|e| e.deleted()));
+    }
+}
+
+#[test]
+fn concurrent_same_name_creates_both_retained() {
+    let all = replicas(&[1, 2]);
+    let mut a = Rep::new(1);
+    let mut b = Rep::new(2);
+    let ida = a.create("paper.txt").unwrap();
+    let idb = b.create("paper.txt").unwrap();
+    a.merge(&b, &all);
+    b.merge(&a, &all);
+    assert_eq!(a.dir.named("paper.txt").len(), 2);
+    assert_eq!(a.dir.name_conflicts(), vec![("paper.txt".to_owned(), 2)]);
+    // Deterministic identical primary on both replicas.
+    assert_eq!(a.dir.primary("paper.txt").unwrap().id, ida.min(idb));
+    assert_eq!(b.dir.primary("paper.txt").unwrap().id, ida.min(idb));
+    // The loser is reachable under its disambiguated name.
+    let loser = ida.max(idb);
+    let e = a.dir.find(loser).unwrap();
+    assert_eq!(
+        e.display_name(false),
+        format!("paper.txt#e{}.{}", loser.creator.0, loser.seq)
+    );
+}
+
+#[test]
+fn concurrent_renames_of_directory_keep_both_names() {
+    // Paper footnote 3: rename = tombstone old entry + insert new entry for
+    // the same file id; concurrent renames retain both new names.
+    let all = replicas(&[1, 2]);
+    let dir_file = FicusFileId::new(0, 77);
+    let mut a = Rep::new(1);
+    let first = a.stamp();
+    a.dir
+        .insert(
+            FicusEntry::live("proj", dir_file, VnodeType::Directory, first),
+            a.me,
+        )
+        .unwrap();
+    let mut b = Rep::new(2);
+    b.merge(&a, &all);
+    // Partitioned renames.
+    let death_a = a.stamp();
+    a.dir
+        .tombstone(first, &VersionVector::new(), death_a, a.me)
+        .unwrap();
+    let new_a = a.stamp();
+    a.dir
+        .insert(
+            FicusEntry::live("proj-final", dir_file, VnodeType::Directory, new_a),
+            a.me,
+        )
+        .unwrap();
+    let death_b = b.stamp();
+    b.dir
+        .tombstone(first, &VersionVector::new(), death_b, b.me)
+        .unwrap();
+    let new_b = b.stamp();
+    b.dir
+        .insert(
+            FicusEntry::live("proj-v2", dir_file, VnodeType::Directory, new_b),
+            b.me,
+        )
+        .unwrap();
+    a.merge(&b, &all);
+    b.merge(&a, &all);
+    for r in [&a, &b] {
+        assert!(r.dir.primary("proj").is_none());
+        assert_eq!(r.dir.primary("proj-final").unwrap().file, dir_file);
+        assert_eq!(r.dir.primary("proj-v2").unwrap().file, dir_file);
+        assert!(r.dir.references(dir_file));
+    }
+}
+
+#[test]
+fn two_phase_gc_purges_after_full_knowledge() {
+    let all = replicas(&[1, 2, 3]);
+    let mut a = Rep::new(1);
+    a.create("x").unwrap();
+    let mut b = Rep::new(2);
+    let mut c = Rep::new(3);
+    b.merge(&a, &all);
+    c.merge(&a, &all);
+    a.delete("x").unwrap();
+    // Gossip until quiescent.
+    let mut rounds = 0;
+    loop {
+        let mut changed = false;
+        let (sa, sb, sc) = (a.dir.clone(), b.dir.clone(), c.dir.clone());
+        let snap = |r: u32| -> (&FicusDir, ReplicaId) {
+            match r {
+                1 => (&sa, ReplicaId(1)),
+                2 => (&sb, ReplicaId(2)),
+                _ => (&sc, ReplicaId(3)),
+            }
+        };
+        for (me, rep) in [(1u32, &mut a), (2, &mut b), (3, &mut c)] {
+            for other in 1..=3u32 {
+                if other != me {
+                    let (src, src_id) = snap(other);
+                    let out = rep.dir.merge_from(src, src_id, ReplicaId(me), &all);
+                    changed |= out.changed;
+                }
+            }
+        }
+        rounds += 1;
+        assert!(rounds < 10, "gossip failed to quiesce");
+        if !changed {
+            break;
+        }
+    }
+    // All tombstones purged everywhere; no resurrection.
+    for r in [&a, &b, &c] {
+        assert!(r.dir.entries.is_empty(), "tombstone not purged");
+    }
+}
+
+#[test]
+fn purged_tombstone_is_not_resurrected_by_stale_peer() {
+    let all = replicas(&[1, 2]);
+    let mut a = Rep::new(1);
+    a.create("x").unwrap();
+    let mut b = Rep::new(2);
+    b.merge(&a, &all);
+    a.delete("x").unwrap();
+    b.merge(&a, &all); // b adopts the tombstone
+    a.merge(&b, &all); // a learns b processed it -> both rows full
+    b.merge(&a, &all);
+    // Both purge now (or already have).
+    a.merge(&b, &all);
+    assert!(a.dir.entries.is_empty());
+    assert!(b.dir.entries.is_empty());
+    // A stale copy of b's earlier state (with the tombstone) must not
+    // resurrect anything at a.
+    let mut stale_b = Rep::new(2);
+    stale_b.dir = {
+        let mut d = FicusDir::new();
+        // Rebuild the tombstoned entry exactly as it was.
+        let id = EntryId::new(1, 1);
+        let mut e = FicusEntry::live("x", FicusFileId::new(1, 1001), VnodeType::Regular, id);
+        e.death = Some(EntryId::new(1, 2));
+        d.entries.push(e);
+        d
+    };
+    let out = a.merge(&stale_b, &all);
+    assert!(a.dir.entries.is_empty(), "no resurrection from stale state");
+    assert!(out.tombstoned.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Convergence property: random partitioned histories + enough pairwise
+// merges reach identical state on every replica, with no live entry lost,
+// no resurrections, and every tombstone eventually purged.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum DirOp {
+    Create(u8, u8),
+    Delete(u8, u8),
+    Merge(u8, u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<DirOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<u8>()).prop_map(|(r, n)| DirOp::Create(r, n)),
+            (any::<u8>(), any::<u8>()).prop_map(|(r, n)| DirOp::Delete(r, n)),
+            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| DirOp::Merge(a, b)),
+        ],
+        0..40,
+    )
+}
+
+const NREPLICAS: usize = 3;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn prop_replicas_converge(ops in arb_ops()) {
+        let all: BTreeSet<u32> = (1..=NREPLICAS as u32).collect();
+        let mut reps: Vec<Rep> = (1..=NREPLICAS as u32).map(Rep::new).collect();
+        let mut created: Vec<EntryId> = Vec::new();
+        let mut deleted: BTreeSet<EntryId> = BTreeSet::new();
+
+        for op in &ops {
+            match op {
+                DirOp::Create(r, n) => {
+                    let r = (*r as usize) % NREPLICAS;
+                    let name = format!("n{}", n % 5);
+                    if let Ok(id) = reps[r].create(&name) {
+                        created.push(id);
+                    }
+                }
+                DirOp::Delete(r, n) => {
+                    let r = (*r as usize) % NREPLICAS;
+                    let name = format!("n{}", n % 5);
+                    if let Some(target) = reps[r].dir.primary(&name).map(|e| e.id) {
+                        reps[r].delete(&name).unwrap();
+                        deleted.insert(target);
+                    }
+                }
+                DirOp::Merge(a, b) => {
+                    let a = (*a as usize) % NREPLICAS;
+                    let b = (*b as usize) % NREPLICAS;
+                    if a != b {
+                        let src_dir = reps[b].dir.clone();
+                        let src_id = reps[b].me;
+                        let me = reps[a].me;
+                        reps[a].dir.merge_from(&src_dir, src_id, me, &all);
+                    }
+                }
+            }
+        }
+
+        // Drive to the fixpoint: merge every ordered pair until quiescent,
+        // with a hard bound that catches livelock (the bug that killed the
+        // seen_by-set design).
+        let mut rounds = 0;
+        loop {
+            let mut changed = false;
+            for a in 0..NREPLICAS {
+                for b in 0..NREPLICAS {
+                    if a != b {
+                        let src_dir = reps[b].dir.clone();
+                        let src_id = reps[b].me;
+                        let me = reps[a].me;
+                        let out = reps[a].dir.merge_from(&src_dir, src_id, me, &all);
+                        changed |= out.changed;
+                    }
+                }
+            }
+            rounds += 1;
+            prop_assert!(rounds <= 20, "gossip livelock");
+            if !changed {
+                break;
+            }
+        }
+
+        // 1. Convergence: identical canonical entry sets everywhere.
+        let canon = |d: &FicusDir| {
+            let mut v: Vec<_> = d.entries.clone();
+            v.sort_by_key(|e| e.id);
+            v
+        };
+        let c0 = canon(&reps[0].dir);
+        for r in &reps[1..] {
+            prop_assert_eq!(&canon(&r.dir), &c0);
+        }
+        // 2. No lost updates: every created-and-never-deleted entry is live
+        //    on every replica.
+        for id in &created {
+            if !deleted.contains(id) {
+                for r in &reps {
+                    let e = r.dir.find(*id);
+                    prop_assert!(e.is_some_and(|e| !e.deleted()), "lost live entry {id}");
+                }
+            }
+        }
+        // 3. No resurrections.
+        for id in &deleted {
+            for r in &reps {
+                if let Some(e) = r.dir.find(*id) {
+                    prop_assert!(e.deleted(), "resurrected entry {id}");
+                }
+            }
+        }
+        // 4. Every tombstone purged at the fixpoint (full knowledge).
+        for r in &reps {
+            prop_assert!(
+                r.dir.entries.iter().all(|e| !e.deleted()),
+                "unpurged tombstone at replica {}",
+                r.me.0
+            );
+        }
+    }
+
+    #[test]
+    fn prop_encode_decode_round_trips(ops in arb_ops()) {
+        let all: BTreeSet<u32> = (1..=NREPLICAS as u32).collect();
+        let mut reps: Vec<Rep> = (1..=NREPLICAS as u32).map(Rep::new).collect();
+        for op in &ops {
+            match op {
+                DirOp::Create(r, n) => {
+                    let r = (*r as usize) % NREPLICAS;
+                    let _ = reps[r].create(&format!("n{}", n % 5));
+                }
+                DirOp::Delete(r, n) => {
+                    let r = (*r as usize) % NREPLICAS;
+                    let _ = reps[r].delete(&format!("n{}", n % 5));
+                }
+                DirOp::Merge(a, b) => {
+                    let a = (*a as usize) % NREPLICAS;
+                    let b = (*b as usize) % NREPLICAS;
+                    if a != b {
+                        let src_dir = reps[b].dir.clone();
+                        let src_id = reps[b].me;
+                        let me = reps[a].me;
+                        reps[a].dir.merge_from(&src_dir, src_id, me, &all);
+                    }
+                }
+            }
+        }
+        for r in &reps {
+            prop_assert_eq!(&FicusDir::decode(&r.dir.encode()).unwrap(), &r.dir);
+        }
+    }
+}
+
+mod decode_fuzz {
+    use super::*;
+
+    proptest! {
+        /// Arbitrary bytes never panic the directory decoder.
+        #[test]
+        fn prop_dir_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+            let _ = FicusDir::decode(&bytes);
+        }
+
+        /// Bit-flips in a valid encoding either round-trip benignly or are
+        /// rejected — never panic.
+        #[test]
+        fn prop_dir_decode_bitflip(flip in 0usize..200, bit in 0u8..8) {
+            let mut r = Rep::new(1);
+            r.create("victim").unwrap();
+            r.create("other").unwrap();
+            r.delete("other").unwrap();
+            let mut buf = r.dir.encode();
+            if flip < buf.len() {
+                buf[flip] ^= 1 << bit;
+            }
+            let _ = FicusDir::decode(&buf);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Ficus identifiers (paper §4.2).
+//!
+//! "A volume is uniquely named internally by a pair of identifiers: an
+//! allocator-id, and a volume-id issued by the allocator. [...] Individual
+//! volume replicas are further identified by their replica-id. [...] Within
+//! the context of a particular volume, a logical file is uniquely identified
+//! by a file-id. [...] To ensure that file-ids are uniquely issued, a
+//! file-id is prefixed with the issuing volume replica's replica-id."
+//!
+//! The fully specified identifier of a file replica is therefore
+//! `<allocator-id, volume-id, file-id, replica-id>`, unique across all Ficus
+//! hosts in existence.
+//!
+//! The physical layer needs these identifiers as UFS path components
+//! (the dual mapping of §2.6: "encoding the Ficus file handle into a
+//! hexadecimal string used by the UFS as a pathname"); [`FicusFileId::hex`]
+//! and [`FicusFileId::from_hex`] implement that encoding.
+
+use std::fmt;
+
+use ficus_vnode::{FsError, FsResult};
+
+/// Identifies the host that allocated a volume id ("an Internet host address
+/// would suffice", §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AllocatorId(pub u32);
+
+/// A volume id, unique per allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VolumeId(pub u32);
+
+/// A volume replica id, unique within its volume.
+///
+/// This is also the tag used in version vectors (`ficus_vv::ReplicaTag`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReplicaId(pub u32);
+
+/// Globally unique volume name: `<allocator-id, volume-id>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VolumeName {
+    /// The allocating host.
+    pub allocator: AllocatorId,
+    /// The id issued by that allocator.
+    pub volume: VolumeId,
+}
+
+impl VolumeName {
+    /// Creates a volume name.
+    #[must_use]
+    pub fn new(allocator: u32, volume: u32) -> Self {
+        VolumeName {
+            allocator: AllocatorId(allocator),
+            volume: VolumeId(volume),
+        }
+    }
+}
+
+impl fmt::Display for VolumeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}.{}", self.allocator.0, self.volume.0)
+    }
+}
+
+/// A logical file id within a volume: `<issuing replica-id, unique-id>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FicusFileId {
+    /// The volume replica that issued this id.
+    pub issuer: ReplicaId,
+    /// The issuer-local unique part.
+    pub unique: u64,
+}
+
+/// The file id of every volume's root directory.
+///
+/// "Each volume replica must store a replica of the root node" (§4.1), so
+/// the root's id is fixed rather than issued.
+pub const ROOT_FILE: FicusFileId = FicusFileId {
+    issuer: ReplicaId(0),
+    unique: 0,
+};
+
+impl FicusFileId {
+    /// Creates a file id.
+    #[must_use]
+    pub fn new(issuer: u32, unique: u64) -> Self {
+        FicusFileId {
+            issuer: ReplicaId(issuer),
+            unique,
+        }
+    }
+
+    /// The 24-character hexadecimal form used as a UFS path component
+    /// (§2.6's second mapping).
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:08x}{:016x}", self.issuer.0, self.unique)
+    }
+
+    /// Parses the hexadecimal form.
+    pub fn from_hex(s: &str) -> FsResult<Self> {
+        if s.len() != 24 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(FsError::Invalid);
+        }
+        let issuer = u32::from_str_radix(&s[..8], 16).map_err(|_| FsError::Invalid)?;
+        let unique = u64::from_str_radix(&s[8..], 16).map_err(|_| FsError::Invalid)?;
+        Ok(FicusFileId {
+            issuer: ReplicaId(issuer),
+            unique,
+        })
+    }
+
+    /// Whether this is the volume root.
+    #[must_use]
+    pub fn is_root(&self) -> bool {
+        *self == ROOT_FILE
+    }
+
+    /// A stable `u64` for vnode `fileid` reporting.
+    #[must_use]
+    pub fn as_u64(&self) -> u64 {
+        // Fold the issuer into the high bits; collisions would need 2^32
+        // files from one issuer.
+        (u64::from(self.issuer.0) << 48) ^ self.unique
+    }
+}
+
+impl fmt::Display for FicusFileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}:{}", self.issuer.0, self.unique)
+    }
+}
+
+/// Globally unique id of a *directory entry* creation.
+///
+/// Distinct from the file id it names: the same file may gain and lose many
+/// entries (rename, link, reconciliation), and entry identity is what the
+/// directory merge keys on. Issued like file ids: `<creating replica,
+/// sequence>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntryId {
+    /// The replica where the entry was created.
+    pub creator: ReplicaId,
+    /// Creator-local sequence number.
+    pub seq: u64,
+}
+
+impl EntryId {
+    /// Creates an entry id.
+    #[must_use]
+    pub fn new(creator: u32, seq: u64) -> Self {
+        EntryId {
+            creator: ReplicaId(creator),
+            seq,
+        }
+    }
+}
+
+impl fmt::Display for EntryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}:{}", self.creator.0, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips() {
+        for id in [
+            ROOT_FILE,
+            FicusFileId::new(1, 2),
+            FicusFileId::new(u32::MAX, u64::MAX),
+            FicusFileId::new(0xDEAD, 0xBEEF_CAFE),
+        ] {
+            let h = id.hex();
+            assert_eq!(h.len(), 24);
+            assert_eq!(FicusFileId::from_hex(&h).unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn bad_hex_rejected() {
+        assert_eq!(FicusFileId::from_hex("short").unwrap_err(), FsError::Invalid);
+        assert_eq!(
+            FicusFileId::from_hex("zz0000000000000000000000").unwrap_err(),
+            FsError::Invalid
+        );
+        assert_eq!(
+            FicusFileId::from_hex(&"0".repeat(25)).unwrap_err(),
+            FsError::Invalid
+        );
+    }
+
+    #[test]
+    fn root_is_root() {
+        assert!(ROOT_FILE.is_root());
+        assert!(!FicusFileId::new(0, 1).is_root());
+        assert!(!FicusFileId::new(1, 0).is_root());
+    }
+
+    #[test]
+    fn as_u64_separates_issuers() {
+        let a = FicusFileId::new(1, 5).as_u64();
+        let b = FicusFileId::new(2, 5).as_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VolumeName::new(3, 9).to_string(), "v3.9");
+        assert_eq!(FicusFileId::new(1, 2).to_string(), "f1:2");
+        assert_eq!(EntryId::new(4, 7).to_string(), "e4:7");
+    }
+}

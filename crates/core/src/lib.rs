@@ -1,0 +1,60 @@
+//! The Ficus replicated file system — the paper's primary contribution.
+//!
+//! Ficus comprises two stackable vnode layers over the substrates built in
+//! the sibling crates (`ficus-ufs`, `ficus-nfs`, `ficus-net`, `ficus-vv`):
+//!
+//! ```text
+//! system calls
+//!      │
+//! Ficus logical layer      (one-copy abstraction, replica selection,
+//!      │                    update notification, autografting)      §2.5
+//!    [NFS]                 (transport when layers are on different hosts) §2.2
+//!      │
+//! Ficus physical layer     (file replicas as UFS files, version vectors,
+//!      │                    Ficus directories, shadow commit, new-version
+//!      │                    cache, reconciliation operations)       §2.6, §3
+//!     UFS                  (nonvolatile storage service)            §2.1
+//! ```
+//!
+//! Module map:
+//!
+//! * [`ids`] — allocator/volume/file/replica identifiers (§4.2) and their
+//!   hexadecimal encoding used as UFS pathnames (§2.6).
+//! * [`attrs`] — the auxiliary replication attributes stored beside each
+//!   replica (version vector, type, conflict state).
+//! * [`dirfile`] — Ficus directories as data files: entries carrying
+//!   globally unique entry ids, tombstones, and two-phase GC state; the
+//!   merge function that makes directory reconciliation automatic (§3.3).
+//! * [`phys`] — the physical layer: dual-mapping storage over UFS, the
+//!   exported vnode interface with the overloaded-lookup control plane
+//!   (§2.3), the shadow-file atomic commit (§3.2), and the new-version
+//!   cache.
+//! * [`propagate`] — update notification multicast and the propagation
+//!   daemon with immediate/delayed policies (§3.2).
+//! * [`recon`] — file and directory reconciliation plus the periodic
+//!   subtree protocol (§3.3); conflict detection and reporting.
+//! * [`conflict`] — conflict log and reports to the owner.
+//! * [`resolve`] — the owner's resolution tool: keep-local, take-remote,
+//!   or concatenate-with-markers; resolutions dominate and propagate.
+//! * [`logical`] — the logical layer: one-copy abstraction, replica
+//!   selection ("most recent copy available"), concurrency control,
+//!   open/close tunneling (§2.5).
+//! * [`volume`] — volumes, graft points, autografting, graft pruning (§4).
+//! * [`sim`] — a turnkey multi-host world wiring every piece together over
+//!   the simulated network; what examples, tests, and benchmarks drive.
+
+pub mod access;
+pub mod attrs;
+pub mod conflict;
+pub mod dirfile;
+pub mod ids;
+pub mod logical;
+pub mod phys;
+pub mod propagate;
+pub mod recon;
+pub mod resolve;
+pub mod sim;
+pub mod volume;
+
+pub use ids::{AllocatorId, FicusFileId, ReplicaId, VolumeName, ROOT_FILE};
+pub use sim::{FicusWorld, WorldParams};

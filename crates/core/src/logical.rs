@@ -1,0 +1,747 @@
+//! The Ficus logical layer (paper §2.5).
+//!
+//! "The Ficus logical layer presents its clients (normally the Unix system
+//! call family) with the abstraction that each file has only a single copy,
+//! although it may actually have many physical replicas."
+//!
+//! Responsibilities reproduced here:
+//!
+//! * **Replica selection** — "the default policy of one-copy availability
+//!   is to select the most recent copy available": every time a file is
+//!   bound, the layer asks each reachable replica for the file's version
+//!   vector (an overloaded-lookup read) and pins the maximal one; ties
+//!   between incomparable histories fall back deterministically to the
+//!   longest history, then the lowest replica id.
+//! * **One-copy availability for updates** — an update needs *any one*
+//!   reachable replica (the local one when present); afterwards the layer
+//!   multicasts an update notification to the other replicas' hosts (§3.2).
+//! * **Concurrency control** — a per-logical-file lock serializes local
+//!   updates.
+//! * **Open/close tunneling** — `open`/`close` are re-encoded as lookup
+//!   names so they survive an interposed NFS layer (§2.3).
+//! * **Autografting** — encountering a graft point during name translation
+//!   reads the `(replica, host)` pairs out of it, connects, and transparently
+//!   continues in the target volume's root (§4.4). Idle grafts are pruned.
+//!
+//! The layer is written entirely against the vnode interface of the layer
+//! below — it cannot tell whether a replica is a co-resident physical layer
+//! or an NFS mount of one, which is the stackable-layers claim of the paper.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use ficus_net::{HostId, Network};
+use ficus_vnode::{
+    AccessMode, Credentials, DirEntry, FileSystem, FsError, FsResult, FsStats, OpenFlags, SetAttr,
+    TimeSource, Vnode, VnodeAttr, VnodeRef, VnodeType,
+};
+use ficus_vv::VersionVector;
+
+use crate::attrs::ReplAttrs;
+use crate::dirfile::FicusDir;
+use crate::ids::{EntryId, FicusFileId, ReplicaId, VolumeName, ROOT_FILE};
+use crate::propagate::{UpdateNote, NOTE_SERVICE};
+use crate::volume::{Connector, GraftTable, GraftedVolume, ReplicaConn};
+
+/// Tunables for the logical layer.
+#[derive(Debug, Clone)]
+pub struct LogicalParams {
+    /// Prune grafts idle longer than this (microseconds).
+    pub graft_idle_us: u64,
+}
+
+impl Default for LogicalParams {
+    fn default() -> Self {
+        LogicalParams {
+            graft_idle_us: 60_000_000, // one simulated minute
+        }
+    }
+}
+
+/// Observable behavior counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogicalStats {
+    /// Replica-selection rounds performed.
+    pub selections: u64,
+    /// Update notifications multicast.
+    pub notifications: u64,
+    /// Autografts performed.
+    pub autografts: u64,
+    /// Grafts pruned.
+    pub prunes: u64,
+}
+
+/// The logical layer for one host.
+pub struct FicusLogical {
+    inner: Arc<LogicalInner>,
+}
+
+/// Per-file lock table (the logical layer's concurrency control).
+type FileLocks = HashMap<(VolumeName, FicusFileId), Arc<Mutex<()>>>;
+
+struct LogicalInner {
+    host: HostId,
+    net: Network,
+    clock: Arc<dyn TimeSource>,
+    connector: Arc<dyn Connector>,
+    root_vol: VolumeName,
+    root_locations: Mutex<Vec<(ReplicaId, HostId)>>,
+    params: LogicalParams,
+    grafts: Mutex<GraftTable>,
+    locks: Mutex<FileLocks>,
+    cred: Credentials,
+    stats: Mutex<LogicalStats>,
+}
+
+impl FicusLogical {
+    /// Creates the logical layer for `host`.
+    ///
+    /// `root_locations` bootstraps the root volume (real Ficus finds it in a
+    /// well-known place; every other volume is located through graft
+    /// points).
+    pub fn new(
+        host: HostId,
+        net: Network,
+        connector: Arc<dyn Connector>,
+        root_vol: VolumeName,
+        root_locations: Vec<(ReplicaId, HostId)>,
+        params: LogicalParams,
+    ) -> Arc<Self> {
+        let clock: Arc<dyn TimeSource> = Arc::clone(net.clock()) as Arc<dyn TimeSource>;
+        Arc::new(FicusLogical {
+            inner: Arc::new(LogicalInner {
+                host,
+                net,
+                clock,
+                connector,
+                root_vol,
+                root_locations: Mutex::new(root_locations),
+                params,
+                grafts: Mutex::new(GraftTable::new()),
+                locks: Mutex::new(HashMap::new()),
+                cred: Credentials::root(),
+                stats: Mutex::new(LogicalStats::default()),
+            }),
+        })
+    }
+
+    /// Behavior counters.
+    #[must_use]
+    pub fn stats(&self) -> LogicalStats {
+        *self.inner.stats.lock()
+    }
+
+    /// Volumes currently grafted on this host.
+    #[must_use]
+    pub fn grafted_volumes(&self) -> Vec<VolumeName> {
+        self.inner.grafts.lock().volumes()
+    }
+
+    /// Prunes idle grafts (the "quietly pruned at a later time" sweep).
+    /// Returns how many were pruned.
+    pub fn prune_grafts(&self) -> usize {
+        let now = self.inner.clock.now();
+        let pruned = self.inner.grafts.lock().prune(
+            now,
+            self.inner.params.graft_idle_us,
+            self.inner.root_vol,
+        );
+        self.inner.stats.lock().prunes += pruned.len() as u64;
+        pruned.len()
+    }
+
+    /// The host this layer runs on.
+    #[must_use]
+    pub fn host(&self) -> HostId {
+        self.inner.host
+    }
+
+    /// Registers an additional root-volume replica location (replica
+    /// placement is dynamic, §3.1).
+    pub fn add_root_location(&self, replica: ReplicaId, host: HostId) {
+        let mut locs = self.inner.root_locations.lock();
+        if !locs.contains(&(replica, host)) {
+            locs.push((replica, host));
+        }
+        // Refresh the live graft so the new location is tried immediately.
+        let now = self.inner.clock.now();
+        let mut grafts = self.inner.grafts.lock();
+        if let Some(g) = grafts.touch(self.inner.root_vol, now) {
+            if !g.locations.contains(&(replica, host)) {
+                g.locations.push((replica, host));
+            }
+        }
+    }
+
+    /// Forgets a root-volume replica location.
+    pub fn remove_root_location(&self, replica: ReplicaId, host: HostId) {
+        self.inner
+            .root_locations
+            .lock()
+            .retain(|&(r, h)| (r, h) != (replica, host));
+        let now = self.inner.clock.now();
+        let mut grafts = self.inner.grafts.lock();
+        if let Some(g) = grafts.touch(self.inner.root_vol, now) {
+            g.locations.retain(|&(r, h)| (r, h) != (replica, host));
+            g.conns.retain(|c| c.replica != replica);
+        }
+    }
+
+    /// Drops a cached graft so the next access re-reads its graft point
+    /// (used after replica additions change a volume's location list).
+    pub fn ungraft(&self, vol: VolumeName) {
+        if vol != self.inner.root_vol {
+            self.inner.grafts.lock().remove(vol);
+        }
+    }
+}
+
+impl FileSystem for FicusLogical {
+    fn root(&self) -> VnodeRef {
+        Arc::new(LogicalVnode {
+            sys: Arc::clone(&self.inner),
+            vol: self.inner.root_vol,
+            file: ROOT_FILE,
+            kind: VnodeType::Directory,
+            pinned: Mutex::new(None),
+        })
+    }
+
+    fn statfs(&self) -> FsResult<FsStats> {
+        // Read the selected replica's storage statistics through the
+        // overloaded-lookup control plane (so this works across NFS too).
+        let conn = self.inner.pick_update(self.inner.root_vol)?;
+        let ctl = conn.root.lookup(&self.inner.cred, ";f;stat")?;
+        let size = ctl.getattr(&self.inner.cred)?.size as usize;
+        let data = ctl.read(&self.inner.cred, 0, size)?;
+        let mut d = ficus_nfs::wire::Dec::new(&data);
+        Ok(FsStats {
+            total_blocks: d.u64()?,
+            free_blocks: d.u64()?,
+            total_inodes: d.u64()?,
+            free_inodes: d.u64()?,
+            block_size: d.u32()?,
+        })
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        Ok(())
+    }
+}
+
+impl LogicalInner {
+    /// Returns (establishing if needed) the connections for `vol`.
+    fn conns(&self, vol: VolumeName) -> FsResult<Vec<ReplicaConn>> {
+        let now = self.clock.now();
+        let mut grafts = self.grafts.lock();
+        if let Some(g) = grafts.touch(vol, now) {
+            // Retry locations that were unreachable when last tried.
+            if g.conns.len() < g.locations.len() {
+                let have: Vec<ReplicaId> = g.conns.iter().map(|c| c.replica).collect();
+                for &(replica, host) in &g.locations.clone() {
+                    if !have.contains(&replica) {
+                        if let Ok(root) = self.connector.connect(vol, replica, host) {
+                            g.conns.push(ReplicaConn {
+                                replica,
+                                host,
+                                root,
+                            });
+                        }
+                    }
+                }
+            }
+            return Ok(g.conns.clone());
+        }
+        drop(grafts);
+        if vol == self.root_vol {
+            let locations = self.root_locations.lock().clone();
+            self.graft(vol, locations)
+        } else {
+            // Non-root volumes are grafted only via graft points.
+            Err(FsError::NoReplica)
+        }
+    }
+
+    /// Establishes connections for `vol` at the given locations and records
+    /// the graft.
+    fn graft(&self, vol: VolumeName, locations: Vec<(ReplicaId, HostId)>) -> FsResult<Vec<ReplicaConn>> {
+        let mut conns = Vec::new();
+        for &(replica, host) in &locations {
+            match self.connector.connect(vol, replica, host) {
+                Ok(root) => conns.push(ReplicaConn {
+                    replica,
+                    host,
+                    root,
+                }),
+                Err(_) => continue, // unreachable replica: optimism, not failure
+            }
+        }
+        let now = self.clock.now();
+        self.grafts.lock().insert(GraftedVolume {
+            vol,
+            locations,
+            conns: conns.clone(),
+            last_used: now,
+        });
+        Ok(conns)
+    }
+
+    /// Reads a control file's full contents from a connection.
+    fn slurp(&self, conn: &ReplicaConn, base: &VnodeRef, name: &str) -> FsResult<Vec<u8>> {
+        let _ = conn;
+        let v = base.lookup(&self.cred, name)?;
+        let size = v.getattr(&self.cred)?.size as usize;
+        Ok(v.read(&self.cred, 0, size)?.to_vec())
+    }
+
+    /// Fetches the replication attributes of `file` through `conn`.
+    fn fetch_attrs(&self, conn: &ReplicaConn, file: FicusFileId) -> FsResult<ReplAttrs> {
+        let data = self.slurp(conn, &conn.root.clone(), &format!(";f;vv;{}", file.hex()))?;
+        ReplAttrs::decode(&data)
+    }
+
+    /// Fetches the entry set of directory `dir` through `conn`.
+    fn fetch_dir(&self, conn: &ReplicaConn, dir: FicusFileId) -> FsResult<FicusDir> {
+        let dv = self.by_id(conn, dir)?;
+        let data = self.slurp(conn, &dv, ";f;dir")?;
+        FicusDir::decode(&data)
+    }
+
+    /// Resolves the physical vnode of `file` through `conn`.
+    fn by_id(&self, conn: &ReplicaConn, file: FicusFileId) -> FsResult<VnodeRef> {
+        if file.is_root() {
+            return Ok(conn.root.clone());
+        }
+        conn.root
+            .lookup(&self.cred, &format!(";f;id;{}", file.hex()))
+    }
+
+    /// Selects the replica with the most recent copy of `file` that is
+    /// currently accessible (the default one-copy-availability read policy).
+    fn pick_read(&self, vol: VolumeName, file: FicusFileId) -> FsResult<(ReplicaConn, VersionVector)> {
+        self.stats.lock().selections += 1;
+        let mut best: Option<(ReplicaConn, VersionVector)> = None;
+        for conn in self.conns(vol)? {
+            let attrs = match self.fetch_attrs(&conn, file) {
+                Ok(a) => a,
+                Err(_) => continue, // unreachable or missing here
+            };
+            best = Some(match best {
+                None => (conn, attrs.vv),
+                Some((bc, bv)) => {
+                    if attrs.vv.covers(&bv) && attrs.vv != bv {
+                        (conn, attrs.vv)
+                    } else if bv.covers(&attrs.vv) {
+                        (bc, bv)
+                    } else {
+                        // Incomparable histories: deterministic tie-break on
+                        // history length, then replica id.
+                        let take_new = (attrs.vv.total(), conn.replica)
+                            > (bv.total(), bc.replica)
+                            && attrs.vv.total() > bv.total();
+                        if take_new {
+                            (conn, attrs.vv)
+                        } else {
+                            (bc, bv)
+                        }
+                    }
+                }
+            });
+        }
+        best.ok_or(FsError::NoReplica)
+    }
+
+    /// Selects a replica to apply an update at: the local one when present
+    /// and reachable, else the first reachable (one-copy availability).
+    fn pick_update(&self, vol: VolumeName) -> FsResult<ReplicaConn> {
+        let conns = self.conns(vol)?;
+        // Prefer the co-resident replica.
+        if let Some(local) = conns.iter().find(|c| c.host == self.host) {
+            return Ok(local.clone());
+        }
+        for conn in conns {
+            if conn.root.getattr(&self.cred).is_ok() {
+                return Ok(conn);
+            }
+        }
+        Err(FsError::NoReplica)
+    }
+
+    /// Multicasts an update notification to the other replicas' hosts.
+    fn notify(&self, vol: VolumeName, file: FicusFileId, origin: ReplicaId) {
+        let Ok(conns) = self.conns(vol) else {
+            return;
+        };
+        let note = UpdateNote {
+            volume: vol,
+            file,
+            origin,
+        }
+        .encode();
+        let hosts: Vec<HostId> = conns
+            .iter()
+            .filter(|c| c.replica != origin)
+            .map(|c| c.host)
+            .collect();
+        self.net.multicast(self.host, &hosts, NOTE_SERVICE, &note);
+        self.stats.lock().notifications += 1;
+    }
+
+    /// Per-logical-file lock (the layer's concurrency control).
+    ///
+    /// The table is soft state: entries nobody currently holds are shed
+    /// once the table grows past a bound, so a long-lived logical layer
+    /// does not accumulate a lock per file ever touched.
+    fn lock_for(&self, vol: VolumeName, file: FicusFileId) -> Arc<Mutex<()>> {
+        const LOCK_TABLE_BOUND: usize = 1024;
+        let mut locks = self.locks.lock();
+        if locks.len() > LOCK_TABLE_BOUND {
+            locks.retain(|_, l| Arc::strong_count(l) > 1);
+        }
+        Arc::clone(
+            locks
+                .entry((vol, file))
+                .or_insert_with(|| Arc::new(Mutex::new(()))),
+        )
+    }
+}
+
+/// A logical vnode: the single-copy abstraction over a replicated file.
+pub struct LogicalVnode {
+    sys: Arc<LogicalInner>,
+    vol: VolumeName,
+    file: FicusFileId,
+    kind: VnodeType,
+    /// Pinned read replica (revalidated on error).
+    pinned: Mutex<Option<ReplicaConn>>,
+}
+
+impl LogicalVnode {
+    /// The Ficus file id behind this logical file.
+    #[must_use]
+    pub fn ficus_id(&self) -> FicusFileId {
+        self.file
+    }
+
+    /// The volume this file lives in.
+    #[must_use]
+    pub fn volume(&self) -> VolumeName {
+        self.vol
+    }
+
+    fn child(&self, vol: VolumeName, file: FicusFileId, kind: VnodeType) -> VnodeRef {
+        Arc::new(LogicalVnode {
+            sys: Arc::clone(&self.sys),
+            vol,
+            file,
+            kind,
+            pinned: Mutex::new(None),
+        })
+    }
+
+    /// The pinned read connection, selecting one if necessary.
+    fn read_conn(&self) -> FsResult<ReplicaConn> {
+        if let Some(conn) = self.pinned.lock().clone() {
+            return Ok(conn);
+        }
+        let (conn, _) = self.sys.pick_read(self.vol, self.file)?;
+        *self.pinned.lock() = Some(conn.clone());
+        Ok(conn)
+    }
+
+    fn unpin(&self) {
+        *self.pinned.lock() = None;
+    }
+
+    /// Runs `op` against the pinned read replica, re-selecting once if the
+    /// pinned one became unreachable.
+    fn with_read<T>(&self, op: impl Fn(&ReplicaConn, &VnodeRef) -> FsResult<T>) -> FsResult<T> {
+        for attempt in 0..2 {
+            let conn = self.read_conn()?;
+            match self.sys.by_id(&conn, self.file) {
+                Ok(v) => match op(&conn, &v) {
+                    Err(FsError::Unreachable | FsError::TimedOut | FsError::Stale)
+                        if attempt == 0 =>
+                    {
+                        self.unpin();
+                        continue;
+                    }
+                    r => return r,
+                },
+                Err(FsError::Unreachable | FsError::TimedOut | FsError::Stale) if attempt == 0 => {
+                    self.unpin();
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(FsError::NoReplica)
+    }
+
+    /// Runs an update `op` against an update replica and sends the update
+    /// notification for `notify_file`.
+    fn with_update<T>(
+        &self,
+        notify_files: &[FicusFileId],
+        op: impl Fn(&ReplicaConn, &VnodeRef) -> FsResult<T>,
+    ) -> FsResult<T> {
+        let _file_lock_guard;
+        {
+            let l = self.sys.lock_for(self.vol, self.file);
+            _file_lock_guard = l;
+        }
+        let _guard = _file_lock_guard.lock();
+        let conn = self.sys.pick_update(self.vol)?;
+        let v = self.sys.by_id(&conn, self.file)?;
+        let out = op(&conn, &v)?;
+        for &f in notify_files {
+            self.sys.notify(self.vol, f, conn.replica);
+        }
+        // Pin reads to the replica that took the update: it is the most
+        // recent copy of this file by construction, and it gives the
+        // session read-your-writes even while other replicas lag.
+        *self.pinned.lock() = Some(conn);
+        Ok(out)
+    }
+
+    /// Resolves `name` to its entry in this logical directory.
+    fn entry_of(&self, name: &str) -> FsResult<(FicusFileId, VnodeType)> {
+        let conn = self.read_conn()?;
+        let d = self.sys.fetch_dir(&conn, self.file)?;
+        if let Some((base, rest)) = name.split_once("#e") {
+            if let Some((creator, seq)) = rest.split_once('.') {
+                if let (Ok(c), Ok(s)) = (creator.parse::<u32>(), seq.parse::<u64>()) {
+                    if let Some(e) = d
+                        .named(base)
+                        .into_iter()
+                        .find(|e| e.id == EntryId::new(c, s))
+                    {
+                        return Ok((e.file, e.kind));
+                    }
+                    return Err(FsError::NotFound);
+                }
+            }
+        }
+        d.primary(name)
+            .map(|e| (e.file, e.kind))
+            .ok_or(FsError::NotFound)
+    }
+
+    /// Autografts the volume a graft point names and returns its root.
+    fn autograft(&self, graft_file: FicusFileId) -> FsResult<VnodeRef> {
+        let conn = self.read_conn()?;
+        // Read the graft point's entries: target volume + replica list.
+        let gd = self.sys.fetch_dir(&conn, graft_file)?;
+        let mut target: Option<VolumeName> = None;
+        let mut locations: Vec<(ReplicaId, HostId)> = Vec::new();
+        for e in gd.live() {
+            if let Some(rest) = e.name.strip_prefix("target@v") {
+                if let Some((a, v)) = rest.split_once('.') {
+                    if let (Ok(a), Ok(v)) = (a.parse(), v.parse()) {
+                        target = Some(VolumeName::new(a, v));
+                    }
+                }
+            } else if let Some(rest) = e.name.strip_prefix('r') {
+                if let Some((r, h)) = rest.split_once("@h") {
+                    if let (Ok(r), Ok(h)) = (r.parse(), h.parse()) {
+                        locations.push((ReplicaId(r), HostId(h)));
+                    }
+                }
+            }
+        }
+        let target = target.ok_or(FsError::Io)?;
+        let already = self.sys.grafts.lock().contains(target);
+        if !already {
+            let conns = self.sys.graft(target, locations)?;
+            if conns.is_empty() {
+                // No replica of the target volume is reachable: remove the
+                // empty graft so a later attempt retries, and report.
+                self.sys.grafts.lock().remove(target);
+                return Err(FsError::NoReplica);
+            }
+            self.sys.stats.lock().autografts += 1;
+        }
+        Ok(self.child(target, ROOT_FILE, VnodeType::Directory))
+    }
+}
+
+impl Vnode for LogicalVnode {
+    fn kind(&self) -> VnodeType {
+        self.kind
+    }
+
+    fn fsid(&self) -> u64 {
+        // The logical name space spans volumes; expose the volume as fsid.
+        (u64::from(self.vol.allocator.0) << 32) | u64::from(self.vol.volume.0)
+    }
+
+    fn fileid(&self) -> u64 {
+        self.file.as_u64()
+    }
+
+    fn getattr(&self, cred: &Credentials) -> FsResult<VnodeAttr> {
+        self.with_read(|_, v| {
+            let mut a = v.getattr(cred)?;
+            a.fsid = self.fsid();
+            a.fileid = self.fileid();
+            Ok(a)
+        })
+    }
+
+    fn setattr(&self, cred: &Credentials, set: &SetAttr) -> FsResult<VnodeAttr> {
+        let set = *set;
+        self.with_update(&[self.file], move |_, v| v.setattr(cred, &set))?;
+        self.getattr(cred)
+    }
+
+    fn access(&self, cred: &Credentials, mode: AccessMode) -> FsResult<()> {
+        let attr = self.getattr(cred)?;
+        if cred.is_root() {
+            return Ok(());
+        }
+        let triple = if cred.uid == attr.uid {
+            (attr.mode >> 6) & 7
+        } else if cred.in_group(attr.gid) {
+            (attr.mode >> 3) & 7
+        } else {
+            attr.mode & 7
+        };
+        if mode.permitted_by(triple) {
+            Ok(())
+        } else {
+            Err(FsError::Access)
+        }
+    }
+
+    fn open(&self, _cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        // Tunnel the open through lookup so it survives NFS (§2.3).
+        self.with_read(|conn, _| {
+            conn.root.lookup(
+                &self.sys.cred,
+                &format!(";f;o;{};{}", flags.to_bits(), self.file.hex()),
+            )?;
+            Ok(())
+        })
+    }
+
+    fn close(&self, _cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        self.with_read(|conn, _| {
+            conn.root.lookup(
+                &self.sys.cred,
+                &format!(";f;c;{};{}", flags.to_bits(), self.file.hex()),
+            )?;
+            Ok(())
+        })
+    }
+
+    fn read(&self, cred: &Credentials, offset: u64, len: usize) -> FsResult<Bytes> {
+        self.with_read(|_, v| v.read(cred, offset, len))
+    }
+
+    fn write(&self, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.with_update(&[self.file], move |_, v| v.write(cred, offset, data))
+    }
+
+    fn fsync(&self, cred: &Credentials) -> FsResult<()> {
+        self.with_read(|_, v| v.fsync(cred))
+    }
+
+    fn lookup(&self, _cred: &Credentials, name: &str) -> FsResult<VnodeRef> {
+        if !self.kind.is_directory_like() {
+            return Err(FsError::NotDir);
+        }
+        let (file, kind) = self.entry_of(name)?;
+        if kind == VnodeType::GraftPoint {
+            // Transparent autograft: the caller lands in the target
+            // volume's root (§4.4).
+            return self.autograft(file);
+        }
+        Ok(self.child(self.vol, file, kind))
+    }
+
+    fn create(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        self.with_update(&[self.file], move |_, v| {
+            v.create(cred, name, mode)?;
+            Ok(())
+        })?;
+        let (file, kind) = self.entry_of(name)?;
+        Ok(self.child(self.vol, file, kind))
+    }
+
+    fn mkdir(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        self.with_update(&[self.file], move |_, v| {
+            v.mkdir(cred, name, mode)?;
+            Ok(())
+        })?;
+        let (file, kind) = self.entry_of(name)?;
+        Ok(self.child(self.vol, file, kind))
+    }
+
+    fn remove(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        self.with_update(&[self.file], move |_, v| v.remove(cred, name))
+    }
+
+    fn rmdir(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        self.with_update(&[self.file], move |_, v| v.rmdir(cred, name))
+    }
+
+    fn rename(&self, cred: &Credentials, from: &str, to_dir: &VnodeRef, to: &str) -> FsResult<()> {
+        let peer = to_dir
+            .as_any()
+            .downcast_ref::<LogicalVnode>()
+            .ok_or(FsError::Xdev)?;
+        if peer.vol != self.vol {
+            // "Directory references do not cross volume boundaries" (§4.1).
+            return Err(FsError::Xdev);
+        }
+        let peer_file = peer.file;
+        self.with_update(&[self.file, peer_file], move |conn, v| {
+            let target = self.sys.by_id(conn, peer_file)?;
+            v.rename(cred, from, &target, to)
+        })
+    }
+
+    fn link(&self, cred: &Credentials, target: &VnodeRef, name: &str) -> FsResult<()> {
+        let peer = target
+            .as_any()
+            .downcast_ref::<LogicalVnode>()
+            .ok_or(FsError::Xdev)?;
+        if peer.vol != self.vol {
+            return Err(FsError::Xdev);
+        }
+        let peer_file = peer.file;
+        self.with_update(&[self.file], move |conn, v| {
+            let t = self.sys.by_id(conn, peer_file)?;
+            v.link(cred, &t, name)
+        })
+    }
+
+    fn symlink(&self, cred: &Credentials, name: &str, target: &str) -> FsResult<VnodeRef> {
+        self.with_update(&[self.file], move |_, v| {
+            v.symlink(cred, name, target)?;
+            Ok(())
+        })?;
+        let (file, kind) = self.entry_of(name)?;
+        Ok(self.child(self.vol, file, kind))
+    }
+
+    fn readlink(&self, cred: &Credentials) -> FsResult<String> {
+        self.with_read(|_, v| v.readlink(cred))
+    }
+
+    fn readdir(&self, cred: &Credentials, cookie: u64, count: usize) -> FsResult<Vec<DirEntry>> {
+        self.with_read(|_, v| v.readdir(cred, cookie, count))
+    }
+
+    fn ioctl(&self, cred: &Credentials, cmd: u32, data: &[u8]) -> FsResult<Vec<u8>> {
+        // Forward down the stack, streams-style.
+        self.with_read(|_, v| v.ioctl(cred, cmd, data))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}

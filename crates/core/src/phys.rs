@@ -1,0 +1,1422 @@
+//! The Ficus physical layer (paper §2.6): file replicas over UFS.
+//!
+//! One [`FicusPhysical`] manages one *volume replica*: a container of file
+//! replicas stored entirely within a UFS (§4.1). The storage mapping is the
+//! paper's dual mapping:
+//!
+//! * a Ficus directory is a **UFS file** (`d`) whose content is the encoded
+//!   entry set of [`crate::dirfile::FicusDir`];
+//! * each object's replication attributes live in an **auxiliary UFS file**
+//!   (`a` for the directory itself, `<hex>.a` for children);
+//! * the Ficus file handle is encoded as a **hexadecimal string used as a
+//!   UFS pathname** (`<hex>` data file, `<hex>.d` child-directory subtree).
+//!
+//! Two layouts are provided, the ablation behind experiment E6:
+//!
+//! * [`StorageLayout::Tree`] — the paper's choice: "the on-disk file
+//!   organization closely parallels the logical Ficus name space topology,
+//!   which allows the existing UFS caching mechanisms to continue to exploit
+//!   the strong directory and file reference locality".
+//! * [`StorageLayout::Flat`] — everything in one UFS directory, the shape
+//!   the paper blames for the Andrew prototype's "unacceptable performance"
+//!   (\[19\]): the lower-level name mapping is incompatible with the locality
+//!   displayed at higher levels.
+//!
+//! The physical layer also implements the replication machinery that must
+//! live next to the data: version-vector maintenance on every update, the
+//! **shadow-file atomic commit** used by update propagation (§3.2), the
+//! **new-version cache** fed by update notifications, and crash recovery
+//! (discard shadows, keep originals).
+//!
+//! Everything the layer offers is also exported through the vnode interface
+//! (see [`vnode`]), including the overloaded-lookup control plane of §2.3,
+//! so a remote logical layer reaches it through NFS unmodified.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Mutex, ReentrantMutex, RwLock};
+
+use ficus_vnode::{
+    Credentials, FileSystem, FsError, FsResult, OpenFlags, SetAttr, TimeSource, Timestamp,
+    VnodeAttr, VnodeRef, VnodeType,
+};
+use ficus_vv::VersionVector;
+
+use crate::attrs::ReplAttrs;
+use crate::conflict::{ConflictKind, ConflictLog};
+use crate::dirfile::{FicusDir, FicusEntry, MergeOutcome};
+use crate::ids::{EntryId, FicusFileId, ReplicaId, VolumeName, ROOT_FILE};
+
+pub mod vnode;
+
+/// How file replicas map onto UFS names (the E6 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageLayout {
+    /// UFS directory tree parallels the Ficus name space (the paper's
+    /// design).
+    Tree,
+    /// Every object in one flat UFS directory (the Andrew-prototype shape
+    /// the paper contrasts against).
+    Flat,
+}
+
+/// Construction parameters.
+#[derive(Debug, Clone)]
+pub struct PhysParams {
+    /// Storage layout.
+    pub layout: StorageLayout,
+    /// fsid reported by the exported vnode stack.
+    pub fsid: u64,
+}
+
+impl Default for PhysParams {
+    fn default() -> Self {
+        PhysParams {
+            layout: StorageLayout::Tree,
+            fsid: 0x1C05,
+        }
+    }
+}
+
+/// One queued update notification (§3.2's new version cache).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NvcEntry {
+    /// Replica that holds the newer version.
+    pub origin: ReplicaId,
+    /// The version vector advertised in the notification.
+    pub vv: VersionVector,
+    /// When the notification arrived (drives delayed-propagation policy).
+    pub noted_at: Timestamp,
+}
+
+/// Where an object's storage lives.
+#[derive(Clone)]
+struct Loc {
+    /// UFS directory containing the object's data/aux names.
+    parent_ufs: VnodeRef,
+    /// For directories: the UFS directory scoping the child subtree
+    /// (tree layout), or the flat base.
+    own_ufs: Option<VnodeRef>,
+}
+
+/// The physical layer for one volume replica.
+pub struct FicusPhysical {
+    vol: VolumeName,
+    me: ReplicaId,
+    all_replicas: RwLock<BTreeSet<u32>>,
+    storage: Arc<dyn FileSystem>,
+    base: VnodeRef,
+    layout: StorageLayout,
+    clock: Arc<dyn TimeSource>,
+    fsid: u64,
+    cred: Credentials,
+    big: ReentrantMutex<()>,
+    index: Mutex<HashMap<FicusFileId, Loc>>,
+    nvc: Mutex<HashMap<FicusFileId, NvcEntry>>,
+    conflicts: ConflictLog,
+    seq: AtomicU64,
+    seq_reserved: AtomicU64,
+    opens: Mutex<Vec<(FicusFileId, OpenFlags, bool)>>,
+}
+
+/// Name of the directory-content file inside a directory's UFS dir.
+const DIR_FILE: &str = "d";
+/// Name of a directory's own auxiliary attributes file.
+const DIR_AUX: &str = "a";
+/// Suffix of an object's auxiliary attributes file.
+const AUX_SUFFIX: &str = ".a";
+/// Suffix of a child-directory UFS subtree (tree layout).
+const SUBDIR_SUFFIX: &str = ".d";
+/// Suffix of a shadow file (transient; discarded at recovery).
+const SHADOW_SUFFIX: &str = ".s";
+/// Name of the sequence-reservation meta file at the volume root.
+const META_FILE: &str = "meta";
+/// Orphanage for conflict copies and remove/update preserves.
+const ORPHANAGE: &str = "lost+found";
+/// Allocation batch persisted ahead of use.
+const SEQ_BATCH: u64 = 64;
+
+impl FicusPhysical {
+    /// Creates a brand-new volume replica inside `base_name` under the root
+    /// of `storage`.
+    pub fn create_volume(
+        storage: Arc<dyn FileSystem>,
+        base_name: &str,
+        vol: VolumeName,
+        me: ReplicaId,
+        all_replicas: &[u32],
+        clock: Arc<dyn TimeSource>,
+        params: PhysParams,
+    ) -> FsResult<Arc<Self>> {
+        let cred = Credentials::root();
+        let root = storage.root();
+        let base = root.mkdir(&cred, base_name, 0o755)?;
+        base.mkdir(&cred, ORPHANAGE, 0o755)?;
+        let phys = Self::assemble(storage, base, vol, me, all_replicas, clock, params);
+        // The volume root directory: empty entry set + fresh attributes
+        // ("each volume replica must store a replica of the root node").
+        let mut attrs = ReplAttrs::new(VnodeType::Directory);
+        attrs.vv.increment(me.0);
+        let scope = phys.base.clone();
+        phys.write_named(&scope, DIR_FILE, &FicusDir::new().encode())?;
+        phys.write_named(&scope, DIR_AUX, &attrs.encode())?;
+        phys.persist_seq(SEQ_BATCH)?;
+        Ok(phys)
+    }
+
+    /// Mounts an existing volume replica: rebuilds the location index,
+    /// restores the id counter, and runs crash recovery (shadows are
+    /// discarded so "the original replica is retained", §3.2).
+    pub fn mount(
+        storage: Arc<dyn FileSystem>,
+        base_name: &str,
+        vol: VolumeName,
+        me: ReplicaId,
+        all_replicas: &[u32],
+        clock: Arc<dyn TimeSource>,
+        params: PhysParams,
+    ) -> FsResult<Arc<Self>> {
+        let cred = Credentials::root();
+        let base = storage.root().lookup(&cred, base_name)?;
+        let phys = Self::assemble(storage, base, vol, me, all_replicas, clock, params);
+        phys.recover()?;
+        Ok(phys)
+    }
+
+    fn assemble(
+        storage: Arc<dyn FileSystem>,
+        base: VnodeRef,
+        vol: VolumeName,
+        me: ReplicaId,
+        all_replicas: &[u32],
+        clock: Arc<dyn TimeSource>,
+        params: PhysParams,
+    ) -> Arc<Self> {
+        Arc::new(FicusPhysical {
+            vol,
+            me,
+            all_replicas: RwLock::new(all_replicas.iter().copied().collect()),
+            storage,
+            base,
+            layout: params.layout,
+            clock,
+            fsid: params.fsid,
+            cred: Credentials::root(),
+            big: ReentrantMutex::new(()),
+            index: Mutex::new(HashMap::new()),
+            nvc: Mutex::new(HashMap::new()),
+            conflicts: ConflictLog::new(),
+            seq: AtomicU64::new(1),
+            seq_reserved: AtomicU64::new(0),
+            opens: Mutex::new(Vec::new()),
+        })
+    }
+
+    // --- identity --------------------------------------------------------
+
+    /// The volume this replica belongs to.
+    #[must_use]
+    pub fn volume(&self) -> VolumeName {
+        self.vol
+    }
+
+    /// This replica's id.
+    #[must_use]
+    pub fn replica(&self) -> ReplicaId {
+        self.me
+    }
+
+    /// All replica ids of the volume (a snapshot; the set is extensible,
+    /// §3.1: "the number and placement of file replicas is effectively
+    /// unbounded").
+    #[must_use]
+    pub fn all_replicas(&self) -> BTreeSet<u32> {
+        self.all_replicas.read().clone()
+    }
+
+    /// Records that a new replica has joined the volume.
+    ///
+    /// Growing the set only makes tombstone garbage collection *stricter*
+    /// (purging now also waits for the newcomer's knowledge row), so
+    /// replicas may learn of the extension at different times without
+    /// risking resurrection: an entry purged under the old set had its
+    /// deletion processed by every replica the newcomer can copy from.
+    pub fn extend_replica_set(&self, replica: ReplicaId) {
+        self.all_replicas.write().insert(replica.0);
+    }
+
+    /// Records that a replica has left the volume.
+    ///
+    /// Shrinking the set relaxes tombstone garbage collection (the departed
+    /// replica's knowledge row is no longer awaited). The caller is
+    /// responsible for reconciling the departing replica first — updates
+    /// only it held would otherwise be lost, which is the §3.1 rule that
+    /// placement changes happen "whenever a file replica is available".
+    pub fn shrink_replica_set(&self, replica: ReplicaId) {
+        self.all_replicas.write().remove(&replica.0);
+    }
+
+    /// Removes a `(replica, host)` pair from a graft point (the departing
+    /// replica's location entry is tombstoned like any directory entry and
+    /// reconciles away everywhere).
+    pub fn graft_remove_replica(
+        &self,
+        graft: FicusFileId,
+        replica: ReplicaId,
+        host: u32,
+    ) -> FsResult<()> {
+        let name = format!("r{}@h{}", replica.0, host);
+        match self.remove(graft, &name) {
+            Ok(()) | Err(FsError::NotFound) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The conflict log.
+    #[must_use]
+    pub fn conflicts(&self) -> &ConflictLog {
+        &self.conflicts
+    }
+
+    /// The storage (UFS) this replica lives on.
+    #[must_use]
+    pub fn storage(&self) -> &Arc<dyn FileSystem> {
+        &self.storage
+    }
+
+    /// Exported fsid.
+    #[must_use]
+    pub fn fsid(&self) -> u64 {
+        self.fsid
+    }
+
+    /// The time source this replica (and its daemons) run on.
+    #[must_use]
+    pub fn clock(&self) -> &Arc<dyn TimeSource> {
+        &self.clock
+    }
+
+    /// Open/close notifications observed (most recent last). Tests and E9
+    /// read this to prove the overloaded-lookup tunnel works.
+    #[must_use]
+    pub fn observed_opens(&self) -> Vec<(FicusFileId, OpenFlags, bool)> {
+        self.opens.lock().clone()
+    }
+
+    // --- id allocation ----------------------------------------------------
+
+    fn next_unique(&self) -> FsResult<u64> {
+        let v = self.seq.fetch_add(1, AtomicOrdering::Relaxed);
+        if v + 1 >= self.seq_reserved.load(AtomicOrdering::Relaxed) {
+            self.persist_seq(v + 1 + SEQ_BATCH)?;
+        }
+        Ok(v)
+    }
+
+    fn persist_seq(&self, upto: u64) -> FsResult<()> {
+        let meta = match self.base.lookup(&self.cred, META_FILE) {
+            Ok(v) => v,
+            Err(FsError::NotFound) => self.base.create(&self.cred, META_FILE, 0o600)?,
+            Err(e) => return Err(e),
+        };
+        meta.write(&self.cred, 0, &upto.to_le_bytes())?;
+        meta.fsync(&self.cred)?;
+        self.seq_reserved.store(upto, AtomicOrdering::Relaxed);
+        Ok(())
+    }
+
+    fn load_seq(&self) -> FsResult<()> {
+        match self.base.lookup(&self.cred, META_FILE) {
+            Ok(meta) => {
+                let data = meta.read(&self.cred, 0, 8)?;
+                if data.len() == 8 {
+                    let v = u64::from_le_bytes(data[..].try_into().expect("8 bytes"));
+                    self.seq.store(v, AtomicOrdering::Relaxed);
+                    self.seq_reserved.store(v, AtomicOrdering::Relaxed);
+                }
+                Ok(())
+            }
+            Err(FsError::NotFound) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    // --- storage primitives -----------------------------------------------
+
+    /// Location of `file` (the root is implicit).
+    fn loc_of(&self, file: FicusFileId) -> FsResult<Loc> {
+        if file.is_root() {
+            return Ok(Loc {
+                parent_ufs: self.base.clone(),
+                own_ufs: Some(self.base.clone()),
+            });
+        }
+        self.index
+            .lock()
+            .get(&file)
+            .cloned()
+            .ok_or(FsError::NotFound)
+    }
+
+    /// `(scope, content name, aux name)` for a directory-like object.
+    fn dir_names(&self, dir: FicusFileId, loc: &Loc) -> FsResult<(VnodeRef, String, String)> {
+        match self.layout {
+            StorageLayout::Tree => {
+                let own = loc.own_ufs.clone().ok_or(FsError::NotDir)?;
+                Ok((own, DIR_FILE.to_owned(), DIR_AUX.to_owned()))
+            }
+            StorageLayout::Flat => {
+                if loc.own_ufs.is_none() {
+                    return Err(FsError::NotDir);
+                }
+                if dir.is_root() {
+                    Ok((self.base.clone(), DIR_FILE.to_owned(), DIR_AUX.to_owned()))
+                } else {
+                    Ok((
+                        self.base.clone(),
+                        format!("{}.dir", dir.hex()),
+                        format!("{}{}", dir.hex(), AUX_SUFFIX),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn read_whole(&self, dir: &VnodeRef, name: &str) -> FsResult<Vec<u8>> {
+        let v = dir.lookup(&self.cred, name)?;
+        let size = v.getattr(&self.cred)?.size as usize;
+        Ok(v.read(&self.cred, 0, size)?.to_vec())
+    }
+
+    /// Rewrites a whole UFS file (create if missing), fsyncing it.
+    ///
+    /// Overwrites in place and trims the tail rather than truncating to
+    /// zero first: truncate-then-rewrite would free and re-allocate every
+    /// block (two synchronous bitmap writes per block), which matters for
+    /// the auxiliary files rewritten on every version-vector bump.
+    fn write_named(&self, dir: &VnodeRef, name: &str, data: &[u8]) -> FsResult<VnodeRef> {
+        let v = match dir.lookup(&self.cred, name) {
+            Ok(v) => v,
+            Err(FsError::NotFound) => dir.create(&self.cred, name, 0o600)?,
+            Err(e) => return Err(e),
+        };
+        if !data.is_empty() {
+            v.write(&self.cred, 0, data)?;
+        }
+        v.setattr(&self.cred, &SetAttr::size(data.len() as u64))?;
+        v.fsync(&self.cred)?;
+        Ok(v)
+    }
+
+    // --- directory content ------------------------------------------------
+
+    /// Loads a directory's entry set.
+    pub fn dir_entries(&self, dir: FicusFileId) -> FsResult<FicusDir> {
+        let _g = self.big.lock();
+        let loc = self.loc_of(dir)?;
+        let (scope, content, _) = self.dir_names(dir, &loc)?;
+        FicusDir::decode(&self.read_whole(&scope, &content)?)
+    }
+
+    fn store_dir_entries(&self, dir: FicusFileId, d: &FicusDir) -> FsResult<()> {
+        let loc = self.loc_of(dir)?;
+        let (scope, content, _) = self.dir_names(dir, &loc)?;
+        self.write_named(&scope, &content, &d.encode())?;
+        Ok(())
+    }
+
+    // --- attributes ----------------------------------------------------------
+
+    /// Reads the replication attributes of `file`.
+    pub fn repl_attrs(&self, file: FicusFileId) -> FsResult<ReplAttrs> {
+        let _g = self.big.lock();
+        let loc = self.loc_of(file)?;
+        let (scope, name) = self.aux_of(file, &loc)?;
+        ReplAttrs::decode(&self.read_whole(&scope, &name)?)
+    }
+
+    fn aux_of(&self, file: FicusFileId, loc: &Loc) -> FsResult<(VnodeRef, String)> {
+        if loc.own_ufs.is_some() {
+            let (scope, _, aux) = self.dir_names(file, loc)?;
+            Ok((scope, aux))
+        } else {
+            Ok((
+                loc.parent_ufs.clone(),
+                format!("{}{}", file.hex(), AUX_SUFFIX),
+            ))
+        }
+    }
+
+    fn write_repl_attrs(&self, file: FicusFileId, attrs: &ReplAttrs) -> FsResult<()> {
+        let loc = self.loc_of(file)?;
+        let (scope, name) = self.aux_of(file, &loc)?;
+        self.write_named(&scope, &name, &attrs.encode())?;
+        Ok(())
+    }
+
+    /// The version vector of `file`.
+    pub fn file_vv(&self, file: FicusFileId) -> FsResult<VersionVector> {
+        Ok(self.repl_attrs(file)?.vv)
+    }
+
+    /// Bumps the local component of `file`'s vector (one update originated
+    /// here), returning the new vector.
+    fn bump_vv(&self, file: FicusFileId) -> FsResult<VersionVector> {
+        let mut attrs = self.repl_attrs(file)?;
+        attrs.vv.increment(self.me.0);
+        self.write_repl_attrs(file, &attrs)?;
+        Ok(attrs.vv)
+    }
+
+    // --- lookup / create / remove / rename / link -----------------------------
+
+    /// Resolves `name` in `dir` to its primary live entry.
+    pub fn lookup(&self, dir: FicusFileId, name: &str) -> FsResult<FicusEntry> {
+        let _g = self.big.lock();
+        let d = self.dir_entries(dir)?;
+        // Disambiguated conflict names resolve to their specific entry.
+        if let Some((base, rest)) = name.split_once("#e") {
+            if let Some((creator, seq)) = rest.split_once('.') {
+                if let (Ok(c), Ok(s)) = (creator.parse::<u32>(), seq.parse::<u64>()) {
+                    return d
+                        .named(base)
+                        .into_iter()
+                        .find(|e| e.id == EntryId::new(c, s))
+                        .cloned()
+                        .ok_or(FsError::NotFound);
+                }
+            }
+        }
+        d.primary(name).cloned().ok_or(FsError::NotFound)
+    }
+
+    /// Creates a regular file or symlink named `name` in `dir`.
+    pub fn create(&self, dir: FicusFileId, name: &str, kind: VnodeType) -> FsResult<FicusFileId> {
+        let _g = self.big.lock();
+        if kind.is_directory_like() {
+            return Err(FsError::Invalid);
+        }
+        ficus_ufs::dir::check_name(name)?;
+        let mut d = self.dir_entries(dir)?;
+        if d.primary(name).is_some() {
+            return Err(FsError::Exists);
+        }
+        let loc = self.loc_of(dir)?;
+        let scope = match self.layout {
+            StorageLayout::Tree => loc.own_ufs.clone().ok_or(FsError::NotDir)?,
+            StorageLayout::Flat => self.base.clone(),
+        };
+        let file = FicusFileId::new(self.me.0, self.next_unique()?);
+        let entry_id = EntryId::new(self.me.0, self.next_unique()?);
+        scope.create(&self.cred, &file.hex(), 0o644)?;
+        let mut attrs = ReplAttrs::new(kind);
+        attrs.vv.increment(self.me.0);
+        self.write_named(&scope, &format!("{}{}", file.hex(), AUX_SUFFIX), &attrs.encode())?;
+        self.index.lock().insert(
+            file,
+            Loc {
+                parent_ufs: scope,
+                own_ufs: None,
+            },
+        );
+        d.insert(FicusEntry::live(name, file, kind, entry_id), self.me)?;
+        self.store_dir_entries(dir, &d)?;
+        self.bump_vv(dir)?;
+        Ok(file)
+    }
+
+    /// Creates a directory named `name` in `dir`.
+    pub fn mkdir(&self, dir: FicusFileId, name: &str) -> FsResult<FicusFileId> {
+        self.make_dir_like(dir, name, VnodeType::Directory)
+    }
+
+    /// Creates a graft point named `name` in `dir` (§4.3).
+    ///
+    /// "The particular volume to be grafted onto a graft point is fixed when
+    /// the graft point is created" — the target is recorded as a special
+    /// entry inside the graft point, so it replicates and reconciles with
+    /// the rest of the graft table. Populate the replica list with
+    /// [`FicusPhysical::graft_add_replica`].
+    pub fn make_graft_point(
+        &self,
+        dir: FicusFileId,
+        name: &str,
+        target: VolumeName,
+    ) -> FsResult<FicusFileId> {
+        let graft = self.make_dir_like(dir, name, VnodeType::GraftPoint)?;
+        let _g = self.big.lock();
+        let mut d = self.dir_entries(graft)?;
+        let id = EntryId::new(self.me.0, self.next_unique()?);
+        // The entry's file id is a freshly minted placeholder (these special
+        // entries never carry storage); the information lives in the name.
+        let placeholder = FicusFileId::new(self.me.0, self.next_unique()?);
+        d.insert(
+            FicusEntry::live(
+                &format!("target@v{}.{}", target.allocator.0, target.volume.0),
+                placeholder,
+                VnodeType::Regular,
+                id,
+            ),
+            self.me,
+        )?;
+        self.store_dir_entries(graft, &d)?;
+        self.bump_vv(graft)?;
+        Ok(graft)
+    }
+
+    /// Reads the target volume recorded in a graft point.
+    pub fn graft_target(&self, graft: FicusFileId) -> FsResult<VolumeName> {
+        let _g = self.big.lock();
+        let d = self.dir_entries(graft)?;
+        for e in d.live() {
+            if let Some(rest) = e.name.strip_prefix("target@v") {
+                if let Some((a, v)) = rest.split_once('.') {
+                    if let (Ok(a), Ok(v)) = (a.parse(), v.parse()) {
+                        return Ok(VolumeName::new(a, v));
+                    }
+                }
+            }
+        }
+        Err(FsError::NotFound)
+    }
+
+    fn make_dir_like(&self, dir: FicusFileId, name: &str, kind: VnodeType) -> FsResult<FicusFileId> {
+        let _g = self.big.lock();
+        ficus_ufs::dir::check_name(name)?;
+        let mut d = self.dir_entries(dir)?;
+        if d.primary(name).is_some() {
+            return Err(FsError::Exists);
+        }
+        let file = FicusFileId::new(self.me.0, self.next_unique()?);
+        let entry_id = EntryId::new(self.me.0, self.next_unique()?);
+        let mut attrs = ReplAttrs::new(kind);
+        attrs.vv.increment(self.me.0);
+        self.materialize_dir(dir, file, &attrs)?;
+        d.insert(FicusEntry::live(name, file, kind, entry_id), self.me)?;
+        self.store_dir_entries(dir, &d)?;
+        self.bump_vv(dir)?;
+        Ok(file)
+    }
+
+    /// Creates the storage of a new (empty) directory-like object.
+    fn materialize_dir(
+        &self,
+        parent: FicusFileId,
+        file: FicusFileId,
+        attrs: &ReplAttrs,
+    ) -> FsResult<()> {
+        let parent_loc = self.loc_of(parent)?;
+        match self.layout {
+            StorageLayout::Tree => {
+                let parent_own = parent_loc.own_ufs.clone().ok_or(FsError::NotDir)?;
+                let own = parent_own.mkdir(
+                    &self.cred,
+                    &format!("{}{}", file.hex(), SUBDIR_SUFFIX),
+                    0o755,
+                )?;
+                self.write_named(&own, DIR_FILE, &FicusDir::new().encode())?;
+                self.write_named(&own, DIR_AUX, &attrs.encode())?;
+                self.index.lock().insert(
+                    file,
+                    Loc {
+                        parent_ufs: parent_own,
+                        own_ufs: Some(own),
+                    },
+                );
+            }
+            StorageLayout::Flat => {
+                self.write_named(&self.base, &format!("{}.dir", file.hex()), &FicusDir::new().encode())?;
+                self.write_named(
+                    &self.base,
+                    &format!("{}{}", file.hex(), AUX_SUFFIX),
+                    &attrs.encode(),
+                )?;
+                self.index.lock().insert(
+                    file,
+                    Loc {
+                        parent_ufs: self.base.clone(),
+                        own_ufs: Some(self.base.clone()),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes the name `name` from `dir` (tombstones the entry). The last
+    /// live reference garbage-collects storage; directories must be empty.
+    pub fn remove(&self, dir: FicusFileId, name: &str) -> FsResult<()> {
+        let _g = self.big.lock();
+        let d = self.dir_entries(dir)?;
+        let entry = d.primary(name).cloned().ok_or(FsError::NotFound)?;
+        if entry.kind.is_directory_like() {
+            let child = self.dir_entries(entry.file)?;
+            if child.live().count() > 0 {
+                return Err(FsError::NotEmpty);
+            }
+        }
+        self.remove_entry(dir, entry)
+    }
+
+    fn remove_entry(&self, dir: FicusFileId, entry: FicusEntry) -> FsResult<()> {
+        let file_vv = self.file_vv(entry.file).unwrap_or_default();
+        let mut d = self.dir_entries(dir)?;
+        let death = EntryId::new(self.me.0, self.next_unique()?);
+        d.tombstone(entry.id, &file_vv, death, self.me)?;
+        self.store_dir_entries(dir, &d)?;
+        self.bump_vv(dir)?;
+        if !self.has_live_reference(entry.file)? {
+            self.gc_file_storage(entry.file, entry.kind)?;
+        }
+        Ok(())
+    }
+
+    /// Renames within the volume: tombstone the old entry, insert a fresh
+    /// one for the same file id (possibly in another directory).
+    pub fn rename(
+        &self,
+        from_dir: FicusFileId,
+        from_name: &str,
+        to_dir: FicusFileId,
+        to_name: &str,
+    ) -> FsResult<()> {
+        let _g = self.big.lock();
+        ficus_ufs::dir::check_name(to_name)?;
+        let src = self.dir_entries(from_dir)?;
+        let entry = src.primary(from_name).cloned().ok_or(FsError::NotFound)?;
+        if from_dir == to_dir && from_name == to_name {
+            return Ok(());
+        }
+        if entry.kind.is_directory_like() && self.is_descendant(entry.file, to_dir)? {
+            return Err(FsError::Invalid);
+        }
+        let dst = self.dir_entries(to_dir)?;
+        if let Some(existing) = dst.primary(to_name).cloned() {
+            if existing.file == entry.file {
+                return self.remove_entry(from_dir, entry);
+            }
+            if existing.kind.is_directory_like() != entry.kind.is_directory_like() {
+                return Err(if existing.kind.is_directory_like() {
+                    FsError::IsDir
+                } else {
+                    FsError::NotDir
+                });
+            }
+            self.remove(to_dir, to_name)?;
+        }
+        let file_vv = self.file_vv(entry.file).unwrap_or_default();
+        let mut src = self.dir_entries(from_dir)?;
+        let death = EntryId::new(self.me.0, self.next_unique()?);
+        src.tombstone(entry.id, &file_vv, death, self.me)?;
+        self.store_dir_entries(from_dir, &src)?;
+        self.bump_vv(from_dir)?;
+
+        let mut dst = self.dir_entries(to_dir)?;
+        let new_id = EntryId::new(self.me.0, self.next_unique()?);
+        dst.insert(FicusEntry::live(to_name, entry.file, entry.kind, new_id), self.me)?;
+        self.store_dir_entries(to_dir, &dst)?;
+        self.bump_vv(to_dir)?;
+        Ok(())
+    }
+
+    /// Adds a hard link `name` in `dir` to an existing file.
+    ///
+    /// Unlike Unix, Ficus permits extra names for directories too — that is
+    /// how partitioned renames end up after reconciliation ("Ficus
+    /// directories may have more than one name", §2.5) — but a link that
+    /// would make a directory its own ancestor is refused.
+    pub fn link(&self, dir: FicusFileId, name: &str, file: FicusFileId) -> FsResult<()> {
+        let _g = self.big.lock();
+        ficus_ufs::dir::check_name(name)?;
+        let attrs = self.repl_attrs(file)?;
+        if attrs.kind.is_directory_like() && self.is_descendant(file, dir)? {
+            return Err(FsError::Invalid);
+        }
+        let mut d = self.dir_entries(dir)?;
+        if d.primary(name).is_some() {
+            return Err(FsError::Exists);
+        }
+        let id = EntryId::new(self.me.0, self.next_unique()?);
+        d.insert(FicusEntry::live(name, file, attrs.kind, id), self.me)?;
+        self.store_dir_entries(dir, &d)?;
+        self.bump_vv(dir)?;
+        Ok(())
+    }
+
+    /// True when any directory in this replica still has a live entry for
+    /// `file`.
+    fn has_live_reference(&self, file: FicusFileId) -> FsResult<bool> {
+        if self.dir_entries(ROOT_FILE)?.references(file) {
+            return Ok(true);
+        }
+        let dirs: Vec<FicusFileId> = self
+            .index
+            .lock()
+            .iter()
+            .filter(|(_, loc)| loc.own_ufs.is_some())
+            .map(|(&id, _)| id)
+            .collect();
+        for d in dirs {
+            match self.dir_entries(d) {
+                Ok(entries) if entries.references(file) => return Ok(true),
+                Ok(_) | Err(FsError::NotFound) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(false)
+    }
+
+    /// Whether directory `maybe_inside` equals or lies under `root`.
+    fn is_descendant(&self, root: FicusFileId, maybe_inside: FicusFileId) -> FsResult<bool> {
+        if root == maybe_inside {
+            return Ok(true);
+        }
+        let mut stack = vec![root];
+        let mut seen = BTreeSet::new();
+        while let Some(d) = stack.pop() {
+            if !seen.insert(d) {
+                continue;
+            }
+            let entries = match self.dir_entries(d) {
+                Ok(e) => e,
+                Err(FsError::NotFound) => continue,
+                Err(e) => return Err(e),
+            };
+            for e in entries.live() {
+                if e.kind.is_directory_like() {
+                    if e.file == maybe_inside {
+                        return Ok(true);
+                    }
+                    stack.push(e.file);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Deletes the storage (data + aux) of an unreferenced file.
+    fn gc_file_storage(&self, file: FicusFileId, kind: VnodeType) -> FsResult<()> {
+        let Ok(loc) = self.loc_of(file) else {
+            return Ok(()); // never materialized here
+        };
+        if kind.is_directory_like() {
+            match self.layout {
+                StorageLayout::Tree => {
+                    let name = format!("{}{}", file.hex(), SUBDIR_SUFFIX);
+                    if let Ok(own) = loc.parent_ufs.lookup(&self.cred, &name) {
+                        let _ = own.remove(&self.cred, DIR_FILE);
+                        let _ = own.remove(&self.cred, DIR_AUX);
+                        let _ = loc.parent_ufs.rmdir(&self.cred, &name);
+                    }
+                }
+                StorageLayout::Flat => {
+                    let _ = self.base.remove(&self.cred, &format!("{}.dir", file.hex()));
+                    let _ = self
+                        .base
+                        .remove(&self.cred, &format!("{}{}", file.hex(), AUX_SUFFIX));
+                }
+            }
+        } else {
+            let _ = loc.parent_ufs.remove(&self.cred, &file.hex());
+            let _ = loc
+                .parent_ufs
+                .remove(&self.cred, &format!("{}{}", file.hex(), AUX_SUFFIX));
+        }
+        self.index.lock().remove(&file);
+        Ok(())
+    }
+
+    // --- file data --------------------------------------------------------------
+
+    fn data_vnode(&self, file: FicusFileId) -> FsResult<VnodeRef> {
+        let loc = self.loc_of(file)?;
+        if loc.own_ufs.is_some() {
+            return Err(FsError::IsDir);
+        }
+        loc.parent_ufs.lookup(&self.cred, &file.hex())
+    }
+
+    /// Reads file data.
+    pub fn read(&self, file: FicusFileId, offset: u64, len: usize) -> FsResult<Bytes> {
+        let _g = self.big.lock();
+        self.data_vnode(file)?.read(&self.cred, offset, len)
+    }
+
+    /// Writes file data, bumping the version vector (one update originated
+    /// at this replica).
+    pub fn write(&self, file: FicusFileId, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let _g = self.big.lock();
+        let n = self.data_vnode(file)?.write(&self.cred, offset, data)?;
+        self.bump_vv(file)?;
+        Ok(n)
+    }
+
+    /// Truncates file data, bumping the version vector.
+    pub fn truncate(&self, file: FicusFileId, size: u64) -> FsResult<()> {
+        let _g = self.big.lock();
+        self.data_vnode(file)?
+            .setattr(&self.cred, &SetAttr::size(size))?;
+        self.bump_vv(file)?;
+        Ok(())
+    }
+
+    /// UFS-level attributes of the object's storage (size, times).
+    pub fn storage_attr(&self, file: FicusFileId) -> FsResult<VnodeAttr> {
+        let _g = self.big.lock();
+        let loc = self.loc_of(file)?;
+        if loc.own_ufs.is_some() {
+            let (scope, content, _) = self.dir_names(file, &loc)?;
+            scope.lookup(&self.cred, &content)?.getattr(&self.cred)
+        } else {
+            self.data_vnode(file)?.getattr(&self.cred)
+        }
+    }
+
+    /// Records an open notification (delivered through the overloaded
+    /// lookup tunnel when NFS sits above this layer, §2.3).
+    pub fn note_open(&self, file: FicusFileId, flags: OpenFlags) {
+        self.opens.lock().push((file, flags, true));
+    }
+
+    /// Records a close notification.
+    pub fn note_close(&self, file: FicusFileId, flags: OpenFlags) {
+        self.opens.lock().push((file, flags, false));
+    }
+
+    // --- shadow commit and remote versions ----------------------------------------
+
+    /// Atomically replaces `file`'s contents with `data`, adopting
+    /// `new_vv`, via the single-file atomic commit service of §3.2.
+    ///
+    /// Sequence: write the shadow, force it to disk, atomically swap the
+    /// low-level directory reference (UFS rename), then persist the merged
+    /// attributes. A crash before the swap leaves the original intact (the
+    /// shadow is discarded during recovery); a crash between swap and
+    /// attribute write leaves the data newer than its recorded vector, which
+    /// a later propagation pass simply repeats.
+    pub fn apply_remote_version(
+        &self,
+        file: FicusFileId,
+        new_vv: &VersionVector,
+        data: &[u8],
+    ) -> FsResult<()> {
+        let _g = self.big.lock();
+        let mut attrs = self.repl_attrs(file)?;
+        if attrs.vv.covers(new_vv) {
+            return Ok(()); // nothing newer here
+        }
+        if attrs.vv.concurrent_with(new_vv) {
+            return Err(FsError::Conflict);
+        }
+        let loc = self.loc_of(file)?;
+        if loc.own_ufs.is_some() {
+            return Err(FsError::IsDir);
+        }
+        let shadow_name = format!("{}{}", file.hex(), SHADOW_SUFFIX);
+        self.write_named(&loc.parent_ufs, &shadow_name, data)?;
+        // The atomic point: one low-level directory reference changes.
+        let peer = loc.parent_ufs.clone();
+        loc.parent_ufs
+            .rename(&self.cred, &shadow_name, &peer, &file.hex())?;
+        attrs.vv.merge(new_vv);
+        self.write_repl_attrs(file, &attrs)?;
+        Ok(())
+    }
+
+    /// Creates local storage for a regular file first seen via
+    /// reconciliation (its entry arrived from a remote replica before any
+    /// local data existed).
+    pub fn adopt_file(
+        &self,
+        parent_dir: FicusFileId,
+        file: FicusFileId,
+        kind: VnodeType,
+        vv: &VersionVector,
+        data: &[u8],
+    ) -> FsResult<()> {
+        let _g = self.big.lock();
+        if self.loc_of(file).is_ok() {
+            return self.apply_remote_version(file, vv, data);
+        }
+        if kind.is_directory_like() {
+            return Err(FsError::Invalid);
+        }
+        let parent_loc = self.loc_of(parent_dir)?;
+        let scope = match self.layout {
+            StorageLayout::Tree => parent_loc.own_ufs.clone().ok_or(FsError::NotDir)?,
+            StorageLayout::Flat => self.base.clone(),
+        };
+        self.write_named(&scope, &file.hex(), data)?;
+        let attrs = ReplAttrs {
+            kind,
+            vv: vv.clone(),
+            conflict: false,
+        };
+        self.write_named(&scope, &format!("{}{}", file.hex(), AUX_SUFFIX), &attrs.encode())?;
+        self.index.lock().insert(
+            file,
+            Loc {
+                parent_ufs: scope,
+                own_ufs: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Creates local storage for a directory-like object first seen via
+    /// reconciliation.
+    pub fn adopt_dir(
+        &self,
+        parent_dir: FicusFileId,
+        file: FicusFileId,
+        kind: VnodeType,
+        vv: &VersionVector,
+    ) -> FsResult<()> {
+        let _g = self.big.lock();
+        if self.loc_of(file).is_ok() {
+            return Ok(());
+        }
+        if !kind.is_directory_like() {
+            return Err(FsError::Invalid);
+        }
+        let attrs = ReplAttrs {
+            kind,
+            vv: vv.clone(),
+            conflict: false,
+        };
+        self.materialize_dir(parent_dir, file, &attrs)
+    }
+
+    /// Stores a conflicting remote version beside the local one and flags
+    /// the file, reporting to the owner (paper §1: "conflicting updates to
+    /// ordinary files are detected and reported to the owner").
+    pub fn stash_conflict_version(
+        &self,
+        file: FicusFileId,
+        origin: ReplicaId,
+        remote_vv: &VersionVector,
+        data: &[u8],
+    ) -> FsResult<()> {
+        let _g = self.big.lock();
+        let loc = self.loc_of(file)?;
+        let name = format!("{}.c{}", file.hex(), origin.0);
+        self.write_named(&loc.parent_ufs, &name, data)?;
+        let mut attrs = self.repl_attrs(file)?;
+        attrs.conflict = true;
+        self.write_repl_attrs(file, &attrs)?;
+        self.conflicts.report(
+            self.vol,
+            file,
+            ConflictKind::ConcurrentUpdate,
+            self.me,
+            origin,
+            remote_vv.clone(),
+            self.clock.now(),
+        );
+        Ok(())
+    }
+
+    /// Reads a stashed conflict sibling (for the owner's resolution tool).
+    pub fn read_conflict_version(&self, file: FicusFileId, origin: ReplicaId) -> FsResult<Bytes> {
+        let _g = self.big.lock();
+        let loc = self.loc_of(file)?;
+        let name = format!("{}.c{}", file.hex(), origin.0);
+        let v = loc.parent_ufs.lookup(&self.cred, &name)?;
+        let size = v.getattr(&self.cred)?.size as usize;
+        v.read(&self.cred, 0, size)
+    }
+
+    /// Lists the replicas whose conflicting versions are stashed beside
+    /// `file` (the `.c<replica>` siblings).
+    pub fn conflict_versions(&self, file: FicusFileId) -> FsResult<Vec<ReplicaId>> {
+        let _g = self.big.lock();
+        let loc = self.loc_of(file)?;
+        let prefix = format!("{}.c", file.hex());
+        let mut out = Vec::new();
+        let mut cookie = 0;
+        loop {
+            let page = loc.parent_ufs.readdir(&self.cred, cookie, 64)?;
+            if page.is_empty() {
+                break;
+            }
+            cookie = page.last().expect("non-empty").cookie;
+            for de in page {
+                if let Some(rest) = de.name.strip_prefix(&prefix) {
+                    if let Ok(r) = rest.parse::<u32>() {
+                        out.push(ReplicaId(r));
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Removes a stashed conflict sibling after resolution.
+    pub fn discard_conflict_version(&self, file: FicusFileId, origin: ReplicaId) -> FsResult<()> {
+        let _g = self.big.lock();
+        let loc = self.loc_of(file)?;
+        match loc
+            .parent_ufs
+            .remove(&self.cred, &format!("{}.c{}", file.hex(), origin.0))
+        {
+            Ok(()) | Err(FsError::NotFound) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Resolves a reported update conflict in favor of the current local
+    /// content: adopts the join of the vectors plus one local update, and
+    /// clears the flag (what the owner's resolution tool would do).
+    pub fn resolve_conflict(&self, file: FicusFileId, other_vv: &VersionVector) -> FsResult<()> {
+        let _g = self.big.lock();
+        let mut attrs = self.repl_attrs(file)?;
+        attrs.vv.merge(other_vv);
+        attrs.vv.increment(self.me.0);
+        attrs.conflict = false;
+        self.write_repl_attrs(file, &attrs)
+    }
+
+    /// Moves a remove/update-conflicted file's data into the orphanage so
+    /// the surviving updates stay recoverable.
+    pub fn orphan_file(&self, file: FicusFileId) -> FsResult<()> {
+        let _g = self.big.lock();
+        let Ok(loc) = self.loc_of(file) else {
+            return Ok(());
+        };
+        if loc.own_ufs.is_some() {
+            return Ok(()); // directories are not orphaned
+        }
+        let orphanage = self.base.lookup(&self.cred, ORPHANAGE)?;
+        let _ = loc
+            .parent_ufs
+            .rename(&self.cred, &file.hex(), &orphanage, &file.hex());
+        let _ = loc.parent_ufs.rename(
+            &self.cred,
+            &format!("{}{}", file.hex(), AUX_SUFFIX),
+            &orphanage,
+            &format!("{}{}", file.hex(), AUX_SUFFIX),
+        );
+        self.index.lock().remove(&file);
+        Ok(())
+    }
+
+    /// Lists files preserved in the orphanage.
+    pub fn orphans(&self) -> FsResult<Vec<FicusFileId>> {
+        let _g = self.big.lock();
+        let orphanage = self.base.lookup(&self.cred, ORPHANAGE)?;
+        let mut out = Vec::new();
+        let mut cookie = 0;
+        loop {
+            let page = orphanage.readdir(&self.cred, cookie, 64)?;
+            if page.is_empty() {
+                break;
+            }
+            cookie = page.last().expect("non-empty").cookie;
+            for de in page {
+                if let Ok(id) = FicusFileId::from_hex(&de.name) {
+                    out.push(id);
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    // --- new version cache ---------------------------------------------------------
+
+    /// Handles an update notification (§3.2: "a physical layer that receives
+    /// an update notification makes an entry for the file in a new version
+    /// cache").
+    pub fn note_new_version(&self, file: FicusFileId, origin: ReplicaId, vv: VersionVector) {
+        let mut nvc = self.nvc.lock();
+        let noted_at = self.clock.now();
+        match nvc.get_mut(&file) {
+            Some(existing) if existing.vv.covers(&vv) => {}
+            _ => {
+                nvc.insert(
+                    file,
+                    NvcEntry {
+                        origin,
+                        vv,
+                        noted_at,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Drains cache entries noted at or before `cutoff` (propagation-daemon
+    /// policy input). Younger entries stay queued.
+    pub fn take_due_notifications(&self, cutoff: Timestamp) -> Vec<(FicusFileId, NvcEntry)> {
+        let mut nvc = self.nvc.lock();
+        let due: Vec<FicusFileId> = nvc
+            .iter()
+            .filter(|(_, e)| e.noted_at <= cutoff)
+            .map(|(&f, _)| f)
+            .collect();
+        due.into_iter()
+            .map(|f| (f, nvc.remove(&f).expect("key just listed")))
+            .collect()
+    }
+
+    /// Puts a notification back (pull failed; retry later).
+    pub fn requeue_notification(&self, file: FicusFileId, entry: NvcEntry) {
+        self.nvc.lock().entry(file).or_insert(entry);
+    }
+
+    /// Current queue length.
+    #[must_use]
+    pub fn pending_notifications(&self) -> usize {
+        self.nvc.lock().len()
+    }
+
+    // --- graft point content (§4.3) ---------------------------------------------------
+
+    /// Records `(replica, host)` in a graft point — "conveniently maintained
+    /// as directory entries", so the directory reconciliation machinery
+    /// manages the replicated graft table for free (§4.3, §7).
+    pub fn graft_add_replica(
+        &self,
+        graft: FicusFileId,
+        replica: ReplicaId,
+        host: u32,
+    ) -> FsResult<()> {
+        let _g = self.big.lock();
+        let attrs = self.repl_attrs(graft)?;
+        if attrs.kind != VnodeType::GraftPoint {
+            return Err(FsError::Invalid);
+        }
+        let mut d = self.dir_entries(graft)?;
+        let name = format!("r{}@h{}", replica.0, host);
+        if d.primary(&name).is_some() {
+            return Ok(());
+        }
+        let id = EntryId::new(self.me.0, self.next_unique()?);
+        let placeholder = FicusFileId::new(self.me.0, self.next_unique()?);
+        d.insert(
+            FicusEntry::live(&name, placeholder, VnodeType::Regular, id),
+            self.me,
+        )?;
+        self.store_dir_entries(graft, &d)?;
+        self.bump_vv(graft)?;
+        Ok(())
+    }
+
+    /// Reads the `(replica, host)` pairs of a graft point.
+    pub fn graft_replicas(&self, graft: FicusFileId) -> FsResult<Vec<(ReplicaId, u32)>> {
+        let _g = self.big.lock();
+        let d = self.dir_entries(graft)?;
+        let mut out = Vec::new();
+        for e in d.live() {
+            if let Some((r, h)) = parse_graft_entry(&e.name) {
+                out.push((ReplicaId(r), h));
+            }
+        }
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    // --- directory merge (reconciliation entry point) ------------------------------------
+
+    /// Applies one directory-reconciliation step: merge the remote entry
+    /// set, persist, adopt the remote directory vector (directory updates
+    /// commute once entries are merged — the automatic repair), and
+    /// garbage-collect newly unreferenced files, checking each for
+    /// remove/update conflicts first.
+    pub fn merge_dir(
+        &self,
+        dir: FicusFileId,
+        remote_entries: &FicusDir,
+        remote_replica: ReplicaId,
+        remote_dir_vv: &VersionVector,
+    ) -> FsResult<MergeOutcome> {
+        let _g = self.big.lock();
+        let mut d = self.dir_entries(dir)?;
+        let all = self.all_replicas();
+        let out = d.merge_from(remote_entries, remote_replica, self.me, &all);
+        if out.changed {
+            self.store_dir_entries(dir, &d)?;
+        }
+        let mut attrs = self.repl_attrs(dir)?;
+        attrs.vv.merge(remote_dir_vv);
+        self.write_repl_attrs(dir, &attrs)?;
+        // Report retained name collisions (automatically repaired, but the
+        // owner should hear about them) — once per collided file, not once
+        // per reconciliation pass.
+        for (name, _) in d.name_conflicts() {
+            if let Some(e) = d.primary(&name) {
+                let already = self
+                    .conflicts
+                    .for_file(e.file)
+                    .iter()
+                    .any(|r| r.kind == ConflictKind::NameCollision);
+                if !already {
+                    self.conflicts.report(
+                        self.vol,
+                        e.file,
+                        ConflictKind::NameCollision,
+                        self.me,
+                        self.me,
+                        VersionVector::new(),
+                        self.clock.now(),
+                    );
+                }
+            }
+        }
+        // Handle files whose entries this merge tombstoned.
+        for (_entry_id, file, deleted_vv) in &out.suspects {
+            if self.has_live_reference(*file)? {
+                continue;
+            }
+            match self.file_vv(*file) {
+                Ok(local_vv) => {
+                    if deleted_vv.covers(&local_vv) {
+                        let kind = self
+                            .repl_attrs(*file)
+                            .map(|a| a.kind)
+                            .unwrap_or(VnodeType::Regular);
+                        self.gc_file_storage(*file, kind)?;
+                    } else {
+                        // Local updates the deleter never saw: the
+                        // remove/update conflict. Preserve and report.
+                        self.conflicts.report(
+                            self.vol,
+                            *file,
+                            ConflictKind::RemoveUpdate,
+                            self.me,
+                            self.me,
+                            local_vv,
+                            self.clock.now(),
+                        );
+                        self.orphan_file(*file)?;
+                    }
+                }
+                Err(FsError::NotFound) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    // --- recovery ------------------------------------------------------------------------
+
+    /// Rebuilds the location index by walking the UFS storage, discards
+    /// shadow files, and restores the id counter.
+    fn recover(&self) -> FsResult<()> {
+        let _g = self.big.lock();
+        self.load_seq()?;
+        self.index.lock().clear();
+        match self.layout {
+            StorageLayout::Tree => {
+                let base = self.base.clone();
+                self.scan_tree(&base)
+            }
+            StorageLayout::Flat => self.scan_flat(),
+        }
+    }
+
+    fn scan_tree(&self, scope: &VnodeRef) -> FsResult<()> {
+        let mut cookie = 0;
+        loop {
+            let page = scope.readdir(&self.cred, cookie, 64)?;
+            if page.is_empty() {
+                return Ok(());
+            }
+            cookie = page.last().expect("non-empty").cookie;
+            for de in page {
+                if de.name == DIR_FILE
+                    || de.name == DIR_AUX
+                    || de.name == META_FILE
+                    || de.name == ORPHANAGE
+                {
+                    continue;
+                }
+                if let Some(hex) = de.name.strip_suffix(SUBDIR_SUFFIX) {
+                    if let Ok(file) = FicusFileId::from_hex(hex) {
+                        let own = scope.lookup(&self.cred, &de.name)?;
+                        self.index.lock().insert(
+                            file,
+                            Loc {
+                                parent_ufs: scope.clone(),
+                                own_ufs: Some(own.clone()),
+                            },
+                        );
+                        self.scan_tree(&own)?;
+                        continue;
+                    }
+                }
+                if de.name.ends_with(SHADOW_SUFFIX) {
+                    // "The original replica is retained during recovery and
+                    // the shadow discarded."
+                    let _ = scope.remove(&self.cred, &de.name);
+                    continue;
+                }
+                if de.name.ends_with(AUX_SUFFIX) || de.name.contains(".c") {
+                    continue;
+                }
+                if let Ok(file) = FicusFileId::from_hex(&de.name) {
+                    self.index.lock().insert(
+                        file,
+                        Loc {
+                            parent_ufs: scope.clone(),
+                            own_ufs: None,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn scan_flat(&self) -> FsResult<()> {
+        let mut cookie = 0;
+        loop {
+            let page = self.base.readdir(&self.cred, cookie, 64)?;
+            if page.is_empty() {
+                return Ok(());
+            }
+            cookie = page.last().expect("non-empty").cookie;
+            for de in page {
+                if de.name.ends_with(SHADOW_SUFFIX) {
+                    let _ = self.base.remove(&self.cred, &de.name);
+                    continue;
+                }
+                if let Some(hex) = de.name.strip_suffix(".dir") {
+                    if let Ok(file) = FicusFileId::from_hex(hex) {
+                        self.index.lock().insert(
+                            file,
+                            Loc {
+                                parent_ufs: self.base.clone(),
+                                own_ufs: Some(self.base.clone()),
+                            },
+                        );
+                    }
+                    continue;
+                }
+                if de.name.ends_with(AUX_SUFFIX) || de.name.contains(".c") {
+                    continue;
+                }
+                if let Ok(file) = FicusFileId::from_hex(&de.name) {
+                    self.index.lock().entry(file).or_insert(Loc {
+                        parent_ufs: self.base.clone(),
+                        own_ufs: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Parses a graft-point entry name `r<replica>@h<host>`.
+fn parse_graft_entry(name: &str) -> Option<(u32, u32)> {
+    let rest = name.strip_prefix('r')?;
+    let (r, h) = rest.split_once("@h")?;
+    Some((r.parse().ok()?, h.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests;

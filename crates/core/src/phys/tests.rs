@@ -1,0 +1,555 @@
+//! Physical-layer tests: dual mapping, version vectors on update, shadow
+//! commit, crash recovery, graft-point content, and the exported vnode
+//! interface with its control plane.
+
+use std::sync::Arc;
+
+use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
+use ficus_vnode::{
+    Credentials, FileSystem, FsError, LogicalClock, OpenFlags, TimeSource, Timestamp, VnodeType,
+};
+use ficus_vv::VersionVector;
+
+use crate::attrs::ReplAttrs;
+use crate::conflict::ConflictKind;
+use crate::dirfile::FicusDir;
+use crate::ids::{FicusFileId, ReplicaId, VolumeName, ROOT_FILE};
+use crate::phys::vnode::PhysFs;
+use crate::phys::{FicusPhysical, PhysParams, StorageLayout};
+
+fn clock() -> Arc<dyn TimeSource> {
+    Arc::new(LogicalClock::new())
+}
+
+fn fresh(layout: StorageLayout) -> (Arc<FicusPhysical>, Ufs) {
+    let disk = Disk::new(Geometry::medium());
+    let ufs = Ufs::format(disk.clone(), UfsParams::default()).unwrap();
+    let ufs2 = Ufs::format(disk, UfsParams::default()).unwrap();
+    let phys = FicusPhysical::create_volume(
+        Arc::new(ufs),
+        "vol_a",
+        VolumeName::new(1, 1),
+        ReplicaId(1),
+        &[1, 2],
+        clock(),
+        PhysParams {
+            layout,
+            ..PhysParams::default()
+        },
+    )
+    .unwrap();
+    (phys, ufs2)
+}
+
+fn tree() -> Arc<FicusPhysical> {
+    fresh(StorageLayout::Tree).0
+}
+
+#[test]
+fn create_write_read_bumps_vv() {
+    for layout in [StorageLayout::Tree, StorageLayout::Flat] {
+        let (phys, _) = fresh(layout);
+        let f = phys.create(ROOT_FILE, "file.txt", VnodeType::Regular).unwrap();
+        let vv0 = phys.file_vv(f).unwrap();
+        assert_eq!(vv0.get(1), 1, "creation is the first update");
+        phys.write(f, 0, b"hello").unwrap();
+        let vv1 = phys.file_vv(f).unwrap();
+        assert_eq!(vv1.get(1), 2);
+        assert_eq!(&phys.read(f, 0, 10).unwrap()[..], b"hello");
+    }
+}
+
+#[test]
+fn directory_updates_bump_dir_vv() {
+    let phys = tree();
+    let before = phys.file_vv(ROOT_FILE).unwrap();
+    phys.create(ROOT_FILE, "a", VnodeType::Regular).unwrap();
+    let after = phys.file_vv(ROOT_FILE).unwrap();
+    assert!(after.compare(&before) == ficus_vv::Ordering::Dominates);
+}
+
+#[test]
+fn nested_directories_and_lookup() {
+    for layout in [StorageLayout::Tree, StorageLayout::Flat] {
+        let (phys, _) = fresh(layout);
+        let d1 = phys.mkdir(ROOT_FILE, "docs").unwrap();
+        let d2 = phys.mkdir(d1, "papers").unwrap();
+        let f = phys.create(d2, "usenix.tex", VnodeType::Regular).unwrap();
+        phys.write(f, 0, b"\\title{Ficus}").unwrap();
+        let e = phys.lookup(d1, "papers").unwrap();
+        assert_eq!(e.file, d2);
+        assert_eq!(e.kind, VnodeType::Directory);
+        let e = phys.lookup(d2, "usenix.tex").unwrap();
+        assert_eq!(e.file, f);
+        assert_eq!(
+            phys.lookup(ROOT_FILE, "nothing").unwrap_err(),
+            FsError::NotFound
+        );
+    }
+}
+
+#[test]
+fn hex_names_used_on_ufs() {
+    // The dual mapping: the UFS sees hexadecimal handle names, not client
+    // names (§2.6).
+    let disk = Disk::new(Geometry::medium());
+    let ufs = Ufs::format(disk, UfsParams::default()).unwrap();
+    let ufs_fs: Arc<dyn FileSystem> = Arc::new(ufs);
+    let phys = FicusPhysical::create_volume(
+        Arc::clone(&ufs_fs),
+        "vol",
+        VolumeName::new(1, 1),
+        ReplicaId(1),
+        &[1],
+        clock(),
+        PhysParams::default(),
+    )
+    .unwrap();
+    let f = phys.create(ROOT_FILE, "visible-name", VnodeType::Regular).unwrap();
+    let cred = Credentials::root();
+    let base = ufs_fs.root().lookup(&cred, "vol").unwrap();
+    // The UFS name is the hex of the file id; the client name is absent.
+    assert!(base.lookup(&cred, &f.hex()).is_ok());
+    assert!(base.lookup(&cred, &format!("{}.a", f.hex())).is_ok());
+    assert_eq!(
+        base.lookup(&cred, "visible-name").unwrap_err(),
+        FsError::NotFound
+    );
+}
+
+#[test]
+fn remove_gcs_storage_and_link_keeps_it() {
+    let phys = tree();
+    let f = phys.create(ROOT_FILE, "once", VnodeType::Regular).unwrap();
+    let d = phys.mkdir(ROOT_FILE, "sub").unwrap();
+    phys.link(d, "alias", f).unwrap();
+    phys.remove(ROOT_FILE, "once").unwrap();
+    // Still alive through the link.
+    assert!(phys.read(f, 0, 1).is_ok());
+    phys.remove(d, "alias").unwrap();
+    assert_eq!(phys.read(f, 0, 1).unwrap_err(), FsError::NotFound);
+}
+
+#[test]
+fn rmdir_requires_empty() {
+    let phys = tree();
+    let d = phys.mkdir(ROOT_FILE, "d").unwrap();
+    phys.create(d, "f", VnodeType::Regular).unwrap();
+    assert_eq!(phys.remove(ROOT_FILE, "d").unwrap_err(), FsError::NotEmpty);
+    phys.remove(d, "f").unwrap();
+    phys.remove(ROOT_FILE, "d").unwrap();
+}
+
+#[test]
+fn rename_keeps_file_id_and_tombstones_old_entry() {
+    let phys = tree();
+    let d = phys.mkdir(ROOT_FILE, "dst").unwrap();
+    let f = phys.create(ROOT_FILE, "orig", VnodeType::Regular).unwrap();
+    phys.write(f, 0, b"payload").unwrap();
+    phys.rename(ROOT_FILE, "orig", d, "moved").unwrap();
+    assert_eq!(phys.lookup(ROOT_FILE, "orig").unwrap_err(), FsError::NotFound);
+    let e = phys.lookup(d, "moved").unwrap();
+    assert_eq!(e.file, f, "rename preserves file identity");
+    assert_eq!(&phys.read(f, 0, 10).unwrap()[..], b"payload");
+    // The old directory holds a tombstone for reconciliation to ship.
+    let root_dir = phys.dir_entries(ROOT_FILE).unwrap();
+    assert!(root_dir.entries.iter().any(|e| e.deleted()));
+}
+
+#[test]
+fn rename_into_own_descendant_rejected() {
+    let phys = tree();
+    let a = phys.mkdir(ROOT_FILE, "a").unwrap();
+    let b = phys.mkdir(a, "b").unwrap();
+    assert_eq!(
+        phys.rename(ROOT_FILE, "a", b, "inside").unwrap_err(),
+        FsError::Invalid
+    );
+}
+
+#[test]
+fn apply_remote_version_dominating_adopts() {
+    let phys = tree();
+    let f = phys.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    phys.write(f, 0, b"v1").unwrap();
+    let mut remote_vv = phys.file_vv(f).unwrap();
+    remote_vv.increment(2); // replica 2 updated on top of ours
+    phys.apply_remote_version(f, &remote_vv, b"v2-from-replica-2")
+        .unwrap();
+    assert_eq!(&phys.read(f, 0, 100).unwrap()[..], b"v2-from-replica-2");
+    assert_eq!(phys.file_vv(f).unwrap(), remote_vv);
+}
+
+#[test]
+fn apply_remote_version_stale_is_noop() {
+    let phys = tree();
+    let f = phys.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    phys.write(f, 0, b"current").unwrap();
+    let old_vv = VersionVector::single(1); // covered by ours
+    phys.apply_remote_version(f, &old_vv, b"stale").unwrap();
+    assert_eq!(&phys.read(f, 0, 100).unwrap()[..], b"current");
+}
+
+#[test]
+fn apply_remote_version_concurrent_is_conflict() {
+    let phys = tree();
+    let f = phys.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    phys.write(f, 0, b"ours").unwrap();
+    let foreign = VersionVector::single(2); // knows nothing of replica 1
+    assert_eq!(
+        phys.apply_remote_version(f, &foreign, b"theirs").unwrap_err(),
+        FsError::Conflict
+    );
+    assert_eq!(&phys.read(f, 0, 100).unwrap()[..], b"ours");
+}
+
+#[test]
+fn shadow_commit_survives_crash_before_swap() {
+    // Write a shadow by hand (as a propagation pull would), crash before the
+    // rename, remount: the original must be intact and the shadow gone.
+    let disk = Disk::new(Geometry::medium());
+    let ufs = Ufs::format(disk.clone(), UfsParams::default()).unwrap();
+    let ufs_fs: Arc<dyn FileSystem> = Arc::new(ufs);
+    let phys = FicusPhysical::create_volume(
+        Arc::clone(&ufs_fs),
+        "vol",
+        VolumeName::new(1, 1),
+        ReplicaId(1),
+        &[1, 2],
+        clock(),
+        PhysParams::default(),
+    )
+    .unwrap();
+    let f = phys.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    phys.write(f, 0, b"original").unwrap();
+    let cred = Credentials::root();
+    let base = ufs_fs.root().lookup(&cred, "vol").unwrap();
+    let shadow = base.create(&cred, &format!("{}.s", f.hex()), 0o600).unwrap();
+    shadow.write(&cred, 0, b"half-propagated").unwrap();
+    shadow.fsync(&cred).unwrap();
+    drop(phys);
+
+    // Remount (recovery pass).
+    let phys2 = FicusPhysical::mount(
+        Arc::clone(&ufs_fs),
+        "vol",
+        VolumeName::new(1, 1),
+        ReplicaId(1),
+        &[1, 2],
+        clock(),
+        PhysParams::default(),
+    )
+    .unwrap();
+    assert_eq!(&phys2.read(f, 0, 100).unwrap()[..], b"original");
+    assert_eq!(
+        base.lookup(&cred, &format!("{}.s", f.hex())).unwrap_err(),
+        FsError::NotFound
+    );
+}
+
+#[test]
+fn mount_rebuilds_index_and_id_counter() {
+    let disk = Disk::new(Geometry::medium());
+    let ufs = Ufs::format(disk.clone(), UfsParams::default()).unwrap();
+    let ufs_fs: Arc<dyn FileSystem> = Arc::new(ufs);
+    let (f, d, sub_f);
+    {
+        let phys = FicusPhysical::create_volume(
+            Arc::clone(&ufs_fs),
+            "vol",
+            VolumeName::new(1, 1),
+            ReplicaId(1),
+            &[1],
+            clock(),
+            PhysParams::default(),
+        )
+        .unwrap();
+        f = phys.create(ROOT_FILE, "top", VnodeType::Regular).unwrap();
+        phys.write(f, 0, b"data").unwrap();
+        d = phys.mkdir(ROOT_FILE, "dir").unwrap();
+        sub_f = phys.create(d, "inner", VnodeType::Regular).unwrap();
+    }
+    let phys = FicusPhysical::mount(
+        ufs_fs,
+        "vol",
+        VolumeName::new(1, 1),
+        ReplicaId(1),
+        &[1],
+        clock(),
+        PhysParams::default(),
+    )
+    .unwrap();
+    assert_eq!(&phys.read(f, 0, 10).unwrap()[..], b"data");
+    assert_eq!(phys.lookup(d, "inner").unwrap().file, sub_f);
+    // Fresh ids must not collide with pre-mount ones.
+    let g = phys.create(ROOT_FILE, "fresh", VnodeType::Regular).unwrap();
+    assert_ne!(g, f);
+    assert_ne!(g, sub_f);
+}
+
+#[test]
+fn new_version_cache_dedups_and_times() {
+    let phys = tree();
+    let f = FicusFileId::new(2, 9);
+    let vv1 = VersionVector::single(2);
+    let mut vv2 = vv1.clone();
+    vv2.increment(2);
+    phys.note_new_version(f, ReplicaId(2), vv1.clone());
+    phys.note_new_version(f, ReplicaId(2), vv1.clone()); // duplicate
+    assert_eq!(phys.pending_notifications(), 1);
+    phys.note_new_version(f, ReplicaId(2), vv2.clone()); // newer replaces
+    let due = phys.take_due_notifications(Timestamp(u64::MAX));
+    assert_eq!(due.len(), 1);
+    assert_eq!(due[0].1.vv, vv2);
+    assert_eq!(phys.pending_notifications(), 0);
+    phys.requeue_notification(f, due[0].1.clone());
+    assert_eq!(phys.pending_notifications(), 1);
+}
+
+#[test]
+fn graft_point_pairs_round_trip() {
+    let phys = tree();
+    let g = phys.make_graft_point(ROOT_FILE, "src", VolumeName::new(7, 9)).unwrap();
+    assert_eq!(phys.graft_target(g).unwrap(), VolumeName::new(7, 9));
+    phys.graft_add_replica(g, ReplicaId(1), 10).unwrap();
+    phys.graft_add_replica(g, ReplicaId(2), 20).unwrap();
+    phys.graft_add_replica(g, ReplicaId(2), 20).unwrap(); // idempotent
+    assert_eq!(
+        phys.graft_replicas(g).unwrap(),
+        vec![(ReplicaId(1), 10), (ReplicaId(2), 20)]
+    );
+    // Graft points are directory-like on the wire.
+    let e = phys.lookup(ROOT_FILE, "src").unwrap();
+    assert_eq!(e.kind, VnodeType::GraftPoint);
+    // Regular files refuse graft entries.
+    let f = phys.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    assert_eq!(
+        phys.graft_add_replica(f, ReplicaId(1), 1).unwrap_err(),
+        FsError::Invalid
+    );
+}
+
+#[test]
+fn merge_dir_applies_remote_activity() {
+    // Two replicas of one volume on separate disks; ship entries by hand.
+    let (a, _) = fresh(StorageLayout::Tree);
+    let disk_b = Disk::new(Geometry::medium());
+    let ufs_b = Ufs::format(disk_b, UfsParams::default()).unwrap();
+    let b = FicusPhysical::create_volume(
+        Arc::new(ufs_b),
+        "vol_b",
+        VolumeName::new(1, 1),
+        ReplicaId(2),
+        &[1, 2],
+        clock(),
+        PhysParams::default(),
+    )
+    .unwrap();
+    let f = a.create(ROOT_FILE, "from-a", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"created at A").unwrap();
+    let a_entries = a.dir_entries(ROOT_FILE).unwrap();
+    let a_vv = a.file_vv(ROOT_FILE).unwrap();
+    let out = b.merge_dir(ROOT_FILE, &a_entries, ReplicaId(1), &a_vv).unwrap();
+    assert_eq!(out.inserted.len(), 1);
+    // B now sees the name (data arrives separately via file recon).
+    assert_eq!(b.lookup(ROOT_FILE, "from-a").unwrap().file, f);
+    // And B's directory vector covers A's.
+    assert!(b.file_vv(ROOT_FILE).unwrap().covers(&a_vv));
+}
+
+#[test]
+fn merge_dir_remove_update_conflict_orphans_file() {
+    let (a, _) = fresh(StorageLayout::Tree);
+    let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"v1").unwrap();
+
+    // Fabricate the remote view: the entry tombstoned with a vv that does
+    // NOT cover a later local update.
+    let mut remote = a.dir_entries(ROOT_FILE).unwrap();
+    let entry_id = remote.entries[0].id;
+    let vv_at_delete = a.file_vv(f).unwrap();
+    remote
+        .tombstone(
+            entry_id,
+            &vv_at_delete,
+            crate::ids::EntryId::new(2, 999),
+            ReplicaId(2),
+        )
+        .unwrap();
+    // Local keeps updating after the (unseen) delete.
+    a.write(f, 0, b"v2 unseen by deleter").unwrap();
+
+    let out = a
+        .merge_dir(ROOT_FILE, &remote, ReplicaId(2), &VersionVector::single(2))
+        .unwrap();
+    assert_eq!(out.tombstoned.len(), 1);
+    assert_eq!(a.conflicts().count_kind(ConflictKind::RemoveUpdate), 1);
+    assert_eq!(a.orphans().unwrap(), vec![f], "data preserved in orphanage");
+}
+
+#[test]
+fn stash_and_resolve_update_conflict() {
+    let phys = tree();
+    let f = phys.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    phys.write(f, 0, b"ours").unwrap();
+    let their_vv = VersionVector::single(2);
+    phys.stash_conflict_version(f, ReplicaId(2), &their_vv, b"theirs")
+        .unwrap();
+    assert!(phys.repl_attrs(f).unwrap().conflict);
+    assert_eq!(
+        &phys.read_conflict_version(f, ReplicaId(2)).unwrap()[..],
+        b"theirs"
+    );
+    assert_eq!(phys.conflicts().count_kind(ConflictKind::ConcurrentUpdate), 1);
+    // Owner resolves in favor of local content.
+    phys.resolve_conflict(f, &their_vv).unwrap();
+    let attrs = phys.repl_attrs(f).unwrap();
+    assert!(!attrs.conflict);
+    assert!(attrs.vv.covers(&their_vv));
+}
+
+// --- exported vnode interface ------------------------------------------------
+
+#[test]
+fn phys_vnode_basic_operations() {
+    let phys = tree();
+    let fs = PhysFs::new(Arc::clone(&phys));
+    let cred = Credentials::root();
+    let root = fs.root();
+    assert_eq!(root.kind(), VnodeType::Directory);
+    let f = root.create(&cred, "via-vnode", 0o644).unwrap();
+    f.write(&cred, 0, b"through the interface").unwrap();
+    assert_eq!(&f.read(&cred, 8, 3).unwrap()[..], b"the");
+    let d = root.mkdir(&cred, "dir", 0o755).unwrap();
+    let peer = fs.root();
+    root.rename(&cred, "via-vnode", &peer, "renamed").unwrap();
+    assert!(root.lookup(&cred, "renamed").is_ok());
+    let entries = root.readdir(&cred, 0, 100).unwrap();
+    let names: Vec<_> = entries.iter().map(|e| e.name.as_str()).collect();
+    assert!(names.contains(&"renamed"));
+    assert!(names.contains(&"dir"));
+    let _ = d;
+}
+
+#[test]
+fn control_lookup_dir_returns_encoded_entries() {
+    let phys = tree();
+    let fs = PhysFs::new(Arc::clone(&phys));
+    let cred = Credentials::root();
+    let root = fs.root();
+    root.create(&cred, "x", 0o644).unwrap();
+    let ctl = root.lookup(&cred, ";f;dir").unwrap();
+    let size = ctl.getattr(&cred).unwrap().size as usize;
+    let data = ctl.read(&cred, 0, size).unwrap();
+    let decoded = FicusDir::decode(&data).unwrap();
+    assert_eq!(decoded.live().count(), 1);
+    assert_eq!(decoded.primary("x").unwrap().name, "x");
+    // Control files are read-only.
+    assert_eq!(ctl.write(&cred, 0, b"no").unwrap_err(), FsError::ReadOnly);
+}
+
+#[test]
+fn control_lookup_vv_and_id() {
+    let phys = tree();
+    let fs = PhysFs::new(Arc::clone(&phys));
+    let cred = Credentials::root();
+    let root = fs.root();
+    let f = root.create(&cred, "x", 0o644).unwrap();
+    f.write(&cred, 0, b"1").unwrap();
+    let hex = phys.lookup(ROOT_FILE, "x").unwrap().file.hex();
+
+    let ctl = root.lookup(&cred, &format!(";f;vv;{hex}")).unwrap();
+    let size = ctl.getattr(&cred).unwrap().size as usize;
+    let attrs = ReplAttrs::decode(&ctl.read(&cred, 0, size).unwrap()).unwrap();
+    assert_eq!(attrs.vv.get(1), 2); // create + write
+
+    let byid = root.lookup(&cred, &format!(";f;id;{hex}")).unwrap();
+    assert_eq!(&byid.read(&cred, 0, 10).unwrap()[..], b"1");
+}
+
+#[test]
+fn open_close_tunnel_through_control_names() {
+    // The §2.3 mechanism end to end at the physical layer: open/close
+    // encoded as lookup names are observed even though plain open() through
+    // NFS would be swallowed.
+    let phys = tree();
+    let fs = PhysFs::new(Arc::clone(&phys));
+    let cred = Credentials::root();
+    let root = fs.root();
+    root.create(&cred, "watched", 0o644).unwrap();
+    let id = phys.lookup(ROOT_FILE, "watched").unwrap().file;
+    let flags = OpenFlags::read_write();
+    let v = root
+        .lookup(&cred, &format!(";f;o;{};{}", flags.to_bits(), id.hex()))
+        .unwrap();
+    assert_eq!(v.fileid(), id.as_u64());
+    root.lookup(&cred, &format!(";f;c;{};{}", flags.to_bits(), id.hex()))
+        .unwrap();
+    let opens = phys.observed_opens();
+    assert_eq!(opens.len(), 2);
+    assert_eq!(opens[0], (id, flags, true));
+    assert_eq!(opens[1], (id, flags, false));
+}
+
+#[test]
+fn name_conflicts_readdir_disambiguation() {
+    // Fabricate a merged name conflict and check lookup/readdir behavior.
+    let (a, _) = fresh(StorageLayout::Tree);
+    let disk_b = Disk::new(Geometry::medium());
+    let b = FicusPhysical::create_volume(
+        Arc::new(Ufs::format(disk_b, UfsParams::default()).unwrap()),
+        "vol_b",
+        VolumeName::new(1, 1),
+        ReplicaId(2),
+        &[1, 2],
+        clock(),
+        PhysParams::default(),
+    )
+    .unwrap();
+    a.create(ROOT_FILE, "same", VnodeType::Regular).unwrap();
+    b.create(ROOT_FILE, "same", VnodeType::Regular).unwrap();
+    let b_entries = b.dir_entries(ROOT_FILE).unwrap();
+    a.merge_dir(ROOT_FILE, &b_entries, ReplicaId(2), &b.file_vv(ROOT_FILE).unwrap())
+        .unwrap();
+
+    let fs = PhysFs::new(Arc::clone(&a));
+    let cred = Credentials::root();
+    let root = fs.root();
+    let entries = root.readdir(&cred, 0, 100).unwrap();
+    let names: Vec<_> = entries.iter().map(|e| e.name.clone()).collect();
+    assert_eq!(names.len(), 2);
+    assert!(names.contains(&"same".to_owned()));
+    let suffixed = names.iter().find(|n| n.contains("#e")).unwrap().clone();
+    // Both resolve by lookup.
+    assert!(root.lookup(&cred, "same").is_ok());
+    assert!(root.lookup(&cred, &suffixed).is_ok());
+    // And a name-collision report was filed.
+    assert_eq!(a.conflicts().count_kind(ConflictKind::NameCollision), 1);
+}
+
+#[test]
+fn symlinks_through_phys_vnode() {
+    let phys = tree();
+    let fs = PhysFs::new(phys);
+    let cred = Credentials::root();
+    let root = fs.root();
+    let ln = root.symlink(&cred, "ln", "target/path").unwrap();
+    assert_eq!(ln.kind(), VnodeType::Symlink);
+    assert_eq!(ln.readlink(&cred).unwrap(), "target/path");
+    let back = root.lookup(&cred, "ln").unwrap();
+    assert_eq!(back.readlink(&cred).unwrap(), "target/path");
+}
+
+#[test]
+fn flat_and_tree_layouts_equivalent_semantics() {
+    for layout in [StorageLayout::Tree, StorageLayout::Flat] {
+        let (phys, _) = fresh(layout);
+        let d = phys.mkdir(ROOT_FILE, "d").unwrap();
+        let f = phys.create(d, "f", VnodeType::Regular).unwrap();
+        phys.write(f, 0, b"same behavior").unwrap();
+        phys.rename(d, "f", ROOT_FILE, "g").unwrap();
+        assert_eq!(&phys.read(f, 0, 20).unwrap()[..], b"same behavior");
+        phys.remove(ROOT_FILE, "g").unwrap();
+        assert_eq!(phys.read(f, 0, 1).unwrap_err(), FsError::NotFound);
+    }
+}

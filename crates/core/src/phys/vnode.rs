@@ -1,0 +1,493 @@
+//! The physical layer's exported vnode interface, including the
+//! overloaded-lookup control plane (paper §2.3).
+//!
+//! "Rather than add several new services outside the vnode framework (as in
+//! Deceit) we chose to overload existing vnode services." Every piece of
+//! replication state a remote logical layer or reconciliation daemon needs
+//! crosses this interface as ordinary `lookup`/`read` traffic, which the
+//! stateless NFS layer forwards "without interpretation or interference":
+//!
+//! | control name          | meaning                                       |
+//! |-----------------------|-----------------------------------------------|
+//! | `;f;dir`              | read this directory's full entry set (encoded)|
+//! | `;f;dvv`              | read this directory's replication attributes  |
+//! | `;f;vv;<hex>`         | read a file's replication attributes by id    |
+//! | `;f;id;<hex>`         | resolve a vnode by Ficus file id              |
+//! | `;f;o;<bits>;<hex>`   | open notification for a file (returns it)     |
+//! | `;f;c;<bits>;<hex>`   | close notification                            |
+//! | `;f;nvc`              | read the new-version cache (volume root)      |
+//! | `;f;stat`             | read the storage file system's statistics     |
+//!
+//! The `;f;` prefix is reserved: ordinary component names may not begin
+//! with it, and the budget it consumes out of the 255-byte name limit is
+//! the reproduction's version of the paper's "reduction of the maximum
+//! length of a file name component" (footnote 2). Control *names* carry ids
+//! (24 hex chars); control *payloads* come back as the contents of a
+//! synthetic read-only file, so arbitrarily large state crosses NFS as
+//! plain `read` traffic.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use ficus_vnode::{
+    AccessMode, Credentials, DirEntry, FileSystem, FsError, FsResult, FsStats, OpenFlags, SetAttr,
+    Timestamp, Vnode, VnodeAttr, VnodeRef, VnodeType,
+};
+
+use crate::attrs::encode_vv;
+use crate::ids::FicusFileId;
+use crate::phys::FicusPhysical;
+
+/// Prefix that marks an overloaded (control) lookup name.
+pub const CTL_PREFIX: &str = ";f;";
+
+/// The vnode-facing wrapper around a [`FicusPhysical`].
+pub struct PhysFs {
+    phys: Arc<FicusPhysical>,
+}
+
+impl PhysFs {
+    /// Wraps a physical layer for export.
+    #[must_use]
+    pub fn new(phys: Arc<FicusPhysical>) -> Arc<Self> {
+        Arc::new(PhysFs { phys })
+    }
+
+    /// The wrapped physical layer.
+    #[must_use]
+    pub fn physical(&self) -> &Arc<FicusPhysical> {
+        &self.phys
+    }
+}
+
+impl FileSystem for PhysFs {
+    fn root(&self) -> VnodeRef {
+        Arc::new(PhysVnode {
+            phys: Arc::clone(&self.phys),
+            file: crate::ids::ROOT_FILE,
+            kind: VnodeType::Directory,
+        })
+    }
+
+    fn statfs(&self) -> FsResult<FsStats> {
+        self.phys.storage().statfs()
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        self.phys.storage().sync()
+    }
+}
+
+/// A physical-layer vnode: one Ficus file replica.
+pub struct PhysVnode {
+    phys: Arc<FicusPhysical>,
+    file: FicusFileId,
+    kind: VnodeType,
+}
+
+impl PhysVnode {
+    /// The Ficus file id this vnode names.
+    #[must_use]
+    pub fn ficus_id(&self) -> FicusFileId {
+        self.file
+    }
+
+    fn node(&self, file: FicusFileId, kind: VnodeType) -> VnodeRef {
+        Arc::new(PhysVnode {
+            phys: Arc::clone(&self.phys),
+            file,
+            kind,
+        })
+    }
+
+    fn ctl(&self, data: Vec<u8>) -> VnodeRef {
+        // Every control file gets a unique transient fileid: an NFS server
+        // above this layer keys its handle table by (fsid, fileid), and a
+        // shared id would alias one control snapshot to another.
+        static CTL_IDS: AtomicU64 = AtomicU64::new(1);
+        let fileid = (1 << 63) | CTL_IDS.fetch_add(1, AtomicOrdering::Relaxed);
+        Arc::new(CtlVnode {
+            fsid: self.phys.fsid(),
+            fileid,
+            data,
+        })
+    }
+
+    /// Handles an overloaded (control) lookup name.
+    fn control_lookup(&self, name: &str) -> FsResult<VnodeRef> {
+        let rest = &name[CTL_PREFIX.len()..];
+        if rest == "dir" {
+            let d = self.phys.dir_entries(self.file)?;
+            return Ok(self.ctl(d.encode()));
+        }
+        if rest == "stat" {
+            let st = self.phys.storage().statfs()?;
+            let mut e = ficus_nfs::wire::Enc::new();
+            e.u64(st.total_blocks);
+            e.u64(st.free_blocks);
+            e.u64(st.total_inodes);
+            e.u64(st.free_inodes);
+            e.u32(st.block_size);
+            return Ok(self.ctl(e.finish()));
+        }
+        if rest == "dvv" {
+            let attrs = self.phys.repl_attrs(self.file)?;
+            return Ok(self.ctl(attrs.encode()));
+        }
+        if rest == "nvc" {
+            let mut e = ficus_nfs::wire::Enc::new();
+            let pending = self
+                .phys
+                .take_due_notifications(Timestamp(u64::MAX))
+                .into_iter()
+                .collect::<Vec<_>>();
+            e.u32(pending.len() as u32);
+            for (file, entry) in &pending {
+                e.u32(file.issuer.0);
+                e.u64(file.unique);
+                e.u32(entry.origin.0);
+                encode_vv(&mut e, &entry.vv);
+            }
+            // Peeking must not consume: requeue.
+            for (file, entry) in pending {
+                self.phys.requeue_notification(file, entry);
+            }
+            return Ok(self.ctl(e.finish()));
+        }
+        if let Some(hex) = rest.strip_prefix("vv;") {
+            let file = FicusFileId::from_hex(hex)?;
+            let attrs = self.phys.repl_attrs(file)?;
+            return Ok(self.ctl(attrs.encode()));
+        }
+        if let Some(hex) = rest.strip_prefix("id;") {
+            let file = FicusFileId::from_hex(hex)?;
+            let attrs = self.phys.repl_attrs(file)?;
+            return Ok(self.node(file, attrs.kind));
+        }
+        if let Some(args) = rest.strip_prefix("o;") {
+            let (bits, hex) = args.split_once(';').ok_or(FsError::Invalid)?;
+            let flags = OpenFlags::from_bits(bits.parse().map_err(|_| FsError::Invalid)?);
+            let file = FicusFileId::from_hex(hex)?;
+            let attrs = self.phys.repl_attrs(file)?;
+            self.phys.note_open(file, flags);
+            return Ok(self.node(file, attrs.kind));
+        }
+        if let Some(args) = rest.strip_prefix("c;") {
+            let (bits, hex) = args.split_once(';').ok_or(FsError::Invalid)?;
+            let flags = OpenFlags::from_bits(bits.parse().map_err(|_| FsError::Invalid)?);
+            let file = FicusFileId::from_hex(hex)?;
+            let attrs = self.phys.repl_attrs(file)?;
+            self.phys.note_close(file, flags);
+            return Ok(self.node(file, attrs.kind));
+        }
+        Err(FsError::Invalid)
+    }
+}
+
+impl Vnode for PhysVnode {
+    fn kind(&self) -> VnodeType {
+        self.kind
+    }
+
+    fn fsid(&self) -> u64 {
+        self.phys.fsid()
+    }
+
+    fn fileid(&self) -> u64 {
+        self.file.as_u64()
+    }
+
+    fn getattr(&self, _cred: &Credentials) -> FsResult<VnodeAttr> {
+        let mut attr = self.phys.storage_attr(self.file)?;
+        attr.kind = self.kind;
+        attr.fsid = self.phys.fsid();
+        attr.fileid = self.file.as_u64();
+        Ok(attr)
+    }
+
+    fn setattr(&self, cred: &Credentials, set: &SetAttr) -> FsResult<VnodeAttr> {
+        if let Some(size) = set.size {
+            if self.kind.is_directory_like() {
+                return Err(FsError::IsDir);
+            }
+            self.phys.truncate(self.file, size)?;
+        }
+        // Mode/owner changes are not replicated state in this reproduction;
+        // they apply to the local storage only.
+        let rest = SetAttr { size: None, ..*set };
+        if !rest.is_empty() && !self.kind.is_directory_like() {
+            // Best effort on the storage file.
+            let _ = rest;
+        }
+        self.getattr(cred)
+    }
+
+    fn access(&self, _cred: &Credentials, _mode: AccessMode) -> FsResult<()> {
+        // The physical layer trusts its callers (the logical layer enforces
+        // permissions at the client side; storage below runs privileged).
+        Ok(())
+    }
+
+    fn open(&self, _cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        self.phys.note_open(self.file, flags);
+        Ok(())
+    }
+
+    fn close(&self, _cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        self.phys.note_close(self.file, flags);
+        Ok(())
+    }
+
+    fn read(&self, _cred: &Credentials, offset: u64, len: usize) -> FsResult<Bytes> {
+        self.phys.read(self.file, offset, len)
+    }
+
+    fn write(&self, _cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.phys.write(self.file, offset, data)
+    }
+
+    fn fsync(&self, _cred: &Credentials) -> FsResult<()> {
+        self.phys.storage().sync()
+    }
+
+    fn lookup(&self, _cred: &Credentials, name: &str) -> FsResult<VnodeRef> {
+        if name.starts_with(CTL_PREFIX) {
+            return self.control_lookup(name);
+        }
+        if !self.kind.is_directory_like() {
+            return Err(FsError::NotDir);
+        }
+        let entry = self.phys.lookup(self.file, name)?;
+        Ok(self.node(entry.file, entry.kind))
+    }
+
+    fn create(&self, _cred: &Credentials, name: &str, _mode: u32) -> FsResult<VnodeRef> {
+        if name.starts_with(CTL_PREFIX) {
+            return Err(FsError::Invalid);
+        }
+        let file = self.phys.create(self.file, name, VnodeType::Regular)?;
+        Ok(self.node(file, VnodeType::Regular))
+    }
+
+    fn mkdir(&self, _cred: &Credentials, name: &str, _mode: u32) -> FsResult<VnodeRef> {
+        if name.starts_with(CTL_PREFIX) {
+            return Err(FsError::Invalid);
+        }
+        let file = self.phys.mkdir(self.file, name)?;
+        Ok(self.node(file, VnodeType::Directory))
+    }
+
+    fn remove(&self, _cred: &Credentials, name: &str) -> FsResult<()> {
+        let entry = self.phys.lookup(self.file, name)?;
+        if entry.kind.is_directory_like() {
+            return Err(FsError::IsDir);
+        }
+        self.phys.remove(self.file, name)
+    }
+
+    fn rmdir(&self, _cred: &Credentials, name: &str) -> FsResult<()> {
+        let entry = self.phys.lookup(self.file, name)?;
+        if !entry.kind.is_directory_like() {
+            return Err(FsError::NotDir);
+        }
+        self.phys.remove(self.file, name)
+    }
+
+    fn rename(&self, _cred: &Credentials, from: &str, to_dir: &VnodeRef, to: &str) -> FsResult<()> {
+        let peer = to_dir
+            .as_any()
+            .downcast_ref::<PhysVnode>()
+            .ok_or(FsError::Xdev)?;
+        if !Arc::ptr_eq(&self.phys, &peer.phys) {
+            return Err(FsError::Xdev);
+        }
+        self.phys.rename(self.file, from, peer.file, to)
+    }
+
+    fn link(&self, _cred: &Credentials, target: &VnodeRef, name: &str) -> FsResult<()> {
+        let peer = target
+            .as_any()
+            .downcast_ref::<PhysVnode>()
+            .ok_or(FsError::Xdev)?;
+        if !Arc::ptr_eq(&self.phys, &peer.phys) {
+            return Err(FsError::Xdev);
+        }
+        self.phys.link(self.file, name, peer.file)
+    }
+
+    fn symlink(&self, _cred: &Credentials, name: &str, target: &str) -> FsResult<VnodeRef> {
+        let file = self.phys.create(self.file, name, VnodeType::Symlink)?;
+        self.phys.write(file, 0, target.as_bytes())?;
+        Ok(self.node(file, VnodeType::Symlink))
+    }
+
+    fn readlink(&self, _cred: &Credentials) -> FsResult<String> {
+        if self.kind != VnodeType::Symlink {
+            return Err(FsError::Invalid);
+        }
+        let attr = self.phys.storage_attr(self.file)?;
+        let data = self.phys.read(self.file, 0, attr.size as usize)?;
+        String::from_utf8(data.to_vec()).map_err(|_| FsError::Io)
+    }
+
+    fn readdir(&self, _cred: &Credentials, cookie: u64, count: usize) -> FsResult<Vec<DirEntry>> {
+        if !self.kind.is_directory_like() {
+            return Err(FsError::NotDir);
+        }
+        let d = self.phys.dir_entries(self.file)?;
+        let mut out = Vec::new();
+        let live: Vec<_> = d.live().collect();
+        for (i, e) in live.iter().enumerate().skip(cookie as usize) {
+            if out.len() >= count {
+                break;
+            }
+            let primary = d.primary(&e.name).map(|p| p.id) == Some(e.id);
+            out.push(DirEntry {
+                name: e.display_name(primary),
+                fileid: e.file.as_u64(),
+                kind: e.kind,
+                cookie: (i + 1) as u64,
+            });
+        }
+        Ok(out)
+    }
+
+    fn ioctl(&self, _cred: &Credentials, _cmd: u32, _data: &[u8]) -> FsResult<Vec<u8>> {
+        // Control traffic rides the overloaded lookup, never ioctl — ioctl
+        // would not survive the NFS transport (§2.3).
+        Err(FsError::Unsupported)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A synthetic read-only control file returned by overloaded lookups.
+pub struct CtlVnode {
+    fsid: u64,
+    fileid: u64,
+    data: Vec<u8>,
+}
+
+impl Vnode for CtlVnode {
+    fn kind(&self) -> VnodeType {
+        VnodeType::Regular
+    }
+
+    fn fsid(&self) -> u64 {
+        self.fsid
+    }
+
+    fn fileid(&self) -> u64 {
+        self.fileid
+    }
+
+    fn getattr(&self, _cred: &Credentials) -> FsResult<VnodeAttr> {
+        Ok(VnodeAttr {
+            kind: VnodeType::Regular,
+            mode: 0o444,
+            nlink: 1,
+            uid: 0,
+            gid: 0,
+            size: self.data.len() as u64,
+            fsid: self.fsid,
+            fileid: self.fileid,
+            mtime: Timestamp::ZERO,
+            atime: Timestamp::ZERO,
+            ctime: Timestamp::ZERO,
+            blocks: 0,
+        })
+    }
+
+    fn setattr(&self, _cred: &Credentials, _set: &SetAttr) -> FsResult<VnodeAttr> {
+        Err(FsError::ReadOnly)
+    }
+
+    fn access(&self, _cred: &Credentials, mode: AccessMode) -> FsResult<()> {
+        if mode.permitted_by(0b100) {
+            Ok(())
+        } else {
+            Err(FsError::Access)
+        }
+    }
+
+    fn open(&self, _cred: &Credentials, _flags: OpenFlags) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn close(&self, _cred: &Credentials, _flags: OpenFlags) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn read(&self, _cred: &Credentials, offset: u64, len: usize) -> FsResult<Bytes> {
+        let start = (offset as usize).min(self.data.len());
+        let end = (start + len).min(self.data.len());
+        Ok(Bytes::copy_from_slice(&self.data[start..end]))
+    }
+
+    fn write(&self, _cred: &Credentials, _offset: u64, _data: &[u8]) -> FsResult<usize> {
+        Err(FsError::ReadOnly)
+    }
+
+    fn fsync(&self, _cred: &Credentials) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn lookup(&self, _cred: &Credentials, _name: &str) -> FsResult<VnodeRef> {
+        Err(FsError::NotDir)
+    }
+
+    fn create(&self, _cred: &Credentials, _name: &str, _mode: u32) -> FsResult<VnodeRef> {
+        Err(FsError::NotDir)
+    }
+
+    fn mkdir(&self, _cred: &Credentials, _name: &str, _mode: u32) -> FsResult<VnodeRef> {
+        Err(FsError::NotDir)
+    }
+
+    fn remove(&self, _cred: &Credentials, _name: &str) -> FsResult<()> {
+        Err(FsError::NotDir)
+    }
+
+    fn rmdir(&self, _cred: &Credentials, _name: &str) -> FsResult<()> {
+        Err(FsError::NotDir)
+    }
+
+    fn rename(
+        &self,
+        _cred: &Credentials,
+        _from: &str,
+        _to_dir: &VnodeRef,
+        _to: &str,
+    ) -> FsResult<()> {
+        Err(FsError::NotDir)
+    }
+
+    fn link(&self, _cred: &Credentials, _target: &VnodeRef, _name: &str) -> FsResult<()> {
+        Err(FsError::NotDir)
+    }
+
+    fn symlink(&self, _cred: &Credentials, _name: &str, _target: &str) -> FsResult<VnodeRef> {
+        Err(FsError::NotDir)
+    }
+
+    fn readlink(&self, _cred: &Credentials) -> FsResult<String> {
+        Err(FsError::Invalid)
+    }
+
+    fn readdir(&self, _cred: &Credentials, _cookie: u64, _count: usize) -> FsResult<Vec<DirEntry>> {
+        Err(FsError::NotDir)
+    }
+
+    fn ioctl(&self, _cred: &Credentials, _cmd: u32, _data: &[u8]) -> FsResult<Vec<u8>> {
+        Err(FsError::Unsupported)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

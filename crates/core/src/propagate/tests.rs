@@ -1,0 +1,186 @@
+//! Propagation tests: notes, the new-version cache, and the daemon's two
+//! policies.
+
+use std::sync::Arc;
+
+use ficus_net::SimClock;
+use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
+use ficus_vnode::{FsError, TimeSource, VnodeType};
+use ficus_vv::VersionVector;
+
+use crate::access::{LocalAccess, ReplicaAccess};
+use crate::ids::{FicusFileId, ReplicaId, VolumeName, ROOT_FILE};
+use crate::phys::{FicusPhysical, PhysParams};
+use crate::propagate::{run_propagation, PropagationPolicy, UpdateNote};
+use crate::recon::reconcile_subtree;
+
+fn mk_replica(me: u32, clock: &Arc<SimClock>) -> Arc<FicusPhysical> {
+    let ufs = Ufs::format_with_clock(
+        Disk::new(Geometry::medium()),
+        UfsParams::default(),
+        Arc::clone(clock) as Arc<dyn TimeSource>,
+    )
+    .unwrap();
+    FicusPhysical::create_volume(
+        Arc::new(ufs),
+        &format!("vol_r{me}"),
+        VolumeName::new(1, 1),
+        ReplicaId(me),
+        &[1, 2],
+        Arc::clone(clock) as Arc<dyn TimeSource>,
+        PhysParams::default(),
+    )
+    .unwrap()
+}
+
+fn connect_to(
+    target: &Arc<FicusPhysical>,
+) -> impl Fn(ReplicaId) -> Result<Box<dyn ReplicaAccess>, FsError> + '_ {
+    move |r| {
+        if r == target.replica() {
+            Ok(Box::new(LocalAccess::new(Arc::clone(target))))
+        } else {
+            Err(FsError::Unreachable)
+        }
+    }
+}
+
+#[test]
+fn note_wire_round_trip() {
+    let note = UpdateNote {
+        volume: VolumeName::new(3, 4),
+        file: FicusFileId::new(5, 6),
+        origin: ReplicaId(7),
+    };
+    assert_eq!(UpdateNote::decode(&note.encode()).unwrap(), note);
+    assert!(UpdateNote::decode(b"junk").is_err());
+}
+
+#[test]
+fn immediate_policy_pulls_noted_file() {
+    let clock = SimClock::new();
+    let a = mk_replica(1, &clock);
+    let b = mk_replica(2, &clock);
+    // Shared file everywhere.
+    let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"v1").unwrap();
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+    // A updates and B is notified.
+    a.write(f, 0, b"v2").unwrap();
+    b.note_new_version(f, ReplicaId(1), VersionVector::new());
+    let stats = run_propagation(&b, PropagationPolicy::Immediate, connect_to(&a)).unwrap();
+    assert_eq!(stats.notes_taken, 1);
+    assert_eq!(stats.files_pulled, 1);
+    assert_eq!(&b.read(f, 0, 10).unwrap()[..], b"v2");
+    assert_eq!(b.pending_notifications(), 0);
+}
+
+#[test]
+fn delayed_policy_waits_then_coalesces() {
+    let clock = SimClock::new();
+    let a = mk_replica(1, &clock);
+    let b = mk_replica(2, &clock);
+    let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+
+    // A burst of updates, each notified.
+    for i in 0..5 {
+        a.write(f, 0, format!("burst {i}").as_bytes()).unwrap();
+        b.note_new_version(f, ReplicaId(1), VersionVector::new());
+    }
+    // Too young: a delayed daemon leaves it queued.
+    let policy = PropagationPolicy::Delayed(1_000_000);
+    let stats = run_propagation(&b, policy, connect_to(&a)).unwrap();
+    assert_eq!(stats.notes_taken, 0);
+    assert_eq!(b.pending_notifications(), 1, "burst coalesced to one note");
+    // After the delay, one pull fetches the final version.
+    clock.advance(1_000_001);
+    let stats = run_propagation(&b, policy, connect_to(&a)).unwrap();
+    assert_eq!(stats.notes_taken, 1);
+    assert_eq!(stats.files_pulled, 1);
+    assert_eq!(&b.read(f, 0, 10).unwrap()[..], b"burst 4");
+}
+
+#[test]
+fn unreachable_origin_requeues() {
+    let clock = SimClock::new();
+    let a = mk_replica(1, &clock);
+    let b = mk_replica(2, &clock);
+    let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+    a.write(f, 0, b"new").unwrap();
+    b.note_new_version(f, ReplicaId(1), VersionVector::new());
+    // No connectivity at all.
+    let unreachable = |_r: ReplicaId| -> Result<Box<dyn ReplicaAccess>, FsError> {
+        Err(FsError::Unreachable)
+    };
+    let stats = run_propagation(&b, PropagationPolicy::Immediate, unreachable).unwrap();
+    assert_eq!(stats.requeued, 1);
+    assert_eq!(b.pending_notifications(), 1);
+    // Connectivity returns; the retry succeeds.
+    let stats = run_propagation(&b, PropagationPolicy::Immediate, connect_to(&a)).unwrap();
+    assert_eq!(stats.files_pulled, 1);
+}
+
+#[test]
+fn stale_note_is_already_current() {
+    let clock = SimClock::new();
+    let a = mk_replica(1, &clock);
+    let b = mk_replica(2, &clock);
+    let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"v1").unwrap();
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+    // Note arrives although B already pulled the version via recon.
+    b.note_new_version(f, ReplicaId(1), VersionVector::new());
+    let stats = run_propagation(&b, PropagationPolicy::Immediate, connect_to(&a)).unwrap();
+    assert_eq!(stats.already_current, 1);
+    assert_eq!(stats.files_pulled, 0);
+}
+
+#[test]
+fn concurrent_pull_becomes_conflict() {
+    let clock = SimClock::new();
+    let a = mk_replica(1, &clock);
+    let b = mk_replica(2, &clock);
+    let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"base").unwrap();
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+    // Diverge.
+    a.write(f, 0, b"a-side").unwrap();
+    b.write(f, 0, b"b-side").unwrap();
+    b.note_new_version(f, ReplicaId(1), VersionVector::new());
+    let stats = run_propagation(&b, PropagationPolicy::Immediate, connect_to(&a)).unwrap();
+    assert_eq!(stats.conflicts, 1);
+    assert_eq!(&b.read(f, 0, 10).unwrap()[..], b"b-side");
+    assert!(b.repl_attrs(f).unwrap().conflict);
+}
+
+#[test]
+fn directory_note_triggers_reconciliation_step() {
+    let clock = SimClock::new();
+    let a = mk_replica(1, &clock);
+    let b = mk_replica(2, &clock);
+    // Both hold the root; A adds a file and the ROOT directory is notified.
+    let f = a.create(ROOT_FILE, "brand-new", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"hello").unwrap();
+    b.note_new_version(ROOT_FILE, ReplicaId(1), VersionVector::new());
+    let stats = run_propagation(&b, PropagationPolicy::Immediate, connect_to(&a)).unwrap();
+    assert_eq!(stats.dirs_reconciled, 1);
+    assert_eq!(&b.read(f, 0, 10).unwrap()[..], b"hello");
+}
+
+#[test]
+fn vanished_file_note_is_dropped() {
+    let clock = SimClock::new();
+    let a = mk_replica(1, &clock);
+    let b = mk_replica(2, &clock);
+    let f = a.create(ROOT_FILE, "brief", VnodeType::Regular).unwrap();
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+    a.write(f, 0, b"v").unwrap();
+    b.note_new_version(f, ReplicaId(1), VersionVector::new());
+    // The file disappears at the origin before the pull.
+    a.remove(ROOT_FILE, "brief").unwrap();
+    let stats = run_propagation(&b, PropagationPolicy::Immediate, connect_to(&a)).unwrap();
+    assert_eq!(stats.files_pulled, 0);
+    assert_eq!(b.pending_notifications(), 0, "note dropped, not requeued");
+}

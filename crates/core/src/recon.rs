@@ -1,0 +1,211 @@
+//! Reconciliation (paper §3.3).
+//!
+//! "A reconciliation algorithm examines the state of two replicas,
+//! determines which operations have been performed on each, selects a set of
+//! operations to perform on the local replica which reflect previously
+//! unseen activity at the remote replica, and then applies those operations
+//! to the local replica."
+//!
+//! Two levels:
+//!
+//! * [`reconcile_dir`] — one directory: merge the remote entry set (the
+//!   automatic repair), materialize storage for newly adopted children, and
+//!   reconcile the *contents* of every regular file present on both sides —
+//!   pulling dominated versions with the shadow commit, and detecting &
+//!   reporting concurrent updates.
+//! * [`reconcile_subtree`] — "executed periodically to traverse an entire
+//!   subgraph (not just a single node), and reconcile the local replica
+//!   against a remote replica". A breadth-first sweep from the volume root,
+//!   driving [`reconcile_dir`] at every directory (graft points included —
+//!   their replica lists are directory entries and ride the same machinery,
+//!   §4.3).
+//!
+//! Reconciliation is one-directional (pull): running it at both replicas —
+//! as the periodic daemon does — converges them.
+
+use std::collections::BTreeSet;
+
+use ficus_vnode::{FsError, FsResult};
+
+use crate::access::ReplicaAccess;
+use crate::ids::{FicusFileId, ROOT_FILE};
+use crate::phys::FicusPhysical;
+
+/// Tallies from one reconciliation pass (experiment E5's currency).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconStats {
+    /// Directories examined.
+    pub dirs_examined: u64,
+    /// Live entries adopted from the remote replica.
+    pub entries_inserted: u64,
+    /// Tombstones adopted.
+    pub entries_tombstoned: u64,
+    /// Tombstones purged by two-phase GC.
+    pub tombstones_purged: u64,
+    /// Regular files whose newer remote contents were pulled in.
+    pub files_pulled: u64,
+    /// Concurrent-update conflicts detected (stashed and reported).
+    pub update_conflicts: u64,
+    /// Subtrees skipped because the remote replica was missing them.
+    pub remote_missing: u64,
+}
+
+impl ReconStats {
+    /// Accumulates another pass's tallies.
+    pub fn absorb(&mut self, other: ReconStats) {
+        self.dirs_examined += other.dirs_examined;
+        self.entries_inserted += other.entries_inserted;
+        self.entries_tombstoned += other.entries_tombstoned;
+        self.tombstones_purged += other.tombstones_purged;
+        self.files_pulled += other.files_pulled;
+        self.update_conflicts += other.update_conflicts;
+        self.remote_missing += other.remote_missing;
+    }
+
+    /// Whether the pass changed nothing (used to detect convergence).
+    #[must_use]
+    pub fn quiescent(&self) -> bool {
+        self.entries_inserted == 0
+            && self.entries_tombstoned == 0
+            && self.tombstones_purged == 0
+            && self.files_pulled == 0
+            && self.update_conflicts == 0
+    }
+}
+
+/// Reconciles the contents of one regular file against the remote replica.
+///
+/// Pulls when the remote history dominates, does nothing when the local one
+/// does, and stashes + reports a conflict when they diverged.
+pub fn reconcile_file(
+    local: &FicusPhysical,
+    remote: &dyn ReplicaAccess,
+    file: FicusFileId,
+    stats: &mut ReconStats,
+) -> FsResult<()> {
+    let remote_attrs = match remote.fetch_attrs(file) {
+        Ok(a) => a,
+        Err(FsError::NotFound) => {
+            stats.remote_missing += 1;
+            return Ok(());
+        }
+        Err(e) => return Err(e),
+    };
+    let local_vv = local.file_vv(file)?;
+    if local_vv.covers(&remote_attrs.vv) {
+        return Ok(());
+    }
+    let data = remote.fetch_data(file)?;
+    if local_vv.concurrent_with(&remote_attrs.vv) {
+        // Detected and reported to the owner; both versions preserved.
+        if local
+            .conflicts()
+            .for_file(file)
+            .iter()
+            .any(|r| r.other == remote.replica() && r.vv == remote_attrs.vv)
+        {
+            return Ok(()); // already reported this exact divergence
+        }
+        local.stash_conflict_version(file, remote.replica(), &remote_attrs.vv, &data)?;
+        stats.update_conflicts += 1;
+        return Ok(());
+    }
+    local.apply_remote_version(file, &remote_attrs.vv, &data)?;
+    stats.files_pulled += 1;
+    Ok(())
+}
+
+/// Reconciles one directory (entries, adopted children, file contents)
+/// against the remote replica. Does not recurse.
+pub fn reconcile_dir(
+    local: &FicusPhysical,
+    remote: &dyn ReplicaAccess,
+    dir: FicusFileId,
+) -> FsResult<ReconStats> {
+    let mut stats = ReconStats::default();
+    let (remote_entries, remote_attrs) = match remote.fetch_dir(dir) {
+        Ok(x) => x,
+        Err(FsError::NotFound) => {
+            stats.remote_missing += 1;
+            return Ok(stats);
+        }
+        Err(e) => return Err(e),
+    };
+    stats.dirs_examined += 1;
+    let out = local.merge_dir(dir, &remote_entries, remote.replica(), &remote_attrs.vv)?;
+    stats.entries_inserted += out.inserted.len() as u64;
+    stats.entries_tombstoned += out.tombstoned.len() as u64;
+    stats.tombstones_purged += out.purged.len() as u64;
+
+    // Materialize storage for adopted entries.
+    for id in &out.inserted {
+        let Some(entry) = remote_entries.find(*id) else {
+            continue;
+        };
+        if entry.kind.is_directory_like() {
+            let child_attrs = match remote.fetch_attrs(entry.file) {
+                Ok(a) => a,
+                Err(FsError::NotFound) => continue,
+                Err(e) => return Err(e),
+            };
+            local.adopt_dir(dir, entry.file, entry.kind, &child_attrs.vv)?;
+        } else {
+            match remote.fetch_attrs(entry.file) {
+                Ok(child_attrs) => {
+                    let data = remote.fetch_data(entry.file)?;
+                    local.adopt_file(dir, entry.file, entry.kind, &child_attrs.vv, &data)?;
+                    stats.files_pulled += 1;
+                }
+                Err(FsError::NotFound) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // Reconcile contents of regular files present on both sides.
+    let merged = local.dir_entries(dir)?;
+    for entry in merged.live() {
+        if entry.kind.is_directory_like() {
+            continue;
+        }
+        if local.file_vv(entry.file).is_err() {
+            // Entry known but storage never arrived (e.g. a previous pass
+            // was interrupted): try to adopt now.
+            if let Ok(attrs) = remote.fetch_attrs(entry.file) {
+                let data = remote.fetch_data(entry.file)?;
+                local.adopt_file(dir, entry.file, entry.kind, &attrs.vv, &data)?;
+                stats.files_pulled += 1;
+            }
+            continue;
+        }
+        reconcile_file(local, remote, entry.file, &mut stats)?;
+    }
+    Ok(stats)
+}
+
+/// The periodic protocol: breadth-first reconciliation of the whole volume
+/// subgraph rooted at the volume root.
+pub fn reconcile_subtree(
+    local: &FicusPhysical,
+    remote: &dyn ReplicaAccess,
+) -> FsResult<ReconStats> {
+    let mut stats = ReconStats::default();
+    let mut queue = vec![ROOT_FILE];
+    let mut seen: BTreeSet<FicusFileId> = BTreeSet::new();
+    while let Some(dir) = queue.pop() {
+        if !seen.insert(dir) {
+            continue; // the name space is a DAG (§2.5)
+        }
+        stats.absorb(reconcile_dir(local, remote, dir)?);
+        let entries = local.dir_entries(dir)?;
+        for e in entries.live() {
+            if e.kind.is_directory_like() {
+                queue.push(e.file);
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests;

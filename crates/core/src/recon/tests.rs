@@ -1,0 +1,441 @@
+//! Reconciliation tests: two and three replicas diverge and converge.
+
+use std::sync::Arc;
+
+use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
+use ficus_vnode::{FileSystem, LogicalClock, TimeSource, VnodeType};
+
+use crate::access::{LocalAccess, VnodeAccess};
+use crate::conflict::ConflictKind;
+use crate::ids::{FicusFileId, ReplicaId, VolumeName, ROOT_FILE};
+use crate::phys::vnode::PhysFs;
+use crate::phys::{FicusPhysical, PhysParams, StorageLayout};
+use crate::recon::{reconcile_file, reconcile_subtree, ReconStats};
+
+fn mk_replica(me: u32, all: &[u32]) -> Arc<FicusPhysical> {
+    let ufs = Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap();
+    FicusPhysical::create_volume(
+        Arc::new(ufs),
+        &format!("vol_r{me}"),
+        VolumeName::new(1, 1),
+        ReplicaId(me),
+        all,
+        Arc::new(LogicalClock::new()) as Arc<dyn TimeSource>,
+        PhysParams::default(),
+    )
+    .unwrap()
+}
+
+fn pair() -> (Arc<FicusPhysical>, Arc<FicusPhysical>) {
+    (mk_replica(1, &[1, 2]), mk_replica(2, &[1, 2]))
+}
+
+/// Reconciles both directions until quiescent (like the periodic daemon).
+fn converge(replicas: &[&Arc<FicusPhysical>]) -> ReconStats {
+    let mut total = ReconStats::default();
+    for _ in 0..8 {
+        let mut round = ReconStats::default();
+        for local in replicas {
+            for remote in replicas {
+                if Arc::ptr_eq(local, remote) {
+                    continue;
+                }
+                let access = LocalAccess::new(Arc::clone(remote));
+                round.absorb(reconcile_subtree(local, &access).unwrap());
+            }
+        }
+        let quiescent = round.quiescent();
+        total.absorb(round);
+        if quiescent {
+            return total;
+        }
+    }
+    panic!("replicas failed to converge within 8 rounds");
+}
+
+/// Asserts two replicas expose identical logical content.
+fn assert_same_tree(a: &FicusPhysical, b: &FicusPhysical) {
+    fn walk(p: &FicusPhysical, dir: FicusFileId, out: &mut Vec<(String, Option<Vec<u8>>)>, prefix: &str) {
+        let d = p.dir_entries(dir).unwrap();
+        let mut live: Vec<_> = d.live().cloned().collect();
+        live.sort_by_key(|e| (e.name.clone(), e.id));
+        for e in live {
+            let path = format!("{prefix}/{}", e.name);
+            if e.kind.is_directory_like() {
+                out.push((path.clone(), None));
+                walk(p, e.file, out, &path);
+            } else {
+                let size = p.storage_attr(e.file).unwrap().size as usize;
+                let data = p.read(e.file, 0, size).unwrap().to_vec();
+                out.push((path, Some(data)));
+            }
+        }
+    }
+    let mut ta = Vec::new();
+    let mut tb = Vec::new();
+    walk(a, ROOT_FILE, &mut ta, "");
+    walk(b, ROOT_FILE, &mut tb, "");
+    assert_eq!(ta, tb);
+}
+
+#[test]
+fn empty_replicas_are_quiescent() {
+    let (a, b) = pair();
+    let stats = reconcile_subtree(&a, &LocalAccess::new(Arc::clone(&b))).unwrap();
+    assert!(stats.quiescent());
+    assert_eq!(stats.dirs_examined, 1);
+}
+
+#[test]
+fn remote_create_is_adopted_with_data() {
+    let (a, b) = pair();
+    let f = b.create(ROOT_FILE, "news", VnodeType::Regular).unwrap();
+    b.write(f, 0, b"from b with love").unwrap();
+    let stats = reconcile_subtree(&a, &LocalAccess::new(Arc::clone(&b))).unwrap();
+    assert_eq!(stats.entries_inserted, 1);
+    assert_eq!(stats.files_pulled, 1);
+    assert_eq!(&a.read(f, 0, 100).unwrap()[..], b"from b with love");
+    converge(&[&a, &b]);
+    assert_same_tree(&a, &b);
+}
+
+#[test]
+fn remote_subtree_is_adopted_recursively() {
+    let (a, b) = pair();
+    let d1 = b.mkdir(ROOT_FILE, "deep").unwrap();
+    let d2 = b.mkdir(d1, "deeper").unwrap();
+    let f = b.create(d2, "leaf", VnodeType::Regular).unwrap();
+    b.write(f, 0, b"leaf data").unwrap();
+    converge(&[&a, &b]);
+    assert_eq!(a.lookup(d2, "leaf").unwrap().file, f);
+    assert_eq!(&a.read(f, 0, 100).unwrap()[..], b"leaf data");
+    assert_same_tree(&a, &b);
+}
+
+#[test]
+fn dominated_update_is_pulled() {
+    let (a, b) = pair();
+    let f = a.create(ROOT_FILE, "shared", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"v1").unwrap();
+    converge(&[&a, &b]);
+    // B updates; A pulls.
+    b.write(f, 0, b"v2").unwrap();
+    let mut stats = ReconStats::default();
+    reconcile_file(&a, &LocalAccess::new(Arc::clone(&b)), f, &mut stats).unwrap();
+    assert_eq!(stats.files_pulled, 1);
+    assert_eq!(&a.read(f, 0, 10).unwrap()[..], b"v2");
+    assert_eq!(a.file_vv(f).unwrap(), b.file_vv(f).unwrap());
+}
+
+#[test]
+fn concurrent_updates_conflict_and_are_reported_once() {
+    let (a, b) = pair();
+    let f = a.create(ROOT_FILE, "shared", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"base").unwrap();
+    converge(&[&a, &b]);
+    // Partitioned updates.
+    a.write(f, 0, b"a-side").unwrap();
+    b.write(f, 0, b"b-side").unwrap();
+    let mut stats = ReconStats::default();
+    let access = LocalAccess::new(Arc::clone(&b));
+    reconcile_file(&a, &access, f, &mut stats).unwrap();
+    assert_eq!(stats.update_conflicts, 1);
+    // Local content untouched; remote stashed; owner notified.
+    assert_eq!(&a.read(f, 0, 10).unwrap()[..], b"a-side");
+    assert_eq!(&a.read_conflict_version(f, ReplicaId(2)).unwrap()[..], b"b-side");
+    assert_eq!(a.conflicts().count_kind(ConflictKind::ConcurrentUpdate), 1);
+    // Re-running recon does not duplicate the report.
+    let mut stats2 = ReconStats::default();
+    reconcile_file(&a, &access, f, &mut stats2).unwrap();
+    assert_eq!(stats2.update_conflicts, 0);
+    assert_eq!(a.conflicts().count_kind(ConflictKind::ConcurrentUpdate), 1);
+}
+
+#[test]
+fn conflict_resolution_then_propagation() {
+    let (a, b) = pair();
+    let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    converge(&[&a, &b]);
+    a.write(f, 0, b"a!").unwrap();
+    b.write(f, 0, b"b!").unwrap();
+    let mut stats = ReconStats::default();
+    reconcile_file(&a, &LocalAccess::new(Arc::clone(&b)), f, &mut stats).unwrap();
+    assert_eq!(stats.update_conflicts, 1);
+    // Owner resolves at A (keeps A's content, merges histories, +1 update).
+    let b_vv = b.file_vv(f).unwrap();
+    a.resolve_conflict(f, &b_vv).unwrap();
+    // Now A dominates: B pulls A's resolution.
+    let mut stats = ReconStats::default();
+    reconcile_file(&b, &LocalAccess::new(Arc::clone(&a)), f, &mut stats).unwrap();
+    assert_eq!(stats.files_pulled, 1);
+    assert_eq!(&b.read(f, 0, 10).unwrap()[..], b"a!");
+    assert_eq!(a.file_vv(f).unwrap(), b.file_vv(f).unwrap());
+}
+
+#[test]
+fn remote_remove_is_applied_and_gc_runs() {
+    let (a, b) = pair();
+    let f = a.create(ROOT_FILE, "doomed", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"bye").unwrap();
+    converge(&[&a, &b]);
+    b.remove(ROOT_FILE, "doomed").unwrap();
+    let stats = reconcile_subtree(&a, &LocalAccess::new(Arc::clone(&b))).unwrap();
+    assert_eq!(stats.entries_tombstoned, 1);
+    assert!(a.lookup(ROOT_FILE, "doomed").is_err());
+    // Storage reclaimed at A (the delete covered all local updates).
+    assert!(a.file_vv(f).is_err());
+    converge(&[&a, &b]);
+    assert_same_tree(&a, &b);
+    // Tombstone fully GC'd on both replicas.
+    assert!(a.dir_entries(ROOT_FILE).unwrap().entries.is_empty());
+    assert!(b.dir_entries(ROOT_FILE).unwrap().entries.is_empty());
+}
+
+#[test]
+fn remove_update_conflict_preserves_data() {
+    let (a, b) = pair();
+    let f = a.create(ROOT_FILE, "contested", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"v1").unwrap();
+    converge(&[&a, &b]);
+    // Partition: B removes, A updates.
+    b.remove(ROOT_FILE, "contested").unwrap();
+    a.write(f, 0, b"v2 that must not vanish").unwrap();
+    let _ = reconcile_subtree(&a, &LocalAccess::new(Arc::clone(&b))).unwrap();
+    // The name is gone (the delete wins the name space)...
+    assert!(a.lookup(ROOT_FILE, "contested").is_err());
+    // ...but the updated bytes survive in the orphanage, and the owner is
+    // told.
+    assert_eq!(a.conflicts().count_kind(ConflictKind::RemoveUpdate), 1);
+    assert_eq!(a.orphans().unwrap(), vec![f]);
+}
+
+#[test]
+fn concurrent_same_name_creates_survive_on_both() {
+    let (a, b) = pair();
+    let fa = a.create(ROOT_FILE, "paper.tex", VnodeType::Regular).unwrap();
+    a.write(fa, 0, b"version A").unwrap();
+    let fb = b.create(ROOT_FILE, "paper.tex", VnodeType::Regular).unwrap();
+    b.write(fb, 0, b"version B").unwrap();
+    converge(&[&a, &b]);
+    // Both files exist on both replicas; primary is deterministic.
+    for p in [&a, &b] {
+        let d = p.dir_entries(ROOT_FILE).unwrap();
+        assert_eq!(d.named("paper.tex").len(), 2);
+        assert_eq!(&p.read(fa, 0, 100).unwrap()[..], b"version A");
+        assert_eq!(&p.read(fb, 0, 100).unwrap()[..], b"version B");
+    }
+    assert_same_tree(&a, &b);
+}
+
+#[test]
+fn partitioned_renames_of_directory_yield_both_names() {
+    // Paper §2.5 footnote 3, end to end at the physical layer.
+    let (a, b) = pair();
+    let d = a.mkdir(ROOT_FILE, "proj").unwrap();
+    let f = a.create(d, "notes", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"content").unwrap();
+    converge(&[&a, &b]);
+    a.rename(ROOT_FILE, "proj", ROOT_FILE, "proj-alpha").unwrap();
+    b.rename(ROOT_FILE, "proj", ROOT_FILE, "proj-beta").unwrap();
+    converge(&[&a, &b]);
+    for p in [&a, &b] {
+        assert!(p.lookup(ROOT_FILE, "proj").is_err());
+        assert_eq!(p.lookup(ROOT_FILE, "proj-alpha").unwrap().file, d);
+        assert_eq!(p.lookup(ROOT_FILE, "proj-beta").unwrap().file, d);
+        // Same directory through either name.
+        assert_eq!(p.lookup(d, "notes").unwrap().file, f);
+    }
+    assert_same_tree(&a, &b);
+}
+
+#[test]
+fn three_replicas_converge_through_pairwise_recon() {
+    let a = mk_replica(1, &[1, 2, 3]);
+    let b = mk_replica(2, &[1, 2, 3]);
+    let c = mk_replica(3, &[1, 2, 3]);
+    let fa = a.create(ROOT_FILE, "from-a", VnodeType::Regular).unwrap();
+    a.write(fa, 0, b"A").unwrap();
+    let fb = b.create(ROOT_FILE, "from-b", VnodeType::Regular).unwrap();
+    b.write(fb, 0, b"B").unwrap();
+    let dc = c.mkdir(ROOT_FILE, "from-c").unwrap();
+    c.create(dc, "inner", VnodeType::Regular).unwrap();
+    converge(&[&a, &b, &c]);
+    assert_same_tree(&a, &b);
+    assert_same_tree(&b, &c);
+    for p in [&a, &b, &c] {
+        assert!(p.lookup(ROOT_FILE, "from-a").is_ok());
+        assert!(p.lookup(ROOT_FILE, "from-b").is_ok());
+        assert!(p.lookup(ROOT_FILE, "from-c").is_ok());
+    }
+}
+
+#[test]
+fn reconciliation_works_through_the_vnode_interface() {
+    // The same protocol with the remote accessed as a vnode stack (what
+    // NFS transports): LocalAccess and VnodeAccess must be interchangeable.
+    let (a, b) = pair();
+    let f = b.create(ROOT_FILE, "via-vnode", VnodeType::Regular).unwrap();
+    b.write(f, 0, b"remote bytes").unwrap();
+    let access = VnodeAccess::new(ReplicaId(2), PhysFs::new(Arc::clone(&b)).root());
+    let stats = reconcile_subtree(&a, &access).unwrap();
+    assert_eq!(stats.entries_inserted, 1);
+    assert_eq!(&a.read(f, 0, 100).unwrap()[..], b"remote bytes");
+}
+
+#[test]
+fn graft_points_reconcile_like_directories() {
+    // §4.3/§7: graft-point replica lists are directory entries, so the
+    // directory machinery replicates them with no special code.
+    let (a, b) = pair();
+    let target = VolumeName::new(9, 9);
+    let g = a.make_graft_point(ROOT_FILE, "src", target).unwrap();
+    a.graft_add_replica(g, ReplicaId(1), 10).unwrap();
+    converge(&[&a, &b]);
+    // B learned the graft point, its target, and the replica list.
+    assert_eq!(b.graft_target(g).unwrap(), target);
+    assert_eq!(b.graft_replicas(g).unwrap(), vec![(ReplicaId(1), 10)]);
+    // Partitioned additions to the replica list merge cleanly.
+    a.graft_add_replica(g, ReplicaId(2), 20).unwrap();
+    b.graft_add_replica(g, ReplicaId(3), 30).unwrap();
+    converge(&[&a, &b]);
+    let pairs = a.graft_replicas(g).unwrap();
+    assert_eq!(
+        pairs,
+        vec![
+            (ReplicaId(1), 10),
+            (ReplicaId(2), 20),
+            (ReplicaId(3), 30)
+        ]
+    );
+    assert_eq!(b.graft_replicas(g).unwrap(), pairs);
+}
+
+#[test]
+fn flat_layout_reconciles_identically() {
+    let mk = |me: u32| {
+        let ufs = Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap();
+        FicusPhysical::create_volume(
+            Arc::new(ufs),
+            &format!("flat_r{me}"),
+            VolumeName::new(1, 1),
+            ReplicaId(me),
+            &[1, 2],
+            Arc::new(LogicalClock::new()) as Arc<dyn TimeSource>,
+            PhysParams {
+                layout: StorageLayout::Flat,
+                ..PhysParams::default()
+            },
+        )
+        .unwrap()
+    };
+    let a = mk(1);
+    let b = mk(2);
+    let d = a.mkdir(ROOT_FILE, "dir").unwrap();
+    let f = a.create(d, "file", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"flat world").unwrap();
+    converge(&[&a, &b]);
+    assert_eq!(&b.read(f, 0, 100).unwrap()[..], b"flat world");
+    assert_same_tree(&a, &b);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random partitioned op histories against two FULL physical
+// replicas (real storage, real tombstone GC), interleaved with random
+// reconciliation, must always converge with no lost live files.
+// ---------------------------------------------------------------------------
+
+mod convergence_prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum PhysOp {
+        Create(u8, u8),
+        Write(u8, u8, u8),
+        Remove(u8, u8),
+        Rename(u8, u8, u8),
+        Mkdir(u8, u8),
+        Recon(u8),
+    }
+
+    fn arb_ops() -> impl Strategy<Value = Vec<PhysOp>> {
+        proptest::collection::vec(
+            prop_oneof![
+                (any::<u8>(), any::<u8>()).prop_map(|(r, n)| PhysOp::Create(r, n)),
+                (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, n, b)| PhysOp::Write(r, n, b)),
+                (any::<u8>(), any::<u8>()).prop_map(|(r, n)| PhysOp::Remove(r, n)),
+                (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, a, b)| PhysOp::Rename(r, a, b)),
+                (any::<u8>(), any::<u8>()).prop_map(|(r, n)| PhysOp::Mkdir(r, n)),
+                any::<u8>().prop_map(PhysOp::Recon),
+            ],
+            0..30,
+        )
+    }
+
+    fn name_of(n: u8) -> String {
+        format!("n{}", n % 6)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_two_phys_replicas_converge(ops in arb_ops()) {
+            let a = mk_replica(1, &[1, 2]);
+            let b = mk_replica(2, &[1, 2]);
+            let reps = [&a, &b];
+            for op in &ops {
+                match op {
+                    PhysOp::Create(r, n) => {
+                        let p = reps[(*r as usize) % 2];
+                        let _ = p.create(ROOT_FILE, &name_of(*n), VnodeType::Regular);
+                    }
+                    PhysOp::Write(r, n, byte) => {
+                        let p = reps[(*r as usize) % 2];
+                        if let Ok(e) = p.lookup(ROOT_FILE, &name_of(*n)) {
+                            if !e.kind.is_directory_like() {
+                                let _ = p.write(e.file, 0, &[*byte; 8]);
+                            }
+                        }
+                    }
+                    PhysOp::Remove(r, n) => {
+                        let p = reps[(*r as usize) % 2];
+                        let _ = p.remove(ROOT_FILE, &name_of(*n));
+                    }
+                    PhysOp::Rename(r, from, to) => {
+                        let p = reps[(*r as usize) % 2];
+                        let _ = p.rename(ROOT_FILE, &name_of(*from), ROOT_FILE, &name_of(*to));
+                    }
+                    PhysOp::Mkdir(r, n) => {
+                        let p = reps[(*r as usize) % 2];
+                        let _ = p.mkdir(ROOT_FILE, &name_of(*n));
+                    }
+                    PhysOp::Recon(r) => {
+                        let (local, remote) = if r % 2 == 0 { (&a, &b) } else { (&b, &a) };
+                        reconcile_subtree(local, &LocalAccess::new(Arc::clone(remote))).unwrap();
+                    }
+                }
+            }
+            // Drive to quiescence (bounded; panics inside converge() if the
+            // protocol livelocks).
+            converge(&[&a, &b]);
+            // Name spaces agree exactly (entry sets, including conflict
+            // disambiguation, and file bytes except concurrently-updated
+            // files, whose divergence is a *reported* state).
+            let da = a.dir_entries(ROOT_FILE).unwrap();
+            let db = b.dir_entries(ROOT_FILE).unwrap();
+            let canon = |d: &crate::dirfile::FicusDir| {
+                let mut v: Vec<_> = d.entries.iter().map(|e| (e.id, e.name.clone(), e.file, e.deleted())).collect();
+                v.sort();
+                v
+            };
+            prop_assert_eq!(canon(&da), canon(&db));
+            // Every live file has storage and readable attributes on BOTH
+            // replicas (no dangling entries).
+            for e in da.live() {
+                prop_assert!(a.repl_attrs(e.file).is_ok(), "a missing {}", e.file);
+                prop_assert!(b.repl_attrs(e.file).is_ok(), "b missing {}", e.file);
+            }
+        }
+    }
+}

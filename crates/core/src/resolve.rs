@@ -1,0 +1,226 @@
+//! The owner's conflict-resolution tool.
+//!
+//! "Conflicting updates to ordinary files are detected and reported to the
+//! owner" (paper §1). This module is the other half of that contract: the
+//! tool the owner runs to inspect a reported conflict and dispose of it.
+//! Each conflicting remote version was preserved by the physical layer as a
+//! `.c<replica>` sibling; the owner chooses a [`Resolution`], the tool
+//! applies it, merges the version-vector histories (plus one fresh local
+//! update so the resolution *dominates* every input and propagates
+//! everywhere), clears the conflict flag, and discards the stashes.
+
+use ficus_vnode::{FsError, FsResult};
+use ficus_vv::VersionVector;
+
+use crate::ids::{FicusFileId, ReplicaId};
+use crate::phys::FicusPhysical;
+
+/// A conflict awaiting the owner's decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingConflict {
+    /// The conflicted file.
+    pub file: FicusFileId,
+    /// Replicas whose divergent versions are stashed locally.
+    pub versions: Vec<ReplicaId>,
+}
+
+/// How the owner disposes of a conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Keep the local content; discard the remote versions.
+    KeepLocal,
+    /// Adopt the stashed version from this replica.
+    TakeRemote(ReplicaId),
+    /// Concatenate local content and every stashed version, separated by
+    /// conflict markers (the classic merge-by-hand starting point).
+    Concatenate,
+}
+
+/// Lists the conflicts pending at one replica (files whose attributes carry
+/// the conflict flag, with their stashed versions).
+pub fn pending(phys: &FicusPhysical) -> FsResult<Vec<PendingConflict>> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for report in phys.conflicts().all() {
+        if !seen.insert(report.file) {
+            continue;
+        }
+        let Ok(attrs) = phys.repl_attrs(report.file) else {
+            continue; // the file has since been removed
+        };
+        if !attrs.conflict {
+            continue; // already resolved
+        }
+        out.push(PendingConflict {
+            file: report.file,
+            versions: phys.conflict_versions(report.file)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Applies `resolution` to a conflicted file at this replica.
+///
+/// After this call the file carries a version vector that dominates every
+/// version involved, so ordinary update propagation carries the resolution
+/// to the other replicas — no further ceremony needed.
+pub fn resolve(
+    phys: &FicusPhysical,
+    file: FicusFileId,
+    resolution: Resolution,
+) -> FsResult<()> {
+    let attrs = phys.repl_attrs(file)?;
+    if !attrs.conflict {
+        return Err(FsError::Invalid);
+    }
+    let versions = phys.conflict_versions(file)?;
+    // The join of every stashed reporter's advertised history: the reports
+    // recorded each divergent vector.
+    let mut others = VersionVector::new();
+    for report in phys.conflicts().for_file(file) {
+        others.merge(&report.vv);
+    }
+
+    match resolution {
+        Resolution::KeepLocal => {}
+        Resolution::TakeRemote(origin) => {
+            if !versions.contains(&origin) {
+                return Err(FsError::NotFound);
+            }
+            let data = phys.read_conflict_version(file, origin)?;
+            let len = data.len();
+            phys.write(file, 0, &data)?;
+            phys.truncate(file, len as u64)?;
+        }
+        Resolution::Concatenate => {
+            let size = phys.storage_attr(file)?.size as usize;
+            let mut merged = phys.read(file, 0, size)?.to_vec();
+            for origin in &versions {
+                merged.extend_from_slice(
+                    format!("\n<<<<<<< replica {}\n", origin.0).as_bytes(),
+                );
+                merged.extend_from_slice(&phys.read_conflict_version(file, *origin)?);
+                merged.extend_from_slice(b"\n>>>>>>>\n");
+            }
+            let len = merged.len();
+            phys.write(file, 0, &merged)?;
+            phys.truncate(file, len as u64)?;
+        }
+    }
+    // Merge histories + one fresh local update + clear the flag.
+    phys.resolve_conflict(file, &others)?;
+    for origin in versions {
+        phys.discard_conflict_version(file, origin)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
+    use ficus_vnode::{LogicalClock, TimeSource, VnodeType};
+
+    use crate::access::LocalAccess;
+    use crate::ids::{VolumeName, ROOT_FILE};
+    use crate::phys::PhysParams;
+    use crate::recon::{reconcile_file, reconcile_subtree, ReconStats};
+
+    fn mk(me: u32) -> Arc<FicusPhysical> {
+        let ufs = Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap();
+        FicusPhysical::create_volume(
+            Arc::new(ufs),
+            "vol",
+            VolumeName::new(1, 1),
+            ReplicaId(me),
+            &[1, 2],
+            Arc::new(LogicalClock::new()) as Arc<dyn TimeSource>,
+            PhysParams::default(),
+        )
+        .unwrap()
+    }
+
+    /// Builds two replicas with one conflicted file, reconciled at `a`.
+    fn conflicted() -> (Arc<FicusPhysical>, Arc<FicusPhysical>, FicusFileId) {
+        let a = mk(1);
+        let b = mk(2);
+        let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+        a.write(f, 0, b"base").unwrap();
+        reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+        a.write(f, 0, b"AAAA").unwrap();
+        b.write(f, 0, b"BB").unwrap();
+        b.truncate(f, 2).unwrap();
+        let mut stats = ReconStats::default();
+        reconcile_file(&a, &LocalAccess::new(Arc::clone(&b)), f, &mut stats).unwrap();
+        assert_eq!(stats.update_conflicts, 1);
+        (a, b, f)
+    }
+
+    #[test]
+    fn pending_lists_the_conflict_with_its_versions() {
+        let (a, _b, f) = conflicted();
+        let p = pending(&a).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].file, f);
+        assert_eq!(p[0].versions, vec![ReplicaId(2)]);
+    }
+
+    #[test]
+    fn keep_local_dominates_and_propagates() {
+        let (a, b, f) = conflicted();
+        resolve(&a, f, Resolution::KeepLocal).unwrap();
+        assert!(!a.repl_attrs(f).unwrap().conflict);
+        assert!(pending(&a).unwrap().is_empty());
+        assert_eq!(a.conflict_versions(f).unwrap(), vec![]);
+        // The resolution dominates B's history: B pulls it cleanly.
+        let mut stats = ReconStats::default();
+        reconcile_file(&b, &LocalAccess::new(Arc::clone(&a)), f, &mut stats).unwrap();
+        assert_eq!(stats.files_pulled, 1);
+        assert_eq!(&b.read(f, 0, 10).unwrap()[..], b"AAAA");
+    }
+
+    #[test]
+    fn take_remote_adopts_the_stashed_bytes() {
+        let (a, b, f) = conflicted();
+        resolve(&a, f, Resolution::TakeRemote(ReplicaId(2))).unwrap();
+        assert_eq!(&a.read(f, 0, 10).unwrap()[..], b"BB");
+        assert_eq!(a.storage_attr(f).unwrap().size, 2, "truncated to the remote length");
+        // Propagates over B's own version too (strictly newer history).
+        let mut stats = ReconStats::default();
+        reconcile_file(&b, &LocalAccess::new(Arc::clone(&a)), f, &mut stats).unwrap();
+        assert_eq!(&b.read(f, 0, 10).unwrap()[..], b"BB");
+    }
+
+    #[test]
+    fn concatenate_preserves_both_sides_with_markers() {
+        let (a, _b, f) = conflicted();
+        resolve(&a, f, Resolution::Concatenate).unwrap();
+        let size = a.storage_attr(f).unwrap().size as usize;
+        let text = a.read(f, 0, size).unwrap();
+        let s = String::from_utf8(text.to_vec()).unwrap();
+        assert!(s.starts_with("AAAA"));
+        assert!(s.contains("<<<<<<< replica 2"));
+        assert!(s.contains("BB"));
+    }
+
+    #[test]
+    fn resolving_a_clean_file_is_invalid() {
+        let a = mk(1);
+        let f = a.create(ROOT_FILE, "clean", VnodeType::Regular).unwrap();
+        assert_eq!(
+            resolve(&a, f, Resolution::KeepLocal).unwrap_err(),
+            FsError::Invalid
+        );
+    }
+
+    #[test]
+    fn take_remote_from_unknown_replica_errors() {
+        let (a, _b, f) = conflicted();
+        assert_eq!(
+            resolve(&a, f, Resolution::TakeRemote(ReplicaId(9))).unwrap_err(),
+            FsError::NotFound
+        );
+    }
+}

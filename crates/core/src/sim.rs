@@ -1,0 +1,729 @@
+//! A turnkey multi-host Ficus world over the simulated network.
+//!
+//! [`FicusWorld`] assembles, per host: a disk, a UFS, the physical layers of
+//! whatever volume replicas the host stores, an NFS server per export, the
+//! update-notification datagram handler, and a logical layer — the full
+//! stack of the paper's Figure 2. Examples, integration tests, and every
+//! benchmark drive the system through this harness:
+//!
+//! ```text
+//! let mut w = FicusWorld::new(WorldParams::default());   // 3 hosts, 3 replicas
+//! let root = w.logical(HostId(1)).root();                // the one-copy view
+//! ...
+//! w.partition(&[&[HostId(1)], &[HostId(2), HostId(3)]]); // life happens
+//! ...
+//! w.heal();
+//! w.reconcile_all();                                     // daemons catch up
+//! ```
+//!
+//! The harness is deterministic: one shared [`SimClock`], seeded loss, no
+//! wall-clock anywhere.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ficus_net::{HostId, Network, NetworkParams, SimClock};
+use ficus_nfs::client::{NfsClientFs, NfsClientParams};
+use ficus_nfs::server::NfsServer;
+use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
+use ficus_vnode::{FileSystem, FsError, FsResult, TimeSource, VnodeRef};
+
+use crate::access::{LocalAccess, ReplicaAccess, VnodeAccess};
+use crate::ids::{FicusFileId, ReplicaId, VolumeName};
+use crate::logical::{FicusLogical, LogicalParams};
+use crate::phys::vnode::PhysFs;
+use crate::phys::{FicusPhysical, PhysParams, StorageLayout};
+use crate::propagate::{
+    run_propagation, PropagationPolicy, PropagationStats, UpdateNote, NOTE_SERVICE,
+};
+use crate::recon::{reconcile_subtree, ReconStats};
+use crate::volume::Connector;
+
+/// World construction parameters.
+#[derive(Debug, Clone)]
+pub struct WorldParams {
+    /// Hosts in the world (numbered 1..=n).
+    pub hosts: u32,
+    /// Hosts storing replicas of the root volume (replica id = host id).
+    pub root_replica_hosts: Vec<u32>,
+    /// Physical-layer storage layout.
+    pub layout: StorageLayout,
+    /// Disk geometry per host.
+    pub geometry: Geometry,
+    /// Buffer-cache blocks per host.
+    pub cache_blocks: usize,
+    /// Network behavior.
+    pub net: NetworkParams,
+    /// Propagation policy used by [`FicusWorld::run_propagation`].
+    pub propagation: PropagationPolicy,
+    /// Logical-layer tunables.
+    pub logical: LogicalParams,
+}
+
+impl Default for WorldParams {
+    fn default() -> Self {
+        WorldParams {
+            hosts: 3,
+            root_replica_hosts: vec![1, 2, 3],
+            layout: StorageLayout::Tree,
+            geometry: Geometry::medium(),
+            cache_blocks: 2048,
+            net: NetworkParams::default(),
+            propagation: PropagationPolicy::Immediate,
+            logical: LogicalParams::default(),
+        }
+    }
+}
+
+/// Everything one host runs.
+pub struct HostState {
+    /// The host's UFS (also reachable through `phys.storage()`).
+    pub ufs: Arc<Ufs>,
+    /// Physical layers for the volume replicas stored here (shared with the
+    /// host's connector and datagram handler, so volumes created later are
+    /// visible everywhere).
+    pub physes: Arc<Mutex<HashMap<VolumeName, Arc<FicusPhysical>>>>,
+    /// The logical layer.
+    pub logical: Arc<FicusLogical>,
+}
+
+/// The assembled world.
+pub struct FicusWorld {
+    clock: Arc<SimClock>,
+    net: Network,
+    params: WorldParams,
+    root_vol: VolumeName,
+    hosts: HashMap<HostId, HostState>,
+    /// `(vol, replica) -> host` placement, shared with connectors.
+    placement: Arc<Mutex<HashMap<(VolumeName, ReplicaId), HostId>>>,
+    next_volume_id: u32,
+}
+
+/// RPC service name for a volume replica's NFS export.
+fn export_service(vol: VolumeName, replica: ReplicaId) -> String {
+    format!("ficus:{vol}:r{}", replica.0)
+}
+
+/// The world's [`Connector`]: local physical layers directly, remote ones
+/// through per-export NFS mounts (cached).
+struct WorldConnector {
+    host: HostId,
+    net: Network,
+    local: Arc<Mutex<HashMap<VolumeName, Arc<FicusPhysical>>>>,
+    mounts: Mutex<HashMap<(VolumeName, ReplicaId), VnodeRef>>,
+}
+
+impl Connector for WorldConnector {
+    fn connect(&self, vol: VolumeName, replica: ReplicaId, at_host: HostId) -> FsResult<VnodeRef> {
+        // Co-resident replica: hand out the physical layer directly.
+        if at_host == self.host {
+            if let Some(phys) = self.local.lock().get(&vol) {
+                if phys.replica() == replica {
+                    return Ok(PhysFs::new(Arc::clone(phys)).root());
+                }
+            }
+        }
+        if let Some(root) = self.mounts.lock().get(&(vol, replica)) {
+            // Cached mount: verify liveness cheaply.
+            return Ok(root.clone());
+        }
+        if !self.net.reachable(self.host, at_host) {
+            return Err(FsError::Unreachable);
+        }
+        let client = NfsClientFs::mount_service(
+            self.net.clone(),
+            self.host,
+            at_host,
+            &export_service(vol, replica),
+            // Replica state must be read fresh: the logical layer's
+            // most-recent-copy selection cannot tolerate a stale attribute
+            // cache (the §2.2 complaint about uncontrollable NFS caching).
+            NfsClientParams::uncached(),
+        )?;
+        let root = client.root();
+        self.mounts.lock().insert((vol, replica), root.clone());
+        Ok(root)
+    }
+
+    fn local(&self, vol: VolumeName) -> Option<Arc<FicusPhysical>> {
+        self.local.lock().get(&vol).cloned()
+    }
+}
+
+impl FicusWorld {
+    /// Builds a world per `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent parameters (e.g. a root replica host outside
+    /// the host range) — worlds are test fixtures, not user input.
+    #[must_use]
+    pub fn new(params: WorldParams) -> Self {
+        let clock = SimClock::new();
+        let net = Network::new(Arc::clone(&clock), params.net.clone());
+        let root_vol = VolumeName::new(1, 1);
+        let placement: Arc<Mutex<HashMap<(VolumeName, ReplicaId), HostId>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+
+        let all_root_replicas: Vec<u32> = params.root_replica_hosts.clone();
+        let mut hosts = HashMap::new();
+        let mut connectors: HashMap<HostId, Arc<WorldConnector>> = HashMap::new();
+
+        for h in 1..=params.hosts {
+            let host = HostId(h);
+            net.add_host(host);
+            let disk = Disk::new(params.geometry);
+            let ufs = Arc::new(
+                Ufs::format_with_clock(
+                    disk,
+                    UfsParams {
+                        fsid: u64::from(h),
+                        cache_blocks: params.cache_blocks,
+                        ..UfsParams::default()
+                    },
+                    Arc::clone(&clock) as Arc<dyn TimeSource>,
+                )
+                .expect("disk large enough for a UFS"),
+            );
+            let physes: Arc<Mutex<HashMap<VolumeName, Arc<FicusPhysical>>>> =
+                Arc::new(Mutex::new(HashMap::new()));
+            if params.root_replica_hosts.contains(&h) {
+                assert!(h <= params.hosts, "replica host outside host range");
+                let phys = FicusPhysical::create_volume(
+                    Arc::clone(&ufs) as Arc<dyn FileSystem>,
+                    &format!("{root_vol}"),
+                    root_vol,
+                    ReplicaId(h),
+                    &all_root_replicas,
+                    Arc::clone(&clock) as Arc<dyn TimeSource>,
+                    PhysParams {
+                        layout: params.layout,
+                        fsid: 0x1C05_0000 | u64::from(h),
+                    },
+                )
+                .expect("fresh volume replica");
+                // Export it.
+                let server = NfsServer::new(PhysFs::new(Arc::clone(&phys)) as Arc<dyn FileSystem>);
+                server.serve_as(&net, host, &export_service(root_vol, ReplicaId(h)));
+                placement
+                    .lock()
+                    .insert((root_vol, ReplicaId(h)), host);
+                physes.lock().insert(root_vol, phys);
+            }
+
+            let connector = Arc::new(WorldConnector {
+                host,
+                net: net.clone(),
+                local: Arc::clone(&physes),
+                mounts: Mutex::new(HashMap::new()),
+            });
+            connectors.insert(host, Arc::clone(&connector));
+
+            // Update-notification delivery: route to the right physical
+            // layer on this host.
+            {
+                let connector = Arc::clone(&connector);
+                net.register_datagram(
+                    host,
+                    NOTE_SERVICE,
+                    Arc::new(move |_from, payload| {
+                        if let Ok(note) = UpdateNote::decode(payload) {
+                            if let Some(phys) = connector.local.lock().get(&note.volume) {
+                                if phys.replica() != note.origin {
+                                    phys.note_new_version(
+                                        note.file,
+                                        note.origin,
+                                        ficus_vv::VersionVector::new(),
+                                    );
+                                }
+                            }
+                        }
+                    }),
+                );
+            }
+
+            let root_locations: Vec<(ReplicaId, HostId)> = params
+                .root_replica_hosts
+                .iter()
+                .map(|&r| (ReplicaId(r), HostId(r)))
+                .collect();
+            let logical = FicusLogical::new(
+                host,
+                net.clone(),
+                connector,
+                root_vol,
+                root_locations,
+                params.logical.clone(),
+            );
+            hosts.insert(
+                host,
+                HostState {
+                    ufs,
+                    physes,
+                    logical,
+                },
+            );
+        }
+
+        FicusWorld {
+            clock,
+            net,
+            params,
+            root_vol,
+            hosts,
+            placement,
+            next_volume_id: 2,
+        }
+    }
+
+    // --- accessors -----------------------------------------------------------
+
+    /// The shared clock.
+    #[must_use]
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// The network.
+    #[must_use]
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// The root volume's name.
+    #[must_use]
+    pub fn root_volume(&self) -> VolumeName {
+        self.root_vol
+    }
+
+    /// One host's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host does not exist.
+    #[must_use]
+    pub fn host(&self, h: HostId) -> &HostState {
+        &self.hosts[&h]
+    }
+
+    /// One host's logical layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host does not exist.
+    #[must_use]
+    pub fn logical(&self, h: HostId) -> &Arc<FicusLogical> {
+        &self.hosts[&h].logical
+    }
+
+    /// All host ids.
+    #[must_use]
+    pub fn host_ids(&self) -> Vec<HostId> {
+        let mut v: Vec<HostId> = self.hosts.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The physical layer of `vol` on host `h`, if stored there.
+    #[must_use]
+    pub fn phys(&self, h: HostId, vol: VolumeName) -> Option<Arc<FicusPhysical>> {
+        self.hosts
+            .get(&h)
+            .and_then(|hs| hs.physes.lock().get(&vol).cloned())
+    }
+
+    // --- network control --------------------------------------------------------
+
+    /// Partitions the network (see [`Network::partition`]).
+    pub fn partition(&self, groups: &[&[HostId]]) {
+        self.net.partition(groups);
+    }
+
+    /// Heals all partitions.
+    pub fn heal(&self) {
+        self.net.heal();
+    }
+
+    /// Delivers all in-flight datagrams (advancing the clock as needed).
+    pub fn deliver_notifications(&self) -> usize {
+        self.net.deliver_all()
+    }
+
+    // --- volumes ------------------------------------------------------------------
+
+    /// Creates a new volume replicated on `replica_hosts` and grafts it at
+    /// `graft_dir`/`name` in the root volume (creating the graft point at
+    /// one root-volume replica; reconciliation spreads it).
+    pub fn create_volume(
+        &mut self,
+        replica_hosts: &[u32],
+        graft_dir: FicusFileId,
+        name: &str,
+    ) -> FsResult<VolumeName> {
+        let root_vol = self.root_vol;
+        self.create_volume_in(root_vol, replica_hosts, graft_dir, name)
+    }
+
+    /// Creates a new volume and grafts it inside an arbitrary `parent`
+    /// volume (volumes form a DAG, §4.1).
+    pub fn create_volume_in(
+        &mut self,
+        parent: VolumeName,
+        replica_hosts: &[u32],
+        graft_dir: FicusFileId,
+        name: &str,
+    ) -> FsResult<VolumeName> {
+        let vol = VolumeName::new(1, self.next_volume_id);
+        self.next_volume_id += 1;
+        let all: Vec<u32> = replica_hosts.to_vec();
+        for &h in replica_hosts {
+            let host = HostId(h);
+            let state = self.hosts.get_mut(&host).ok_or(FsError::Invalid)?;
+            let phys = FicusPhysical::create_volume(
+                Arc::clone(&state.ufs) as Arc<dyn FileSystem>,
+                &format!("{vol}"),
+                vol,
+                ReplicaId(h),
+                &all,
+                Arc::clone(&self.clock) as Arc<dyn TimeSource>,
+                PhysParams {
+                    layout: self.params.layout,
+                    fsid: 0x1C05_0000 | (u64::from(vol.volume.0) << 8) | u64::from(h),
+                },
+            )?;
+            let server = NfsServer::new(PhysFs::new(Arc::clone(&phys)) as Arc<dyn FileSystem>);
+            server.serve_as(&self.net, host, &export_service(vol, ReplicaId(h)));
+            self.placement.lock().insert((vol, ReplicaId(h)), host);
+            state.physes.lock().insert(vol, Arc::clone(&phys));
+        }
+        // Create the graft point at any host storing the parent volume.
+        let parent_host = *self
+            .placement
+            .lock()
+            .iter()
+            .find(|((v, _), _)| *v == parent)
+            .map(|(_, h)| h)
+            .ok_or(FsError::Invalid)?;
+        let phys = self.phys(parent_host, parent).ok_or(FsError::Invalid)?;
+        let graft = phys.make_graft_point(graft_dir, name, vol)?;
+        for &h in replica_hosts {
+            phys.graft_add_replica(graft, ReplicaId(h), h)?;
+        }
+        Ok(vol)
+    }
+
+    /// Adds a replica of `vol` on `host` — the §3.1 claim that "a client
+    /// may change the location and quantity of file replicas whenever a
+    /// file replica is available". The existing replicas are told about the
+    /// newcomer, graft points gain its location, and the first
+    /// reconciliation pass at `host` populates it.
+    pub fn add_replica(&mut self, vol: VolumeName, host_num: u32) -> FsResult<ReplicaId> {
+        let host = HostId(host_num);
+        let state = self.hosts.get(&host).ok_or(FsError::Invalid)?;
+        if state.physes.lock().contains_key(&vol) {
+            return Err(FsError::Exists);
+        }
+        let new_id = ReplicaId(host_num);
+        // Gather the current replica set from any existing replica.
+        let (template_host, mut all) = {
+            let placement = self.placement.lock();
+            let (&(_, _), &h) = placement
+                .iter()
+                .find(|((v, _), _)| *v == vol)
+                .ok_or(FsError::NoReplica)?;
+            drop(placement);
+            let phys = self
+                .hosts
+                .values()
+                .find_map(|hs| hs.physes.lock().get(&vol).cloned())
+                .ok_or(FsError::NoReplica)?;
+            (h, phys.all_replicas())
+        };
+        let _ = template_host;
+        all.insert(new_id.0);
+        let all_vec: Vec<u32> = all.iter().copied().collect();
+
+        let phys = FicusPhysical::create_volume(
+            Arc::clone(&state.ufs) as Arc<dyn FileSystem>,
+            &format!("{vol}"),
+            vol,
+            new_id,
+            &all_vec,
+            Arc::clone(&self.clock) as Arc<dyn TimeSource>,
+            PhysParams {
+                layout: self.params.layout,
+                fsid: 0x1C05_0000 | (u64::from(vol.volume.0) << 8) | u64::from(host_num),
+            },
+        )?;
+        let server = NfsServer::new(PhysFs::new(Arc::clone(&phys)) as Arc<dyn FileSystem>);
+        server.serve_as(&self.net, host, &export_service(vol, new_id));
+        self.placement.lock().insert((vol, new_id), host);
+        state.physes.lock().insert(vol, Arc::clone(&phys));
+
+        // Tell every existing replica about the newcomer.
+        for hs in self.hosts.values() {
+            if let Some(p) = hs.physes.lock().get(&vol) {
+                p.extend_replica_set(new_id);
+            }
+        }
+        // Root volume locations are bootstrap state on each logical layer;
+        // graft points carry locations for every other volume.
+        if vol == self.root_vol {
+            for hs in self.hosts.values() {
+                hs.logical.add_root_location(new_id, host);
+            }
+        } else {
+            // Record the new location in every graft point naming this
+            // volume (reconciliation spreads the entry).
+            for hs in self.hosts.values() {
+                let physes: Vec<Arc<FicusPhysical>> =
+                    hs.physes.lock().values().cloned().collect();
+                for p in physes {
+                    let _ = add_graft_location(&p, vol, new_id, host_num);
+                }
+            }
+            // Cached grafts hold stale location lists; drop them so the
+            // next use re-reads the graft point.
+            for hs in self.hosts.values() {
+                hs.logical.ungraft(vol);
+            }
+        }
+        Ok(new_id)
+    }
+
+    /// Removes the replica of `vol` stored at `host` (the other half of
+    /// §3.1's dynamic placement). The caller should reconcile first; this
+    /// harness refuses to drop the last replica.
+    pub fn remove_replica(&mut self, vol: VolumeName, host_num: u32) -> FsResult<()> {
+        let host = HostId(host_num);
+        let victim = ReplicaId(host_num);
+        {
+            let placement = self.placement.lock();
+            let count = placement.keys().filter(|(v, _)| *v == vol).count();
+            if count <= 1 {
+                return Err(FsError::Perm); // never drop the last copy
+            }
+            if !placement.contains_key(&(vol, victim)) {
+                return Err(FsError::NotFound);
+            }
+        }
+        let state = self.hosts.get(&host).ok_or(FsError::Invalid)?;
+        state.physes.lock().remove(&vol).ok_or(FsError::NotFound)?;
+        self.placement.lock().remove(&(vol, victim));
+        // Surviving replicas stop waiting for the departed one's knowledge.
+        for hs in self.hosts.values() {
+            if let Some(p) = hs.physes.lock().get(&vol) {
+                p.shrink_replica_set(victim);
+            }
+        }
+        if vol == self.root_vol {
+            for hs in self.hosts.values() {
+                hs.logical.remove_root_location(victim, host);
+            }
+        } else {
+            for hs in self.hosts.values() {
+                let physes: Vec<Arc<FicusPhysical>> =
+                    hs.physes.lock().values().cloned().collect();
+                for p in physes {
+                    let _ = remove_graft_location(&p, vol, victim, host_num);
+                }
+                hs.logical.ungraft(vol);
+            }
+        }
+        Ok(())
+    }
+
+    // --- daemons ----------------------------------------------------------------------
+
+    /// Runs the update-propagation daemon once on every physical layer of
+    /// `h`.
+    pub fn run_propagation(&self, h: HostId) -> FsResult<PropagationStats> {
+        let state = &self.hosts[&h];
+        let mut total = PropagationStats::default();
+        let physes: Vec<(VolumeName, Arc<FicusPhysical>)> = state
+            .physes
+            .lock()
+            .iter()
+            .map(|(v, p)| (*v, Arc::clone(p)))
+            .collect();
+        for (vol, phys) in &physes {
+            let vol = *vol;
+            let connect = |origin: ReplicaId| -> FsResult<Box<dyn ReplicaAccess>> {
+                self.access_replica(h, vol, origin)
+            };
+            let stats = run_propagation(phys.as_ref(), self.params.propagation, connect)?;
+            total.notes_taken += stats.notes_taken;
+            total.files_pulled += stats.files_pulled;
+            total.dirs_reconciled += stats.dirs_reconciled;
+            total.already_current += stats.already_current;
+            total.conflicts += stats.conflicts;
+            total.requeued += stats.requeued;
+        }
+        Ok(total)
+    }
+
+    /// Builds a [`ReplicaAccess`] from host `h` to `(vol, replica)`.
+    fn access_replica(
+        &self,
+        from: HostId,
+        vol: VolumeName,
+        replica: ReplicaId,
+    ) -> FsResult<Box<dyn ReplicaAccess>> {
+        let at_host = *self
+            .placement
+            .lock()
+            .get(&(vol, replica))
+            .ok_or(FsError::NoReplica)?;
+        if at_host == from {
+            let phys = self.phys(from, vol).ok_or(FsError::NoReplica)?;
+            return Ok(Box::new(LocalAccess::new(phys)));
+        }
+        if !self.net.reachable(from, at_host) {
+            return Err(FsError::Unreachable);
+        }
+        let client = NfsClientFs::mount_service(
+            self.net.clone(),
+            from,
+            at_host,
+            &export_service(vol, replica),
+            NfsClientParams::uncached(),
+        )?;
+        Ok(Box::new(VnodeAccess::new(replica, client.root())))
+    }
+
+    /// Runs one subtree-reconciliation pass at host `h` for every volume
+    /// replica it stores, against every *reachable* peer replica — the
+    /// periodic protocol of §3.3.
+    pub fn run_reconciliation(&self, h: HostId) -> FsResult<ReconStats> {
+        let state = &self.hosts[&h];
+        let mut total = ReconStats::default();
+        let physes: Vec<(VolumeName, Arc<FicusPhysical>)> = state
+            .physes
+            .lock()
+            .iter()
+            .map(|(v, p)| (*v, Arc::clone(p)))
+            .collect();
+        for (vol, phys) in &physes {
+            for peer in phys.all_replicas() {
+                let peer = ReplicaId(peer);
+                if peer == phys.replica() {
+                    continue;
+                }
+                match self.access_replica(h, *vol, peer) {
+                    Ok(access) => total.absorb(reconcile_subtree(phys.as_ref(), access.as_ref())?),
+                    Err(FsError::Unreachable | FsError::TimedOut | FsError::NoReplica) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Runs reconciliation at every host until a full round changes nothing
+    /// (or `max_rounds` passes). Returns the accumulated tallies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replicas fail to converge within `max_rounds` — in a
+    /// healed network that indicates a reconciliation bug.
+    pub fn reconcile_until_quiescent(&self, max_rounds: usize) -> ReconStats {
+        let mut total = ReconStats::default();
+        for _ in 0..max_rounds {
+            let mut round = ReconStats::default();
+            for h in self.host_ids() {
+                round.absorb(self.run_reconciliation(h).expect("reconciliation"));
+            }
+            let quiescent = round.quiescent();
+            total.absorb(round);
+            if quiescent {
+                return total;
+            }
+        }
+        panic!("replicas failed to converge within {max_rounds} rounds");
+    }
+
+    /// Convenience: deliver notifications, run propagation everywhere, then
+    /// reconcile to quiescence.
+    pub fn settle(&self) -> ReconStats {
+        self.deliver_notifications();
+        for h in self.host_ids() {
+            let _ = self.run_propagation(h);
+        }
+        self.reconcile_until_quiescent(12)
+    }
+}
+
+/// Walks a volume replica's directories looking for graft points naming
+/// `target`, adding the `(replica, host)` pair to each.
+fn add_graft_location(
+    phys: &Arc<FicusPhysical>,
+    target: VolumeName,
+    replica: ReplicaId,
+    host: u32,
+) -> FsResult<usize> {
+    use crate::ids::{FicusFileId, ROOT_FILE};
+    let mut added = 0;
+    let mut queue: Vec<FicusFileId> = vec![ROOT_FILE];
+    let mut seen = std::collections::BTreeSet::new();
+    while let Some(dir) = queue.pop() {
+        if !seen.insert(dir) {
+            continue;
+        }
+        let Ok(entries) = phys.dir_entries(dir) else {
+            continue;
+        };
+        for e in entries.live() {
+            match e.kind {
+                ficus_vnode::VnodeType::GraftPoint
+                    if phys.graft_target(e.file) == Ok(target) =>
+                {
+                    phys.graft_add_replica(e.file, replica, host)?;
+                    added += 1;
+                }
+                k if k.is_directory_like() => queue.push(e.file),
+                _ => {}
+            }
+        }
+    }
+    Ok(added)
+}
+
+/// Walks a volume replica's directories removing `(replica, host)` from
+/// graft points naming `target`.
+fn remove_graft_location(
+    phys: &Arc<FicusPhysical>,
+    target: VolumeName,
+    replica: ReplicaId,
+    host: u32,
+) -> FsResult<usize> {
+    use crate::ids::{FicusFileId, ROOT_FILE};
+    let mut removed = 0;
+    let mut queue: Vec<FicusFileId> = vec![ROOT_FILE];
+    let mut seen = std::collections::BTreeSet::new();
+    while let Some(dir) = queue.pop() {
+        if !seen.insert(dir) {
+            continue;
+        }
+        let Ok(entries) = phys.dir_entries(dir) else {
+            continue;
+        };
+        for e in entries.live() {
+            match e.kind {
+                ficus_vnode::VnodeType::GraftPoint
+                    if phys.graft_target(e.file) == Ok(target) =>
+                {
+                    phys.graft_remove_replica(e.file, replica, host)?;
+                    removed += 1;
+                }
+                k if k.is_directory_like() => queue.push(e.file),
+                _ => {}
+            }
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,527 @@
+//! End-to-end tests through the full stack: logical layer → (NFS) →
+//! physical layer → UFS, across simulated hosts and partitions.
+
+
+use ficus_net::HostId;
+use ficus_vnode::api::resolve;
+use ficus_vnode::{Credentials, FileSystem, FsError, OpenFlags, VnodeType};
+
+use crate::conflict::ConflictKind;
+use crate::ids::ROOT_FILE;
+use crate::phys::StorageLayout;
+use crate::propagate::PropagationPolicy;
+use crate::sim::{FicusWorld, WorldParams};
+
+const H1: HostId = HostId(1);
+const H2: HostId = HostId(2);
+const H3: HostId = HostId(3);
+
+fn cred() -> Credentials {
+    Credentials::root()
+}
+
+fn world() -> FicusWorld {
+    FicusWorld::new(WorldParams::default())
+}
+
+#[test]
+fn logical_create_and_read_everywhere() {
+    let w = world();
+    let root1 = w.logical(H1).root();
+    let f = root1.create(&cred(), "hello.txt", 0o644).unwrap();
+    f.write(&cred(), 0, b"one copy, many replicas").unwrap();
+    w.settle();
+    // Every host reads the same bytes through its own logical layer.
+    for h in w.host_ids() {
+        let root = w.logical(h).root();
+        let v = root.lookup(&cred(), "hello.txt").unwrap();
+        assert_eq!(
+            &v.read(&cred(), 0, 100).unwrap()[..],
+            b"one copy, many replicas",
+            "host {h}"
+        );
+    }
+}
+
+#[test]
+fn update_at_one_host_visible_after_settle() {
+    let w = world();
+    let root1 = w.logical(H1).root();
+    let f = root1.create(&cred(), "doc", 0o644).unwrap();
+    f.write(&cred(), 0, b"v1").unwrap();
+    w.settle();
+    // Host 2 updates through its own logical layer.
+    let root2 = w.logical(H2).root();
+    let f2 = root2.lookup(&cred(), "doc").unwrap();
+    f2.write(&cred(), 0, b"v2").unwrap();
+    w.settle();
+    let f3 = w.logical(H3).root().lookup(&cred(), "doc").unwrap();
+    assert_eq!(&f3.read(&cred(), 0, 10).unwrap()[..], b"v2");
+}
+
+#[test]
+fn most_recent_copy_selected_before_propagation() {
+    // After an update at host 2's replica, a reader at host 1 must get the
+    // new version even though host 1's own replica is stale — the logical
+    // layer "selects the most recent copy available".
+    let w = world();
+    let root1 = w.logical(H1).root();
+    let f = root1.create(&cred(), "fresh", 0o644).unwrap();
+    f.write(&cred(), 0, b"old").unwrap();
+    w.settle();
+    // Update lands on host 2's replica only (no settle).
+    let f2 = w.logical(H2).root().lookup(&cred(), "fresh").unwrap();
+    f2.write(&cred(), 0, b"new").unwrap();
+    // Fresh logical binding at host 1 selects host 2's newer replica.
+    let f1 = w.logical(H1).root().lookup(&cred(), "fresh").unwrap();
+    assert_eq!(&f1.read(&cred(), 0, 10).unwrap()[..], b"new");
+}
+
+#[test]
+fn one_copy_availability_update_during_partition() {
+    // "Permits update during network partition if any copy of a file is
+    // accessible."
+    let w = world();
+    let root1 = w.logical(H1).root();
+    let f = root1.create(&cred(), "avail", 0o644).unwrap();
+    f.write(&cred(), 0, b"base").unwrap();
+    w.settle();
+
+    // Total partition: every host alone.
+    w.partition(&[&[H1], &[H2], &[H3]]);
+    // Each host can still read AND write through its local replica.
+    for h in [H1, H2, H3] {
+        let root = w.logical(h).root();
+        let v = root.lookup(&cred(), "avail").unwrap();
+        assert_eq!(&v.read(&cred(), 0, 10).unwrap()[..], b"base", "host {h}");
+    }
+    let v1 = w.logical(H1).root().lookup(&cred(), "avail").unwrap();
+    v1.write(&cred(), 0, b"from 1").unwrap();
+
+    w.heal();
+    w.settle();
+    let v3 = w.logical(H3).root().lookup(&cred(), "avail").unwrap();
+    assert_eq!(&v3.read(&cred(), 0, 10).unwrap()[..], b"from 1");
+}
+
+#[test]
+fn partitioned_directory_updates_merge_automatically() {
+    let w = world();
+    w.settle();
+    w.partition(&[&[H1], &[H2], &[H3]]);
+    // Disjoint creations on both sides.
+    w.logical(H1)
+        .root()
+        .create(&cred(), "from-1", 0o644)
+        .unwrap();
+    w.logical(H2)
+        .root()
+        .create(&cred(), "from-2", 0o644)
+        .unwrap();
+    w.logical(H3)
+        .root()
+        .mkdir(&cred(), "dir-from-3", 0o755)
+        .unwrap();
+    w.heal();
+    w.settle();
+    for h in w.host_ids() {
+        let root = w.logical(h).root();
+        assert!(root.lookup(&cred(), "from-1").is_ok(), "host {h}");
+        assert!(root.lookup(&cred(), "from-2").is_ok(), "host {h}");
+        assert!(root.lookup(&cred(), "dir-from-3").is_ok(), "host {h}");
+    }
+}
+
+#[test]
+fn partitioned_file_updates_conflict_and_are_reported() {
+    let w = world();
+    let f = w
+        .logical(H1)
+        .root()
+        .create(&cred(), "contested", 0o644)
+        .unwrap();
+    f.write(&cred(), 0, b"base").unwrap();
+    w.settle();
+
+    w.partition(&[&[H1], &[H2, H3]]);
+    w.logical(H1)
+        .root()
+        .lookup(&cred(), "contested")
+        .unwrap()
+        .write(&cred(), 0, b"side A")
+        .unwrap();
+    w.logical(H2)
+        .root()
+        .lookup(&cred(), "contested")
+        .unwrap()
+        .write(&cred(), 0, b"side B")
+        .unwrap();
+    w.heal();
+    w.settle();
+
+    // The conflict was detected and reported to the owner somewhere.
+    let total_conflicts: usize = w
+        .host_ids()
+        .into_iter()
+        .filter_map(|h| w.phys(h, w.root_volume()))
+        .map(|p| p.conflicts().count_kind(ConflictKind::ConcurrentUpdate))
+        .sum();
+    assert!(total_conflicts >= 1, "conflict must be reported");
+}
+
+#[test]
+fn open_close_reach_physical_layer_through_nfs() {
+    // E9's system-level assertion: the logical layer's overloaded-lookup
+    // tunnel delivers open/close to the physical layer even when the chosen
+    // replica is remote (reached through NFS, which swallows plain
+    // open/close).
+    let w = FicusWorld::new(WorldParams {
+        hosts: 2,
+        root_replica_hosts: vec![2], // host 1 has NO local replica
+        ..WorldParams::default()
+    });
+    let root1 = w.logical(H1).root();
+    let f = root1.create(&cred(), "watched", 0o644).unwrap();
+    let flags = OpenFlags::read_only();
+    f.open(&cred(), flags).unwrap();
+    f.close(&cred(), flags).unwrap();
+    let phys = w.phys(H2, w.root_volume()).unwrap();
+    let opens = phys.observed_opens();
+    assert_eq!(opens.len(), 2, "open + close observed at the remote physical layer");
+    assert!(opens[0].2 && !opens[1].2);
+}
+
+#[test]
+fn volumes_graft_transparently() {
+    let mut w = world();
+    // A project volume replicated on hosts 2 and 3, grafted at /projects.
+    let vol = w.create_volume(&[2, 3], ROOT_FILE, "projects").unwrap();
+    w.settle();
+    // Populate it via host 2 (stores a replica).
+    let root2 = w.logical(H2).root();
+    let proj = root2.lookup(&cred(), "projects").unwrap();
+    assert_eq!(proj.kind(), VnodeType::Directory, "graft is transparent");
+    let f = proj.create(&cred(), "plan.txt", 0o644).unwrap();
+    f.write(&cred(), 0, b"world domination").unwrap();
+    w.settle();
+    // Host 1 stores no replica of the volume; autografting connects it to
+    // hosts 2/3 transparently during pathname translation.
+    let via1 = resolve(&w.logical(H1).root(), &cred(), "/projects/plan.txt").unwrap();
+    assert_eq!(&via1.read(&cred(), 0, 100).unwrap()[..], b"world domination");
+    assert!(w.logical(H1).grafted_volumes().contains(&vol));
+}
+
+#[test]
+fn graft_point_replicates_to_other_root_replicas() {
+    let mut w = world();
+    w.create_volume(&[1], ROOT_FILE, "src").unwrap();
+    w.settle();
+    // The graft point (created at host 1's root replica) is visible via
+    // host 3's replica after reconciliation, replica list included.
+    let phys3 = w.phys(H3, w.root_volume()).unwrap();
+    let entry = phys3.lookup(ROOT_FILE, "src").unwrap();
+    assert_eq!(entry.kind, VnodeType::GraftPoint);
+    let pairs = phys3.graft_replicas(entry.file).unwrap();
+    assert_eq!(pairs.len(), 1);
+}
+
+#[test]
+fn graft_pruning_is_idle_based() {
+    let mut w = FicusWorld::new(WorldParams {
+        logical: crate::logical::LogicalParams {
+            graft_idle_us: 1_000,
+        },
+        ..WorldParams::default()
+    });
+    w.create_volume(&[2], ROOT_FILE, "aux").unwrap();
+    w.settle();
+    let l1 = w.logical(H1).clone();
+    let root1 = l1.root();
+    root1.lookup(&cred(), "aux").unwrap();
+    assert_eq!(l1.grafted_volumes().len(), 2, "root + aux grafted");
+    // Not yet idle.
+    assert_eq!(l1.prune_grafts(), 0);
+    w.clock().advance(2_000);
+    assert_eq!(l1.prune_grafts(), 1, "idle graft pruned");
+    assert_eq!(l1.grafted_volumes().len(), 1, "root volume stays");
+    // Re-grafting on demand works.
+    assert!(root1.lookup(&cred(), "aux").is_ok());
+    assert_eq!(l1.grafted_volumes().len(), 2);
+}
+
+#[test]
+fn no_replica_reachable_is_noreplica() {
+    let mut w = world();
+    w.create_volume(&[3], ROOT_FILE, "island").unwrap();
+    w.settle();
+    w.partition(&[&[H1], &[H2, H3]]);
+    let root1 = w.logical(H1).root();
+    // The graft point entry is readable from host 1's root replica, but the
+    // target volume has no reachable replica.
+    assert_eq!(
+        root1.lookup(&cred(), "island").unwrap_err(),
+        FsError::NoReplica
+    );
+    w.heal();
+    assert!(root1.lookup(&cred(), "island").is_ok());
+}
+
+#[test]
+fn rename_and_links_through_logical_layer() {
+    let w = world();
+    let root = w.logical(H1).root();
+    let d = root.mkdir(&cred(), "dir", 0o755).unwrap();
+    let f = root.create(&cred(), "a", 0o644).unwrap();
+    f.write(&cred(), 0, b"x").unwrap();
+    root.rename(&cred(), "a", &d, "b").unwrap();
+    assert!(root.lookup(&cred(), "a").is_err());
+    let b = d.lookup(&cred(), "b").unwrap();
+    assert_eq!(&b.read(&cred(), 0, 10).unwrap()[..], b"x");
+    root.link(&cred(), &b, "alias").unwrap();
+    let alias = root.lookup(&cred(), "alias").unwrap();
+    assert_eq!(alias.fileid(), b.fileid());
+    w.settle();
+    // Visible everywhere.
+    let via3 = resolve(&w.logical(H3).root(), &cred(), "/dir/b").unwrap();
+    assert_eq!(&via3.read(&cred(), 0, 10).unwrap()[..], b"x");
+}
+
+#[test]
+fn readdir_through_logical_layer() {
+    let w = world();
+    let root = w.logical(H1).root();
+    for name in ["x", "y", "z"] {
+        root.create(&cred(), name, 0o644).unwrap();
+    }
+    let mut names: Vec<String> = root
+        .readdir(&cred(), 0, 100)
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    names.sort();
+    assert_eq!(names, vec!["x", "y", "z"]);
+}
+
+#[test]
+fn delayed_propagation_policy_in_world() {
+    let w = FicusWorld::new(WorldParams {
+        propagation: PropagationPolicy::Delayed(1_000_000),
+        ..WorldParams::default()
+    });
+    let root = w.logical(H1).root();
+    let f = root.create(&cred(), "lazy", 0o644).unwrap();
+    f.write(&cred(), 0, b"v1").unwrap();
+    w.deliver_notifications();
+    // Propagation runs but the notes are too young.
+    for h in w.host_ids() {
+        let stats = w.run_propagation(h).unwrap();
+        assert_eq!(stats.files_pulled, 0);
+    }
+    // After the delay elapses, pulls happen.
+    w.clock().advance(1_000_001);
+    let mut pulled = 0;
+    for h in w.host_ids() {
+        let stats = w.run_propagation(h).unwrap();
+        pulled += stats.files_pulled + stats.dirs_reconciled;
+    }
+    assert!(pulled > 0, "delayed notes eventually propagate");
+}
+
+#[test]
+fn flat_layout_world_works_end_to_end() {
+    let w = FicusWorld::new(WorldParams {
+        layout: StorageLayout::Flat,
+        ..WorldParams::default()
+    });
+    let root = w.logical(H1).root();
+    let d = root.mkdir(&cred(), "nested", 0o755).unwrap();
+    let f = d.create(&cred(), "leaf", 0o644).unwrap();
+    f.write(&cred(), 0, b"flat").unwrap();
+    w.settle();
+    let via2 = resolve(&w.logical(H2).root(), &cred(), "/nested/leaf").unwrap();
+    assert_eq!(&via2.read(&cred(), 0, 10).unwrap()[..], b"flat");
+}
+
+#[test]
+fn symlinks_resolve_through_logical_layer() {
+    let w = world();
+    let root = w.logical(H1).root();
+    let d = root.mkdir(&cred(), "real", 0o755).unwrap();
+    d.create(&cred(), "file", 0o644)
+        .unwrap()
+        .write(&cred(), 0, b"pointed at")
+        .unwrap();
+    root.symlink(&cred(), "shortcut", "real/file").unwrap();
+    w.settle();
+    let via2 = resolve(&w.logical(H2).root(), &cred(), "/shortcut").unwrap();
+    assert_eq!(&via2.read(&cred(), 0, 100).unwrap()[..], b"pointed at");
+}
+
+#[test]
+fn dynamic_replica_addition_root_volume() {
+    // §3.1: grow the root volume from 2 to 3 replicas at runtime; the
+    // newcomer is populated by reconciliation and immediately counts for
+    // one-copy availability.
+    let mut w = FicusWorld::new(WorldParams {
+        hosts: 3,
+        root_replica_hosts: vec![1, 2],
+        ..WorldParams::default()
+    });
+    let root = w.logical(H1).root();
+    root.create(&cred(), "existing", 0o644)
+        .unwrap()
+        .write(&cred(), 0, b"pre-expansion")
+        .unwrap();
+    w.settle();
+    assert!(w.phys(H3, w.root_volume()).is_none());
+
+    let new_id = w.add_replica(w.root_volume(), 3).unwrap();
+    assert_eq!(new_id.0, 3);
+    w.settle();
+
+    // The new replica holds the data...
+    let phys3 = w.phys(H3, w.root_volume()).unwrap();
+    let e = phys3
+        .lookup(ROOT_FILE, "existing")
+        .unwrap_or_else(|_| panic!("new replica missing data"));
+    assert_eq!(&phys3.read(e.file, 0, 100).unwrap()[..], b"pre-expansion");
+    // ...and every replica knows the grown set.
+    for h in [H1, H2, H3] {
+        if let Some(p) = w.phys(h, w.root_volume()) {
+            assert_eq!(p.all_replicas().len(), 3, "host {h}");
+        }
+    }
+    // One-copy availability through the newcomer alone.
+    w.partition(&[&[H3], &[H1, H2]]);
+    let v = w.logical(H3).root().lookup(&cred(), "existing").unwrap();
+    v.write(&cred(), 0, b"written at the new replica").unwrap();
+    w.heal();
+    w.settle();
+    let v1 = w.logical(H1).root().lookup(&cred(), "existing").unwrap();
+    assert_eq!(
+        &v1.read(&cred(), 0, 100).unwrap()[..],
+        b"written at the new replica"
+    );
+}
+
+#[test]
+fn dynamic_replica_addition_grafted_volume() {
+    let mut w = world();
+    let vol = w.create_volume(&[2], ROOT_FILE, "proj").unwrap();
+    w.settle();
+    // Populate via host 2.
+    let proj = w.logical(H2).root().lookup(&cred(), "proj").unwrap();
+    proj.create(&cred(), "data", 0o644)
+        .unwrap()
+        .write(&cred(), 0, b"volume payload")
+        .unwrap();
+    w.settle();
+
+    // Grow the project volume onto host 3.
+    w.add_replica(vol, 3).unwrap();
+    w.settle();
+    let phys3 = w.phys(H3, vol).unwrap();
+    let e = phys3.lookup(ROOT_FILE, "data").unwrap();
+    assert_eq!(&phys3.read(e.file, 0, 100).unwrap()[..], b"volume payload");
+
+    // The graft point now lists both replicas everywhere.
+    let root_phys1 = w.phys(H1, w.root_volume()).unwrap();
+    let g = root_phys1.lookup(ROOT_FILE, "proj").unwrap();
+    let pairs = root_phys1.graft_replicas(g.file).unwrap();
+    assert_eq!(pairs.len(), 2);
+
+    // Host 1 (no replica of either) can reach the volume through the NEW
+    // replica alone when host 2 is cut off.
+    w.partition(&[&[H2], &[H1, H3]]);
+    let via1 = ficus_vnode::api::resolve(&w.logical(H1).root(), &cred(), "/proj/data").unwrap();
+    assert_eq!(&via1.read(&cred(), 0, 100).unwrap()[..], b"volume payload");
+}
+
+#[test]
+fn replica_removal_shrinks_the_volume() {
+    let mut w = world(); // replicas on 1, 2, 3
+    let root = w.logical(H1).root();
+    root.create(&cred(), "keep", 0o644)
+        .unwrap()
+        .write(&cred(), 0, b"survives shrink")
+        .unwrap();
+    w.settle();
+
+    // Retire host 3's replica (after the settle reconciled it).
+    w.remove_replica(w.root_volume(), 3).unwrap();
+    assert!(w.phys(H3, w.root_volume()).is_none());
+    for h in [H1, H2] {
+        let p = w.phys(h, w.root_volume()).unwrap();
+        assert_eq!(p.all_replicas().len(), 2, "host {h}");
+    }
+
+    // The system keeps functioning — including GC, which now needs only
+    // the two survivors.
+    let root = w.logical(H1).root();
+    root.create(&cred(), "post-shrink", 0o644).unwrap();
+    root.remove(&cred(), "post-shrink").unwrap();
+    w.settle();
+    for h in [H1, H2] {
+        let p = w.phys(h, w.root_volume()).unwrap();
+        let d = p.dir_entries(ROOT_FILE).unwrap();
+        assert!(
+            d.entries.iter().all(|e| !e.deleted()),
+            "tombstones must purge with two replicas (host {h})"
+        );
+        let e = d.primary("keep").unwrap();
+        assert_eq!(&p.read(e.file, 0, 100).unwrap()[..], b"survives shrink");
+    }
+
+    // Refusals: unknown replica, and never the last copy.
+    assert_eq!(
+        w.remove_replica(w.root_volume(), 3).unwrap_err(),
+        FsError::NotFound
+    );
+    w.remove_replica(w.root_volume(), 2).unwrap();
+    assert_eq!(
+        w.remove_replica(w.root_volume(), 1).unwrap_err(),
+        FsError::Perm
+    );
+}
+
+#[test]
+fn replica_removal_updates_graft_points() {
+    let mut w = world();
+    let vol = w.create_volume(&[2, 3], ROOT_FILE, "proj").unwrap();
+    w.settle();
+    w.remove_replica(vol, 3).unwrap();
+    w.settle();
+    // Graft points everywhere now list only the survivor.
+    for h in w.host_ids() {
+        if let Some(p) = w.phys(h, w.root_volume()) {
+            let g = p.lookup(ROOT_FILE, "proj").unwrap();
+            assert_eq!(
+                p.graft_replicas(g.file).unwrap(),
+                vec![(crate::ids::ReplicaId(2), 2)],
+                "host {h}"
+            );
+        }
+    }
+    // And the volume still resolves from a replica-less host.
+    let via1 = ficus_vnode::api::resolve(&w.logical(H1).root(), &cred(), "/proj");
+    assert!(via1.is_ok());
+}
+
+#[test]
+fn statfs_reports_real_storage_numbers_across_nfs() {
+    let w = FicusWorld::new(WorldParams {
+        hosts: 2,
+        root_replica_hosts: vec![2], // host 1 statfs travels over NFS
+        ..WorldParams::default()
+    });
+    let st = w.logical(H1).statfs().unwrap();
+    assert_eq!(st.block_size, 4096);
+    assert!(st.total_blocks > 0 && st.free_blocks > 0);
+    let before = st.free_blocks;
+    // Consuming space is visible through statfs.
+    let f = w.logical(H1).root().create(&cred(), "hog", 0o644).unwrap();
+    f.write(&cred(), 0, &vec![1u8; 400_000]).unwrap();
+    let after = w.logical(H1).statfs().unwrap().free_blocks;
+    assert!(after < before, "{after} !< {before}");
+}

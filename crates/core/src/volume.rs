@@ -1,0 +1,184 @@
+//! Volumes, the graft table, and connection management (paper §4).
+//!
+//! A volume replica is reached through a *connection*: the root vnode of its
+//! physical layer's export — the physical layer itself when co-resident,
+//! or an NFS-client mount of it otherwise. [`Connector`] abstracts how a
+//! host obtains such connections; the simulation harness implements it over
+//! the simulated network.
+//!
+//! The [`GraftTable`] is the logical layer's per-host soft state: which
+//! volumes are currently grafted and through which connections. "A Ficus
+//! graft is very dynamic: a graft is implicitly maintained as long as a file
+//! within the grafted volume replica is being used. A graft that is no
+//! longer needed is quietly pruned at a later time" (§4.4) — [`GraftTable::prune`]
+//! implements exactly that idle-based pruning.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ficus_net::HostId;
+use ficus_vnode::{FsResult, Timestamp, VnodeRef};
+
+use crate::ids::{ReplicaId, VolumeName};
+use crate::phys::FicusPhysical;
+
+/// Obtains connections to volume replicas.
+pub trait Connector: Send + Sync {
+    /// Returns the exported root vnode of `(vol, replica)` stored at
+    /// `at_host`, as reachable from this connector's host. Fails with a
+    /// network error when partitioned away.
+    fn connect(&self, vol: VolumeName, replica: ReplicaId, at_host: HostId) -> FsResult<VnodeRef>;
+
+    /// Returns the co-resident physical layer for `vol`, if this host
+    /// stores a replica.
+    fn local(&self, vol: VolumeName) -> Option<Arc<FicusPhysical>>;
+}
+
+/// One usable connection to a volume replica.
+#[derive(Clone)]
+pub struct ReplicaConn {
+    /// The replica this connection reaches.
+    pub replica: ReplicaId,
+    /// The host storing it.
+    pub host: HostId,
+    /// Root vnode of the replica's physical export.
+    pub root: VnodeRef,
+}
+
+/// A grafted volume: its known replica locations and live connections.
+pub struct GraftedVolume {
+    /// The volume.
+    pub vol: VolumeName,
+    /// Known `(replica, host)` locations (from the graft point or the
+    /// bootstrap list).
+    pub locations: Vec<(ReplicaId, HostId)>,
+    /// Established connections (a subset of `locations` that answered).
+    pub conns: Vec<ReplicaConn>,
+    /// Last use, for pruning.
+    pub last_used: Timestamp,
+}
+
+/// The per-host table of grafted volumes.
+#[derive(Default)]
+pub struct GraftTable {
+    entries: HashMap<VolumeName, GraftedVolume>,
+}
+
+impl GraftTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a grafted volume, refreshing its use time.
+    pub fn touch(&mut self, vol: VolumeName, now: Timestamp) -> Option<&mut GraftedVolume> {
+        let g = self.entries.get_mut(&vol)?;
+        g.last_used = now;
+        Some(g)
+    }
+
+    /// Whether `vol` is currently grafted.
+    #[must_use]
+    pub fn contains(&self, vol: VolumeName) -> bool {
+        self.entries.contains_key(&vol)
+    }
+
+    /// Installs (or replaces) a graft.
+    pub fn insert(&mut self, graft: GraftedVolume) {
+        self.entries.insert(graft.vol, graft);
+    }
+
+    /// Removes a graft explicitly.
+    pub fn remove(&mut self, vol: VolumeName) -> Option<GraftedVolume> {
+        self.entries.remove(&vol)
+    }
+
+    /// Prunes grafts idle since before `now - idle_us`, except `keep`
+    /// (the root volume is never pruned). Returns the pruned volume names.
+    pub fn prune(&mut self, now: Timestamp, idle_us: u64, keep: VolumeName) -> Vec<VolumeName> {
+        let victims: Vec<VolumeName> = self
+            .entries
+            .values()
+            .filter(|g| g.vol != keep && now.micros_since(g.last_used) > idle_us)
+            .map(|g| g.vol)
+            .collect();
+        for v in &victims {
+            self.entries.remove(v);
+        }
+        victims
+    }
+
+    /// Number of grafted volumes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no volume is grafted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Grafted volume names (for inspection).
+    #[must_use]
+    pub fn volumes(&self) -> Vec<VolumeName> {
+        let mut v: Vec<VolumeName> = self.entries.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grafted(vol: VolumeName, t: u64) -> GraftedVolume {
+        GraftedVolume {
+            vol,
+            locations: vec![(ReplicaId(1), HostId(1))],
+            conns: Vec::new(),
+            last_used: Timestamp(t),
+        }
+    }
+
+    #[test]
+    fn insert_touch_and_contains() {
+        let mut t = GraftTable::new();
+        let v = VolumeName::new(1, 1);
+        assert!(!t.contains(v));
+        t.insert(grafted(v, 0));
+        assert!(t.contains(v));
+        assert!(t.touch(v, Timestamp(50)).is_some());
+        assert_eq!(t.entries[&v].last_used, Timestamp(50));
+        assert!(t.touch(VolumeName::new(9, 9), Timestamp(0)).is_none());
+    }
+
+    #[test]
+    fn prune_respects_idle_and_keep() {
+        let mut t = GraftTable::new();
+        let root = VolumeName::new(1, 1);
+        let idle = VolumeName::new(1, 2);
+        let busy = VolumeName::new(1, 3);
+        t.insert(grafted(root, 0));
+        t.insert(grafted(idle, 0));
+        t.insert(grafted(busy, 900));
+        let pruned = t.prune(Timestamp(1000), 500, root);
+        assert_eq!(pruned, vec![idle]);
+        assert!(t.contains(root), "root volume is never pruned");
+        assert!(t.contains(busy));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn volumes_lists_sorted() {
+        let mut t = GraftTable::new();
+        t.insert(grafted(VolumeName::new(2, 1), 0));
+        t.insert(grafted(VolumeName::new(1, 5), 0));
+        assert_eq!(
+            t.volumes(),
+            vec![VolumeName::new(1, 5), VolumeName::new(2, 1)]
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! The shared simulated clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ficus_vnode::{TimeSource, Timestamp};
+
+/// A monotone simulated clock in microseconds.
+///
+/// One clock is shared by every host in a simulation, so file timestamps,
+/// cache expiry, and network delivery times are mutually comparable. Unlike
+/// [`ficus_vnode::LogicalClock`], reading the time does **not** advance it;
+/// time moves only when the simulation says so (message latencies, explicit
+/// [`SimClock::advance`] calls).
+#[derive(Debug, Default)]
+pub struct SimClock {
+    micros: AtomicU64,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Advances the clock by `us` microseconds, returning the new time.
+    pub fn advance(&self, us: u64) -> Timestamp {
+        Timestamp(self.micros.fetch_add(us, Ordering::Relaxed) + us)
+    }
+
+    /// Moves the clock forward to `t` if `t` is in the future (never
+    /// backwards).
+    pub fn advance_to(&self, t: Timestamp) {
+        self.micros.fetch_max(t.0, Ordering::Relaxed);
+    }
+}
+
+impl TimeSource for SimClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.micros.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reading_does_not_advance() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), Timestamp(0));
+        assert_eq!(c.now(), Timestamp(0));
+    }
+
+    #[test]
+    fn advance_moves_time() {
+        let c = SimClock::new();
+        assert_eq!(c.advance(100), Timestamp(100));
+        assert_eq!(c.now(), Timestamp(100));
+        c.advance(50);
+        assert_eq!(c.now(), Timestamp(150));
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let c = SimClock::new();
+        c.advance(100);
+        c.advance_to(Timestamp(50));
+        assert_eq!(c.now(), Timestamp(100));
+        c.advance_to(Timestamp(500));
+        assert_eq!(c.now(), Timestamp(500));
+    }
+}

@@ -1,0 +1,30 @@
+//! Deterministic network simulation for the Ficus reproduction.
+//!
+//! The paper's environment is "characterized by communications
+//! interruptions" (§3): hosts, links, and gateways fail routinely, and
+//! partial operation is the *normal* state. This crate supplies that
+//! environment in a controllable form:
+//!
+//! * [`SimClock`] — a shared microsecond clock that also serves as the
+//!   file-system time source, so file timestamps, cache ages, and network
+//!   latencies live on one timeline.
+//! * [`Network`] — hosts, partition groups, per-message latency and loss,
+//!   and the two communication services Ficus uses:
+//!   synchronous **RPC** (the NFS transport: a vnode operation blocks until
+//!   the reply arrives or the partition makes that impossible) and
+//!   best-effort **datagrams** with multicast (the asynchronous update
+//!   notifications of §3.2 — "an asynchronous multicast datagram is sent to
+//!   all available replicas").
+//!
+//! Partitions are first-class: assign hosts to partition groups and only
+//! same-group hosts can exchange messages. Experiments script partition
+//! histories ("partition, diverge, heal, reconcile") directly against this
+//! API.
+
+pub mod clock;
+pub mod network;
+pub mod stats;
+
+pub use clock::SimClock;
+pub use network::{DatagramHandler, HostId, Network, NetworkParams, RpcHandler};
+pub use stats::NetStats;

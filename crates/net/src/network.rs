@@ -1,0 +1,552 @@
+//! Hosts, partitions, RPC, and datagram delivery.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ficus_vnode::{FsError, FsResult, TimeSource, Timestamp};
+
+use crate::clock::SimClock;
+use crate::stats::NetStats;
+
+/// Identifies a simulated host.
+///
+/// Plays the role of the paper's "(Internet) addresses of the managing Ficus
+/// physical layers" stored in graft points (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// Synchronous request handler: `(caller, request) -> reply`.
+pub type RpcHandler = Arc<dyn Fn(HostId, &[u8]) -> FsResult<Vec<u8>> + Send + Sync>;
+
+/// Asynchronous datagram handler: `(sender, payload)`.
+pub type DatagramHandler = Arc<dyn Fn(HostId, &[u8]) + Send + Sync>;
+
+/// Tunable behavior of the simulated network.
+#[derive(Debug, Clone)]
+pub struct NetworkParams {
+    /// One-way latency charged per message, in microseconds.
+    pub latency_us: u64,
+    /// Probability a datagram is silently lost even between connected hosts
+    /// (RPCs are never lost, only refused by partitions — SunRPC retries
+    /// masked transport loss for NFS).
+    pub datagram_loss: f64,
+    /// Seed for the loss RNG.
+    pub seed: u64,
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        NetworkParams {
+            latency_us: 1_000, // 1 ms: a 1990 Ethernet round half-trip
+            datagram_loss: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+struct PendingDatagram {
+    deliver_at: Timestamp,
+    seq: u64,
+    from: HostId,
+    to: HostId,
+    service: String,
+    payload: Vec<u8>,
+}
+
+#[derive(Default)]
+struct Topology {
+    /// Partition group per host. Hosts talk iff their groups are equal.
+    group: HashMap<HostId, u32>,
+    /// Hosts that are down entirely (crashed, not merely partitioned).
+    down: HashMap<HostId, bool>,
+}
+
+/// The simulated network.
+///
+/// Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetworkInner>,
+}
+
+struct NetworkInner {
+    clock: Arc<SimClock>,
+    params: NetworkParams,
+    topology: RwLock<Topology>,
+    rpc_handlers: RwLock<HashMap<(HostId, String), RpcHandler>>,
+    datagram_handlers: RwLock<HashMap<(HostId, String), DatagramHandler>>,
+    queue: Mutex<Vec<PendingDatagram>>,
+    next_seq: Mutex<u64>,
+    rng: Mutex<StdRng>,
+    stats: Mutex<NetStats>,
+}
+
+impl Network {
+    /// Creates a network over `clock` with the given parameters.
+    #[must_use]
+    pub fn new(clock: Arc<SimClock>, params: NetworkParams) -> Self {
+        let seed = params.seed;
+        Network {
+            inner: Arc::new(NetworkInner {
+                clock,
+                params,
+                topology: RwLock::new(Topology::default()),
+                rpc_handlers: RwLock::new(HashMap::new()),
+                datagram_handlers: RwLock::new(HashMap::new()),
+                queue: Mutex::new(Vec::new()),
+                next_seq: Mutex::new(0),
+                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                stats: Mutex::new(NetStats::default()),
+            }),
+        }
+    }
+
+    /// Creates a fully connected network with default parameters.
+    #[must_use]
+    pub fn fully_connected(clock: Arc<SimClock>) -> Self {
+        Self::new(clock, NetworkParams::default())
+    }
+
+    /// The shared clock.
+    #[must_use]
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.inner.clock
+    }
+
+    /// Registers `host` (idempotent); new hosts join partition group 0.
+    pub fn add_host(&self, host: HostId) {
+        let mut t = self.inner.topology.write();
+        t.group.entry(host).or_insert(0);
+        t.down.entry(host).or_insert(false);
+    }
+
+    /// Places each listed set of hosts in its own partition group.
+    ///
+    /// Hosts not listed keep group 0. `heal()` restores full connectivity.
+    pub fn partition(&self, groups: &[&[HostId]]) {
+        let mut t = self.inner.topology.write();
+        for g in t.group.values_mut() {
+            *g = 0;
+        }
+        for (i, members) in groups.iter().enumerate() {
+            for h in *members {
+                t.group.insert(*h, (i + 1) as u32);
+            }
+        }
+    }
+
+    /// Restores full connectivity (every host in group 0; nobody down).
+    pub fn heal(&self) {
+        let mut t = self.inner.topology.write();
+        for g in t.group.values_mut() {
+            *g = 0;
+        }
+        for d in t.down.values_mut() {
+            *d = false;
+        }
+    }
+
+    /// Marks a host down (it answers nothing) or back up.
+    pub fn set_host_down(&self, host: HostId, down: bool) {
+        self.inner.topology.write().down.insert(host, down);
+    }
+
+    /// Whether `a` can currently exchange messages with `b`.
+    #[must_use]
+    pub fn reachable(&self, a: HostId, b: HostId) -> bool {
+        if a == b {
+            return true;
+        }
+        let t = self.inner.topology.read();
+        if t.down.get(&a).copied().unwrap_or(false) || t.down.get(&b).copied().unwrap_or(false) {
+            return false;
+        }
+        match (t.group.get(&a), t.group.get(&b)) {
+            (Some(ga), Some(gb)) => ga == gb,
+            _ => false,
+        }
+    }
+
+    /// Hosts currently reachable from `from` (excluding itself).
+    #[must_use]
+    pub fn reachable_from(&self, from: HostId) -> Vec<HostId> {
+        let t = self.inner.topology.read();
+        let mut out: Vec<HostId> = t
+            .group
+            .keys()
+            .copied()
+            .filter(|&h| h != from)
+            .collect();
+        drop(t);
+        out.retain(|&h| self.reachable(from, h));
+        out.sort();
+        out
+    }
+
+    /// Registers the RPC handler for `(host, service)`.
+    pub fn register_rpc(&self, host: HostId, service: &str, handler: RpcHandler) {
+        self.add_host(host);
+        self.inner
+            .rpc_handlers
+            .write()
+            .insert((host, service.to_owned()), handler);
+    }
+
+    /// Registers the datagram handler for `(host, service)`.
+    pub fn register_datagram(&self, host: HostId, service: &str, handler: DatagramHandler) {
+        self.add_host(host);
+        self.inner
+            .datagram_handlers
+            .write()
+            .insert((host, service.to_owned()), handler);
+    }
+
+    /// Performs a synchronous RPC from `from` to `to`.
+    ///
+    /// Fails with [`FsError::Unreachable`] when a partition separates the
+    /// hosts and [`FsError::TimedOut`] when the destination is down or runs
+    /// no such service — the two failure shapes an NFS client observes.
+    /// Charges two one-way latencies to the shared clock.
+    pub fn rpc(&self, from: HostId, to: HostId, service: &str, request: &[u8]) -> FsResult<Vec<u8>> {
+        if !self.reachable(from, to) {
+            self.inner.stats.lock().rpcs_unreachable += 1;
+            return Err(FsError::Unreachable);
+        }
+        let handler = {
+            let handlers = self.inner.rpc_handlers.read();
+            match handlers.get(&(to, service.to_owned())) {
+                Some(h) => Arc::clone(h),
+                None => {
+                    self.inner.stats.lock().rpcs_unreachable += 1;
+                    return Err(FsError::TimedOut);
+                }
+            }
+        };
+        self.inner.clock.advance(self.inner.params.latency_us);
+        let reply = handler(from, request)?;
+        self.inner.clock.advance(self.inner.params.latency_us);
+        let mut stats = self.inner.stats.lock();
+        stats.rpcs += 1;
+        stats.rpc_request_bytes += request.len() as u64;
+        stats.rpc_reply_bytes += reply.len() as u64;
+        Ok(reply)
+    }
+
+    /// Queues a best-effort datagram; it is delivered (or dropped) when the
+    /// clock passes `now + latency` and [`Network::deliver_ready`] runs.
+    pub fn send_datagram(&self, from: HostId, to: HostId, service: &str, payload: &[u8]) {
+        let mut stats = self.inner.stats.lock();
+        stats.datagrams_sent += 1;
+        if !self.reachable(from, to) {
+            stats.datagrams_dropped += 1;
+            return;
+        }
+        if self.inner.params.datagram_loss > 0.0 {
+            let roll: f64 = self.inner.rng.lock().gen();
+            if roll < self.inner.params.datagram_loss {
+                stats.datagrams_dropped += 1;
+                return;
+            }
+        }
+        drop(stats);
+        let deliver_at = self
+            .inner
+            .clock
+            .now()
+            .plus_micros(self.inner.params.latency_us);
+        let mut seq_guard = self.inner.next_seq.lock();
+        let seq = *seq_guard;
+        *seq_guard += 1;
+        drop(seq_guard);
+        self.inner.queue.lock().push(PendingDatagram {
+            deliver_at,
+            seq,
+            from,
+            to,
+            service: service.to_owned(),
+            payload: payload.to_vec(),
+        });
+    }
+
+    /// Multicasts `payload` to every host in `to` (paper §3.2's asynchronous
+    /// update notification).
+    pub fn multicast(&self, from: HostId, to: &[HostId], service: &str, payload: &[u8]) {
+        for &h in to {
+            if h != from {
+                self.send_datagram(from, h, service, payload);
+            }
+        }
+    }
+
+    /// Delivers every queued datagram due at or before the current time, in
+    /// `(deliver_at, seq)` order. Returns the number delivered.
+    ///
+    /// Reachability is re-checked at delivery time: a partition that formed
+    /// after the send still eats the message, like a real network.
+    pub fn deliver_ready(&self) -> usize {
+        let now = self.inner.clock.now();
+        let mut due = {
+            let mut q = self.inner.queue.lock();
+            let mut due = Vec::new();
+            let mut rest = Vec::new();
+            for d in q.drain(..) {
+                if d.deliver_at <= now {
+                    due.push(d);
+                } else {
+                    rest.push(d);
+                }
+            }
+            *q = rest;
+            due
+        };
+        due.sort_by_key(|d| (d.deliver_at, d.seq));
+        let mut delivered = 0;
+        for d in due {
+            if !self.reachable(d.from, d.to) {
+                self.inner.stats.lock().datagrams_dropped += 1;
+                continue;
+            }
+            let handler = {
+                let handlers = self.inner.datagram_handlers.read();
+                handlers.get(&(d.to, d.service.clone())).map(Arc::clone)
+            };
+            match handler {
+                Some(h) => {
+                    {
+                        let mut stats = self.inner.stats.lock();
+                        stats.datagrams_delivered += 1;
+                        stats.datagram_bytes += d.payload.len() as u64;
+                    }
+                    h(d.from, &d.payload);
+                    delivered += 1;
+                }
+                None => {
+                    self.inner.stats.lock().datagrams_dropped += 1;
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Advances the clock far enough to flush the queue and delivers
+    /// everything. Returns the number delivered.
+    pub fn deliver_all(&self) -> usize {
+        let mut total = 0;
+        loop {
+            let horizon = {
+                let q = self.inner.queue.lock();
+                q.iter().map(|d| d.deliver_at).max()
+            };
+            match horizon {
+                Some(t) => {
+                    self.inner.clock.advance_to(t);
+                    total += self.deliver_ready();
+                }
+                None => return total,
+            }
+        }
+    }
+
+    /// Number of datagrams waiting in the queue.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        *self.inner.stats.lock()
+    }
+
+    /// Resets traffic counters.
+    pub fn reset_stats(&self) {
+        *self.inner.stats.lock() = NetStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+
+    fn net() -> Network {
+        Network::fully_connected(SimClock::new())
+    }
+
+    const A: HostId = HostId(1);
+    const B: HostId = HostId(2);
+    const C: HostId = HostId(3);
+
+    fn echo_handler() -> RpcHandler {
+        Arc::new(|_from, req| Ok(req.to_vec()))
+    }
+
+    #[test]
+    fn rpc_round_trip() {
+        let n = net();
+        n.register_rpc(B, "echo", echo_handler());
+        n.add_host(A);
+        let reply = n.rpc(A, B, "echo", b"ping").unwrap();
+        assert_eq!(reply, b"ping");
+        let s = n.stats();
+        assert_eq!(s.rpcs, 1);
+        assert_eq!(s.rpc_request_bytes, 4);
+    }
+
+    #[test]
+    fn rpc_charges_latency() {
+        let n = net();
+        n.register_rpc(B, "echo", echo_handler());
+        n.add_host(A);
+        let before = n.clock().now();
+        n.rpc(A, B, "echo", b"x").unwrap();
+        assert_eq!(n.clock().now().micros_since(before), 2_000);
+    }
+
+    #[test]
+    fn partition_blocks_rpc() {
+        let n = net();
+        n.register_rpc(B, "echo", echo_handler());
+        n.add_host(A);
+        n.partition(&[&[A], &[B]]);
+        assert_eq!(n.rpc(A, B, "echo", b"x").unwrap_err(), FsError::Unreachable);
+        assert_eq!(n.stats().rpcs_unreachable, 1);
+        n.heal();
+        assert!(n.rpc(A, B, "echo", b"x").is_ok());
+    }
+
+    #[test]
+    fn down_host_blocks_rpc() {
+        let n = net();
+        n.register_rpc(B, "echo", echo_handler());
+        n.add_host(A);
+        n.set_host_down(B, true);
+        assert_eq!(n.rpc(A, B, "echo", b"x").unwrap_err(), FsError::Unreachable);
+        n.set_host_down(B, false);
+        assert!(n.rpc(A, B, "echo", b"x").is_ok());
+    }
+
+    #[test]
+    fn missing_service_times_out() {
+        let n = net();
+        n.add_host(A);
+        n.add_host(B);
+        assert_eq!(n.rpc(A, B, "none", b"x").unwrap_err(), FsError::TimedOut);
+    }
+
+    #[test]
+    fn datagram_delivery_after_latency() {
+        let n = net();
+        let seen = Arc::new(PMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        n.register_datagram(
+            B,
+            "note",
+            Arc::new(move |from, p| sink.lock().push((from, p.to_vec()))),
+        );
+        n.add_host(A);
+        n.send_datagram(A, B, "note", b"hello");
+        // Not due yet.
+        assert_eq!(n.deliver_ready(), 0);
+        n.clock().advance(1_000);
+        assert_eq!(n.deliver_ready(), 1);
+        assert_eq!(seen.lock()[0], (A, b"hello".to_vec()));
+    }
+
+    #[test]
+    fn multicast_reaches_reachable_hosts_only() {
+        let n = net();
+        let count = Arc::new(PMutex::new(0usize));
+        for h in [A, B, C] {
+            let c = Arc::clone(&count);
+            n.register_datagram(h, "note", Arc::new(move |_, _| *c.lock() += 1));
+        }
+        n.partition(&[&[A, B], &[C]]);
+        n.multicast(A, &[A, B, C], "note", b"v1");
+        n.deliver_all();
+        assert_eq!(*count.lock(), 1, "only B is reachable; A is the sender");
+        let s = n.stats();
+        assert_eq!(s.datagrams_sent, 2);
+        assert_eq!(s.datagrams_dropped, 1);
+    }
+
+    #[test]
+    fn partition_formed_after_send_eats_datagram() {
+        let n = net();
+        let count = Arc::new(PMutex::new(0usize));
+        let c = Arc::clone(&count);
+        n.register_datagram(B, "note", Arc::new(move |_, _| *c.lock() += 1));
+        n.add_host(A);
+        n.send_datagram(A, B, "note", b"x");
+        n.partition(&[&[A], &[B]]);
+        n.deliver_all();
+        assert_eq!(*count.lock(), 0);
+        assert_eq!(n.stats().datagrams_dropped, 1);
+    }
+
+    #[test]
+    fn datagram_loss_is_deterministic_per_seed() {
+        let run = |seed| {
+            let clock = SimClock::new();
+            let n = Network::new(
+                clock,
+                NetworkParams {
+                    datagram_loss: 0.5,
+                    seed,
+                    ..NetworkParams::default()
+                },
+            );
+            let count = Arc::new(PMutex::new(0usize));
+            let c = Arc::clone(&count);
+            n.register_datagram(B, "note", Arc::new(move |_, _| *c.lock() += 1));
+            n.add_host(A);
+            for _ in 0..100 {
+                n.send_datagram(A, B, "note", b"x");
+            }
+            n.deliver_all();
+            let got = *count.lock();
+            got
+        };
+        let first = run(42);
+        assert_eq!(first, run(42), "same seed, same losses");
+        assert!(first > 20 && first < 80, "loss should be roughly half");
+    }
+
+    #[test]
+    fn reachable_from_lists_partition_peers() {
+        let n = net();
+        for h in [A, B, C] {
+            n.add_host(h);
+        }
+        n.partition(&[&[A, B], &[C]]);
+        assert_eq!(n.reachable_from(A), vec![B]);
+        assert_eq!(n.reachable_from(C), Vec::<HostId>::new());
+        n.heal();
+        assert_eq!(n.reachable_from(A), vec![B, C]);
+    }
+
+    #[test]
+    fn delivery_order_is_fifo_per_time() {
+        let n = net();
+        let seen = Arc::new(PMutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        n.register_datagram(B, "note", Arc::new(move |_, p| s.lock().push(p[0])));
+        n.add_host(A);
+        for i in 0..5u8 {
+            n.send_datagram(A, B, "note", &[i]);
+        }
+        n.deliver_all();
+        assert_eq!(*seen.lock(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Network traffic accounting.
+
+/// Counters kept by the [`crate::Network`].
+///
+/// Experiments E7 (propagation cost) and E5 (reconciliation traffic) report
+/// these instead of wall-clock bandwidth: the paper's trade-off ("delayed
+/// propagation may reduce the overall propagation cost when updates are
+/// bursty", §3.2) is a statement about message and byte counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// RPC round trips completed.
+    pub rpcs: u64,
+    /// Bytes carried in RPC requests.
+    pub rpc_request_bytes: u64,
+    /// Bytes carried in RPC replies.
+    pub rpc_reply_bytes: u64,
+    /// RPCs refused because source and destination were partitioned.
+    pub rpcs_unreachable: u64,
+    /// Datagrams accepted for delivery.
+    pub datagrams_sent: u64,
+    /// Datagrams actually delivered.
+    pub datagrams_delivered: u64,
+    /// Datagrams dropped (partition or simulated loss).
+    pub datagrams_dropped: u64,
+    /// Bytes carried in delivered datagrams.
+    pub datagram_bytes: u64,
+}
+
+impl NetStats {
+    /// Total bytes that crossed the network.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.rpc_request_bytes + self.rpc_reply_bytes + self.datagram_bytes
+    }
+
+    /// Total messages (RPCs count as two messages: request and reply).
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.rpcs * 2 + self.datagrams_delivered
+    }
+
+    /// Per-field difference `self - earlier` (saturating).
+    #[must_use]
+    pub fn since(&self, earlier: NetStats) -> NetStats {
+        NetStats {
+            rpcs: self.rpcs.saturating_sub(earlier.rpcs),
+            rpc_request_bytes: self.rpc_request_bytes.saturating_sub(earlier.rpc_request_bytes),
+            rpc_reply_bytes: self.rpc_reply_bytes.saturating_sub(earlier.rpc_reply_bytes),
+            rpcs_unreachable: self.rpcs_unreachable.saturating_sub(earlier.rpcs_unreachable),
+            datagrams_sent: self.datagrams_sent.saturating_sub(earlier.datagrams_sent),
+            datagrams_delivered: self
+                .datagrams_delivered
+                .saturating_sub(earlier.datagrams_delivered),
+            datagrams_dropped: self
+                .datagrams_dropped
+                .saturating_sub(earlier.datagrams_dropped),
+            datagram_bytes: self.datagram_bytes.saturating_sub(earlier.datagram_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = NetStats {
+            rpcs: 2,
+            rpc_request_bytes: 10,
+            rpc_reply_bytes: 20,
+            datagrams_delivered: 3,
+            datagram_bytes: 5,
+            ..NetStats::default()
+        };
+        assert_eq!(s.total_bytes(), 35);
+        assert_eq!(s.total_messages(), 7);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = NetStats {
+            rpcs: 5,
+            ..NetStats::default()
+        };
+        let b = NetStats {
+            rpcs: 8,
+            ..NetStats::default()
+        };
+        assert_eq!(b.since(a).rpcs, 3);
+    }
+}

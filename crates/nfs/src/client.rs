@@ -1,0 +1,571 @@
+//! The NFS client layer: a vnode stack whose operations travel as RPCs.
+//!
+//! Faithfully reproduces the two §2.2 hazards:
+//!
+//! * [`ficus_vnode::Vnode::open`] and [`ficus_vnode::Vnode::close`] succeed
+//!   locally **without sending anything** — the protocol has no such
+//!   requests, so "a layer intending to receive an open will never get it if
+//!   NFS is in between".
+//! * Attribute and name lookups are cached with a time-to-live, trading
+//!   round trips for a staleness window the layers above cannot switch off
+//!   (they can here, for experiments — the default matches SunOS behavior).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use ficus_net::{HostId, Network};
+use ficus_vnode::{
+    AccessMode, Credentials, DirEntry, FileSystem, FsError, FsResult, FsStats, OpenFlags, SetAttr,
+    TimeSource, Timestamp, Vnode, VnodeAttr, VnodeRef, VnodeType,
+};
+
+use crate::wire::{FileHandle, Reply, Request};
+use crate::NFS_SERVICE;
+
+/// Client-side cache configuration.
+///
+/// These are the three caches §2.2 complains are "not fully controllable
+/// (e.g., there is no user-level way to disable all caching)" in SunOS. In
+/// this reproduction they *are* controllable — a TTL of zero disables each
+/// — because the Ficus layers need them off for replica-control reads; the
+/// defaults reproduce the SunOS behavior the paper worked around.
+#[derive(Debug, Clone)]
+pub struct NfsClientParams {
+    /// Attribute cache time-to-live in microseconds (0 disables).
+    pub attr_cache_ttl_us: u64,
+    /// Name (lookup) cache time-to-live in microseconds (0 disables).
+    pub name_cache_ttl_us: u64,
+    /// File-block (read) cache time-to-live in microseconds (0 disables).
+    pub data_cache_ttl_us: u64,
+}
+
+impl Default for NfsClientParams {
+    fn default() -> Self {
+        NfsClientParams {
+            // SunOS defaults were on the order of seconds.
+            attr_cache_ttl_us: 3_000_000,
+            name_cache_ttl_us: 3_000_000,
+            data_cache_ttl_us: 3_000_000,
+        }
+    }
+}
+
+impl NfsClientParams {
+    /// Every cache disabled (what the Ficus layers mount with).
+    #[must_use]
+    pub fn uncached() -> Self {
+        NfsClientParams {
+            attr_cache_ttl_us: 0,
+            name_cache_ttl_us: 0,
+            data_cache_ttl_us: 0,
+        }
+    }
+}
+
+/// Client read-cache block size (the classic NFS `rsize`).
+pub const DATA_BLOCK: u64 = 8192;
+
+/// Cap on cached data blocks per mount.
+const DATA_CACHE_BLOCKS: usize = 256;
+
+/// Counters for observing client-side cache behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NfsClientStats {
+    /// getattr calls answered from the attribute cache.
+    pub attr_cache_hits: u64,
+    /// lookup calls answered from the name cache.
+    pub name_cache_hits: u64,
+    /// read blocks served from the data cache.
+    pub data_cache_hits: u64,
+    /// RPCs issued.
+    pub rpcs: u64,
+}
+
+/// Attribute cache: handle → (attributes, fill time).
+type AttrCache = HashMap<FileHandle, (VnodeAttr, Timestamp)>;
+/// Name cache: (dir, name) → (child handle, attributes, fill time).
+type NameCache = HashMap<(FileHandle, String), (FileHandle, VnodeAttr, Timestamp)>;
+/// Data cache: (handle, block index) → (block bytes, fill time).
+type DataCache = HashMap<(FileHandle, u64), (Vec<u8>, Timestamp)>;
+
+struct ClientShared {
+    net: Network,
+    client: HostId,
+    server: HostId,
+    service: String,
+    params: NfsClientParams,
+    attr_cache: Mutex<AttrCache>,
+    name_cache: Mutex<NameCache>,
+    data_cache: Mutex<DataCache>,
+    stats: Mutex<NfsClientStats>,
+}
+
+impl ClientShared {
+    fn now(&self) -> Timestamp {
+        self.net.clock().now()
+    }
+
+    fn call(&self, cred: &Credentials, req: &Request) -> FsResult<Reply> {
+        self.stats.lock().rpcs += 1;
+        let wire = req.encode(cred);
+        let reply = self.net.rpc(self.client, self.server, &self.service, &wire)?;
+        Reply::decode(&reply)
+    }
+
+    fn cache_attr(&self, fh: FileHandle, attr: &VnodeAttr) {
+        if self.params.attr_cache_ttl_us > 0 {
+            self.attr_cache
+                .lock()
+                .insert(fh, (attr.clone(), self.now()));
+        }
+    }
+
+    fn cached_attr(&self, fh: FileHandle) -> Option<VnodeAttr> {
+        if self.params.attr_cache_ttl_us == 0 {
+            return None;
+        }
+        let cache = self.attr_cache.lock();
+        let (attr, stamp) = cache.get(&fh)?;
+        if self.now().micros_since(*stamp) <= self.params.attr_cache_ttl_us {
+            Some(attr.clone())
+        } else {
+            None
+        }
+    }
+
+    fn invalidate_attr(&self, fh: FileHandle) {
+        self.attr_cache.lock().remove(&fh);
+    }
+
+    fn cache_name(&self, dir: FileHandle, name: &str, child: FileHandle, attr: &VnodeAttr) {
+        if self.params.name_cache_ttl_us > 0 {
+            self.name_cache
+                .lock()
+                .insert((dir, name.to_owned()), (child, attr.clone(), self.now()));
+        }
+    }
+
+    fn cached_name(&self, dir: FileHandle, name: &str) -> Option<(FileHandle, VnodeAttr)> {
+        if self.params.name_cache_ttl_us == 0 {
+            return None;
+        }
+        let cache = self.name_cache.lock();
+        let (child, attr, stamp) = cache.get(&(dir, name.to_owned()))?;
+        if self.now().micros_since(*stamp) <= self.params.name_cache_ttl_us {
+            Some((*child, attr.clone()))
+        } else {
+            None
+        }
+    }
+
+    fn purge_name(&self, dir: FileHandle, name: &str) {
+        self.name_cache.lock().remove(&(dir, name.to_owned()));
+    }
+
+    /// Fetches one data block through the cache (or straight through when
+    /// the data cache is disabled — the block may then be short).
+    fn read_block(&self, cred: &Credentials, fh: FileHandle, block: u64) -> FsResult<Vec<u8>> {
+        if self.params.data_cache_ttl_us > 0 {
+            let cache = self.data_cache.lock();
+            if let Some((data, stamp)) = cache.get(&(fh, block)) {
+                if self.now().micros_since(*stamp) <= self.params.data_cache_ttl_us {
+                    self.stats.lock().data_cache_hits += 1;
+                    return Ok(data.clone());
+                }
+            }
+        }
+        let reply = self.call(
+            cred,
+            &Request::Read(fh, block * DATA_BLOCK, DATA_BLOCK as u32),
+        )?;
+        let Reply::Data(data) = reply else {
+            return Err(FsError::Io);
+        };
+        if self.params.data_cache_ttl_us > 0 {
+            let mut cache = self.data_cache.lock();
+            if cache.len() >= DATA_CACHE_BLOCKS {
+                // Coarse eviction: drop everything rather than tracking LRU;
+                // the 1980s client was no more subtle.
+                cache.clear();
+            }
+            cache.insert((fh, block), (data.clone(), self.now()));
+        }
+        Ok(data)
+    }
+
+    /// Drops the cached blocks of one file (on local writes).
+    fn purge_data(&self, fh: FileHandle) {
+        self.data_cache.lock().retain(|(h, _), _| *h != fh);
+    }
+}
+
+/// A mounted NFS client file system.
+pub struct NfsClientFs {
+    shared: Arc<ClientShared>,
+    root_fh: FileHandle,
+    root_attr: VnodeAttr,
+}
+
+impl NfsClientFs {
+    /// Mounts `server`'s export over the network, as seen from `client`.
+    pub fn mount(
+        net: Network,
+        client: HostId,
+        server: HostId,
+        params: NfsClientParams,
+    ) -> FsResult<Self> {
+        Self::mount_service(net, client, server, NFS_SERVICE, params)
+    }
+
+    /// Mounts an export registered under a custom RPC service name.
+    pub fn mount_service(
+        net: Network,
+        client: HostId,
+        server: HostId,
+        service: &str,
+        params: NfsClientParams,
+    ) -> FsResult<Self> {
+        net.add_host(client);
+        let shared = Arc::new(ClientShared {
+            net,
+            client,
+            server,
+            service: service.to_owned(),
+            params,
+            attr_cache: Mutex::new(HashMap::new()),
+            name_cache: Mutex::new(HashMap::new()),
+            data_cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(NfsClientStats::default()),
+        });
+        let reply = shared.call(&Credentials::root(), &Request::Root)?;
+        let Reply::Node(root_fh, root_attr) = reply else {
+            return Err(FsError::Io);
+        };
+        Ok(NfsClientFs {
+            shared,
+            root_fh,
+            root_attr,
+        })
+    }
+
+    /// Cache behavior counters.
+    #[must_use]
+    pub fn stats(&self) -> NfsClientStats {
+        *self.shared.stats.lock()
+    }
+
+    /// Discards the attribute, name, and data caches.
+    pub fn purge_caches(&self) {
+        self.shared.attr_cache.lock().clear();
+        self.shared.name_cache.lock().clear();
+        self.shared.data_cache.lock().clear();
+    }
+}
+
+impl FileSystem for NfsClientFs {
+    fn root(&self) -> VnodeRef {
+        Arc::new(NfsVnode {
+            shared: Arc::clone(&self.shared),
+            fh: self.root_fh,
+            kind: self.root_attr.kind,
+            fsid: self.root_attr.fsid,
+            fileid: self.root_attr.fileid,
+        })
+    }
+
+    fn statfs(&self) -> FsResult<FsStats> {
+        match self.shared.call(&Credentials::root(), &Request::Statfs)? {
+            Reply::Stats(s) => Ok(s),
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        // The client holds no dirty data (writes are write-through RPCs).
+        Ok(())
+    }
+}
+
+/// A vnode whose operations are RPCs to the server.
+pub struct NfsVnode {
+    shared: Arc<ClientShared>,
+    fh: FileHandle,
+    kind: VnodeType,
+    fsid: u64,
+    fileid: u64,
+}
+
+impl NfsVnode {
+    fn node_from(&self, fh: FileHandle, attr: &VnodeAttr) -> VnodeRef {
+        Arc::new(NfsVnode {
+            shared: Arc::clone(&self.shared),
+            fh,
+            kind: attr.kind,
+            fsid: attr.fsid,
+            fileid: attr.fileid,
+        })
+    }
+
+    fn unwrap_peer(peer: &VnodeRef) -> FsResult<&NfsVnode> {
+        peer.as_any()
+            .downcast_ref::<NfsVnode>()
+            .ok_or(FsError::Xdev)
+    }
+}
+
+impl Vnode for NfsVnode {
+    fn kind(&self) -> VnodeType {
+        self.kind
+    }
+
+    fn fsid(&self) -> u64 {
+        self.fsid
+    }
+
+    fn fileid(&self) -> u64 {
+        self.fileid
+    }
+
+    fn getattr(&self, cred: &Credentials) -> FsResult<VnodeAttr> {
+        if let Some(attr) = self.shared.cached_attr(self.fh) {
+            self.shared.stats.lock().attr_cache_hits += 1;
+            return Ok(attr);
+        }
+        match self.shared.call(cred, &Request::GetAttr(self.fh))? {
+            Reply::Attr(attr) => {
+                self.shared.cache_attr(self.fh, &attr);
+                Ok(attr)
+            }
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn setattr(&self, cred: &Credentials, set: &SetAttr) -> FsResult<VnodeAttr> {
+        match self.shared.call(cred, &Request::SetAttr(self.fh, *set))? {
+            Reply::Attr(attr) => {
+                self.shared.cache_attr(self.fh, &attr);
+                Ok(attr)
+            }
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn access(&self, cred: &Credentials, mode: AccessMode) -> FsResult<()> {
+        match self
+            .shared
+            .call(cred, &Request::Access(self.fh, mode.bits()))?
+        {
+            Reply::Ok => Ok(()),
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn open(&self, _cred: &Credentials, _flags: OpenFlags) -> FsResult<()> {
+        // The protocol has no open: NFS "intercepts and ignores" it (§2.2).
+        Ok(())
+    }
+
+    fn close(&self, _cred: &Credentials, _flags: OpenFlags) -> FsResult<()> {
+        // Likewise ignored.
+        Ok(())
+    }
+
+    fn read(&self, cred: &Credentials, offset: u64, len: usize) -> FsResult<Bytes> {
+        if self.shared.params.data_cache_ttl_us == 0 {
+            // Cache off: one exact-range RPC.
+            return match self
+                .shared
+                .call(cred, &Request::Read(self.fh, offset, len as u32))?
+            {
+                Reply::Data(data) => Ok(Bytes::from(data)),
+                _ => Err(FsError::Io),
+            };
+        }
+        // Cache on: assemble the range from DATA_BLOCK-sized cached blocks
+        // (the classic rsize read-ahead granularity).
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        let end = offset + len as u64;
+        while pos < end {
+            let block = pos / DATA_BLOCK;
+            let within = (pos - block * DATA_BLOCK) as usize;
+            let data = self.shared.read_block(cred, self.fh, block)?;
+            if within >= data.len() {
+                break; // EOF
+            }
+            let take = (data.len() - within).min((end - pos) as usize);
+            out.extend_from_slice(&data[within..within + take]);
+            pos += take as u64;
+            if data.len() < DATA_BLOCK as usize {
+                break; // short block: EOF inside this block
+            }
+        }
+        Ok(Bytes::from(out))
+    }
+
+    fn write(&self, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
+        match self
+            .shared
+            .call(cred, &Request::Write(self.fh, offset, data.to_vec()))?
+        {
+            Reply::Written(n) => {
+                self.shared.invalidate_attr(self.fh);
+                // Our own writes invalidate our cached blocks (real NFS
+                // behavior); OTHER clients' writes do not — that staleness
+                // window is the §2.2 hazard.
+                self.shared.purge_data(self.fh);
+                Ok(n as usize)
+            }
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn fsync(&self, cred: &Credentials) -> FsResult<()> {
+        match self.shared.call(cred, &Request::Fsync(self.fh))? {
+            Reply::Ok => Ok(()),
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn lookup(&self, cred: &Credentials, name: &str) -> FsResult<VnodeRef> {
+        if let Some((fh, attr)) = self.shared.cached_name(self.fh, name) {
+            self.shared.stats.lock().name_cache_hits += 1;
+            return Ok(self.node_from(fh, &attr));
+        }
+        match self
+            .shared
+            .call(cred, &Request::Lookup(self.fh, name.to_owned()))?
+        {
+            Reply::Node(fh, attr) => {
+                self.shared.cache_name(self.fh, name, fh, &attr);
+                self.shared.cache_attr(fh, &attr);
+                Ok(self.node_from(fh, &attr))
+            }
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn create(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        match self
+            .shared
+            .call(cred, &Request::Create(self.fh, name.to_owned(), mode))?
+        {
+            Reply::Node(fh, attr) => {
+                self.shared.cache_name(self.fh, name, fh, &attr);
+                self.shared.cache_attr(fh, &attr);
+                Ok(self.node_from(fh, &attr))
+            }
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn mkdir(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        match self
+            .shared
+            .call(cred, &Request::Mkdir(self.fh, name.to_owned(), mode))?
+        {
+            Reply::Node(fh, attr) => {
+                self.shared.cache_name(self.fh, name, fh, &attr);
+                Ok(self.node_from(fh, &attr))
+            }
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn remove(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        let r = self
+            .shared
+            .call(cred, &Request::Remove(self.fh, name.to_owned()))?;
+        self.shared.purge_name(self.fh, name);
+        match r {
+            Reply::Ok => Ok(()),
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn rmdir(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        let r = self
+            .shared
+            .call(cred, &Request::Rmdir(self.fh, name.to_owned()))?;
+        self.shared.purge_name(self.fh, name);
+        match r {
+            Reply::Ok => Ok(()),
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn rename(&self, cred: &Credentials, from: &str, to_dir: &VnodeRef, to: &str) -> FsResult<()> {
+        let peer = Self::unwrap_peer(to_dir)?;
+        if peer.shared.server != self.shared.server {
+            return Err(FsError::Xdev);
+        }
+        let r = self.shared.call(
+            cred,
+            &Request::Rename(self.fh, from.to_owned(), peer.fh, to.to_owned()),
+        )?;
+        self.shared.purge_name(self.fh, from);
+        self.shared.purge_name(peer.fh, to);
+        match r {
+            Reply::Ok => Ok(()),
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn link(&self, cred: &Credentials, target: &VnodeRef, name: &str) -> FsResult<()> {
+        let peer = Self::unwrap_peer(target)?;
+        if peer.shared.server != self.shared.server {
+            return Err(FsError::Xdev);
+        }
+        match self
+            .shared
+            .call(cred, &Request::Link(peer.fh, self.fh, name.to_owned()))?
+        {
+            Reply::Ok => Ok(()),
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn symlink(&self, cred: &Credentials, name: &str, target: &str) -> FsResult<VnodeRef> {
+        match self.shared.call(
+            cred,
+            &Request::Symlink(self.fh, name.to_owned(), target.to_owned()),
+        )? {
+            Reply::Node(fh, attr) => Ok(self.node_from(fh, &attr)),
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn readlink(&self, cred: &Credentials) -> FsResult<String> {
+        match self.shared.call(cred, &Request::Readlink(self.fh))? {
+            Reply::Path(p) => Ok(p),
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn readdir(&self, cred: &Credentials, cookie: u64, count: usize) -> FsResult<Vec<DirEntry>> {
+        match self
+            .shared
+            .call(cred, &Request::Readdir(self.fh, cookie, count as u32))?
+        {
+            Reply::Entries(entries) => Ok(entries),
+            _ => Err(FsError::Io),
+        }
+    }
+
+    fn ioctl(&self, _cred: &Credentials, _cmd: u32, _data: &[u8]) -> FsResult<Vec<u8>> {
+        // The protocol has no ioctl either; this is precisely why Ficus
+        // overloads lookup/read/write for its control plane (§2.3).
+        Err(FsError::Unsupported)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,358 @@
+//! End-to-end client/server tests over the simulated network.
+
+use std::sync::Arc;
+
+use ficus_net::{HostId, Network, SimClock};
+use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
+use ficus_vnode::measure::{MeasureLayer, Op};
+use ficus_vnode::{Credentials, FileSystem, FsError, OpenFlags, SetAttr, VnodeType};
+
+use crate::client::{NfsClientFs, NfsClientParams};
+use crate::server::NfsServer;
+
+const CLIENT: HostId = HostId(1);
+const SERVER: HostId = HostId(2);
+
+struct Rig {
+    net: Network,
+    client: NfsClientFs,
+    /// Counters on the stack *below* the NFS server — what actually reaches
+    /// the exported file system.
+    below: Arc<ficus_vnode::measure::OpCounters>,
+}
+
+fn rig(params: NfsClientParams) -> Rig {
+    let clock = SimClock::new();
+    let net = Network::fully_connected(Arc::clone(&clock));
+    let ufs = Ufs::format_with_clock(Disk::new(Geometry::small()), UfsParams::default(), clock)
+        .unwrap();
+    let (measured, below) = MeasureLayer::new(Arc::new(ufs));
+    let server = NfsServer::new(measured);
+    server.serve(&net, SERVER);
+    let client = NfsClientFs::mount(net.clone(), CLIENT, SERVER, params).unwrap();
+    Rig { net, client, below }
+}
+
+fn no_cache() -> NfsClientParams {
+    NfsClientParams::uncached()
+}
+
+#[test]
+fn file_io_over_the_wire() {
+    let r = rig(no_cache());
+    let cred = Credentials::root();
+    let root = r.client.root();
+    let f = root.create(&cred, "remote.txt", 0o644).unwrap();
+    assert_eq!(f.write(&cred, 0, b"over the wire").unwrap(), 13);
+    assert_eq!(&f.read(&cred, 5, 3).unwrap()[..], b"the");
+    assert_eq!(f.getattr(&cred).unwrap().size, 13);
+    assert!(r.net.stats().rpcs >= 4);
+}
+
+#[test]
+fn directory_operations_over_the_wire() {
+    let r = rig(no_cache());
+    let cred = Credentials::root();
+    let root = r.client.root();
+    let d = root.mkdir(&cred, "dir", 0o755).unwrap();
+    assert_eq!(d.kind(), VnodeType::Directory);
+    d.create(&cred, "inner", 0o644).unwrap();
+    let entries = d.readdir(&cred, 0, 100).unwrap();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].name, "inner");
+    d.remove(&cred, "inner").unwrap();
+    root.rmdir(&cred, "dir").unwrap();
+    assert_eq!(root.lookup(&cred, "dir").unwrap_err(), FsError::NotFound);
+}
+
+#[test]
+fn rename_and_link_through_nfs() {
+    let r = rig(no_cache());
+    let cred = Credentials::root();
+    let root = r.client.root();
+    let f = root.create(&cred, "a", 0o644).unwrap();
+    f.write(&cred, 0, b"x").unwrap();
+    let peer = r.client.root();
+    root.rename(&cred, "a", &peer, "b").unwrap();
+    assert!(root.lookup(&cred, "a").is_err());
+    let b = root.lookup(&cred, "b").unwrap();
+    root.link(&cred, &b, "c").unwrap();
+    assert_eq!(root.lookup(&cred, "c").unwrap().fileid(), b.fileid());
+}
+
+#[test]
+fn symlink_through_nfs() {
+    let r = rig(no_cache());
+    let cred = Credentials::root();
+    let root = r.client.root();
+    root.symlink(&cred, "ln", "somewhere/else").unwrap();
+    let ln = root.lookup(&cred, "ln").unwrap();
+    assert_eq!(ln.kind(), VnodeType::Symlink);
+    assert_eq!(ln.readlink(&cred).unwrap(), "somewhere/else");
+}
+
+#[test]
+fn open_and_close_never_reach_the_server() {
+    // The heart of §2.2: "a layer intending to receive an open will never
+    // get it if NFS is in between."
+    let r = rig(no_cache());
+    let cred = Credentials::root();
+    let root = r.client.root();
+    let f = root.create(&cred, "f", 0o644).unwrap();
+    r.below.reset();
+    f.open(&cred, OpenFlags::read_write()).unwrap();
+    f.close(&cred, OpenFlags::read_write()).unwrap();
+    assert_eq!(r.below.get(Op::Open), 0, "open must be swallowed by NFS");
+    assert_eq!(r.below.get(Op::Close), 0, "close must be swallowed by NFS");
+}
+
+#[test]
+fn ioctl_is_not_forwarded_either() {
+    let r = rig(no_cache());
+    let cred = Credentials::root();
+    let root = r.client.root();
+    assert_eq!(root.ioctl(&cred, 42, &[]).unwrap_err(), FsError::Unsupported);
+    assert_eq!(r.below.get(Op::Ioctl), 0);
+}
+
+#[test]
+fn partition_surfaces_as_unreachable() {
+    let r = rig(no_cache());
+    let cred = Credentials::root();
+    let root = r.client.root();
+    root.create(&cred, "f", 0o644).unwrap();
+    r.net.partition(&[&[CLIENT], &[SERVER]]);
+    assert_eq!(
+        root.lookup(&cred, "f").unwrap_err(),
+        FsError::Unreachable
+    );
+    r.net.heal();
+    assert!(root.lookup(&cred, "f").is_ok());
+}
+
+#[test]
+fn attr_cache_hides_remote_changes_within_ttl() {
+    // The §2.2 complaint, demonstrated: a second client's update is
+    // invisible through the first client's attribute cache until the TTL
+    // lapses.
+    let clock = SimClock::new();
+    let net = Network::fully_connected(Arc::clone(&clock));
+    let ufs = Ufs::format_with_clock(
+        Disk::new(Geometry::small()),
+        UfsParams::default(),
+        Arc::clone(&clock) as Arc<dyn ficus_vnode::TimeSource>,
+    )
+    .unwrap();
+    let server = NfsServer::new(Arc::new(ufs));
+    server.serve(&net, SERVER);
+    let ttl = 1_000_000;
+    let c1 = NfsClientFs::mount(
+        net.clone(),
+        CLIENT,
+        SERVER,
+        NfsClientParams {
+            attr_cache_ttl_us: ttl,
+            name_cache_ttl_us: 0,
+            data_cache_ttl_us: 0,
+        },
+    )
+    .unwrap();
+    let c2 = NfsClientFs::mount(net.clone(), HostId(3), SERVER, NfsClientParams::default()).unwrap();
+
+    let cred = Credentials::root();
+    let f1 = c1.root().create(&cred, "shared", 0o644).unwrap();
+    let size0 = f1.getattr(&cred).unwrap().size;
+    assert_eq!(size0, 0);
+
+    // Client 2 grows the file.
+    let f2 = c2.root().lookup(&cred, "shared").unwrap();
+    f2.write(&cred, 0, b"grown by c2").unwrap();
+
+    // Client 1 still sees the stale size from its cache...
+    assert_eq!(f1.getattr(&cred).unwrap().size, 0, "stale within TTL");
+    // ...until the TTL expires.
+    clock.advance(ttl + 1);
+    assert_eq!(f1.getattr(&cred).unwrap().size, 11);
+}
+
+#[test]
+fn name_cache_hits_avoid_rpcs() {
+    let r = rig(NfsClientParams {
+        attr_cache_ttl_us: 0,
+        name_cache_ttl_us: 10_000_000,
+        data_cache_ttl_us: 0,
+    });
+    let cred = Credentials::root();
+    let root = r.client.root();
+    root.create(&cred, "cached", 0o644).unwrap();
+    root.lookup(&cred, "cached").unwrap();
+    let rpcs_before = r.net.stats().rpcs;
+    root.lookup(&cred, "cached").unwrap();
+    assert_eq!(r.net.stats().rpcs, rpcs_before, "second lookup is local");
+    assert!(r.client.stats().name_cache_hits >= 1);
+}
+
+#[test]
+fn server_reboot_staleness_and_remount() {
+    let clock = SimClock::new();
+    let net = Network::fully_connected(Arc::clone(&clock));
+    let ufs = Ufs::format_with_clock(Disk::new(Geometry::small()), UfsParams::default(), clock)
+        .unwrap();
+    let server = NfsServer::new(Arc::new(ufs));
+    server.serve(&net, SERVER);
+    let client = NfsClientFs::mount(net.clone(), CLIENT, SERVER, no_cache()).unwrap();
+    let cred = Credentials::root();
+    let root = client.root();
+    root.create(&cred, "f", 0o644).unwrap();
+
+    server.reboot();
+    assert_eq!(root.lookup(&cred, "f").unwrap_err(), FsError::Stale);
+    // A fresh mount recovers: the data survived, only handles died.
+    let client2 = NfsClientFs::mount(net, CLIENT, SERVER, no_cache()).unwrap();
+    assert!(client2.root().lookup(&cred, "f").is_ok());
+}
+
+#[test]
+fn errors_traverse_nfs_unchanged() {
+    let r = rig(no_cache());
+    let cred = Credentials::root();
+    let root = r.client.root();
+    assert_eq!(root.lookup(&cred, "nope").unwrap_err(), FsError::NotFound);
+    root.create(&cred, "f", 0o644).unwrap();
+    assert_eq!(
+        root.create(&cred, "f", 0o644).unwrap_err(),
+        FsError::Exists
+    );
+    assert_eq!(root.rmdir(&cred, "f").unwrap_err(), FsError::NotDir);
+    let f = root.lookup(&cred, "f").unwrap();
+    assert_eq!(
+        f.setattr(&Credentials::user(9, 9), &SetAttr::mode(0o777))
+            .unwrap_err(),
+        FsError::Perm
+    );
+}
+
+#[test]
+fn statfs_over_the_wire() {
+    let r = rig(no_cache());
+    let stats = r.client.statfs().unwrap();
+    assert_eq!(stats.block_size, 4096);
+    assert!(stats.free_blocks > 0);
+}
+
+#[test]
+fn nfs_stacks_under_other_layers() {
+    // Fig. 2's shape: layers above the NFS client cannot tell it from a
+    // local file system — stack a null layer on top and operate through it.
+    let r = rig(no_cache());
+    let cred = Credentials::root();
+    let client_arc: Arc<dyn FileSystem> = Arc::new(r.client);
+    let stacked = ficus_vnode::null::NullLayer::stack(client_arc, 2);
+    let root = stacked.root();
+    let f = root.create(&cred, "through-layers", 0o644).unwrap();
+    f.write(&cred, 0, b"deep").unwrap();
+    assert_eq!(&f.read(&cred, 0, 4).unwrap()[..], b"deep");
+}
+
+#[test]
+fn data_cache_serves_rereads_without_rpcs() {
+    let r = rig(NfsClientParams {
+        attr_cache_ttl_us: 0,
+        name_cache_ttl_us: 0,
+        data_cache_ttl_us: 10_000_000,
+    });
+    let cred = Credentials::root();
+    let root = r.client.root();
+    let f = root.create(&cred, "big", 0o644).unwrap();
+    f.write(&cred, 0, &vec![7u8; 20_000]).unwrap();
+    // First read populates the block cache.
+    assert_eq!(f.read(&cred, 0, 20_000).unwrap().len(), 20_000);
+    let rpcs_before = r.net.stats().rpcs;
+    // Re-reads (any sub-range) are served locally.
+    assert_eq!(f.read(&cred, 100, 5_000).unwrap().len(), 5_000);
+    assert_eq!(f.read(&cred, 12_000, 8_000).unwrap().len(), 8_000);
+    assert_eq!(r.net.stats().rpcs, rpcs_before, "no wire traffic");
+    assert!(r.client.stats().data_cache_hits >= 3);
+}
+
+#[test]
+fn data_cache_hides_remote_writes_within_ttl() {
+    // The third §2.2 hazard: a second client's data update is invisible
+    // through the first client's block cache until the TTL lapses.
+    let clock = SimClock::new();
+    let net = Network::fully_connected(Arc::clone(&clock));
+    let ufs = Ufs::format_with_clock(
+        Disk::new(Geometry::small()),
+        UfsParams::default(),
+        Arc::clone(&clock) as Arc<dyn ficus_vnode::TimeSource>,
+    )
+    .unwrap();
+    let server = NfsServer::new(Arc::new(ufs) as Arc<dyn FileSystem>);
+    server.serve(&net, SERVER);
+    let ttl = 1_000_000;
+    let c1 = NfsClientFs::mount(
+        net.clone(),
+        CLIENT,
+        SERVER,
+        NfsClientParams {
+            attr_cache_ttl_us: 0,
+            name_cache_ttl_us: 0,
+            data_cache_ttl_us: ttl,
+        },
+    )
+    .unwrap();
+    let c2 = NfsClientFs::mount(net, HostId(3), SERVER, NfsClientParams::uncached()).unwrap();
+    let cred = Credentials::root();
+    let f1 = c1.root().create(&cred, "shared", 0o644).unwrap();
+    f1.write(&cred, 0, b"v1").unwrap();
+    assert_eq!(&f1.read(&cred, 0, 2).unwrap()[..], b"v1");
+
+    // Client 2 rewrites the bytes.
+    let f2 = c2.root().lookup(&cred, "shared").unwrap();
+    f2.write(&cred, 0, b"v2").unwrap();
+
+    // Client 1's cached block is stale...
+    assert_eq!(&f1.read(&cred, 0, 2).unwrap()[..], b"v1", "stale within TTL");
+    // ...until the TTL expires.
+    clock.advance(ttl + 1);
+    assert_eq!(&f1.read(&cred, 0, 2).unwrap()[..], b"v2");
+}
+
+#[test]
+fn own_writes_invalidate_own_data_cache() {
+    let r = rig(NfsClientParams {
+        attr_cache_ttl_us: 0,
+        name_cache_ttl_us: 0,
+        data_cache_ttl_us: 10_000_000,
+    });
+    let cred = Credentials::root();
+    let root = r.client.root();
+    let f = root.create(&cred, "f", 0o644).unwrap();
+    f.write(&cred, 0, b"old").unwrap();
+    assert_eq!(&f.read(&cred, 0, 3).unwrap()[..], b"old");
+    f.write(&cred, 0, b"new").unwrap();
+    // Read-your-writes holds for the writing client.
+    assert_eq!(&f.read(&cred, 0, 3).unwrap()[..], b"new");
+}
+
+#[test]
+fn server_handle_table_is_bounded_under_control_traffic() {
+    // Long-running Ficus daemons mint a transient handle per overloaded
+    // lookup; the server must shed them rather than grow forever.
+    let clock = SimClock::new();
+    let net = Network::fully_connected(clock);
+    let ufs = Ufs::format(Disk::new(Geometry::small()), UfsParams::default()).unwrap();
+    let server = NfsServer::new(Arc::new(ufs) as Arc<dyn FileSystem>);
+    server.serve(&net, SERVER);
+    let client = NfsClientFs::mount(net, CLIENT, SERVER, NfsClientParams::uncached()).unwrap();
+    let cred = Credentials::root();
+    let root = client.root();
+    // Simulate transient (high-bit) fileids by minting lots of plain files;
+    // the bound itself is exercised directly at the unit level — here we
+    // just confirm the table stays finite under heavy distinct lookups.
+    for i in 0..200 {
+        root.create(&cred, &format!("h{i}"), 0o644).unwrap();
+        root.lookup(&cred, &format!("h{i}")).unwrap();
+    }
+    assert!(server.live_handles() <= 4096 + 64 + 256);
+}

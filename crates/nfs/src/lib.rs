@@ -1,0 +1,34 @@
+//! An NFS-style stateless vnode transport (Ficus paper, §2.2).
+//!
+//! "NFS is essentially a host-to-host transport service with a vnode
+//! interface": a client-side layer that turns vnode operations into RPCs,
+//! and a server that applies them to whatever vnode stack it exports. Ficus
+//! inserts this pair between its logical and physical layers whenever they
+//! live on different hosts (Figure 2).
+//!
+//! The paper is explicit that the SunOS NFS "does not fully preserve vnode
+//! semantics", and two of its defects shape the Ficus design; both are
+//! reproduced here deliberately:
+//!
+//! * **`open` and `close` are not part of the protocol.** The client layer
+//!   returns success without sending anything, so "a layer intending to
+//!   receive an `open` will never get it if NFS is in between". This is why
+//!   the Ficus logical layer tunnels open/close through `lookup` (§2.3), and
+//!   experiment E9 measures exactly this.
+//! * **Client-side caching is not fully controllable.** The client caches
+//!   attributes (and optionally name translations) with a time-to-live;
+//!   tests demonstrate the resulting staleness window.
+//!
+//! The wire format ([`wire`]) is a hand-rolled XDR-like encoding: length-
+//! prefixed, little-endian, no self-description — in the spirit of Sun RPC.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{NfsClientFs, NfsClientParams};
+pub use server::NfsServer;
+pub use wire::FileHandle;
+
+/// The RPC service name NFS traffic uses on the simulated network.
+pub const NFS_SERVICE: &str = "nfs";

@@ -1,0 +1,317 @@
+//! The NFS server: applies decoded requests to an exported vnode stack.
+//!
+//! The server is *stateless* in the protocol sense: nothing a client does
+//! creates server-side session state, and any request can be retried. The
+//! only soft state is a handle table mapping minted file handles back to
+//! live vnodes; losing it (server "reboot") turns outstanding handles into
+//! [`FsError::Stale`], which is exactly how real NFS behaves.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ficus_net::{HostId, Network};
+use ficus_vnode::{AccessMode, Credentials, FileSystem, FsError, FsResult, VnodeRef};
+
+use crate::wire::{FileHandle, Reply, Request};
+use crate::NFS_SERVICE;
+
+/// An NFS server exporting one vnode stack.
+pub struct NfsServer {
+    export: Arc<dyn FileSystem>,
+    handles: Mutex<HashMap<FileHandle, VnodeRef>>,
+    next_gen: Mutex<u64>,
+}
+
+impl NfsServer {
+    /// Creates a server for `export`.
+    #[must_use]
+    pub fn new(export: Arc<dyn FileSystem>) -> Arc<Self> {
+        Arc::new(NfsServer {
+            export,
+            handles: Mutex::new(HashMap::new()),
+            next_gen: Mutex::new(1),
+        })
+    }
+
+    /// Registers this server on `net` as host `host`'s NFS service.
+    pub fn serve(self: &Arc<Self>, net: &Network, host: HostId) {
+        self.serve_as(net, host, NFS_SERVICE);
+    }
+
+    /// Registers this server under a custom RPC service name (hosts that
+    /// export several file systems use one service per export).
+    pub fn serve_as(self: &Arc<Self>, net: &Network, host: HostId, service: &str) {
+        let me = Arc::clone(self);
+        net.register_rpc(
+            host,
+            service,
+            Arc::new(move |_from, request| Ok(me.handle_wire(request))),
+        );
+    }
+
+    /// Simulates a server reboot: every outstanding handle becomes stale.
+    pub fn reboot(&self) {
+        self.handles.lock().clear();
+    }
+
+    /// Number of live handles in the table (for tests).
+    #[must_use]
+    pub fn live_handles(&self) -> usize {
+        self.handles.lock().len()
+    }
+
+    /// Mints (or reuses) a handle for `vnode`.
+    ///
+    /// Transient vnodes (fileids with the high bit set — the Ficus control
+    /// files minted per overloaded lookup) are shed oldest-first once the
+    /// table grows past a bound; presenting a shed handle is simply
+    /// [`FsError::Stale`], which stateless clients retry by re-looking-up.
+    fn mint(&self, vnode: VnodeRef) -> FileHandle {
+        const HANDLE_TABLE_BOUND: usize = 4096;
+        let mut handles = self.handles.lock();
+        // Reuse an existing handle for the same (fsid, fileid) if present so
+        // handle equality matches file identity.
+        let fsid = vnode.fsid();
+        let fileid = vnode.fileid();
+        if let Some((&fh, _)) = handles
+            .iter()
+            .find(|(fh, _)| fh.fsid == fsid && fh.fileid == fileid)
+        {
+            return fh;
+        }
+        if handles.len() > HANDLE_TABLE_BOUND {
+            let mut transient: Vec<FileHandle> = handles
+                .keys()
+                .filter(|fh| fh.fileid & (1 << 63) != 0)
+                .copied()
+                .collect();
+            transient.sort_by_key(|fh| fh.gen);
+            for fh in transient.iter().take(transient.len().saturating_sub(64)) {
+                handles.remove(fh);
+            }
+        }
+        let mut gen_guard = self.next_gen.lock();
+        let fh = FileHandle {
+            fsid,
+            fileid,
+            gen: *gen_guard,
+        };
+        *gen_guard += 1;
+        drop(gen_guard);
+        handles.insert(fh, vnode);
+        fh
+    }
+
+    /// Resolves a handle back to a vnode.
+    fn resolve(&self, fh: FileHandle) -> FsResult<VnodeRef> {
+        self.handles
+            .lock()
+            .get(&fh)
+            .cloned()
+            .ok_or(FsError::Stale)
+    }
+
+    /// Handles one wire-encoded request, producing a wire-encoded reply.
+    pub fn handle_wire(&self, request: &[u8]) -> Vec<u8> {
+        let result = Request::decode(request)
+            .and_then(|(cred, req)| self.dispatch(&cred, req));
+        Reply::encode(&result)
+    }
+
+    fn dispatch(&self, cred: &Credentials, req: Request) -> FsResult<Reply> {
+        match req {
+            Request::Root => {
+                let root = self.export.root();
+                let attr = root.getattr(cred)?;
+                Ok(Reply::Node(self.mint(root), attr))
+            }
+            Request::GetAttr(fh) => {
+                let v = self.resolve(fh)?;
+                Ok(Reply::Attr(v.getattr(cred)?))
+            }
+            Request::SetAttr(fh, set) => {
+                let v = self.resolve(fh)?;
+                Ok(Reply::Attr(v.setattr(cred, &set)?))
+            }
+            Request::Access(fh, bits) => {
+                let v = self.resolve(fh)?;
+                let mut mode: Option<AccessMode> = None;
+                for (bit, m) in [
+                    (0b100u8, AccessMode::READ),
+                    (0b010, AccessMode::WRITE),
+                    (0b001, AccessMode::EXEC),
+                ] {
+                    if bits & bit != 0 {
+                        mode = Some(match mode {
+                            None => m,
+                            Some(acc) => acc.union(m),
+                        });
+                    }
+                }
+                match mode {
+                    Some(m) => {
+                        v.access(cred, m)?;
+                        Ok(Reply::Ok)
+                    }
+                    None => Ok(Reply::Ok),
+                }
+            }
+            Request::Lookup(fh, name) => {
+                let dir = self.resolve(fh)?;
+                let v = dir.lookup(cred, &name)?;
+                let attr = v.getattr(cred)?;
+                Ok(Reply::Node(self.mint(v), attr))
+            }
+            Request::Read(fh, off, len) => {
+                let v = self.resolve(fh)?;
+                let data = v.read(cred, off, len as usize)?;
+                Ok(Reply::Data(data.to_vec()))
+            }
+            Request::Write(fh, off, data) => {
+                let v = self.resolve(fh)?;
+                let n = v.write(cred, off, &data)?;
+                Ok(Reply::Written(n as u32))
+            }
+            Request::Fsync(fh) => {
+                let v = self.resolve(fh)?;
+                v.fsync(cred)?;
+                Ok(Reply::Ok)
+            }
+            Request::Create(fh, name, mode) => {
+                let dir = self.resolve(fh)?;
+                let v = dir.create(cred, &name, mode)?;
+                let attr = v.getattr(cred)?;
+                Ok(Reply::Node(self.mint(v), attr))
+            }
+            Request::Mkdir(fh, name, mode) => {
+                let dir = self.resolve(fh)?;
+                let v = dir.mkdir(cred, &name, mode)?;
+                let attr = v.getattr(cred)?;
+                Ok(Reply::Node(self.mint(v), attr))
+            }
+            Request::Remove(fh, name) => {
+                let dir = self.resolve(fh)?;
+                dir.remove(cred, &name)?;
+                Ok(Reply::Ok)
+            }
+            Request::Rmdir(fh, name) => {
+                let dir = self.resolve(fh)?;
+                dir.rmdir(cred, &name)?;
+                Ok(Reply::Ok)
+            }
+            Request::Rename(from_fh, from_name, to_fh, to_name) => {
+                let from_dir = self.resolve(from_fh)?;
+                let to_dir = self.resolve(to_fh)?;
+                from_dir.rename(cred, &from_name, &to_dir, &to_name)?;
+                Ok(Reply::Ok)
+            }
+            Request::Link(target_fh, dir_fh, name) => {
+                let target = self.resolve(target_fh)?;
+                let dir = self.resolve(dir_fh)?;
+                dir.link(cred, &target, &name)?;
+                Ok(Reply::Ok)
+            }
+            Request::Symlink(dir_fh, name, target) => {
+                let dir = self.resolve(dir_fh)?;
+                let v = dir.symlink(cred, &name, &target)?;
+                let attr = v.getattr(cred)?;
+                Ok(Reply::Node(self.mint(v), attr))
+            }
+            Request::Readlink(fh) => {
+                let v = self.resolve(fh)?;
+                Ok(Reply::Path(v.readlink(cred)?))
+            }
+            Request::Readdir(fh, cookie, count) => {
+                let dir = self.resolve(fh)?;
+                Ok(Reply::Entries(dir.readdir(cred, cookie, count as usize)?))
+            }
+            Request::Statfs => Ok(Reply::Stats(self.export.statfs()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
+
+    fn server() -> Arc<NfsServer> {
+        let ufs = Ufs::format(Disk::new(Geometry::small()), UfsParams::default()).unwrap();
+        NfsServer::new(Arc::new(ufs))
+    }
+
+    fn call(s: &NfsServer, req: Request) -> FsResult<Reply> {
+        let wire = req.encode(&Credentials::root());
+        Reply::decode(&s.handle_wire(&wire))
+    }
+
+    #[test]
+    fn root_then_create_then_read() {
+        let s = server();
+        let Reply::Node(root_fh, _) = call(&s, Request::Root).unwrap() else {
+            panic!("expected Node");
+        };
+        let Reply::Node(file_fh, _) =
+            call(&s, Request::Create(root_fh, "f".into(), 0o644)).unwrap()
+        else {
+            panic!("expected Node");
+        };
+        call(&s, Request::Write(file_fh, 0, b"abc".to_vec())).unwrap();
+        let Reply::Data(data) = call(&s, Request::Read(file_fh, 0, 100)).unwrap() else {
+            panic!("expected Data");
+        };
+        assert_eq!(data, b"abc");
+    }
+
+    #[test]
+    fn lookup_same_file_reuses_handle() {
+        let s = server();
+        let Reply::Node(root_fh, _) = call(&s, Request::Root).unwrap() else {
+            panic!()
+        };
+        call(&s, Request::Create(root_fh, "f".into(), 0o644)).unwrap();
+        let Reply::Node(fh1, _) = call(&s, Request::Lookup(root_fh, "f".into())).unwrap() else {
+            panic!()
+        };
+        let Reply::Node(fh2, _) = call(&s, Request::Lookup(root_fh, "f".into())).unwrap() else {
+            panic!()
+        };
+        assert_eq!(fh1, fh2);
+    }
+
+    #[test]
+    fn reboot_makes_handles_stale() {
+        let s = server();
+        let Reply::Node(root_fh, _) = call(&s, Request::Root).unwrap() else {
+            panic!()
+        };
+        s.reboot();
+        assert_eq!(
+            call(&s, Request::GetAttr(root_fh)).unwrap_err(),
+            FsError::Stale
+        );
+        // But a fresh Root works: statelessness means clients just retry.
+        assert!(call(&s, Request::Root).is_ok());
+    }
+
+    #[test]
+    fn errors_cross_the_wire() {
+        let s = server();
+        let Reply::Node(root_fh, _) = call(&s, Request::Root).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            call(&s, Request::Lookup(root_fh, "ghost".into())).unwrap_err(),
+            FsError::NotFound
+        );
+    }
+
+    #[test]
+    fn garbage_request_is_io_error() {
+        let s = server();
+        let reply = s.handle_wire(b"garbage");
+        assert_eq!(Reply::decode(&reply).unwrap_err(), FsError::Io);
+    }
+}

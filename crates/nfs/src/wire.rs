@@ -1,0 +1,775 @@
+//! XDR-style wire encoding for the NFS protocol.
+//!
+//! Hand-rolled in the Sun RPC tradition: fixed-width little-endian integers,
+//! length-prefixed byte strings, and a one-byte discriminant per message
+//! variant. Notably the protocol has **no open, close, or ioctl** — the
+//! statelessness the paper works around.
+
+use ficus_vnode::{
+    Credentials, DirEntry, FsError, FsResult, FsStats, SetAttr, Timestamp, VnodeAttr, VnodeType,
+};
+
+/// An opaque NFS file handle: `(fsid, fileid, generation)`.
+///
+/// The server mints handles; the client treats them as opaque tokens. A
+/// handle outlives any server state — presenting one the server can no
+/// longer interpret yields [`FsError::Stale`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileHandle {
+    /// Exported file system id.
+    pub fsid: u64,
+    /// File id within the export.
+    pub fileid: u64,
+    /// Handle generation (invalidates reuse of file ids).
+    pub gen: u64,
+}
+
+/// One NFS request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Fetch the export's root handle (the mount protocol, folded in).
+    Root,
+    /// Read attributes.
+    GetAttr(FileHandle),
+    /// Change attributes.
+    SetAttr(FileHandle, SetAttr),
+    /// Check access rights (bits of an [`ficus_vnode::AccessMode`]).
+    Access(FileHandle, u8),
+    /// Resolve one name in a directory.
+    Lookup(FileHandle, String),
+    /// Read `len` bytes at `offset`.
+    Read(FileHandle, u64, u32),
+    /// Write bytes at an offset.
+    Write(FileHandle, u64, Vec<u8>),
+    /// Force file state to stable storage (the v3 `COMMIT`, folded in).
+    Fsync(FileHandle),
+    /// Create a regular file.
+    Create(FileHandle, String, u32),
+    /// Create a directory.
+    Mkdir(FileHandle, String, u32),
+    /// Remove a non-directory.
+    Remove(FileHandle, String),
+    /// Remove an empty directory.
+    Rmdir(FileHandle, String),
+    /// Rename `(dir, name)` to `(dir, name)`.
+    Rename(FileHandle, String, FileHandle, String),
+    /// Hard-link `target` as `(dir, name)`.
+    Link(FileHandle, FileHandle, String),
+    /// Create a symlink `(dir, name) -> target`.
+    Symlink(FileHandle, String, String),
+    /// Read a symlink's target.
+    Readlink(FileHandle),
+    /// Read directory entries after a cookie.
+    Readdir(FileHandle, u64, u32),
+    /// File-system statistics.
+    Statfs,
+}
+
+/// A successful NFS reply (errors travel as a status code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// A handle plus attributes (Root/Lookup/Create/Mkdir/Symlink).
+    Node(FileHandle, VnodeAttr),
+    /// Attributes only.
+    Attr(VnodeAttr),
+    /// Nothing (Remove/Rename/Link/Fsync/Access/...).
+    Ok,
+    /// File data.
+    Data(Vec<u8>),
+    /// Bytes written.
+    Written(u32),
+    /// Symlink target.
+    Path(String),
+    /// Directory page.
+    Entries(Vec<DirEntry>),
+    /// statfs result.
+    Stats(FsStats),
+}
+
+// --- primitive encoders -----------------------------------------------------
+
+/// Byte-buffer encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Creates an empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes and returns the buffer.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends length-prefixed bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends an optional `u64` (presence byte + value).
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Appends an optional `u32`.
+    pub fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Appends a file handle.
+    pub fn fh(&mut self, fh: FileHandle) {
+        self.u64(fh.fsid);
+        self.u64(fh.fileid);
+        self.u64(fh.gen);
+    }
+}
+
+/// Byte-buffer decoder.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Wraps a buffer for decoding.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    #[must_use]
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> FsResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(FsError::Io);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> FsResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> FsResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> FsResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads length-prefixed bytes.
+    pub fn bytes(&mut self) -> FsResult<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed string.
+    pub fn string(&mut self) -> FsResult<String> {
+        String::from_utf8(self.bytes()?).map_err(|_| FsError::Io)
+    }
+
+    /// Reads an optional `u64`.
+    pub fn opt_u64(&mut self) -> FsResult<Option<u64>> {
+        Ok(match self.u8()? {
+            0 => None,
+            _ => Some(self.u64()?),
+        })
+    }
+
+    /// Reads an optional `u32`.
+    pub fn opt_u32(&mut self) -> FsResult<Option<u32>> {
+        Ok(match self.u8()? {
+            0 => None,
+            _ => Some(self.u32()?),
+        })
+    }
+
+    /// Reads a file handle.
+    pub fn fh(&mut self) -> FsResult<FileHandle> {
+        Ok(FileHandle {
+            fsid: self.u64()?,
+            fileid: self.u64()?,
+            gen: self.u64()?,
+        })
+    }
+}
+
+// --- compound encoders -------------------------------------------------------
+
+fn kind_code(kind: VnodeType) -> u8 {
+    match kind {
+        VnodeType::Regular => 1,
+        VnodeType::Directory => 2,
+        VnodeType::Symlink => 3,
+        VnodeType::GraftPoint => 4,
+    }
+}
+
+fn kind_from(code: u8) -> FsResult<VnodeType> {
+    Ok(match code {
+        1 => VnodeType::Regular,
+        2 => VnodeType::Directory,
+        3 => VnodeType::Symlink,
+        4 => VnodeType::GraftPoint,
+        _ => return Err(FsError::Io),
+    })
+}
+
+fn enc_attr(e: &mut Enc, a: &VnodeAttr) {
+    e.u8(kind_code(a.kind));
+    e.u32(a.mode);
+    e.u32(a.nlink);
+    e.u32(a.uid);
+    e.u32(a.gid);
+    e.u64(a.size);
+    e.u64(a.fsid);
+    e.u64(a.fileid);
+    e.u64(a.mtime.0);
+    e.u64(a.atime.0);
+    e.u64(a.ctime.0);
+    e.u64(a.blocks);
+}
+
+fn dec_attr(d: &mut Dec<'_>) -> FsResult<VnodeAttr> {
+    Ok(VnodeAttr {
+        kind: kind_from(d.u8()?)?,
+        mode: d.u32()?,
+        nlink: d.u32()?,
+        uid: d.u32()?,
+        gid: d.u32()?,
+        size: d.u64()?,
+        fsid: d.u64()?,
+        fileid: d.u64()?,
+        mtime: Timestamp(d.u64()?),
+        atime: Timestamp(d.u64()?),
+        ctime: Timestamp(d.u64()?),
+        blocks: d.u64()?,
+    })
+}
+
+fn enc_setattr(e: &mut Enc, s: &SetAttr) {
+    e.opt_u32(s.mode);
+    e.opt_u32(s.uid);
+    e.opt_u32(s.gid);
+    e.opt_u64(s.size);
+    e.opt_u64(s.mtime.map(|t| t.0));
+    e.opt_u64(s.atime.map(|t| t.0));
+}
+
+fn dec_setattr(d: &mut Dec<'_>) -> FsResult<SetAttr> {
+    Ok(SetAttr {
+        mode: d.opt_u32()?,
+        uid: d.opt_u32()?,
+        gid: d.opt_u32()?,
+        size: d.opt_u64()?,
+        mtime: d.opt_u64()?.map(Timestamp),
+        atime: d.opt_u64()?.map(Timestamp),
+    })
+}
+
+/// Encodes caller credentials (the AUTH_UNIX flavor of Sun RPC).
+pub fn enc_cred(e: &mut Enc, c: &Credentials) {
+    e.u32(c.uid);
+    e.u32(c.gid);
+    e.u32(c.groups.len() as u32);
+    for &g in &c.groups {
+        e.u32(g);
+    }
+}
+
+/// Decodes caller credentials.
+pub fn dec_cred(d: &mut Dec<'_>) -> FsResult<Credentials> {
+    let uid = d.u32()?;
+    let gid = d.u32()?;
+    let n = d.u32()? as usize;
+    if n > 64 {
+        return Err(FsError::Io);
+    }
+    let mut groups = Vec::with_capacity(n);
+    for _ in 0..n {
+        groups.push(d.u32()?);
+    }
+    Ok(Credentials { uid, gid, groups })
+}
+
+impl Request {
+    /// Encodes the request (with credentials) into a wire message.
+    #[must_use]
+    pub fn encode(&self, cred: &Credentials) -> Vec<u8> {
+        let mut e = Enc::new();
+        enc_cred(&mut e, cred);
+        match self {
+            Request::Root => e.u8(0),
+            Request::GetAttr(fh) => {
+                e.u8(1);
+                e.fh(*fh);
+            }
+            Request::SetAttr(fh, s) => {
+                e.u8(2);
+                e.fh(*fh);
+                enc_setattr(&mut e, s);
+            }
+            Request::Access(fh, m) => {
+                e.u8(3);
+                e.fh(*fh);
+                e.u8(*m);
+            }
+            Request::Lookup(fh, name) => {
+                e.u8(4);
+                e.fh(*fh);
+                e.string(name);
+            }
+            Request::Read(fh, off, len) => {
+                e.u8(5);
+                e.fh(*fh);
+                e.u64(*off);
+                e.u32(*len);
+            }
+            Request::Write(fh, off, data) => {
+                e.u8(6);
+                e.fh(*fh);
+                e.u64(*off);
+                e.bytes(data);
+            }
+            Request::Fsync(fh) => {
+                e.u8(7);
+                e.fh(*fh);
+            }
+            Request::Create(fh, name, mode) => {
+                e.u8(8);
+                e.fh(*fh);
+                e.string(name);
+                e.u32(*mode);
+            }
+            Request::Mkdir(fh, name, mode) => {
+                e.u8(9);
+                e.fh(*fh);
+                e.string(name);
+                e.u32(*mode);
+            }
+            Request::Remove(fh, name) => {
+                e.u8(10);
+                e.fh(*fh);
+                e.string(name);
+            }
+            Request::Rmdir(fh, name) => {
+                e.u8(11);
+                e.fh(*fh);
+                e.string(name);
+            }
+            Request::Rename(f, fname, t, tname) => {
+                e.u8(12);
+                e.fh(*f);
+                e.string(fname);
+                e.fh(*t);
+                e.string(tname);
+            }
+            Request::Link(target, dir, name) => {
+                e.u8(13);
+                e.fh(*target);
+                e.fh(*dir);
+                e.string(name);
+            }
+            Request::Symlink(dir, name, target) => {
+                e.u8(14);
+                e.fh(*dir);
+                e.string(name);
+                e.string(target);
+            }
+            Request::Readlink(fh) => {
+                e.u8(15);
+                e.fh(*fh);
+            }
+            Request::Readdir(fh, cookie, count) => {
+                e.u8(16);
+                e.fh(*fh);
+                e.u64(*cookie);
+                e.u32(*count);
+            }
+            Request::Statfs => e.u8(17),
+        }
+        e.finish()
+    }
+
+    /// Decodes a wire message into credentials and request.
+    pub fn decode(buf: &[u8]) -> FsResult<(Credentials, Request)> {
+        let mut d = Dec::new(buf);
+        let cred = dec_cred(&mut d)?;
+        let tag = d.u8()?;
+        let req = match tag {
+            0 => Request::Root,
+            1 => Request::GetAttr(d.fh()?),
+            2 => {
+                let fh = d.fh()?;
+                Request::SetAttr(fh, dec_setattr(&mut d)?)
+            }
+            3 => Request::Access(d.fh()?, d.u8()?),
+            4 => Request::Lookup(d.fh()?, d.string()?),
+            5 => Request::Read(d.fh()?, d.u64()?, d.u32()?),
+            6 => {
+                let fh = d.fh()?;
+                let off = d.u64()?;
+                Request::Write(fh, off, d.bytes()?)
+            }
+            7 => Request::Fsync(d.fh()?),
+            8 => {
+                let fh = d.fh()?;
+                let name = d.string()?;
+                Request::Create(fh, name, d.u32()?)
+            }
+            9 => {
+                let fh = d.fh()?;
+                let name = d.string()?;
+                Request::Mkdir(fh, name, d.u32()?)
+            }
+            10 => Request::Remove(d.fh()?, d.string()?),
+            11 => Request::Rmdir(d.fh()?, d.string()?),
+            12 => {
+                let f = d.fh()?;
+                let fname = d.string()?;
+                let t = d.fh()?;
+                Request::Rename(f, fname, t, d.string()?)
+            }
+            13 => {
+                let target = d.fh()?;
+                let dir = d.fh()?;
+                Request::Link(target, dir, d.string()?)
+            }
+            14 => {
+                let dir = d.fh()?;
+                let name = d.string()?;
+                Request::Symlink(dir, name, d.string()?)
+            }
+            15 => Request::Readlink(d.fh()?),
+            16 => Request::Readdir(d.fh()?, d.u64()?, d.u32()?),
+            17 => Request::Statfs,
+            _ => return Err(FsError::Io),
+        };
+        if !d.at_end() {
+            return Err(FsError::Io);
+        }
+        Ok((cred, req))
+    }
+}
+
+impl Reply {
+    /// Encodes a result: status code 0 + reply body, or a non-zero errno.
+    #[must_use]
+    pub fn encode(result: &FsResult<Reply>) -> Vec<u8> {
+        let mut e = Enc::new();
+        match result {
+            Err(err) => e.u32(err.code()),
+            Ok(reply) => {
+                e.u32(0);
+                match reply {
+                    Reply::Node(fh, attr) => {
+                        e.u8(0);
+                        e.fh(*fh);
+                        enc_attr(&mut e, attr);
+                    }
+                    Reply::Attr(attr) => {
+                        e.u8(1);
+                        enc_attr(&mut e, attr);
+                    }
+                    Reply::Ok => e.u8(2),
+                    Reply::Data(data) => {
+                        e.u8(3);
+                        e.bytes(data);
+                    }
+                    Reply::Written(n) => {
+                        e.u8(4);
+                        e.u32(*n);
+                    }
+                    Reply::Path(p) => {
+                        e.u8(5);
+                        e.string(p);
+                    }
+                    Reply::Entries(entries) => {
+                        e.u8(6);
+                        e.u32(entries.len() as u32);
+                        for entry in entries {
+                            e.string(&entry.name);
+                            e.u64(entry.fileid);
+                            e.u8(kind_code(entry.kind));
+                            e.u64(entry.cookie);
+                        }
+                    }
+                    Reply::Stats(s) => {
+                        e.u8(7);
+                        e.u64(s.total_blocks);
+                        e.u64(s.free_blocks);
+                        e.u64(s.total_inodes);
+                        e.u64(s.free_inodes);
+                        e.u32(s.block_size);
+                    }
+                }
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes a reply buffer back into a result.
+    pub fn decode(buf: &[u8]) -> FsResult<Reply> {
+        let mut d = Dec::new(buf);
+        let status = d.u32()?;
+        if status != 0 {
+            return Err(FsError::from_code(status));
+        }
+        let tag = d.u8()?;
+        let reply = match tag {
+            0 => Reply::Node(d.fh()?, dec_attr(&mut d)?),
+            1 => Reply::Attr(dec_attr(&mut d)?),
+            2 => Reply::Ok,
+            3 => Reply::Data(d.bytes()?),
+            4 => Reply::Written(d.u32()?),
+            5 => Reply::Path(d.string()?),
+            6 => {
+                let n = d.u32()? as usize;
+                if n > 1 << 20 {
+                    return Err(FsError::Io);
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(DirEntry {
+                        name: d.string()?,
+                        fileid: d.u64()?,
+                        kind: kind_from(d.u8()?)?,
+                        cookie: d.u64()?,
+                    });
+                }
+                Reply::Entries(entries)
+            }
+            7 => Reply::Stats(FsStats {
+                total_blocks: d.u64()?,
+                free_blocks: d.u64()?,
+                total_inodes: d.u64()?,
+                free_inodes: d.u64()?,
+                block_size: d.u32()?,
+            }),
+            _ => return Err(FsError::Io),
+        };
+        if !d.at_end() {
+            return Err(FsError::Io);
+        }
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fh(n: u64) -> FileHandle {
+        FileHandle {
+            fsid: n,
+            fileid: n * 7,
+            gen: n * 13,
+        }
+    }
+
+    fn cred() -> Credentials {
+        Credentials {
+            uid: 5,
+            gid: 6,
+            groups: vec![7, 8],
+        }
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        let requests = vec![
+            Request::Root,
+            Request::GetAttr(fh(1)),
+            Request::SetAttr(fh(2), SetAttr::size(10)),
+            Request::Access(fh(3), 0b101),
+            Request::Lookup(fh(4), "name".into()),
+            Request::Read(fh(5), 1000, 4096),
+            Request::Write(fh(6), 8, b"payload".to_vec()),
+            Request::Fsync(fh(7)),
+            Request::Create(fh(8), "new".into(), 0o644),
+            Request::Mkdir(fh(9), "dir".into(), 0o755),
+            Request::Remove(fh(10), "x".into()),
+            Request::Rmdir(fh(11), "y".into()),
+            Request::Rename(fh(12), "a".into(), fh(13), "b".into()),
+            Request::Link(fh(14), fh(15), "ln".into()),
+            Request::Symlink(fh(16), "s".into(), "/target".into()),
+            Request::Readlink(fh(17)),
+            Request::Readdir(fh(18), 42, 100),
+            Request::Statfs,
+        ];
+        for req in requests {
+            let wire = req.encode(&cred());
+            let (c, back) = Request::decode(&wire).unwrap();
+            assert_eq!(c, cred());
+            assert_eq!(back, req, "request {req:?}");
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let attr = VnodeAttr {
+            kind: VnodeType::Regular,
+            mode: 0o644,
+            nlink: 2,
+            uid: 1,
+            gid: 2,
+            size: 99,
+            fsid: 3,
+            fileid: 4,
+            mtime: Timestamp(5),
+            atime: Timestamp(6),
+            ctime: Timestamp(7),
+            blocks: 8,
+        };
+        let replies = vec![
+            Reply::Node(fh(1), attr.clone()),
+            Reply::Attr(attr),
+            Reply::Ok,
+            Reply::Data(b"bytes".to_vec()),
+            Reply::Written(17),
+            Reply::Path("a/b".into()),
+            Reply::Entries(vec![DirEntry {
+                name: "e".into(),
+                fileid: 9,
+                kind: VnodeType::Directory,
+                cookie: 1,
+            }]),
+            Reply::Stats(FsStats {
+                total_blocks: 1,
+                free_blocks: 2,
+                total_inodes: 3,
+                free_inodes: 4,
+                block_size: 5,
+            }),
+        ];
+        for r in replies {
+            let wire = Reply::encode(&Ok(r.clone()));
+            assert_eq!(Reply::decode(&wire).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn errors_round_trip() {
+        for err in [FsError::NotFound, FsError::Stale, FsError::Conflict] {
+            let wire = Reply::encode(&Err(err));
+            assert_eq!(Reply::decode(&wire).unwrap_err(), err);
+        }
+    }
+
+    #[test]
+    fn junk_rejected() {
+        assert!(Request::decode(b"junk").is_err());
+        assert!(Reply::decode(&[]).is_err());
+        // Trailing garbage is rejected too.
+        let mut wire = Request::Root.encode(&cred());
+        wire.push(0);
+        assert!(Request::decode(&wire).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_setattr_round_trips(
+            mode in proptest::option::of(0u32..0o7777),
+            size in proptest::option::of(any::<u64>()),
+            uid in proptest::option::of(any::<u32>()),
+        ) {
+            let s = SetAttr { mode, uid, gid: None, size, mtime: None, atime: None };
+            let req = Request::SetAttr(fh(1), s);
+            let wire = req.encode(&cred());
+            let (_, back) = Request::decode(&wire).unwrap();
+            prop_assert_eq!(back, req);
+        }
+
+        #[test]
+        fn prop_write_payload_round_trips(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            let req = Request::Write(fh(2), 77, data);
+            let wire = req.encode(&cred());
+            let (_, back) = Request::decode(&wire).unwrap();
+            prop_assert_eq!(back, req);
+        }
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary bytes never panic the request decoder.
+        #[test]
+        fn prop_request_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let _ = Request::decode(&bytes);
+        }
+
+        /// Arbitrary bytes never panic the reply decoder.
+        #[test]
+        fn prop_reply_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let _ = Reply::decode(&bytes);
+        }
+
+        /// Truncations of valid messages are rejected, not mis-parsed.
+        #[test]
+        fn prop_truncated_requests_rejected(cut in 1usize..40) {
+            let wire = Request::Lookup(
+                FileHandle { fsid: 1, fileid: 2, gen: 3 },
+                "some-name".into(),
+            )
+            .encode(&Credentials::root());
+            if cut < wire.len() {
+                prop_assert!(Request::decode(&wire[..wire.len() - cut]).is_err());
+            }
+        }
+    }
+}

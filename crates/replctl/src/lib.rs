@@ -1,0 +1,41 @@
+//! Replica-control policies and the availability simulator (paper §1).
+//!
+//! The paper's central availability claim:
+//!
+//! > "Ficus incorporates a novel, non-serializable correctness policy,
+//! > one-copy availability, which allows update of any copy of the data,
+//! > without requiring a particular copy or a minimum number of copies to
+//! > be accessible. One-copy availability provides strictly greater
+//! > availability than primary copy \[2\], voting \[21\], weighted voting \[7\],
+//! > and quorum consensus \[10\]."
+//!
+//! This crate implements each named baseline from its original description
+//! and an availability estimator that subjects all of them to the same
+//! partition and crash scenarios — experiment E4 regenerates the comparison
+//! the paper asserts.
+//!
+//! * [`policy::OneCopyAvailability`] — Ficus: any accessible copy suffices
+//!   for both reads and updates.
+//! * [`policy::PrimaryCopy`] — Alsberg & Day: updates must reach the
+//!   designated primary; reads may use any copy.
+//! * [`policy::MajorityVoting`] — Thomas: both operations need a majority.
+//! * [`policy::WeightedVoting`] — Gifford: per-replica vote weights with
+//!   read quorum `r` and write quorum `w`, `r + w > total`.
+//! * [`policy::QuorumConsensus`] — Herlihy-style counted read/write quorums
+//!   (the unweighted special case of Gifford with tunable `r`/`w`).
+//!
+//! The estimator ([`sim`]) measures, for a client co-located with a random
+//! replica site, the probability that a read or an update is permitted —
+//! under independent site crashes ([`scenario::FailureModel::Crash`]) or
+//! random network partitions ([`scenario::FailureModel::Partition`]).
+
+pub mod policy;
+pub mod scenario;
+pub mod sim;
+
+pub use policy::{
+    MajorityVoting, OneCopyAvailability, Operation, PrimaryCopy, QuorumConsensus, ReplicaControl,
+    WeightedVoting,
+};
+pub use scenario::{FailureModel, Scenario};
+pub use sim::{measure, Availability};

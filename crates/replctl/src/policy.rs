@@ -1,0 +1,300 @@
+//! The replica-control policies compared in paper §1.
+
+/// The two operation classes whose availability the policies trade off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Read the data.
+    Read,
+    /// Update the data.
+    Update,
+}
+
+/// A replica-control (consistency) policy.
+///
+/// `accessible` is the set of replica indices (`0..n`) the client can
+/// currently reach; a policy answers whether the operation may proceed.
+pub trait ReplicaControl: Send + Sync {
+    /// Short display name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Total number of replicas the policy was configured for.
+    fn replicas(&self) -> usize;
+
+    /// Whether `op` is permitted when exactly `accessible` can be reached.
+    fn permits(&self, accessible: &[usize], op: Operation) -> bool;
+}
+
+/// Ficus's policy: "allows update of any copy of the data, without
+/// requiring a particular copy or a minimum number of copies to be
+/// accessible."
+#[derive(Debug, Clone)]
+pub struct OneCopyAvailability {
+    /// Replica count.
+    pub n: usize,
+}
+
+impl ReplicaControl for OneCopyAvailability {
+    fn name(&self) -> &'static str {
+        "one-copy (Ficus)"
+    }
+
+    fn replicas(&self) -> usize {
+        self.n
+    }
+
+    fn permits(&self, accessible: &[usize], _op: Operation) -> bool {
+        !accessible.is_empty()
+    }
+}
+
+/// Alsberg & Day's primary-copy scheme: updates are applied at the primary,
+/// so the primary must be reachable; reads may use any copy.
+#[derive(Debug, Clone)]
+pub struct PrimaryCopy {
+    /// Replica count.
+    pub n: usize,
+    /// Index of the primary replica.
+    pub primary: usize,
+}
+
+impl ReplicaControl for PrimaryCopy {
+    fn name(&self) -> &'static str {
+        "primary copy"
+    }
+
+    fn replicas(&self) -> usize {
+        self.n
+    }
+
+    fn permits(&self, accessible: &[usize], op: Operation) -> bool {
+        match op {
+            Operation::Read => !accessible.is_empty(),
+            Operation::Update => accessible.contains(&self.primary),
+        }
+    }
+}
+
+/// Thomas's majority-consensus scheme: every operation needs a strict
+/// majority of the copies.
+#[derive(Debug, Clone)]
+pub struct MajorityVoting {
+    /// Replica count.
+    pub n: usize,
+}
+
+impl ReplicaControl for MajorityVoting {
+    fn name(&self) -> &'static str {
+        "majority voting"
+    }
+
+    fn replicas(&self) -> usize {
+        self.n
+    }
+
+    fn permits(&self, accessible: &[usize], _op: Operation) -> bool {
+        accessible.len() * 2 > self.n
+    }
+}
+
+/// Gifford's weighted voting: each replica carries votes; a read needs `r`
+/// votes and a write `w`, with `r + w > total` and `w > total / 2`.
+#[derive(Debug, Clone)]
+pub struct WeightedVoting {
+    /// Votes per replica.
+    pub weights: Vec<u32>,
+    /// Read quorum.
+    pub r: u32,
+    /// Write quorum.
+    pub w: u32,
+}
+
+impl WeightedVoting {
+    /// Total votes.
+    #[must_use]
+    pub fn total_votes(&self) -> u32 {
+        self.weights.iter().sum()
+    }
+
+    /// Checks the Gifford constraints (`r + w > total`, `w > total/2`).
+    #[must_use]
+    pub fn is_well_formed(&self) -> bool {
+        let total = self.total_votes();
+        u64::from(self.r) + u64::from(self.w) > u64::from(total)
+            && u64::from(self.w) * 2 > u64::from(total)
+    }
+
+    fn votes_of(&self, accessible: &[usize]) -> u32 {
+        accessible
+            .iter()
+            .filter_map(|&i| self.weights.get(i))
+            .sum()
+    }
+}
+
+impl ReplicaControl for WeightedVoting {
+    fn name(&self) -> &'static str {
+        "weighted voting"
+    }
+
+    fn replicas(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn permits(&self, accessible: &[usize], op: Operation) -> bool {
+        let votes = self.votes_of(accessible);
+        match op {
+            Operation::Read => votes >= self.r,
+            Operation::Update => votes >= self.w,
+        }
+    }
+}
+
+/// Counted read/write quorums (the unweighted shape of quorum consensus).
+#[derive(Debug, Clone)]
+pub struct QuorumConsensus {
+    /// Replica count.
+    pub n: usize,
+    /// Copies a read must reach.
+    pub r: usize,
+    /// Copies a write must reach.
+    pub w: usize,
+}
+
+impl QuorumConsensus {
+    /// Checks `r + w > n` (the intersection property).
+    #[must_use]
+    pub fn is_well_formed(&self) -> bool {
+        self.r + self.w > self.n && self.w * 2 > self.n
+    }
+}
+
+impl ReplicaControl for QuorumConsensus {
+    fn name(&self) -> &'static str {
+        "quorum consensus"
+    }
+
+    fn replicas(&self) -> usize {
+        self.n
+    }
+
+    fn permits(&self, accessible: &[usize], op: Operation) -> bool {
+        match op {
+            Operation::Read => accessible.len() >= self.r,
+            Operation::Update => accessible.len() >= self.w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<usize> {
+        v.to_vec()
+    }
+
+    #[test]
+    fn one_copy_needs_exactly_one() {
+        let p = OneCopyAvailability { n: 5 };
+        assert!(p.permits(&ids(&[3]), Operation::Update));
+        assert!(p.permits(&ids(&[0]), Operation::Read));
+        assert!(!p.permits(&[], Operation::Read));
+        assert!(!p.permits(&[], Operation::Update));
+    }
+
+    #[test]
+    fn primary_copy_pins_updates() {
+        let p = PrimaryCopy { n: 3, primary: 0 };
+        assert!(p.permits(&ids(&[1, 2]), Operation::Read));
+        assert!(!p.permits(&ids(&[1, 2]), Operation::Update));
+        assert!(p.permits(&ids(&[0]), Operation::Update));
+    }
+
+    #[test]
+    fn majority_voting_needs_strict_majority() {
+        let p = MajorityVoting { n: 4 };
+        assert!(!p.permits(&ids(&[0, 1]), Operation::Read), "2 of 4 is a tie");
+        assert!(p.permits(&ids(&[0, 1, 2]), Operation::Update));
+        let p5 = MajorityVoting { n: 5 };
+        assert!(p5.permits(&ids(&[0, 1, 2]), Operation::Read));
+        assert!(!p5.permits(&ids(&[0, 1]), Operation::Update));
+    }
+
+    #[test]
+    fn weighted_voting_counts_votes() {
+        // Gifford's example shape: a heavy replica plus light ones.
+        let p = WeightedVoting {
+            weights: vec![2, 1, 1],
+            r: 2,
+            w: 3,
+        };
+        assert!(p.is_well_formed());
+        // The heavy replica alone satisfies reads but not writes.
+        assert!(p.permits(&ids(&[0]), Operation::Read));
+        assert!(!p.permits(&ids(&[0]), Operation::Update));
+        assert!(p.permits(&ids(&[0, 1]), Operation::Update));
+        // Light replicas alone cannot write.
+        assert!(!p.permits(&ids(&[1, 2]), Operation::Update));
+    }
+
+    #[test]
+    fn weighted_voting_well_formedness() {
+        assert!(!WeightedVoting {
+            weights: vec![1, 1, 1],
+            r: 1,
+            w: 2,
+        }
+        .is_well_formed());
+        assert!(WeightedVoting {
+            weights: vec![1, 1, 1],
+            r: 2,
+            w: 2,
+        }
+        .is_well_formed());
+    }
+
+    #[test]
+    fn quorum_consensus_counts_copies() {
+        let p = QuorumConsensus { n: 5, r: 2, w: 4 };
+        assert!(p.is_well_formed());
+        assert!(p.permits(&ids(&[0, 1]), Operation::Read));
+        assert!(!p.permits(&ids(&[0, 1, 2]), Operation::Update));
+        assert!(p.permits(&ids(&[0, 1, 2, 3]), Operation::Update));
+    }
+
+    #[test]
+    fn one_copy_dominates_every_baseline_pointwise() {
+        // The paper's "strictly greater availability" claim, checked as a
+        // pointwise property: whenever ANY baseline permits an operation,
+        // one-copy availability permits it too.
+        let n = 5;
+        let ficus = OneCopyAvailability { n };
+        let baselines: Vec<Box<dyn ReplicaControl>> = vec![
+            Box::new(PrimaryCopy { n, primary: 0 }),
+            Box::new(MajorityVoting { n }),
+            Box::new(WeightedVoting {
+                weights: vec![1; n],
+                r: 3,
+                w: 3,
+            }),
+            Box::new(QuorumConsensus { n, r: 2, w: 4 }),
+        ];
+        // Every subset of replicas.
+        for mask in 0u32..(1 << n) {
+            let accessible: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            for op in [Operation::Read, Operation::Update] {
+                for b in &baselines {
+                    if b.permits(&accessible, op) {
+                        assert!(
+                            ficus.permits(&accessible, op),
+                            "{} permitted {:?} with {:?} but one-copy refused",
+                            b.name(),
+                            op,
+                            accessible
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Failure scenarios: crashes and partitions.
+//!
+//! The paper's large-scale environment is "subject to continual partial
+//! operation": hosts crash, links fail, gateways vanish. Two standard
+//! models cover the evaluation:
+//!
+//! * **Crash** — each replica site is independently up with probability
+//!   `p`; all up sites can talk to each other (fail-stop, no partitions).
+//! * **Partition** — all sites are up but the network splits them into
+//!   groups; a client can reach exactly its own group. Groups are sampled
+//!   by assigning each site uniformly to one of `k` fragments (empty
+//!   fragments collapse), so `k = 1` is a healthy network and larger `k`
+//!   models increasingly shattered connectivity.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The failure model scenarios are drawn from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureModel {
+    /// Independent site crashes: each site up with probability `p_up`.
+    Crash {
+        /// Probability a site is up.
+        p_up: f64,
+    },
+    /// Random partition into at most `fragments` groups.
+    Partition {
+        /// Maximum number of network fragments.
+        fragments: usize,
+    },
+}
+
+/// One sampled scenario: which group each site belongs to (`None` = down).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// `group[i]` is site `i`'s partition group, or `None` if the site is
+    /// down.
+    pub group: Vec<Option<u32>>,
+}
+
+impl Scenario {
+    /// Samples a scenario for `n` sites under `model`.
+    pub fn sample(model: FailureModel, n: usize, rng: &mut StdRng) -> Self {
+        let group = match model {
+            FailureModel::Crash { p_up } => (0..n)
+                .map(|_| {
+                    if rng.gen::<f64>() < p_up {
+                        Some(0)
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+            FailureModel::Partition { fragments } => {
+                let k = fragments.max(1) as u32;
+                (0..n).map(|_| Some(rng.gen_range(0..k))).collect()
+            }
+        };
+        Scenario { group }
+    }
+
+    /// Sites reachable from site `site` (including itself), or empty if it
+    /// is down.
+    #[must_use]
+    pub fn reachable_from(&self, site: usize) -> Vec<usize> {
+        match self.group.get(site).copied().flatten() {
+            None => Vec::new(),
+            Some(g) => self
+                .group
+                .iter()
+                .enumerate()
+                .filter(|(_, &og)| og == Some(g))
+                .map(|(i, _)| i)
+                .collect(),
+        }
+    }
+
+    /// Sites reachable by an external client that can contact every up
+    /// site in group `g`.
+    #[must_use]
+    pub fn group_members(&self, g: u32) -> Vec<usize> {
+        self.group
+            .iter()
+            .enumerate()
+            .filter(|(_, &og)| og == Some(g))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of up sites.
+    #[must_use]
+    pub fn up_count(&self) -> usize {
+        self.group.iter().filter(|g| g.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crash_model_p1_all_up() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Scenario::sample(FailureModel::Crash { p_up: 1.0 }, 6, &mut rng);
+        assert_eq!(s.up_count(), 6);
+        assert_eq!(s.reachable_from(0).len(), 6);
+    }
+
+    #[test]
+    fn crash_model_p0_all_down() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Scenario::sample(FailureModel::Crash { p_up: 0.0 }, 6, &mut rng);
+        assert_eq!(s.up_count(), 0);
+        assert!(s.reachable_from(0).is_empty());
+    }
+
+    #[test]
+    fn partition_single_fragment_is_healthy() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Scenario::sample(FailureModel::Partition { fragments: 1 }, 5, &mut rng);
+        assert_eq!(s.reachable_from(3).len(), 5);
+    }
+
+    #[test]
+    fn partition_groups_are_disjoint_and_cover() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = Scenario::sample(FailureModel::Partition { fragments: 3 }, 10, &mut rng);
+        let mut covered = 0;
+        for g in 0..3 {
+            covered += s.group_members(g).len();
+        }
+        assert_eq!(covered, 10);
+        // Reachability is symmetric within a scenario.
+        for a in 0..10 {
+            for b in 0..10 {
+                let ab = s.reachable_from(a).contains(&b);
+                let ba = s.reachable_from(b).contains(&a);
+                assert_eq!(ab, ba);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let s1 = Scenario::sample(
+            FailureModel::Partition { fragments: 4 },
+            8,
+            &mut StdRng::seed_from_u64(7),
+        );
+        let s2 = Scenario::sample(
+            FailureModel::Partition { fragments: 4 },
+            8,
+            &mut StdRng::seed_from_u64(7),
+        );
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,159 @@
+//! The availability estimator.
+//!
+//! For a policy and a failure model, estimates the probability that a
+//! client — co-located with a uniformly chosen replica site, the natural
+//! reading of the paper's availability comparisons — can perform a read and
+//! an update. Monte Carlo over seeded scenarios, so results are exactly
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::policy::{Operation, ReplicaControl};
+use crate::scenario::{FailureModel, Scenario};
+
+/// Estimated availabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Availability {
+    /// Probability a read is permitted.
+    pub read: f64,
+    /// Probability an update is permitted.
+    pub update: f64,
+}
+
+/// Measures `policy` under `model` with `trials` sampled scenarios.
+///
+/// In every scenario, each replica site hosts one client; the estimate
+/// averages over both scenarios and sites.
+pub fn measure(
+    policy: &dyn ReplicaControl,
+    model: FailureModel,
+    trials: usize,
+    seed: u64,
+) -> Availability {
+    let n = policy.replicas();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut read_ok = 0u64;
+    let mut update_ok = 0u64;
+    let total = (trials * n) as f64;
+    for _ in 0..trials {
+        let scenario = Scenario::sample(model, n, &mut rng);
+        for site in 0..n {
+            let accessible = scenario.reachable_from(site);
+            if policy.permits(&accessible, Operation::Read) {
+                read_ok += 1;
+            }
+            if policy.permits(&accessible, Operation::Update) {
+                update_ok += 1;
+            }
+        }
+    }
+    Availability {
+        read: read_ok as f64 / total,
+        update: update_ok as f64 / total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{
+        MajorityVoting, OneCopyAvailability, PrimaryCopy, QuorumConsensus, WeightedVoting,
+    };
+
+    const TRIALS: usize = 4000;
+
+    #[test]
+    fn healthy_network_everything_available() {
+        let model = FailureModel::Partition { fragments: 1 };
+        for policy in policies(5) {
+            let a = measure(policy.as_ref(), model, 200, 1);
+            assert!(a.read > 0.999, "{}", policy.name());
+            assert!(a.update > 0.999, "{}", policy.name());
+        }
+    }
+
+    fn policies(n: usize) -> Vec<Box<dyn ReplicaControl>> {
+        vec![
+            Box::new(OneCopyAvailability { n }),
+            Box::new(PrimaryCopy { n, primary: 0 }),
+            Box::new(MajorityVoting { n }),
+            Box::new(WeightedVoting {
+                weights: vec![1; n],
+                r: n as u32 / 2 + 1,
+                w: n as u32 / 2 + 1,
+            }),
+            Box::new(QuorumConsensus {
+                n,
+                r: 2,
+                w: n - 1,
+            }),
+        ]
+    }
+
+    #[test]
+    fn one_copy_strictly_dominates_under_partitions() {
+        // The paper's §1 claim, measured: Ficus's update availability
+        // exceeds every baseline's under partition stress.
+        let model = FailureModel::Partition { fragments: 3 };
+        let n = 5;
+        let ficus = measure(&OneCopyAvailability { n }, model, TRIALS, 7);
+        assert!(ficus.update > 0.999, "a co-located replica is always reachable");
+        for policy in policies(n).iter().skip(1) {
+            let a = measure(policy.as_ref(), model, TRIALS, 7);
+            assert!(
+                ficus.update > a.update + 0.05,
+                "{}: ficus {} vs {}",
+                policy.name(),
+                ficus.update,
+                a.update
+            );
+        }
+    }
+
+    #[test]
+    fn one_copy_dominates_under_crashes() {
+        let model = FailureModel::Crash { p_up: 0.7 };
+        let n = 4;
+        let ficus = measure(&OneCopyAvailability { n }, model, TRIALS, 9);
+        for policy in policies(n).iter().skip(1) {
+            let a = measure(policy.as_ref(), model, TRIALS, 9);
+            assert!(ficus.update >= a.update - 1e-12, "{}", policy.name());
+            assert!(ficus.read >= a.read - 1e-12, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn voting_read_write_tradeoff_visible() {
+        // Gifford's inverse relationship: pushing the write quorum down
+        // (within legality) pushes the read quorum up, trading read
+        // availability for update availability.
+        let n = 5;
+        let model = FailureModel::Crash { p_up: 0.6 };
+        let read_heavy = QuorumConsensus { n, r: 1, w: 5 };
+        let write_heavy = QuorumConsensus { n, r: 2, w: 4 };
+        let a_read_heavy = measure(&read_heavy, model, TRIALS, 3);
+        let a_write_heavy = measure(&write_heavy, model, TRIALS, 3);
+        assert!(a_read_heavy.read > a_write_heavy.read);
+        assert!(a_read_heavy.update < a_write_heavy.update);
+    }
+
+    #[test]
+    fn determinism() {
+        let p = MajorityVoting { n: 3 };
+        let model = FailureModel::Partition { fragments: 2 };
+        assert_eq!(measure(&p, model, 500, 42), measure(&p, model, 500, 42));
+    }
+
+    #[test]
+    fn primary_copy_reads_match_one_copy() {
+        // Primary copy reads from any replica, so its read availability
+        // equals Ficus's; only updates suffer.
+        let n = 4;
+        let model = FailureModel::Partition { fragments: 3 };
+        let pc = measure(&PrimaryCopy { n, primary: 0 }, model, TRIALS, 11);
+        let ficus = measure(&OneCopyAvailability { n }, model, TRIALS, 11);
+        assert!((pc.read - ficus.read).abs() < 1e-12);
+        assert!(pc.update < ficus.update);
+    }
+}

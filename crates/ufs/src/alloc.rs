@@ -1,0 +1,181 @@
+//! Bitmap allocators for inodes and data blocks.
+//!
+//! Bitmaps live in dedicated disk regions and are accessed through the
+//! buffer cache with write-through discipline, so allocation state on disk
+//! is always consistent with the structures that reference it.
+
+use ficus_vnode::{FsError, FsResult};
+
+use crate::cache::BlockCache;
+
+/// A bitmap spanning a contiguous run of blocks.
+///
+/// Bit `i` of the map is bit `i % 8` of byte `i / 8` within the region.
+/// Set means allocated.
+pub struct Bitmap {
+    /// First block of the region.
+    pub start: u64,
+    /// Number of blocks in the region.
+    pub blocks: u64,
+    /// Number of valid bits.
+    pub bits: u64,
+}
+
+impl Bitmap {
+    /// Creates a view of a bitmap region.
+    #[must_use]
+    pub fn new(start: u64, blocks: u64, bits: u64) -> Self {
+        Bitmap {
+            start,
+            blocks,
+            bits,
+        }
+    }
+
+    fn locate(&self, index: u64, block_size: u32) -> FsResult<(u64, usize, u8)> {
+        if index >= self.bits {
+            return Err(FsError::Invalid);
+        }
+        let bits_per_block = u64::from(block_size) * 8;
+        let block = self.start + index / bits_per_block;
+        let within = index % bits_per_block;
+        Ok((block, (within / 8) as usize, 1u8 << (within % 8)))
+    }
+
+    /// Tests bit `index`.
+    pub fn test(&self, cache: &BlockCache, index: u64) -> FsResult<bool> {
+        let (block, byte, mask) = self.locate(index, cache.disk().geometry().block_size)?;
+        let data = cache.read(block)?;
+        Ok(data[byte] & mask != 0)
+    }
+
+    /// Sets or clears bit `index` (write-through).
+    pub fn set(&self, cache: &BlockCache, index: u64, value: bool) -> FsResult<()> {
+        let (block, byte, mask) = self.locate(index, cache.disk().geometry().block_size)?;
+        let mut data = cache.read(block)?;
+        if value {
+            data[byte] |= mask;
+        } else {
+            data[byte] &= !mask;
+        }
+        cache.write_through(block, &data)
+    }
+
+    /// Finds and sets the first clear bit at or after `hint`, wrapping
+    /// around; returns its index or [`FsError::NoSpace`].
+    pub fn allocate(&self, cache: &BlockCache, hint: u64) -> FsResult<u64> {
+        let start = if self.bits == 0 { 0 } else { hint % self.bits };
+        let mut probed = 0;
+        let mut idx = start;
+        while probed < self.bits {
+            if !self.test(cache, idx)? {
+                self.set(cache, idx, true)?;
+                return Ok(idx);
+            }
+            probed += 1;
+            idx = (idx + 1) % self.bits;
+        }
+        Err(FsError::NoSpace)
+    }
+
+    /// Counts set bits (used by statfs and fsck).
+    pub fn count_set(&self, cache: &BlockCache) -> FsResult<u64> {
+        let bs = u64::from(cache.disk().geometry().block_size);
+        let mut total = 0u64;
+        for b in 0..self.blocks {
+            let data = cache.read(self.start + b)?;
+            let first_bit = b * bs * 8;
+            for (i, byte) in data.iter().enumerate() {
+                let bit_base = first_bit + (i as u64) * 8;
+                if bit_base >= self.bits {
+                    break;
+                }
+                let valid = (self.bits - bit_base).min(8) as u32;
+                let mask = if valid == 8 { 0xFF } else { (1u8 << valid) - 1 };
+                total += u64::from((byte & mask).count_ones());
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{Disk, Geometry};
+
+    fn harness() -> (BlockCache, Bitmap) {
+        let cache = BlockCache::new(Disk::new(Geometry::small()), 16);
+        // A 2-block bitmap region starting at block 1 with 100 valid bits.
+        let bm = Bitmap::new(1, 2, 100);
+        (cache, bm)
+    }
+
+    #[test]
+    fn fresh_bits_are_clear() {
+        let (cache, bm) = harness();
+        for i in 0..100 {
+            assert!(!bm.test(&cache, i).unwrap());
+        }
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let (cache, bm) = harness();
+        bm.set(&cache, 42, true).unwrap();
+        assert!(bm.test(&cache, 42).unwrap());
+        assert!(!bm.test(&cache, 41).unwrap());
+        bm.set(&cache, 42, false).unwrap();
+        assert!(!bm.test(&cache, 42).unwrap());
+    }
+
+    #[test]
+    fn allocate_walks_past_used_bits() {
+        let (cache, bm) = harness();
+        bm.set(&cache, 0, true).unwrap();
+        bm.set(&cache, 1, true).unwrap();
+        assert_eq!(bm.allocate(&cache, 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn allocate_wraps_around() {
+        let (cache, bm) = harness();
+        for i in 50..100 {
+            bm.set(&cache, i, true).unwrap();
+        }
+        assert_eq!(bm.allocate(&cache, 50).unwrap(), 0);
+    }
+
+    #[test]
+    fn exhaustion_is_nospace() {
+        let (cache, bm) = harness();
+        for i in 0..100 {
+            bm.set(&cache, i, true).unwrap();
+        }
+        assert_eq!(bm.allocate(&cache, 7).unwrap_err(), FsError::NoSpace);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let (cache, bm) = harness();
+        assert_eq!(bm.test(&cache, 100).unwrap_err(), FsError::Invalid);
+    }
+
+    #[test]
+    fn count_set_matches() {
+        let (cache, bm) = harness();
+        for i in [0, 7, 8, 63, 99] {
+            bm.set(&cache, i, true).unwrap();
+        }
+        assert_eq!(bm.count_set(&cache).unwrap(), 5);
+    }
+
+    #[test]
+    fn persistence_through_cache() {
+        let (cache, bm) = harness();
+        bm.set(&cache, 9, true).unwrap();
+        // Write-through means the bit is on disk even after a cache crash.
+        cache.discard_all();
+        assert!(bm.test(&cache, 9).unwrap());
+    }
+}

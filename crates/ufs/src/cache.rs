@@ -1,0 +1,377 @@
+//! The buffer cache: a write-back LRU block cache over the [`Disk`].
+//!
+//! The cache is the volatile half of the storage stack. A block read first
+//! consults the cache; only misses reach the disk and count as I/O. Writes
+//! come in two flavors:
+//!
+//! * **write-through** — used for all metadata (inodes, bitmaps, directory
+//!   data), matching the synchronous metadata discipline of the classic
+//!   Berkeley UFS. After a crash the structural state on disk is always
+//!   consistent.
+//! * **write-back** — used for file data. Dirty blocks reach the disk on
+//!   `fsync`/`sync`, or when evicted. Crash simulation discards them, which
+//!   is what gives the Ficus shadow-file commit (paper §3.2) something real
+//!   to defend against.
+//!
+//! Cache hit/miss statistics feed experiment E6 (reference locality).
+
+use std::collections::{BTreeMap, HashMap};
+
+use parking_lot::Mutex;
+
+use ficus_vnode::FsResult;
+
+use crate::disk::Disk;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read requests satisfied from the cache.
+    pub hits: u64,
+    /// Read requests that went to disk.
+    pub misses: u64,
+    /// Dirty blocks written back (eviction, fsync, or sync).
+    pub writebacks: u64,
+    /// Blocks evicted.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; zero when no reads occurred.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    data: Vec<u8>,
+    dirty: bool,
+    stamp: u64,
+}
+
+struct CacheState {
+    entries: HashMap<u64, Entry>,
+    // LRU index: stamp -> block number. Stamps are unique.
+    lru: BTreeMap<u64, u64>,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+/// Write-back LRU buffer cache.
+pub struct BlockCache {
+    disk: Disk,
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+impl BlockCache {
+    /// Creates a cache of `capacity` blocks over `disk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(disk: Disk, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        BlockCache {
+            disk,
+            capacity,
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                lru: BTreeMap::new(),
+                next_stamp: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// The underlying disk.
+    #[must_use]
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Reads block `bno`, filling the cache on a miss.
+    pub fn read(&self, bno: u64) -> FsResult<Vec<u8>> {
+        let mut st = self.state.lock();
+        if st.entries.contains_key(&bno) {
+            st.stats.hits += 1;
+            touch(&mut st, bno);
+            return Ok(st.entries[&bno].data.clone());
+        }
+        st.stats.misses += 1;
+        let data = self.disk.read_block(bno)?;
+        self.insert(&mut st, bno, data.clone(), false)?;
+        Ok(data)
+    }
+
+    /// Writes block `bno` through to disk and caches it clean.
+    pub fn write_through(&self, bno: u64, data: &[u8]) -> FsResult<()> {
+        self.disk.write_block(bno, data)?;
+        let mut st = self.state.lock();
+        self.insert(&mut st, bno, data.to_vec(), false)
+    }
+
+    /// Buffers a write to block `bno`; it reaches the disk on flush or
+    /// eviction.
+    pub fn write_back(&self, bno: u64, data: &[u8]) -> FsResult<()> {
+        let mut st = self.state.lock();
+        self.insert(&mut st, bno, data.to_vec(), true)
+    }
+
+    /// Flushes one block if dirty.
+    pub fn flush_block(&self, bno: u64) -> FsResult<()> {
+        let mut st = self.state.lock();
+        if let Some(e) = st.entries.get_mut(&bno) {
+            if e.dirty {
+                let data = e.data.clone();
+                e.dirty = false;
+                st.stats.writebacks += 1;
+                drop(st);
+                self.disk.write_block(bno, &data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every dirty block.
+    pub fn flush_all(&self) -> FsResult<()> {
+        let dirty: Vec<u64> = {
+            let st = self.state.lock();
+            st.entries
+                .iter()
+                .filter_map(|(&bno, e)| e.dirty.then_some(bno))
+                .collect()
+        };
+        for bno in dirty {
+            self.flush_block(bno)?;
+        }
+        Ok(())
+    }
+
+    /// Discards the entire cache contents **without writing anything back**.
+    ///
+    /// This is the crash button: dirty file data is lost, exactly as a
+    /// power failure loses the real buffer cache.
+    pub fn discard_all(&self) {
+        let mut st = self.state.lock();
+        st.entries.clear();
+        st.lru.clear();
+    }
+
+    /// Drops clean blocks and flushes-then-drops dirty ones, leaving the
+    /// cache cold but the disk current. Benches use this to measure
+    /// cold-start I/O without fabricating a crash.
+    pub fn drop_caches(&self) -> FsResult<()> {
+        self.flush_all()?;
+        self.discard_all();
+        Ok(())
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().stats
+    }
+
+    /// Resets statistics to zero.
+    pub fn reset_stats(&self) {
+        self.state.lock().stats = CacheStats::default();
+    }
+
+    /// Number of cached blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts (or replaces) an entry, evicting LRU blocks as needed.
+    fn insert(&self, st: &mut CacheState, bno: u64, data: Vec<u8>, dirty: bool) -> FsResult<()> {
+        if st.entries.contains_key(&bno) {
+            // Replacing content supersedes any pending write-back: if the
+            // new write is write-back the entry is dirty; if write-through,
+            // the disk already has exactly this content, so clean.
+            let stamp = bump(st);
+            if let Some(old) = st.entries.insert(bno, Entry { data, dirty, stamp }) {
+                st.lru.remove(&old.stamp);
+            }
+            st.lru.insert(stamp, bno);
+            return Ok(());
+        }
+        // Make room first.
+        while st.entries.len() >= self.capacity {
+            let (&victim_stamp, &victim_bno) = match st.lru.iter().next() {
+                Some(kv) => kv,
+                None => break,
+            };
+            st.lru.remove(&victim_stamp);
+            if let Some(victim) = st.entries.remove(&victim_bno) {
+                st.stats.evictions += 1;
+                if victim.dirty {
+                    st.stats.writebacks += 1;
+                    self.disk.write_block(victim_bno, &victim.data)?;
+                }
+            }
+        }
+        let stamp = bump(st);
+        st.entries.insert(bno, Entry { data, dirty, stamp });
+        st.lru.insert(stamp, bno);
+        Ok(())
+    }
+}
+
+fn bump(st: &mut CacheState) -> u64 {
+    let s = st.next_stamp;
+    st.next_stamp += 1;
+    s
+}
+
+fn touch(st: &mut CacheState, bno: u64) {
+    let stamp = bump(st);
+    if let Some(e) = st.entries.get_mut(&bno) {
+        let old = e.stamp;
+        e.stamp = stamp;
+        st.lru.remove(&old);
+        st.lru.insert(stamp, bno);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::Geometry;
+
+    fn block(fill: u8) -> Vec<u8> {
+        vec![fill; 4096]
+    }
+
+    fn harness(capacity: usize) -> BlockCache {
+        BlockCache::new(Disk::new(Geometry::small()), capacity)
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let c = harness(4);
+        c.read(0).unwrap();
+        c.read(0).unwrap();
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(c.disk().stats().reads, 1);
+    }
+
+    #[test]
+    fn write_through_hits_disk_immediately() {
+        let c = harness(4);
+        c.write_through(1, &block(9)).unwrap();
+        assert_eq!(c.disk().stats().writes, 1);
+        // And the block is cached: reading it is a hit, no disk read.
+        assert_eq!(c.read(1).unwrap()[0], 9);
+        assert_eq!(c.disk().stats().reads, 0);
+    }
+
+    #[test]
+    fn write_back_deferred_until_flush() {
+        let c = harness(4);
+        c.write_back(2, &block(5)).unwrap();
+        assert_eq!(c.disk().stats().writes, 0);
+        c.flush_all().unwrap();
+        assert_eq!(c.disk().stats().writes, 1);
+        assert_eq!(c.disk().read_block(2).unwrap()[0], 5);
+    }
+
+    #[test]
+    fn crash_discards_dirty_data() {
+        let c = harness(4);
+        c.write_back(2, &block(5)).unwrap();
+        c.discard_all();
+        // The write never reached stable storage.
+        assert_eq!(c.disk().read_block(2).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_victim() {
+        let c = harness(2);
+        c.write_back(0, &block(1)).unwrap();
+        c.write_back(1, &block(2)).unwrap();
+        c.write_back(2, &block(3)).unwrap(); // evicts block 0
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.writebacks, 1);
+        assert_eq!(c.disk().read_block(0).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn lru_order_respects_touches() {
+        let c = harness(2);
+        c.read(0).unwrap();
+        c.read(1).unwrap();
+        c.read(0).unwrap(); // block 0 now more recent than 1
+        c.read(2).unwrap(); // evicts block 1
+        c.reset_stats();
+        c.read(0).unwrap();
+        assert_eq!(c.stats().hits, 1, "block 0 should have survived");
+        c.read(1).unwrap();
+        assert_eq!(c.stats().misses, 1, "block 1 should have been evicted");
+    }
+
+    #[test]
+    fn drop_caches_preserves_data() {
+        let c = harness(4);
+        c.write_back(3, &block(7)).unwrap();
+        c.drop_caches().unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.read(3).unwrap()[0], 7);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn rewrite_keeps_latest_data() {
+        let c = harness(4);
+        c.write_back(0, &block(1)).unwrap();
+        c.write_back(0, &block(2)).unwrap();
+        assert_eq!(c.read(0).unwrap()[0], 2);
+        c.flush_all().unwrap();
+        assert_eq!(c.disk().read_block(0).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn flush_block_only_touches_target() {
+        let c = harness(4);
+        c.write_back(0, &block(1)).unwrap();
+        c.write_back(1, &block(2)).unwrap();
+        c.flush_block(0).unwrap();
+        assert_eq!(c.disk().stats().writes, 1);
+        assert_eq!(c.disk().read_block(1).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let c = harness(4);
+        assert_eq!(c.stats().hit_ratio(), 0.0);
+        c.read(0).unwrap();
+        c.read(0).unwrap();
+        c.read(0).unwrap();
+        c.read(0).unwrap();
+        let r = c.stats().hit_ratio();
+        assert!((r - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = harness(0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Directory file format.
+//!
+//! A UFS directory's data is a packed sequence of records:
+//!
+//! ```text
+//! [u16 name_len][u64 ino][name bytes]
+//! ```
+//!
+//! `name_len == 0` terminates the sequence. Directories are read and
+//! rewritten whole; at the scale Ficus directories reach (a handful of
+//! blocks) this is what the 1990 UFS effectively did per lookup anyway, and
+//! it keeps the I/O accounting honest: a directory operation touches the
+//! directory's inode and its data blocks.
+
+use ficus_vnode::{FsError, FsResult};
+
+/// Maximum component-name length (Unix `MAXNAMLEN`).
+///
+/// The Ficus overloaded-lookup encoding (paper §2.3) spends part of this
+/// budget on its escape prefix and arguments; the paper notes the effective
+/// client limit drops "from 255 to about 200".
+pub const MAX_NAME_LEN: usize = 255;
+
+/// One `(name, inode)` pair in a directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawEntry {
+    /// Component name.
+    pub name: String,
+    /// Inode number.
+    pub ino: u64,
+}
+
+/// Validates a component name: non-empty, no NUL or `/`, within
+/// [`MAX_NAME_LEN`].
+pub fn check_name(name: &str) -> FsResult<()> {
+    if name.is_empty() || name == "." || name == ".." {
+        return Err(FsError::Invalid);
+    }
+    if name.len() > MAX_NAME_LEN {
+        return Err(FsError::NameTooLong);
+    }
+    if name.bytes().any(|b| b == 0 || b == b'/') {
+        return Err(FsError::Invalid);
+    }
+    Ok(())
+}
+
+/// Serializes directory entries to the on-disk format.
+#[must_use]
+pub fn encode(entries: &[RawEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for e in entries {
+        let name = e.name.as_bytes();
+        debug_assert!(!name.is_empty() && name.len() <= MAX_NAME_LEN);
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(&e.ino.to_le_bytes());
+        out.extend_from_slice(name);
+    }
+    // Terminator.
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out
+}
+
+/// Parses the on-disk format back into entries.
+pub fn decode(data: &[u8]) -> FsResult<Vec<RawEntry>> {
+    let mut entries = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if pos + 2 > data.len() {
+            // Missing terminator: treat a clean end-of-data as terminator to
+            // tolerate zero-padded tails.
+            return Ok(entries);
+        }
+        let name_len = u16::from_le_bytes(data[pos..pos + 2].try_into().expect("2 bytes")) as usize;
+        pos += 2;
+        if name_len == 0 {
+            return Ok(entries);
+        }
+        if name_len > MAX_NAME_LEN || pos + 8 + name_len > data.len() {
+            return Err(FsError::Io);
+        }
+        let ino = u64::from_le_bytes(data[pos..pos + 8].try_into().expect("8 bytes"));
+        pos += 8;
+        let name = std::str::from_utf8(&data[pos..pos + name_len])
+            .map_err(|_| FsError::Io)?
+            .to_owned();
+        pos += name_len;
+        entries.push(RawEntry { name, ino });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_directory_round_trips() {
+        let encoded = encode(&[]);
+        assert_eq!(decode(&encoded).unwrap(), Vec::<RawEntry>::new());
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        let entries = vec![
+            RawEntry {
+                name: "hello".into(),
+                ino: 7,
+            },
+            RawEntry {
+                name: "x".repeat(255),
+                ino: u64::MAX,
+            },
+        ];
+        assert_eq!(decode(&encode(&entries)).unwrap(), entries);
+    }
+
+    #[test]
+    fn zero_padded_tail_tolerated() {
+        let entries = vec![RawEntry {
+            name: "a".into(),
+            ino: 1,
+        }];
+        let mut data = encode(&entries);
+        data.resize(4096, 0);
+        assert_eq!(decode(&data).unwrap(), entries);
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let entries = vec![RawEntry {
+            name: "abcdef".into(),
+            ino: 1,
+        }];
+        let data = encode(&entries);
+        assert_eq!(decode(&data[..5]).unwrap_err(), FsError::Io);
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(check_name("ok").is_ok());
+        assert!(check_name("with space").is_ok());
+        assert_eq!(check_name("").unwrap_err(), FsError::Invalid);
+        assert_eq!(check_name(".").unwrap_err(), FsError::Invalid);
+        assert_eq!(check_name("..").unwrap_err(), FsError::Invalid);
+        assert_eq!(check_name("a/b").unwrap_err(), FsError::Invalid);
+        assert_eq!(check_name("a\0b").unwrap_err(), FsError::Invalid);
+        assert_eq!(
+            check_name(&"n".repeat(256)).unwrap_err(),
+            FsError::NameTooLong
+        );
+        assert!(check_name(&"n".repeat(255)).is_ok());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(names in proptest::collection::vec("[a-zA-Z0-9._-]{1,40}", 0..20),
+                           inos in proptest::collection::vec(1u64..1000, 20)) {
+            let entries: Vec<RawEntry> = names
+                .iter()
+                .zip(inos.iter())
+                .map(|(n, &i)| RawEntry { name: n.clone(), ino: i })
+                .collect();
+            prop_assert_eq!(decode(&encode(&entries)).unwrap(), entries);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The directory name lookup cache (DNLC).
+//!
+//! SunOS caches `(directory, component-name) → inode` translations so that
+//! repeated lookups of recently used names bypass directory block reads
+//! entirely. The paper leans on this twice: NFS's *uncontrollable* name
+//! cache is listed among the transport-layer hazards (§2.2), and the claim
+//! that "opening a recently accessed file or directory involves no overhead
+//! not already incurred by the normal Unix file system" (§6) is only true
+//! because this cache exists.
+//!
+//! The cache also stores *negative* entries (name known absent), as the real
+//! DNLC grew to do — create-heavy workloads repeatedly look up names that do
+//! not exist yet.
+
+use std::collections::{BTreeMap, HashMap};
+
+use parking_lot::Mutex;
+
+/// DNLC statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DnlcStats {
+    /// Lookups answered from the cache (positive or negative).
+    pub hits: u64,
+    /// Lookups not answered.
+    pub misses: u64,
+}
+
+/// A cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameEntry {
+    /// The name maps to this inode.
+    Present(u64),
+    /// The name is known not to exist.
+    Absent,
+}
+
+struct DnlcState {
+    map: HashMap<(u64, String), (NameEntry, u64)>,
+    lru: BTreeMap<u64, (u64, String)>,
+    next_stamp: u64,
+    stats: DnlcStats,
+}
+
+/// LRU cache of name translations, keyed by `(dir_ino, name)`.
+pub struct Dnlc {
+    capacity: usize,
+    state: Mutex<DnlcState>,
+}
+
+impl Dnlc {
+    /// Creates a DNLC holding up to `capacity` translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "dnlc capacity must be positive");
+        Dnlc {
+            capacity,
+            state: Mutex::new(DnlcState {
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                next_stamp: 0,
+                stats: DnlcStats::default(),
+            }),
+        }
+    }
+
+    /// Looks up a translation, refreshing its recency on a hit.
+    pub fn lookup(&self, dir_ino: u64, name: &str) -> Option<NameEntry> {
+        let mut st = self.state.lock();
+        let key = (dir_ino, name.to_owned());
+        if let Some((entry, old_stamp)) = st.map.get(&key).map(|&(e, s)| (e, s)) {
+            st.stats.hits += 1;
+            let stamp = st.next_stamp;
+            st.next_stamp += 1;
+            st.lru.remove(&old_stamp);
+            st.lru.insert(stamp, key.clone());
+            st.map.insert(key, (entry, stamp));
+            Some(entry)
+        } else {
+            st.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Records a translation (positive or negative).
+    pub fn enter(&self, dir_ino: u64, name: &str, entry: NameEntry) {
+        let mut st = self.state.lock();
+        let key = (dir_ino, name.to_owned());
+        if let Some((_, old_stamp)) = st.map.remove(&key) {
+            st.lru.remove(&old_stamp);
+        }
+        while st.map.len() >= self.capacity {
+            let victim = match st.lru.iter().next() {
+                Some((&stamp, key)) => (stamp, key.clone()),
+                None => break,
+            };
+            st.lru.remove(&victim.0);
+            st.map.remove(&victim.1);
+        }
+        let stamp = st.next_stamp;
+        st.next_stamp += 1;
+        st.lru.insert(stamp, key.clone());
+        st.map.insert(key, (entry, stamp));
+    }
+
+    /// Forgets one name (called on remove/rename/create over a negative
+    /// entry).
+    pub fn purge_name(&self, dir_ino: u64, name: &str) {
+        let mut st = self.state.lock();
+        let key = (dir_ino, name.to_owned());
+        if let Some((_, stamp)) = st.map.remove(&key) {
+            st.lru.remove(&stamp);
+        }
+    }
+
+    /// Forgets every name under one directory (called on rmdir).
+    pub fn purge_dir(&self, dir_ino: u64) {
+        let mut st = self.state.lock();
+        let victims: Vec<(u64, (u64, String))> = st
+            .map
+            .iter()
+            .filter(|((d, _), _)| *d == dir_ino)
+            .map(|(k, &(_, stamp))| (stamp, k.clone()))
+            .collect();
+        for (stamp, key) in victims {
+            st.lru.remove(&stamp);
+            st.map.remove(&key);
+        }
+    }
+
+    /// Empties the cache (crash simulation / unmount).
+    pub fn purge_all(&self) {
+        let mut st = self.state.lock();
+        st.map.clear();
+        st.lru.clear();
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> DnlcStats {
+        self.state.lock().stats
+    }
+
+    /// Number of cached translations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let d = Dnlc::new(8);
+        assert_eq!(d.lookup(2, "etc"), None);
+        d.enter(2, "etc", NameEntry::Present(5));
+        assert_eq!(d.lookup(2, "etc"), Some(NameEntry::Present(5)));
+        let s = d.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn negative_entries_are_cached() {
+        let d = Dnlc::new(8);
+        d.enter(2, "nope", NameEntry::Absent);
+        assert_eq!(d.lookup(2, "nope"), Some(NameEntry::Absent));
+    }
+
+    #[test]
+    fn purge_name_is_precise() {
+        let d = Dnlc::new(8);
+        d.enter(2, "a", NameEntry::Present(3));
+        d.enter(2, "b", NameEntry::Present(4));
+        d.purge_name(2, "a");
+        assert_eq!(d.lookup(2, "a"), None);
+        assert_eq!(d.lookup(2, "b"), Some(NameEntry::Present(4)));
+    }
+
+    #[test]
+    fn purge_dir_clears_only_that_dir() {
+        let d = Dnlc::new(8);
+        d.enter(2, "a", NameEntry::Present(3));
+        d.enter(7, "a", NameEntry::Present(9));
+        d.purge_dir(2);
+        assert_eq!(d.lookup(2, "a"), None);
+        assert_eq!(d.lookup(7, "a"), Some(NameEntry::Present(9)));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let d = Dnlc::new(2);
+        d.enter(1, "a", NameEntry::Present(10));
+        d.enter(1, "b", NameEntry::Present(11));
+        d.lookup(1, "a"); // refresh "a"
+        d.enter(1, "c", NameEntry::Present(12)); // evicts "b"
+        assert_eq!(d.lookup(1, "b"), None);
+        assert_eq!(d.lookup(1, "a"), Some(NameEntry::Present(10)));
+        assert_eq!(d.lookup(1, "c"), Some(NameEntry::Present(12)));
+    }
+
+    #[test]
+    fn reentering_replaces() {
+        let d = Dnlc::new(4);
+        d.enter(1, "a", NameEntry::Present(10));
+        d.enter(1, "a", NameEntry::Present(20));
+        assert_eq!(d.lookup(1, "a"), Some(NameEntry::Present(20)));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn purge_all_empties() {
+        let d = Dnlc::new(4);
+        d.enter(1, "a", NameEntry::Present(10));
+        d.purge_all();
+        assert!(d.is_empty());
+    }
+}

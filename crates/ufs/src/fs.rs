@@ -1,0 +1,1148 @@
+//! The UFS proper: inode management, file I/O, directories, and the vnode
+//! implementation.
+//!
+//! Concurrency follows the era's kernel style: one file-system lock guards
+//! every multi-step operation (the buffer cache and DNLC have their own
+//! internal locks). Metadata writes are synchronous (write-through);
+//! file data is write-back and reaches the disk on `fsync`/`sync` or
+//! eviction — which is exactly the crash-exposure window the Ficus shadow
+//! commit exists to close.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::ReentrantMutex;
+
+use ficus_vnode::{
+    AccessMode, Credentials, DirEntry, FileSystem, FsError, FsResult, FsStats, LogicalClock,
+    OpenFlags, SetAttr, TimeSource, Vnode, VnodeAttr, VnodeRef, VnodeType,
+};
+
+use crate::alloc::Bitmap;
+use crate::cache::BlockCache;
+use crate::dir::{check_name, decode as dir_decode, encode as dir_encode, RawEntry};
+use crate::disk::Disk;
+use crate::dnlc::{Dnlc, NameEntry};
+use crate::inode::{Inode, NDIRECT, ROOT_INO};
+use crate::layout::Layout;
+
+/// Mount parameters.
+#[derive(Debug, Clone)]
+pub struct UfsParams {
+    /// File system identifier reported in attributes.
+    pub fsid: u64,
+    /// Buffer cache capacity in blocks.
+    pub cache_blocks: usize,
+    /// DNLC capacity in name translations.
+    pub dnlc_entries: usize,
+    /// Mode bits for a freshly created root directory.
+    pub root_mode: u32,
+    /// Place every inode in its own inode-table block.
+    ///
+    /// A fresh file system allocates consecutive inode numbers, so objects
+    /// created together share a table block and one read covers several of
+    /// them — flattering I/O counts. An aged file system scatters inodes;
+    /// this switch models that for experiments that count per-structure
+    /// I/Os (E2).
+    pub spread_inodes: bool,
+}
+
+impl Default for UfsParams {
+    fn default() -> Self {
+        UfsParams {
+            fsid: 1,
+            cache_blocks: 1024,
+            dnlc_entries: 1024,
+            root_mode: 0o755,
+            spread_inodes: false,
+        }
+    }
+}
+
+/// The mounted file system.
+pub struct Ufs {
+    inner: Arc<UfsInner>,
+}
+
+pub(crate) struct UfsInner {
+    fsid: u64,
+    layout: Layout,
+    cache: BlockCache,
+    dnlc: Dnlc,
+    clock: Arc<dyn TimeSource>,
+    inode_bitmap: Bitmap,
+    block_bitmap: Bitmap,
+    inode_hint: AtomicU64,
+    block_hint: AtomicU64,
+    spread_inodes: bool,
+    // One big lock for multi-step operations; reentrant so that internal
+    // helpers may be composed freely.
+    big: ReentrantMutex<()>,
+}
+
+impl Ufs {
+    /// Formats `disk` (if blank) or mounts an existing file system, using a
+    /// private [`LogicalClock`].
+    pub fn format(disk: Disk, params: UfsParams) -> FsResult<Self> {
+        Self::format_with_clock(disk, params, Arc::new(LogicalClock::new()))
+    }
+
+    /// Formats or mounts with an explicit time source (e.g. the simulated
+    /// network clock).
+    pub fn format_with_clock(
+        disk: Disk,
+        params: UfsParams,
+        clock: Arc<dyn TimeSource>,
+    ) -> FsResult<Self> {
+        let layout = Layout::compute(disk.geometry())?;
+        let cache = BlockCache::new(disk, params.cache_blocks);
+        let inode_bitmap = Bitmap::new(
+            layout.inode_bitmap_start,
+            layout.inode_bitmap_blocks,
+            layout.ninodes,
+        );
+        let block_bitmap = Bitmap::new(
+            layout.block_bitmap_start,
+            layout.block_bitmap_blocks,
+            layout.geometry.blocks,
+        );
+        let inner = Arc::new(UfsInner {
+            fsid: params.fsid,
+            layout,
+            cache,
+            dnlc: Dnlc::new(params.dnlc_entries),
+            clock,
+            inode_bitmap,
+            block_bitmap,
+            inode_hint: AtomicU64::new(ROOT_INO + 1),
+            block_hint: AtomicU64::new(layout.data_start),
+            spread_inodes: params.spread_inodes,
+            big: ReentrantMutex::new(()),
+        });
+
+        let sb = inner.cache.read(0)?;
+        if Layout::is_formatted(&sb) {
+            inner.layout.check_superblock(&sb)?;
+        } else {
+            inner.mkfs(params.root_mode)?;
+        }
+        Ok(Ufs { inner })
+    }
+
+    /// The buffer cache (exposed for statistics and cold-cache control in
+    /// benchmarks).
+    #[must_use]
+    pub fn cache(&self) -> &BlockCache {
+        &self.inner.cache
+    }
+
+    /// The name cache.
+    #[must_use]
+    pub fn dnlc(&self) -> &Dnlc {
+        &self.inner.dnlc
+    }
+
+    /// The underlying disk.
+    #[must_use]
+    pub fn disk(&self) -> &Disk {
+        self.inner.cache.disk()
+    }
+
+    /// Simulates a crash: the buffer cache and DNLC vanish without any
+    /// write-back. The mounted instance remains usable, now reading from
+    /// stable storage only — exactly the state a reboot would see.
+    pub fn crash(&self) {
+        let _g = self.inner.big.lock();
+        self.inner.cache.discard_all();
+        self.inner.dnlc.purge_all();
+    }
+
+    /// Flushes dirty data and empties the caches, producing a cold cache
+    /// over current stable contents (for cold-start measurements).
+    pub fn drop_caches(&self) -> FsResult<()> {
+        let _g = self.inner.big.lock();
+        self.inner.cache.drop_caches()?;
+        self.inner.dnlc.purge_all();
+        Ok(())
+    }
+
+    /// Returns a vnode for an arbitrary inode (used by fsck and tests).
+    pub fn vnode_of(&self, ino: u64) -> FsResult<VnodeRef> {
+        let _g = self.inner.big.lock();
+        make_vnode(&self.inner, ino)
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<UfsInner> {
+        &self.inner
+    }
+}
+
+impl FileSystem for Ufs {
+    fn root(&self) -> VnodeRef {
+        make_vnode(&self.inner, ROOT_INO)
+            .expect("root inode must exist on a mounted file system")
+    }
+
+    fn statfs(&self) -> FsResult<FsStats> {
+        let _g = self.inner.big.lock();
+        let used_blocks = self.inner.block_bitmap.count_set(&self.inner.cache)?;
+        let used_inodes = self.inner.inode_bitmap.count_set(&self.inner.cache)?;
+        let total = self.inner.layout.geometry.blocks;
+        Ok(FsStats {
+            total_blocks: total,
+            free_blocks: total - used_blocks,
+            total_inodes: self.inner.layout.ninodes,
+            free_inodes: self.inner.layout.ninodes - used_inodes,
+            block_size: self.inner.layout.geometry.block_size,
+        })
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        let _g = self.inner.big.lock();
+        self.inner.cache.flush_all()
+    }
+}
+
+impl UfsInner {
+    fn block_size(&self) -> usize {
+        self.layout.geometry.block_size as usize
+    }
+
+    /// The computed region layout (for fsck).
+    pub(crate) fn layout_ref(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Whether data block `bno` is marked allocated (for fsck).
+    pub(crate) fn block_allocated(&self, bno: u64) -> FsResult<bool> {
+        self.block_bitmap.test(&self.cache, bno)
+    }
+
+    /// Whether inode `ino` is marked allocated (for fsck).
+    pub(crate) fn inode_allocated(&self, ino: u64) -> FsResult<bool> {
+        self.inode_bitmap.test(&self.cache, ino)
+    }
+
+    /// Writes the superblock, reserves the metadata blocks and inodes 0/1,
+    /// and creates the root directory.
+    fn mkfs(&self, root_mode: u32) -> FsResult<()> {
+        let _g = self.big.lock();
+        self.cache.write_through(0, &self.layout.encode_superblock())?;
+        // Reserve every metadata block (superblock through the inode table).
+        for b in 0..self.layout.data_start {
+            self.block_bitmap.set(&self.cache, b, true)?;
+        }
+        // Inodes 0 and 1 are never handed out.
+        self.inode_bitmap.set(&self.cache, 0, true)?;
+        self.inode_bitmap.set(&self.cache, 1, true)?;
+        // Root directory.
+        self.inode_bitmap.set(&self.cache, ROOT_INO, true)?;
+        let now = self.clock.now();
+        let mut root = Inode::new(VnodeType::Directory, root_mode, 0, 0, now);
+        root.nlink = 1;
+        root.gen = 1;
+        self.write_inode(ROOT_INO, &root)?;
+        self.store_dir(ROOT_INO, &mut root, &[])?;
+        Ok(())
+    }
+
+    /// Reads an inode record through the cache.
+    pub(crate) fn read_inode(&self, ino: u64) -> FsResult<Inode> {
+        if ino >= self.layout.ninodes {
+            return Err(FsError::Stale);
+        }
+        let (block, offset) = self.layout.inode_position(ino);
+        let data = self.cache.read(block)?;
+        Inode::decode(&data[offset..offset + crate::inode::INODE_SIZE as usize])
+    }
+
+    /// Writes an inode record synchronously (structural metadata).
+    pub(crate) fn write_inode(&self, ino: u64, inode: &Inode) -> FsResult<()> {
+        let (block, offset) = self.layout.inode_position(ino);
+        let mut data = self.cache.read(block)?;
+        data[offset..offset + crate::inode::INODE_SIZE as usize].copy_from_slice(&inode.encode());
+        self.cache.write_through(block, &data)
+    }
+
+    /// Writes an inode record lazily (timestamp-only updates).
+    fn write_inode_lazy(&self, ino: u64, inode: &Inode) -> FsResult<()> {
+        let (block, offset) = self.layout.inode_position(ino);
+        let mut data = self.cache.read(block)?;
+        data[offset..offset + crate::inode::INODE_SIZE as usize].copy_from_slice(&inode.encode());
+        self.cache.write_back(block, &data)
+    }
+
+    /// Allocates an inode of `kind`, returning `(ino, inode)`.
+    fn alloc_inode(
+        &self,
+        kind: VnodeType,
+        mode: u32,
+        cred: &Credentials,
+    ) -> FsResult<(u64, Inode)> {
+        let hint = self.inode_hint.load(AtomicOrdering::Relaxed);
+        let ino = self.inode_bitmap.allocate(&self.cache, hint)?;
+        let next = if self.spread_inodes {
+            // Aged-FS model: skip to the next inode-table block.
+            let per = self.layout.inodes_per_block();
+            (ino / per + 1) * per
+        } else {
+            ino + 1
+        };
+        self.inode_hint.store(next, AtomicOrdering::Relaxed);
+        let prev = self.read_inode(ino)?;
+        let now = self.clock.now();
+        let mut inode = Inode::new(kind, mode, cred.uid, cred.gid, now);
+        inode.gen = prev.gen.wrapping_add(1);
+        self.write_inode(ino, &inode)?;
+        Ok((ino, inode))
+    }
+
+    /// Frees an inode and all its data blocks.
+    fn free_inode(&self, ino: u64, inode: &Inode) -> FsResult<()> {
+        let mut doomed = inode.clone();
+        self.truncate_blocks(&mut doomed, 0)?;
+        let mut freed = Inode::free();
+        freed.gen = inode.gen; // preserved so the next allocation bumps it
+        self.write_inode(ino, &freed)?;
+        self.inode_bitmap.set(&self.cache, ino, false)
+    }
+
+    /// Allocates a data block (zeroed on disk lazily).
+    fn alloc_block(&self) -> FsResult<u64> {
+        let hint = self.block_hint.load(AtomicOrdering::Relaxed);
+        let bno = self.block_bitmap.allocate(&self.cache, hint)?;
+        self.block_hint.store(bno + 1, AtomicOrdering::Relaxed);
+        // Zero the block so reuse never leaks prior contents; buffered
+        // (write-back) — if it never reaches disk, reads still see zeros via
+        // the cache, and after a crash the file data was lost anyway.
+        self.cache.write_back(bno, &vec![0u8; self.block_size()])?;
+        Ok(bno)
+    }
+
+    fn free_block(&self, bno: u64) -> FsResult<()> {
+        self.block_bitmap.set(&self.cache, bno, false)
+    }
+
+    /// Maps file block `fbn` of `inode` to a device block, optionally
+    /// allocating missing blocks (and pointer blocks) on the way.
+    ///
+    /// Returns 0 if the block is a hole and `allocate` is false.
+    fn bmap(&self, inode: &mut Inode, fbn: u64, allocate: bool) -> FsResult<u64> {
+        let bs = self.block_size() as u64;
+        let ptrs = bs / 8;
+        if fbn < NDIRECT as u64 {
+            let idx = fbn as usize;
+            if inode.direct[idx] == 0 && allocate {
+                inode.direct[idx] = self.alloc_block()?;
+            }
+            return Ok(inode.direct[idx]);
+        }
+        let fbn = fbn - NDIRECT as u64;
+        if fbn < ptrs {
+            if inode.indirect == 0 {
+                if !allocate {
+                    return Ok(0);
+                }
+                inode.indirect = self.alloc_block()?;
+                // Pointer blocks are structural: force them out.
+                self.cache
+                    .write_through(inode.indirect, &vec![0u8; self.block_size()])?;
+            }
+            return self.map_through(inode.indirect, fbn, allocate);
+        }
+        let fbn = fbn - ptrs;
+        if fbn < ptrs * ptrs {
+            if inode.dindirect == 0 {
+                if !allocate {
+                    return Ok(0);
+                }
+                inode.dindirect = self.alloc_block()?;
+                self.cache
+                    .write_through(inode.dindirect, &vec![0u8; self.block_size()])?;
+            }
+            let outer = fbn / ptrs;
+            let inner = fbn % ptrs;
+            let mid = self.map_through_ptr(inode.dindirect, outer, allocate, true)?;
+            if mid == 0 {
+                return Ok(0);
+            }
+            return self.map_through(mid, inner, allocate);
+        }
+        Err(FsError::FileTooBig)
+    }
+
+    /// Follows one pointer block slot, allocating a data block if needed.
+    fn map_through(&self, ptr_block: u64, index: u64, allocate: bool) -> FsResult<u64> {
+        self.map_through_ptr(ptr_block, index, allocate, false)
+    }
+
+    /// Follows one pointer-block slot; `pointer_target` means the allocated
+    /// block is itself a pointer block (must be zeroed write-through).
+    fn map_through_ptr(
+        &self,
+        ptr_block: u64,
+        index: u64,
+        allocate: bool,
+        pointer_target: bool,
+    ) -> FsResult<u64> {
+        let mut data = self.cache.read(ptr_block)?;
+        let off = (index * 8) as usize;
+        let mut bno = u64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"));
+        if bno == 0 && allocate {
+            bno = self.alloc_block()?;
+            if pointer_target {
+                self.cache
+                    .write_through(bno, &vec![0u8; self.block_size()])?;
+            }
+            data[off..off + 8].copy_from_slice(&bno.to_le_bytes());
+            self.cache.write_through(ptr_block, &data)?;
+        }
+        Ok(bno)
+    }
+
+    /// Reads `len` bytes at `offset` from the file described by `inode`.
+    fn read_file(&self, inode: &mut Inode, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        if offset >= inode.size {
+            return Ok(Vec::new());
+        }
+        let len = len.min((inode.size - offset) as usize);
+        let bs = self.block_size() as u64;
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        let end = offset + len as u64;
+        while pos < end {
+            let fbn = pos / bs;
+            let within = (pos % bs) as usize;
+            let chunk = ((bs as usize) - within).min((end - pos) as usize);
+            let bno = self.bmap(inode, fbn, false)?;
+            if bno == 0 {
+                out.extend(std::iter::repeat_n(0u8, chunk));
+            } else {
+                let data = self.cache.read(bno)?;
+                out.extend_from_slice(&data[within..within + chunk]);
+            }
+            pos += chunk as u64;
+        }
+        Ok(out)
+    }
+
+    /// Writes `data` at `offset`, growing the file as needed. The caller
+    /// persists the updated inode.
+    fn write_file(&self, inode: &mut Inode, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let bs = self.block_size() as u64;
+        let end = offset
+            .checked_add(data.len() as u64)
+            .ok_or(FsError::FileTooBig)?;
+        if end > Inode::max_size(self.layout.geometry.block_size) {
+            return Err(FsError::FileTooBig);
+        }
+        let mut pos = offset;
+        let mut src = 0usize;
+        while pos < end {
+            let fbn = pos / bs;
+            let within = (pos % bs) as usize;
+            let chunk = ((bs as usize) - within).min((end - pos) as usize);
+            let bno = self.bmap(inode, fbn, true)?;
+            if within == 0 && chunk == bs as usize {
+                self.cache.write_back(bno, &data[src..src + chunk])?;
+            } else {
+                let mut block = self.cache.read(bno)?;
+                block[within..within + chunk].copy_from_slice(&data[src..src + chunk]);
+                self.cache.write_back(bno, &block)?;
+            }
+            pos += chunk as u64;
+            src += chunk;
+        }
+        if end > inode.size {
+            inode.size = end;
+        }
+        Ok(data.len())
+    }
+
+    /// Shrinks (or grows, by hole) the file to `new_size`, freeing blocks
+    /// past the end. The caller persists the inode.
+    fn truncate_blocks(&self, inode: &mut Inode, new_size: u64) -> FsResult<()> {
+        let bs = self.block_size() as u64;
+        let ptrs = bs / 8;
+        let keep = new_size.div_ceil(bs);
+        // Direct blocks.
+        for i in 0..NDIRECT as u64 {
+            if i >= keep && inode.direct[i as usize] != 0 {
+                self.free_block(inode.direct[i as usize])?;
+                inode.direct[i as usize] = 0;
+            }
+        }
+        // Single indirect.
+        if inode.indirect != 0 {
+            let first = NDIRECT as u64;
+            let freed_all = self.trim_ptr_block(inode.indirect, first, keep, 1)?;
+            if freed_all {
+                self.free_block(inode.indirect)?;
+                inode.indirect = 0;
+            }
+        }
+        // Double indirect.
+        if inode.dindirect != 0 {
+            let first = NDIRECT as u64 + ptrs;
+            let freed_all = self.trim_ptr_block(inode.dindirect, first, keep, 2)?;
+            if freed_all {
+                self.free_block(inode.dindirect)?;
+                inode.dindirect = 0;
+            }
+        }
+        // Zero the tail of the last kept block so later growth reads zeros.
+        if !new_size.is_multiple_of(bs) && new_size < inode.size {
+            let fbn = new_size / bs;
+            let bno = self.bmap(inode, fbn, false)?;
+            if bno != 0 {
+                let mut block = self.cache.read(bno)?;
+                for b in &mut block[(new_size % bs) as usize..] {
+                    *b = 0;
+                }
+                self.cache.write_back(bno, &block)?;
+            }
+        }
+        inode.size = new_size;
+        Ok(())
+    }
+
+    /// Frees blocks past `keep` reachable from a pointer block covering file
+    /// blocks starting at `first`, at `level` (1 = pointers to data,
+    /// 2 = pointers to pointer blocks). Returns `true` when every slot is
+    /// now empty.
+    fn trim_ptr_block(&self, ptr_block: u64, first: u64, keep: u64, level: u32) -> FsResult<bool> {
+        let bs = self.block_size() as u64;
+        let ptrs = bs / 8;
+        let span = if level == 1 { 1 } else { ptrs };
+        let mut data = self.cache.read(ptr_block)?;
+        let mut all_free = true;
+        let mut changed = false;
+        for i in 0..ptrs {
+            let off = (i * 8) as usize;
+            let bno = u64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"));
+            if bno == 0 {
+                continue;
+            }
+            let block_first = first + i * span;
+            if level == 1 {
+                if block_first >= keep {
+                    self.free_block(bno)?;
+                    data[off..off + 8].copy_from_slice(&0u64.to_le_bytes());
+                    changed = true;
+                } else {
+                    all_free = false;
+                }
+            } else {
+                let child_empty = self.trim_ptr_block(bno, block_first, keep, 1)?;
+                if child_empty {
+                    self.free_block(bno)?;
+                    data[off..off + 8].copy_from_slice(&0u64.to_le_bytes());
+                    changed = true;
+                } else {
+                    all_free = false;
+                }
+            }
+        }
+        if changed {
+            self.cache.write_through(ptr_block, &data)?;
+        }
+        Ok(all_free)
+    }
+
+    /// Loads and parses a directory's entries.
+    pub(crate) fn load_dir(&self, inode: &mut Inode) -> FsResult<Vec<RawEntry>> {
+        let size = inode.size as usize;
+        let data = self.read_file(inode, 0, size)?;
+        dir_decode(&data)
+    }
+
+    /// Serializes and stores a directory's entries (write-through), then
+    /// persists the inode.
+    pub(crate) fn store_dir(
+        &self,
+        ino: u64,
+        inode: &mut Inode,
+        entries: &[RawEntry],
+    ) -> FsResult<()> {
+        let data = dir_encode(entries);
+        // Rewrite contents from scratch: truncate then write. Directory data
+        // is structural, so force it out block by block.
+        self.truncate_blocks(inode, 0)?;
+        let bs = self.block_size() as u64;
+        let mut pos = 0u64;
+        while pos < data.len() as u64 {
+            let fbn = pos / bs;
+            let chunk = ((bs) as usize).min(data.len() - pos as usize);
+            let bno = self.bmap(inode, fbn, true)?;
+            let mut block = vec![0u8; self.block_size()];
+            block[..chunk].copy_from_slice(&data[pos as usize..pos as usize + chunk]);
+            self.cache.write_through(bno, &block)?;
+            pos += chunk as u64;
+        }
+        inode.size = data.len() as u64;
+        inode.mtime = self.clock.now();
+        inode.ctime = inode.mtime;
+        self.write_inode(ino, inode)
+    }
+
+    /// Permission check against mode bits.
+    fn check_access(&self, inode: &Inode, cred: &Credentials, want: AccessMode) -> FsResult<()> {
+        if cred.is_root() {
+            return Ok(());
+        }
+        let triple = if cred.uid == inode.uid {
+            (inode.mode >> 6) & 7
+        } else if cred.in_group(inode.gid) {
+            (inode.mode >> 3) & 7
+        } else {
+            inode.mode & 7
+        };
+        if want.permitted_by(triple) {
+            Ok(())
+        } else {
+            Err(FsError::Access)
+        }
+    }
+}
+
+/// Builds a vnode given an owning `Arc<UfsInner>`.
+fn make_vnode(fs: &Arc<UfsInner>, ino: u64) -> FsResult<VnodeRef> {
+    let inode = fs.read_inode(ino)?;
+    let kind = inode.kind.ok_or(FsError::Stale)?;
+    Ok(Arc::new(UfsVnode {
+        fs: Arc::clone(fs),
+        ino,
+        gen: inode.gen,
+        kind,
+    }))
+}
+
+/// A UFS vnode: an inode number plus its expected generation.
+pub struct UfsVnode {
+    fs: Arc<UfsInner>,
+    ino: u64,
+    gen: u32,
+    kind: VnodeType,
+}
+
+impl UfsVnode {
+    /// Reads this vnode's inode, verifying it is still the same generation.
+    fn inode(&self) -> FsResult<Inode> {
+        let inode = self.fs.read_inode(self.ino)?;
+        if inode.kind.is_none() || inode.gen != self.gen {
+            return Err(FsError::Stale);
+        }
+        Ok(inode)
+    }
+
+    fn attr_of(&self, inode: &Inode) -> VnodeAttr {
+        let bs = u64::from(self.fs.layout.geometry.block_size);
+        VnodeAttr {
+            kind: inode.kind.expect("checked by inode()"),
+            mode: inode.mode,
+            nlink: inode.nlink,
+            uid: inode.uid,
+            gid: inode.gid,
+            size: inode.size,
+            fsid: self.fs.fsid,
+            fileid: self.ino,
+            mtime: inode.mtime,
+            atime: inode.atime,
+            ctime: inode.ctime,
+            blocks: inode.size.div_ceil(bs) * (bs / 512),
+        }
+    }
+
+    fn require_dir(&self) -> FsResult<()> {
+        if self.kind.is_directory_like() {
+            Ok(())
+        } else {
+            Err(FsError::NotDir)
+        }
+    }
+
+    /// Looks up `name` in this directory, returning its inode number, using
+    /// the DNLC when possible.
+    fn lookup_ino(&self, cred: &Credentials, name: &str) -> FsResult<u64> {
+        let mut dir = self.inode()?;
+        self.fs.check_access(&dir, cred, AccessMode::EXEC)?;
+        if let Some(hit) = self.fs.dnlc.lookup(self.ino, name) {
+            return match hit {
+                NameEntry::Present(ino) => Ok(ino),
+                NameEntry::Absent => Err(FsError::NotFound),
+            };
+        }
+        let entries = self.fs.load_dir(&mut dir)?;
+        match entries.iter().find(|e| e.name == name) {
+            Some(e) => {
+                self.fs.dnlc.enter(self.ino, name, NameEntry::Present(e.ino));
+                Ok(e.ino)
+            }
+            None => {
+                self.fs.dnlc.enter(self.ino, name, NameEntry::Absent);
+                Err(FsError::NotFound)
+            }
+        }
+    }
+
+    /// Inserts `(name, ino)` into this directory; fails if present.
+    fn dir_insert(&self, name: &str, ino: u64) -> FsResult<()> {
+        let mut dir = self.inode()?;
+        let mut entries = self.fs.load_dir(&mut dir)?;
+        if entries.iter().any(|e| e.name == name) {
+            return Err(FsError::Exists);
+        }
+        entries.push(RawEntry {
+            name: name.to_owned(),
+            ino,
+        });
+        self.fs.store_dir(self.ino, &mut dir, &entries)?;
+        self.fs.dnlc.enter(self.ino, name, NameEntry::Present(ino));
+        Ok(())
+    }
+
+    /// Removes `name` from this directory, returning the unlinked ino.
+    fn dir_remove(&self, name: &str) -> FsResult<u64> {
+        let mut dir = self.inode()?;
+        let mut entries = self.fs.load_dir(&mut dir)?;
+        let idx = entries
+            .iter()
+            .position(|e| e.name == name)
+            .ok_or(FsError::NotFound)?;
+        let ino = entries[idx].ino;
+        entries.remove(idx);
+        self.fs.store_dir(self.ino, &mut dir, &entries)?;
+        self.fs.dnlc.purge_name(self.ino, name);
+        Ok(ino)
+    }
+
+    /// Drops one link on `ino`, freeing the inode when the count hits zero.
+    fn unlink_ino(&self, ino: u64) -> FsResult<()> {
+        let mut inode = self.fs.read_inode(ino)?;
+        if !inode.is_allocated() {
+            return Ok(());
+        }
+        inode.nlink = inode.nlink.saturating_sub(1);
+        inode.ctime = self.fs.clock.now();
+        if inode.nlink == 0 {
+            self.fs.free_inode(ino, &inode)?;
+        } else {
+            self.fs.write_inode(ino, &inode)?;
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if directory `maybe_desc` equals or is a descendant of
+    /// directory `root_ino` (used to refuse `rename(dir, dir/sub/..)`).
+    fn is_descendant(&self, root_ino: u64, maybe_desc: u64) -> FsResult<bool> {
+        if root_ino == maybe_desc {
+            return Ok(true);
+        }
+        let mut stack = vec![root_ino];
+        while let Some(d) = stack.pop() {
+            let mut inode = self.fs.read_inode(d)?;
+            if inode.kind.map(VnodeType::is_directory_like) != Some(true) {
+                continue;
+            }
+            for e in self.fs.load_dir(&mut inode)? {
+                if e.ino == maybe_desc {
+                    return Ok(true);
+                }
+                let child = self.fs.read_inode(e.ino)?;
+                if child.kind.map(VnodeType::is_directory_like) == Some(true) {
+                    stack.push(e.ino);
+                }
+            }
+        }
+        Ok(false)
+    }
+}
+
+impl Vnode for UfsVnode {
+    fn kind(&self) -> VnodeType {
+        self.kind
+    }
+
+    fn fsid(&self) -> u64 {
+        self.fs.fsid
+    }
+
+    fn fileid(&self) -> u64 {
+        self.ino
+    }
+
+    fn getattr(&self, _cred: &Credentials) -> FsResult<VnodeAttr> {
+        let _g = self.fs.big.lock();
+        let inode = self.inode()?;
+        Ok(self.attr_of(&inode))
+    }
+
+    fn setattr(&self, cred: &Credentials, set: &SetAttr) -> FsResult<VnodeAttr> {
+        let _g = self.fs.big.lock();
+        let mut inode = self.inode()?;
+        let now = self.fs.clock.now();
+        if let Some(mode) = set.mode {
+            if !cred.is_root() && cred.uid != inode.uid {
+                return Err(FsError::Perm);
+            }
+            inode.mode = mode & 0o7777;
+        }
+        if let Some(uid) = set.uid {
+            if !cred.is_root() {
+                return Err(FsError::Perm);
+            }
+            inode.uid = uid;
+        }
+        if let Some(gid) = set.gid {
+            if !cred.is_root() && cred.uid != inode.uid {
+                return Err(FsError::Perm);
+            }
+            inode.gid = gid;
+        }
+        if let Some(size) = set.size {
+            if self.kind != VnodeType::Regular {
+                return Err(FsError::IsDir);
+            }
+            self.fs.check_access(&inode, cred, AccessMode::WRITE)?;
+            if size > Inode::max_size(self.fs.layout.geometry.block_size) {
+                return Err(FsError::FileTooBig);
+            }
+            if size < inode.size {
+                self.fs.truncate_blocks(&mut inode, size)?;
+            } else {
+                inode.size = size;
+            }
+            inode.mtime = now;
+        }
+        if let Some(mtime) = set.mtime {
+            if !cred.is_root() && cred.uid != inode.uid {
+                return Err(FsError::Perm);
+            }
+            inode.mtime = mtime;
+        }
+        if let Some(atime) = set.atime {
+            if !cred.is_root() && cred.uid != inode.uid {
+                return Err(FsError::Perm);
+            }
+            inode.atime = atime;
+        }
+        inode.ctime = now;
+        self.fs.write_inode(self.ino, &inode)?;
+        Ok(self.attr_of(&inode))
+    }
+
+    fn access(&self, cred: &Credentials, mode: AccessMode) -> FsResult<()> {
+        let _g = self.fs.big.lock();
+        let inode = self.inode()?;
+        self.fs.check_access(&inode, cred, mode)
+    }
+
+    fn open(&self, cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        let _g = self.fs.big.lock();
+        let inode = self.inode()?;
+        if flags.read {
+            self.fs.check_access(&inode, cred, AccessMode::READ)?;
+        }
+        if flags.write || flags.truncate {
+            if self.kind.is_directory_like() {
+                return Err(FsError::IsDir);
+            }
+            self.fs.check_access(&inode, cred, AccessMode::WRITE)?;
+        }
+        if flags.truncate {
+            self.setattr(cred, &SetAttr::size(0))?;
+        }
+        Ok(())
+    }
+
+    fn close(&self, _cred: &Credentials, _flags: OpenFlags) -> FsResult<()> {
+        let _g = self.fs.big.lock();
+        // Validate the handle is still live; UFS keeps no open state.
+        self.inode().map(|_| ())
+    }
+
+    fn read(&self, cred: &Credentials, offset: u64, len: usize) -> FsResult<Bytes> {
+        let _g = self.fs.big.lock();
+        let mut inode = self.inode()?;
+        if self.kind.is_directory_like() {
+            return Err(FsError::IsDir);
+        }
+        self.fs.check_access(&inode, cred, AccessMode::READ)?;
+        let data = self.fs.read_file(&mut inode, offset, len)?;
+        inode.atime = self.fs.clock.now();
+        self.fs.write_inode_lazy(self.ino, &inode)?;
+        Ok(Bytes::from(data))
+    }
+
+    fn write(&self, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let _g = self.fs.big.lock();
+        let mut inode = self.inode()?;
+        if self.kind.is_directory_like() {
+            return Err(FsError::IsDir);
+        }
+        self.fs.check_access(&inode, cred, AccessMode::WRITE)?;
+        let n = self.fs.write_file(&mut inode, offset, data)?;
+        let now = self.fs.clock.now();
+        inode.mtime = now;
+        inode.ctime = now;
+        self.fs.write_inode(self.ino, &inode)?;
+        Ok(n)
+    }
+
+    fn fsync(&self, _cred: &Credentials) -> FsResult<()> {
+        let _g = self.fs.big.lock();
+        let mut inode = self.inode()?;
+        let bs = self.fs.block_size() as u64;
+        let nblocks = inode.size.div_ceil(bs);
+        for fbn in 0..nblocks {
+            let bno = self.fs.bmap(&mut inode, fbn, false)?;
+            if bno != 0 {
+                self.fs.cache.flush_block(bno)?;
+            }
+        }
+        // Flush the inode's table block too (covers lazy timestamp writes).
+        let (iblock, _) = self.fs.layout.inode_position(self.ino);
+        self.fs.cache.flush_block(iblock)
+    }
+
+    fn lookup(&self, cred: &Credentials, name: &str) -> FsResult<VnodeRef> {
+        let _g = self.fs.big.lock();
+        self.require_dir()?;
+        check_name(name)?;
+        let ino = self.lookup_ino(cred, name)?;
+        make_vnode(&self.fs, ino)
+    }
+
+    fn create(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        let _g = self.fs.big.lock();
+        self.require_dir()?;
+        check_name(name)?;
+        let dir = self.inode()?;
+        self.fs
+            .check_access(&dir, cred, AccessMode::WRITE.union(AccessMode::EXEC))?;
+        if self.lookup_ino(cred, name).is_ok() {
+            return Err(FsError::Exists);
+        }
+        let (ino, mut inode) = self.fs.alloc_inode(VnodeType::Regular, mode, cred)?;
+        inode.nlink = 1;
+        self.fs.write_inode(ino, &inode)?;
+        self.dir_insert(name, ino)?;
+        make_vnode(&self.fs, ino)
+    }
+
+    fn mkdir(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        let _g = self.fs.big.lock();
+        self.require_dir()?;
+        check_name(name)?;
+        let dir = self.inode()?;
+        self.fs
+            .check_access(&dir, cred, AccessMode::WRITE.union(AccessMode::EXEC))?;
+        if self.lookup_ino(cred, name).is_ok() {
+            return Err(FsError::Exists);
+        }
+        let (ino, mut inode) = self.fs.alloc_inode(VnodeType::Directory, mode, cred)?;
+        inode.nlink = 1;
+        self.fs.store_dir(ino, &mut inode, &[])?;
+        self.dir_insert(name, ino)?;
+        make_vnode(&self.fs, ino)
+    }
+
+    fn remove(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        let _g = self.fs.big.lock();
+        self.require_dir()?;
+        check_name(name)?;
+        let dir = self.inode()?;
+        self.fs
+            .check_access(&dir, cred, AccessMode::WRITE.union(AccessMode::EXEC))?;
+        let ino = self.lookup_ino(cred, name)?;
+        let target = self.fs.read_inode(ino)?;
+        if target.kind.map(VnodeType::is_directory_like) == Some(true) {
+            return Err(FsError::IsDir);
+        }
+        self.dir_remove(name)?;
+        self.unlink_ino(ino)
+    }
+
+    fn rmdir(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        let _g = self.fs.big.lock();
+        self.require_dir()?;
+        check_name(name)?;
+        let dir = self.inode()?;
+        self.fs
+            .check_access(&dir, cred, AccessMode::WRITE.union(AccessMode::EXEC))?;
+        let ino = self.lookup_ino(cred, name)?;
+        let mut target = self.fs.read_inode(ino)?;
+        if target.kind.map(VnodeType::is_directory_like) != Some(true) {
+            return Err(FsError::NotDir);
+        }
+        if !self.fs.load_dir(&mut target)?.is_empty() {
+            return Err(FsError::NotEmpty);
+        }
+        self.dir_remove(name)?;
+        self.fs.dnlc.purge_dir(ino);
+        self.unlink_ino(ino)
+    }
+
+    fn rename(&self, cred: &Credentials, from: &str, to_dir: &VnodeRef, to: &str) -> FsResult<()> {
+        let _g = self.fs.big.lock();
+        self.require_dir()?;
+        check_name(from)?;
+        check_name(to)?;
+        let to_ufs = to_dir
+            .as_any()
+            .downcast_ref::<UfsVnode>()
+            .ok_or(FsError::Xdev)?;
+        if !Arc::ptr_eq(&self.fs, &to_ufs.fs) {
+            return Err(FsError::Xdev);
+        }
+        to_ufs.require_dir()?;
+        let src_dir = self.inode()?;
+        self.fs
+            .check_access(&src_dir, cred, AccessMode::WRITE.union(AccessMode::EXEC))?;
+        let dst_dir = to_ufs.inode()?;
+        self.fs
+            .check_access(&dst_dir, cred, AccessMode::WRITE.union(AccessMode::EXEC))?;
+
+        let src_ino = self.lookup_ino(cred, from)?;
+        let src_inode = self.fs.read_inode(src_ino)?;
+        let src_is_dir = src_inode.kind.map(VnodeType::is_directory_like) == Some(true);
+
+        // No-op: same object, same name, same directory.
+        if self.ino == to_ufs.ino && from == to {
+            return Ok(());
+        }
+        // Refuse to move a directory into itself or a descendant.
+        if src_is_dir && self.is_descendant(src_ino, to_ufs.ino)? {
+            return Err(FsError::Invalid);
+        }
+        // Deal with an existing target.
+        match to_ufs.lookup_ino(cred, to) {
+            Ok(existing) if existing == src_ino => {
+                // Hard link to the same inode under both names: just drop
+                // the source entry.
+                self.dir_remove(from)?;
+                self.unlink_ino(src_ino)?;
+                return Ok(());
+            }
+            Ok(existing) => {
+                let mut ex = self.fs.read_inode(existing)?;
+                let ex_is_dir = ex.kind.map(VnodeType::is_directory_like) == Some(true);
+                if ex_is_dir != src_is_dir {
+                    return Err(if ex_is_dir {
+                        FsError::IsDir
+                    } else {
+                        FsError::NotDir
+                    });
+                }
+                if ex_is_dir && !self.fs.load_dir(&mut ex)?.is_empty() {
+                    return Err(FsError::NotEmpty);
+                }
+                to_ufs.dir_remove(to)?;
+                to_ufs.unlink_ino(existing)?;
+            }
+            Err(FsError::NotFound) => {}
+            Err(e) => return Err(e),
+        }
+        self.dir_remove(from)?;
+        to_ufs.dir_insert(to, src_ino)?;
+        Ok(())
+    }
+
+    fn link(&self, cred: &Credentials, target: &VnodeRef, name: &str) -> FsResult<()> {
+        let _g = self.fs.big.lock();
+        self.require_dir()?;
+        check_name(name)?;
+        let t = target
+            .as_any()
+            .downcast_ref::<UfsVnode>()
+            .ok_or(FsError::Xdev)?;
+        if !Arc::ptr_eq(&self.fs, &t.fs) {
+            return Err(FsError::Xdev);
+        }
+        if t.kind.is_directory_like() {
+            return Err(FsError::Perm);
+        }
+        let dir = self.inode()?;
+        self.fs
+            .check_access(&dir, cred, AccessMode::WRITE.union(AccessMode::EXEC))?;
+        if self.lookup_ino(cred, name).is_ok() {
+            return Err(FsError::Exists);
+        }
+        let mut inode = t.inode()?;
+        inode.nlink += 1;
+        inode.ctime = self.fs.clock.now();
+        self.fs.write_inode(t.ino, &inode)?;
+        self.dir_insert(name, t.ino)
+    }
+
+    fn symlink(&self, cred: &Credentials, name: &str, target: &str) -> FsResult<VnodeRef> {
+        let _g = self.fs.big.lock();
+        self.require_dir()?;
+        check_name(name)?;
+        let dir = self.inode()?;
+        self.fs
+            .check_access(&dir, cred, AccessMode::WRITE.union(AccessMode::EXEC))?;
+        if self.lookup_ino(cred, name).is_ok() {
+            return Err(FsError::Exists);
+        }
+        let (ino, mut inode) = self.fs.alloc_inode(VnodeType::Symlink, 0o777, cred)?;
+        inode.nlink = 1;
+        self.fs.write_file(&mut inode, 0, target.as_bytes())?;
+        self.fs.write_inode(ino, &inode)?;
+        self.dir_insert(name, ino)?;
+        make_vnode(&self.fs, ino)
+    }
+
+    fn readlink(&self, _cred: &Credentials) -> FsResult<String> {
+        let _g = self.fs.big.lock();
+        if self.kind != VnodeType::Symlink {
+            return Err(FsError::Invalid);
+        }
+        let mut inode = self.inode()?;
+        let size = inode.size as usize;
+        let data = self.fs.read_file(&mut inode, 0, size)?;
+        String::from_utf8(data).map_err(|_| FsError::Io)
+    }
+
+    fn readdir(&self, cred: &Credentials, cookie: u64, count: usize) -> FsResult<Vec<DirEntry>> {
+        let _g = self.fs.big.lock();
+        self.require_dir()?;
+        let mut dir = self.inode()?;
+        self.fs.check_access(&dir, cred, AccessMode::READ)?;
+        let entries = self.fs.load_dir(&mut dir)?;
+        let mut out = Vec::new();
+        for (i, e) in entries.iter().enumerate().skip(cookie as usize) {
+            if out.len() >= count {
+                break;
+            }
+            let kind = self
+                .fs
+                .read_inode(e.ino)?
+                .kind
+                .unwrap_or(VnodeType::Regular);
+            out.push(DirEntry {
+                name: e.name.clone(),
+                fileid: e.ino,
+                kind,
+                cookie: (i + 1) as u64,
+            });
+        }
+        dir.atime = self.fs.clock.now();
+        self.fs.write_inode_lazy(self.ino, &dir)?;
+        Ok(out)
+    }
+
+    fn ioctl(&self, _cred: &Credentials, _cmd: u32, _data: &[u8]) -> FsResult<Vec<u8>> {
+        // Bottom of the stack: nothing below to forward to.
+        Err(FsError::Unsupported)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests;

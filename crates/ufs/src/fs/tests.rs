@@ -1,0 +1,843 @@
+//! Behavioral tests for the UFS vnode implementation, including a
+//! property-based comparison against an in-memory model file system.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use ficus_vnode::{
+    AccessMode, Credentials, FileSystem, FsError, OpenFlags, SetAttr, VnodeType,
+};
+
+use crate::disk::{Disk, Geometry};
+use crate::fs::{Ufs, UfsParams};
+use crate::fsck;
+
+fn fresh() -> Ufs {
+    Ufs::format(Disk::new(Geometry::small()), UfsParams::default()).unwrap()
+}
+
+fn fresh_medium() -> Ufs {
+    Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap()
+}
+
+fn root_cred() -> Credentials {
+    Credentials::root()
+}
+
+#[test]
+fn mkfs_creates_empty_root() {
+    let fs = fresh();
+    let root = fs.root();
+    assert_eq!(root.kind(), VnodeType::Directory);
+    assert_eq!(root.fileid(), 2);
+    let entries = root.readdir(&root_cred(), 0, 100).unwrap();
+    assert!(entries.is_empty());
+}
+
+#[test]
+fn remount_preserves_contents() {
+    let disk = Disk::new(Geometry::small());
+    {
+        let fs = Ufs::format(disk.clone(), UfsParams::default()).unwrap();
+        let root = fs.root();
+        let f = root.create(&root_cred(), "persist", 0o644).unwrap();
+        f.write(&root_cred(), 0, b"durable").unwrap();
+        fs.sync().unwrap();
+    }
+    let fs2 = Ufs::format(disk, UfsParams::default()).unwrap();
+    let f = fs2.root().lookup(&root_cred(), "persist").unwrap();
+    assert_eq!(&f.read(&root_cred(), 0, 100).unwrap()[..], b"durable");
+}
+
+#[test]
+fn create_write_read_round_trip() {
+    let fs = fresh();
+    let root = fs.root();
+    let f = root.create(&root_cred(), "hello.txt", 0o644).unwrap();
+    assert_eq!(f.write(&root_cred(), 0, b"hello world").unwrap(), 11);
+    let data = f.read(&root_cred(), 0, 100).unwrap();
+    assert_eq!(&data[..], b"hello world");
+    assert_eq!(f.getattr(&root_cred()).unwrap().size, 11);
+}
+
+#[test]
+fn sparse_files_read_zeros_in_holes() {
+    let fs = fresh();
+    let f = fs.root().create(&root_cred(), "sparse", 0o644).unwrap();
+    f.write(&root_cred(), 100_000, b"tail").unwrap();
+    let attr = f.getattr(&root_cred()).unwrap();
+    assert_eq!(attr.size, 100_004);
+    let hole = f.read(&root_cred(), 50_000, 16).unwrap();
+    assert!(hole.iter().all(|&b| b == 0));
+    assert_eq!(&f.read(&root_cred(), 100_000, 4).unwrap()[..], b"tail");
+}
+
+#[test]
+fn large_file_through_double_indirect() {
+    let fs = fresh_medium();
+    let f = fs.root().create(&root_cred(), "big", 0o644).unwrap();
+    // Past direct (48K) and single-indirect (48K + 2M) territory.
+    let chunk = vec![0xA5u8; 64 * 1024];
+    let base: u64 = 3 * 1024 * 1024;
+    f.write(&root_cred(), base, &chunk).unwrap();
+    let back = f.read(&root_cred(), base, chunk.len()).unwrap();
+    assert_eq!(&back[..], &chunk[..]);
+    assert_eq!(f.getattr(&root_cred()).unwrap().size, base + chunk.len() as u64);
+    assert!(fsck::check(&fs).unwrap().is_clean());
+}
+
+#[test]
+fn read_past_eof_is_short() {
+    let fs = fresh();
+    let f = fs.root().create(&root_cred(), "f", 0o644).unwrap();
+    f.write(&root_cred(), 0, b"abc").unwrap();
+    assert_eq!(&f.read(&root_cred(), 1, 100).unwrap()[..], b"bc");
+    assert!(f.read(&root_cred(), 3, 100).unwrap().is_empty());
+    assert!(f.read(&root_cred(), 99, 1).unwrap().is_empty());
+}
+
+#[test]
+fn truncate_shrinks_and_frees() {
+    let fs = fresh();
+    let f = fs.root().create(&root_cred(), "f", 0o644).unwrap();
+    f.write(&root_cred(), 0, &vec![1u8; 200_000]).unwrap();
+    let free_before = fs.statfs().unwrap().free_blocks;
+    f.setattr(&root_cred(), &SetAttr::size(10)).unwrap();
+    let free_after = fs.statfs().unwrap().free_blocks;
+    assert!(free_after > free_before, "blocks must be freed");
+    assert_eq!(f.getattr(&root_cred()).unwrap().size, 10);
+    // Growing again reads zeros beyond the old tail.
+    f.setattr(&root_cred(), &SetAttr::size(100)).unwrap();
+    let data = f.read(&root_cred(), 0, 100).unwrap();
+    assert_eq!(data.len(), 100);
+    assert!(data[10..].iter().all(|&b| b == 0));
+    assert!(fsck::check(&fs).unwrap().is_clean());
+}
+
+#[test]
+fn truncate_tail_zeroed_within_block() {
+    let fs = fresh();
+    let f = fs.root().create(&root_cred(), "f", 0o644).unwrap();
+    f.write(&root_cred(), 0, &[7u8; 100]).unwrap();
+    f.setattr(&root_cred(), &SetAttr::size(50)).unwrap();
+    f.setattr(&root_cred(), &SetAttr::size(100)).unwrap();
+    let data = f.read(&root_cred(), 0, 100).unwrap();
+    assert!(data[..50].iter().all(|&b| b == 7));
+    assert!(data[50..].iter().all(|&b| b == 0));
+}
+
+#[test]
+fn lookup_missing_is_notfound() {
+    let fs = fresh();
+    assert_eq!(
+        fs.root().lookup(&root_cred(), "ghost").unwrap_err(),
+        FsError::NotFound
+    );
+}
+
+#[test]
+fn create_duplicate_is_exists() {
+    let fs = fresh();
+    let root = fs.root();
+    root.create(&root_cred(), "x", 0o644).unwrap();
+    assert_eq!(
+        root.create(&root_cred(), "x", 0o644).unwrap_err(),
+        FsError::Exists
+    );
+    assert_eq!(
+        root.mkdir(&root_cred(), "x", 0o755).unwrap_err(),
+        FsError::Exists
+    );
+}
+
+#[test]
+fn mkdir_and_nested_paths() {
+    let fs = fresh();
+    let root = fs.root();
+    let a = root.mkdir(&root_cred(), "a", 0o755).unwrap();
+    let b = a.mkdir(&root_cred(), "b", 0o755).unwrap();
+    b.create(&root_cred(), "leaf", 0o644).unwrap();
+    let via_resolve =
+        ficus_vnode::api::resolve(&root, &root_cred(), "/a/b/leaf").unwrap();
+    assert_eq!(via_resolve.kind(), VnodeType::Regular);
+}
+
+#[test]
+fn remove_frees_inode_and_makes_vnode_stale() {
+    let fs = fresh();
+    let root = fs.root();
+    let f = root.create(&root_cred(), "f", 0o644).unwrap();
+    f.write(&root_cred(), 0, b"data").unwrap();
+    root.remove(&root_cred(), "f").unwrap();
+    assert_eq!(root.lookup(&root_cred(), "f").unwrap_err(), FsError::NotFound);
+    assert_eq!(f.getattr(&root_cred()).unwrap_err(), FsError::Stale);
+    assert!(fsck::check(&fs).unwrap().is_clean());
+}
+
+#[test]
+fn generation_prevents_stale_reuse() {
+    let fs = fresh();
+    let root = fs.root();
+    let f = root.create(&root_cred(), "f", 0o644).unwrap();
+    root.remove(&root_cred(), "f").unwrap();
+    // Allocate many new files; even if the old slot is reused, the old
+    // vnode must never see the new file.
+    for i in 0..20 {
+        root.create(&root_cred(), &format!("n{i}"), 0o644).unwrap();
+    }
+    assert_eq!(f.read(&root_cred(), 0, 1).unwrap_err(), FsError::Stale);
+}
+
+#[test]
+fn remove_on_directory_is_isdir() {
+    let fs = fresh();
+    let root = fs.root();
+    root.mkdir(&root_cred(), "d", 0o755).unwrap();
+    assert_eq!(root.remove(&root_cred(), "d").unwrap_err(), FsError::IsDir);
+}
+
+#[test]
+fn rmdir_requires_empty() {
+    let fs = fresh();
+    let root = fs.root();
+    let d = root.mkdir(&root_cred(), "d", 0o755).unwrap();
+    d.create(&root_cred(), "f", 0o644).unwrap();
+    assert_eq!(root.rmdir(&root_cred(), "d").unwrap_err(), FsError::NotEmpty);
+    d.remove(&root_cred(), "f").unwrap();
+    root.rmdir(&root_cred(), "d").unwrap();
+}
+
+#[test]
+fn rmdir_on_file_is_notdir() {
+    let fs = fresh();
+    let root = fs.root();
+    root.create(&root_cred(), "f", 0o644).unwrap();
+    assert_eq!(root.rmdir(&root_cred(), "f").unwrap_err(), FsError::NotDir);
+}
+
+#[test]
+fn hard_links_share_data_and_count() {
+    let fs = fresh();
+    let root = fs.root();
+    let f = root.create(&root_cred(), "orig", 0o644).unwrap();
+    f.write(&root_cred(), 0, b"shared").unwrap();
+    root.link(&root_cred(), &f, "alias").unwrap();
+    assert_eq!(f.getattr(&root_cred()).unwrap().nlink, 2);
+    let alias = root.lookup(&root_cred(), "alias").unwrap();
+    assert_eq!(alias.fileid(), f.fileid());
+    assert_eq!(&alias.read(&root_cred(), 0, 10).unwrap()[..], b"shared");
+    // Removing one name keeps the data alive.
+    root.remove(&root_cred(), "orig").unwrap();
+    assert_eq!(&alias.read(&root_cred(), 0, 10).unwrap()[..], b"shared");
+    assert_eq!(alias.getattr(&root_cred()).unwrap().nlink, 1);
+    root.remove(&root_cred(), "alias").unwrap();
+    assert!(fsck::check(&fs).unwrap().is_clean());
+}
+
+#[test]
+fn link_to_directory_is_perm() {
+    let fs = fresh();
+    let root = fs.root();
+    let d = root.mkdir(&root_cred(), "d", 0o755).unwrap();
+    assert_eq!(
+        root.link(&root_cred(), &d, "dlink").unwrap_err(),
+        FsError::Perm
+    );
+}
+
+#[test]
+fn symlink_round_trip_and_resolution() {
+    let fs = fresh();
+    let root = fs.root();
+    let d = root.mkdir(&root_cred(), "d", 0o755).unwrap();
+    let f = d.create(&root_cred(), "target", 0o644).unwrap();
+    f.write(&root_cred(), 0, b"via link").unwrap();
+    root.symlink(&root_cred(), "ln", "d/target").unwrap();
+    let resolved = ficus_vnode::api::resolve(&root, &root_cred(), "ln").unwrap();
+    assert_eq!(&resolved.read(&root_cred(), 0, 100).unwrap()[..], b"via link");
+}
+
+#[test]
+fn symlink_loop_detected() {
+    let fs = fresh();
+    let root = fs.root();
+    root.symlink(&root_cred(), "a", "b").unwrap();
+    root.symlink(&root_cred(), "b", "a").unwrap();
+    assert_eq!(
+        ficus_vnode::api::resolve(&root, &root_cred(), "a").unwrap_err(),
+        FsError::Loop
+    );
+}
+
+#[test]
+fn rename_within_directory() {
+    let fs = fresh();
+    let root = fs.root();
+    let f = root.create(&root_cred(), "old", 0o644).unwrap();
+    f.write(&root_cred(), 0, b"content").unwrap();
+    let peer = fs.root();
+    root.rename(&root_cred(), "old", &peer, "new").unwrap();
+    assert_eq!(root.lookup(&root_cred(), "old").unwrap_err(), FsError::NotFound);
+    let n = root.lookup(&root_cred(), "new").unwrap();
+    assert_eq!(&n.read(&root_cred(), 0, 10).unwrap()[..], b"content");
+}
+
+#[test]
+fn rename_across_directories() {
+    let fs = fresh();
+    let root = fs.root();
+    let src = root.mkdir(&root_cred(), "src", 0o755).unwrap();
+    let dst = root.mkdir(&root_cred(), "dst", 0o755).unwrap();
+    src.create(&root_cred(), "f", 0o644).unwrap();
+    src.rename(&root_cred(), "f", &dst, "g").unwrap();
+    assert!(src.lookup(&root_cred(), "f").is_err());
+    assert!(dst.lookup(&root_cred(), "g").is_ok());
+    assert!(fsck::check(&fs).unwrap().is_clean());
+}
+
+#[test]
+fn rename_replaces_existing_file() {
+    let fs = fresh();
+    let root = fs.root();
+    let a = root.create(&root_cred(), "a", 0o644).unwrap();
+    a.write(&root_cred(), 0, b"AAA").unwrap();
+    let b = root.create(&root_cred(), "b", 0o644).unwrap();
+    b.write(&root_cred(), 0, b"BBB").unwrap();
+    let peer = fs.root();
+    root.rename(&root_cred(), "a", &peer, "b").unwrap();
+    let now_b = root.lookup(&root_cred(), "b").unwrap();
+    assert_eq!(&now_b.read(&root_cred(), 0, 10).unwrap()[..], b"AAA");
+    // The displaced inode is gone.
+    assert_eq!(b.getattr(&root_cred()).unwrap_err(), FsError::Stale);
+    assert!(fsck::check(&fs).unwrap().is_clean());
+}
+
+#[test]
+fn rename_dir_onto_nonempty_dir_rejected() {
+    let fs = fresh();
+    let root = fs.root();
+    root.mkdir(&root_cred(), "a", 0o755).unwrap();
+    let b = root.mkdir(&root_cred(), "b", 0o755).unwrap();
+    b.create(&root_cred(), "occupant", 0o644).unwrap();
+    let peer = fs.root();
+    assert_eq!(
+        root.rename(&root_cred(), "a", &peer, "b").unwrap_err(),
+        FsError::NotEmpty
+    );
+}
+
+#[test]
+fn rename_dir_into_own_descendant_rejected() {
+    let fs = fresh();
+    let root = fs.root();
+    let a = root.mkdir(&root_cred(), "a", 0o755).unwrap();
+    let _b = a.mkdir(&root_cred(), "b", 0o755).unwrap();
+    let b_ref = a.lookup(&root_cred(), "b").unwrap();
+    assert_eq!(
+        root.rename(&root_cred(), "a", &b_ref, "inside").unwrap_err(),
+        FsError::Invalid
+    );
+}
+
+#[test]
+fn rename_file_over_directory_mismatch() {
+    let fs = fresh();
+    let root = fs.root();
+    root.create(&root_cred(), "f", 0o644).unwrap();
+    root.mkdir(&root_cred(), "d", 0o755).unwrap();
+    let peer = fs.root();
+    assert_eq!(
+        root.rename(&root_cred(), "f", &peer, "d").unwrap_err(),
+        FsError::IsDir
+    );
+    assert_eq!(
+        root.rename(&root_cred(), "d", &peer, "f").unwrap_err(),
+        FsError::NotDir
+    );
+}
+
+#[test]
+fn permissions_enforced_for_plain_users() {
+    let fs = fresh();
+    let root = fs.root();
+    let alice = Credentials::user(100, 100);
+    let bob = Credentials::user(200, 200);
+    // Root opens the directory up.
+    root.setattr(&root_cred(), &SetAttr::mode(0o777)).unwrap();
+    let f = root.create(&alice, "private", 0o600).unwrap();
+    f.write(&alice, 0, b"secret").unwrap();
+    assert_eq!(f.read(&bob, 0, 10).unwrap_err(), FsError::Access);
+    assert_eq!(f.write(&bob, 0, b"x").unwrap_err(), FsError::Access);
+    assert!(f.access(&alice, AccessMode::READ).is_ok());
+    assert_eq!(
+        f.access(&bob, AccessMode::READ).unwrap_err(),
+        FsError::Access
+    );
+    // Group bits.
+    f.setattr(&alice, &SetAttr::mode(0o640)).unwrap();
+    let carol_same_group = Credentials::user(300, 100);
+    assert!(f.read(&carol_same_group, 0, 10).is_ok());
+}
+
+#[test]
+fn chmod_restricted_to_owner() {
+    let fs = fresh();
+    let root = fs.root();
+    root.setattr(&root_cred(), &SetAttr::mode(0o777)).unwrap();
+    let alice = Credentials::user(100, 100);
+    let bob = Credentials::user(200, 200);
+    let f = root.create(&alice, "f", 0o644).unwrap();
+    assert_eq!(
+        f.setattr(&bob, &SetAttr::mode(0o777)).unwrap_err(),
+        FsError::Perm
+    );
+    f.setattr(&alice, &SetAttr::mode(0o600)).unwrap();
+    assert_eq!(f.getattr(&alice).unwrap().mode, 0o600);
+}
+
+#[test]
+fn chown_restricted_to_root() {
+    let fs = fresh();
+    let root = fs.root();
+    root.setattr(&root_cred(), &SetAttr::mode(0o777)).unwrap();
+    let alice = Credentials::user(100, 100);
+    let f = root.create(&alice, "f", 0o644).unwrap();
+    let set = SetAttr {
+        uid: Some(200),
+        ..SetAttr::default()
+    };
+    assert_eq!(f.setattr(&alice, &set).unwrap_err(), FsError::Perm);
+    f.setattr(&root_cred(), &set).unwrap();
+    assert_eq!(f.getattr(&root_cred()).unwrap().uid, 200);
+}
+
+#[test]
+fn open_with_truncate_clears_file() {
+    let fs = fresh();
+    let root = fs.root();
+    let f = root.create(&root_cred(), "f", 0o644).unwrap();
+    f.write(&root_cred(), 0, b"to be erased").unwrap();
+    let mut flags = OpenFlags::read_write();
+    flags.truncate = true;
+    f.open(&root_cred(), flags).unwrap();
+    assert_eq!(f.getattr(&root_cred()).unwrap().size, 0);
+    f.close(&root_cred(), flags).unwrap();
+}
+
+#[test]
+fn readdir_pagination_with_cookies() {
+    let fs = fresh();
+    let root = fs.root();
+    for i in 0..10 {
+        root.create(&root_cred(), &format!("f{i:02}"), 0o644).unwrap();
+    }
+    let mut seen = Vec::new();
+    let mut cookie = 0;
+    loop {
+        let page = root.readdir(&root_cred(), cookie, 3).unwrap();
+        if page.is_empty() {
+            break;
+        }
+        cookie = page.last().unwrap().cookie;
+        seen.extend(page.into_iter().map(|e| e.name));
+    }
+    assert_eq!(seen.len(), 10);
+    let mut sorted = seen.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 10);
+}
+
+#[test]
+fn write_read_on_directory_rejected() {
+    let fs = fresh();
+    let root = fs.root();
+    assert_eq!(root.read(&root_cred(), 0, 1).unwrap_err(), FsError::IsDir);
+    assert_eq!(root.write(&root_cred(), 0, b"x").unwrap_err(), FsError::IsDir);
+}
+
+#[test]
+fn lookup_on_file_rejected() {
+    let fs = fresh();
+    let root = fs.root();
+    let f = root.create(&root_cred(), "f", 0o644).unwrap();
+    assert_eq!(f.lookup(&root_cred(), "x").unwrap_err(), FsError::NotDir);
+}
+
+#[test]
+fn disk_full_reports_nospace() {
+    // A tiny disk fills up quickly.
+    let disk = Disk::new(Geometry {
+        blocks: 64,
+        block_size: 4096,
+    });
+    let fs = Ufs::format(disk, UfsParams::default()).unwrap();
+    let f = fs.root().create(&root_cred(), "hog", 0o644).unwrap();
+    let chunk = vec![1u8; 4096];
+    let mut off = 0u64;
+    let err = loop {
+        match f.write(&root_cred(), off, &chunk) {
+            Ok(_) => off += 4096,
+            Err(e) => break e,
+        }
+        assert!(off < 10_000_000, "writes never failed on a full disk");
+    };
+    assert_eq!(err, FsError::NoSpace);
+}
+
+#[test]
+fn dnlc_avoids_directory_io_on_warm_lookup() {
+    let fs = fresh();
+    let root = fs.root();
+    root.create(&root_cred(), "warm", 0o644).unwrap();
+    root.lookup(&root_cred(), "warm").unwrap();
+    let hits_before = fs.dnlc().stats().hits;
+    root.lookup(&root_cred(), "warm").unwrap();
+    assert!(fs.dnlc().stats().hits > hits_before);
+}
+
+#[test]
+fn cold_open_costs_three_reads_warm_costs_zero() {
+    // The baseline half of experiment E2: normal Unix open of `dir/file`
+    // costs directory inode + directory data + file inode when cold, and
+    // nothing when warm.
+    let fs = fresh();
+    let cred = root_cred();
+    let root = fs.root();
+    let dir = root.mkdir(&cred, "dir", 0o755).unwrap();
+    // Space the inode numbers apart so the directory's and the file's inode
+    // records land in different inode-table blocks, as they would in an aged
+    // file system (otherwise one table-block read covers both and the count
+    // comes out flattered).
+    for i in 0..16 {
+        root.create(&cred, &format!("pad{i}"), 0o644).unwrap();
+    }
+    dir.create(&cred, "file", 0o644).unwrap();
+    fs.drop_caches().unwrap();
+
+    // Re-acquire the directory vnode without counting those I/Os; measure
+    // only the open path: lookup(dir, "file") + open.
+    let dir = fs.root().lookup(&cred, "dir").unwrap();
+    fs.drop_caches().unwrap();
+    let before = fs.disk().stats();
+    let f = dir.lookup(&cred, "file").unwrap();
+    f.open(&cred, OpenFlags::read_only()).unwrap();
+    let cold = fs.disk().stats().since(before);
+    assert_eq!(cold.reads, 3, "dir inode + dir data + file inode");
+
+    let before = fs.disk().stats();
+    let f2 = dir.lookup(&cred, "file").unwrap();
+    f2.open(&cred, OpenFlags::read_only()).unwrap();
+    let warm = fs.disk().stats().since(before);
+    assert_eq!(warm.reads, 0, "warm open must be free");
+}
+
+#[test]
+fn crash_loses_unsynced_data_but_fsync_saves_it() {
+    let fs = fresh();
+    let cred = root_cred();
+    let root = fs.root();
+    let saved = root.create(&cred, "saved", 0o644).unwrap();
+    saved.write(&cred, 0, b"precious").unwrap();
+    saved.fsync(&cred).unwrap();
+    let lost = root.create(&cred, "lost", 0o644).unwrap();
+    lost.write(&cred, 0, b"ephemeral").unwrap();
+
+    fs.crash();
+
+    let saved2 = fs.root().lookup(&cred, "saved").unwrap();
+    assert_eq!(&saved2.read(&cred, 0, 100).unwrap()[..], b"precious");
+    let lost2 = fs.root().lookup(&cred, "lost").unwrap();
+    let data = lost2.read(&cred, 0, 100).unwrap();
+    assert!(
+        data.iter().all(|&b| b == 0),
+        "unsynced data must not survive a crash"
+    );
+    assert!(fsck::check(&fs).unwrap().is_clean());
+}
+
+#[test]
+fn statfs_accounts_for_allocation() {
+    let fs = fresh();
+    let before = fs.statfs().unwrap();
+    let f = fs.root().create(&root_cred(), "f", 0o644).unwrap();
+    f.write(&root_cred(), 0, &vec![0u8; 40_960]).unwrap();
+    let after = fs.statfs().unwrap();
+    assert!(after.free_blocks < before.free_blocks);
+    assert_eq!(after.free_inodes, before.free_inodes - 1);
+}
+
+#[test]
+fn timestamps_progress() {
+    let fs = fresh();
+    let f = fs.root().create(&root_cred(), "f", 0o644).unwrap();
+    let t0 = f.getattr(&root_cred()).unwrap().mtime;
+    f.write(&root_cred(), 0, b"x").unwrap();
+    let t1 = f.getattr(&root_cred()).unwrap().mtime;
+    assert!(t1 > t0);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random operation sequences vs an in-memory model.
+// ---------------------------------------------------------------------------
+
+/// Operations the model understands.
+#[derive(Debug, Clone)]
+enum ModelOp {
+    Create(u8),
+    Remove(u8),
+    Write(u8, u16, u8),
+    Read(u8),
+    Rename(u8, u8),
+    Link(u8, u8),
+}
+
+fn name_of(n: u8) -> String {
+    format!("n{}", n % 8)
+}
+
+fn arb_op() -> impl Strategy<Value = ModelOp> {
+    prop_oneof![
+        any::<u8>().prop_map(ModelOp::Create),
+        any::<u8>().prop_map(ModelOp::Remove),
+        (any::<u8>(), any::<u16>(), any::<u8>()).prop_map(|(n, o, b)| ModelOp::Write(n, o, b)),
+        any::<u8>().prop_map(ModelOp::Read),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| ModelOp::Rename(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| ModelOp::Link(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Running random op sequences against the UFS and a trivial in-memory
+    /// model produces identical visible state, and the UFS stays
+    /// fsck-clean throughout.
+    #[test]
+    fn prop_ufs_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let fs = fresh();
+        let cred = root_cred();
+        let root = fs.root();
+        // Model: name -> file contents. Hard links share content via id.
+        let mut model_names: HashMap<String, usize> = HashMap::new();
+        let mut model_files: HashMap<usize, Vec<u8>> = HashMap::new();
+        let mut next_id = 0usize;
+
+        for op in &ops {
+            match op {
+                ModelOp::Create(n) => {
+                    let name = name_of(*n);
+                    let real = root.create(&cred, &name, 0o644);
+                    if let std::collections::hash_map::Entry::Vacant(slot) =
+                        model_names.entry(name)
+                    {
+                        prop_assert!(real.is_ok());
+                        slot.insert(next_id);
+                        model_files.insert(next_id, Vec::new());
+                        next_id += 1;
+                    } else {
+                        prop_assert_eq!(real.unwrap_err(), FsError::Exists);
+                    }
+                }
+                ModelOp::Remove(n) => {
+                    let name = name_of(*n);
+                    let real = root.remove(&cred, &name);
+                    match model_names.remove(&name) {
+                        Some(id) => {
+                            prop_assert!(real.is_ok());
+                            if !model_names.values().any(|&v| v == id) {
+                                model_files.remove(&id);
+                            }
+                        }
+                        None => prop_assert_eq!(real.unwrap_err(), FsError::NotFound),
+                    }
+                }
+                ModelOp::Write(n, off, byte) => {
+                    let name = name_of(*n);
+                    let off = u64::from(*off % 2048);
+                    let data = vec![*byte; 17];
+                    match model_names.get(&name) {
+                        Some(&id) => {
+                            let v = root.lookup(&cred, &name).unwrap();
+                            prop_assert_eq!(v.write(&cred, off, &data).unwrap(), 17);
+                            let content = model_files.get_mut(&id).unwrap();
+                            let end = off as usize + 17;
+                            if content.len() < end {
+                                content.resize(end, 0);
+                            }
+                            content[off as usize..end].copy_from_slice(&data);
+                        }
+                        None => {
+                            prop_assert!(root.lookup(&cred, &name).is_err());
+                        }
+                    }
+                }
+                ModelOp::Read(n) => {
+                    let name = name_of(*n);
+                    match model_names.get(&name) {
+                        Some(&id) => {
+                            let v = root.lookup(&cred, &name).unwrap();
+                            let size = v.getattr(&cred).unwrap().size as usize;
+                            let data = v.read(&cred, 0, size).unwrap();
+                            prop_assert_eq!(&data[..], &model_files[&id][..]);
+                        }
+                        None => prop_assert!(root.lookup(&cred, &name).is_err()),
+                    }
+                }
+                ModelOp::Rename(a, b) => {
+                    let from = name_of(*a);
+                    let to = name_of(*b);
+                    let peer = fs.root();
+                    let real = root.rename(&cred, &from, &peer, &to);
+                    match model_names.get(&from).copied() {
+                        Some(id) => {
+                            prop_assert!(real.is_ok(), "rename failed: {:?}", real);
+                            if from != to {
+                                if let Some(old) = model_names.insert(to.clone(), id) {
+                                    if old != id && !model_names.values().any(|&v| v == old) {
+                                        model_files.remove(&old);
+                                    }
+                                }
+                                model_names.remove(&from);
+                            }
+                        }
+                        None => prop_assert!(real.is_err()),
+                    }
+                }
+                ModelOp::Link(a, b) => {
+                    let target = name_of(*a);
+                    let alias = name_of(*b);
+                    match (model_names.get(&target).copied(), model_names.contains_key(&alias)) {
+                        (Some(id), false) => {
+                            let t = root.lookup(&cred, &target).unwrap();
+                            prop_assert!(root.link(&cred, &t, &alias).is_ok());
+                            model_names.insert(alias, id);
+                        }
+                        (Some(_), true) => {
+                            let t = root.lookup(&cred, &target).unwrap();
+                            prop_assert_eq!(root.link(&cred, &t, &alias).unwrap_err(), FsError::Exists);
+                        }
+                        (None, _) => {
+                            prop_assert!(root.lookup(&cred, &target).is_err());
+                        }
+                    }
+                }
+            }
+        }
+        // Final state agreement.
+        let listing = root.readdir(&cred, 0, 1000).unwrap();
+        let mut real_names: Vec<String> = listing.iter().map(|e| e.name.clone()).collect();
+        real_names.sort();
+        let mut model_keys: Vec<String> = model_names.keys().cloned().collect();
+        model_keys.sort();
+        prop_assert_eq!(real_names, model_keys);
+        prop_assert!(fsck::check(&fs).unwrap().is_clean());
+    }
+
+    /// Data written at arbitrary offsets is read back intact (write/read
+    /// coherence across block boundaries).
+    #[test]
+    fn prop_write_read_coherence(
+        writes in proptest::collection::vec((0u32..300_000, 1usize..5000, any::<u8>()), 1..12)
+    ) {
+        let fs = fresh_medium();
+        let cred = root_cred();
+        let f = fs.root().create(&cred, "f", 0o644).unwrap();
+        let mut shadow: Vec<u8> = Vec::new();
+        for (off, len, byte) in &writes {
+            let off = u64::from(*off);
+            let data = vec![*byte; *len];
+            f.write(&cred, off, &data).unwrap();
+            let end = off as usize + len;
+            if shadow.len() < end {
+                shadow.resize(end, 0);
+            }
+            shadow[off as usize..end].copy_from_slice(&data);
+        }
+        let size = f.getattr(&cred).unwrap().size as usize;
+        prop_assert_eq!(size, shadow.len());
+        let data = f.read(&cred, 0, size).unwrap();
+        prop_assert_eq!(&data[..], &shadow[..]);
+        prop_assert!(fsck::check(&fs).unwrap().is_clean());
+    }
+}
+
+#[test]
+fn multi_block_directory_round_trips() {
+    // A directory whose entry data spans several 4K blocks.
+    let fs = fresh_medium();
+    let cred = root_cred();
+    let dir = fs.root().mkdir(&cred, "big", 0o755).unwrap();
+    let n = 300; // ~300 * (2+8+24) bytes > 2 blocks
+    for i in 0..n {
+        dir.create(&cred, &format!("entry-{i:04}-padding-name"), 0o644)
+            .unwrap();
+    }
+    assert!(dir.getattr(&cred).unwrap().size > 8192, "spans blocks");
+    // Every entry resolvable; listing complete and duplicate-free.
+    let mut names: Vec<String> = dir
+        .readdir(&cred, 0, 10_000)
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(names.len(), n);
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), n);
+    dir.lookup(&cred, "entry-0299-padding-name").unwrap();
+    // Survives a cold restart.
+    fs.drop_caches().unwrap();
+    dir.lookup(&cred, "entry-0150-padding-name").unwrap();
+    assert!(fsck::check(&fs).unwrap().is_clean());
+}
+
+#[test]
+fn deep_nesting_and_dotdot_resolution() {
+    let fs = fresh();
+    let cred = root_cred();
+    let mut cur = fs.root();
+    for i in 0..12 {
+        cur = cur.mkdir(&cred, &format!("d{i}"), 0o755).unwrap();
+    }
+    cur.create(&cred, "leaf", 0o644).unwrap();
+    let path = (0..12).map(|i| format!("d{i}")).collect::<Vec<_>>().join("/");
+    let v = ficus_vnode::api::resolve(&fs.root(), &cred, &format!("/{path}/leaf")).unwrap();
+    assert_eq!(v.kind(), VnodeType::Regular);
+    // `..` climbs back out: /d0/d1/../d1 names the same directory as
+    // /d0/d1.
+    let direct = ficus_vnode::api::resolve(&fs.root(), &cred, "/d0/d1").unwrap();
+    let dotted = ficus_vnode::api::resolve(&fs.root(), &cred, "/d0/d1/../d1").unwrap();
+    assert_eq!(direct.fileid(), dotted.fileid());
+}
+
+#[test]
+fn rename_same_name_same_dir_is_noop() {
+    let fs = fresh();
+    let cred = root_cred();
+    let root = fs.root();
+    let f = root.create(&cred, "stay", 0o644).unwrap();
+    f.write(&cred, 0, b"put").unwrap();
+    let peer = fs.root();
+    root.rename(&cred, "stay", &peer, "stay").unwrap();
+    assert_eq!(&root.lookup(&cred, "stay").unwrap().read(&cred, 0, 3).unwrap()[..], b"put");
+    assert!(fsck::check(&fs).unwrap().is_clean());
+}
+
+#[test]
+fn append_heavy_growth_is_consistent() {
+    let fs = fresh_medium();
+    let cred = root_cred();
+    let f = fs.root().create(&cred, "log", 0o644).unwrap();
+    let mut expected = Vec::new();
+    for i in 0..50 {
+        let line = format!("line {i}\n");
+        let off = expected.len() as u64;
+        f.write(&cred, off, line.as_bytes()).unwrap();
+        expected.extend_from_slice(line.as_bytes());
+    }
+    let size = f.getattr(&cred).unwrap().size as usize;
+    assert_eq!(size, expected.len());
+    assert_eq!(&f.read(&cred, 0, size).unwrap()[..], &expected[..]);
+}

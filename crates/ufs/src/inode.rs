@@ -1,0 +1,237 @@
+//! Fixed-size on-disk inode records.
+//!
+//! Each inode occupies [`INODE_SIZE`] bytes in the inode table and addresses
+//! file data through twelve direct block pointers, one single-indirect
+//! block, and one double-indirect block — enough for multi-megabyte files,
+//! which the shadow-commit experiment (E3) needs. Pointer value 0 is "no
+//! block" (block 0 is the superblock and can never be file data).
+
+use ficus_vnode::{FsError, FsResult, Timestamp, VnodeType};
+
+/// Bytes per on-disk inode record.
+pub const INODE_SIZE: u64 = 256;
+
+/// Number of direct block pointers.
+pub const NDIRECT: usize = 12;
+
+/// Reserved inode numbers: 0 is invalid, 1 is reserved, 2 is the root.
+pub const ROOT_INO: u64 = 2;
+
+/// In-memory image of an on-disk inode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// Object type, or `None` for a free inode slot.
+    pub kind: Option<VnodeType>,
+    /// Permission bits.
+    pub mode: u32,
+    /// Directory references to this inode.
+    pub nlink: u32,
+    /// Owner.
+    pub uid: u32,
+    /// Group.
+    pub gid: u32,
+    /// Size in bytes.
+    pub size: u64,
+    /// Modification time.
+    pub mtime: Timestamp,
+    /// Access time.
+    pub atime: Timestamp,
+    /// Attribute-change time.
+    pub ctime: Timestamp,
+    /// Direct block pointers.
+    pub direct: [u64; NDIRECT],
+    /// Single-indirect block pointer.
+    pub indirect: u64,
+    /// Double-indirect block pointer.
+    pub dindirect: u64,
+    /// Generation number, bumped at every allocation of this slot.
+    ///
+    /// A vnode (or an NFS file handle) remembers the generation it was
+    /// minted with; if the inode has since been freed and reused, the
+    /// mismatch surfaces as [`FsError::Stale`] instead of silently operating
+    /// on an unrelated file.
+    pub gen: u32,
+}
+
+impl Inode {
+    /// A free (unallocated) inode slot.
+    #[must_use]
+    pub fn free() -> Self {
+        Inode {
+            kind: None,
+            mode: 0,
+            nlink: 0,
+            uid: 0,
+            gid: 0,
+            size: 0,
+            mtime: Timestamp::ZERO,
+            atime: Timestamp::ZERO,
+            ctime: Timestamp::ZERO,
+            direct: [0; NDIRECT],
+            indirect: 0,
+            dindirect: 0,
+            gen: 0,
+        }
+    }
+
+    /// A freshly allocated inode of `kind`.
+    #[must_use]
+    pub fn new(kind: VnodeType, mode: u32, uid: u32, gid: u32, now: Timestamp) -> Self {
+        Inode {
+            kind: Some(kind),
+            mode: mode & 0o7777,
+            nlink: 0,
+            uid,
+            gid,
+            size: 0,
+            mtime: now,
+            atime: now,
+            ctime: now,
+            ..Inode::free()
+        }
+    }
+
+    /// Whether the slot is allocated.
+    #[must_use]
+    pub fn is_allocated(&self) -> bool {
+        self.kind.is_some()
+    }
+
+    /// Encodes into exactly [`INODE_SIZE`] bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; INODE_SIZE as usize];
+        buf[0] = match self.kind {
+            None => 0,
+            Some(VnodeType::Regular) => 1,
+            Some(VnodeType::Directory) => 2,
+            Some(VnodeType::Symlink) => 3,
+            Some(VnodeType::GraftPoint) => 4,
+        };
+        buf[4..8].copy_from_slice(&self.mode.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.nlink.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.uid.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.gid.to_le_bytes());
+        buf[20..28].copy_from_slice(&self.size.to_le_bytes());
+        buf[28..36].copy_from_slice(&self.mtime.0.to_le_bytes());
+        buf[36..44].copy_from_slice(&self.atime.0.to_le_bytes());
+        buf[44..52].copy_from_slice(&self.ctime.0.to_le_bytes());
+        for (i, &b) in self.direct.iter().enumerate() {
+            let off = 52 + i * 8;
+            buf[off..off + 8].copy_from_slice(&b.to_le_bytes());
+        }
+        buf[148..156].copy_from_slice(&self.indirect.to_le_bytes());
+        buf[156..164].copy_from_slice(&self.dindirect.to_le_bytes());
+        buf[164..168].copy_from_slice(&self.gen.to_le_bytes());
+        buf
+    }
+
+    /// Decodes an [`INODE_SIZE`]-byte record.
+    pub fn decode(buf: &[u8]) -> FsResult<Self> {
+        if buf.len() < INODE_SIZE as usize {
+            return Err(FsError::Io);
+        }
+        let kind = match buf[0] {
+            0 => None,
+            1 => Some(VnodeType::Regular),
+            2 => Some(VnodeType::Directory),
+            3 => Some(VnodeType::Symlink),
+            4 => Some(VnodeType::GraftPoint),
+            _ => return Err(FsError::Io),
+        };
+        let u32_at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().expect("4 bytes"));
+        let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("8 bytes"));
+        let mut direct = [0u64; NDIRECT];
+        for (i, d) in direct.iter_mut().enumerate() {
+            *d = u64_at(52 + i * 8);
+        }
+        Ok(Inode {
+            kind,
+            mode: u32_at(4),
+            nlink: u32_at(8),
+            uid: u32_at(12),
+            gid: u32_at(16),
+            size: u64_at(20),
+            mtime: Timestamp(u64_at(28)),
+            atime: Timestamp(u64_at(36)),
+            ctime: Timestamp(u64_at(44)),
+            direct,
+            indirect: u64_at(148),
+            dindirect: u64_at(156),
+            gen: u32_at(164),
+        })
+    }
+
+    /// Maximum file size addressable with this inode shape for a given
+    /// block size.
+    #[must_use]
+    pub fn max_size(block_size: u32) -> u64 {
+        let bs = u64::from(block_size);
+        let ptrs = bs / 8;
+        (NDIRECT as u64 + ptrs + ptrs * ptrs) * bs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_inode_round_trips() {
+        let i = Inode::free();
+        let buf = i.encode();
+        assert_eq!(buf.len(), INODE_SIZE as usize);
+        assert_eq!(Inode::decode(&buf).unwrap(), i);
+    }
+
+    #[test]
+    fn populated_inode_round_trips() {
+        let mut i = Inode::new(VnodeType::Directory, 0o755, 10, 20, Timestamp(99));
+        i.nlink = 3;
+        i.size = 12345;
+        i.direct[0] = 100;
+        i.direct[11] = 111;
+        i.indirect = 200;
+        i.dindirect = 300;
+        i.gen = 77;
+        let decoded = Inode::decode(&i.encode()).unwrap();
+        assert_eq!(decoded, i);
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        for kind in [
+            VnodeType::Regular,
+            VnodeType::Directory,
+            VnodeType::Symlink,
+            VnodeType::GraftPoint,
+        ] {
+            let i = Inode::new(kind, 0o644, 0, 0, Timestamp(1));
+            assert_eq!(Inode::decode(&i.encode()).unwrap().kind, Some(kind));
+        }
+    }
+
+    #[test]
+    fn junk_kind_rejected() {
+        let mut buf = vec![0u8; INODE_SIZE as usize];
+        buf[0] = 200;
+        assert_eq!(Inode::decode(&buf).unwrap_err(), FsError::Io);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert_eq!(Inode::decode(&[0u8; 10]).unwrap_err(), FsError::Io);
+    }
+
+    #[test]
+    fn mode_is_masked() {
+        let i = Inode::new(VnodeType::Regular, 0o100644, 0, 0, Timestamp(0));
+        assert_eq!(i.mode, 0o644);
+    }
+
+    #[test]
+    fn max_size_covers_benchmark_needs() {
+        // E3 writes files up to 4 MiB; ensure the inode shape addresses it.
+        assert!(Inode::max_size(4096) > 4 * 1024 * 1024);
+    }
+}

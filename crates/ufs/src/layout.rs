@@ -1,0 +1,206 @@
+//! On-disk layout: superblock and region geometry.
+//!
+//! ```text
+//! block 0        superblock
+//! blocks 1..     inode allocation bitmap
+//! blocks ..      data-block allocation bitmap
+//! blocks ..      inode table (fixed-size inode records)
+//! blocks ..end   data region
+//! ```
+//!
+//! All on-disk integers are little-endian. The layout is computed purely
+//! from the disk geometry, so mounting only needs to read and validate the
+//! superblock.
+
+use ficus_vnode::{FsError, FsResult};
+
+use crate::disk::Geometry;
+use crate::inode::INODE_SIZE;
+
+/// Magic number identifying a formatted volume ("FICUSUFS" truncated).
+pub const SUPER_MAGIC: u64 = 0x4649_4355_5355_4653;
+
+/// Computed region layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Device geometry.
+    pub geometry: Geometry,
+    /// Number of inodes.
+    pub ninodes: u64,
+    /// First block of the inode bitmap.
+    pub inode_bitmap_start: u64,
+    /// Blocks in the inode bitmap.
+    pub inode_bitmap_blocks: u64,
+    /// First block of the data-block bitmap.
+    pub block_bitmap_start: u64,
+    /// Blocks in the data-block bitmap.
+    pub block_bitmap_blocks: u64,
+    /// First block of the inode table.
+    pub inode_table_start: u64,
+    /// Blocks in the inode table.
+    pub inode_table_blocks: u64,
+    /// First data block.
+    pub data_start: u64,
+    /// Number of data blocks.
+    pub data_blocks: u64,
+}
+
+impl Layout {
+    /// Computes the layout for a disk, giving one inode per four data-region
+    /// blocks (the classic UFS default density).
+    ///
+    /// Returns [`FsError::Invalid`] if the disk is too small to hold the
+    /// metadata regions plus at least one data block.
+    pub fn compute(geometry: Geometry) -> FsResult<Layout> {
+        let bs = u64::from(geometry.block_size);
+        let bits_per_block = bs * 8;
+        let inodes_per_block = bs / INODE_SIZE;
+        if inodes_per_block == 0 || geometry.blocks < 8 {
+            return Err(FsError::Invalid);
+        }
+        let ninodes = (geometry.blocks / 4).max(inodes_per_block);
+        let inode_bitmap_blocks = ninodes.div_ceil(bits_per_block);
+        let block_bitmap_blocks = geometry.blocks.div_ceil(bits_per_block);
+        let inode_table_blocks = ninodes.div_ceil(inodes_per_block);
+
+        let inode_bitmap_start = 1;
+        let block_bitmap_start = inode_bitmap_start + inode_bitmap_blocks;
+        let inode_table_start = block_bitmap_start + block_bitmap_blocks;
+        let data_start = inode_table_start + inode_table_blocks;
+        if data_start >= geometry.blocks {
+            return Err(FsError::Invalid);
+        }
+        Ok(Layout {
+            geometry,
+            ninodes,
+            inode_bitmap_start,
+            inode_bitmap_blocks,
+            block_bitmap_start,
+            block_bitmap_blocks,
+            inode_table_start,
+            inode_table_blocks,
+            data_start,
+            data_blocks: geometry.blocks - data_start,
+        })
+    }
+
+    /// Inodes stored per inode-table block.
+    #[must_use]
+    pub fn inodes_per_block(&self) -> u64 {
+        u64::from(self.geometry.block_size) / INODE_SIZE
+    }
+
+    /// Block and byte offset of inode `ino` within the inode table.
+    #[must_use]
+    pub fn inode_position(&self, ino: u64) -> (u64, usize) {
+        let per = self.inodes_per_block();
+        let block = self.inode_table_start + ino / per;
+        let offset = (ino % per) * INODE_SIZE;
+        (block, offset as usize)
+    }
+
+    /// Serializes the superblock into a block-sized buffer.
+    #[must_use]
+    pub fn encode_superblock(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; self.geometry.block_size as usize];
+        buf[0..8].copy_from_slice(&SUPER_MAGIC.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.geometry.blocks.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.geometry.block_size.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.ninodes.to_le_bytes());
+        buf
+    }
+
+    /// Validates a superblock read from block 0 against this layout.
+    pub fn check_superblock(&self, buf: &[u8]) -> FsResult<()> {
+        if buf.len() < 32 {
+            return Err(FsError::Io);
+        }
+        let magic = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+        let blocks = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        let bs = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes"));
+        let ninodes = u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes"));
+        if magic != SUPER_MAGIC
+            || blocks != self.geometry.blocks
+            || bs != self.geometry.block_size
+            || ninodes != self.ninodes
+        {
+            return Err(FsError::Io);
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if `buf` carries a valid magic number (i.e. the disk
+    /// has been formatted).
+    #[must_use]
+    pub fn is_formatted(buf: &[u8]) -> bool {
+        buf.len() >= 8 && u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")) == SUPER_MAGIC
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_contiguous_and_ordered() {
+        let l = Layout::compute(Geometry::small()).unwrap();
+        assert_eq!(l.inode_bitmap_start, 1);
+        assert_eq!(
+            l.block_bitmap_start,
+            l.inode_bitmap_start + l.inode_bitmap_blocks
+        );
+        assert_eq!(
+            l.inode_table_start,
+            l.block_bitmap_start + l.block_bitmap_blocks
+        );
+        assert_eq!(l.data_start, l.inode_table_start + l.inode_table_blocks);
+        assert_eq!(l.data_blocks, l.geometry.blocks - l.data_start);
+        assert!(l.data_blocks > 0);
+    }
+
+    #[test]
+    fn inode_positions_do_not_overlap() {
+        let l = Layout::compute(Geometry::small()).unwrap();
+        let (b0, o0) = l.inode_position(0);
+        let (b1, o1) = l.inode_position(1);
+        assert_eq!(b0, l.inode_table_start);
+        assert_eq!(o0, 0);
+        if b0 == b1 {
+            assert_eq!(o1, INODE_SIZE as usize);
+        }
+        let per = l.inodes_per_block();
+        let (b_next, o_next) = l.inode_position(per);
+        assert_eq!(b_next, l.inode_table_start + 1);
+        assert_eq!(o_next, 0);
+    }
+
+    #[test]
+    fn superblock_round_trips() {
+        let l = Layout::compute(Geometry::small()).unwrap();
+        let sb = l.encode_superblock();
+        assert!(Layout::is_formatted(&sb));
+        l.check_superblock(&sb).unwrap();
+    }
+
+    #[test]
+    fn superblock_mismatch_detected() {
+        let l = Layout::compute(Geometry::small()).unwrap();
+        let l2 = Layout::compute(Geometry::medium()).unwrap();
+        let sb = l2.encode_superblock();
+        assert_eq!(l.check_superblock(&sb).unwrap_err(), FsError::Io);
+    }
+
+    #[test]
+    fn blank_disk_is_not_formatted() {
+        assert!(!Layout::is_formatted(&[0u8; 4096]));
+    }
+
+    #[test]
+    fn tiny_disk_rejected() {
+        let g = Geometry {
+            blocks: 4,
+            block_size: 4096,
+        };
+        assert_eq!(Layout::compute(g).unwrap_err(), FsError::Invalid);
+    }
+}

@@ -1,0 +1,37 @@
+//! A simulated Unix File System (UFS).
+//!
+//! Ficus "can use the UFS as its underlying nonvolatile storage service,
+//! which means Ficus is not burdened with the details of how best to
+//! physically organize disk storage" (paper §2.1). This crate is that
+//! storage service: a from-scratch Berkeley-style file system over a
+//! simulated block device, exporting the stackable vnode interface of
+//! `ficus-vnode`.
+//!
+//! The pieces:
+//!
+//! * [`disk::Disk`] — the block device, with per-operation I/O accounting.
+//!   The paper's §6 performance discussion is phrased entirely in disk I/O
+//!   counts ("four I/Os beyond the normal Unix overhead"); these counters
+//!   are how the benchmarks reproduce those numbers.
+//! * [`cache::BlockCache`] — a write-back LRU buffer cache. Metadata writes
+//!   are forced through synchronously (classic UFS behavior), so a simulated
+//!   crash loses only unflushed file data, never structural consistency.
+//! * [`dnlc::Dnlc`] — the directory name lookup cache whose behavior the
+//!   paper leans on for the "no overhead on recently accessed files" claim.
+//! * [`fs::Ufs`] — inodes, allocation bitmaps, directories, and the full
+//!   Unix vnode semantics (permissions, link counts, rename, symlinks).
+//! * [`fsck`] — an invariant checker run by tests after crash simulations.
+
+pub mod alloc;
+pub mod cache;
+pub mod dir;
+pub mod disk;
+pub mod dnlc;
+pub mod fs;
+pub mod fsck;
+pub mod inode;
+pub mod layout;
+
+pub use cache::CacheStats;
+pub use disk::{Disk, DiskStats, Geometry};
+pub use fs::{Ufs, UfsParams};

@@ -1,0 +1,259 @@
+//! The [`Vnode`] and [`FileSystem`] traits — the symmetric layer interface.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::error::{FsError, FsResult};
+use crate::types::{
+    AccessMode, Credentials, DirEntry, FsStats, OpenFlags, SetAttr, VnodeAttr, VnodeType,
+};
+
+/// Shared handle to a vnode of any layer.
+pub type VnodeRef = Arc<dyn Vnode>;
+
+/// The per-file object of the stackable interface.
+///
+/// This is the Rust rendition of the SunOS vnode operations vector: "about
+/// two dozen services" (paper §2.1). Every layer — UFS, NFS client, Ficus
+/// physical, Ficus logical, and the utility layers — implements exactly this
+/// trait, which is what makes the layers stackable: the interface a layer
+/// exports upward is the interface it consumes downward.
+///
+/// Name-taking operations are invoked on the *directory* vnode, as in the
+/// original interface ([`Vnode::lookup`], [`Vnode::create`], ...). The
+/// two-directory operations [`Vnode::rename`] and [`Vnode::link`] receive the
+/// peer vnode as a trait object and must reclaim their own concrete type via
+/// [`Vnode::as_any`]; a peer from a different layer type is a cross-device
+/// operation and fails with [`FsError::Xdev`].
+pub trait Vnode: Send + Sync {
+    /// The type of object this vnode names.
+    fn kind(&self) -> VnodeType;
+
+    /// Identifier of the containing file system instance.
+    fn fsid(&self) -> u64;
+
+    /// File identifier, stable and unique within [`Vnode::fsid`].
+    fn fileid(&self) -> u64;
+
+    /// Reads the object's attributes.
+    fn getattr(&self, cred: &Credentials) -> FsResult<VnodeAttr>;
+
+    /// Changes attributes; returns the new attributes.
+    fn setattr(&self, cred: &Credentials, set: &SetAttr) -> FsResult<VnodeAttr>;
+
+    /// Checks whether `cred` may access the object in `mode`.
+    fn access(&self, cred: &Credentials, mode: AccessMode) -> FsResult<()>;
+
+    /// Announces an open of the file.
+    ///
+    /// The stateless NFS layer silently swallows this call (paper §2.2); the
+    /// Ficus logical layer therefore re-encodes it through [`Vnode::lookup`]
+    /// (§2.3) so the physical layer still observes every open.
+    fn open(&self, cred: &Credentials, flags: OpenFlags) -> FsResult<()>;
+
+    /// Announces the close of a previously opened file. Swallowed by NFS,
+    /// like [`Vnode::open`].
+    fn close(&self, cred: &Credentials, flags: OpenFlags) -> FsResult<()>;
+
+    /// Reads up to `len` bytes at `offset`. Short reads occur only at EOF.
+    fn read(&self, cred: &Credentials, offset: u64, len: usize) -> FsResult<Bytes>;
+
+    /// Writes `data` at `offset`, returning the number of bytes written.
+    fn write(&self, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize>;
+
+    /// Forces dirty state for this file to stable storage.
+    fn fsync(&self, cred: &Credentials) -> FsResult<()>;
+
+    /// Resolves one component name in this directory.
+    fn lookup(&self, cred: &Credentials, name: &str) -> FsResult<VnodeRef>;
+
+    /// Creates a regular file named `name`.
+    fn create(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef>;
+
+    /// Creates a directory named `name`.
+    fn mkdir(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef>;
+
+    /// Removes the non-directory entry `name`.
+    fn remove(&self, cred: &Credentials, name: &str) -> FsResult<()>;
+
+    /// Removes the empty directory `name`.
+    fn rmdir(&self, cred: &Credentials, name: &str) -> FsResult<()>;
+
+    /// Renames `from` in this directory to `to` in `to_dir` (which may be
+    /// this directory).
+    fn rename(&self, cred: &Credentials, from: &str, to_dir: &VnodeRef, to: &str) -> FsResult<()>;
+
+    /// Creates a hard link to `target` named `name` in this directory.
+    fn link(&self, cred: &Credentials, target: &VnodeRef, name: &str) -> FsResult<()>;
+
+    /// Creates a symbolic link named `name` with contents `target`.
+    fn symlink(&self, cred: &Credentials, name: &str, target: &str) -> FsResult<VnodeRef>;
+
+    /// Reads the target of a symbolic link.
+    fn readlink(&self, cred: &Credentials) -> FsResult<String>;
+
+    /// Reads directory entries starting after `cookie` (0 = from the start),
+    /// returning at most `count` entries. An empty vector means end of
+    /// directory.
+    fn readdir(&self, cred: &Credentials, cookie: u64, count: usize) -> FsResult<Vec<DirEntry>>;
+
+    /// Layer-specific control operation (the `ioctl` escape hatch).
+    ///
+    /// Unrecognized commands must be forwarded to the lower layer, exactly
+    /// as unknown stream messages are passed along in Ritchie's stream I/O
+    /// system that inspired stackable layers. The bottom layer returns
+    /// [`FsError::Unsupported`].
+    fn ioctl(&self, cred: &Credentials, cmd: u32, data: &[u8]) -> FsResult<Vec<u8>>;
+
+    /// Returns `self` for concrete-type recovery in two-directory
+    /// operations.
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl std::fmt::Debug for dyn Vnode + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vnode")
+            .field("kind", &self.kind())
+            .field("fsid", &self.fsid())
+            .field("fileid", &self.fileid())
+            .finish()
+    }
+}
+
+/// The per-mount object: hands out the root vnode and global statistics.
+pub trait FileSystem: Send + Sync {
+    /// The root directory of this file system instance.
+    fn root(&self) -> VnodeRef;
+
+    /// File-system-wide statistics.
+    fn statfs(&self) -> FsResult<FsStats>;
+
+    /// Flushes all dirty state to stable storage.
+    fn sync(&self) -> FsResult<()>;
+}
+
+/// Resolves a multi-component, `/`-separated path starting at `base`.
+///
+/// This is the "namei" helper used by examples, tests, and the system-call
+/// shims. Symbolic links are followed (up to a fixed depth of 40, after
+/// which [`FsError::Loop`] is reported). Absolute paths are interpreted
+/// relative to `base`, which plays the role of the process root.
+///
+/// # Examples
+///
+/// ```
+/// use ficus_vnode::testing::SinkFs;
+/// use ficus_vnode::{api, Credentials, FileSystem};
+///
+/// let fs = SinkFs::new(1);
+/// let root = fs.root();
+/// let v = api::resolve(&root, &Credentials::root(), "/").unwrap();
+/// assert_eq!(v.fileid(), root.fileid());
+/// ```
+pub fn resolve(base: &VnodeRef, cred: &Credentials, path: &str) -> FsResult<VnodeRef> {
+    resolve_depth(base, cred, path, 0)
+}
+
+/// Maximum symlink expansions before [`FsError::Loop`].
+const MAX_SYMLINK_DEPTH: u32 = 40;
+
+fn resolve_depth(base: &VnodeRef, cred: &Credentials, path: &str, depth: u32) -> FsResult<VnodeRef> {
+    if depth > MAX_SYMLINK_DEPTH {
+        return Err(FsError::Loop);
+    }
+    let mut cur = Arc::clone(base);
+    // A stack of visited directories so `..` can be honored without parent
+    // pointers in the interface.
+    let mut parents: Vec<VnodeRef> = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => continue,
+            ".." => {
+                if let Some(p) = parents.pop() {
+                    cur = p;
+                }
+                continue;
+            }
+            name => {
+                if !cur.kind().is_directory_like() {
+                    return Err(FsError::NotDir);
+                }
+                let next = cur.lookup(cred, name)?;
+                if next.kind() == VnodeType::Symlink {
+                    let target = next.readlink(cred)?;
+                    let start = if target.starts_with('/') {
+                        // Interpret absolute targets from the original base.
+                        Arc::clone(base)
+                    } else {
+                        Arc::clone(&cur)
+                    };
+                    let resolved = resolve_depth(&start, cred, &target, depth + 1)?;
+                    parents.push(std::mem::replace(&mut cur, resolved));
+                } else {
+                    parents.push(std::mem::replace(&mut cur, next));
+                }
+            }
+        }
+    }
+    Ok(cur)
+}
+
+/// Splits a path into its parent directory path and final component.
+///
+/// Returns `None` for paths with no final component (e.g. `/` or empty).
+///
+/// # Examples
+///
+/// ```
+/// use ficus_vnode::api::split_parent;
+/// assert_eq!(split_parent("/a/b/c"), Some(("/a/b", "c")));
+/// assert_eq!(split_parent("file"), Some(("", "file")));
+/// assert_eq!(split_parent("/"), None);
+/// ```
+#[must_use]
+pub fn split_parent(path: &str) -> Option<(&str, &str)> {
+    let trimmed = path.trim_end_matches('/');
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.rfind('/') {
+        Some(idx) => Some((&trimmed[..idx], &trimmed[idx + 1..])),
+        None => Some(("", trimmed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::SinkFs;
+
+    #[test]
+    fn split_parent_cases() {
+        assert_eq!(split_parent("/a/b"), Some(("/a", "b")));
+        assert_eq!(split_parent("a/b/"), Some(("a", "b")));
+        assert_eq!(split_parent("x"), Some(("", "x")));
+        assert_eq!(split_parent(""), None);
+        assert_eq!(split_parent("///"), None);
+    }
+
+    #[test]
+    fn resolve_empty_and_dot_components() {
+        let fs = SinkFs::new(3);
+        let root = fs.root();
+        let cred = Credentials::root();
+        for p in ["", "/", ".", "./", "//."] {
+            let v = resolve(&root, &cred, p).unwrap();
+            assert_eq!(v.fileid(), root.fileid(), "path {p:?}");
+        }
+    }
+
+    #[test]
+    fn resolve_dotdot_at_root_stays_at_root() {
+        let fs = SinkFs::new(3);
+        let root = fs.root();
+        let v = resolve(&root, &Credentials::root(), "/../..").unwrap();
+        assert_eq!(v.fileid(), root.fileid());
+    }
+}

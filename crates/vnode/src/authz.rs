@@ -1,0 +1,273 @@
+//! A user-authentication (authorization) layer.
+//!
+//! The second of the layers the paper forecasts for the stackable
+//! architecture (§1). [`AuthLayer`] gates every operation on a caller
+//! allowlist before forwarding it: a minimal stand-in for the
+//! authentication service a wide-area Ficus would interpose between
+//! untrusted clients and the replication layers. Like every layer it is
+//! transparent to its neighbors — the Ficus stack below neither knows nor
+//! cares that a gatekeeper sits above it.
+
+use std::any::Any;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::api::{FileSystem, Vnode, VnodeRef};
+use crate::error::{FsError, FsResult};
+use crate::types::{
+    AccessMode, Credentials, DirEntry, FsStats, OpenFlags, SetAttr, VnodeAttr, VnodeType,
+};
+
+/// Shared allowlist of authenticated uids.
+#[derive(Debug, Default)]
+pub struct AuthPolicy {
+    allowed: RwLock<BTreeSet<u32>>,
+}
+
+impl AuthPolicy {
+    /// Creates a policy admitting `uids` (root is NOT implicit).
+    #[must_use]
+    pub fn new(uids: &[u32]) -> Arc<Self> {
+        Arc::new(AuthPolicy {
+            allowed: RwLock::new(uids.iter().copied().collect()),
+        })
+    }
+
+    /// Admits a uid.
+    pub fn admit(&self, uid: u32) {
+        self.allowed.write().insert(uid);
+    }
+
+    /// Revokes a uid.
+    pub fn revoke(&self, uid: u32) {
+        self.allowed.write().remove(&uid);
+    }
+
+    fn check(&self, cred: &Credentials) -> FsResult<()> {
+        if self.allowed.read().contains(&cred.uid) {
+            Ok(())
+        } else {
+            Err(FsError::Perm)
+        }
+    }
+}
+
+/// A layer admitting only authenticated callers.
+pub struct AuthLayer {
+    lower: Arc<dyn FileSystem>,
+    policy: Arc<AuthPolicy>,
+}
+
+impl AuthLayer {
+    /// Stacks an authentication layer over `lower`.
+    #[must_use]
+    pub fn new(lower: Arc<dyn FileSystem>, policy: Arc<AuthPolicy>) -> Arc<Self> {
+        Arc::new(AuthLayer { lower, policy })
+    }
+}
+
+impl FileSystem for AuthLayer {
+    fn root(&self) -> VnodeRef {
+        Arc::new(AuthVnode {
+            lower: self.lower.root(),
+            policy: Arc::clone(&self.policy),
+        })
+    }
+
+    fn statfs(&self) -> FsResult<FsStats> {
+        self.lower.statfs()
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        self.lower.sync()
+    }
+}
+
+/// A vnode of the authentication layer.
+pub struct AuthVnode {
+    lower: VnodeRef,
+    policy: Arc<AuthPolicy>,
+}
+
+impl AuthVnode {
+    fn wrap(&self, lower: VnodeRef) -> VnodeRef {
+        Arc::new(AuthVnode {
+            lower,
+            policy: Arc::clone(&self.policy),
+        })
+    }
+
+    fn unwrap_peer(peer: &VnodeRef) -> FsResult<&VnodeRef> {
+        peer.as_any()
+            .downcast_ref::<AuthVnode>()
+            .map(|n| &n.lower)
+            .ok_or(FsError::Xdev)
+    }
+}
+
+impl Vnode for AuthVnode {
+    fn kind(&self) -> VnodeType {
+        self.lower.kind()
+    }
+
+    fn fsid(&self) -> u64 {
+        self.lower.fsid()
+    }
+
+    fn fileid(&self) -> u64 {
+        self.lower.fileid()
+    }
+
+    fn getattr(&self, cred: &Credentials) -> FsResult<VnodeAttr> {
+        self.policy.check(cred)?;
+        self.lower.getattr(cred)
+    }
+
+    fn setattr(&self, cred: &Credentials, set: &SetAttr) -> FsResult<VnodeAttr> {
+        self.policy.check(cred)?;
+        self.lower.setattr(cred, set)
+    }
+
+    fn access(&self, cred: &Credentials, mode: AccessMode) -> FsResult<()> {
+        self.policy.check(cred)?;
+        self.lower.access(cred, mode)
+    }
+
+    fn open(&self, cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        self.policy.check(cred)?;
+        self.lower.open(cred, flags)
+    }
+
+    fn close(&self, cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        self.policy.check(cred)?;
+        self.lower.close(cred, flags)
+    }
+
+    fn read(&self, cred: &Credentials, offset: u64, len: usize) -> FsResult<Bytes> {
+        self.policy.check(cred)?;
+        self.lower.read(cred, offset, len)
+    }
+
+    fn write(&self, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.policy.check(cred)?;
+        self.lower.write(cred, offset, data)
+    }
+
+    fn fsync(&self, cred: &Credentials) -> FsResult<()> {
+        self.policy.check(cred)?;
+        self.lower.fsync(cred)
+    }
+
+    fn lookup(&self, cred: &Credentials, name: &str) -> FsResult<VnodeRef> {
+        self.policy.check(cred)?;
+        Ok(self.wrap(self.lower.lookup(cred, name)?))
+    }
+
+    fn create(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        self.policy.check(cred)?;
+        Ok(self.wrap(self.lower.create(cred, name, mode)?))
+    }
+
+    fn mkdir(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        self.policy.check(cred)?;
+        Ok(self.wrap(self.lower.mkdir(cred, name, mode)?))
+    }
+
+    fn remove(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        self.policy.check(cred)?;
+        self.lower.remove(cred, name)
+    }
+
+    fn rmdir(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        self.policy.check(cred)?;
+        self.lower.rmdir(cred, name)
+    }
+
+    fn rename(&self, cred: &Credentials, from: &str, to_dir: &VnodeRef, to: &str) -> FsResult<()> {
+        self.policy.check(cred)?;
+        let lower_to = Self::unwrap_peer(to_dir)?;
+        self.lower.rename(cred, from, lower_to, to)
+    }
+
+    fn link(&self, cred: &Credentials, target: &VnodeRef, name: &str) -> FsResult<()> {
+        self.policy.check(cred)?;
+        let lower_target = Self::unwrap_peer(target)?;
+        self.lower.link(cred, lower_target, name)
+    }
+
+    fn symlink(&self, cred: &Credentials, name: &str, target: &str) -> FsResult<VnodeRef> {
+        self.policy.check(cred)?;
+        Ok(self.wrap(self.lower.symlink(cred, name, target)?))
+    }
+
+    fn readlink(&self, cred: &Credentials) -> FsResult<String> {
+        self.policy.check(cred)?;
+        self.lower.readlink(cred)
+    }
+
+    fn readdir(&self, cred: &Credentials, cookie: u64, count: usize) -> FsResult<Vec<DirEntry>> {
+        self.policy.check(cred)?;
+        self.lower.readdir(cred, cookie, count)
+    }
+
+    fn ioctl(&self, cred: &Credentials, cmd: u32, data: &[u8]) -> FsResult<Vec<u8>> {
+        self.policy.check(cred)?;
+        self.lower.ioctl(cred, cmd, data)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::SinkFs;
+
+    #[test]
+    fn unlisted_callers_are_rejected_everywhere() {
+        let policy = AuthPolicy::new(&[100]);
+        let fs = AuthLayer::new(Arc::new(SinkFs::new(1)), policy);
+        let stranger = Credentials::user(200, 200);
+        let root = fs.root();
+        assert_eq!(root.getattr(&stranger).unwrap_err(), FsError::Perm);
+        assert_eq!(root.lookup(&stranger, "x").unwrap_err(), FsError::Perm);
+        assert_eq!(
+            root.create(&stranger, "x", 0o644).unwrap_err(),
+            FsError::Perm
+        );
+        // Even root is subject to authentication here.
+        assert_eq!(
+            root.getattr(&Credentials::root()).unwrap_err(),
+            FsError::Perm
+        );
+    }
+
+    #[test]
+    fn listed_callers_pass_through() {
+        let policy = AuthPolicy::new(&[100]);
+        let fs = AuthLayer::new(Arc::new(SinkFs::new(1)), policy);
+        let alice = Credentials::user(100, 100);
+        let root = fs.root();
+        root.getattr(&alice).unwrap();
+        let f = root.lookup(&alice, "f").unwrap();
+        assert_eq!(f.write(&alice, 0, b"hi").unwrap(), 2);
+    }
+
+    #[test]
+    fn policy_changes_take_effect_live() {
+        let policy = AuthPolicy::new(&[]);
+        let fs = AuthLayer::new(Arc::new(SinkFs::new(1)), Arc::clone(&policy));
+        let alice = Credentials::user(100, 100);
+        let root = fs.root();
+        assert_eq!(root.getattr(&alice).unwrap_err(), FsError::Perm);
+        policy.admit(100);
+        root.getattr(&alice).unwrap();
+        policy.revoke(100);
+        assert_eq!(root.getattr(&alice).unwrap_err(), FsError::Perm);
+    }
+}

@@ -1,0 +1,272 @@
+//! A transparent encryption layer.
+//!
+//! One of the layers the paper forecasts for the stackable architecture
+//! (§1: "we expect to use it for performance monitoring, user
+//! authentication and encryption"). [`CryptLayer`] interposes like any
+//! other layer and transforms file *data* on the way through: writes are
+//! enciphered before reaching the lower layer, reads are deciphered on the
+//! way up. Names, directories, and attributes pass through unchanged, so
+//! every other layer (including Ficus replication below it) keeps working —
+//! replicas then hold ciphertext, and only stacks holding the key see
+//! plaintext.
+//!
+//! The cipher is a toy keystream (position-keyed xorshift) — the point is
+//! the *layering*, not cryptographic strength; swapping in a real stream
+//! cipher would change one function.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::api::{FileSystem, Vnode, VnodeRef};
+use crate::error::{FsError, FsResult};
+use crate::types::{
+    AccessMode, Credentials, DirEntry, FsStats, OpenFlags, SetAttr, VnodeAttr, VnodeType,
+};
+
+/// Keystream byte at absolute file position `pos` under `key`.
+///
+/// Position-keyed so random-access reads/writes at any offset encipher and
+/// decipher consistently (xor is an involution).
+fn keystream(key: u64, pos: u64) -> u8 {
+    let mut x = key ^ pos.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x & 0xFF) as u8
+}
+
+fn apply(key: u64, offset: u64, data: &[u8]) -> Vec<u8> {
+    data.iter()
+        .enumerate()
+        .map(|(i, &b)| b ^ keystream(key, offset + i as u64))
+        .collect()
+}
+
+/// A file system layer enciphering regular-file data with `key`.
+pub struct CryptLayer {
+    lower: Arc<dyn FileSystem>,
+    key: u64,
+}
+
+impl CryptLayer {
+    /// Stacks an encryption layer over `lower`.
+    #[must_use]
+    pub fn new(lower: Arc<dyn FileSystem>, key: u64) -> Arc<Self> {
+        Arc::new(CryptLayer { lower, key })
+    }
+}
+
+impl FileSystem for CryptLayer {
+    fn root(&self) -> VnodeRef {
+        Arc::new(CryptVnode {
+            lower: self.lower.root(),
+            key: self.key,
+        })
+    }
+
+    fn statfs(&self) -> FsResult<FsStats> {
+        self.lower.statfs()
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        self.lower.sync()
+    }
+}
+
+/// A vnode of the encryption layer.
+pub struct CryptVnode {
+    lower: VnodeRef,
+    key: u64,
+}
+
+impl CryptVnode {
+    fn wrap(&self, lower: VnodeRef) -> VnodeRef {
+        Arc::new(CryptVnode {
+            lower,
+            key: self.key,
+        })
+    }
+
+    fn unwrap_peer(peer: &VnodeRef) -> FsResult<&VnodeRef> {
+        peer.as_any()
+            .downcast_ref::<CryptVnode>()
+            .map(|n| &n.lower)
+            .ok_or(FsError::Xdev)
+    }
+
+    /// Only regular-file payloads are transformed; directories and symlink
+    /// targets stay legible to the layers below.
+    fn transforms(&self) -> bool {
+        self.lower.kind() == VnodeType::Regular
+    }
+}
+
+impl Vnode for CryptVnode {
+    fn kind(&self) -> VnodeType {
+        self.lower.kind()
+    }
+
+    fn fsid(&self) -> u64 {
+        self.lower.fsid()
+    }
+
+    fn fileid(&self) -> u64 {
+        self.lower.fileid()
+    }
+
+    fn getattr(&self, cred: &Credentials) -> FsResult<VnodeAttr> {
+        self.lower.getattr(cred)
+    }
+
+    fn setattr(&self, cred: &Credentials, set: &SetAttr) -> FsResult<VnodeAttr> {
+        self.lower.setattr(cred, set)
+    }
+
+    fn access(&self, cred: &Credentials, mode: AccessMode) -> FsResult<()> {
+        self.lower.access(cred, mode)
+    }
+
+    fn open(&self, cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        self.lower.open(cred, flags)
+    }
+
+    fn close(&self, cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        self.lower.close(cred, flags)
+    }
+
+    fn read(&self, cred: &Credentials, offset: u64, len: usize) -> FsResult<Bytes> {
+        let data = self.lower.read(cred, offset, len)?;
+        if self.transforms() {
+            Ok(Bytes::from(apply(self.key, offset, &data)))
+        } else {
+            Ok(data)
+        }
+    }
+
+    fn write(&self, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
+        if self.transforms() {
+            self.lower.write(cred, offset, &apply(self.key, offset, data))
+        } else {
+            self.lower.write(cred, offset, data)
+        }
+    }
+
+    fn fsync(&self, cred: &Credentials) -> FsResult<()> {
+        self.lower.fsync(cred)
+    }
+
+    fn lookup(&self, cred: &Credentials, name: &str) -> FsResult<VnodeRef> {
+        Ok(self.wrap(self.lower.lookup(cred, name)?))
+    }
+
+    fn create(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        Ok(self.wrap(self.lower.create(cred, name, mode)?))
+    }
+
+    fn mkdir(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        Ok(self.wrap(self.lower.mkdir(cred, name, mode)?))
+    }
+
+    fn remove(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        self.lower.remove(cred, name)
+    }
+
+    fn rmdir(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        self.lower.rmdir(cred, name)
+    }
+
+    fn rename(&self, cred: &Credentials, from: &str, to_dir: &VnodeRef, to: &str) -> FsResult<()> {
+        let lower_to = Self::unwrap_peer(to_dir)?;
+        self.lower.rename(cred, from, lower_to, to)
+    }
+
+    fn link(&self, cred: &Credentials, target: &VnodeRef, name: &str) -> FsResult<()> {
+        let lower_target = Self::unwrap_peer(target)?;
+        self.lower.link(cred, lower_target, name)
+    }
+
+    fn symlink(&self, cred: &Credentials, name: &str, target: &str) -> FsResult<VnodeRef> {
+        Ok(self.wrap(self.lower.symlink(cred, name, target)?))
+    }
+
+    fn readlink(&self, cred: &Credentials) -> FsResult<String> {
+        self.lower.readlink(cred)
+    }
+
+    fn readdir(&self, cred: &Credentials, cookie: u64, count: usize) -> FsResult<Vec<DirEntry>> {
+        self.lower.readdir(cred, cookie, count)
+    }
+
+    fn ioctl(&self, cred: &Credentials, cmd: u32, data: &[u8]) -> FsResult<Vec<u8>> {
+        self.lower.ioctl(cred, cmd, data)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::SinkFs;
+
+    #[test]
+    fn keystream_is_position_sensitive_and_deterministic() {
+        assert_eq!(keystream(1, 0), keystream(1, 0));
+        // Adjacent positions differ (overwhelmingly likely for this mix).
+        let distinct = (0..64).map(|p| keystream(7, p)).collect::<std::collections::BTreeSet<_>>();
+        assert!(distinct.len() > 16);
+        assert_ne!(keystream(1, 5), keystream(2, 5));
+    }
+
+    #[test]
+    fn xor_round_trips_at_any_offset() {
+        let key = 0xDEAD_BEEF;
+        let plain = b"attack at dawn";
+        for off in [0u64, 1, 4095, 4096, 1 << 20] {
+            let cipher = apply(key, off, plain);
+            assert_ne!(&cipher[..], &plain[..]);
+            assert_eq!(apply(key, off, &cipher), plain);
+        }
+        // Split writes decipher correctly when read whole.
+        let c1 = apply(key, 100, &plain[..5]);
+        let c2 = apply(key, 105, &plain[5..]);
+        let mut joined = c1;
+        joined.extend(c2);
+        assert_eq!(apply(key, 100, &joined), plain);
+    }
+
+    #[test]
+    fn layer_round_trips_through_a_stack() {
+        let fs = CryptLayer::new(Arc::new(SinkFs::new(1)), 42);
+        let cred = Credentials::root();
+        let root = fs.root();
+        let f = root.lookup(&cred, "f").unwrap();
+        // SinkFs returns zeros; through the crypt layer we see keystream —
+        // i.e., the layer is transforming.
+        let data = f.read(&cred, 0, 16).unwrap();
+        assert!(data.iter().any(|&b| b != 0));
+        // Directories are not transformed.
+        assert_eq!(root.kind(), VnodeType::Directory);
+        let sub = root.lookup(&cred, "dir1").unwrap();
+        assert_eq!(sub.kind(), VnodeType::Directory);
+    }
+
+    #[test]
+    fn foreign_peer_is_xdev() {
+        let fs = CryptLayer::new(Arc::new(SinkFs::new(1)), 42);
+        let bare = SinkFs::new(1);
+        let cred = Credentials::root();
+        assert_eq!(
+            fs.root()
+                .rename(&cred, "a", &bare.root(), "b")
+                .unwrap_err(),
+            FsError::Xdev
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Errno-style error type shared by every layer.
+
+use std::fmt;
+
+/// Result alias used throughout the vnode interface.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// File-system errors, modeled on the Unix errno values the vnode interface
+/// reports.
+///
+/// Every layer speaks this vocabulary; the NFS layer additionally maps them
+/// onto wire status codes and back, so an error raised by a UFS three layers
+/// down surfaces unchanged at the system-call boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FsError {
+    /// No such file or directory (`ENOENT`).
+    NotFound,
+    /// File exists (`EEXIST`).
+    Exists,
+    /// Not a directory (`ENOTDIR`).
+    NotDir,
+    /// Is a directory (`EISDIR`).
+    IsDir,
+    /// Directory not empty (`ENOTEMPTY`).
+    NotEmpty,
+    /// Permission denied by mode bits (`EACCES`).
+    Access,
+    /// Operation not permitted (`EPERM`).
+    Perm,
+    /// Generic I/O error (`EIO`).
+    Io,
+    /// Stale file handle (`ESTALE`) — the NFS server no longer knows it.
+    Stale,
+    /// Cross-device link (`EXDEV`) — peer vnode belongs to a foreign layer.
+    Xdev,
+    /// Invalid argument (`EINVAL`).
+    Invalid,
+    /// File too large (`EFBIG`).
+    FileTooBig,
+    /// No space left on device (`ENOSPC`).
+    NoSpace,
+    /// Read-only file system (`EROFS`).
+    ReadOnly,
+    /// File name too long (`ENAMETOOLONG`).
+    NameTooLong,
+    /// Operation not supported by this layer (`ENOTSUP`).
+    Unsupported,
+    /// The remote host did not answer (`ETIMEDOUT`).
+    TimedOut,
+    /// Host unreachable — network partition (`EHOSTUNREACH`).
+    Unreachable,
+    /// Too many levels of symbolic links (`ELOOP`).
+    Loop,
+    /// Resource deadlock would occur / lock held (`EDEADLK`).
+    Busy,
+    /// All replicas of a Ficus file are inaccessible.
+    ///
+    /// One-copy availability needs *one* copy; when even that fails, the
+    /// logical layer reports this rather than a bare `Unreachable` so callers
+    /// can distinguish "the network ate my RPC" from "no replica exists in
+    /// this partition".
+    NoReplica,
+    /// A conflicting (concurrent) update was detected on this file.
+    Conflict,
+    /// Crash injected by the simulation (never escapes tests/benches).
+    Crashed,
+}
+
+impl FsError {
+    /// Short errno-style name, handy in logs and tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FsError::NotFound => "ENOENT",
+            FsError::Exists => "EEXIST",
+            FsError::NotDir => "ENOTDIR",
+            FsError::IsDir => "EISDIR",
+            FsError::NotEmpty => "ENOTEMPTY",
+            FsError::Access => "EACCES",
+            FsError::Perm => "EPERM",
+            FsError::Io => "EIO",
+            FsError::Stale => "ESTALE",
+            FsError::Xdev => "EXDEV",
+            FsError::Invalid => "EINVAL",
+            FsError::FileTooBig => "EFBIG",
+            FsError::NoSpace => "ENOSPC",
+            FsError::ReadOnly => "EROFS",
+            FsError::NameTooLong => "ENAMETOOLONG",
+            FsError::Unsupported => "ENOTSUP",
+            FsError::TimedOut => "ETIMEDOUT",
+            FsError::Unreachable => "EHOSTUNREACH",
+            FsError::Loop => "ELOOP",
+            FsError::Busy => "EBUSY",
+            FsError::NoReplica => "ENOREPLICA",
+            FsError::Conflict => "ECONFLICT",
+            FsError::Crashed => "ECRASHED",
+        }
+    }
+
+    /// Stable numeric code used by the NFS wire encoding.
+    #[must_use]
+    pub fn code(self) -> u32 {
+        match self {
+            FsError::NotFound => 2,
+            FsError::Exists => 17,
+            FsError::NotDir => 20,
+            FsError::IsDir => 21,
+            FsError::NotEmpty => 39,
+            FsError::Access => 13,
+            FsError::Perm => 1,
+            FsError::Io => 5,
+            FsError::Stale => 70,
+            FsError::Xdev => 18,
+            FsError::Invalid => 22,
+            FsError::FileTooBig => 27,
+            FsError::NoSpace => 28,
+            FsError::ReadOnly => 30,
+            FsError::NameTooLong => 63,
+            FsError::Unsupported => 45,
+            FsError::TimedOut => 60,
+            FsError::Unreachable => 65,
+            FsError::Loop => 62,
+            FsError::Busy => 16,
+            FsError::NoReplica => 200,
+            FsError::Conflict => 201,
+            FsError::Crashed => 202,
+        }
+    }
+
+    /// Inverse of [`FsError::code`]; unknown codes map to [`FsError::Io`].
+    #[must_use]
+    pub fn from_code(code: u32) -> Self {
+        match code {
+            2 => FsError::NotFound,
+            17 => FsError::Exists,
+            20 => FsError::NotDir,
+            21 => FsError::IsDir,
+            39 => FsError::NotEmpty,
+            13 => FsError::Access,
+            1 => FsError::Perm,
+            5 => FsError::Io,
+            70 => FsError::Stale,
+            18 => FsError::Xdev,
+            22 => FsError::Invalid,
+            27 => FsError::FileTooBig,
+            28 => FsError::NoSpace,
+            30 => FsError::ReadOnly,
+            63 => FsError::NameTooLong,
+            45 => FsError::Unsupported,
+            60 => FsError::TimedOut,
+            65 => FsError::Unreachable,
+            62 => FsError::Loop,
+            16 => FsError::Busy,
+            200 => FsError::NoReplica,
+            201 => FsError::Conflict,
+            202 => FsError::Crashed,
+            _ => FsError::Io,
+        }
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: &[FsError] = &[
+        FsError::NotFound,
+        FsError::Exists,
+        FsError::NotDir,
+        FsError::IsDir,
+        FsError::NotEmpty,
+        FsError::Access,
+        FsError::Perm,
+        FsError::Io,
+        FsError::Stale,
+        FsError::Xdev,
+        FsError::Invalid,
+        FsError::FileTooBig,
+        FsError::NoSpace,
+        FsError::ReadOnly,
+        FsError::NameTooLong,
+        FsError::Unsupported,
+        FsError::TimedOut,
+        FsError::Unreachable,
+        FsError::Loop,
+        FsError::Busy,
+        FsError::NoReplica,
+        FsError::Conflict,
+        FsError::Crashed,
+    ];
+
+    #[test]
+    fn codes_round_trip() {
+        for &e in ALL {
+            assert_eq!(FsError::from_code(e.code()), e, "{e}");
+        }
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<u32> = ALL.iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), ALL.len());
+    }
+
+    #[test]
+    fn unknown_code_maps_to_io() {
+        assert_eq!(FsError::from_code(9999), FsError::Io);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(FsError::NotFound.to_string(), "ENOENT");
+        assert_eq!(FsError::Conflict.to_string(), "ECONFLICT");
+    }
+}

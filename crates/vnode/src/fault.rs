@@ -1,0 +1,396 @@
+//! Deterministic fault-injection layer.
+//!
+//! The paper argues (§7) that optimistic reconciliation lets "failures occur
+//! more freely without as much special handling", because reconciliation
+//! cleans up afterwards. To *test* that claim, failure paths must be easy to
+//! provoke. [`FaultLayer`] interposes like any other layer and fails selected
+//! operations with a chosen error according to a schedule: every call, every
+//! n-th call, or the next k calls.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::api::{FileSystem, Vnode, VnodeRef};
+use crate::error::{FsError, FsResult};
+use crate::measure::Op;
+use crate::types::{
+    AccessMode, Credentials, DirEntry, FsStats, OpenFlags, SetAttr, VnodeAttr, VnodeType,
+};
+
+/// When the configured fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Never fire (the layer is dormant).
+    Never,
+    /// Fire on every matching call.
+    Always,
+    /// Fire on every `n`-th matching call (1-based; `EveryNth(3)` fails
+    /// calls 3, 6, 9, ...).
+    EveryNth(u64),
+    /// Fire on the next `k` matching calls, then go dormant.
+    NextN(u64),
+}
+
+/// Fault configuration: which operations fail, with what error, and when.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Operations subject to failure; empty means *all* operations.
+    pub ops: Vec<Op>,
+    /// Error returned when the fault fires.
+    pub error: FsError,
+    /// Firing schedule.
+    pub schedule: Schedule,
+}
+
+impl FaultPlan {
+    /// A dormant plan.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan {
+            ops: Vec::new(),
+            error: FsError::Io,
+            schedule: Schedule::Never,
+        }
+    }
+
+    /// Fail every call of `ops` with `error`.
+    #[must_use]
+    pub fn always(ops: Vec<Op>, error: FsError) -> Self {
+        FaultPlan {
+            ops,
+            error,
+            schedule: Schedule::Always,
+        }
+    }
+
+    fn matches(&self, op: Op) -> bool {
+        self.ops.is_empty() || self.ops.contains(&op)
+    }
+}
+
+struct FaultState {
+    plan: FaultPlan,
+    remaining: u64,
+}
+
+/// Shared fault controller; lets tests rearm the layer mid-run.
+pub struct FaultControl {
+    state: Mutex<FaultState>,
+    matched: AtomicU64,
+    fired: AtomicU64,
+}
+
+impl FaultControl {
+    fn new(plan: FaultPlan) -> Arc<Self> {
+        let remaining = match plan.schedule {
+            Schedule::NextN(k) => k,
+            _ => 0,
+        };
+        Arc::new(FaultControl {
+            state: Mutex::new(FaultState { plan, remaining }),
+            matched: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+        })
+    }
+
+    /// Replaces the active plan (and resets its schedule state).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let remaining = match plan.schedule {
+            Schedule::NextN(k) => k,
+            _ => 0,
+        };
+        *self.state.lock() = FaultState { plan, remaining };
+    }
+
+    /// Number of calls that matched the plan's operation set.
+    #[must_use]
+    pub fn matched(&self) -> u64 {
+        self.matched.load(Ordering::Relaxed)
+    }
+
+    /// Number of calls actually failed.
+    #[must_use]
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Decides whether `op` should fail now.
+    fn check(&self, op: Op) -> FsResult<()> {
+        let mut st = self.state.lock();
+        if !st.plan.matches(op) {
+            return Ok(());
+        }
+        let n = self.matched.fetch_add(1, Ordering::Relaxed) + 1;
+        let fire = match st.plan.schedule {
+            Schedule::Never => false,
+            Schedule::Always => true,
+            Schedule::EveryNth(k) => k > 0 && n.is_multiple_of(k),
+            Schedule::NextN(_) => {
+                if st.remaining > 0 {
+                    st.remaining -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if fire {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            Err(st.plan.error)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A layer that injects failures according to a [`FaultPlan`].
+pub struct FaultLayer {
+    lower: Arc<dyn FileSystem>,
+    control: Arc<FaultControl>,
+}
+
+impl FaultLayer {
+    /// Interposes a fault layer with `plan`; returns the layer and its
+    /// controller.
+    #[must_use]
+    pub fn new(lower: Arc<dyn FileSystem>, plan: FaultPlan) -> (Arc<Self>, Arc<FaultControl>) {
+        let control = FaultControl::new(plan);
+        let layer = Arc::new(FaultLayer {
+            lower,
+            control: Arc::clone(&control),
+        });
+        (layer, control)
+    }
+}
+
+impl FileSystem for FaultLayer {
+    fn root(&self) -> VnodeRef {
+        Arc::new(FaultVnode {
+            lower: self.lower.root(),
+            control: Arc::clone(&self.control),
+        })
+    }
+
+    fn statfs(&self) -> FsResult<FsStats> {
+        self.lower.statfs()
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        self.lower.sync()
+    }
+}
+
+/// A vnode of the fault layer.
+pub struct FaultVnode {
+    lower: VnodeRef,
+    control: Arc<FaultControl>,
+}
+
+impl FaultVnode {
+    fn wrap(&self, lower: VnodeRef) -> VnodeRef {
+        Arc::new(FaultVnode {
+            lower,
+            control: Arc::clone(&self.control),
+        })
+    }
+
+    fn unwrap_peer(peer: &VnodeRef) -> FsResult<&VnodeRef> {
+        peer.as_any()
+            .downcast_ref::<FaultVnode>()
+            .map(|n| &n.lower)
+            .ok_or(FsError::Xdev)
+    }
+}
+
+impl Vnode for FaultVnode {
+    fn kind(&self) -> VnodeType {
+        self.lower.kind()
+    }
+
+    fn fsid(&self) -> u64 {
+        self.lower.fsid()
+    }
+
+    fn fileid(&self) -> u64 {
+        self.lower.fileid()
+    }
+
+    fn getattr(&self, cred: &Credentials) -> FsResult<VnodeAttr> {
+        self.control.check(Op::Getattr)?;
+        self.lower.getattr(cred)
+    }
+
+    fn setattr(&self, cred: &Credentials, set: &SetAttr) -> FsResult<VnodeAttr> {
+        self.control.check(Op::Setattr)?;
+        self.lower.setattr(cred, set)
+    }
+
+    fn access(&self, cred: &Credentials, mode: AccessMode) -> FsResult<()> {
+        self.control.check(Op::Access)?;
+        self.lower.access(cred, mode)
+    }
+
+    fn open(&self, cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        self.control.check(Op::Open)?;
+        self.lower.open(cred, flags)
+    }
+
+    fn close(&self, cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        self.control.check(Op::Close)?;
+        self.lower.close(cred, flags)
+    }
+
+    fn read(&self, cred: &Credentials, offset: u64, len: usize) -> FsResult<Bytes> {
+        self.control.check(Op::Read)?;
+        self.lower.read(cred, offset, len)
+    }
+
+    fn write(&self, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.control.check(Op::Write)?;
+        self.lower.write(cred, offset, data)
+    }
+
+    fn fsync(&self, cred: &Credentials) -> FsResult<()> {
+        self.control.check(Op::Fsync)?;
+        self.lower.fsync(cred)
+    }
+
+    fn lookup(&self, cred: &Credentials, name: &str) -> FsResult<VnodeRef> {
+        self.control.check(Op::Lookup)?;
+        Ok(self.wrap(self.lower.lookup(cred, name)?))
+    }
+
+    fn create(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        self.control.check(Op::Create)?;
+        Ok(self.wrap(self.lower.create(cred, name, mode)?))
+    }
+
+    fn mkdir(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        self.control.check(Op::Mkdir)?;
+        Ok(self.wrap(self.lower.mkdir(cred, name, mode)?))
+    }
+
+    fn remove(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        self.control.check(Op::Remove)?;
+        self.lower.remove(cred, name)
+    }
+
+    fn rmdir(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        self.control.check(Op::Rmdir)?;
+        self.lower.rmdir(cred, name)
+    }
+
+    fn rename(&self, cred: &Credentials, from: &str, to_dir: &VnodeRef, to: &str) -> FsResult<()> {
+        self.control.check(Op::Rename)?;
+        let lower_to = Self::unwrap_peer(to_dir)?;
+        self.lower.rename(cred, from, lower_to, to)
+    }
+
+    fn link(&self, cred: &Credentials, target: &VnodeRef, name: &str) -> FsResult<()> {
+        self.control.check(Op::Link)?;
+        let lower_target = Self::unwrap_peer(target)?;
+        self.lower.link(cred, lower_target, name)
+    }
+
+    fn symlink(&self, cred: &Credentials, name: &str, target: &str) -> FsResult<VnodeRef> {
+        self.control.check(Op::Symlink)?;
+        Ok(self.wrap(self.lower.symlink(cred, name, target)?))
+    }
+
+    fn readlink(&self, cred: &Credentials) -> FsResult<String> {
+        self.control.check(Op::Readlink)?;
+        self.lower.readlink(cred)
+    }
+
+    fn readdir(&self, cred: &Credentials, cookie: u64, count: usize) -> FsResult<Vec<DirEntry>> {
+        self.control.check(Op::Readdir)?;
+        self.lower.readdir(cred, cookie, count)
+    }
+
+    fn ioctl(&self, cred: &Credentials, cmd: u32, data: &[u8]) -> FsResult<Vec<u8>> {
+        self.control.check(Op::Ioctl)?;
+        self.lower.ioctl(cred, cmd, data)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::SinkFs;
+
+    fn harness(plan: FaultPlan) -> (VnodeRef, Arc<FaultControl>) {
+        let bottom: Arc<dyn FileSystem> = Arc::new(SinkFs::new(1));
+        let (layer, control) = FaultLayer::new(bottom, plan);
+        (layer.root(), control)
+    }
+
+    #[test]
+    fn dormant_plan_never_fires() {
+        let (root, control) = harness(FaultPlan::none());
+        let cred = Credentials::root();
+        for _ in 0..5 {
+            root.getattr(&cred).unwrap();
+        }
+        assert_eq!(control.fired(), 0);
+        assert_eq!(control.matched(), 5);
+    }
+
+    #[test]
+    fn always_fails_selected_op_only() {
+        let (root, control) = harness(FaultPlan::always(vec![Op::Write], FsError::NoSpace));
+        let cred = Credentials::root();
+        root.getattr(&cred).unwrap();
+        let err = root.write(&cred, 0, b"x").unwrap_err();
+        assert_eq!(err, FsError::NoSpace);
+        assert_eq!(control.fired(), 1);
+    }
+
+    #[test]
+    fn every_nth_schedule() {
+        let (root, control) = harness(FaultPlan {
+            ops: vec![Op::Read],
+            error: FsError::Io,
+            schedule: Schedule::EveryNth(3),
+        });
+        let cred = Credentials::root();
+        let mut failures = 0;
+        for _ in 0..9 {
+            if root.read(&cred, 0, 1).is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 3);
+        assert_eq!(control.fired(), 3);
+    }
+
+    #[test]
+    fn next_n_then_recovers() {
+        let (root, control) = harness(FaultPlan {
+            ops: vec![],
+            error: FsError::TimedOut,
+            schedule: Schedule::NextN(2),
+        });
+        let cred = Credentials::root();
+        assert_eq!(root.getattr(&cred).unwrap_err(), FsError::TimedOut);
+        assert_eq!(root.getattr(&cred).unwrap_err(), FsError::TimedOut);
+        root.getattr(&cred).unwrap();
+        assert_eq!(control.fired(), 2);
+    }
+
+    #[test]
+    fn rearming_mid_run() {
+        let (root, control) = harness(FaultPlan::none());
+        let cred = Credentials::root();
+        root.getattr(&cred).unwrap();
+        control.set_plan(FaultPlan::always(vec![Op::Getattr], FsError::Io));
+        assert_eq!(root.getattr(&cred).unwrap_err(), FsError::Io);
+    }
+}

@@ -1,0 +1,46 @@
+//! The stackable vnode interface (Ficus paper, §2.1).
+//!
+//! Ficus is built from *stackable layers*: modules with symmetric interfaces,
+//! where the interface a module exports to the layer above is the same
+//! interface it consumes from the layer below. The paper adopts the SunOS
+//! vnode interface (Kleiman 1986) — "a set of about two dozen services,
+//! together with their calling syntax and parameters" — as that symmetric
+//! interface, and this crate defines its Rust rendition:
+//!
+//! * [`Vnode`] — the per-file object with the two-dozen operations
+//!   ([`Vnode::lookup`], [`Vnode::create`], [`Vnode::read`], ...).
+//! * [`FileSystem`] — the per-mount object handing out the root vnode.
+//! * [`null::NullLayer`] — a transparent pass-through layer; stacking `n` of
+//!   them measures exactly the per-crossing cost the paper quotes in §6
+//!   ("one additional procedure call, one pointer indirection, and storage
+//!   for another vnode block").
+//! * [`measure::MeasureLayer`] — counts every operation crossing it, used by
+//!   the benchmarks and by tests asserting which operations NFS swallows.
+//! * [`fault::FaultLayer`] — deterministic error injection for failure tests.
+//! * [`crypt::CryptLayer`] and [`authz::AuthLayer`] — the encryption and
+//!   user-authentication layers the paper forecasts for the architecture
+//!   (§1), demonstrating third-party extensibility.
+//!
+//! Layers compose by wrapping: a layer's vnode holds an `Arc` to the lower
+//! layer's vnode and forwards (or augments) each operation. Two-directory
+//! operations (`rename`, `link`) unwrap the peer vnode via
+//! [`Vnode::as_any`]; a peer from a foreign layer yields [`FsError::Xdev`],
+//! just as crossing mount points does in Unix.
+
+pub mod api;
+pub mod authz;
+pub mod crypt;
+pub mod error;
+pub mod fault;
+pub mod measure;
+pub mod null;
+pub mod syscall;
+pub mod testing;
+pub mod types;
+
+pub use api::{FileSystem, Vnode, VnodeRef};
+pub use error::{FsError, FsResult};
+pub use types::{
+    AccessMode, Credentials, DirEntry, FsStats, LogicalClock, OpenFlags, SetAttr, TimeSource,
+    Timestamp, VnodeAttr, VnodeType,
+};

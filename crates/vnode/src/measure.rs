@@ -1,0 +1,366 @@
+//! The measurement layer: counts every vnode operation that crosses it.
+//!
+//! The paper's development methodology (§5) ran layers at application level
+//! to observe their behavior; this layer is the reproduction's equivalent
+//! observation point. Benchmarks interpose it to count operations reaching a
+//! given depth of the stack (e.g. proving the NFS layer swallowed `open`,
+//! experiment E9), and tests use it to assert exactly which lower-layer
+//! traffic an upper layer generates.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::api::{FileSystem, Vnode, VnodeRef};
+use crate::error::{FsError, FsResult};
+use crate::types::{
+    AccessMode, Credentials, DirEntry, FsStats, OpenFlags, SetAttr, VnodeAttr, VnodeType,
+};
+
+/// Identifies one of the vnode operations for counting purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Op {
+    /// `getattr`
+    Getattr,
+    /// `setattr`
+    Setattr,
+    /// `access`
+    Access,
+    /// `open`
+    Open,
+    /// `close`
+    Close,
+    /// `read`
+    Read,
+    /// `write`
+    Write,
+    /// `fsync`
+    Fsync,
+    /// `lookup`
+    Lookup,
+    /// `create`
+    Create,
+    /// `mkdir`
+    Mkdir,
+    /// `remove`
+    Remove,
+    /// `rmdir`
+    Rmdir,
+    /// `rename`
+    Rename,
+    /// `link`
+    Link,
+    /// `symlink`
+    Symlink,
+    /// `readlink`
+    Readlink,
+    /// `readdir`
+    Readdir,
+    /// `ioctl`
+    Ioctl,
+}
+
+/// Number of countable operations.
+pub const OP_COUNT: usize = 19;
+
+/// All countable operations, in counter order.
+pub const ALL_OPS: [Op; OP_COUNT] = [
+    Op::Getattr,
+    Op::Setattr,
+    Op::Access,
+    Op::Open,
+    Op::Close,
+    Op::Read,
+    Op::Write,
+    Op::Fsync,
+    Op::Lookup,
+    Op::Create,
+    Op::Mkdir,
+    Op::Remove,
+    Op::Rmdir,
+    Op::Rename,
+    Op::Link,
+    Op::Symlink,
+    Op::Readlink,
+    Op::Readdir,
+    Op::Ioctl,
+];
+
+/// Shared operation counters.
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    counts: [AtomicU64; OP_COUNT],
+}
+
+impl OpCounters {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn bump(&self, op: Op) {
+        self.counts[op as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count observed for `op`.
+    #[must_use]
+    pub fn get(&self, op: Op) -> u64 {
+        self.counts[op as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total operations across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of all `(op, count)` pairs with non-zero counts.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(Op, u64)> {
+        ALL_OPS
+            .iter()
+            .filter_map(|&op| {
+                let n = self.get(op);
+                (n > 0).then_some((op, n))
+            })
+            .collect()
+    }
+}
+
+/// A layer that counts operations and forwards them unchanged.
+pub struct MeasureLayer {
+    lower: Arc<dyn FileSystem>,
+    counters: Arc<OpCounters>,
+}
+
+impl MeasureLayer {
+    /// Interposes a measurement layer over `lower`; returns the layer and
+    /// its counters.
+    #[must_use]
+    pub fn new(lower: Arc<dyn FileSystem>) -> (Arc<Self>, Arc<OpCounters>) {
+        let counters = OpCounters::new();
+        let layer = Arc::new(MeasureLayer {
+            lower,
+            counters: Arc::clone(&counters),
+        });
+        (layer, counters)
+    }
+}
+
+impl FileSystem for MeasureLayer {
+    fn root(&self) -> VnodeRef {
+        Arc::new(MeasureVnode {
+            lower: self.lower.root(),
+            counters: Arc::clone(&self.counters),
+        })
+    }
+
+    fn statfs(&self) -> FsResult<FsStats> {
+        self.lower.statfs()
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        self.lower.sync()
+    }
+}
+
+/// A vnode of the measurement layer.
+pub struct MeasureVnode {
+    lower: VnodeRef,
+    counters: Arc<OpCounters>,
+}
+
+impl MeasureVnode {
+    fn wrap(&self, lower: VnodeRef) -> VnodeRef {
+        Arc::new(MeasureVnode {
+            lower,
+            counters: Arc::clone(&self.counters),
+        })
+    }
+
+    fn unwrap_peer(peer: &VnodeRef) -> FsResult<&VnodeRef> {
+        peer.as_any()
+            .downcast_ref::<MeasureVnode>()
+            .map(|n| &n.lower)
+            .ok_or(FsError::Xdev)
+    }
+}
+
+impl Vnode for MeasureVnode {
+    fn kind(&self) -> VnodeType {
+        self.lower.kind()
+    }
+
+    fn fsid(&self) -> u64 {
+        self.lower.fsid()
+    }
+
+    fn fileid(&self) -> u64 {
+        self.lower.fileid()
+    }
+
+    fn getattr(&self, cred: &Credentials) -> FsResult<VnodeAttr> {
+        self.counters.bump(Op::Getattr);
+        self.lower.getattr(cred)
+    }
+
+    fn setattr(&self, cred: &Credentials, set: &SetAttr) -> FsResult<VnodeAttr> {
+        self.counters.bump(Op::Setattr);
+        self.lower.setattr(cred, set)
+    }
+
+    fn access(&self, cred: &Credentials, mode: AccessMode) -> FsResult<()> {
+        self.counters.bump(Op::Access);
+        self.lower.access(cred, mode)
+    }
+
+    fn open(&self, cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        self.counters.bump(Op::Open);
+        self.lower.open(cred, flags)
+    }
+
+    fn close(&self, cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        self.counters.bump(Op::Close);
+        self.lower.close(cred, flags)
+    }
+
+    fn read(&self, cred: &Credentials, offset: u64, len: usize) -> FsResult<Bytes> {
+        self.counters.bump(Op::Read);
+        self.lower.read(cred, offset, len)
+    }
+
+    fn write(&self, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.counters.bump(Op::Write);
+        self.lower.write(cred, offset, data)
+    }
+
+    fn fsync(&self, cred: &Credentials) -> FsResult<()> {
+        self.counters.bump(Op::Fsync);
+        self.lower.fsync(cred)
+    }
+
+    fn lookup(&self, cred: &Credentials, name: &str) -> FsResult<VnodeRef> {
+        self.counters.bump(Op::Lookup);
+        Ok(self.wrap(self.lower.lookup(cred, name)?))
+    }
+
+    fn create(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        self.counters.bump(Op::Create);
+        Ok(self.wrap(self.lower.create(cred, name, mode)?))
+    }
+
+    fn mkdir(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        self.counters.bump(Op::Mkdir);
+        Ok(self.wrap(self.lower.mkdir(cred, name, mode)?))
+    }
+
+    fn remove(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        self.counters.bump(Op::Remove);
+        self.lower.remove(cred, name)
+    }
+
+    fn rmdir(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        self.counters.bump(Op::Rmdir);
+        self.lower.rmdir(cred, name)
+    }
+
+    fn rename(&self, cred: &Credentials, from: &str, to_dir: &VnodeRef, to: &str) -> FsResult<()> {
+        self.counters.bump(Op::Rename);
+        let lower_to = Self::unwrap_peer(to_dir)?;
+        self.lower.rename(cred, from, lower_to, to)
+    }
+
+    fn link(&self, cred: &Credentials, target: &VnodeRef, name: &str) -> FsResult<()> {
+        self.counters.bump(Op::Link);
+        let lower_target = Self::unwrap_peer(target)?;
+        self.lower.link(cred, lower_target, name)
+    }
+
+    fn symlink(&self, cred: &Credentials, name: &str, target: &str) -> FsResult<VnodeRef> {
+        self.counters.bump(Op::Symlink);
+        Ok(self.wrap(self.lower.symlink(cred, name, target)?))
+    }
+
+    fn readlink(&self, cred: &Credentials) -> FsResult<String> {
+        self.counters.bump(Op::Readlink);
+        self.lower.readlink(cred)
+    }
+
+    fn readdir(&self, cred: &Credentials, cookie: u64, count: usize) -> FsResult<Vec<DirEntry>> {
+        self.counters.bump(Op::Readdir);
+        self.lower.readdir(cred, cookie, count)
+    }
+
+    fn ioctl(&self, cred: &Credentials, cmd: u32, data: &[u8]) -> FsResult<Vec<u8>> {
+        self.counters.bump(Op::Ioctl);
+        self.lower.ioctl(cred, cmd, data)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::SinkFs;
+
+    #[test]
+    fn counts_each_operation_once() {
+        let bottom: Arc<dyn FileSystem> = Arc::new(SinkFs::new(1));
+        let (layer, counters) = MeasureLayer::new(bottom);
+        let root = layer.root();
+        let cred = Credentials::root();
+
+        root.getattr(&cred).unwrap();
+        root.getattr(&cred).unwrap();
+        let f = root.lookup(&cred, "f").unwrap();
+        f.read(&cred, 0, 4).unwrap();
+        f.open(&cred, OpenFlags::read_only()).unwrap();
+        f.close(&cred, OpenFlags::read_only()).unwrap();
+
+        assert_eq!(counters.get(Op::Getattr), 2);
+        assert_eq!(counters.get(Op::Lookup), 1);
+        assert_eq!(counters.get(Op::Read), 1);
+        assert_eq!(counters.get(Op::Open), 1);
+        assert_eq!(counters.get(Op::Close), 1);
+        assert_eq!(counters.total(), 6);
+    }
+
+    #[test]
+    fn child_vnodes_share_counters() {
+        let bottom: Arc<dyn FileSystem> = Arc::new(SinkFs::new(1));
+        let (layer, counters) = MeasureLayer::new(bottom);
+        let root = layer.root();
+        let cred = Credentials::root();
+        let a = root.lookup(&cred, "a").unwrap();
+        let b = root.lookup(&cred, "b").unwrap();
+        a.getattr(&cred).unwrap();
+        b.getattr(&cred).unwrap();
+        assert_eq!(counters.get(Op::Getattr), 2);
+    }
+
+    #[test]
+    fn reset_and_snapshot() {
+        let bottom: Arc<dyn FileSystem> = Arc::new(SinkFs::new(1));
+        let (layer, counters) = MeasureLayer::new(bottom);
+        let root = layer.root();
+        root.getattr(&Credentials::root()).unwrap();
+        assert_eq!(counters.snapshot(), vec![(Op::Getattr, 1)]);
+        counters.reset();
+        assert_eq!(counters.total(), 0);
+        assert!(counters.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! The null (pass-through) layer.
+//!
+//! A [`NullLayer`] interposes transparently: every operation is forwarded to
+//! the identical operation one layer down. Its only cost is exactly what the
+//! paper quotes for a layer crossing (§6): *one additional procedure call,
+//! one pointer indirection, and storage for another vnode block* — here, the
+//! trait-object call, the `Arc` deref, and the [`NullVnode`] allocation.
+//!
+//! Benchmarks stack `n` null layers over a trivial bottom layer to measure
+//! the marginal crossing cost (experiment E1); tests use it to demonstrate
+//! that layers "can indeed be transparently inserted between other layers"
+//! (§7).
+
+use std::any::Any;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::api::{FileSystem, Vnode, VnodeRef};
+use crate::error::{FsError, FsResult};
+use crate::types::{
+    AccessMode, Credentials, DirEntry, FsStats, OpenFlags, SetAttr, VnodeAttr, VnodeType,
+};
+
+/// A file system layer that forwards everything to `lower`.
+pub struct NullLayer {
+    lower: Arc<dyn FileSystem>,
+}
+
+impl NullLayer {
+    /// Stacks a new null layer over `lower`.
+    #[must_use]
+    pub fn new(lower: Arc<dyn FileSystem>) -> Self {
+        NullLayer { lower }
+    }
+
+    /// Stacks `depth` null layers over `bottom`, returning the top.
+    #[must_use]
+    pub fn stack(bottom: Arc<dyn FileSystem>, depth: usize) -> Arc<dyn FileSystem> {
+        let mut fs = bottom;
+        for _ in 0..depth {
+            fs = Arc::new(NullLayer::new(fs));
+        }
+        fs
+    }
+}
+
+impl FileSystem for NullLayer {
+    fn root(&self) -> VnodeRef {
+        NullVnode::wrap(self.lower.root())
+    }
+
+    fn statfs(&self) -> FsResult<FsStats> {
+        self.lower.statfs()
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        self.lower.sync()
+    }
+}
+
+/// A vnode of the null layer: one pointer to the lower vnode.
+pub struct NullVnode {
+    lower: VnodeRef,
+}
+
+impl NullVnode {
+    /// Wraps a lower vnode in a null-layer vnode.
+    #[must_use]
+    pub fn wrap(lower: VnodeRef) -> VnodeRef {
+        Arc::new(NullVnode { lower })
+    }
+
+    /// Recovers the lower vnode from a peer handle of this layer.
+    fn unwrap_peer(peer: &VnodeRef) -> FsResult<&VnodeRef> {
+        peer.as_any()
+            .downcast_ref::<NullVnode>()
+            .map(|n| &n.lower)
+            .ok_or(FsError::Xdev)
+    }
+}
+
+impl Vnode for NullVnode {
+    fn kind(&self) -> VnodeType {
+        self.lower.kind()
+    }
+
+    fn fsid(&self) -> u64 {
+        self.lower.fsid()
+    }
+
+    fn fileid(&self) -> u64 {
+        self.lower.fileid()
+    }
+
+    fn getattr(&self, cred: &Credentials) -> FsResult<VnodeAttr> {
+        self.lower.getattr(cred)
+    }
+
+    fn setattr(&self, cred: &Credentials, set: &SetAttr) -> FsResult<VnodeAttr> {
+        self.lower.setattr(cred, set)
+    }
+
+    fn access(&self, cred: &Credentials, mode: AccessMode) -> FsResult<()> {
+        self.lower.access(cred, mode)
+    }
+
+    fn open(&self, cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        self.lower.open(cred, flags)
+    }
+
+    fn close(&self, cred: &Credentials, flags: OpenFlags) -> FsResult<()> {
+        self.lower.close(cred, flags)
+    }
+
+    fn read(&self, cred: &Credentials, offset: u64, len: usize) -> FsResult<Bytes> {
+        self.lower.read(cred, offset, len)
+    }
+
+    fn write(&self, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.lower.write(cred, offset, data)
+    }
+
+    fn fsync(&self, cred: &Credentials) -> FsResult<()> {
+        self.lower.fsync(cred)
+    }
+
+    fn lookup(&self, cred: &Credentials, name: &str) -> FsResult<VnodeRef> {
+        Ok(NullVnode::wrap(self.lower.lookup(cred, name)?))
+    }
+
+    fn create(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        Ok(NullVnode::wrap(self.lower.create(cred, name, mode)?))
+    }
+
+    fn mkdir(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
+        Ok(NullVnode::wrap(self.lower.mkdir(cred, name, mode)?))
+    }
+
+    fn remove(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        self.lower.remove(cred, name)
+    }
+
+    fn rmdir(&self, cred: &Credentials, name: &str) -> FsResult<()> {
+        self.lower.rmdir(cred, name)
+    }
+
+    fn rename(&self, cred: &Credentials, from: &str, to_dir: &VnodeRef, to: &str) -> FsResult<()> {
+        let lower_to = Self::unwrap_peer(to_dir)?;
+        self.lower.rename(cred, from, lower_to, to)
+    }
+
+    fn link(&self, cred: &Credentials, target: &VnodeRef, name: &str) -> FsResult<()> {
+        let lower_target = Self::unwrap_peer(target)?;
+        self.lower.link(cred, lower_target, name)
+    }
+
+    fn symlink(&self, cred: &Credentials, name: &str, target: &str) -> FsResult<VnodeRef> {
+        Ok(NullVnode::wrap(self.lower.symlink(cred, name, target)?))
+    }
+
+    fn readlink(&self, cred: &Credentials) -> FsResult<String> {
+        self.lower.readlink(cred)
+    }
+
+    fn readdir(&self, cred: &Credentials, cookie: u64, count: usize) -> FsResult<Vec<DirEntry>> {
+        self.lower.readdir(cred, cookie, count)
+    }
+
+    fn ioctl(&self, cred: &Credentials, cmd: u32, data: &[u8]) -> FsResult<Vec<u8>> {
+        // Unknown commands pass through, in the streams tradition.
+        self.lower.ioctl(cred, cmd, data)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::SinkFs;
+
+    #[test]
+    fn stack_depth_zero_is_bottom() {
+        let bottom: Arc<dyn FileSystem> = Arc::new(SinkFs::new(9));
+        let top = NullLayer::stack(Arc::clone(&bottom), 0);
+        assert_eq!(top.root().fsid(), 9);
+    }
+
+    #[test]
+    fn deep_stack_preserves_semantics() {
+        let bottom: Arc<dyn FileSystem> = Arc::new(SinkFs::new(5));
+        let top = NullLayer::stack(bottom, 8);
+        let root = top.root();
+        let cred = Credentials::root();
+        assert_eq!(root.fsid(), 5);
+        assert_eq!(root.kind(), VnodeType::Directory);
+        let child = root.lookup(&cred, "anything").unwrap();
+        assert_eq!(child.kind(), VnodeType::Regular);
+        let data = child.read(&cred, 0, 10).unwrap();
+        assert_eq!(data.len(), 10);
+    }
+
+    #[test]
+    fn rename_across_layer_types_is_xdev() {
+        let bottom: Arc<dyn FileSystem> = Arc::new(SinkFs::new(1));
+        let top = NullLayer::stack(Arc::clone(&bottom), 1);
+        let root = top.root();
+        // Peer directory straight from the bottom layer: a foreign vnode type.
+        let foreign = bottom.root();
+        let err = root
+            .rename(&Credentials::root(), "a", &foreign, "b")
+            .unwrap_err();
+        assert_eq!(err, FsError::Xdev);
+    }
+
+    #[test]
+    fn rename_within_same_layer_passes_through() {
+        let bottom: Arc<dyn FileSystem> = Arc::new(SinkFs::new(1));
+        let top = NullLayer::stack(bottom, 2);
+        let root = top.root();
+        let peer = top.root();
+        // SinkFs accepts any rename; success proves the unwrap chain worked
+        // through both null layers.
+        root.rename(&Credentials::root(), "a", &peer, "b").unwrap();
+    }
+}

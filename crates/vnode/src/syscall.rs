@@ -1,0 +1,380 @@
+//! A Unix-style system-call facade over any vnode stack.
+//!
+//! The top box of the paper's Figure 1 is "System Calls": the logical layer
+//! "presents its clients (normally the Unix system call family) with the
+//! abstraction that each file has only a single copy". This module is that
+//! client surface — a per-process view with a current working directory, a
+//! file-descriptor table, and path-based calls (`open`, `read`, `write`,
+//! `mkdir`, `unlink`, `rename`, ...) — usable over *any* [`FileSystem`]:
+//! a bare UFS, an NFS mount, or a full Ficus logical layer.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ficus_vnode::syscall::{OpenMode, Process};
+//! use ficus_vnode::testing::SinkFs;
+//! use ficus_vnode::Credentials;
+//!
+//! let mut p = Process::new(Arc::new(SinkFs::new(1)), Credentials::root());
+//! let fd = p.open("/anything", OpenMode::ReadWrite).unwrap();
+//! p.write(fd, b"hello").unwrap();
+//! p.close(fd).unwrap();
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::api::{resolve, split_parent, FileSystem, VnodeRef};
+use crate::error::{FsError, FsResult};
+use crate::types::{Credentials, DirEntry, OpenFlags, SetAttr, VnodeAttr};
+
+/// How a file is opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Existing file, read-only.
+    Read,
+    /// Existing file, read-write.
+    ReadWrite,
+    /// Create if missing, then read-write.
+    Create,
+    /// Create or truncate, then read-write.
+    CreateTruncate,
+    /// Existing file, write-only, position at end before every write.
+    Append,
+}
+
+impl OpenMode {
+    fn flags(self) -> OpenFlags {
+        match self {
+            OpenMode::Read => OpenFlags::read_only(),
+            OpenMode::ReadWrite | OpenMode::Create => OpenFlags::read_write(),
+            OpenMode::CreateTruncate => OpenFlags {
+                read: true,
+                write: true,
+                truncate: true,
+                append: false,
+            },
+            OpenMode::Append => OpenFlags {
+                read: false,
+                write: true,
+                truncate: false,
+                append: true,
+            },
+        }
+    }
+
+    fn writable(self) -> bool {
+        !matches!(self, OpenMode::Read)
+    }
+}
+
+/// A file descriptor.
+pub type Fd = u32;
+
+struct OpenFile {
+    vnode: VnodeRef,
+    mode: OpenMode,
+    offset: u64,
+}
+
+/// A per-process view of a file system: cwd + descriptor table.
+pub struct Process {
+    fs: Arc<dyn FileSystem>,
+    cred: Credentials,
+    cwd: String,
+    fds: HashMap<Fd, OpenFile>,
+    next_fd: Fd,
+}
+
+impl Process {
+    /// Creates a process rooted at `fs` with identity `cred`.
+    #[must_use]
+    pub fn new(fs: Arc<dyn FileSystem>, cred: Credentials) -> Self {
+        Process {
+            fs,
+            cred,
+            cwd: "/".to_owned(),
+            fds: HashMap::new(),
+            next_fd: 3, // 0-2 reserved, by tradition
+        }
+    }
+
+    /// The current working directory path.
+    #[must_use]
+    pub fn cwd(&self) -> &str {
+        &self.cwd
+    }
+
+    /// Changes the working directory.
+    pub fn chdir(&mut self, path: &str) -> FsResult<()> {
+        let abs = self.absolute(path);
+        let v = resolve(&self.fs.root(), &self.cred, &abs)?;
+        if !v.kind().is_directory_like() {
+            return Err(FsError::NotDir);
+        }
+        self.cwd = abs;
+        Ok(())
+    }
+
+    /// Number of open descriptors.
+    #[must_use]
+    pub fn open_count(&self) -> usize {
+        self.fds.len()
+    }
+
+    fn absolute(&self, path: &str) -> String {
+        if path.starts_with('/') {
+            path.to_owned()
+        } else if self.cwd.ends_with('/') {
+            format!("{}{}", self.cwd, path)
+        } else {
+            format!("{}/{}", self.cwd, path)
+        }
+    }
+
+    fn lookup_path(&self, path: &str) -> FsResult<VnodeRef> {
+        resolve(&self.fs.root(), &self.cred, &self.absolute(path))
+    }
+
+    fn parent_of(&self, path: &str) -> FsResult<(VnodeRef, String)> {
+        let abs = self.absolute(path);
+        let (parent, name) = split_parent(&abs).ok_or(FsError::Invalid)?;
+        let dir = resolve(&self.fs.root(), &self.cred, parent)?;
+        Ok((dir, name.to_owned()))
+    }
+
+    fn file(&mut self, fd: Fd) -> FsResult<&mut OpenFile> {
+        self.fds.get_mut(&fd).ok_or(FsError::Invalid)
+    }
+
+    // --- calls ------------------------------------------------------------
+
+    /// Opens `path`, returning a descriptor.
+    pub fn open(&mut self, path: &str, mode: OpenMode) -> FsResult<Fd> {
+        let vnode = match self.lookup_path(path) {
+            Ok(v) => {
+                if v.kind().is_directory_like() && mode.writable() {
+                    return Err(FsError::IsDir);
+                }
+                v
+            }
+            Err(FsError::NotFound)
+                if matches!(mode, OpenMode::Create | OpenMode::CreateTruncate) =>
+            {
+                let (dir, name) = self.parent_of(path)?;
+                dir.create(&self.cred, &name, 0o644)?
+            }
+            Err(e) => return Err(e),
+        };
+        vnode.open(&self.cred, mode.flags())?;
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(
+            fd,
+            OpenFile {
+                vnode,
+                mode,
+                offset: 0,
+            },
+        );
+        Ok(fd)
+    }
+
+    /// Closes a descriptor.
+    pub fn close(&mut self, fd: Fd) -> FsResult<()> {
+        let f = self.fds.remove(&fd).ok_or(FsError::Invalid)?;
+        f.vnode.close(&self.cred, f.mode.flags())
+    }
+
+    /// Reads up to `len` bytes at the descriptor's offset, advancing it.
+    pub fn read(&mut self, fd: Fd, len: usize) -> FsResult<Bytes> {
+        let cred = self.cred.clone();
+        let f = self.file(fd)?;
+        let data = f.vnode.read(&cred, f.offset, len)?;
+        f.offset += data.len() as u64;
+        Ok(data)
+    }
+
+    /// Writes at the descriptor's offset (or at EOF in append mode),
+    /// advancing it.
+    pub fn write(&mut self, fd: Fd, data: &[u8]) -> FsResult<usize> {
+        let cred = self.cred.clone();
+        let f = self.file(fd)?;
+        if !f.mode.writable() {
+            return Err(FsError::Access);
+        }
+        if f.mode == OpenMode::Append {
+            f.offset = f.vnode.getattr(&cred)?.size;
+        }
+        let n = f.vnode.write(&cred, f.offset, data)?;
+        f.offset += n as u64;
+        Ok(n)
+    }
+
+    /// Repositions a descriptor (absolute).
+    pub fn seek(&mut self, fd: Fd, offset: u64) -> FsResult<()> {
+        self.file(fd)?.offset = offset;
+        Ok(())
+    }
+
+    /// Forces a descriptor's file to stable storage.
+    pub fn fsync(&mut self, fd: Fd) -> FsResult<()> {
+        let cred = self.cred.clone();
+        self.file(fd)?.vnode.fsync(&cred)
+    }
+
+    /// `stat(2)` by path.
+    pub fn stat(&self, path: &str) -> FsResult<VnodeAttr> {
+        self.lookup_path(path)?.getattr(&self.cred)
+    }
+
+    /// `fstat(2)` by descriptor.
+    pub fn fstat(&mut self, fd: Fd) -> FsResult<VnodeAttr> {
+        let cred = self.cred.clone();
+        self.file(fd)?.vnode.getattr(&cred)
+    }
+
+    /// Truncates a path to `size`.
+    pub fn truncate(&self, path: &str, size: u64) -> FsResult<()> {
+        self.lookup_path(path)?
+            .setattr(&self.cred, &SetAttr::size(size))?;
+        Ok(())
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&self, path: &str, mode: u32) -> FsResult<()> {
+        let (dir, name) = self.parent_of(path)?;
+        dir.mkdir(&self.cred, &name, mode)?;
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&self, path: &str) -> FsResult<()> {
+        let (dir, name) = self.parent_of(path)?;
+        dir.rmdir(&self.cred, &name)
+    }
+
+    /// Removes a non-directory name.
+    pub fn unlink(&self, path: &str) -> FsResult<()> {
+        let (dir, name) = self.parent_of(path)?;
+        dir.remove(&self.cred, &name)
+    }
+
+    /// Renames `from` to `to`.
+    pub fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let (from_dir, from_name) = self.parent_of(from)?;
+        let (to_dir, to_name) = self.parent_of(to)?;
+        from_dir.rename(&self.cred, &from_name, &to_dir, &to_name)
+    }
+
+    /// Creates a hard link `new` to `existing`.
+    pub fn link(&self, existing: &str, new: &str) -> FsResult<()> {
+        let target = self.lookup_path(existing)?;
+        let (dir, name) = self.parent_of(new)?;
+        dir.link(&self.cred, &target, &name)
+    }
+
+    /// Creates a symlink at `path` pointing to `target`.
+    pub fn symlink(&self, target: &str, path: &str) -> FsResult<()> {
+        let (dir, name) = self.parent_of(path)?;
+        dir.symlink(&self.cred, &name, target)?;
+        Ok(())
+    }
+
+    /// Reads a symlink's target (without following it).
+    pub fn readlink(&self, path: &str) -> FsResult<String> {
+        let (dir, name) = self.parent_of(path)?;
+        let v = dir.lookup(&self.cred, &name)?;
+        v.readlink(&self.cred)
+    }
+
+    /// Lists a directory's entries.
+    pub fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let dir = self.lookup_path(path)?;
+        let mut out = Vec::new();
+        let mut cookie = 0;
+        loop {
+            let page = dir.readdir(&self.cred, cookie, 128)?;
+            if page.is_empty() {
+                return Ok(out);
+            }
+            cookie = page.last().expect("non-empty").cookie;
+            out.extend(page);
+        }
+    }
+
+    /// Convenience: reads a whole file by path.
+    pub fn read_file(&mut self, path: &str) -> FsResult<Vec<u8>> {
+        let fd = self.open(path, OpenMode::Read)?;
+        let size = self.fstat(fd)?.size as usize;
+        let data = self.read(fd, size)?;
+        self.close(fd)?;
+        Ok(data.to_vec())
+    }
+
+    /// Convenience: writes (create-or-truncate) a whole file by path.
+    pub fn write_file(&mut self, path: &str, data: &[u8]) -> FsResult<()> {
+        let fd = self.open(path, OpenMode::CreateTruncate)?;
+        self.write(fd, data)?;
+        self.close(fd)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::SinkFs;
+
+    fn proc_over_sink() -> Process {
+        Process::new(Arc::new(SinkFs::new(1)), Credentials::root())
+    }
+
+    #[test]
+    fn open_read_write_seek_close() {
+        let mut p = proc_over_sink();
+        let fd = p.open("/f", OpenMode::ReadWrite).unwrap();
+        assert_eq!(p.write(fd, b"abcd").unwrap(), 4);
+        p.seek(fd, 0).unwrap();
+        assert_eq!(p.read(fd, 2).unwrap().len(), 2);
+        p.fsync(fd).unwrap();
+        p.close(fd).unwrap();
+        assert_eq!(p.open_count(), 0);
+        assert_eq!(p.read(fd, 1).unwrap_err(), FsError::Invalid);
+        assert_eq!(p.close(fd).unwrap_err(), FsError::Invalid);
+    }
+
+    #[test]
+    fn descriptors_are_independent() {
+        let mut p = proc_over_sink();
+        let a = p.open("/a", OpenMode::ReadWrite).unwrap();
+        let b = p.open("/b", OpenMode::ReadWrite).unwrap();
+        assert_ne!(a, b);
+        p.write(a, b"xxxx").unwrap();
+        // b's offset is untouched.
+        assert_eq!(p.read(b, 1).unwrap().len(), 1);
+        p.close(a).unwrap();
+        p.close(b).unwrap();
+    }
+
+    #[test]
+    fn read_only_descriptor_refuses_writes() {
+        let mut p = proc_over_sink();
+        let fd = p.open("/f", OpenMode::Read).unwrap();
+        assert_eq!(p.write(fd, b"x").unwrap_err(), FsError::Access);
+    }
+
+    #[test]
+    fn cwd_and_relative_paths() {
+        let mut p = proc_over_sink();
+        assert_eq!(p.cwd(), "/");
+        p.chdir("/dir1/dir2").unwrap();
+        assert_eq!(p.cwd(), "/dir1/dir2");
+        // Relative opens resolve under the cwd (SinkFs accepts anything).
+        let fd = p.open("rel", OpenMode::Read).unwrap();
+        p.close(fd).unwrap();
+    }
+}

@@ -1,0 +1,239 @@
+//! Test and benchmark support: a trivial bottom layer.
+//!
+//! [`SinkFs`] is the cheapest possible [`FileSystem`]: its root accepts every
+//! name, data operations succeed with canned results, and nothing touches
+//! storage. Stacking utility layers over it isolates pure layer-crossing
+//! cost (experiment E1) from any substrate work, and gives the other layer
+//! tests a predictable floor.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::api::{FileSystem, Vnode, VnodeRef};
+use crate::error::{FsError, FsResult};
+use crate::types::{
+    AccessMode, Credentials, DirEntry, FsStats, OpenFlags, SetAttr, Timestamp, VnodeAttr,
+    VnodeType,
+};
+
+/// A do-nothing file system: the floor of a measurement stack.
+pub struct SinkFs {
+    fsid: u64,
+}
+
+impl SinkFs {
+    /// Creates a sink file system with the given `fsid`.
+    #[must_use]
+    pub fn new(fsid: u64) -> Self {
+        SinkFs { fsid }
+    }
+}
+
+impl FileSystem for SinkFs {
+    fn root(&self) -> VnodeRef {
+        Arc::new(SinkVnode {
+            fsid: self.fsid,
+            fileid: 2, // Unix root inode convention.
+            kind: VnodeType::Directory,
+        })
+    }
+
+    fn statfs(&self) -> FsResult<FsStats> {
+        Ok(FsStats {
+            total_blocks: u64::MAX,
+            free_blocks: u64::MAX,
+            total_inodes: u64::MAX,
+            free_inodes: u64::MAX,
+            block_size: 4096,
+        })
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        Ok(())
+    }
+}
+
+/// A vnode of [`SinkFs`].
+pub struct SinkVnode {
+    fsid: u64,
+    fileid: u64,
+    kind: VnodeType,
+}
+
+impl SinkVnode {
+    fn attr(&self) -> VnodeAttr {
+        VnodeAttr {
+            kind: self.kind,
+            mode: 0o777,
+            nlink: 1,
+            uid: 0,
+            gid: 0,
+            size: 0,
+            fsid: self.fsid,
+            fileid: self.fileid,
+            mtime: Timestamp::ZERO,
+            atime: Timestamp::ZERO,
+            ctime: Timestamp::ZERO,
+            blocks: 0,
+        }
+    }
+
+    fn child(&self, kind: VnodeType) -> VnodeRef {
+        Arc::new(SinkVnode {
+            fsid: self.fsid,
+            fileid: self.fileid.wrapping_mul(31).wrapping_add(7),
+            kind,
+        })
+    }
+}
+
+impl Vnode for SinkVnode {
+    fn kind(&self) -> VnodeType {
+        self.kind
+    }
+
+    fn fsid(&self) -> u64 {
+        self.fsid
+    }
+
+    fn fileid(&self) -> u64 {
+        self.fileid
+    }
+
+    fn getattr(&self, _cred: &Credentials) -> FsResult<VnodeAttr> {
+        Ok(self.attr())
+    }
+
+    fn setattr(&self, _cred: &Credentials, _set: &SetAttr) -> FsResult<VnodeAttr> {
+        Ok(self.attr())
+    }
+
+    fn access(&self, _cred: &Credentials, _mode: AccessMode) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn open(&self, _cred: &Credentials, _flags: OpenFlags) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn close(&self, _cred: &Credentials, _flags: OpenFlags) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn read(&self, _cred: &Credentials, _offset: u64, len: usize) -> FsResult<Bytes> {
+        Ok(Bytes::from(vec![0u8; len]))
+    }
+
+    fn write(&self, _cred: &Credentials, _offset: u64, data: &[u8]) -> FsResult<usize> {
+        Ok(data.len())
+    }
+
+    fn fsync(&self, _cred: &Credentials) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn lookup(&self, _cred: &Credentials, name: &str) -> FsResult<VnodeRef> {
+        if !self.kind.is_directory_like() {
+            return Err(FsError::NotDir);
+        }
+        // Names starting with "dir" resolve to directories so path-walking
+        // tests can descend; everything else is a regular file.
+        let kind = if name.starts_with("dir") {
+            VnodeType::Directory
+        } else {
+            VnodeType::Regular
+        };
+        Ok(self.child(kind))
+    }
+
+    fn create(&self, _cred: &Credentials, _name: &str, _mode: u32) -> FsResult<VnodeRef> {
+        Ok(self.child(VnodeType::Regular))
+    }
+
+    fn mkdir(&self, _cred: &Credentials, _name: &str, _mode: u32) -> FsResult<VnodeRef> {
+        Ok(self.child(VnodeType::Directory))
+    }
+
+    fn remove(&self, _cred: &Credentials, _name: &str) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn rmdir(&self, _cred: &Credentials, _name: &str) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn rename(
+        &self,
+        _cred: &Credentials,
+        _from: &str,
+        to_dir: &VnodeRef,
+        _to: &str,
+    ) -> FsResult<()> {
+        // Accept any peer of our own type; reject foreign layers.
+        if to_dir.as_any().downcast_ref::<SinkVnode>().is_none() {
+            return Err(FsError::Xdev);
+        }
+        Ok(())
+    }
+
+    fn link(&self, _cred: &Credentials, target: &VnodeRef, _name: &str) -> FsResult<()> {
+        if target.as_any().downcast_ref::<SinkVnode>().is_none() {
+            return Err(FsError::Xdev);
+        }
+        Ok(())
+    }
+
+    fn symlink(&self, _cred: &Credentials, _name: &str, _target: &str) -> FsResult<VnodeRef> {
+        Ok(self.child(VnodeType::Symlink))
+    }
+
+    fn readlink(&self, _cred: &Credentials) -> FsResult<String> {
+        if self.kind == VnodeType::Symlink {
+            Ok(String::new())
+        } else {
+            Err(FsError::Invalid)
+        }
+    }
+
+    fn readdir(&self, _cred: &Credentials, _cookie: u64, _count: usize) -> FsResult<Vec<DirEntry>> {
+        Ok(Vec::new())
+    }
+
+    fn ioctl(&self, _cred: &Credentials, _cmd: u32, _data: &[u8]) -> FsResult<Vec<u8>> {
+        // Bottom of the stack: nothing below to forward to.
+        Err(FsError::Unsupported)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_accepts_everything() {
+        let fs = SinkFs::new(42);
+        let root = fs.root();
+        let cred = Credentials::root();
+        assert_eq!(root.fsid(), 42);
+        assert_eq!(root.kind(), VnodeType::Directory);
+        let f = root.lookup(&cred, "whatever").unwrap();
+        assert_eq!(f.kind(), VnodeType::Regular);
+        assert_eq!(f.read(&cred, 0, 8).unwrap().len(), 8);
+        assert_eq!(f.write(&cred, 0, b"abc").unwrap(), 3);
+        assert!(f.lookup(&cred, "x").is_err());
+        assert_eq!(root.ioctl(&cred, 0, &[]).unwrap_err(), FsError::Unsupported);
+    }
+
+    #[test]
+    fn sink_statfs_and_sync() {
+        let fs = SinkFs::new(1);
+        assert_eq!(fs.statfs().unwrap().block_size, 4096);
+        fs.sync().unwrap();
+    }
+}

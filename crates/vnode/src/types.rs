@@ -1,0 +1,435 @@
+//! Value types carried across the vnode interface: attributes, credentials,
+//! open flags, directory entries, and the time source abstraction.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Microseconds since the start of the simulation (or of the process, for the
+/// default [`LogicalClock`]).
+///
+/// Real Ficus stored Unix timestamps; the reproduction keeps all time behind
+/// this newtype so the same layers run against either wall-clock time or the
+/// deterministic simulated clock from `ficus-net`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Adds a number of microseconds.
+    #[must_use]
+    pub fn plus_micros(self, us: u64) -> Self {
+        Timestamp(self.0 + us)
+    }
+
+    /// Microseconds elapsed since `earlier`, saturating at zero.
+    #[must_use]
+    pub fn micros_since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+/// Source of timestamps for file attributes and cache aging.
+pub trait TimeSource: Send + Sync {
+    /// Returns the current time.
+    fn now(&self) -> Timestamp;
+}
+
+/// A monotone counter clock: each call advances time by one microsecond.
+///
+/// This is the default time source when no simulated network clock is in
+/// play; it keeps `mtime` values distinct and totally ordered, which the
+/// logical layer's "most recent copy" tie-breaking relies on.
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    next: AtomicU64,
+}
+
+impl LogicalClock {
+    /// Creates a clock starting at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TimeSource for LogicalClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.next.fetch_add(1, AtomicOrdering::Relaxed))
+    }
+}
+
+/// The type of object a vnode names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VnodeType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+    /// A Ficus graft point (paper §4.3): "a special kind of directory".
+    ///
+    /// The UFS never produces this type; only the Ficus layers do. It rides
+    /// in the common type enum because graft points must cross the NFS layer
+    /// intact.
+    GraftPoint,
+}
+
+impl VnodeType {
+    /// Whether this vnode type behaves as a directory for name operations.
+    #[must_use]
+    pub fn is_directory_like(self) -> bool {
+        matches!(self, VnodeType::Directory | VnodeType::GraftPoint)
+    }
+}
+
+/// Attributes returned by [`crate::Vnode::getattr`] — the `vattr` struct of
+/// the SunOS interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VnodeAttr {
+    /// Object type.
+    pub kind: VnodeType,
+    /// Permission bits (low 12 bits of the Unix mode).
+    pub mode: u32,
+    /// Number of directory entries referring to the object.
+    pub nlink: u32,
+    /// Owner user id.
+    pub uid: u32,
+    /// Owner group id.
+    pub gid: u32,
+    /// File size in bytes.
+    pub size: u64,
+    /// Identifier of the containing file system (mount).
+    pub fsid: u64,
+    /// File identifier, unique within `fsid`.
+    pub fileid: u64,
+    /// Last data modification.
+    pub mtime: Timestamp,
+    /// Last access.
+    pub atime: Timestamp,
+    /// Last attribute change.
+    pub ctime: Timestamp,
+    /// Storage consumed, in 512-byte units (approximate).
+    pub blocks: u64,
+}
+
+impl VnodeAttr {
+    /// A template attribute for a new object of `kind` owned by `cred`.
+    #[must_use]
+    pub fn template(kind: VnodeType, mode: u32, cred: &Credentials, now: Timestamp) -> Self {
+        VnodeAttr {
+            kind,
+            mode: mode & 0o7777,
+            nlink: 1,
+            uid: cred.uid,
+            gid: cred.gid,
+            size: 0,
+            fsid: 0,
+            fileid: 0,
+            mtime: now,
+            atime: now,
+            ctime: now,
+            blocks: 0,
+        }
+    }
+}
+
+/// Attribute changes requested through [`crate::Vnode::setattr`].
+///
+/// `None` fields are left untouched, mirroring the `VA_*` mask convention.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetAttr {
+    /// New permission bits.
+    pub mode: Option<u32>,
+    /// New owner.
+    pub uid: Option<u32>,
+    /// New group.
+    pub gid: Option<u32>,
+    /// New size (truncate or extend with zeros).
+    pub size: Option<u64>,
+    /// Explicit modification time.
+    pub mtime: Option<Timestamp>,
+    /// Explicit access time.
+    pub atime: Option<Timestamp>,
+}
+
+impl SetAttr {
+    /// A `setattr` that only truncates/extends to `size`.
+    #[must_use]
+    pub fn size(size: u64) -> Self {
+        SetAttr {
+            size: Some(size),
+            ..Self::default()
+        }
+    }
+
+    /// A `setattr` that only changes the mode bits.
+    #[must_use]
+    pub fn mode(mode: u32) -> Self {
+        SetAttr {
+            mode: Some(mode),
+            ..Self::default()
+        }
+    }
+
+    /// Returns `true` if no field is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// Caller identity used for permission checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credentials {
+    /// Effective user id.
+    pub uid: u32,
+    /// Effective group id.
+    pub gid: u32,
+    /// Supplementary groups.
+    pub groups: Vec<u32>,
+}
+
+impl Credentials {
+    /// The superuser.
+    #[must_use]
+    pub fn root() -> Self {
+        Credentials {
+            uid: 0,
+            gid: 0,
+            groups: Vec::new(),
+        }
+    }
+
+    /// An ordinary user with a single group.
+    #[must_use]
+    pub fn user(uid: u32, gid: u32) -> Self {
+        Credentials {
+            uid,
+            gid,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Whether the credentials name the superuser.
+    #[must_use]
+    pub fn is_root(&self) -> bool {
+        self.uid == 0
+    }
+
+    /// Whether `gid` is the caller's effective or supplementary group.
+    #[must_use]
+    pub fn in_group(&self, gid: u32) -> bool {
+        self.gid == gid || self.groups.contains(&gid)
+    }
+}
+
+/// Access kinds checked by [`crate::Vnode::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessMode(u8);
+
+impl AccessMode {
+    /// Read permission.
+    pub const READ: AccessMode = AccessMode(0b100);
+    /// Write permission.
+    pub const WRITE: AccessMode = AccessMode(0b010);
+    /// Execute / search permission.
+    pub const EXEC: AccessMode = AccessMode(0b001);
+
+    /// Combines two access modes.
+    #[must_use]
+    pub fn union(self, other: AccessMode) -> AccessMode {
+        AccessMode(self.0 | other.0)
+    }
+
+    /// The raw rwx bit triple.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Checks this request against a mode-bit triple (e.g. `mode >> 6 & 7`).
+    #[must_use]
+    pub fn permitted_by(self, triple: u32) -> bool {
+        (u32::from(self.0) & triple) == u32::from(self.0)
+    }
+}
+
+/// Flags passed to [`crate::Vnode::open`] and [`crate::Vnode::close`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct OpenFlags {
+    /// Open for reading.
+    pub read: bool,
+    /// Open for writing.
+    pub write: bool,
+    /// Truncate on open.
+    pub truncate: bool,
+    /// Append mode.
+    pub append: bool,
+}
+
+impl OpenFlags {
+    /// Read-only open.
+    #[must_use]
+    pub fn read_only() -> Self {
+        OpenFlags {
+            read: true,
+            ..Self::default()
+        }
+    }
+
+    /// Read-write open.
+    #[must_use]
+    pub fn read_write() -> Self {
+        OpenFlags {
+            read: true,
+            write: true,
+            ..Self::default()
+        }
+    }
+
+    /// Write-only open.
+    #[must_use]
+    pub fn write_only() -> Self {
+        OpenFlags {
+            write: true,
+            ..Self::default()
+        }
+    }
+
+    /// Encodes the flags as four bits (used by the overloaded-lookup escape
+    /// described in paper §2.3 and by the NFS wire format).
+    #[must_use]
+    pub fn to_bits(self) -> u8 {
+        u8::from(self.read)
+            | u8::from(self.write) << 1
+            | u8::from(self.truncate) << 2
+            | u8::from(self.append) << 3
+    }
+
+    /// Decodes flags produced by [`OpenFlags::to_bits`].
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Self {
+        OpenFlags {
+            read: bits & 1 != 0,
+            write: bits & 2 != 0,
+            truncate: bits & 4 != 0,
+            append: bits & 8 != 0,
+        }
+    }
+}
+
+/// One entry returned by [`crate::Vnode::readdir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Component name.
+    pub name: String,
+    /// File identifier within the file system.
+    pub fileid: u64,
+    /// Object type.
+    pub kind: VnodeType,
+    /// Opaque resume cookie: pass to `readdir` to continue *after* this
+    /// entry.
+    pub cookie: u64,
+}
+
+/// File-system-wide statistics returned by [`crate::FileSystem::statfs`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsStats {
+    /// Total data blocks.
+    pub total_blocks: u64,
+    /// Free data blocks.
+    pub free_blocks: u64,
+    /// Total inodes.
+    pub total_inodes: u64,
+    /// Free inodes.
+    pub free_inodes: u64,
+    /// Block size in bytes.
+    pub block_size: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_clock_is_strictly_monotone() {
+        let c = LogicalClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp(100);
+        assert_eq!(t.plus_micros(50), Timestamp(150));
+        assert_eq!(t.plus_micros(50).micros_since(t), 50);
+        assert_eq!(t.micros_since(Timestamp(500)), 0);
+        assert_eq!(t.to_string(), "100us");
+    }
+
+    #[test]
+    fn open_flags_bits_round_trip() {
+        for bits in 0..16u8 {
+            let f = OpenFlags::from_bits(bits);
+            assert_eq!(f.to_bits(), bits);
+        }
+        assert_eq!(OpenFlags::read_only().to_bits(), 1);
+        assert_eq!(OpenFlags::read_write().to_bits(), 3);
+    }
+
+    #[test]
+    fn access_mode_checks_triples() {
+        assert!(AccessMode::READ.permitted_by(0b100));
+        assert!(!AccessMode::WRITE.permitted_by(0b100));
+        let rw = AccessMode::READ.union(AccessMode::WRITE);
+        assert!(rw.permitted_by(0b110));
+        assert!(!rw.permitted_by(0b010));
+    }
+
+    #[test]
+    fn credentials_groups() {
+        let mut c = Credentials::user(100, 10);
+        assert!(c.in_group(10));
+        assert!(!c.in_group(20));
+        c.groups.push(20);
+        assert!(c.in_group(20));
+        assert!(!c.is_root());
+        assert!(Credentials::root().is_root());
+    }
+
+    #[test]
+    fn setattr_constructors() {
+        assert_eq!(SetAttr::size(42).size, Some(42));
+        assert_eq!(SetAttr::mode(0o755).mode, Some(0o755));
+        assert!(SetAttr::default().is_empty());
+        assert!(!SetAttr::size(0).is_empty());
+    }
+
+    #[test]
+    fn template_masks_mode() {
+        let cred = Credentials::user(7, 8);
+        let a = VnodeAttr::template(VnodeType::Regular, 0o100644, &cred, Timestamp(9));
+        assert_eq!(a.mode, 0o644);
+        assert_eq!(a.uid, 7);
+        assert_eq!(a.gid, 8);
+        assert_eq!(a.mtime, Timestamp(9));
+    }
+
+    #[test]
+    fn graft_point_is_directory_like() {
+        assert!(VnodeType::Directory.is_directory_like());
+        assert!(VnodeType::GraftPoint.is_directory_like());
+        assert!(!VnodeType::Regular.is_directory_like());
+        assert!(!VnodeType::Symlink.is_directory_like());
+    }
+}

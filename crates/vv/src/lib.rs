@@ -1,0 +1,35 @@
+//! Version vectors for mutual-inconsistency detection.
+//!
+//! Ficus uses the version vector technique of Parker et al. (*Detection of
+//! Mutual Inconsistency in Distributed Systems*, IEEE TSE 1983) to detect
+//! concurrent, unsynchronized updates to file replicas managed by
+//! non-communicating physical layers (Ficus paper, §2.6 and §3.1).
+//!
+//! A version vector maps a replica identifier to the number of updates that
+//! replica has originated. Vectors form a join semi-lattice under pointwise
+//! maximum; comparison of two vectors classifies the update histories of two
+//! replicas as identical, dominating (one history is a prefix of the other),
+//! or *concurrent* (a genuine conflict that no serial history explains).
+//!
+//! # Examples
+//!
+//! ```
+//! use ficus_vv::{VersionVector, Ordering};
+//!
+//! let mut a = VersionVector::new();
+//! let mut b = VersionVector::new();
+//! a.increment(1); // replica 1 updates
+//! assert_eq!(a.compare(&b), Ordering::Dominates);
+//! b.increment(2); // replica 2 updates without seeing replica 1's update
+//! assert_eq!(a.compare(&b), Ordering::Concurrent);
+//! let joined = a.merged(&b);
+//! assert_eq!(joined.compare(&a), Ordering::Dominates);
+//! assert_eq!(joined.compare(&b), Ordering::Dominates);
+//! ```
+
+mod vector;
+
+pub use vector::{Ordering, ReplicaTag, VersionVector};
+
+#[cfg(test)]
+mod tests;

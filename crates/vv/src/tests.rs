@@ -1,0 +1,169 @@
+//! Unit and property tests for version vectors.
+
+use proptest::prelude::*;
+
+use crate::{Ordering, VersionVector};
+
+#[test]
+fn empty_vectors_are_equal() {
+    let a = VersionVector::new();
+    let b = VersionVector::new();
+    assert_eq!(a.compare(&b), Ordering::Equal);
+    assert!(a.is_empty());
+    assert_eq!(a.total(), 0);
+}
+
+#[test]
+fn increment_dominates_previous_state() {
+    let a = VersionVector::new();
+    let mut b = a.clone();
+    b.increment(7);
+    assert_eq!(b.compare(&a), Ordering::Dominates);
+    assert_eq!(a.compare(&b), Ordering::Dominated);
+    assert_eq!(b.get(7), 1);
+    assert_eq!(b.total(), 1);
+}
+
+#[test]
+fn divergent_updates_are_concurrent() {
+    let base = VersionVector::single(1);
+    let mut left = base.clone();
+    let mut right = base.clone();
+    left.increment(2);
+    right.increment(3);
+    assert_eq!(left.compare(&right), Ordering::Concurrent);
+    assert!(left.concurrent_with(&right));
+}
+
+#[test]
+fn merge_resolves_concurrency() {
+    let mut left = VersionVector::single(1);
+    let right = VersionVector::single(2);
+    assert!(left.concurrent_with(&right));
+    left.merge(&right);
+    assert!(left.covers(&right));
+    assert_eq!(left.get(1), 1);
+    assert_eq!(left.get(2), 1);
+}
+
+#[test]
+fn set_zero_removes_entry_for_canonical_form() {
+    let mut a = VersionVector::new();
+    a.set(5, 3);
+    a.set(5, 0);
+    assert_eq!(a, VersionVector::new());
+}
+
+#[test]
+fn reversed_ordering() {
+    assert_eq!(Ordering::Dominates.reversed(), Ordering::Dominated);
+    assert_eq!(Ordering::Dominated.reversed(), Ordering::Dominates);
+    assert_eq!(Ordering::Equal.reversed(), Ordering::Equal);
+    assert_eq!(Ordering::Concurrent.reversed(), Ordering::Concurrent);
+}
+
+#[test]
+fn display_is_sorted_and_compact() {
+    let mut v = VersionVector::new();
+    v.set(3, 2);
+    v.set(1, 9);
+    assert_eq!(v.to_string(), "<1:9,3:2>");
+}
+
+#[test]
+fn from_iterator_builds_canonical_vector() {
+    let v: VersionVector = vec![(2, 4), (9, 0), (1, 1)].into_iter().collect();
+    assert_eq!(v.get(2), 4);
+    assert_eq!(v.get(9), 0);
+    assert_eq!(v.width(), 2);
+}
+
+#[test]
+fn width_counts_distinct_replicas() {
+    let mut v = VersionVector::new();
+    v.increment(1);
+    v.increment(1);
+    v.increment(2);
+    assert_eq!(v.width(), 2);
+    assert_eq!(v.total(), 3);
+}
+
+#[test]
+fn single_is_one_increment() {
+    let mut manual = VersionVector::new();
+    manual.increment(4);
+    assert_eq!(VersionVector::single(4), manual);
+}
+
+/// Strategy producing small version vectors over a handful of replicas, so
+/// comparisons hit every branch with good probability.
+fn arb_vv() -> impl Strategy<Value = VersionVector> {
+    proptest::collection::btree_map(0u32..6, 0u64..5, 0..6)
+        .prop_map(|m| m.into_iter().collect::<VersionVector>())
+}
+
+proptest! {
+    /// compare is antisymmetric: swapping arguments reverses the ordering.
+    #[test]
+    fn prop_compare_antisymmetric(a in arb_vv(), b in arb_vv()) {
+        prop_assert_eq!(a.compare(&b), b.compare(&a).reversed());
+    }
+
+    /// Equal means structurally equal (vectors are kept canonical).
+    #[test]
+    fn prop_equal_is_structural(a in arb_vv(), b in arb_vv()) {
+        prop_assert_eq!(a.compare(&b) == Ordering::Equal, a == b);
+    }
+
+    /// The join is an upper bound of both operands.
+    #[test]
+    fn prop_merge_upper_bound(a in arb_vv(), b in arb_vv()) {
+        let j = a.merged(&b);
+        prop_assert!(j.covers(&a));
+        prop_assert!(j.covers(&b));
+    }
+
+    /// The join is the *least* upper bound: any other upper bound covers it.
+    #[test]
+    fn prop_merge_least_upper_bound(a in arb_vv(), b in arb_vv(), c in arb_vv()) {
+        let j = a.merged(&b);
+        if c.covers(&a) && c.covers(&b) {
+            prop_assert!(c.covers(&j));
+        }
+    }
+
+    /// Join is commutative, associative, and idempotent (semi-lattice laws).
+    #[test]
+    fn prop_lattice_laws(a in arb_vv(), b in arb_vv(), c in arb_vv()) {
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+        prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+        prop_assert_eq!(a.merged(&a), a.clone());
+    }
+
+    /// covers is a partial order: reflexive and transitive.
+    #[test]
+    fn prop_covers_partial_order(a in arb_vv(), b in arb_vv(), c in arb_vv()) {
+        prop_assert!(a.covers(&a));
+        if a.covers(&b) && b.covers(&c) {
+            prop_assert!(a.covers(&c));
+        }
+    }
+
+    /// Incrementing strictly increases the vector in the `covers` order.
+    #[test]
+    fn prop_increment_strictly_increases(a in arb_vv(), r in 0u32..6) {
+        let mut b = a.clone();
+        b.increment(r);
+        prop_assert_eq!(b.compare(&a), Ordering::Dominates);
+    }
+
+    /// Concurrency is symmetric and excluded by coverage.
+    #[test]
+    fn prop_concurrent_symmetric(a in arb_vv(), b in arb_vv()) {
+        prop_assert_eq!(a.concurrent_with(&b), b.concurrent_with(&a));
+        if a.covers(&b) || b.covers(&a) {
+            prop_assert!(!a.concurrent_with(&b));
+        }
+    }
+
+}

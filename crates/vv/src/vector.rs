@@ -1,0 +1,203 @@
+//! The [`VersionVector`] type and its lattice operations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+
+/// Identifier of the replica (volume replica, in Ficus terms) that originated
+/// an update.
+///
+/// The paper bounds the system at 2^32 replicas of a given file (§3.1,
+/// footnote 4), so a `u32` is exactly the identifier space Ficus supports.
+pub type ReplicaTag = u32;
+
+/// Result of comparing two version vectors.
+///
+/// The four cases partition all pairs of vectors: either the histories are
+/// identical, one strictly extends the other, or the histories diverged
+/// (concurrent update — a conflict under one-copy availability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ordering {
+    /// Both vectors record exactly the same update history.
+    Equal,
+    /// `self` has seen every update `other` has, and at least one more.
+    Dominates,
+    /// `other` has seen every update `self` has, and at least one more.
+    Dominated,
+    /// Each vector records updates the other has not seen.
+    Concurrent,
+}
+
+impl Ordering {
+    /// Returns the ordering with the roles of the two vectors exchanged.
+    #[must_use]
+    pub fn reversed(self) -> Self {
+        match self {
+            Ordering::Dominates => Ordering::Dominated,
+            Ordering::Dominated => Ordering::Dominates,
+            other => other,
+        }
+    }
+}
+
+/// A version vector: per-replica update counters forming a join semi-lattice.
+///
+/// Entries with a zero counter are never stored, so two vectors that record
+/// the same history always compare [`Ordering::Equal`] regardless of how they
+/// were produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct VersionVector {
+    counts: BTreeMap<ReplicaTag, u64>,
+}
+
+impl VersionVector {
+    /// Creates an empty vector (the bottom of the lattice: no updates seen).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a vector with a single entry, as produced by the first update
+    /// originated at `replica`.
+    #[must_use]
+    pub fn single(replica: ReplicaTag) -> Self {
+        let mut v = Self::new();
+        v.increment(replica);
+        v
+    }
+
+    /// Returns the update counter recorded for `replica` (zero if absent).
+    #[must_use]
+    pub fn get(&self, replica: ReplicaTag) -> u64 {
+        self.counts.get(&replica).copied().unwrap_or(0)
+    }
+
+    /// Records one more update originated at `replica`, returning the new
+    /// counter value.
+    pub fn increment(&mut self, replica: ReplicaTag) -> u64 {
+        let slot = self.counts.entry(replica).or_insert(0);
+        *slot += 1;
+        *slot
+    }
+
+    /// Sets the counter for `replica` explicitly.
+    ///
+    /// Setting zero removes the entry, preserving the canonical form relied
+    /// on by [`PartialEq`].
+    pub fn set(&mut self, replica: ReplicaTag, count: u64) {
+        if count == 0 {
+            self.counts.remove(&replica);
+        } else {
+            self.counts.insert(replica, count);
+        }
+    }
+
+    /// Returns `true` if no updates have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of distinct replicas that have originated updates.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of updates across all replicas.
+    ///
+    /// This is the length of the update history the vector summarizes, used
+    /// by the logical layer's "most recent copy" replica-selection heuristic
+    /// when histories are incomparable.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Iterates over `(replica, count)` pairs in replica order.
+    pub fn iter(&self) -> impl Iterator<Item = (ReplicaTag, u64)> + '_ {
+        self.counts.iter().map(|(&r, &c)| (r, c))
+    }
+
+    /// Compares two update histories.
+    #[must_use]
+    pub fn compare(&self, other: &Self) -> Ordering {
+        let mut self_ahead = false;
+        let mut other_ahead = false;
+        // Walk the union of keys; absent keys count as zero.
+        for &r in self.counts.keys().chain(other.counts.keys()) {
+            let a = self.get(r);
+            let b = other.get(r);
+            if a > b {
+                self_ahead = true;
+            } else if b > a {
+                other_ahead = true;
+            }
+            if self_ahead && other_ahead {
+                return Ordering::Concurrent;
+            }
+        }
+        match (self_ahead, other_ahead) {
+            (false, false) => Ordering::Equal,
+            (true, false) => Ordering::Dominates,
+            (false, true) => Ordering::Dominated,
+            (true, true) => unreachable!("early return above"),
+        }
+    }
+
+    /// Returns `true` if `self` records every update `other` does
+    /// (i.e. compares [`Ordering::Equal`] or [`Ordering::Dominates`]).
+    #[must_use]
+    pub fn covers(&self, other: &Self) -> bool {
+        matches!(self.compare(other), Ordering::Equal | Ordering::Dominates)
+    }
+
+    /// Returns `true` if the two histories diverged.
+    #[must_use]
+    pub fn concurrent_with(&self, other: &Self) -> bool {
+        self.compare(other) == Ordering::Concurrent
+    }
+
+    /// Merges `other` into `self` (pointwise maximum — the lattice join).
+    ///
+    /// Used when a conflict has been resolved, or when a replica adopts a
+    /// newer version during update propagation: the adopting replica's vector
+    /// becomes the join so the propagated state covers both histories.
+    pub fn merge(&mut self, other: &Self) {
+        for (&r, &c) in &other.counts {
+            let slot = self.counts.entry(r).or_insert(0);
+            *slot = (*slot).max(c);
+        }
+    }
+
+    /// Returns the join of the two vectors without mutating either.
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+}
+
+impl fmt::Display for VersionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, (r, c)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}:{c}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl FromIterator<(ReplicaTag, u64)> for VersionVector {
+    fn from_iter<T: IntoIterator<Item = (ReplicaTag, u64)>>(iter: T) -> Self {
+        let mut v = Self::new();
+        for (r, c) in iter {
+            v.set(r, c);
+        }
+        v
+    }
+}

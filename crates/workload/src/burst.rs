@@ -1,0 +1,78 @@
+//! Bursty update arrival generator (experiment E7).
+//!
+//! "Rapid propagation enhances the availability of the new version of the
+//! file; delayed propagation may reduce the overall propagation cost when
+//! updates are bursty" (§3.2). This generator produces the bursty side of
+//! that trade-off: trains of closely spaced updates separated by quiet
+//! gaps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates update timestamps (in microseconds) in bursts.
+#[derive(Debug, Clone)]
+pub struct BurstTrain {
+    /// Updates per burst.
+    pub burst_len: usize,
+    /// Spacing between updates inside a burst (µs).
+    pub intra_gap_us: u64,
+    /// Mean spacing between bursts (µs); actual gaps are uniform in
+    /// `[0.5x, 1.5x]`.
+    pub inter_gap_us: u64,
+}
+
+impl BurstTrain {
+    /// Generates the timestamps of `bursts` bursts starting at `start_us`.
+    #[must_use]
+    pub fn generate(&self, bursts: usize, start_us: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(bursts * self.burst_len);
+        let mut t = start_us;
+        for _ in 0..bursts {
+            for _ in 0..self.burst_len {
+                out.push(t);
+                t += self.intra_gap_us;
+            }
+            let jitter = rng.gen_range(self.inter_gap_us / 2..=self.inter_gap_us * 3 / 2);
+            t += jitter;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train() -> BurstTrain {
+        BurstTrain {
+            burst_len: 4,
+            intra_gap_us: 10,
+            inter_gap_us: 10_000,
+        }
+    }
+
+    #[test]
+    fn counts_and_monotonicity() {
+        let ts = train().generate(5, 100, 1);
+        assert_eq!(ts.len(), 20);
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ts[0], 100);
+    }
+
+    #[test]
+    fn bursts_are_dense_and_gaps_are_wide() {
+        let ts = train().generate(3, 0, 2);
+        // Within a burst: exactly intra_gap.
+        assert_eq!(ts[1] - ts[0], 10);
+        assert_eq!(ts[2] - ts[1], 10);
+        // Between bursts: much wider.
+        assert!(ts[4] - ts[3] >= 5_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(train().generate(4, 0, 7), train().generate(4, 0, 7));
+        assert_ne!(train().generate(4, 0, 7), train().generate(4, 0, 8));
+    }
+}

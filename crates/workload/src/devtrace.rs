@@ -1,0 +1,141 @@
+//! A synthetic software-development trace.
+//!
+//! The university workloads behind the paper's locality citations are
+//! dominated by edit/build cycles. This generator emits that shape: a
+//! project of source files; each cycle edits a few hot sources (Zipf-
+//! selected), then a "build" reads every source and rewrites the
+//! corresponding objects, then a "run" reads a handful of objects. The
+//! result is a reference stream with exactly the strong re-reference and
+//! directory locality Floyd measured, plus bursty writes for the
+//! propagation experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// One operation in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Rewrite a source file (an editor save).
+    EditSource(usize),
+    /// Read a source file (the compiler's input pass).
+    ReadSource(usize),
+    /// Rewrite an object file (compiler output).
+    WriteObject(usize),
+    /// Read an object file (the linker / test run).
+    ReadObject(usize),
+}
+
+/// The generator.
+pub struct DevTrace {
+    /// Number of source files (objects mirror them 1:1).
+    pub sources: usize,
+    /// Files edited per cycle (hot-set size).
+    pub edits_per_cycle: usize,
+    popularity: Zipf,
+    rng: StdRng,
+}
+
+impl DevTrace {
+    /// Creates a project with `sources` files; edits follow a Zipf
+    /// popularity (a few files get most of the churn).
+    #[must_use]
+    pub fn new(sources: usize, edits_per_cycle: usize, seed: u64) -> Self {
+        DevTrace {
+            sources,
+            edits_per_cycle,
+            popularity: Zipf::new(sources.max(1), 1.1),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Emits one edit/build/run cycle.
+    pub fn cycle(&mut self) -> Vec<TraceOp> {
+        let mut ops = Vec::new();
+        // Edit a few hot sources.
+        let mut edited = Vec::new();
+        for _ in 0..self.edits_per_cycle {
+            let s = self.popularity.sample(&mut self.rng);
+            if !edited.contains(&s) {
+                edited.push(s);
+            }
+            ops.push(TraceOp::EditSource(s));
+        }
+        // Incremental build: read every source, rewrite changed objects.
+        for s in 0..self.sources {
+            ops.push(TraceOp::ReadSource(s));
+            if edited.contains(&s) {
+                ops.push(TraceOp::WriteObject(s));
+            }
+        }
+        // Run: the linker / test harness touches a few objects.
+        for _ in 0..3.min(self.sources) {
+            let o = self.rng.gen_range(0..self.sources);
+            ops.push(TraceOp::ReadObject(o));
+        }
+        ops
+    }
+
+    /// Emits `n` cycles.
+    pub fn cycles(&mut self, n: usize) -> Vec<TraceOp> {
+        (0..n).flat_map(|_| self.cycle()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_shape() {
+        let mut t = DevTrace::new(10, 2, 1);
+        let ops = t.cycle();
+        let reads = ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::ReadSource(_)))
+            .count();
+        assert_eq!(reads, 10, "a build reads every source");
+        let writes = ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::WriteObject(_)))
+            .count();
+        assert!((1..=2).contains(&writes), "only edited objects rebuilt");
+        assert!(ops.iter().any(|o| matches!(o, TraceOp::ReadObject(_))));
+    }
+
+    #[test]
+    fn edits_concentrate_on_hot_files() {
+        let mut t = DevTrace::new(30, 3, 2);
+        let mut edit_counts = vec![0usize; 30];
+        for op in t.cycles(200) {
+            if let TraceOp::EditSource(s) = op {
+                edit_counts[s] += 1;
+            }
+        }
+        let hot: usize = edit_counts[..3].iter().sum();
+        let cold: usize = edit_counts[27..].iter().sum();
+        assert!(hot > cold * 3, "hot {hot} vs cold {cold}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DevTrace::new(8, 2, 7).cycles(5);
+        let b = DevTrace::new(8, 2, 7).cycles(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn indices_in_range() {
+        let mut t = DevTrace::new(5, 2, 3);
+        for op in t.cycles(50) {
+            let idx = match op {
+                TraceOp::EditSource(s)
+                | TraceOp::ReadSource(s)
+                | TraceOp::WriteObject(s)
+                | TraceOp::ReadObject(s) => s,
+            };
+            assert!(idx < 5);
+        }
+    }
+}

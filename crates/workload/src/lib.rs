@@ -1,0 +1,37 @@
+//! Workload generation for the Ficus experiments.
+//!
+//! The paper leans on the Rochester file-reference studies it cites
+//! (Floyd's TR-177/TR-179: *Short-term file reference patterns* and
+//! *Directory reference patterns in a UNIX environment*): general-purpose
+//! Unix usage shows "a strong degree of file reference locality", which is
+//! what makes the dual-mapping design affordable (§2.6) and warm opens free
+//! (§6). Since the original UCLA usage is not available, this crate
+//! synthesizes workloads with the properties those studies report:
+//!
+//! * [`zipf::Zipf`] — skewed popularity (a small hot set gets most
+//!   references).
+//! * [`locality::ReferenceGenerator`] — an LRU-stack model: with
+//!   probability `p_recent` the next reference re-touches one of the last
+//!   `stack_depth` files (geometric over the stack, favoring the most
+//!   recent), otherwise it draws from the Zipf base distribution; files are
+//!   grouped into directories so directory locality follows file locality.
+//! * [`burst::BurstTrain`] — bursty update arrivals for the propagation
+//!   experiment (E7): quiet gaps separating dense update bursts on one file.
+//! * [`partition::PartitionSchedule`] — random partition/heal event
+//!   sequences for availability and reconciliation experiments (E4, E5).
+//! * [`devtrace::DevTrace`] — edit/build/run cycles: the hot-set churn of
+//!   a software project, the workload shape behind the university traces.
+//!
+//! Every generator is seeded and deterministic.
+
+pub mod burst;
+pub mod devtrace;
+pub mod locality;
+pub mod partition;
+pub mod zipf;
+
+pub use burst::BurstTrain;
+pub use devtrace::{DevTrace, TraceOp};
+pub use locality::{FileRef, OpKind, ReferenceGenerator, TreeShape};
+pub use partition::{NetEvent, PartitionSchedule};
+pub use zipf::Zipf;

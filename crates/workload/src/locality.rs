@@ -1,0 +1,195 @@
+//! Floyd-style file/directory reference generator (LRU-stack model).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Shape of the synthetic file tree references are drawn over.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeShape {
+    /// Number of directories.
+    pub dirs: usize,
+    /// Files per directory.
+    pub files_per_dir: usize,
+}
+
+impl TreeShape {
+    /// Total number of files.
+    #[must_use]
+    pub fn total_files(&self) -> usize {
+        self.dirs * self.files_per_dir
+    }
+
+    /// Maps a flat file index to `(dir, file-within-dir)`.
+    #[must_use]
+    pub fn split(&self, flat: usize) -> (usize, usize) {
+        (flat / self.files_per_dir, flat % self.files_per_dir)
+    }
+}
+
+/// What the referencing process does to the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Open + read.
+    Read,
+    /// Open + write.
+    Write,
+}
+
+/// One generated reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileRef {
+    /// Directory index.
+    pub dir: usize,
+    /// File index within the directory.
+    pub file: usize,
+    /// Operation.
+    pub op: OpKind,
+}
+
+/// The reference generator.
+///
+/// With probability `p_recent` the next reference re-touches a recently
+/// used file (geometrically distributed over the LRU stack, depth-limited
+/// by `stack_depth`); otherwise it draws a fresh file from a Zipf base
+/// distribution. This reproduces the short-term locality Floyd measured:
+/// most references go to a small, recently-touched working set.
+pub struct ReferenceGenerator {
+    shape: TreeShape,
+    base: Zipf,
+    p_recent: f64,
+    p_write: f64,
+    stack_depth: usize,
+    stack: Vec<usize>, // most recent first, flat file ids
+    rng: StdRng,
+}
+
+impl ReferenceGenerator {
+    /// Creates a generator.
+    ///
+    /// `zipf_s` skews the base popularity; `p_recent` is the probability of
+    /// an LRU-stack hit; `p_write` the fraction of writes.
+    #[must_use]
+    pub fn new(
+        shape: TreeShape,
+        zipf_s: f64,
+        p_recent: f64,
+        p_write: f64,
+        stack_depth: usize,
+        seed: u64,
+    ) -> Self {
+        ReferenceGenerator {
+            shape,
+            base: Zipf::new(shape.total_files().max(1), zipf_s),
+            p_recent,
+            p_write,
+            stack_depth: stack_depth.max(1),
+            stack: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform-random generator with the same interface (the no-locality
+    /// control case for experiment E6).
+    #[must_use]
+    pub fn uniform(shape: TreeShape, p_write: f64, seed: u64) -> Self {
+        Self::new(shape, 0.0, 0.0, p_write, 1, seed)
+    }
+
+    /// Generates the next reference.
+    pub fn next_ref(&mut self) -> FileRef {
+        let flat = if !self.stack.is_empty() && self.rng.gen::<f64>() < self.p_recent {
+            // Geometric over the stack: position 0 (most recent) likeliest.
+            let mut pos = 0;
+            while pos + 1 < self.stack.len().min(self.stack_depth)
+                && self.rng.gen::<f64>() < 0.5
+            {
+                pos += 1;
+            }
+            self.stack[pos]
+        } else {
+            self.base.sample(&mut self.rng)
+        };
+        // Update the LRU stack.
+        self.stack.retain(|&f| f != flat);
+        self.stack.insert(0, flat);
+        self.stack.truncate(self.stack_depth * 4);
+
+        let (dir, file) = self.shape.split(flat);
+        let op = if self.rng.gen::<f64>() < self.p_write {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        };
+        FileRef { dir, file, op }
+    }
+
+    /// Generates a batch of references.
+    pub fn take(&mut self, n: usize) -> Vec<FileRef> {
+        (0..n).map(|_| self.next_ref()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    const SHAPE: TreeShape = TreeShape {
+        dirs: 20,
+        files_per_dir: 10,
+    };
+
+    #[test]
+    fn refs_stay_in_bounds() {
+        let mut g = ReferenceGenerator::new(SHAPE, 1.0, 0.7, 0.3, 16, 1);
+        for r in g.take(5000) {
+            assert!(r.dir < SHAPE.dirs);
+            assert!(r.file < SHAPE.files_per_dir);
+        }
+    }
+
+    #[test]
+    fn locality_workload_has_high_rereference_rate() {
+        let mut local = ReferenceGenerator::new(SHAPE, 1.0, 0.8, 0.3, 16, 2);
+        let mut uniform = ReferenceGenerator::uniform(SHAPE, 0.3, 2);
+        let rerefs = |refs: &[FileRef]| {
+            let mut last_seen: HashMap<(usize, usize), usize> = HashMap::new();
+            let mut hits = 0;
+            for (i, r) in refs.iter().enumerate() {
+                if let Some(&prev) = last_seen.get(&(r.dir, r.file)) {
+                    if i - prev <= 20 {
+                        hits += 1;
+                    }
+                }
+                last_seen.insert((r.dir, r.file), i);
+            }
+            hits
+        };
+        let local_hits = rerefs(&local.take(5000));
+        let uniform_hits = rerefs(&uniform.take(5000));
+        assert!(
+            local_hits > uniform_hits * 3,
+            "locality {local_hits} vs uniform {uniform_hits}"
+        );
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let mut g = ReferenceGenerator::new(SHAPE, 1.0, 0.5, 0.25, 8, 3);
+        let writes = g
+            .take(10_000)
+            .iter()
+            .filter(|r| r.op == OpKind::Write)
+            .count();
+        assert!((2_000..3_000).contains(&writes), "writes = {writes}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ReferenceGenerator::new(SHAPE, 1.0, 0.7, 0.3, 16, 9);
+        let mut b = ReferenceGenerator::new(SHAPE, 1.0, 0.7, 0.3, 16, 9);
+        assert_eq!(a.take(500), b.take(500));
+    }
+}

@@ -1,0 +1,134 @@
+//! Random partition/heal schedules (experiments E4/E5).
+//!
+//! "The frequency of communications outages rendering inaccessible some
+//! replicas in a large scale network ... make this optimistic scheme
+//! attractive" (§1 abstract). This generator scripts such outages against
+//! the simulated network: alternating healthy and partitioned intervals,
+//! with the partition of the host set resampled each time.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One network event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetEvent {
+    /// Split hosts into the given groups (hosts listed by id).
+    Partition(Vec<Vec<u32>>),
+    /// Restore full connectivity.
+    Heal,
+}
+
+/// A timed schedule of network events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSchedule {
+    /// `(time_us, event)` pairs in increasing time order.
+    pub events: Vec<(u64, NetEvent)>,
+}
+
+impl PartitionSchedule {
+    /// Generates `cycles` partition/heal cycles over `hosts` hosts.
+    ///
+    /// Each cycle: healthy for `healthy_us`, then partitioned (into 2..=
+    /// `max_groups` random groups) for `outage_us`.
+    #[must_use]
+    pub fn generate(
+        hosts: &[u32],
+        cycles: usize,
+        healthy_us: u64,
+        outage_us: u64,
+        max_groups: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        for _ in 0..cycles {
+            t += healthy_us;
+            let k = rng.gen_range(2..=max_groups.max(2));
+            let mut groups: Vec<Vec<u32>> = vec![Vec::new(); k];
+            for &h in hosts {
+                let g = rng.gen_range(0..k);
+                groups[g].push(h);
+            }
+            groups.retain(|g| !g.is_empty());
+            events.push((t, NetEvent::Partition(groups)));
+            t += outage_us;
+            events.push((t, NetEvent::Heal));
+        }
+        PartitionSchedule { events }
+    }
+
+    /// Fraction of total schedule time spent partitioned.
+    #[must_use]
+    pub fn outage_fraction(&self) -> f64 {
+        let mut partitioned_at: Option<u64> = None;
+        let mut outage = 0u64;
+        let mut end = 0u64;
+        for (t, e) in &self.events {
+            end = *t;
+            match e {
+                NetEvent::Partition(_) => partitioned_at = Some(*t),
+                NetEvent::Heal => {
+                    if let Some(start) = partitioned_at.take() {
+                        outage += t - start;
+                    }
+                }
+            }
+        }
+        if end == 0 {
+            0.0
+        } else {
+            outage as f64 / end as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_shape() {
+        let s = PartitionSchedule::generate(&[1, 2, 3, 4], 3, 1000, 500, 3, 1);
+        assert_eq!(s.events.len(), 6);
+        // Alternating partition / heal, increasing times.
+        for (i, (t, e)) in s.events.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(matches!(e, NetEvent::Partition(_)));
+            } else {
+                assert_eq!(*e, NetEvent::Heal);
+            }
+            if i > 0 {
+                assert!(*t > s.events[i - 1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_all_hosts() {
+        let hosts = [1, 2, 3, 4, 5];
+        let s = PartitionSchedule::generate(&hosts, 5, 100, 100, 4, 2);
+        for (_, e) in &s.events {
+            if let NetEvent::Partition(groups) = e {
+                let mut all: Vec<u32> = groups.iter().flatten().copied().collect();
+                all.sort_unstable();
+                assert_eq!(all, hosts);
+                assert!(groups.len() >= 2 || groups.len() == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn outage_fraction_matches_parameters() {
+        let s = PartitionSchedule::generate(&[1, 2], 10, 1000, 1000, 2, 3);
+        let f = s.outage_fraction();
+        assert!((f - 0.5).abs() < 0.01, "fraction {f}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = PartitionSchedule::generate(&[1, 2, 3], 4, 10, 10, 3, 9);
+        let b = PartitionSchedule::generate(&[1, 2, 3], 4, 10, 10, 3, 9);
+        assert_eq!(a, b);
+    }
+}

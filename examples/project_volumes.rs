@@ -1,0 +1,90 @@
+//! Volumes and autografting (paper §4).
+//!
+//! An administrator carves the name space into volumes with different
+//! replication factors — a widely replicated root, a project volume on two
+//! build machines, an archive volume on one — and grafts them into one
+//! seamless tree. A host that stores none of the volumes walks the whole
+//! tree transparently: each graft point it crosses autografts the target
+//! volume by reading the replicated `(replica, host)` list out of the graft
+//! point itself. Idle grafts are pruned and re-established on demand.
+//!
+//! Run with: `cargo run --example project_volumes`
+
+use ficus_repro::core::ids::ROOT_FILE;
+use ficus_repro::core::logical::LogicalParams;
+use ficus_repro::core::sim::{FicusWorld, WorldParams};
+use ficus_repro::net::HostId;
+use ficus_repro::vnode::api::resolve;
+use ficus_repro::vnode::{Credentials, FileSystem, TimeSource};
+
+fn main() {
+    let cred = Credentials::root();
+    let mut world = FicusWorld::new(WorldParams {
+        hosts: 4,
+        root_replica_hosts: vec![1, 2, 3, 4],
+        logical: LogicalParams {
+            graft_idle_us: 5_000_000, // prune grafts idle > 5 simulated sec
+        },
+        ..WorldParams::default()
+    });
+
+    // A project volume on the build machines (hosts 2 and 3), grafted at
+    // /projects, and an archive volume on host 4 grafted inside it.
+    let projects = world.create_volume(&[2, 3], ROOT_FILE, "projects").unwrap();
+    world.settle();
+    println!("created volume {projects} on hosts 2,3 — grafted at /projects");
+
+    let archive = world
+        .create_volume_in(projects, &[4], ROOT_FILE, "archive")
+        .unwrap();
+    world.settle();
+    println!("created volume {archive} on host 4 — grafted at /projects/archive");
+
+    // Populate through host 2.
+    let proj_root = resolve(&world.logical(HostId(2)).root(), &cred, "/projects").unwrap();
+    proj_root
+        .create(&cred, "Makefile", 0o644)
+        .unwrap()
+        .write(&cred, 0, b"all: ficus\n")
+        .unwrap();
+    let arch_root = resolve(
+        &world.logical(HostId(2)).root(),
+        &cred,
+        "/projects/archive",
+    )
+    .unwrap();
+    arch_root
+        .create(&cred, "v0.9.tar", 0o644)
+        .unwrap()
+        .write(&cred, 0, b"ancient bits")
+        .unwrap();
+    world.settle();
+    println!("populated /projects/Makefile and /projects/archive/v0.9.tar");
+
+    // Host 1 stores replicas of the ROOT volume only; everything under
+    // /projects reaches it via autografting.
+    let l1 = world.logical(HostId(1)).clone();
+    let tar = resolve(&l1.root(), &cred, "/projects/archive/v0.9.tar").unwrap();
+    println!(
+        "host h1 (no project/archive replicas) reads the archive: {:?}",
+        String::from_utf8_lossy(&tar.read(&cred, 0, 64).unwrap())
+    );
+    println!("h1 grafted volumes: {:?}", l1.grafted_volumes());
+    println!("h1 autografts performed: {}", l1.stats().autografts);
+
+    // Time passes; the grafts go idle and are quietly pruned (§4.4).
+    world.clock().advance(10_000_000);
+    let pruned = l1.prune_grafts();
+    println!(
+        "after 10 idle seconds, pruned {pruned} grafts; remaining: {:?}",
+        l1.grafted_volumes()
+    );
+
+    // A later access re-grafts on demand — no global state, no broadcast.
+    let makefile = resolve(&l1.root(), &cred, "/projects/Makefile").unwrap();
+    println!(
+        "re-access after pruning still works: {:?} (time now {})",
+        String::from_utf8_lossy(&makefile.read(&cred, 0, 64).unwrap()).trim(),
+        world.clock().now()
+    );
+}

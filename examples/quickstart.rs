@@ -1,0 +1,66 @@
+//! Quickstart: a three-host Ficus world in a few dozen lines.
+//!
+//! Builds the paper's Figure-2 stack on three simulated hosts (each with a
+//! disk, a UFS, a volume replica, and a logical layer), writes a file
+//! through one host's one-copy view, lets the daemons propagate it, and
+//! reads it back from every host.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ficus_repro::core::sim::{FicusWorld, WorldParams};
+use ficus_repro::net::HostId;
+use ficus_repro::vnode::{Credentials, FileSystem};
+
+fn main() {
+    let cred = Credentials::root();
+
+    // Three hosts, each storing a replica of the root volume.
+    let world = FicusWorld::new(WorldParams::default());
+    println!("built a Ficus world: hosts {:?}", world.host_ids());
+
+    // Host 1 sees a single-copy file system through its logical layer.
+    let root = world.logical(HostId(1)).root();
+    let readme = root.create(&cred, "README", 0o644).unwrap();
+    readme
+        .write(&cred, 0, b"Ficus: one logical copy, many physical replicas.\n")
+        .unwrap();
+    let docs = root.mkdir(&cred, "docs", 0o755).unwrap();
+    docs.create(&cred, "design.txt", 0o644)
+        .unwrap()
+        .write(&cred, 0, b"stackable layers over the vnode interface\n")
+        .unwrap();
+    println!("host h1 wrote /README and /docs/design.txt");
+
+    // Update notification + propagation + reconciliation daemons run.
+    world.settle();
+    println!("update propagation + reconciliation daemons settled");
+
+    // Every host now reads identical state through its own logical layer.
+    for h in world.host_ids() {
+        let root = world.logical(h).root();
+        let v = root.lookup(&cred, "README").unwrap();
+        let text = v.read(&cred, 0, 4096).unwrap();
+        println!("host {h} reads README: {:?}", String::from_utf8_lossy(&text).trim());
+    }
+
+    // One-copy availability: a fully partitioned host still works.
+    world.partition(&[&[HostId(1)], &[HostId(2), HostId(3)]]);
+    let lonely = world.logical(HostId(1)).root();
+    let readme = lonely.lookup(&cred, "README").unwrap();
+    readme
+        .setattr(&cred, &ficus_repro::vnode::SetAttr::size(0))
+        .unwrap();
+    readme
+        .write(&cred, 0, b"edited while disconnected\n")
+        .unwrap();
+    println!("host h1 updated README during a partition (one-copy availability)");
+
+    world.heal();
+    world.settle();
+    let v3 = world.logical(HostId(3)).root().lookup(&cred, "README").unwrap();
+    let text = v3.read(&cred, 0, 4096).unwrap();
+    println!(
+        "after healing, host h3 reads: {:?}",
+        String::from_utf8_lossy(&text).trim()
+    );
+}

@@ -1,0 +1,40 @@
+//! Umbrella crate for the Ficus replicated file system reproduction.
+//!
+//! This crate re-exports every workspace crate under one roof so the
+//! examples and integration tests (and downstream users who want the whole
+//! system) can depend on a single package. The individual crates mirror the
+//! layering of the original system — see `DESIGN.md` at the repository root.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ficus_repro::prelude::*;
+//!
+//! // A three-host replicated world; write through one host's one-copy
+//! // view, let the daemons settle, read back from another host.
+//! let world = FicusWorld::new(WorldParams::default());
+//! let cred = Credentials::root();
+//! let f = world.logical(HostId(1)).root().create(&cred, "hi", 0o644).unwrap();
+//! f.write(&cred, 0, b"replicated").unwrap();
+//! world.settle();
+//! let v = world.logical(HostId(3)).root().lookup(&cred, "hi").unwrap();
+//! assert_eq!(&v.read(&cred, 0, 16).unwrap()[..], b"replicated");
+//! ```
+
+pub use ficus_core as core;
+pub use ficus_net as net;
+pub use ficus_nfs as nfs;
+pub use ficus_replctl as replctl;
+pub use ficus_ufs as ufs;
+pub use ficus_vnode as vnode;
+pub use ficus_vv as vv;
+pub use ficus_workload as workload;
+
+/// Commonly used items, re-exported for examples and tests.
+pub mod prelude {
+    pub use ficus_core::sim::{FicusWorld, WorldParams};
+    pub use ficus_net::HostId;
+    pub use ficus_vnode::syscall::{OpenMode, Process};
+    pub use ficus_vnode::{Credentials, FileSystem, OpenFlags, Vnode, VnodeAttr, VnodeType};
+    pub use ficus_vv::{Ordering as VvOrdering, VersionVector};
+}

@@ -1,0 +1,131 @@
+//! Integration: crashes during replication activity.
+//!
+//! §7: "failures may occur more freely without as much special handling to
+//! ensure the integrity and consistency of the data structures environment.
+//! Reconciliation service cleans up later." We crash hosts at awkward
+//! moments, remount, run fsck, and let reconciliation repair the rest.
+
+use std::sync::Arc;
+
+use ficus_repro::core::access::LocalAccess;
+use ficus_repro::core::ids::{ReplicaId, VolumeName, ROOT_FILE};
+use ficus_repro::core::phys::{FicusPhysical, PhysParams};
+use ficus_repro::core::recon::reconcile_subtree;
+use ficus_repro::ufs::{fsck, Disk, Geometry, Ufs, UfsParams};
+use ficus_repro::vnode::{Credentials, FileSystem, LogicalClock, TimeSource, VnodeType};
+
+fn mk(me: u32, disk: Disk) -> (Arc<Ufs>, Arc<FicusPhysical>) {
+    let ufs = Arc::new(Ufs::format(disk, UfsParams::default()).unwrap());
+    let phys = FicusPhysical::create_volume(
+        Arc::clone(&ufs) as Arc<dyn FileSystem>,
+        "vol",
+        VolumeName::new(1, 1),
+        ReplicaId(me),
+        &[1, 2],
+        Arc::new(LogicalClock::new()) as Arc<dyn TimeSource>,
+        PhysParams::default(),
+    )
+    .unwrap();
+    (ufs, phys)
+}
+
+#[test]
+fn crash_and_remount_preserves_replica_state() {
+    let disk = Disk::new(Geometry::medium());
+    let (ufs, phys) = mk(1, disk.clone());
+    let f = phys.create(ROOT_FILE, "durable", VnodeType::Regular).unwrap();
+    phys.write(f, 0, b"must survive").unwrap();
+    let d = phys.mkdir(ROOT_FILE, "subdir").unwrap();
+    phys.create(d, "inner", VnodeType::Regular).unwrap();
+    ufs.sync().unwrap();
+
+    // Crash: volatile caches vanish.
+    ufs.crash();
+    drop(phys);
+
+    // The UFS structure is intact (synchronous metadata discipline).
+    assert!(fsck::check(&ufs).unwrap().is_clean());
+
+    // Remount the physical layer: index rebuilt by scan, shadows discarded.
+    let phys2 = FicusPhysical::mount(
+        Arc::clone(&ufs) as Arc<dyn FileSystem>,
+        "vol",
+        VolumeName::new(1, 1),
+        ReplicaId(1),
+        &[1, 2],
+        Arc::new(LogicalClock::new()) as Arc<dyn TimeSource>,
+        PhysParams::default(),
+    )
+    .unwrap();
+    assert_eq!(&phys2.read(f, 0, 100).unwrap()[..], b"must survive");
+    assert_eq!(phys2.lookup(d, "inner").unwrap().kind, VnodeType::Regular);
+    // And new ids never collide with pre-crash ones.
+    let g = phys2.create(ROOT_FILE, "fresh", VnodeType::Regular).unwrap();
+    assert_ne!(g, f);
+}
+
+#[test]
+fn reconciliation_repairs_a_replica_that_crashed_mid_divergence() {
+    let (ufs_a, a) = mk(1, Disk::new(Geometry::medium()));
+    let (_ufs_b, b) = mk(2, Disk::new(Geometry::medium()));
+
+    // Both replicas share a file.
+    let f = a.create(ROOT_FILE, "shared", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"v1").unwrap();
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+
+    // B moves ahead; A crashes with unflushed activity.
+    b.write(f, 0, b"v2 from b").unwrap();
+    let g = a.create(ROOT_FILE, "doomed-data", VnodeType::Regular).unwrap();
+    a.write(g, 0, b"not yet flushed").unwrap();
+    ufs_a.crash();
+
+    // A's structure is sound; its unflushed file data is zeros, but its
+    // version vector still records the update, so reconciliation knows B
+    // must pull A's (empty) content or vice versa — no corruption, no
+    // stuck state.
+    assert!(fsck::check(&ufs_a).unwrap().is_clean());
+
+    // A reconciles against B and picks up the newer shared content.
+    let stats = reconcile_subtree(&a, &LocalAccess::new(Arc::clone(&b))).unwrap();
+    assert!(stats.files_pulled >= 1);
+    assert_eq!(&a.read(f, 0, 100).unwrap()[..], b"v2 from b");
+
+    // And B adopts A's surviving name space (the entry survived; the data
+    // content is whatever the crash left — structure over bytes).
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+    assert!(b.lookup(ROOT_FILE, "doomed-data").is_ok());
+}
+
+#[test]
+fn world_host_crash_heals_via_settle() {
+    use ficus_repro::core::sim::{FicusWorld, WorldParams};
+    use ficus_repro::net::HostId;
+
+    let cred = Credentials::root();
+    let world = FicusWorld::new(WorldParams::default());
+    let root = world.logical(HostId(1)).root();
+    root.create(&cred, "pre-crash", 0o644)
+        .unwrap()
+        .write(&cred, 0, b"before")
+        .unwrap();
+    world.settle();
+
+    // Host 3's kernel panics: caches gone, host briefly down.
+    world.net().set_host_down(HostId(3), true);
+    world.host(HostId(3)).ufs.crash();
+    // Life goes on elsewhere.
+    root.create(&cred, "during-outage", 0o644).unwrap();
+    world.settle();
+
+    // Host 3 reboots; fsck is clean; reconciliation catches it up.
+    assert!(fsck::check(&world.host(HostId(3)).ufs).unwrap().is_clean());
+    world.net().set_host_down(HostId(3), false);
+    world.settle();
+    let v = world
+        .logical(HostId(3))
+        .root()
+        .lookup(&cred, "during-outage")
+        .unwrap();
+    v.getattr(&cred).unwrap();
+}

@@ -1,0 +1,154 @@
+//! Integration: error injection between layers.
+//!
+//! §7: the optimistic design means "failures may occur more freely without
+//! as much special handling to ensure the integrity and consistency of the
+//! data structures environment. Reconciliation service cleans up later."
+//! We interpose `FaultLayer` (a) between the physical layer and its UFS
+//! storage, and (b) between the NFS server and the physical layer, fail
+//! operations mid-protocol, and check that the system degrades to clean
+//! errors and recovers completely once the faults stop.
+
+use std::sync::Arc;
+
+use ficus_repro::core::access::VnodeAccess;
+use ficus_repro::core::ids::{ReplicaId, VolumeName, ROOT_FILE};
+use ficus_repro::core::phys::vnode::PhysFs;
+use ficus_repro::core::phys::{FicusPhysical, PhysParams};
+use ficus_repro::core::recon::reconcile_subtree;
+use ficus_repro::net::{HostId, Network, SimClock};
+use ficus_repro::nfs::client::{NfsClientFs, NfsClientParams};
+use ficus_repro::nfs::server::NfsServer;
+use ficus_repro::ufs::{Disk, Geometry, Ufs, UfsParams};
+use ficus_repro::vnode::fault::{FaultLayer, FaultPlan, Schedule};
+use ficus_repro::vnode::measure::Op;
+use ficus_repro::vnode::{FileSystem, FsError, LogicalClock, TimeSource, VnodeType};
+
+fn plain_phys(me: u32) -> Arc<FicusPhysical> {
+    let ufs = Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap();
+    FicusPhysical::create_volume(
+        Arc::new(ufs),
+        "vol",
+        VolumeName::new(1, 1),
+        ReplicaId(me),
+        &[1, 2],
+        Arc::new(LogicalClock::new()) as Arc<dyn TimeSource>,
+        PhysParams::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn storage_faults_surface_and_recovery_is_complete() {
+    // A physical layer whose UFS intermittently fails reads.
+    let ufs: Arc<dyn FileSystem> =
+        Arc::new(Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap());
+    let (faulty, control) = FaultLayer::new(ufs, FaultPlan::none());
+    let phys = FicusPhysical::create_volume(
+        faulty,
+        "vol",
+        VolumeName::new(1, 1),
+        ReplicaId(1),
+        &[1, 2],
+        Arc::new(LogicalClock::new()) as Arc<dyn TimeSource>,
+        PhysParams::default(),
+    )
+    .unwrap();
+    let f = phys.create(ROOT_FILE, "data", VnodeType::Regular).unwrap();
+    phys.write(f, 0, b"important").unwrap();
+
+    // Storage starts failing every read.
+    control.set_plan(FaultPlan::always(vec![Op::Read], FsError::Io));
+    assert_eq!(phys.read(f, 0, 10).unwrap_err(), FsError::Io);
+    assert!(phys.dir_entries(ROOT_FILE).is_err(), "dir loads fail too");
+
+    // The fault clears; everything is intact (no corruption from the
+    // failed attempts — they never wrote).
+    control.set_plan(FaultPlan::none());
+    assert_eq!(&phys.read(f, 0, 10).unwrap()[..], b"important");
+    let d = phys.dir_entries(ROOT_FILE).unwrap();
+    assert_eq!(d.live().count(), 1);
+}
+
+#[test]
+fn reconciliation_survives_mid_protocol_remote_faults() {
+    // The local replica reconciles against a remote whose export fails a
+    // burst of operations mid-pass: the pass errors out cleanly, a retry
+    // finishes the job, and the result equals a fault-free run.
+    let local = plain_phys(1);
+    let remote = plain_phys(2);
+    for i in 0..6 {
+        let f = remote
+            .create(ROOT_FILE, &format!("f{i}"), VnodeType::Regular)
+            .unwrap();
+        remote.write(f, 0, format!("payload {i}").as_bytes()).unwrap();
+    }
+    let (faulty_export, control) = FaultLayer::new(
+        PhysFs::new(Arc::clone(&remote)) as Arc<dyn FileSystem>,
+        FaultPlan {
+            ops: vec![Op::Read],
+            error: FsError::TimedOut,
+            schedule: Schedule::NextN(12), // a burst of failures, then calm
+        },
+    );
+    let access = VnodeAccess::new(ReplicaId(2), faulty_export.root());
+    // Retry the pass until it completes (the daemon's loop in miniature).
+    // Failed passes must leave the local replica in a state a later pass
+    // can finish from; partial progress made before each timeout sticks.
+    let mut attempts = 0;
+    let mut failures = 0;
+    loop {
+        attempts += 1;
+        assert!(attempts < 50, "recon never completed");
+        match reconcile_subtree(&local, &access) {
+            Ok(stats) if stats.quiescent() => break,
+            Ok(_) => continue,
+            Err(FsError::TimedOut) => {
+                failures += 1;
+                continue;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(failures >= 1, "the fault burst must have bitten at least once");
+    assert_eq!(control.fired(), 12, "the whole burst was consumed");
+    // Everything arrived intact.
+    for i in 0..6 {
+        let e = local.lookup(ROOT_FILE, &format!("f{i}")).unwrap();
+        assert_eq!(
+            &local.read(e.file, 0, 100).unwrap()[..],
+            format!("payload {i}").as_bytes()
+        );
+    }
+}
+
+#[test]
+fn nfs_client_faults_do_not_poison_the_server() {
+    // Faults between the NFS server and the exported stack: the client sees
+    // errors, the server-side state stays consistent, and later calls work.
+    let clock = SimClock::new();
+    let net = Network::fully_connected(clock);
+    let ufs: Arc<dyn FileSystem> =
+        Arc::new(Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap());
+    let (faulty, control) = FaultLayer::new(ufs, FaultPlan::none());
+    let server = NfsServer::new(faulty);
+    server.serve(&net, HostId(2));
+    let client = NfsClientFs::mount(
+        net,
+        HostId(1),
+        HostId(2),
+        NfsClientParams::uncached(),
+    )
+    .unwrap();
+    let cred = ficus_repro::vnode::Credentials::root();
+    let root = client.root();
+    let f = root.create(&cred, "f", 0o644).unwrap();
+    f.write(&cred, 0, b"before faults").unwrap();
+
+    control.set_plan(FaultPlan::always(vec![Op::Write], FsError::NoSpace));
+    assert_eq!(f.write(&cred, 0, b"during").unwrap_err(), FsError::NoSpace);
+
+    control.set_plan(FaultPlan::none());
+    assert_eq!(&f.read(&cred, 0, 100).unwrap()[..], b"before faults");
+    f.write(&cred, 0, b"after faults!").unwrap();
+    assert_eq!(&f.read(&cred, 0, 100).unwrap()[..], b"after faults!");
+}

