@@ -39,7 +39,11 @@ fn bench_merge(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("idempotent", n), &n, |b, &n| {
             let mut local = dir_with(n, 1);
             local.merge_from(&remote, ReplicaId(2), ReplicaId(1), &all);
-            b.iter(|| local.clone().merge_from(&remote, ReplicaId(2), ReplicaId(1), &all));
+            b.iter(|| {
+                local
+                    .clone()
+                    .merge_from(&remote, ReplicaId(2), ReplicaId(1), &all)
+            });
         });
     }
     group.finish();

@@ -20,9 +20,7 @@ use std::sync::Arc;
 use ficus_core::ids::{FicusFileId, ROOT_FILE};
 use ficus_core::phys::{FicusPhysical, PhysParams, StorageLayout};
 use ficus_ufs::{Disk, DiskStats, Geometry, Ufs, UfsParams};
-use ficus_vnode::{
-    Credentials, FileSystem, LogicalClock, OpenFlags, TimeSource, VnodeType,
-};
+use ficus_vnode::{Credentials, FileSystem, LogicalClock, OpenFlags, TimeSource, VnodeType};
 
 use crate::table::Table;
 

@@ -132,7 +132,9 @@ pub fn run() -> Table {
             ratio(c.shadow_writes as f64 / c.inplace_writes.max(1) as f64),
         ]);
     }
-    t.note("paper: cost 'usually small' but 'significant if updating a few points in a large file'");
+    t.note(
+        "paper: cost 'usually small' but 'significant if updating a few points in a large file'",
+    );
     t.note("the overhead ratio grows with file size for small updates and approaches 1x for full rewrites");
     t
 }

@@ -47,7 +47,12 @@ pub fn policies(n: usize) -> Vec<Box<dyn ReplicaControl>> {
 pub fn sweep(n: usize, model: FailureModel, seed: u64) -> Vec<(String, Availability)> {
     policies(n)
         .iter()
-        .map(|p| (p.name().to_owned(), measure(p.as_ref(), model, TRIALS, seed)))
+        .map(|p| {
+            (
+                p.name().to_owned(),
+                measure(p.as_ref(), model, TRIALS, seed),
+            )
+        })
         .collect()
 }
 
@@ -56,13 +61,7 @@ pub fn sweep(n: usize, model: FailureModel, seed: u64) -> Vec<(String, Availabil
 pub fn run() -> Table {
     let mut t = Table::new(
         "E4: read/update availability by policy (paper §1: one-copy strictly dominates)",
-        &[
-            "policy",
-            "replicas",
-            "model",
-            "read avail",
-            "update avail",
-        ],
+        &["policy", "replicas", "model", "read avail", "update avail"],
     );
     for &n in &[2usize, 3, 5, 8] {
         for (model, label) in [

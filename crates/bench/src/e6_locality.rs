@@ -118,7 +118,9 @@ pub fn measure_shape(
         dirs.push(dir);
         let mut row = Vec::new();
         for f in 0..shape.files_per_dir {
-            let file = phys.create(dir, &format!("file{f}"), VnodeType::Regular).unwrap();
+            let file = phys
+                .create(dir, &format!("file{f}"), VnodeType::Regular)
+                .unwrap();
             phys.write(file, 0, format!("contents of {d}/{f}").as_bytes())
                 .unwrap();
             row.push(file);
@@ -166,9 +168,9 @@ pub fn run() -> Table {
     );
     let nrefs = 6000;
     let dnlc = 256; // a few hundred translations, as in SunOS
-    // cache = 24 blocks is the constrained tier: smaller than the flat
-    // layout's single UFS directory (~30 blocks at this scale), the
-    // condition under which the Andrew prototype's dual mapping collapsed.
+                    // cache = 24 blocks is the constrained tier: smaller than the flat
+                    // layout's single UFS directory (~30 blocks at this scale), the
+                    // condition under which the Andrew prototype's dual mapping collapsed.
     for &cache in &[24usize, 128, 512] {
         for (layout, lname) in [(StorageLayout::Tree, "tree"), (StorageLayout::Flat, "flat")] {
             for (local, wname) in [(true, "locality"), (false, "uniform")] {

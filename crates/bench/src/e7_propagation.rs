@@ -17,7 +17,7 @@ use ficus_net::HostId;
 use ficus_vnode::{Credentials, FileSystem, TimeSource};
 use ficus_workload::BurstTrain;
 
-use crate::table::Table;
+use crate::table::{ratio, Table};
 
 /// One policy's measured outcome.
 #[derive(Debug, Clone, Copy)]
@@ -107,12 +107,98 @@ pub fn measure(policy: PropagationPolicy, bursts: usize, burst_len: usize) -> Pr
     }
 }
 
+/// Measured cost of one daemon pass draining `files` pending notes from a
+/// single origin, for one replica-access protocol variant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoteBatchingOutcome {
+    /// Notes the pass consumed.
+    pub notes_taken: u64,
+    /// File versions it pulled.
+    pub pulls: u64,
+    /// RPC calls the pass issued.
+    pub rpcs: u64,
+    /// Per-file protocol operations answered from bulk responses.
+    pub rpcs_saved: u64,
+}
+
+/// Host 1 updates every file of a fully-replicated 100-file directory;
+/// host 2's daemon then drains all the resulting notes in one pass. The
+/// batched protocol groups the notes by origin and asks for all the
+/// attribute sets in a single RPC.
+#[must_use]
+pub fn measure_note_batching(files: usize, batching: bool) -> NoteBatchingOutcome {
+    let cred = Credentials::root();
+    let w = FicusWorld::new(WorldParams {
+        batching,
+        ..WorldParams::default()
+    });
+    let root = w.logical(HostId(1)).root();
+    for i in 0..files {
+        root.create(&cred, &format!("f{i:03}"), 0o644)
+            .unwrap()
+            .write(&cred, 0, b"v1")
+            .unwrap();
+    }
+    w.settle();
+
+    for i in 0..files {
+        root.lookup(&cred, &format!("f{i:03}"))
+            .unwrap()
+            .write(&cred, 0, format!("v2 of {i}").as_bytes())
+            .unwrap();
+    }
+    w.deliver_notifications();
+    let before = w.net().stats();
+    let stats = w.run_propagation(HostId(2)).unwrap();
+    let traffic = w.net().stats().since(before);
+    NoteBatchingOutcome {
+        notes_taken: stats.notes_taken,
+        pulls: stats.files_pulled,
+        rpcs: traffic.rpcs,
+        rpcs_saved: stats.rpcs_saved,
+    }
+}
+
+/// Runs the E7 note-batching comparison and renders its table.
+#[must_use]
+pub fn run_batching() -> Table {
+    let mut t = Table::new(
+        "E7b: bulk vs per-file note draining (100 pending notes, one origin)",
+        &["protocol", "notes taken", "pulls", "rpcs", "rpcs saved"],
+    );
+    const FILES: usize = 100;
+    let per_file = measure_note_batching(FILES, false);
+    let batched = measure_note_batching(FILES, true);
+    for (name, o) in [("per-file", per_file), ("batched", batched)] {
+        t.row(vec![
+            name.into(),
+            o.notes_taken.to_string(),
+            o.pulls.to_string(),
+            o.rpcs.to_string(),
+            o.rpcs_saved.to_string(),
+        ]);
+    }
+    t.note(&format!(
+        "grouping a pass's notes by origin shares one bulk attribute fetch, cutting the drain {} ({} -> {} rpcs)",
+        ratio(per_file.rpcs as f64 / batched.rpcs.max(1) as f64),
+        per_file.rpcs,
+        batched.rpcs
+    ));
+    t
+}
+
 /// Runs E7 and renders its table.
 #[must_use]
 pub fn run() -> Table {
     let mut t = Table::new(
         "E7: propagation policy under bursty updates (paper §3.2: delay coalesces bursts)",
-        &["policy", "updates", "pulls/peer", "net KiB", "drain us/update"],
+        &[
+            "policy",
+            "updates",
+            "pulls/peer",
+            "net KiB",
+            "drain us/update",
+        ],
     );
     let bursts = 6;
     let burst_len = 8;
@@ -130,7 +216,9 @@ pub fn run() -> Table {
             format!("{:.0}", o.mean_staleness_us),
         ]);
     }
-    t.note("a delay exceeding the intra-burst gap (2ms) coalesces each 8-update burst toward one pull");
+    t.note(
+        "a delay exceeding the intra-burst gap (2ms) coalesces each 8-update burst toward one pull",
+    );
     t.note("immediate propagation pulls near one version per update per peer — maximal freshness, maximal cost");
     t
 }
@@ -154,8 +242,26 @@ mod tests {
     }
 
     #[test]
+    fn note_batching_at_least_halves_drain_rpcs() {
+        let per_file = measure_note_batching(100, false);
+        let batched = measure_note_batching(100, true);
+        assert_eq!(per_file.notes_taken, batched.notes_taken);
+        assert_eq!(per_file.pulls, batched.pulls, "same protocol outcome");
+        assert!(
+            per_file.rpcs >= 2 * batched.rpcs,
+            "batching saved too little: {} per-file rpcs vs {} batched",
+            per_file.rpcs,
+            batched.rpcs
+        );
+        assert!(batched.rpcs_saved > 0, "bulk fetches were exercised");
+    }
+
+    #[test]
     fn both_policies_eventually_replicate_everything() {
-        for policy in [PropagationPolicy::Immediate, PropagationPolicy::Delayed(30_000)] {
+        for policy in [
+            PropagationPolicy::Immediate,
+            PropagationPolicy::Delayed(30_000),
+        ] {
             let cred = Credentials::root();
             let w = FicusWorld::new(WorldParams {
                 propagation: policy,

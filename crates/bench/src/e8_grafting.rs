@@ -113,7 +113,9 @@ pub fn run() -> Table {
         ]);
     }
     t.note("cold resolution autografts each volume on the way (no global tables, no broadcast)");
-    t.note("pruned grafts re-establish on demand — the after-prune cost matches the cold cost's shape");
+    t.note(
+        "pruned grafts re-establish on demand — the after-prune cost matches the cold cost's shape",
+    );
     t
 }
 

@@ -20,9 +20,9 @@ use std::sync::Arc;
 
 use ficus_core::sim::{FicusWorld, WorldParams};
 use ficus_net::HostId;
+use ficus_net::{Network, SimClock};
 use ficus_nfs::client::{NfsClientFs, NfsClientParams};
 use ficus_nfs::server::NfsServer;
-use ficus_net::{Network, SimClock};
 use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
 use ficus_vnode::measure::{MeasureLayer, Op};
 use ficus_vnode::{Credentials, FileSystem, OpenFlags};
@@ -49,13 +49,7 @@ pub fn measure_plain_nfs(opens: u64) -> TunnelOutcome {
     let (measured, counters) = MeasureLayer::new(Arc::new(ufs));
     let server = NfsServer::new(measured);
     server.serve(&net, HostId(2));
-    let client = NfsClientFs::mount(
-        net,
-        HostId(1),
-        HostId(2),
-        NfsClientParams::default(),
-    )
-    .unwrap();
+    let client = NfsClientFs::mount(net, HostId(1), HostId(2), NfsClientParams::default()).unwrap();
     let cred = Credentials::root();
     let root = client.root();
     let f = root.create(&cred, "f", 0o644).unwrap();

@@ -9,14 +9,98 @@
 //! service" (§2.2). [`ReplicaAccess`] abstracts over the two so every
 //! algorithm above it is written once.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use ficus_nfs::client::NfsVnode;
+use ficus_nfs::wire::{Dec, Enc};
 use ficus_vnode::{Credentials, FsError, FsResult, VnodeRef};
 
 use crate::attrs::ReplAttrs;
 use crate::dirfile::FicusDir;
 use crate::ids::{FicusFileId, ReplicaId};
 use crate::phys::FicusPhysical;
+
+/// A directory snapshot bundled with the replication attributes of every
+/// live child — everything subtree reconciliation needs to decide, per
+/// child, whether any further fetch is required.
+///
+/// This is the payload of the `;f;dirx;<hex>` control name and the result
+/// of [`ReplicaAccess::fetch_dir_with_children`]. Children whose attributes
+/// cannot be read on the remote (e.g. removed between the directory read
+/// and the attribute read) are simply absent from `children`; callers treat
+/// absence the same way they would treat a per-file `NotFound`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirWithChildren {
+    /// The directory's entry set (live entries and tombstones).
+    pub entries: FicusDir,
+    /// The directory's own replication attributes.
+    pub attrs: ReplAttrs,
+    /// Replication attributes of each live child, keyed by file id.
+    pub children: BTreeMap<FicusFileId, ReplAttrs>,
+}
+
+impl DirWithChildren {
+    /// Reads a directory and all its live children's attributes from a
+    /// co-resident physical layer.
+    pub fn gather(phys: &FicusPhysical, dir: FicusFileId) -> FsResult<DirWithChildren> {
+        let entries = phys.dir_entries(dir)?;
+        let attrs = phys.repl_attrs(dir)?;
+        let mut children = BTreeMap::new();
+        for entry in entries.live() {
+            if let Ok(a) = phys.repl_attrs(entry.file) {
+                children.insert(entry.file, a);
+            }
+        }
+        Ok(DirWithChildren {
+            entries,
+            attrs,
+            children,
+        })
+    }
+
+    /// Serializes for the control plane.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        // The inner encodings reject trailing bytes, so each is framed.
+        e.bytes(&self.entries.encode());
+        e.bytes(&self.attrs.encode());
+        e.u32(self.children.len() as u32);
+        for (file, attrs) in &self.children {
+            e.u32(file.issuer.0);
+            e.u64(file.unique);
+            e.bytes(&attrs.encode());
+        }
+        e.finish()
+    }
+
+    /// Parses the control-plane payload.
+    pub fn decode(buf: &[u8]) -> FsResult<DirWithChildren> {
+        let mut d = Dec::new(buf);
+        let entries = FicusDir::decode(&d.bytes()?)?;
+        let attrs = ReplAttrs::decode(&d.bytes()?)?;
+        let n = d.u32()? as usize;
+        if n > 1 << 24 {
+            return Err(FsError::Io);
+        }
+        let mut children = BTreeMap::new();
+        for _ in 0..n {
+            let issuer = ReplicaId(d.u32()?);
+            let unique = d.u64()?;
+            let child = ReplAttrs::decode(&d.bytes()?)?;
+            children.insert(FicusFileId { issuer, unique }, child);
+        }
+        if !d.at_end() {
+            return Err(FsError::Io);
+        }
+        Ok(DirWithChildren {
+            entries,
+            attrs,
+            children,
+        })
+    }
+}
 
 /// Read access to one volume replica.
 pub trait ReplicaAccess: Send + Sync {
@@ -31,6 +115,40 @@ pub trait ReplicaAccess: Send + Sync {
 
     /// A directory's entry set plus its own replication attributes.
     fn fetch_dir(&self, dir: FicusFileId) -> FsResult<(FicusDir, ReplAttrs)>;
+
+    /// Replication attributes for a batch of files, one result per id in
+    /// request order. Failures are per-item: an id the remote has never
+    /// heard of yields `Err(NotFound)` in its slot; the call as a whole
+    /// fails only when the transport does.
+    ///
+    /// The default asks per file; transports with a bulk primitive override
+    /// this to answer the whole batch in one exchange.
+    fn fetch_attrs_bulk(&self, files: &[FicusFileId]) -> FsResult<Vec<FsResult<ReplAttrs>>> {
+        Ok(files.iter().map(|&f| self.fetch_attrs(f)).collect())
+    }
+
+    /// A directory's entry set and attributes plus the replication
+    /// attributes of all its live children, in as few exchanges as the
+    /// transport allows. See [`DirWithChildren`] for the absence semantics
+    /// of the `children` map.
+    fn fetch_dir_with_children(&self, dir: FicusFileId) -> FsResult<DirWithChildren> {
+        let (entries, attrs) = self.fetch_dir(dir)?;
+        let mut children = BTreeMap::new();
+        for entry in entries.live() {
+            match self.fetch_attrs(entry.file) {
+                Ok(a) => {
+                    children.insert(entry.file, a);
+                }
+                Err(FsError::NotFound) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(DirWithChildren {
+            entries,
+            attrs,
+            children,
+        })
+    }
 }
 
 /// Direct access to a co-resident physical layer.
@@ -65,6 +183,10 @@ impl ReplicaAccess for LocalAccess {
         let attrs = self.phys.repl_attrs(dir)?;
         Ok((entries, attrs))
     }
+
+    fn fetch_dir_with_children(&self, dir: FicusFileId) -> FsResult<DirWithChildren> {
+        DirWithChildren::gather(&self.phys, dir)
+    }
 }
 
 /// Access to a remote replica through its exported vnode root (typically an
@@ -73,16 +195,34 @@ pub struct VnodeAccess {
     replica: ReplicaId,
     root: VnodeRef,
     cred: Credentials,
+    batched: bool,
 }
 
 impl VnodeAccess {
     /// Wraps the root vnode of a (possibly remote) physical-layer export.
+    /// Uses the batched lookup-and-read RPC whenever the root turns out to
+    /// be an NFS-client vnode.
     #[must_use]
     pub fn new(replica: ReplicaId, root: VnodeRef) -> Self {
         VnodeAccess {
             replica,
             root,
             cred: Credentials::root(),
+            batched: true,
+        }
+    }
+
+    /// Like [`VnodeAccess::new`] but never batches: every question costs
+    /// its own lookup/getattr/read sequence. This is the pre-bulk protocol,
+    /// kept as the measurement baseline and as the wire-compatibility mode
+    /// for peers that predate [`Request::LookupReadMany`].
+    ///
+    /// [`Request::LookupReadMany`]: ficus_nfs::wire::Request::LookupReadMany
+    #[must_use]
+    pub fn per_file(replica: ReplicaId, root: VnodeRef) -> Self {
+        VnodeAccess {
+            batched: false,
+            ..VnodeAccess::new(replica, root)
         }
     }
 
@@ -90,6 +230,18 @@ impl VnodeAccess {
     fn slurp(&self, v: &VnodeRef) -> FsResult<Vec<u8>> {
         let size = v.getattr(&self.cred)?.size as usize;
         Ok(v.read(&self.cred, 0, size)?.to_vec())
+    }
+
+    /// Resolves-and-reads a batch of control names in one RPC, when the
+    /// root is an NFS-client vnode and batching is enabled. `None` means
+    /// the transport has no bulk primitive and the caller must fall back
+    /// to per-name lookups.
+    fn bulk_read(&self, names: &[String]) -> Option<FsResult<Vec<FsResult<Vec<u8>>>>> {
+        if !self.batched {
+            return None;
+        }
+        let nfs = self.root.as_any().downcast_ref::<NfsVnode>()?;
+        Some(nfs.lookup_read_many(&self.cred, names))
     }
 }
 
@@ -99,12 +251,26 @@ impl ReplicaAccess for VnodeAccess {
     }
 
     fn fetch_attrs(&self, file: FicusFileId) -> FsResult<ReplAttrs> {
-        let ctl = self.root.lookup(&self.cred, &format!(";f;vv;{}", file.hex()))?;
+        // Even a single attribute read wins from the bulk RPC: the per-file
+        // path costs lookup + getattr + read (three round trips), the bulk
+        // path one.
+        if let Some(items) = self.bulk_read(&[format!(";f;vv;{}", file.hex())]) {
+            let payload = items?.into_iter().next().ok_or(FsError::Io)??;
+            return ReplAttrs::decode(&payload);
+        }
+        let ctl = self
+            .root
+            .lookup(&self.cred, &format!(";f;vv;{}", file.hex()))?;
         ReplAttrs::decode(&self.slurp(&ctl)?)
     }
 
     fn fetch_data(&self, file: FicusFileId) -> FsResult<Vec<u8>> {
-        let v = self.root.lookup(&self.cred, &format!(";f;id;{}", file.hex()))?;
+        if let Some(items) = self.bulk_read(&[format!(";f;id;{}", file.hex())]) {
+            return items?.into_iter().next().ok_or(FsError::Io)?;
+        }
+        let v = self
+            .root
+            .lookup(&self.cred, &format!(";f;id;{}", file.hex()))?;
         self.slurp(&v)
     }
 
@@ -112,7 +278,8 @@ impl ReplicaAccess for VnodeAccess {
         let dv = if dir.is_root() {
             self.root.clone()
         } else {
-            self.root.lookup(&self.cred, &format!(";f;id;{}", dir.hex()))?
+            self.root
+                .lookup(&self.cred, &format!(";f;id;{}", dir.hex()))?
         };
         if !dv.kind().is_directory_like() {
             return Err(FsError::NotDir);
@@ -120,6 +287,40 @@ impl ReplicaAccess for VnodeAccess {
         let entries = FicusDir::decode(&self.slurp(&dv.lookup(&self.cred, ";f;dir")?)?)?;
         let attrs = ReplAttrs::decode(&self.slurp(&dv.lookup(&self.cred, ";f;dvv")?)?)?;
         Ok((entries, attrs))
+    }
+
+    fn fetch_attrs_bulk(&self, files: &[FicusFileId]) -> FsResult<Vec<FsResult<ReplAttrs>>> {
+        let names: Vec<String> = files.iter().map(|f| format!(";f;vv;{}", f.hex())).collect();
+        if let Some(items) = self.bulk_read(&names) {
+            return Ok(items?
+                .into_iter()
+                .map(|item| item.and_then(|payload| ReplAttrs::decode(&payload)))
+                .collect());
+        }
+        Ok(files.iter().map(|&f| self.fetch_attrs(f)).collect())
+    }
+
+    fn fetch_dir_with_children(&self, dir: FicusFileId) -> FsResult<DirWithChildren> {
+        if let Some(items) = self.bulk_read(&[format!(";f;dirx;{}", dir.hex())]) {
+            let payload = items?.into_iter().next().ok_or(FsError::Io)??;
+            return DirWithChildren::decode(&payload);
+        }
+        let (entries, attrs) = self.fetch_dir(dir)?;
+        let mut children = BTreeMap::new();
+        for entry in entries.live() {
+            match self.fetch_attrs(entry.file) {
+                Ok(a) => {
+                    children.insert(entry.file, a);
+                }
+                Err(FsError::NotFound) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(DirWithChildren {
+            entries,
+            attrs,
+            children,
+        })
     }
 }
 
@@ -180,8 +381,63 @@ mod tests {
         let p = phys();
         let acc = VnodeAccess::new(ReplicaId(1), PhysFs::new(p).root());
         assert_eq!(
-            acc.fetch_attrs(crate::ids::FicusFileId::new(9, 9)).unwrap_err(),
+            acc.fetch_attrs(crate::ids::FicusFileId::new(9, 9))
+                .unwrap_err(),
             FsError::NotFound
         );
+    }
+
+    #[test]
+    fn bulk_defaults_agree_with_per_file_calls() {
+        let p = phys();
+        let f = p.create(ROOT_FILE, "file", VnodeType::Regular).unwrap();
+        p.write(f, 0, b"payload").unwrap();
+        let d = p.mkdir(ROOT_FILE, "dir").unwrap();
+        let ghost = crate::ids::FicusFileId::new(9, 9);
+
+        let local = LocalAccess::new(Arc::clone(&p));
+        let via_vnode = VnodeAccess::new(ReplicaId(1), PhysFs::new(Arc::clone(&p)).root());
+
+        for acc in [&local as &dyn ReplicaAccess, &via_vnode] {
+            let batch = acc.fetch_attrs_bulk(&[f, ghost, d]).unwrap();
+            assert_eq!(batch.len(), 3);
+            assert_eq!(batch[0], acc.fetch_attrs(f));
+            assert_eq!(batch[1], Err(FsError::NotFound));
+            assert_eq!(batch[2], acc.fetch_attrs(d));
+
+            let dx = acc.fetch_dir_with_children(ROOT_FILE).unwrap();
+            let (entries, attrs) = acc.fetch_dir(ROOT_FILE).unwrap();
+            assert_eq!(dx.entries, entries);
+            assert_eq!(dx.attrs, attrs);
+            assert_eq!(dx.children.len(), 2);
+            assert_eq!(dx.children[&f], acc.fetch_attrs(f).unwrap());
+            assert_eq!(dx.children[&d], acc.fetch_attrs(d).unwrap());
+        }
+
+        // A file is not a directory, batched or not.
+        assert_eq!(
+            local.fetch_dir_with_children(f).unwrap_err(),
+            FsError::NotDir
+        );
+    }
+
+    #[test]
+    fn dir_with_children_round_trips_and_rejects_junk() {
+        let p = phys();
+        let f = p.create(ROOT_FILE, "file", VnodeType::Regular).unwrap();
+        p.write(f, 0, b"x").unwrap();
+        p.mkdir(ROOT_FILE, "dir").unwrap();
+
+        let dx = DirWithChildren::gather(&p, ROOT_FILE).unwrap();
+        let buf = dx.encode();
+        assert_eq!(DirWithChildren::decode(&buf).unwrap(), dx);
+
+        // Every truncation and any trailing garbage is rejected.
+        for cut in 0..buf.len() {
+            assert!(DirWithChildren::decode(&buf[..cut]).is_err(), "cut={cut}");
+        }
+        let mut long = buf;
+        long.push(0);
+        assert!(DirWithChildren::decode(&long).is_err());
     }
 }

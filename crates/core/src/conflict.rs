@@ -115,7 +115,11 @@ impl ConflictLog {
     /// Number of reports of one kind.
     #[must_use]
     pub fn count_kind(&self, kind: ConflictKind) -> usize {
-        self.reports.lock().iter().filter(|r| r.kind == kind).count()
+        self.reports
+            .lock()
+            .iter()
+            .filter(|r| r.kind == kind)
+            .count()
     }
 
     /// Clears the log (a resolved mailbox).
@@ -148,8 +152,24 @@ mod tests {
         let f2 = FicusFileId::new(1, 2);
         let r1 = sample(ConflictKind::ConcurrentUpdate, f1);
         let r2 = sample(ConflictKind::RemoveUpdate, f2);
-        log.report(r1.volume, r1.file, r1.kind, r1.detected_by, r1.other, r1.vv.clone(), r1.at);
-        log.report(r2.volume, r2.file, r2.kind, r2.detected_by, r2.other, r2.vv.clone(), r2.at);
+        log.report(
+            r1.volume,
+            r1.file,
+            r1.kind,
+            r1.detected_by,
+            r1.other,
+            r1.vv.clone(),
+            r1.at,
+        );
+        log.report(
+            r2.volume,
+            r2.file,
+            r2.kind,
+            r2.detected_by,
+            r2.other,
+            r2.vv.clone(),
+            r2.at,
+        );
         assert_eq!(log.len(), 2);
         assert_eq!(log.for_file(f1), vec![r1]);
         assert_eq!(log.count_kind(ConflictKind::RemoveUpdate), 1);

@@ -163,9 +163,7 @@ impl FicusDir {
     /// every replica resolves a conflicted name identically after merging.
     #[must_use]
     pub fn primary(&self, name: &str) -> Option<&FicusEntry> {
-        self.live()
-            .filter(|e| e.name == name)
-            .min_by_key(|e| e.id)
+        self.live().filter(|e| e.name == name).min_by_key(|e| e.id)
     }
 
     /// All live entries bearing `name` (more than one after a concurrent
@@ -292,8 +290,7 @@ impl FicusDir {
                             continue; // processed (and purged) here before
                         }
                         out.tombstoned.push(r.id);
-                        out.suspects
-                            .push((r.id, r.file, r.deleted_file_vv.clone()));
+                        out.suspects.push((r.id, r.file, r.deleted_file_vv.clone()));
                         self.entries.push(r.clone());
                         out.changed = true;
                     } else {
@@ -308,8 +305,7 @@ impl FicusDir {
                         l.death = Some(death);
                         l.deleted_file_vv = r.deleted_file_vv.clone();
                         out.tombstoned.push(r.id);
-                        out.suspects
-                            .push((r.id, r.file, r.deleted_file_vv.clone()));
+                        out.suspects.push((r.id, r.file, r.deleted_file_vv.clone()));
                         out.changed = true;
                     }
                 }

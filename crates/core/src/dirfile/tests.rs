@@ -41,13 +41,19 @@ impl Rep {
     fn create(&mut self, name: &str) -> Result<EntryId, FsError> {
         let id = self.stamp();
         let file = FicusFileId::new(self.me.0, id.seq + 1000);
-        self.dir
-            .insert(FicusEntry::live(name, file, VnodeType::Regular, id), self.me)?;
+        self.dir.insert(
+            FicusEntry::live(name, file, VnodeType::Regular, id),
+            self.me,
+        )?;
         Ok(id)
     }
 
     fn delete(&mut self, name: &str) -> Result<(), FsError> {
-        let target = self.dir.primary(name).map(|e| e.id).ok_or(FsError::NotFound)?;
+        let target = self
+            .dir
+            .primary(name)
+            .map(|e| e.id)
+            .ok_or(FsError::NotFound)?;
         let death = self.stamp();
         self.dir
             .tombstone(target, &VersionVector::new(), death, self.me)

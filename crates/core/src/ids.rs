@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn bad_hex_rejected() {
-        assert_eq!(FicusFileId::from_hex("short").unwrap_err(), FsError::Invalid);
+        assert_eq!(
+            FicusFileId::from_hex("short").unwrap_err(),
+            FsError::Invalid
+        );
         assert_eq!(
             FicusFileId::from_hex("zz0000000000000000000000").unwrap_err(),
             FsError::Invalid

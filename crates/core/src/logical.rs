@@ -267,7 +267,11 @@ impl LogicalInner {
 
     /// Establishes connections for `vol` at the given locations and records
     /// the graft.
-    fn graft(&self, vol: VolumeName, locations: Vec<(ReplicaId, HostId)>) -> FsResult<Vec<ReplicaConn>> {
+    fn graft(
+        &self,
+        vol: VolumeName,
+        locations: Vec<(ReplicaId, HostId)>,
+    ) -> FsResult<Vec<ReplicaConn>> {
         let mut conns = Vec::new();
         for &(replica, host) in &locations {
             match self.connector.connect(vol, replica, host) {
@@ -321,7 +325,11 @@ impl LogicalInner {
 
     /// Selects the replica with the most recent copy of `file` that is
     /// currently accessible (the default one-copy-availability read policy).
-    fn pick_read(&self, vol: VolumeName, file: FicusFileId) -> FsResult<(ReplicaConn, VersionVector)> {
+    fn pick_read(
+        &self,
+        vol: VolumeName,
+        file: FicusFileId,
+    ) -> FsResult<(ReplicaConn, VersionVector)> {
         self.stats.lock().selections += 1;
         let mut best: Option<(ReplicaConn, VersionVector)> = None;
         for conn in self.conns(vol)? {
@@ -339,8 +347,7 @@ impl LogicalInner {
                     } else {
                         // Incomparable histories: deterministic tie-break on
                         // history length, then replica id.
-                        let take_new = (attrs.vv.total(), conn.replica)
-                            > (bv.total(), bc.replica)
+                        let take_new = (attrs.vv.total(), conn.replica) > (bv.total(), bc.replica)
                             && attrs.vv.total() > bv.total();
                         if take_new {
                             (conn, attrs.vv)

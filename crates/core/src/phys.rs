@@ -514,7 +514,11 @@ impl FicusPhysical {
         scope.create(&self.cred, &file.hex(), 0o644)?;
         let mut attrs = ReplAttrs::new(kind);
         attrs.vv.increment(self.me.0);
-        self.write_named(&scope, &format!("{}{}", file.hex(), AUX_SUFFIX), &attrs.encode())?;
+        self.write_named(
+            &scope,
+            &format!("{}{}", file.hex(), AUX_SUFFIX),
+            &attrs.encode(),
+        )?;
         self.index.lock().insert(
             file,
             Loc {
@@ -583,7 +587,12 @@ impl FicusPhysical {
         Err(FsError::NotFound)
     }
 
-    fn make_dir_like(&self, dir: FicusFileId, name: &str, kind: VnodeType) -> FsResult<FicusFileId> {
+    fn make_dir_like(
+        &self,
+        dir: FicusFileId,
+        name: &str,
+        kind: VnodeType,
+    ) -> FsResult<FicusFileId> {
         let _g = self.big.lock();
         ficus_ufs::dir::check_name(name)?;
         let mut d = self.dir_entries(dir)?;
@@ -628,7 +637,11 @@ impl FicusPhysical {
                 );
             }
             StorageLayout::Flat => {
-                self.write_named(&self.base, &format!("{}.dir", file.hex()), &FicusDir::new().encode())?;
+                self.write_named(
+                    &self.base,
+                    &format!("{}.dir", file.hex()),
+                    &FicusDir::new().encode(),
+                )?;
                 self.write_named(
                     &self.base,
                     &format!("{}{}", file.hex(), AUX_SUFFIX),
@@ -716,7 +729,10 @@ impl FicusPhysical {
 
         let mut dst = self.dir_entries(to_dir)?;
         let new_id = EntryId::new(self.me.0, self.next_unique()?);
-        dst.insert(FicusEntry::live(to_name, entry.file, entry.kind, new_id), self.me)?;
+        dst.insert(
+            FicusEntry::live(to_name, entry.file, entry.kind, new_id),
+            self.me,
+        )?;
         self.store_dir_entries(to_dir, &dst)?;
         self.bump_vv(to_dir)?;
         Ok(())
@@ -955,7 +971,11 @@ impl FicusPhysical {
             vv: vv.clone(),
             conflict: false,
         };
-        self.write_named(&scope, &format!("{}{}", file.hex(), AUX_SUFFIX), &attrs.encode())?;
+        self.write_named(
+            &scope,
+            &format!("{}{}", file.hex(), AUX_SUFFIX),
+            &attrs.encode(),
+        )?;
         self.index.lock().insert(
             file,
             Loc {

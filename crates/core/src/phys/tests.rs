@@ -49,7 +49,9 @@ fn tree() -> Arc<FicusPhysical> {
 fn create_write_read_bumps_vv() {
     for layout in [StorageLayout::Tree, StorageLayout::Flat] {
         let (phys, _) = fresh(layout);
-        let f = phys.create(ROOT_FILE, "file.txt", VnodeType::Regular).unwrap();
+        let f = phys
+            .create(ROOT_FILE, "file.txt", VnodeType::Regular)
+            .unwrap();
         let vv0 = phys.file_vv(f).unwrap();
         assert_eq!(vv0.get(1), 1, "creation is the first update");
         phys.write(f, 0, b"hello").unwrap();
@@ -105,7 +107,9 @@ fn hex_names_used_on_ufs() {
         PhysParams::default(),
     )
     .unwrap();
-    let f = phys.create(ROOT_FILE, "visible-name", VnodeType::Regular).unwrap();
+    let f = phys
+        .create(ROOT_FILE, "visible-name", VnodeType::Regular)
+        .unwrap();
     let cred = Credentials::root();
     let base = ufs_fs.root().lookup(&cred, "vol").unwrap();
     // The UFS name is the hex of the file id; the client name is absent.
@@ -147,7 +151,10 @@ fn rename_keeps_file_id_and_tombstones_old_entry() {
     let f = phys.create(ROOT_FILE, "orig", VnodeType::Regular).unwrap();
     phys.write(f, 0, b"payload").unwrap();
     phys.rename(ROOT_FILE, "orig", d, "moved").unwrap();
-    assert_eq!(phys.lookup(ROOT_FILE, "orig").unwrap_err(), FsError::NotFound);
+    assert_eq!(
+        phys.lookup(ROOT_FILE, "orig").unwrap_err(),
+        FsError::NotFound
+    );
     let e = phys.lookup(d, "moved").unwrap();
     assert_eq!(e.file, f, "rename preserves file identity");
     assert_eq!(&phys.read(f, 0, 10).unwrap()[..], b"payload");
@@ -197,7 +204,8 @@ fn apply_remote_version_concurrent_is_conflict() {
     phys.write(f, 0, b"ours").unwrap();
     let foreign = VersionVector::single(2); // knows nothing of replica 1
     assert_eq!(
-        phys.apply_remote_version(f, &foreign, b"theirs").unwrap_err(),
+        phys.apply_remote_version(f, &foreign, b"theirs")
+            .unwrap_err(),
         FsError::Conflict
     );
     assert_eq!(&phys.read(f, 0, 100).unwrap()[..], b"ours");
@@ -224,7 +232,9 @@ fn shadow_commit_survives_crash_before_swap() {
     phys.write(f, 0, b"original").unwrap();
     let cred = Credentials::root();
     let base = ufs_fs.root().lookup(&cred, "vol").unwrap();
-    let shadow = base.create(&cred, &format!("{}.s", f.hex()), 0o600).unwrap();
+    let shadow = base
+        .create(&cred, &format!("{}.s", f.hex()), 0o600)
+        .unwrap();
     shadow.write(&cred, 0, b"half-propagated").unwrap();
     shadow.fsync(&cred).unwrap();
     drop(phys);
@@ -309,7 +319,9 @@ fn new_version_cache_dedups_and_times() {
 #[test]
 fn graft_point_pairs_round_trip() {
     let phys = tree();
-    let g = phys.make_graft_point(ROOT_FILE, "src", VolumeName::new(7, 9)).unwrap();
+    let g = phys
+        .make_graft_point(ROOT_FILE, "src", VolumeName::new(7, 9))
+        .unwrap();
     assert_eq!(phys.graft_target(g).unwrap(), VolumeName::new(7, 9));
     phys.graft_add_replica(g, ReplicaId(1), 10).unwrap();
     phys.graft_add_replica(g, ReplicaId(2), 20).unwrap();
@@ -349,7 +361,9 @@ fn merge_dir_applies_remote_activity() {
     a.write(f, 0, b"created at A").unwrap();
     let a_entries = a.dir_entries(ROOT_FILE).unwrap();
     let a_vv = a.file_vv(ROOT_FILE).unwrap();
-    let out = b.merge_dir(ROOT_FILE, &a_entries, ReplicaId(1), &a_vv).unwrap();
+    let out = b
+        .merge_dir(ROOT_FILE, &a_entries, ReplicaId(1), &a_vv)
+        .unwrap();
     assert_eq!(out.inserted.len(), 1);
     // B now sees the name (data arrives separately via file recon).
     assert_eq!(b.lookup(ROOT_FILE, "from-a").unwrap().file, f);
@@ -400,7 +414,10 @@ fn stash_and_resolve_update_conflict() {
         &phys.read_conflict_version(f, ReplicaId(2)).unwrap()[..],
         b"theirs"
     );
-    assert_eq!(phys.conflicts().count_kind(ConflictKind::ConcurrentUpdate), 1);
+    assert_eq!(
+        phys.conflicts().count_kind(ConflictKind::ConcurrentUpdate),
+        1
+    );
     // Owner resolves in favor of local content.
     phys.resolve_conflict(f, &their_vv).unwrap();
     let attrs = phys.repl_attrs(f).unwrap();
@@ -509,8 +526,13 @@ fn name_conflicts_readdir_disambiguation() {
     a.create(ROOT_FILE, "same", VnodeType::Regular).unwrap();
     b.create(ROOT_FILE, "same", VnodeType::Regular).unwrap();
     let b_entries = b.dir_entries(ROOT_FILE).unwrap();
-    a.merge_dir(ROOT_FILE, &b_entries, ReplicaId(2), &b.file_vv(ROOT_FILE).unwrap())
-        .unwrap();
+    a.merge_dir(
+        ROOT_FILE,
+        &b_entries,
+        ReplicaId(2),
+        &b.file_vv(ROOT_FILE).unwrap(),
+    )
+    .unwrap();
 
     let fs = PhysFs::new(Arc::clone(&a));
     let cred = Credentials::root();

@@ -162,6 +162,11 @@ impl PhysVnode {
             let attrs = self.phys.repl_attrs(file)?;
             return Ok(self.ctl(attrs.encode()));
         }
+        if let Some(hex) = rest.strip_prefix("dirx;") {
+            let dir = FicusFileId::from_hex(hex)?;
+            let dx = crate::access::DirWithChildren::gather(&self.phys, dir)?;
+            return Ok(self.ctl(dx.encode()));
+        }
         if let Some(hex) = rest.strip_prefix("id;") {
             let file = FicusFileId::from_hex(hex)?;
             let attrs = self.phys.repl_attrs(file)?;

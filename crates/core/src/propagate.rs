@@ -26,7 +26,7 @@ use ficus_vnode::{FsError, FsResult, Timestamp};
 
 use crate::access::ReplicaAccess;
 use crate::ids::{FicusFileId, ReplicaId, VolumeName};
-use crate::phys::FicusPhysical;
+use crate::phys::{FicusPhysical, NvcEntry};
 use crate::recon;
 
 /// The datagram service name update notifications travel on.
@@ -92,16 +92,42 @@ pub enum PropagationPolicy {
 pub struct PropagationStats {
     /// Notifications taken from the new-version cache.
     pub notes_taken: u64,
-    /// Regular-file versions pulled and committed.
+    /// Regular-file versions pulled and committed — both direct pulls and
+    /// pulls performed inside a directory reconciliation step.
     pub files_pulled: u64,
     /// Directory notifications resolved by a reconciliation step.
     pub dirs_reconciled: u64,
+    /// Directory entries adopted during those reconciliation steps.
+    pub entries_inserted: u64,
+    /// Tombstones adopted during those reconciliation steps.
+    pub entries_tombstoned: u64,
     /// Pulls skipped because the local replica already covered the remote.
     pub already_current: u64,
     /// Conflicts detected while pulling.
     pub conflicts: u64,
     /// Notifications requeued (origin unreachable).
     pub requeued: u64,
+    /// Per-file protocol operations answered from a bulk response instead
+    /// of issued individually (see [`crate::recon::ReconStats::rpcs_saved`]).
+    pub rpcs_saved: u64,
+    /// File data bytes pulled from origins.
+    pub bytes_fetched: u64,
+}
+
+impl PropagationStats {
+    /// Accumulates another run's tallies.
+    pub fn absorb(&mut self, other: PropagationStats) {
+        self.notes_taken += other.notes_taken;
+        self.files_pulled += other.files_pulled;
+        self.dirs_reconciled += other.dirs_reconciled;
+        self.entries_inserted += other.entries_inserted;
+        self.entries_tombstoned += other.entries_tombstoned;
+        self.already_current += other.already_current;
+        self.conflicts += other.conflicts;
+        self.requeued += other.requeued;
+        self.rpcs_saved += other.rpcs_saved;
+        self.bytes_fetched += other.bytes_fetched;
+    }
 }
 
 /// Runs one pass of the propagation daemon over `phys`'s new-version cache.
@@ -128,41 +154,85 @@ where
             None => return Ok(stats),
         },
     };
+    // Group the due notes by origin: one connection — and one bulk
+    // attribute fetch — serves every note a given origin produced, instead
+    // of a connect + attribute round trip per note.
+    let mut by_origin: std::collections::BTreeMap<ReplicaId, Vec<(FicusFileId, NvcEntry)>> =
+        std::collections::BTreeMap::new();
     for (file, entry) in phys.take_due_notifications(cutoff) {
         stats.notes_taken += 1;
-        let access = match connect(entry.origin) {
+        by_origin
+            .entry(entry.origin)
+            .or_default()
+            .push((file, entry));
+    }
+    for (origin, notes) in by_origin {
+        let access = match connect(origin) {
             Ok(a) => a,
             Err(_) => {
-                stats.requeued += 1;
-                phys.requeue_notification(file, entry);
+                for (file, entry) in notes {
+                    stats.requeued += 1;
+                    phys.requeue_notification(file, entry);
+                }
                 continue;
             }
         };
-        let result = propagate_one(phys, access.as_ref(), file, &mut stats);
-        match result {
-            Ok(()) => {}
+        let files: Vec<FicusFileId> = notes.iter().map(|(file, _)| *file).collect();
+        let all_attrs = match access.fetch_attrs_bulk(&files) {
+            Ok(a) => a,
             Err(FsError::Unreachable | FsError::TimedOut) => {
-                stats.requeued += 1;
-                phys.requeue_notification(file, entry);
-            }
-            Err(FsError::NotFound) => {
-                // The file vanished at the origin (removed); reconciliation
-                // of its directory will carry the tombstone. Drop the note.
+                for (file, entry) in notes {
+                    stats.requeued += 1;
+                    phys.requeue_notification(file, entry);
+                }
+                continue;
             }
             Err(e) => return Err(e),
+        };
+        // n notes answered by one batch instead of n attribute fetches.
+        stats.rpcs_saved += (notes.len() - 1) as u64;
+        for ((file, entry), remote_attrs) in notes.into_iter().zip(all_attrs) {
+            let remote_attrs = match remote_attrs {
+                Ok(a) => a,
+                Err(FsError::NotFound) => {
+                    // The file vanished at the origin (removed);
+                    // reconciliation of its directory will carry the
+                    // tombstone. Drop the note.
+                    continue;
+                }
+                Err(FsError::Unreachable | FsError::TimedOut) => {
+                    stats.requeued += 1;
+                    phys.requeue_notification(file, entry);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let result = propagate_one(phys, access.as_ref(), file, &remote_attrs, &mut stats);
+            match result {
+                Ok(()) => {}
+                Err(FsError::Unreachable | FsError::TimedOut) => {
+                    stats.requeued += 1;
+                    phys.requeue_notification(file, entry);
+                }
+                Err(FsError::NotFound) => {
+                    // Vanished mid-pull; same as above — drop the note.
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
     Ok(stats)
 }
 
-/// Pulls one noted file (or reconciles one noted directory).
+/// Pulls one noted file (or reconciles one noted directory) whose remote
+/// attributes were already fetched (in bulk) by the daemon loop.
 fn propagate_one(
     phys: &FicusPhysical,
     access: &dyn ReplicaAccess,
     file: FicusFileId,
+    remote_attrs: &crate::attrs::ReplAttrs,
     stats: &mut PropagationStats,
 ) -> FsResult<()> {
-    let remote_attrs = access.fetch_attrs(file)?;
     if remote_attrs.kind.is_directory_like() {
         // "Simply copying directory contents is incorrect; in a sense, a
         // directory operation needs to be replayed at each replica. In
@@ -173,11 +243,16 @@ fn propagate_one(
             // adopt it from its parent.
             return Ok(());
         }
-        let mut recon_stats = recon::ReconStats::default();
         let out = recon::reconcile_dir(phys, access, file)?;
-        recon_stats.absorb(out);
+        // Everything the reconciliation step did on our behalf is this
+        // daemon run's work; losing it undercounts the pass (and E7).
         stats.dirs_reconciled += 1;
-        stats.conflicts += recon_stats.update_conflicts;
+        stats.files_pulled += out.files_pulled;
+        stats.entries_inserted += out.entries_inserted;
+        stats.entries_tombstoned += out.entries_tombstoned;
+        stats.conflicts += out.update_conflicts;
+        stats.rpcs_saved += out.rpcs_saved;
+        stats.bytes_fetched += out.bytes_fetched;
         return Ok(());
     }
     let local_vv = match phys.file_vv(file) {
@@ -193,6 +268,7 @@ fn propagate_one(
         return Ok(());
     }
     let data = access.fetch_data(file)?;
+    stats.bytes_fetched += data.len() as u64;
     if local_vv.concurrent_with(&remote_attrs.vv) {
         phys.stash_conflict_version(file, access.replica(), &remote_attrs.vv, &data)?;
         stats.conflicts += 1;

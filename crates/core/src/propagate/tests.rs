@@ -111,9 +111,8 @@ fn unreachable_origin_requeues() {
     a.write(f, 0, b"new").unwrap();
     b.note_new_version(f, ReplicaId(1), VersionVector::new());
     // No connectivity at all.
-    let unreachable = |_r: ReplicaId| -> Result<Box<dyn ReplicaAccess>, FsError> {
-        Err(FsError::Unreachable)
-    };
+    let unreachable =
+        |_r: ReplicaId| -> Result<Box<dyn ReplicaAccess>, FsError> { Err(FsError::Unreachable) };
     let stats = run_propagation(&b, PropagationPolicy::Immediate, unreachable).unwrap();
     assert_eq!(stats.requeued, 1);
     assert_eq!(b.pending_notifications(), 1);
@@ -161,12 +160,74 @@ fn directory_note_triggers_reconciliation_step() {
     let a = mk_replica(1, &clock);
     let b = mk_replica(2, &clock);
     // Both hold the root; A adds a file and the ROOT directory is notified.
-    let f = a.create(ROOT_FILE, "brand-new", VnodeType::Regular).unwrap();
+    let f = a
+        .create(ROOT_FILE, "brand-new", VnodeType::Regular)
+        .unwrap();
     a.write(f, 0, b"hello").unwrap();
     b.note_new_version(ROOT_FILE, ReplicaId(1), VersionVector::new());
     let stats = run_propagation(&b, PropagationPolicy::Immediate, connect_to(&a)).unwrap();
     assert_eq!(stats.dirs_reconciled, 1);
     assert_eq!(&b.read(f, 0, 10).unwrap()[..], b"hello");
+}
+
+#[test]
+fn directory_note_stats_include_reconciliation_work() {
+    // A directory note resolves to a full reconcile_dir step; everything
+    // that step pulled, inserted, and tombstoned is this daemon run's work
+    // and must show up in its stats — not just the conflict count.
+    let clock = SimClock::new();
+    let a = mk_replica(1, &clock);
+    let b = mk_replica(2, &clock);
+    let old = a.create(ROOT_FILE, "old", VnodeType::Regular).unwrap();
+    a.write(old, 0, b"doomed").unwrap();
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+
+    // At A: two new files appear, the old one goes away.
+    let n1 = a.create(ROOT_FILE, "n1", VnodeType::Regular).unwrap();
+    a.write(n1, 0, b"first").unwrap();
+    let n2 = a.create(ROOT_FILE, "n2", VnodeType::Regular).unwrap();
+    a.write(n2, 0, b"second").unwrap();
+    a.remove(ROOT_FILE, "old").unwrap();
+
+    b.note_new_version(ROOT_FILE, ReplicaId(1), VersionVector::new());
+    let stats = run_propagation(&b, PropagationPolicy::Immediate, connect_to(&a)).unwrap();
+    assert_eq!(stats.dirs_reconciled, 1);
+    assert_eq!(stats.entries_inserted, 2);
+    assert_eq!(stats.entries_tombstoned, 1);
+    assert_eq!(stats.files_pulled, 2);
+    assert_eq!(
+        stats.bytes_fetched,
+        (b"first".len() + b"second".len()) as u64
+    );
+    assert_eq!(&b.read(n1, 0, 10).unwrap()[..], b"first");
+    assert_eq!(&b.read(n2, 0, 10).unwrap()[..], b"second");
+    assert!(b.lookup(ROOT_FILE, "old").is_err());
+}
+
+#[test]
+fn notes_from_one_origin_share_a_bulk_attribute_fetch() {
+    // Three due notes from the same origin: the daemon groups them and asks
+    // for all three attribute sets in one batch.
+    let clock = SimClock::new();
+    let a = mk_replica(1, &clock);
+    let b = mk_replica(2, &clock);
+    let mut files = Vec::new();
+    for i in 0..3 {
+        let f = a
+            .create(ROOT_FILE, &format!("f{i}"), VnodeType::Regular)
+            .unwrap();
+        a.write(f, 0, b"v1").unwrap();
+        files.push(f);
+    }
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+    for &f in &files {
+        a.write(f, 0, b"v2").unwrap();
+        b.note_new_version(f, ReplicaId(1), VersionVector::new());
+    }
+    let stats = run_propagation(&b, PropagationPolicy::Immediate, connect_to(&a)).unwrap();
+    assert_eq!(stats.notes_taken, 3);
+    assert_eq!(stats.files_pulled, 3);
+    assert_eq!(stats.rpcs_saved, 2, "three notes, one attribute batch");
 }
 
 #[test]

@@ -23,11 +23,12 @@
 //! Reconciliation is one-directional (pull): running it at both replicas —
 //! as the periodic daemon does — converges them.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
 use ficus_vnode::{FsError, FsResult};
 
 use crate::access::ReplicaAccess;
+use crate::attrs::ReplAttrs;
 use crate::ids::{FicusFileId, ROOT_FILE};
 use crate::phys::FicusPhysical;
 
@@ -48,6 +49,15 @@ pub struct ReconStats {
     pub update_conflicts: u64,
     /// Subtrees skipped because the remote replica was missing them.
     pub remote_missing: u64,
+    /// Per-file protocol operations the batched plan answered from a bulk
+    /// response instead of issuing individually: child attribute reads
+    /// served by the directory snapshot, and conflict data fetches skipped
+    /// because the divergence was already on file. How many wire round
+    /// trips each avoided operation would have cost is the transport's
+    /// business; `NetStats` measures that.
+    pub rpcs_saved: u64,
+    /// File data bytes pulled from the remote.
+    pub bytes_fetched: u64,
 }
 
 impl ReconStats {
@@ -60,9 +70,13 @@ impl ReconStats {
         self.files_pulled += other.files_pulled;
         self.update_conflicts += other.update_conflicts;
         self.remote_missing += other.remote_missing;
+        self.rpcs_saved += other.rpcs_saved;
+        self.bytes_fetched += other.bytes_fetched;
     }
 
     /// Whether the pass changed nothing (used to detect convergence).
+    /// Deliberately ignores the cost counters (`rpcs_saved`,
+    /// `bytes_fetched` can be non-zero on a pass that changed no state).
     #[must_use]
     pub fn quiescent(&self) -> bool {
         self.entries_inserted == 0
@@ -91,25 +105,44 @@ pub fn reconcile_file(
         }
         Err(e) => return Err(e),
     };
+    reconcile_file_with_attrs(local, remote, file, &remote_attrs, stats)
+}
+
+/// [`reconcile_file`] when the remote attributes are already in hand (e.g.
+/// from a bulk directory fetch) — the version-vector comparison, the
+/// conflict report, and the data pull, without the attribute round trip.
+pub fn reconcile_file_with_attrs(
+    local: &FicusPhysical,
+    remote: &dyn ReplicaAccess,
+    file: FicusFileId,
+    remote_attrs: &ReplAttrs,
+    stats: &mut ReconStats,
+) -> FsResult<()> {
     let local_vv = local.file_vv(file)?;
     if local_vv.covers(&remote_attrs.vv) {
         return Ok(());
     }
-    let data = remote.fetch_data(file)?;
     if local_vv.concurrent_with(&remote_attrs.vv) {
         // Detected and reported to the owner; both versions preserved.
+        // The dedup check comes before the data fetch: a divergence that is
+        // already on file costs no transfer on later passes.
         if local
             .conflicts()
             .for_file(file)
             .iter()
             .any(|r| r.other == remote.replica() && r.vv == remote_attrs.vv)
         {
+            stats.rpcs_saved += 1; // the data fetch we did not repeat
             return Ok(()); // already reported this exact divergence
         }
+        let data = remote.fetch_data(file)?;
+        stats.bytes_fetched += data.len() as u64;
         local.stash_conflict_version(file, remote.replica(), &remote_attrs.vv, &data)?;
         stats.update_conflicts += 1;
         return Ok(());
     }
+    let data = remote.fetch_data(file)?;
+    stats.bytes_fetched += data.len() as u64;
     local.apply_remote_version(file, &remote_attrs.vv, &data)?;
     stats.files_pulled += 1;
     Ok(())
@@ -123,7 +156,10 @@ pub fn reconcile_dir(
     dir: FicusFileId,
 ) -> FsResult<ReconStats> {
     let mut stats = ReconStats::default();
-    let (remote_entries, remote_attrs) = match remote.fetch_dir(dir) {
+    // One bulk fetch answers the directory's entry set, its attributes, and
+    // every live child's attributes; a child absent from the map is a child
+    // the remote could not describe, i.e. a per-file `NotFound`.
+    let dx = match remote.fetch_dir_with_children(dir) {
         Ok(x) => x,
         Err(FsError::NotFound) => {
             stats.remote_missing += 1;
@@ -132,33 +168,27 @@ pub fn reconcile_dir(
         Err(e) => return Err(e),
     };
     stats.dirs_examined += 1;
-    let out = local.merge_dir(dir, &remote_entries, remote.replica(), &remote_attrs.vv)?;
+    let out = local.merge_dir(dir, &dx.entries, remote.replica(), &dx.attrs.vv)?;
     stats.entries_inserted += out.inserted.len() as u64;
     stats.entries_tombstoned += out.tombstoned.len() as u64;
     stats.tombstones_purged += out.purged.len() as u64;
 
     // Materialize storage for adopted entries.
     for id in &out.inserted {
-        let Some(entry) = remote_entries.find(*id) else {
+        let Some(entry) = dx.entries.find(*id) else {
             continue;
         };
+        let Some(child_attrs) = dx.children.get(&entry.file) else {
+            continue; // vanished at the remote since the entry was written
+        };
+        stats.rpcs_saved += 1; // attribute read answered by the bulk fetch
         if entry.kind.is_directory_like() {
-            let child_attrs = match remote.fetch_attrs(entry.file) {
-                Ok(a) => a,
-                Err(FsError::NotFound) => continue,
-                Err(e) => return Err(e),
-            };
             local.adopt_dir(dir, entry.file, entry.kind, &child_attrs.vv)?;
         } else {
-            match remote.fetch_attrs(entry.file) {
-                Ok(child_attrs) => {
-                    let data = remote.fetch_data(entry.file)?;
-                    local.adopt_file(dir, entry.file, entry.kind, &child_attrs.vv, &data)?;
-                    stats.files_pulled += 1;
-                }
-                Err(FsError::NotFound) => {}
-                Err(e) => return Err(e),
-            }
+            let data = remote.fetch_data(entry.file)?;
+            stats.bytes_fetched += data.len() as u64;
+            local.adopt_file(dir, entry.file, entry.kind, &child_attrs.vv, &data)?;
+            stats.files_pulled += 1;
         }
     }
 
@@ -168,17 +198,26 @@ pub fn reconcile_dir(
         if entry.kind.is_directory_like() {
             continue;
         }
+        let remote_attrs = dx.children.get(&entry.file);
         if local.file_vv(entry.file).is_err() {
             // Entry known but storage never arrived (e.g. a previous pass
             // was interrupted): try to adopt now.
-            if let Ok(attrs) = remote.fetch_attrs(entry.file) {
+            if let Some(attrs) = remote_attrs {
+                stats.rpcs_saved += 1;
                 let data = remote.fetch_data(entry.file)?;
+                stats.bytes_fetched += data.len() as u64;
                 local.adopt_file(dir, entry.file, entry.kind, &attrs.vv, &data)?;
                 stats.files_pulled += 1;
             }
             continue;
         }
-        reconcile_file(local, remote, entry.file, &mut stats)?;
+        match remote_attrs {
+            Some(attrs) => {
+                stats.rpcs_saved += 1;
+                reconcile_file_with_attrs(local, remote, entry.file, attrs, &mut stats)?;
+            }
+            None => stats.remote_missing += 1, // local-only entry
+        }
     }
     Ok(stats)
 }
@@ -190,9 +229,9 @@ pub fn reconcile_subtree(
     remote: &dyn ReplicaAccess,
 ) -> FsResult<ReconStats> {
     let mut stats = ReconStats::default();
-    let mut queue = vec![ROOT_FILE];
+    let mut queue = VecDeque::from([ROOT_FILE]);
     let mut seen: BTreeSet<FicusFileId> = BTreeSet::new();
-    while let Some(dir) = queue.pop() {
+    while let Some(dir) = queue.pop_front() {
         if !seen.insert(dir) {
             continue; // the name space is a DAG (§2.5)
         }
@@ -200,7 +239,7 @@ pub fn reconcile_subtree(
         let entries = local.dir_entries(dir)?;
         for e in entries.live() {
             if e.kind.is_directory_like() {
-                queue.push(e.file);
+                queue.push_back(e.file);
             }
         }
     }

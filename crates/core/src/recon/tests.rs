@@ -55,7 +55,12 @@ fn converge(replicas: &[&Arc<FicusPhysical>]) -> ReconStats {
 
 /// Asserts two replicas expose identical logical content.
 fn assert_same_tree(a: &FicusPhysical, b: &FicusPhysical) {
-    fn walk(p: &FicusPhysical, dir: FicusFileId, out: &mut Vec<(String, Option<Vec<u8>>)>, prefix: &str) {
+    fn walk(
+        p: &FicusPhysical,
+        dir: FicusFileId,
+        out: &mut Vec<(String, Option<Vec<u8>>)>,
+        prefix: &str,
+    ) {
         let d = p.dir_entries(dir).unwrap();
         let mut live: Vec<_> = d.live().cloned().collect();
         live.sort_by_key(|e| (e.name.clone(), e.id));
@@ -142,7 +147,10 @@ fn concurrent_updates_conflict_and_are_reported_once() {
     assert_eq!(stats.update_conflicts, 1);
     // Local content untouched; remote stashed; owner notified.
     assert_eq!(&a.read(f, 0, 10).unwrap()[..], b"a-side");
-    assert_eq!(&a.read_conflict_version(f, ReplicaId(2)).unwrap()[..], b"b-side");
+    assert_eq!(
+        &a.read_conflict_version(f, ReplicaId(2)).unwrap()[..],
+        b"b-side"
+    );
     assert_eq!(a.conflicts().count_kind(ConflictKind::ConcurrentUpdate), 1);
     // Re-running recon does not duplicate the report.
     let mut stats2 = ReconStats::default();
@@ -194,7 +202,9 @@ fn remote_remove_is_applied_and_gc_runs() {
 #[test]
 fn remove_update_conflict_preserves_data() {
     let (a, b) = pair();
-    let f = a.create(ROOT_FILE, "contested", VnodeType::Regular).unwrap();
+    let f = a
+        .create(ROOT_FILE, "contested", VnodeType::Regular)
+        .unwrap();
     a.write(f, 0, b"v1").unwrap();
     converge(&[&a, &b]);
     // Partition: B removes, A updates.
@@ -212,9 +222,13 @@ fn remove_update_conflict_preserves_data() {
 #[test]
 fn concurrent_same_name_creates_survive_on_both() {
     let (a, b) = pair();
-    let fa = a.create(ROOT_FILE, "paper.tex", VnodeType::Regular).unwrap();
+    let fa = a
+        .create(ROOT_FILE, "paper.tex", VnodeType::Regular)
+        .unwrap();
     a.write(fa, 0, b"version A").unwrap();
-    let fb = b.create(ROOT_FILE, "paper.tex", VnodeType::Regular).unwrap();
+    let fb = b
+        .create(ROOT_FILE, "paper.tex", VnodeType::Regular)
+        .unwrap();
     b.write(fb, 0, b"version B").unwrap();
     converge(&[&a, &b]);
     // Both files exist on both replicas; primary is deterministic.
@@ -235,7 +249,8 @@ fn partitioned_renames_of_directory_yield_both_names() {
     let f = a.create(d, "notes", VnodeType::Regular).unwrap();
     a.write(f, 0, b"content").unwrap();
     converge(&[&a, &b]);
-    a.rename(ROOT_FILE, "proj", ROOT_FILE, "proj-alpha").unwrap();
+    a.rename(ROOT_FILE, "proj", ROOT_FILE, "proj-alpha")
+        .unwrap();
     b.rename(ROOT_FILE, "proj", ROOT_FILE, "proj-beta").unwrap();
     converge(&[&a, &b]);
     for p in [&a, &b] {
@@ -274,7 +289,9 @@ fn reconciliation_works_through_the_vnode_interface() {
     // The same protocol with the remote accessed as a vnode stack (what
     // NFS transports): LocalAccess and VnodeAccess must be interchangeable.
     let (a, b) = pair();
-    let f = b.create(ROOT_FILE, "via-vnode", VnodeType::Regular).unwrap();
+    let f = b
+        .create(ROOT_FILE, "via-vnode", VnodeType::Regular)
+        .unwrap();
     b.write(f, 0, b"remote bytes").unwrap();
     let access = VnodeAccess::new(ReplicaId(2), PhysFs::new(Arc::clone(&b)).root());
     let stats = reconcile_subtree(&a, &access).unwrap();
@@ -301,11 +318,7 @@ fn graft_points_reconcile_like_directories() {
     let pairs = a.graft_replicas(g).unwrap();
     assert_eq!(
         pairs,
-        vec![
-            (ReplicaId(1), 10),
-            (ReplicaId(2), 20),
-            (ReplicaId(3), 30)
-        ]
+        vec![(ReplicaId(1), 10), (ReplicaId(2), 20), (ReplicaId(3), 30)]
     );
     assert_eq!(b.graft_replicas(g).unwrap(), pairs);
 }
@@ -338,6 +351,129 @@ fn flat_layout_reconciles_identically() {
     assert_same_tree(&a, &b);
 }
 
+/// A [`ReplicaAccess`] wrapper that records which directories were fetched
+/// (in order) and how many file-data fetches went through.
+struct Instrumented<A> {
+    inner: A,
+    dirs: parking_lot::Mutex<Vec<FicusFileId>>,
+    data_fetches: std::sync::atomic::AtomicU64,
+}
+
+impl<A: crate::access::ReplicaAccess> Instrumented<A> {
+    fn new(inner: A) -> Self {
+        Instrumented {
+            inner,
+            dirs: parking_lot::Mutex::new(Vec::new()),
+            data_fetches: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn data_fetches(&self) -> u64 {
+        self.data_fetches.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl<A: crate::access::ReplicaAccess> crate::access::ReplicaAccess for Instrumented<A> {
+    fn replica(&self) -> ReplicaId {
+        self.inner.replica()
+    }
+
+    fn fetch_attrs(&self, file: FicusFileId) -> ficus_vnode::FsResult<crate::attrs::ReplAttrs> {
+        self.inner.fetch_attrs(file)
+    }
+
+    fn fetch_data(&self, file: FicusFileId) -> ficus_vnode::FsResult<Vec<u8>> {
+        self.data_fetches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.fetch_data(file)
+    }
+
+    fn fetch_dir(
+        &self,
+        dir: FicusFileId,
+    ) -> ficus_vnode::FsResult<(crate::dirfile::FicusDir, crate::attrs::ReplAttrs)> {
+        self.dirs.lock().push(dir);
+        self.inner.fetch_dir(dir)
+    }
+
+    fn fetch_dir_with_children(
+        &self,
+        dir: FicusFileId,
+    ) -> ficus_vnode::FsResult<crate::access::DirWithChildren> {
+        self.dirs.lock().push(dir);
+        self.inner.fetch_dir_with_children(dir)
+    }
+}
+
+#[test]
+fn subtree_reconciliation_visits_breadth_first() {
+    // Two directories at depth 1, each with a subdirectory at depth 2. A
+    // breadth-first sweep must finish depth 1 before touching depth 2 (a
+    // stack-based traversal dives into one branch first).
+    let (a, b) = pair();
+    let d1 = b.mkdir(ROOT_FILE, "d1").unwrap();
+    let d2 = b.mkdir(ROOT_FILE, "d2").unwrap();
+    let d1a = b.mkdir(d1, "d1a").unwrap();
+    let d2a = b.mkdir(d2, "d2a").unwrap();
+    converge(&[&a, &b]);
+
+    let access = Instrumented::new(LocalAccess::new(Arc::clone(&b)));
+    reconcile_subtree(&a, &access).unwrap();
+
+    let visited = access.dirs.lock().clone();
+    assert_eq!(visited.len(), 5, "each directory fetched exactly once");
+    assert_eq!(visited[0], ROOT_FILE);
+    let depth = |f: FicusFileId| -> usize {
+        if f == ROOT_FILE {
+            0
+        } else if f == d1 || f == d2 {
+            1
+        } else {
+            assert!(f == d1a || f == d2a);
+            2
+        }
+    };
+    let depths: Vec<usize> = visited.iter().map(|&f| depth(f)).collect();
+    let mut sorted = depths.clone();
+    sorted.sort_unstable();
+    assert_eq!(
+        depths, sorted,
+        "visit order {visited:?} is not breadth-first"
+    );
+}
+
+#[test]
+fn reported_conflict_is_not_refetched() {
+    // Once a divergence has been stashed and reported, later passes must
+    // recognize it from the conflict registry BEFORE paying for the remote
+    // data again.
+    let (a, b) = pair();
+    let f = a.create(ROOT_FILE, "shared", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"base").unwrap();
+    converge(&[&a, &b]);
+    a.write(f, 0, b"a-side").unwrap();
+    b.write(f, 0, &b"b-side, a large payload ".repeat(10))
+        .unwrap();
+
+    let access = Instrumented::new(LocalAccess::new(Arc::clone(&b)));
+    let mut stats = ReconStats::default();
+    reconcile_file(&a, &access, f, &mut stats).unwrap();
+    assert_eq!(stats.update_conflicts, 1);
+    assert_eq!(access.data_fetches(), 1);
+    assert!(stats.bytes_fetched > 0);
+
+    let mut stats2 = ReconStats::default();
+    reconcile_file(&a, &access, f, &mut stats2).unwrap();
+    assert_eq!(stats2.update_conflicts, 0);
+    assert_eq!(
+        access.data_fetches(),
+        1,
+        "already-reported divergence fetched the data again"
+    );
+    assert_eq!(stats2.rpcs_saved, 1);
+    assert_eq!(stats2.bytes_fetched, 0);
+}
+
 // ---------------------------------------------------------------------------
 // Property test: random partitioned op histories against two FULL physical
 // replicas (real storage, real tombstone GC), interleaved with random
@@ -362,9 +498,11 @@ mod convergence_prop {
         proptest::collection::vec(
             prop_oneof![
                 (any::<u8>(), any::<u8>()).prop_map(|(r, n)| PhysOp::Create(r, n)),
-                (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, n, b)| PhysOp::Write(r, n, b)),
+                (any::<u8>(), any::<u8>(), any::<u8>())
+                    .prop_map(|(r, n, b)| PhysOp::Write(r, n, b)),
                 (any::<u8>(), any::<u8>()).prop_map(|(r, n)| PhysOp::Remove(r, n)),
-                (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, a, b)| PhysOp::Rename(r, a, b)),
+                (any::<u8>(), any::<u8>(), any::<u8>())
+                    .prop_map(|(r, a, b)| PhysOp::Rename(r, a, b)),
                 (any::<u8>(), any::<u8>()).prop_map(|(r, n)| PhysOp::Mkdir(r, n)),
                 any::<u8>().prop_map(PhysOp::Recon),
             ],

@@ -64,11 +64,7 @@ pub fn pending(phys: &FicusPhysical) -> FsResult<Vec<PendingConflict>> {
 /// After this call the file carries a version vector that dominates every
 /// version involved, so ordinary update propagation carries the resolution
 /// to the other replicas — no further ceremony needed.
-pub fn resolve(
-    phys: &FicusPhysical,
-    file: FicusFileId,
-    resolution: Resolution,
-) -> FsResult<()> {
+pub fn resolve(phys: &FicusPhysical, file: FicusFileId, resolution: Resolution) -> FsResult<()> {
     let attrs = phys.repl_attrs(file)?;
     if !attrs.conflict {
         return Err(FsError::Invalid);
@@ -96,9 +92,7 @@ pub fn resolve(
             let size = phys.storage_attr(file)?.size as usize;
             let mut merged = phys.read(file, 0, size)?.to_vec();
             for origin in &versions {
-                merged.extend_from_slice(
-                    format!("\n<<<<<<< replica {}\n", origin.0).as_bytes(),
-                );
+                merged.extend_from_slice(format!("\n<<<<<<< replica {}\n", origin.0).as_bytes());
                 merged.extend_from_slice(&phys.read_conflict_version(file, *origin)?);
                 merged.extend_from_slice(b"\n>>>>>>>\n");
             }
@@ -186,7 +180,11 @@ mod tests {
         let (a, b, f) = conflicted();
         resolve(&a, f, Resolution::TakeRemote(ReplicaId(2))).unwrap();
         assert_eq!(&a.read(f, 0, 10).unwrap()[..], b"BB");
-        assert_eq!(a.storage_attr(f).unwrap().size, 2, "truncated to the remote length");
+        assert_eq!(
+            a.storage_attr(f).unwrap().size,
+            2,
+            "truncated to the remote length"
+        );
         // Propagates over B's own version too (strictly newer history).
         let mut stats = ReconStats::default();
         reconcile_file(&b, &LocalAccess::new(Arc::clone(&a)), f, &mut stats).unwrap();

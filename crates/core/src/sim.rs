@@ -60,6 +60,10 @@ pub struct WorldParams {
     pub propagation: PropagationPolicy,
     /// Logical-layer tunables.
     pub logical: LogicalParams,
+    /// Whether replica access to remote peers uses the batched
+    /// lookup-and-read RPC (`true`, the default) or the pre-bulk per-file
+    /// protocol (`false` — the measurement baseline for E5/E7).
+    pub batching: bool,
 }
 
 impl Default for WorldParams {
@@ -73,6 +77,7 @@ impl Default for WorldParams {
             net: NetworkParams::default(),
             propagation: PropagationPolicy::Immediate,
             logical: LogicalParams::default(),
+            batching: true,
         }
     }
 }
@@ -207,9 +212,7 @@ impl FicusWorld {
                 // Export it.
                 let server = NfsServer::new(PhysFs::new(Arc::clone(&phys)) as Arc<dyn FileSystem>);
                 server.serve_as(&net, host, &export_service(root_vol, ReplicaId(h)));
-                placement
-                    .lock()
-                    .insert((root_vol, ReplicaId(h)), host);
+                placement.lock().insert((root_vol, ReplicaId(h)), host);
                 physes.lock().insert(root_vol, phys);
             }
 
@@ -478,8 +481,7 @@ impl FicusWorld {
             // Record the new location in every graft point naming this
             // volume (reconciliation spreads the entry).
             for hs in self.hosts.values() {
-                let physes: Vec<Arc<FicusPhysical>> =
-                    hs.physes.lock().values().cloned().collect();
+                let physes: Vec<Arc<FicusPhysical>> = hs.physes.lock().values().cloned().collect();
                 for p in physes {
                     let _ = add_graft_location(&p, vol, new_id, host_num);
                 }
@@ -524,8 +526,7 @@ impl FicusWorld {
             }
         } else {
             for hs in self.hosts.values() {
-                let physes: Vec<Arc<FicusPhysical>> =
-                    hs.physes.lock().values().cloned().collect();
+                let physes: Vec<Arc<FicusPhysical>> = hs.physes.lock().values().cloned().collect();
                 for p in physes {
                     let _ = remove_graft_location(&p, vol, victim, host_num);
                 }
@@ -553,13 +554,11 @@ impl FicusWorld {
             let connect = |origin: ReplicaId| -> FsResult<Box<dyn ReplicaAccess>> {
                 self.access_replica(h, vol, origin)
             };
-            let stats = run_propagation(phys.as_ref(), self.params.propagation, connect)?;
-            total.notes_taken += stats.notes_taken;
-            total.files_pulled += stats.files_pulled;
-            total.dirs_reconciled += stats.dirs_reconciled;
-            total.already_current += stats.already_current;
-            total.conflicts += stats.conflicts;
-            total.requeued += stats.requeued;
+            total.absorb(run_propagation(
+                phys.as_ref(),
+                self.params.propagation,
+                connect,
+            )?);
         }
         Ok(total)
     }
@@ -590,7 +589,12 @@ impl FicusWorld {
             &export_service(vol, replica),
             NfsClientParams::uncached(),
         )?;
-        Ok(Box::new(VnodeAccess::new(replica, client.root())))
+        let access = if self.params.batching {
+            VnodeAccess::new(replica, client.root())
+        } else {
+            VnodeAccess::per_file(replica, client.root())
+        };
+        Ok(Box::new(access))
     }
 
     /// Runs one subtree-reconciliation pass at host `h` for every volume
@@ -676,9 +680,7 @@ fn add_graft_location(
         };
         for e in entries.live() {
             match e.kind {
-                ficus_vnode::VnodeType::GraftPoint
-                    if phys.graft_target(e.file) == Ok(target) =>
-                {
+                ficus_vnode::VnodeType::GraftPoint if phys.graft_target(e.file) == Ok(target) => {
                     phys.graft_add_replica(e.file, replica, host)?;
                     added += 1;
                 }
@@ -711,9 +713,7 @@ fn remove_graft_location(
         };
         for e in entries.live() {
             match e.kind {
-                ficus_vnode::VnodeType::GraftPoint
-                    if phys.graft_target(e.file) == Ok(target) =>
-                {
+                ficus_vnode::VnodeType::GraftPoint if phys.graft_target(e.file) == Ok(target) => {
                     phys.graft_remove_replica(e.file, replica, host)?;
                     removed += 1;
                 }

@@ -1,7 +1,6 @@
 //! End-to-end tests through the full stack: logical layer → (NFS) →
 //! physical layer → UFS, across simulated hosts and partitions.
 
-
 use ficus_net::HostId;
 use ficus_vnode::api::resolve;
 use ficus_vnode::{Credentials, FileSystem, FsError, OpenFlags, VnodeType};
@@ -187,7 +186,11 @@ fn open_close_reach_physical_layer_through_nfs() {
     f.close(&cred(), flags).unwrap();
     let phys = w.phys(H2, w.root_volume()).unwrap();
     let opens = phys.observed_opens();
-    assert_eq!(opens.len(), 2, "open + close observed at the remote physical layer");
+    assert_eq!(
+        opens.len(),
+        2,
+        "open + close observed at the remote physical layer"
+    );
     assert!(opens[0].2 && !opens[1].2);
 }
 
@@ -207,7 +210,10 @@ fn volumes_graft_transparently() {
     // Host 1 stores no replica of the volume; autografting connects it to
     // hosts 2/3 transparently during pathname translation.
     let via1 = resolve(&w.logical(H1).root(), &cred(), "/projects/plan.txt").unwrap();
-    assert_eq!(&via1.read(&cred(), 0, 100).unwrap()[..], b"world domination");
+    assert_eq!(
+        &via1.read(&cred(), 0, 100).unwrap()[..],
+        b"world domination"
+    );
     assert!(w.logical(H1).grafted_volumes().contains(&vol));
 }
 

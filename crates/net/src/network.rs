@@ -181,12 +181,7 @@ impl Network {
     #[must_use]
     pub fn reachable_from(&self, from: HostId) -> Vec<HostId> {
         let t = self.inner.topology.read();
-        let mut out: Vec<HostId> = t
-            .group
-            .keys()
-            .copied()
-            .filter(|&h| h != from)
-            .collect();
+        let mut out: Vec<HostId> = t.group.keys().copied().filter(|&h| h != from).collect();
         drop(t);
         out.retain(|&h| self.reachable(from, h));
         out.sort();
@@ -217,7 +212,13 @@ impl Network {
     /// hosts and [`FsError::TimedOut`] when the destination is down or runs
     /// no such service — the two failure shapes an NFS client observes.
     /// Charges two one-way latencies to the shared clock.
-    pub fn rpc(&self, from: HostId, to: HostId, service: &str, request: &[u8]) -> FsResult<Vec<u8>> {
+    pub fn rpc(
+        &self,
+        from: HostId,
+        to: HostId,
+        service: &str,
+        request: &[u8],
+    ) -> FsResult<Vec<u8>> {
         if !self.reachable(from, to) {
             self.inner.stats.lock().rpcs_unreachable += 1;
             return Err(FsError::Unreachable);

@@ -44,9 +44,13 @@ impl NetStats {
     pub fn since(&self, earlier: NetStats) -> NetStats {
         NetStats {
             rpcs: self.rpcs.saturating_sub(earlier.rpcs),
-            rpc_request_bytes: self.rpc_request_bytes.saturating_sub(earlier.rpc_request_bytes),
+            rpc_request_bytes: self
+                .rpc_request_bytes
+                .saturating_sub(earlier.rpc_request_bytes),
             rpc_reply_bytes: self.rpc_reply_bytes.saturating_sub(earlier.rpc_reply_bytes),
-            rpcs_unreachable: self.rpcs_unreachable.saturating_sub(earlier.rpcs_unreachable),
+            rpcs_unreachable: self
+                .rpcs_unreachable
+                .saturating_sub(earlier.rpcs_unreachable),
             datagrams_sent: self.datagrams_sent.saturating_sub(earlier.datagrams_sent),
             datagrams_delivered: self
                 .datagrams_delivered

@@ -112,8 +112,27 @@ impl ClientShared {
     fn call(&self, cred: &Credentials, req: &Request) -> FsResult<Reply> {
         self.stats.lock().rpcs += 1;
         let wire = req.encode(cred);
-        let reply = self.net.rpc(self.client, self.server, &self.service, &wire)?;
+        let reply = self
+            .net
+            .rpc(self.client, self.server, &self.service, &wire)?;
         Reply::decode(&reply)
+    }
+
+    /// Like [`ClientShared::call`] but retries a timed-out RPC a bounded
+    /// number of times — the soft-mount analogue of the NFS client's
+    /// per-call retransmit timer. Only safe for idempotent (read-only)
+    /// requests; a partition (`Unreachable`) fails fast instead, since
+    /// retrying cannot help until the partition heals.
+    fn call_retry(&self, cred: &Credentials, req: &Request) -> FsResult<Reply> {
+        const RETRIES: u32 = 3;
+        let mut last = FsError::TimedOut;
+        for _ in 0..RETRIES {
+            match self.call(cred, req) {
+                Err(FsError::TimedOut) => last = FsError::TimedOut,
+                other => return other,
+            }
+        }
+        Err(last)
     }
 
     fn cache_attr(&self, fh: FileHandle, attr: &VnodeAttr) {
@@ -314,6 +333,26 @@ impl NfsVnode {
         peer.as_any()
             .downcast_ref::<NfsVnode>()
             .ok_or(FsError::Xdev)
+    }
+
+    /// Batched lookup-and-read: resolves every `name` under this directory
+    /// vnode and returns each one's full contents, in one RPC.
+    ///
+    /// This is the client side of [`Request::LookupReadMany`], the
+    /// transport for the Ficus replica-access bulk operations. Failures are
+    /// per-item; the call itself only fails when the RPC does (and a
+    /// timed-out attempt is retried a bounded number of times — the request
+    /// is read-only, hence idempotent).
+    pub fn lookup_read_many(
+        &self,
+        cred: &Credentials,
+        names: &[String],
+    ) -> FsResult<Vec<FsResult<Vec<u8>>>> {
+        let req = Request::LookupReadMany(self.fh, names.to_vec());
+        match self.shared.call_retry(cred, &req)? {
+            Reply::Many(items) if items.len() == names.len() => Ok(items),
+            _ => Err(FsError::Io),
+        }
     }
 }
 

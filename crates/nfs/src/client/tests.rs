@@ -24,8 +24,8 @@ struct Rig {
 fn rig(params: NfsClientParams) -> Rig {
     let clock = SimClock::new();
     let net = Network::fully_connected(Arc::clone(&clock));
-    let ufs = Ufs::format_with_clock(Disk::new(Geometry::small()), UfsParams::default(), clock)
-        .unwrap();
+    let ufs =
+        Ufs::format_with_clock(Disk::new(Geometry::small()), UfsParams::default(), clock).unwrap();
     let (measured, below) = MeasureLayer::new(Arc::new(ufs));
     let server = NfsServer::new(measured);
     server.serve(&net, SERVER);
@@ -111,7 +111,10 @@ fn ioctl_is_not_forwarded_either() {
     let r = rig(no_cache());
     let cred = Credentials::root();
     let root = r.client.root();
-    assert_eq!(root.ioctl(&cred, 42, &[]).unwrap_err(), FsError::Unsupported);
+    assert_eq!(
+        root.ioctl(&cred, 42, &[]).unwrap_err(),
+        FsError::Unsupported
+    );
     assert_eq!(r.below.get(Op::Ioctl), 0);
 }
 
@@ -122,10 +125,7 @@ fn partition_surfaces_as_unreachable() {
     let root = r.client.root();
     root.create(&cred, "f", 0o644).unwrap();
     r.net.partition(&[&[CLIENT], &[SERVER]]);
-    assert_eq!(
-        root.lookup(&cred, "f").unwrap_err(),
-        FsError::Unreachable
-    );
+    assert_eq!(root.lookup(&cred, "f").unwrap_err(), FsError::Unreachable);
     r.net.heal();
     assert!(root.lookup(&cred, "f").is_ok());
 }
@@ -157,7 +157,8 @@ fn attr_cache_hides_remote_changes_within_ttl() {
         },
     )
     .unwrap();
-    let c2 = NfsClientFs::mount(net.clone(), HostId(3), SERVER, NfsClientParams::default()).unwrap();
+    let c2 =
+        NfsClientFs::mount(net.clone(), HostId(3), SERVER, NfsClientParams::default()).unwrap();
 
     let cred = Credentials::root();
     let f1 = c1.root().create(&cred, "shared", 0o644).unwrap();
@@ -196,8 +197,8 @@ fn name_cache_hits_avoid_rpcs() {
 fn server_reboot_staleness_and_remount() {
     let clock = SimClock::new();
     let net = Network::fully_connected(Arc::clone(&clock));
-    let ufs = Ufs::format_with_clock(Disk::new(Geometry::small()), UfsParams::default(), clock)
-        .unwrap();
+    let ufs =
+        Ufs::format_with_clock(Disk::new(Geometry::small()), UfsParams::default(), clock).unwrap();
     let server = NfsServer::new(Arc::new(ufs));
     server.serve(&net, SERVER);
     let client = NfsClientFs::mount(net.clone(), CLIENT, SERVER, no_cache()).unwrap();
@@ -219,10 +220,7 @@ fn errors_traverse_nfs_unchanged() {
     let root = r.client.root();
     assert_eq!(root.lookup(&cred, "nope").unwrap_err(), FsError::NotFound);
     root.create(&cred, "f", 0o644).unwrap();
-    assert_eq!(
-        root.create(&cred, "f", 0o644).unwrap_err(),
-        FsError::Exists
-    );
+    assert_eq!(root.create(&cred, "f", 0o644).unwrap_err(), FsError::Exists);
     assert_eq!(root.rmdir(&cred, "f").unwrap_err(), FsError::NotDir);
     let f = root.lookup(&cred, "f").unwrap();
     assert_eq!(
@@ -312,7 +310,11 @@ fn data_cache_hides_remote_writes_within_ttl() {
     f2.write(&cred, 0, b"v2").unwrap();
 
     // Client 1's cached block is stale...
-    assert_eq!(&f1.read(&cred, 0, 2).unwrap()[..], b"v1", "stale within TTL");
+    assert_eq!(
+        &f1.read(&cred, 0, 2).unwrap()[..],
+        b"v1",
+        "stale within TTL"
+    );
     // ...until the TTL expires.
     clock.advance(ttl + 1);
     assert_eq!(&f1.read(&cred, 0, 2).unwrap()[..], b"v2");

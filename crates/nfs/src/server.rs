@@ -106,17 +106,12 @@ impl NfsServer {
 
     /// Resolves a handle back to a vnode.
     fn resolve(&self, fh: FileHandle) -> FsResult<VnodeRef> {
-        self.handles
-            .lock()
-            .get(&fh)
-            .cloned()
-            .ok_or(FsError::Stale)
+        self.handles.lock().get(&fh).cloned().ok_or(FsError::Stale)
     }
 
     /// Handles one wire-encoded request, producing a wire-encoded reply.
     pub fn handle_wire(&self, request: &[u8]) -> Vec<u8> {
-        let result = Request::decode(request)
-            .and_then(|(cred, req)| self.dispatch(&cred, req));
+        let result = Request::decode(request).and_then(|(cred, req)| self.dispatch(&cred, req));
         Reply::encode(&result)
     }
 
@@ -228,7 +223,27 @@ impl NfsServer {
                 Ok(Reply::Entries(dir.readdir(cred, cookie, count as usize)?))
             }
             Request::Statfs => Ok(Reply::Stats(self.export.statfs()?)),
+            Request::LookupReadMany(fh, names) => {
+                let dir = self.resolve(fh)?;
+                // Lookups and reads all happen server-side, so the client
+                // pays one round trip however many names it asks for. The
+                // resolved vnodes are deliberately not minted into the
+                // handle table: control vnodes are transient and would only
+                // churn it.
+                let items = names
+                    .iter()
+                    .map(|name| self.lookup_read_one(&dir, cred, name))
+                    .collect();
+                Ok(Reply::Many(items))
+            }
         }
+    }
+
+    /// Resolves one name and reads back the whole file it names.
+    fn lookup_read_one(&self, dir: &VnodeRef, cred: &Credentials, name: &str) -> FsResult<Vec<u8>> {
+        let v = dir.lookup(cred, name)?;
+        let size = v.getattr(cred)?.size as usize;
+        Ok(v.read(cred, 0, size)?.to_vec())
     }
 }
 
@@ -305,6 +320,39 @@ mod tests {
         assert_eq!(
             call(&s, Request::Lookup(root_fh, "ghost".into())).unwrap_err(),
             FsError::NotFound
+        );
+    }
+
+    #[test]
+    fn lookup_read_many_returns_per_item_results() {
+        let s = server();
+        let Reply::Node(root_fh, _) = call(&s, Request::Root).unwrap() else {
+            panic!()
+        };
+        let Reply::Node(f_fh, _) = call(&s, Request::Create(root_fh, "f".into(), 0o644)).unwrap()
+        else {
+            panic!()
+        };
+        call(&s, Request::Write(f_fh, 0, b"contents".to_vec())).unwrap();
+        call(&s, Request::Create(root_fh, "empty".into(), 0o644)).unwrap();
+        let before = s.live_handles();
+        let Reply::Many(items) = call(
+            &s,
+            Request::LookupReadMany(root_fh, vec!["f".into(), "ghost".into(), "empty".into()]),
+        )
+        .unwrap() else {
+            panic!("expected Many");
+        };
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].as_deref().unwrap(), b"contents");
+        assert_eq!(items[1], Err(FsError::NotFound));
+        assert_eq!(items[2].as_deref().unwrap(), b"");
+        assert_eq!(s.live_handles(), before, "bulk reads mint no handles");
+        // A stale directory handle fails the whole batch.
+        s.reboot();
+        assert_eq!(
+            call(&s, Request::LookupReadMany(root_fh, vec!["f".into()])).unwrap_err(),
+            FsError::Stale
         );
     }
 

@@ -63,6 +63,14 @@ pub enum Request {
     Readdir(FileHandle, u64, u32),
     /// File-system statistics.
     Statfs,
+    /// Batched lookup-and-slurp: resolve each name in the directory and
+    /// return its full contents, all in one round trip.
+    ///
+    /// This is the transport for the replica-access bulk operations (attrs
+    /// of many files, a directory with all child attrs): each name is a
+    /// `;f;` control name, each returned blob a control payload. Failures
+    /// are per-item, so one missing file does not fail the batch.
+    LookupReadMany(FileHandle, Vec<String>),
 }
 
 /// A successful NFS reply (errors travel as a status code).
@@ -84,6 +92,8 @@ pub enum Reply {
     Entries(Vec<DirEntry>),
     /// statfs result.
     Stats(FsStats),
+    /// Per-item results of a [`Request::LookupReadMany`], in request order.
+    Many(Vec<FsResult<Vec<u8>>>),
 }
 
 // --- primitive encoders -----------------------------------------------------
@@ -437,6 +447,14 @@ impl Request {
                 e.u32(*count);
             }
             Request::Statfs => e.u8(17),
+            Request::LookupReadMany(fh, names) => {
+                e.u8(18);
+                e.fh(*fh);
+                e.u32(names.len() as u32);
+                for name in names {
+                    e.string(name);
+                }
+            }
         }
         e.finish()
     }
@@ -493,6 +511,18 @@ impl Request {
             15 => Request::Readlink(d.fh()?),
             16 => Request::Readdir(d.fh()?, d.u64()?, d.u32()?),
             17 => Request::Statfs,
+            18 => {
+                let fh = d.fh()?;
+                let n = d.u32()? as usize;
+                if n > 1 << 16 {
+                    return Err(FsError::Io);
+                }
+                let mut names = Vec::with_capacity(n);
+                for _ in 0..n {
+                    names.push(d.string()?);
+                }
+                Request::LookupReadMany(fh, names)
+            }
             _ => return Err(FsError::Io),
         };
         if !d.at_end() {
@@ -552,6 +582,19 @@ impl Reply {
                         e.u64(s.free_inodes);
                         e.u32(s.block_size);
                     }
+                    Reply::Many(items) => {
+                        e.u8(8);
+                        e.u32(items.len() as u32);
+                        for item in items {
+                            match item {
+                                Ok(blob) => {
+                                    e.u32(0);
+                                    e.bytes(blob);
+                                }
+                                Err(err) => e.u32(err.code()),
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -596,6 +639,22 @@ impl Reply {
                 free_inodes: d.u64()?,
                 block_size: d.u32()?,
             }),
+            8 => {
+                let n = d.u32()? as usize;
+                if n > 1 << 20 {
+                    return Err(FsError::Io);
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let status = d.u32()?;
+                    items.push(if status == 0 {
+                        Ok(d.bytes()?)
+                    } else {
+                        Err(FsError::from_code(status))
+                    });
+                }
+                Reply::Many(items)
+            }
             _ => return Err(FsError::Io),
         };
         if !d.at_end() {
@@ -647,6 +706,8 @@ mod tests {
             Request::Readlink(fh(17)),
             Request::Readdir(fh(18), 42, 100),
             Request::Statfs,
+            Request::LookupReadMany(fh(19), vec![]),
+            Request::LookupReadMany(fh(20), vec![";f;vv;aa".into(), ";f;dirx;bb".into()]),
         ];
         for req in requests {
             let wire = req.encode(&cred());
@@ -692,6 +753,13 @@ mod tests {
                 free_inodes: 4,
                 block_size: 5,
             }),
+            Reply::Many(vec![]),
+            Reply::Many(vec![
+                Ok(b"attrs-blob".to_vec()),
+                Err(FsError::NotFound),
+                Ok(vec![]),
+                Err(FsError::Stale),
+            ]),
         ];
         for r in replies {
             let wire = Reply::encode(&Ok(r.clone()));
@@ -705,6 +773,29 @@ mod tests {
             let wire = Reply::encode(&Err(err));
             assert_eq!(Reply::decode(&wire).unwrap_err(), err);
         }
+    }
+
+    #[test]
+    fn bulk_messages_reject_truncation_and_trailing_garbage() {
+        let req = Request::LookupReadMany(fh(1), vec![";f;vv;00".into(), ";f;vv;01".into()]);
+        let wire = req.encode(&cred());
+        for cut in 1..wire.len() {
+            assert!(
+                Request::decode(&wire[..wire.len() - cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let reply = Reply::Many(vec![Ok(b"x".to_vec()), Err(FsError::NotFound)]);
+        let wire = Reply::encode(&Ok(reply));
+        for cut in 1..wire.len() {
+            assert!(
+                Reply::decode(&wire[..wire.len() - cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut wire = wire;
+        wire.push(0);
+        assert!(Reply::decode(&wire).is_err());
     }
 
     #[test]

@@ -124,10 +124,7 @@ impl WeightedVoting {
     }
 
     fn votes_of(&self, accessible: &[usize]) -> u32 {
-        accessible
-            .iter()
-            .filter_map(|&i| self.weights.get(i))
-            .sum()
+        accessible.iter().filter_map(|&i| self.weights.get(i)).sum()
     }
 }
 
@@ -213,7 +210,10 @@ mod tests {
     #[test]
     fn majority_voting_needs_strict_majority() {
         let p = MajorityVoting { n: 4 };
-        assert!(!p.permits(&ids(&[0, 1]), Operation::Read), "2 of 4 is a tie");
+        assert!(
+            !p.permits(&ids(&[0, 1]), Operation::Read),
+            "2 of 4 is a tie"
+        );
         assert!(p.permits(&ids(&[0, 1, 2]), Operation::Update));
         let p5 = MajorityVoting { n: 5 };
         assert!(p5.permits(&ids(&[0, 1, 2]), Operation::Read));

@@ -83,11 +83,7 @@ mod tests {
                 r: n as u32 / 2 + 1,
                 w: n as u32 / 2 + 1,
             }),
-            Box::new(QuorumConsensus {
-                n,
-                r: 2,
-                w: n - 1,
-            }),
+            Box::new(QuorumConsensus { n, r: 2, w: n - 1 }),
         ]
     }
 
@@ -98,7 +94,10 @@ mod tests {
         let model = FailureModel::Partition { fragments: 3 };
         let n = 5;
         let ficus = measure(&OneCopyAvailability { n }, model, TRIALS, 7);
-        assert!(ficus.update > 0.999, "a co-located replica is always reachable");
+        assert!(
+            ficus.update > 0.999,
+            "a co-located replica is always reachable"
+        );
         for policy in policies(n).iter().skip(1) {
             let a = measure(policy.as_ref(), model, TRIALS, 7);
             assert!(

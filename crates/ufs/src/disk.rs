@@ -160,7 +160,12 @@ impl Disk {
     /// materialized).
     #[must_use]
     pub fn materialized_blocks(&self) -> u64 {
-        self.inner.blocks.read().iter().filter(|b| b.is_some()).count() as u64
+        self.inner
+            .blocks
+            .read()
+            .iter()
+            .filter(|b| b.is_some())
+            .count() as u64
     }
 }
 
@@ -222,7 +227,13 @@ mod tests {
         let before = d.stats();
         d.read_block(0).unwrap();
         let delta = d.stats().since(before);
-        assert_eq!(delta, DiskStats { reads: 1, writes: 0 });
+        assert_eq!(
+            delta,
+            DiskStats {
+                reads: 1,
+                writes: 0
+            }
+        );
     }
 
     #[test]

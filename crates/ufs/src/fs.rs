@@ -181,8 +181,7 @@ impl Ufs {
 
 impl FileSystem for Ufs {
     fn root(&self) -> VnodeRef {
-        make_vnode(&self.inner, ROOT_INO)
-            .expect("root inode must exist on a mounted file system")
+        make_vnode(&self.inner, ROOT_INO).expect("root inode must exist on a mounted file system")
     }
 
     fn statfs(&self) -> FsResult<FsStats> {
@@ -229,7 +228,8 @@ impl UfsInner {
     /// and creates the root directory.
     fn mkfs(&self, root_mode: u32) -> FsResult<()> {
         let _g = self.big.lock();
-        self.cache.write_through(0, &self.layout.encode_superblock())?;
+        self.cache
+            .write_through(0, &self.layout.encode_superblock())?;
         // Reserve every metadata block (superblock through the inode table).
         for b in 0..self.layout.data_start {
             self.block_bitmap.set(&self.cache, b, true)?;
@@ -677,7 +677,9 @@ impl UfsVnode {
         let entries = self.fs.load_dir(&mut dir)?;
         match entries.iter().find(|e| e.name == name) {
             Some(e) => {
-                self.fs.dnlc.enter(self.ino, name, NameEntry::Present(e.ino));
+                self.fs
+                    .dnlc
+                    .enter(self.ino, name, NameEntry::Present(e.ino));
                 Ok(e.ino)
             }
             None => {

@@ -5,9 +5,7 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 
-use ficus_vnode::{
-    AccessMode, Credentials, FileSystem, FsError, OpenFlags, SetAttr, VnodeType,
-};
+use ficus_vnode::{AccessMode, Credentials, FileSystem, FsError, OpenFlags, SetAttr, VnodeType};
 
 use crate::disk::{Disk, Geometry};
 use crate::fs::{Ufs, UfsParams};
@@ -83,7 +81,10 @@ fn large_file_through_double_indirect() {
     f.write(&root_cred(), base, &chunk).unwrap();
     let back = f.read(&root_cred(), base, chunk.len()).unwrap();
     assert_eq!(&back[..], &chunk[..]);
-    assert_eq!(f.getattr(&root_cred()).unwrap().size, base + chunk.len() as u64);
+    assert_eq!(
+        f.getattr(&root_cred()).unwrap().size,
+        base + chunk.len() as u64
+    );
     assert!(fsck::check(&fs).unwrap().is_clean());
 }
 
@@ -158,8 +159,7 @@ fn mkdir_and_nested_paths() {
     let a = root.mkdir(&root_cred(), "a", 0o755).unwrap();
     let b = a.mkdir(&root_cred(), "b", 0o755).unwrap();
     b.create(&root_cred(), "leaf", 0o644).unwrap();
-    let via_resolve =
-        ficus_vnode::api::resolve(&root, &root_cred(), "/a/b/leaf").unwrap();
+    let via_resolve = ficus_vnode::api::resolve(&root, &root_cred(), "/a/b/leaf").unwrap();
     assert_eq!(via_resolve.kind(), VnodeType::Regular);
 }
 
@@ -170,7 +170,10 @@ fn remove_frees_inode_and_makes_vnode_stale() {
     let f = root.create(&root_cred(), "f", 0o644).unwrap();
     f.write(&root_cred(), 0, b"data").unwrap();
     root.remove(&root_cred(), "f").unwrap();
-    assert_eq!(root.lookup(&root_cred(), "f").unwrap_err(), FsError::NotFound);
+    assert_eq!(
+        root.lookup(&root_cred(), "f").unwrap_err(),
+        FsError::NotFound
+    );
     assert_eq!(f.getattr(&root_cred()).unwrap_err(), FsError::Stale);
     assert!(fsck::check(&fs).unwrap().is_clean());
 }
@@ -203,7 +206,10 @@ fn rmdir_requires_empty() {
     let root = fs.root();
     let d = root.mkdir(&root_cred(), "d", 0o755).unwrap();
     d.create(&root_cred(), "f", 0o644).unwrap();
-    assert_eq!(root.rmdir(&root_cred(), "d").unwrap_err(), FsError::NotEmpty);
+    assert_eq!(
+        root.rmdir(&root_cred(), "d").unwrap_err(),
+        FsError::NotEmpty
+    );
     d.remove(&root_cred(), "f").unwrap();
     root.rmdir(&root_cred(), "d").unwrap();
 }
@@ -255,7 +261,10 @@ fn symlink_round_trip_and_resolution() {
     f.write(&root_cred(), 0, b"via link").unwrap();
     root.symlink(&root_cred(), "ln", "d/target").unwrap();
     let resolved = ficus_vnode::api::resolve(&root, &root_cred(), "ln").unwrap();
-    assert_eq!(&resolved.read(&root_cred(), 0, 100).unwrap()[..], b"via link");
+    assert_eq!(
+        &resolved.read(&root_cred(), 0, 100).unwrap()[..],
+        b"via link"
+    );
 }
 
 #[test]
@@ -278,7 +287,10 @@ fn rename_within_directory() {
     f.write(&root_cred(), 0, b"content").unwrap();
     let peer = fs.root();
     root.rename(&root_cred(), "old", &peer, "new").unwrap();
-    assert_eq!(root.lookup(&root_cred(), "old").unwrap_err(), FsError::NotFound);
+    assert_eq!(
+        root.lookup(&root_cred(), "old").unwrap_err(),
+        FsError::NotFound
+    );
     let n = root.lookup(&root_cred(), "new").unwrap();
     assert_eq!(&n.read(&root_cred(), 0, 10).unwrap()[..], b"content");
 }
@@ -335,7 +347,8 @@ fn rename_dir_into_own_descendant_rejected() {
     let _b = a.mkdir(&root_cred(), "b", 0o755).unwrap();
     let b_ref = a.lookup(&root_cred(), "b").unwrap();
     assert_eq!(
-        root.rename(&root_cred(), "a", &b_ref, "inside").unwrap_err(),
+        root.rename(&root_cred(), "a", &b_ref, "inside")
+            .unwrap_err(),
         FsError::Invalid
     );
 }
@@ -430,7 +443,8 @@ fn readdir_pagination_with_cookies() {
     let fs = fresh();
     let root = fs.root();
     for i in 0..10 {
-        root.create(&root_cred(), &format!("f{i:02}"), 0o644).unwrap();
+        root.create(&root_cred(), &format!("f{i:02}"), 0o644)
+            .unwrap();
     }
     let mut seen = Vec::new();
     let mut cookie = 0;
@@ -454,7 +468,10 @@ fn write_read_on_directory_rejected() {
     let fs = fresh();
     let root = fs.root();
     assert_eq!(root.read(&root_cred(), 0, 1).unwrap_err(), FsError::IsDir);
-    assert_eq!(root.write(&root_cred(), 0, b"x").unwrap_err(), FsError::IsDir);
+    assert_eq!(
+        root.write(&root_cred(), 0, b"x").unwrap_err(),
+        FsError::IsDir
+    );
 }
 
 #[test]
@@ -802,7 +819,10 @@ fn deep_nesting_and_dotdot_resolution() {
         cur = cur.mkdir(&cred, &format!("d{i}"), 0o755).unwrap();
     }
     cur.create(&cred, "leaf", 0o644).unwrap();
-    let path = (0..12).map(|i| format!("d{i}")).collect::<Vec<_>>().join("/");
+    let path = (0..12)
+        .map(|i| format!("d{i}"))
+        .collect::<Vec<_>>()
+        .join("/");
     let v = ficus_vnode::api::resolve(&fs.root(), &cred, &format!("/{path}/leaf")).unwrap();
     assert_eq!(v.kind(), VnodeType::Regular);
     // `..` climbs back out: /d0/d1/../d1 names the same directory as
@@ -821,7 +841,14 @@ fn rename_same_name_same_dir_is_noop() {
     f.write(&cred, 0, b"put").unwrap();
     let peer = fs.root();
     root.rename(&cred, "stay", &peer, "stay").unwrap();
-    assert_eq!(&root.lookup(&cred, "stay").unwrap().read(&cred, 0, 3).unwrap()[..], b"put");
+    assert_eq!(
+        &root
+            .lookup(&cred, "stay")
+            .unwrap()
+            .read(&cred, 0, 3)
+            .unwrap()[..],
+        b"put"
+    );
     assert!(fsck::check(&fs).unwrap().is_clean());
 }
 

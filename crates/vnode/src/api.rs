@@ -159,7 +159,12 @@ pub fn resolve(base: &VnodeRef, cred: &Credentials, path: &str) -> FsResult<Vnod
 /// Maximum symlink expansions before [`FsError::Loop`].
 const MAX_SYMLINK_DEPTH: u32 = 40;
 
-fn resolve_depth(base: &VnodeRef, cred: &Credentials, path: &str, depth: u32) -> FsResult<VnodeRef> {
+fn resolve_depth(
+    base: &VnodeRef,
+    cred: &Credentials,
+    path: &str,
+    depth: u32,
+) -> FsResult<VnodeRef> {
     if depth > MAX_SYMLINK_DEPTH {
         return Err(FsError::Loop);
     }

@@ -149,7 +149,8 @@ impl Vnode for CryptVnode {
 
     fn write(&self, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
         if self.transforms() {
-            self.lower.write(cred, offset, &apply(self.key, offset, data))
+            self.lower
+                .write(cred, offset, &apply(self.key, offset, data))
         } else {
             self.lower.write(cred, offset, data)
         }
@@ -219,7 +220,9 @@ mod tests {
     fn keystream_is_position_sensitive_and_deterministic() {
         assert_eq!(keystream(1, 0), keystream(1, 0));
         // Adjacent positions differ (overwhelmingly likely for this mix).
-        let distinct = (0..64).map(|p| keystream(7, p)).collect::<std::collections::BTreeSet<_>>();
+        let distinct = (0..64)
+            .map(|p| keystream(7, p))
+            .collect::<std::collections::BTreeSet<_>>();
         assert!(distinct.len() > 16);
         assert_ne!(keystream(1, 5), keystream(2, 5));
     }
@@ -263,9 +266,7 @@ mod tests {
         let bare = SinkFs::new(1);
         let cred = Credentials::root();
         assert_eq!(
-            fs.root()
-                .rename(&cred, "a", &bare.root(), "b")
-                .unwrap_err(),
+            fs.root().rename(&cred, "a", &bare.root(), "b").unwrap_err(),
             FsError::Xdev
         );
     }

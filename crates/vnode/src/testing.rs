@@ -14,8 +14,7 @@ use bytes::Bytes;
 use crate::api::{FileSystem, Vnode, VnodeRef};
 use crate::error::{FsError, FsResult};
 use crate::types::{
-    AccessMode, Credentials, DirEntry, FsStats, OpenFlags, SetAttr, Timestamp, VnodeAttr,
-    VnodeType,
+    AccessMode, Credentials, DirEntry, FsStats, OpenFlags, SetAttr, Timestamp, VnodeAttr, VnodeType,
 };
 
 /// A do-nothing file system: the floor of a measurement stack.

@@ -3,7 +3,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-
 /// Identifier of the replica (volume replica, in Ficus terms) that originated
 /// an update.
 ///

@@ -102,9 +102,7 @@ impl ReferenceGenerator {
         let flat = if !self.stack.is_empty() && self.rng.gen::<f64>() < self.p_recent {
             // Geometric over the stack: position 0 (most recent) likeliest.
             let mut pos = 0;
-            while pos + 1 < self.stack.len().min(self.stack_depth)
-                && self.rng.gen::<f64>() < 0.5
-            {
+            while pos + 1 < self.stack.len().min(self.stack_depth) && self.rng.gen::<f64>() < 0.5 {
                 pos += 1;
             }
             self.stack[pos]

@@ -23,7 +23,10 @@ impl Zipf {
     #[must_use]
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one item");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {

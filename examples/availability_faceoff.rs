@@ -55,7 +55,9 @@ fn main() {
     let mut writers = 0;
     for h in world.host_ids() {
         let v = world.logical(h).root().lookup(&cred, "ledger").unwrap();
-        if v.write(&cred, 8, format!("entry from {h}\n").as_bytes()).is_ok() {
+        if v.write(&cred, 8, format!("entry from {h}\n").as_bytes())
+            .is_ok()
+        {
             writers += 1;
         }
     }
@@ -64,7 +66,9 @@ fn main() {
     );
     // Sanity: a quorum policy over the same scenario refuses everyone.
     let quorum = MajorityVoting { n: 3 };
-    let refused = (0..3).filter(|&i| !quorum.permits(&[i], Operation::Update)).count();
+    let refused = (0..3)
+        .filter(|&i| !quorum.permits(&[i], Operation::Update))
+        .count();
     println!("  majority voting on the identical scenario refuses {refused}/3 update sites");
 
     world.heal();

@@ -131,5 +131,8 @@ fn main() {
     let size = merged.getattr(&cred).unwrap().size as usize;
     let text = String::from_utf8_lossy(&merged.read(&cred, 0, size).unwrap()).into_owned();
     assert!(text.contains("<<<<<<<"), "markers visible everywhere");
-    println!("laptop now sees the resolved draft ({} bytes, with markers)", size);
+    println!(
+        "laptop now sees the resolved draft ({} bytes, with markers)",
+        size
+    );
 }

@@ -47,12 +47,7 @@ fn main() {
         .unwrap()
         .write(&cred, 0, b"all: ficus\n")
         .unwrap();
-    let arch_root = resolve(
-        &world.logical(HostId(2)).root(),
-        &cred,
-        "/projects/archive",
-    )
-    .unwrap();
+    let arch_root = resolve(&world.logical(HostId(2)).root(), &cred, "/projects/archive").unwrap();
     arch_root
         .create(&cred, "v0.9.tar", 0o644)
         .unwrap()

@@ -22,7 +22,11 @@ fn main() {
     let root = world.logical(HostId(1)).root();
     let readme = root.create(&cred, "README", 0o644).unwrap();
     readme
-        .write(&cred, 0, b"Ficus: one logical copy, many physical replicas.\n")
+        .write(
+            &cred,
+            0,
+            b"Ficus: one logical copy, many physical replicas.\n",
+        )
         .unwrap();
     let docs = root.mkdir(&cred, "docs", 0o755).unwrap();
     docs.create(&cred, "design.txt", 0o644)
@@ -40,7 +44,10 @@ fn main() {
         let root = world.logical(h).root();
         let v = root.lookup(&cred, "README").unwrap();
         let text = v.read(&cred, 0, 4096).unwrap();
-        println!("host {h} reads README: {:?}", String::from_utf8_lossy(&text).trim());
+        println!(
+            "host {h} reads README: {:?}",
+            String::from_utf8_lossy(&text).trim()
+        );
     }
 
     // One-copy availability: a fully partitioned host still works.
@@ -57,7 +64,11 @@ fn main() {
 
     world.heal();
     world.settle();
-    let v3 = world.logical(HostId(3)).root().lookup(&cred, "README").unwrap();
+    let v3 = world
+        .logical(HostId(3))
+        .root()
+        .lookup(&cred, "README")
+        .unwrap();
     let text = v3.read(&cred, 0, 4096).unwrap();
     println!(
         "after healing, host h3 reads: {:?}",

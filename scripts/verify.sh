@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full local verification: everything CI runs, in the same order.
+#
+#   scripts/verify.sh          # build + tests + lints
+#   scripts/verify.sh --quick  # tier-1 only (release build + root-package tests)
+#
+# Tier-1 (the floor every PR must keep green) is `cargo build --release &&
+# cargo test -q`; note that because the root Cargo.toml is both a workspace
+# and a package, the bare `cargo test` only runs the umbrella crate — the
+# full sweep needs `--workspace`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release
+run cargo test -q
+
+if [[ "${1:-}" == "--quick" ]]; then
+    echo "verify: tier-1 OK (quick mode, workspace tests and lints skipped)"
+    exit 0
+fi
+
+# The root package does not depend on ficus-bench, so the bare release
+# build above skips the exp_* binaries — build the whole workspace before
+# anything regenerates results/ from target/release/.
+run cargo build --release --workspace
+run cargo test -q --workspace
+run cargo clippy --all-targets -- -D warnings
+run cargo fmt --check
+
+echo "verify: OK"

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the tiny subset of the parking_lot API it actually uses, implemented on
+//! top of `std::sync`.  Semantics match parking_lot where the repo depends on
+//! them: locks are not poisoned by panics, and `ReentrantMutex` may be
+//! re-acquired by the thread that already holds it.
+
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::sync::{self, PoisonError};
+use std::thread::{self, ThreadId};
+
+/// Mutual exclusion without poisoning.
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// Guard type re-used from std; parking_lot's extra methods are unused here.
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.0.try_lock().ok()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// Reader-writer lock without poisoning.
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.try_read() {
+            Ok(guard) => f.debug_tuple("RwLock").field(&&*guard).finish(),
+            Err(_) => f.write_str("RwLock(<locked>)"),
+        }
+    }
+}
+
+/// A mutex that the owning thread may lock again without deadlocking.
+///
+/// The guard hands out `&T` only (as in parking_lot), so reentrancy never
+/// aliases a mutable borrow.
+pub struct ReentrantMutex<T: ?Sized> {
+    state: sync::Mutex<OwnerState>,
+    unlocked: sync::Condvar,
+    data: T,
+}
+
+struct OwnerState {
+    owner: Option<ThreadId>,
+    depth: usize,
+}
+
+impl<T> ReentrantMutex<T> {
+    pub const fn new(value: T) -> Self {
+        ReentrantMutex {
+            state: sync::Mutex::new(OwnerState {
+                owner: None,
+                depth: 0,
+            }),
+            unlocked: sync::Condvar::new(),
+            data: value,
+        }
+    }
+}
+
+impl<T: ?Sized> ReentrantMutex<T> {
+    pub fn lock(&self) -> ReentrantMutexGuard<'_, T> {
+        let me = thread::current().id();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match state.owner {
+                None => {
+                    state.owner = Some(me);
+                    state.depth = 1;
+                    break;
+                }
+                Some(owner) if owner == me => {
+                    state.depth += 1;
+                    break;
+                }
+                Some(_) => {
+                    state = self
+                        .unlocked
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+        ReentrantMutexGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+pub struct ReentrantMutexGuard<'a, T: ?Sized> {
+    lock: &'a ReentrantMutex<T>,
+    // The guard must be released on the thread that acquired it.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T: ?Sized> Deref for ReentrantMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.lock.data
+    }
+}
+
+impl<T: ?Sized> Drop for ReentrantMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut state = self
+            .lock
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        state.depth -= 1;
+        if state.depth == 0 {
+            state.owner = None;
+            drop(state);
+            self.lock.unlocked.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_survives_panicking_holder() {
+        let m = Arc::new(Mutex::new(1u32));
+        let m2 = Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn reentrant_lock_can_nest() {
+        let m = ReentrantMutex::new(7u32);
+        let a = m.lock();
+        let b = m.lock();
+        assert_eq!((*a, *b), (7, 7));
+    }
+
+    #[test]
+    fn reentrant_lock_excludes_other_threads() {
+        let m = Arc::new(ReentrantMutex::new(0u32));
+        let held = m.lock();
+        let m2 = Arc::clone(&m);
+        let contender = thread::spawn(move || {
+            let _g = m2.lock();
+        });
+        // The contender can only finish once we release.
+        thread::sleep(std::time::Duration::from_millis(10));
+        assert!(!contender.is_finished());
+        drop(held);
+        contender.join().unwrap();
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(5u32);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+}

@@ -33,7 +33,9 @@ fn mk(me: u32, disk: Disk) -> (Arc<Ufs>, Arc<FicusPhysical>) {
 fn crash_and_remount_preserves_replica_state() {
     let disk = Disk::new(Geometry::medium());
     let (ufs, phys) = mk(1, disk.clone());
-    let f = phys.create(ROOT_FILE, "durable", VnodeType::Regular).unwrap();
+    let f = phys
+        .create(ROOT_FILE, "durable", VnodeType::Regular)
+        .unwrap();
     phys.write(f, 0, b"must survive").unwrap();
     let d = phys.mkdir(ROOT_FILE, "subdir").unwrap();
     phys.create(d, "inner", VnodeType::Regular).unwrap();
@@ -60,7 +62,9 @@ fn crash_and_remount_preserves_replica_state() {
     assert_eq!(&phys2.read(f, 0, 100).unwrap()[..], b"must survive");
     assert_eq!(phys2.lookup(d, "inner").unwrap().kind, VnodeType::Regular);
     // And new ids never collide with pre-crash ones.
-    let g = phys2.create(ROOT_FILE, "fresh", VnodeType::Regular).unwrap();
+    let g = phys2
+        .create(ROOT_FILE, "fresh", VnodeType::Regular)
+        .unwrap();
     assert_ne!(g, f);
 }
 
@@ -76,7 +80,9 @@ fn reconciliation_repairs_a_replica_that_crashed_mid_divergence() {
 
     // B moves ahead; A crashes with unflushed activity.
     b.write(f, 0, b"v2 from b").unwrap();
-    let g = a.create(ROOT_FILE, "doomed-data", VnodeType::Regular).unwrap();
+    let g = a
+        .create(ROOT_FILE, "doomed-data", VnodeType::Regular)
+        .unwrap();
     a.write(g, 0, b"not yet flushed").unwrap();
     ufs_a.crash();
 

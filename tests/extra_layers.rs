@@ -12,9 +12,7 @@ use ficus_repro::core::recon::reconcile_subtree;
 use ficus_repro::ufs::{Disk, Geometry, Ufs, UfsParams};
 use ficus_repro::vnode::authz::{AuthLayer, AuthPolicy};
 use ficus_repro::vnode::crypt::CryptLayer;
-use ficus_repro::vnode::{
-    Credentials, FileSystem, FsError, LogicalClock, TimeSource, VnodeType,
-};
+use ficus_repro::vnode::{Credentials, FileSystem, FsError, LogicalClock, TimeSource, VnodeType};
 
 const KEY: u64 = 0x5EC2_E7F1;
 
@@ -45,7 +43,9 @@ fn replication_over_encrypted_storage() {
     let disk = Disk::new(Geometry::medium());
     let (raw_ufs, phys) = encrypted_phys(1, disk);
     let cred = Credentials::root();
-    let f = phys.create(ROOT_FILE, "secret", VnodeType::Regular).unwrap();
+    let f = phys
+        .create(ROOT_FILE, "secret", VnodeType::Regular)
+        .unwrap();
     phys.write(f, 0, b"the plans").unwrap();
     assert_eq!(&phys.read(f, 0, 100).unwrap()[..], b"the plans");
 
@@ -67,7 +67,9 @@ fn authentication_gates_a_replica_export() {
     // An AuthLayer over the physical export: only admitted principals may
     // reconcile against this replica — the wide-area trust boundary.
     let (_ufs, phys) = encrypted_phys(1, Disk::new(Geometry::medium()));
-    let f = phys.create(ROOT_FILE, "guarded", VnodeType::Regular).unwrap();
+    let f = phys
+        .create(ROOT_FILE, "guarded", VnodeType::Regular)
+        .unwrap();
     phys.write(f, 0, b"members only").unwrap();
 
     let policy = AuthPolicy::new(&[]); // nobody admitted yet

@@ -80,7 +80,9 @@ fn reconciliation_survives_mid_protocol_remote_faults() {
         let f = remote
             .create(ROOT_FILE, &format!("f{i}"), VnodeType::Regular)
             .unwrap();
-        remote.write(f, 0, format!("payload {i}").as_bytes()).unwrap();
+        remote
+            .write(f, 0, format!("payload {i}").as_bytes())
+            .unwrap();
     }
     let (faulty_export, control) = FaultLayer::new(
         PhysFs::new(Arc::clone(&remote)) as Arc<dyn FileSystem>,
@@ -109,7 +111,10 @@ fn reconciliation_survives_mid_protocol_remote_faults() {
             Err(e) => panic!("unexpected error {e}"),
         }
     }
-    assert!(failures >= 1, "the fault burst must have bitten at least once");
+    assert!(
+        failures >= 1,
+        "the fault burst must have bitten at least once"
+    );
     assert_eq!(control.fired(), 12, "the whole burst was consumed");
     // Everything arrived intact.
     for i in 0..6 {
@@ -132,13 +137,8 @@ fn nfs_client_faults_do_not_poison_the_server() {
     let (faulty, control) = FaultLayer::new(ufs, FaultPlan::none());
     let server = NfsServer::new(faulty);
     server.serve(&net, HostId(2));
-    let client = NfsClientFs::mount(
-        net,
-        HostId(1),
-        HostId(2),
-        NfsClientParams::uncached(),
-    )
-    .unwrap();
+    let client =
+        NfsClientFs::mount(net, HostId(1), HostId(2), NfsClientParams::uncached()).unwrap();
     let cred = ficus_repro::vnode::Credentials::root();
     let root = client.root();
     let f = root.create(&cred, "f", 0o644).unwrap();

@@ -1,0 +1,288 @@
+//! Integration: the batched reconciliation protocol end to end — bulk
+//! fetches over a real NFS client/server pair, transient-failure retry,
+//! requeue accounting across partitions, and convergence under datagram
+//! loss. Companion to the E5/E7 benchmarks, which measure the same RPC
+//! savings at scale.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ficus_repro::core::access::VnodeAccess;
+use ficus_repro::core::ids::{ReplicaId, VolumeName, ROOT_FILE};
+use ficus_repro::core::phys::vnode::PhysFs;
+use ficus_repro::core::phys::{FicusPhysical, PhysParams};
+use ficus_repro::core::recon::reconcile_subtree;
+use ficus_repro::core::sim::{FicusWorld, WorldParams};
+use ficus_repro::net::{HostId, Network, NetworkParams, SimClock};
+use ficus_repro::nfs::client::{NfsClientFs, NfsClientParams};
+use ficus_repro::nfs::server::NfsServer;
+use ficus_repro::nfs::wire::{Reply, Request};
+use ficus_repro::ufs::{Disk, Geometry, Ufs, UfsParams};
+use ficus_repro::vnode::{Credentials, FileSystem, FsError, TimeSource, VnodeType};
+use ficus_vv::VersionVector;
+
+fn mk_phys(clock: &Arc<SimClock>, me: u32) -> Arc<FicusPhysical> {
+    let ufs = Ufs::format_with_clock(
+        Disk::new(Geometry::medium()),
+        UfsParams::default(),
+        Arc::clone(clock) as Arc<dyn TimeSource>,
+    )
+    .unwrap();
+    FicusPhysical::create_volume(
+        Arc::new(ufs),
+        "vol",
+        VolumeName::new(1, 1),
+        ReplicaId(me),
+        &[1, 2],
+        Arc::clone(clock) as Arc<dyn TimeSource>,
+        PhysParams::default(),
+    )
+    .unwrap()
+}
+
+/// The same divergence reconciled twice over NFS — once with the pre-bulk
+/// per-file protocol, once batched. Identical outcome, at least half the
+/// RPCs saved.
+#[test]
+fn batched_reconciliation_matches_per_file_at_half_the_rpcs() {
+    const FILES: usize = 30;
+    let clock = SimClock::new();
+    let net = Network::fully_connected(Arc::clone(&clock));
+    let remote = mk_phys(&clock, 2);
+    for i in 0..FILES {
+        let f = remote
+            .create(ROOT_FILE, &format!("file-{i:02}"), VnodeType::Regular)
+            .unwrap();
+        remote
+            .write(f, 0, format!("contents of {i}").as_bytes())
+            .unwrap();
+    }
+    let server = NfsServer::new(PhysFs::new(Arc::clone(&remote)) as Arc<dyn FileSystem>);
+    server.serve(&net, HostId(2));
+    let mount = NfsClientFs::mount(
+        net.clone(),
+        HostId(1),
+        HostId(2),
+        NfsClientParams::uncached(),
+    )
+    .unwrap();
+
+    let local_per_file = mk_phys(&clock, 1);
+    let before = net.stats();
+    let stats_per_file = reconcile_subtree(
+        &local_per_file,
+        &VnodeAccess::per_file(ReplicaId(2), mount.root()),
+    )
+    .unwrap();
+    let per_file_rpcs = net.stats().since(before).rpcs;
+
+    let local_batched = mk_phys(&clock, 1);
+    let before = net.stats();
+    let stats_batched = reconcile_subtree(
+        &local_batched,
+        &VnodeAccess::new(ReplicaId(2), mount.root()),
+    )
+    .unwrap();
+    let batched_rpcs = net.stats().since(before).rpcs;
+
+    // Same protocol outcome...
+    assert_eq!(stats_per_file.entries_inserted, FILES as u64);
+    assert_eq!(stats_batched.entries_inserted, FILES as u64);
+    assert_eq!(stats_per_file.files_pulled, stats_batched.files_pulled);
+    for i in 0..FILES {
+        let f = remote
+            .dir_entries(ROOT_FILE)
+            .unwrap()
+            .live()
+            .find(|e| e.name == format!("file-{i:02}"))
+            .unwrap()
+            .file;
+        let want = format!("contents of {i}");
+        assert_eq!(
+            &local_per_file.read(f, 0, 100).unwrap()[..],
+            want.as_bytes()
+        );
+        assert_eq!(&local_batched.read(f, 0, 100).unwrap()[..], want.as_bytes());
+    }
+    // ...at a fraction of the wire cost.
+    assert!(
+        per_file_rpcs >= 2 * batched_rpcs,
+        "batching saved too little: {per_file_rpcs} per-file rpcs vs {batched_rpcs} batched"
+    );
+    assert!(stats_batched.rpcs_saved > 0);
+}
+
+/// A transient server-side timeout on the bulk RPC is absorbed by the
+/// client's bounded retry; reconciliation completes on the second attempt.
+#[test]
+fn bulk_rpc_retries_after_transient_timeout() {
+    let clock = SimClock::new();
+    let net = Network::fully_connected(Arc::clone(&clock));
+    let remote = mk_phys(&clock, 2);
+    let f = remote.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    remote.write(f, 0, b"eventually").unwrap();
+
+    // A proxy service that times out the FIRST bulk request, then behaves.
+    let server = NfsServer::new(PhysFs::new(Arc::clone(&remote)) as Arc<dyn FileSystem>);
+    let failed_once = Arc::new(AtomicBool::new(false));
+    {
+        let server = Arc::clone(&server);
+        let failed_once = Arc::clone(&failed_once);
+        net.register_rpc(
+            HostId(2),
+            "flaky-nfs",
+            Arc::new(move |_from, request| {
+                if let Ok((_, Request::LookupReadMany(..))) = Request::decode(request) {
+                    if !failed_once.swap(true, Ordering::SeqCst) {
+                        return Ok(Reply::encode(&Err(FsError::TimedOut)));
+                    }
+                }
+                Ok(server.handle_wire(request))
+            }),
+        );
+    }
+    let mount = NfsClientFs::mount_service(
+        net.clone(),
+        HostId(1),
+        HostId(2),
+        "flaky-nfs",
+        NfsClientParams::uncached(),
+    )
+    .unwrap();
+
+    let local = mk_phys(&clock, 1);
+    let stats = reconcile_subtree(&local, &VnodeAccess::new(ReplicaId(2), mount.root())).unwrap();
+    assert!(
+        failed_once.load(Ordering::SeqCst),
+        "the fault was exercised"
+    );
+    assert_eq!(stats.entries_inserted, 1);
+    assert_eq!(&local.read(f, 0, 100).unwrap()[..], b"eventually");
+}
+
+/// Notes that cannot reach their origin during a partition are requeued —
+/// all of them, exactly once — and drained after the heal.
+#[test]
+fn propagation_requeues_across_a_partition_and_recovers() {
+    let world = FicusWorld::new(WorldParams {
+        hosts: 2,
+        root_replica_hosts: vec![1, 2],
+        ..WorldParams::default()
+    });
+    let vol = world.root_volume();
+    let cred = Credentials::root();
+    let root = world.logical(HostId(1)).root();
+    root.create(&cred, "f", 0o644)
+        .unwrap()
+        .write(&cred, 0, b"v1")
+        .unwrap();
+    world.settle();
+
+    // Replica 1 updates three files; replica 2 hears about them.
+    let p1 = world.phys(HostId(1), vol).unwrap();
+    let p2 = world.phys(HostId(2), vol).unwrap();
+    let f = p1
+        .dir_entries(ROOT_FILE)
+        .unwrap()
+        .live()
+        .next()
+        .unwrap()
+        .file;
+    p1.write(f, 0, b"v2").unwrap();
+    p2.note_new_version(f, ReplicaId(1), VersionVector::new());
+
+    // The partition lands before the daemon can pull.
+    world.partition(&[&[HostId(1)], &[HostId(2)]]);
+    let stats = world.run_propagation(HostId(2)).unwrap();
+    assert_eq!(stats.notes_taken, 1);
+    assert_eq!(stats.requeued, 1, "unreachable origin must requeue");
+    assert_eq!(stats.files_pulled, 0);
+    assert_eq!(p2.pending_notifications(), 1, "note survives for retry");
+
+    // Mid-partition, subtree reconciliation at host 1 sees its own new
+    // state as missing from no one — the unreachable peer is skipped, and
+    // nothing is lost.
+    let recon_stats = world.run_reconciliation(HostId(1)).unwrap();
+    assert_eq!(recon_stats.dirs_examined, 0, "partitioned peer skipped");
+
+    world.heal();
+    let stats = world.run_propagation(HostId(2)).unwrap();
+    assert_eq!(stats.notes_taken, 1);
+    assert_eq!(stats.requeued, 0);
+    assert_eq!(stats.files_pulled, 1);
+    assert_eq!(&p2.read(f, 0, 10).unwrap()[..], b"v2");
+    assert_eq!(p2.pending_notifications(), 0);
+}
+
+/// Divergence under datagram loss plus a mid-run partition: notifications
+/// may vanish, but the periodic subtree protocol converges the replicas
+/// regardless, and the accounting distinguishes "peer didn't have it yet"
+/// (`remote_missing`) from real work.
+#[test]
+fn convergence_despite_datagram_loss_and_partition() {
+    let world = FicusWorld::new(WorldParams {
+        hosts: 3,
+        root_replica_hosts: vec![1, 2, 3],
+        net: NetworkParams {
+            datagram_loss: 0.4,
+            seed: 0x5EED,
+            ..NetworkParams::default()
+        },
+        ..WorldParams::default()
+    });
+    let vol = world.root_volume();
+    let cred = Credentials::root();
+
+    // Activity at every host, under loss.
+    for h in [1u32, 2, 3] {
+        let root = world.logical(HostId(h)).root();
+        let name = format!("from-{h}");
+        root.create(&cred, &name, 0o644)
+            .unwrap()
+            .write(&cred, 0, format!("host {h} speaking").as_bytes())
+            .unwrap();
+    }
+    world.deliver_notifications(); // some are dropped by the loss model
+
+    // Mid-run partition: host 3 is cut off while 1 and 2 exchange state.
+    world.partition(&[&[HostId(1), HostId(2)], &[HostId(3)]]);
+    // Host 1 reconciles against whoever it can reach; its own new file is
+    // one the reachable peer lacks, so the pass reports it missing there.
+    let stats = world.run_reconciliation(HostId(1)).unwrap();
+    assert!(stats.dirs_examined >= 1);
+    assert!(
+        stats.remote_missing >= 1,
+        "host 2 does not have host 1's file yet: {stats:?}"
+    );
+
+    // More activity while split.
+    world
+        .logical(HostId(3))
+        .root()
+        .create(&cred, "during-partition", 0o644)
+        .unwrap()
+        .write(&cred, 0, b"isolated work")
+        .unwrap();
+
+    world.heal();
+    world.settle();
+
+    // Every replica holds every file with identical bytes.
+    for name in ["from-1", "from-2", "from-3", "during-partition"] {
+        let mut bodies = Vec::new();
+        for h in [1u32, 2, 3] {
+            let p = world.phys(HostId(h), vol).unwrap();
+            let e = p
+                .dir_entries(ROOT_FILE)
+                .unwrap()
+                .live()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("{name} missing at host {h}"))
+                .clone();
+            let size = p.storage_attr(e.file).unwrap().size as usize;
+            bodies.push(p.read(e.file, 0, size).unwrap().to_vec());
+        }
+        assert_eq!(bodies[0], bodies[1], "{name} differs between hosts 1/2");
+        assert_eq!(bodies[1], bodies[2], "{name} differs between hosts 2/3");
+    }
+}

@@ -87,13 +87,7 @@ fn syscalls_over_an_nfs_mount() {
     let ufs = Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap();
     let server = NfsServer::new(Arc::new(ufs) as Arc<dyn FileSystem>);
     server.serve(&net, HostId(2));
-    let mount = NfsClientFs::mount(
-        net,
-        HostId(1),
-        HostId(2),
-        NfsClientParams::uncached(),
-    )
-    .unwrap();
+    let mount = NfsClientFs::mount(net, HostId(1), HostId(2), NfsClientParams::uncached()).unwrap();
     let mut p = Process::new(Arc::new(mount), Credentials::root());
     exercise(&mut p);
 }

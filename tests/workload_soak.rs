@@ -39,25 +39,26 @@ fn locality_workload_soak_with_partitions() {
         .map(|(i, _)| ReferenceGenerator::new(shape, 1.0, 0.7, 0.4, 8, 100 + i as u64))
         .collect();
 
-    let run_epoch = |world: &FicusWorld, generators: &mut [ReferenceGenerator], hosts: &[HostId]| {
-        for (gi, &h) in hosts.iter().enumerate() {
-            let root = world.logical(h).root();
-            for r in generators[gi].take(40) {
-                let path = format!("/dir{}/file{}", r.dir, r.file);
-                let Ok(v) = resolve(&root, &cred, &path) else {
-                    continue;
-                };
-                match r.op {
-                    OpKind::Read => {
-                        let _ = v.read(&cred, 0, 64);
-                    }
-                    OpKind::Write => {
-                        let _ = v.write(&cred, 0, format!("touch by {h}").as_bytes());
+    let run_epoch =
+        |world: &FicusWorld, generators: &mut [ReferenceGenerator], hosts: &[HostId]| {
+            for (gi, &h) in hosts.iter().enumerate() {
+                let root = world.logical(h).root();
+                for r in generators[gi].take(40) {
+                    let path = format!("/dir{}/file{}", r.dir, r.file);
+                    let Ok(v) = resolve(&root, &cred, &path) else {
+                        continue;
+                    };
+                    match r.op {
+                        OpKind::Read => {
+                            let _ = v.read(&cred, 0, 64);
+                        }
+                        OpKind::Write => {
+                            let _ = v.write(&cred, 0, format!("touch by {h}").as_bytes());
+                        }
                     }
                 }
             }
-        }
-    };
+        };
 
     // Epoch 1: healthy.
     run_epoch(&world, &mut generators, &world.host_ids());
@@ -97,7 +98,10 @@ fn locality_workload_soak_with_partitions() {
         .filter_map(|h| world.phys(h, vol))
         .map(|p| p.conflicts().len())
         .sum();
-    assert!(conflicts > 0, "a 40%-write partitioned epoch should conflict");
+    assert!(
+        conflicts > 0,
+        "a 40%-write partitioned epoch should conflict"
+    );
 }
 
 #[test]
@@ -194,5 +198,8 @@ fn two_developers_edit_build_cycle_across_a_partition() {
         .filter_map(|h| world.phys(h, vol))
         .map(|p| p.conflicts().len())
         .sum();
-    assert!(reports > 0, "hot-file edits across a partition must conflict");
+    assert!(
+        reports > 0,
+        "hot-file edits across a partition must conflict"
+    );
 }
