@@ -1,0 +1,518 @@
+//! Seeded chaos campaigns against a multi-replica world.
+//!
+//! The paper's §7 claim — optimistic replication lets "failures occur more
+//! freely without as much special handling, relying on the reconciliation
+//! algorithms to restore consistency" — is a claim about *composed*
+//! failures: partitions while updates are in flight, hosts crashing during
+//! propagation, datagrams lost under load, servers misbehaving mid-RPC. A
+//! campaign composes exactly those, from one seed:
+//!
+//! 1. Build a world with every fault knob armed (datagram loss, an
+//!    interposed [`FaultLayer`](ficus_vnode::fault::FaultLayer) on each NFS
+//!    export, peer-health tracking on).
+//! 2. For `steps` rounds: mutate the fault state (partition / heal / crash /
+//!    revive / arm a burst of vnode faults), issue client writes through the
+//!    logical layers, run the daemons, advance the clock.
+//! 3. Heal everything, drain and reconcile, resolve surviving conflicts.
+//! 4. Check the §7 invariants and report violations instead of asserting,
+//!    so one run surfaces every breakage at once.
+//!
+//! The invariants:
+//!
+//! * **No lost updates** — every write acknowledged to a client is present,
+//!   with its exact bytes, at every replica after the heal.
+//! * **Convergence** — all replicas end with the same name tree, the same
+//!   per-file version vectors, and the same contents.
+//! * **No duplicate conflict reports** — each divergence `(file, other
+//!   replica, version vector)` is reported to the owner at most once per
+//!   log.
+//! * **Bounded probing of down peers** — RPCs the daemons burn on
+//!   unreachable peers stay within what the health backoff schedule admits,
+//!   rather than growing with the number of daemon passes.
+//!
+//! Everything is deterministic per seed: the campaign RNG, the network loss
+//! RNG, and each host's health jitter RNG are all seeded from
+//! [`ChaosParams::seed`].
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ficus_net::{HostId, NetworkParams};
+use ficus_vnode::fault::{FaultPlan, Schedule};
+use ficus_vnode::{Credentials, FileSystem, FsError, TimeSource, VnodeType};
+use ficus_vv::VersionVector;
+
+use crate::health::HealthParams;
+use crate::ids::{FicusFileId, ReplicaId, ROOT_FILE};
+use crate::resolve::{self, Resolution};
+use crate::sim::{FicusWorld, WorldParams};
+
+/// Campaign shape: how long, how hostile, and from which seed.
+#[derive(Debug, Clone)]
+pub struct ChaosParams {
+    /// Master seed; every random decision derives from it.
+    pub seed: u64,
+    /// Hosts in the world (each stores a root-volume replica).
+    pub hosts: u32,
+    /// Fault/write/daemon rounds before the final heal.
+    pub steps: u32,
+    /// Unique-file writes issued per step.
+    pub writes_per_step: u32,
+    /// Clock advance between steps, in microseconds.
+    pub step_us: u64,
+    /// Datagram loss probability for update notifications.
+    pub datagram_loss: f64,
+    /// Per-step probability of cutting a one-host partition (when whole).
+    pub partition_prob: f64,
+    /// Per-step probability of healing an active partition.
+    pub heal_prob: f64,
+    /// Per-step probability of crashing a host (when all are up).
+    pub crash_prob: f64,
+    /// Per-step probability of reviving the crashed host.
+    pub revive_prob: f64,
+    /// Per-step probability of arming a burst of vnode faults on one
+    /// export (each burst times out the next 1–3 operations).
+    pub export_fault_prob: f64,
+    /// Per-step probability of a write to the shared file (the conflict
+    /// generator: concurrent shared writes across a partition diverge).
+    pub shared_write_prob: f64,
+}
+
+impl Default for ChaosParams {
+    fn default() -> Self {
+        ChaosParams {
+            seed: 0xC4A0_5EED,
+            hosts: 3,
+            steps: 30,
+            writes_per_step: 2,
+            step_us: 20_000,
+            datagram_loss: 0.2,
+            partition_prob: 0.15,
+            heal_prob: 0.3,
+            crash_prob: 0.1,
+            revive_prob: 0.35,
+            export_fault_prob: 0.2,
+            shared_write_prob: 0.3,
+        }
+    }
+}
+
+/// What one campaign did and what it found.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// Steps executed.
+    pub steps: u32,
+    /// Writes acknowledged to clients (these must all survive).
+    pub writes_ok: u64,
+    /// Writes refused by a fault (carry no survival obligation).
+    pub writes_failed: u64,
+    /// Partition cuts performed.
+    pub partitions: u64,
+    /// Partition heals performed (including the final one).
+    pub heals: u64,
+    /// Host crashes performed.
+    pub crashes: u64,
+    /// Host revivals performed (including the final one).
+    pub revives: u64,
+    /// Vnode fault bursts armed.
+    pub faults_armed: u64,
+    /// Conflict reports on file across all hosts at the end.
+    pub conflicts_detected: u64,
+    /// Owner resolutions applied during cleanup.
+    pub resolutions: u64,
+    /// Unreachable-peer RPCs charged to daemon passes.
+    pub daemon_unreachable_rpcs: u64,
+    /// What the backoff schedule admits for that counter.
+    pub unreachable_allowance: u64,
+    /// Invariant violations (empty = the campaign passed).
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// What one replica ended the campaign holding, keyed by name.
+type Tree = BTreeMap<String, (FicusFileId, VersionVector, Vec<u8>)>;
+
+/// Runs one seeded campaign and checks the invariants.
+///
+/// # Panics
+///
+/// Panics if the world cannot be built or replicas fail to converge at all
+/// within the (generous) cleanup budget — both indicate harness-level bugs,
+/// not invariant violations.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
+    assert!(params.hosts >= 2, "chaos needs peers");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let world = FicusWorld::new(WorldParams {
+        hosts: params.hosts,
+        root_replica_hosts: (1..=params.hosts).collect(),
+        net: NetworkParams {
+            datagram_loss: params.datagram_loss,
+            seed: params.seed ^ 0x9E37_79B9,
+            ..NetworkParams::default()
+        },
+        health: Some(HealthParams {
+            seed: params.seed,
+            ..HealthParams::default()
+        }),
+        export_faults: true,
+        ..WorldParams::default()
+    });
+    let vol = world.root_volume();
+    let cred = Credentials::root();
+    let mut report = ChaosReport::default();
+
+    // The shared file everyone scribbles on — the conflict generator.
+    world
+        .logical(HostId(1))
+        .root()
+        .create(&cred, "shared", 0o644)
+        .expect("create shared")
+        .write(&cred, 0, b"base")
+        .expect("seed shared");
+    world.settle();
+
+    // Acknowledged writes: name -> exact bytes owed to the client.
+    let mut expected: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    let mut partitioned = false;
+    let mut down: Option<HostId> = None;
+    // Events that can legitimately reset a peer's backoff streak (each one
+    // buys the schedule a fresh run of short windows).
+    let mut streak_resets: u64 = 1;
+
+    let pick_host = |rng: &mut StdRng| HostId(rng.gen_range(1..=params.hosts));
+
+    for step in 0..params.steps {
+        // --- fault weather -------------------------------------------------
+        if partitioned {
+            if rng.gen_bool(params.heal_prob) {
+                world.heal();
+                partitioned = false;
+                report.heals += 1;
+                streak_resets += 1;
+            }
+        } else if rng.gen_bool(params.partition_prob) {
+            let lone = pick_host(&mut rng);
+            let rest: Vec<HostId> = (1..=params.hosts)
+                .map(HostId)
+                .filter(|h| *h != lone)
+                .collect();
+            world.partition(&[&[lone], &rest]);
+            partitioned = true;
+            report.partitions += 1;
+        }
+        if let Some(h) = down {
+            if rng.gen_bool(params.revive_prob) {
+                world.net().set_host_down(h, false);
+                down = None;
+                report.revives += 1;
+                streak_resets += 1;
+            }
+        } else if rng.gen_bool(params.crash_prob) {
+            let h = pick_host(&mut rng);
+            world.net().set_host_down(h, true);
+            down = Some(h);
+            report.crashes += 1;
+        }
+        if rng.gen_bool(params.export_fault_prob) {
+            let h = pick_host(&mut rng);
+            if let Some(ctl) = world.fault_control(h, vol) {
+                ctl.set_plan(FaultPlan {
+                    ops: Vec::new(),
+                    error: FsError::TimedOut,
+                    schedule: Schedule::NextN(rng.gen_range(1..4u64)),
+                });
+                report.faults_armed += 1;
+            }
+        }
+
+        // --- client writes -------------------------------------------------
+        for k in 0..params.writes_per_step {
+            let h = pick_host(&mut rng);
+            let name = format!("c{step}-h{}-{k}", h.0);
+            let content = name.clone().into_bytes();
+            let outcome = world
+                .logical(h)
+                .root()
+                .create(&cred, &name, 0o644)
+                .and_then(|v| v.write(&cred, 0, &content).map(|_| ()));
+            match outcome {
+                Ok(()) => {
+                    expected.insert(name, content);
+                    report.writes_ok += 1;
+                }
+                Err(_) => report.writes_failed += 1,
+            }
+        }
+        if rng.gen_bool(params.shared_write_prob) {
+            let h = pick_host(&mut rng);
+            let content = format!("s{step}-h{}", h.0).into_bytes();
+            let outcome = world
+                .logical(h)
+                .root()
+                .lookup(&cred, "shared")
+                .and_then(|v| v.write(&cred, 0, &content).map(|_| ()));
+            match outcome {
+                Ok(()) => report.writes_ok += 1,
+                Err(_) => report.writes_failed += 1,
+            }
+        }
+
+        // --- daemons (their unreachable-peer RPCs are the bounded ones) ----
+        let before = world.net().stats().rpcs_unreachable;
+        world.deliver_notifications();
+        for h in world.host_ids() {
+            let _ = world.run_propagation(h);
+        }
+        let recon_host = HostId(1 + (step % params.hosts));
+        let _ = world.run_reconciliation(recon_host);
+        report.daemon_unreachable_rpcs += world.net().stats().rpcs_unreachable - before;
+
+        world.clock().advance(params.step_us);
+        report.steps += 1;
+    }
+
+    // --- final heal + convergence -----------------------------------------
+    world.heal();
+    report.heals += 1;
+    if let Some(h) = down {
+        world.net().set_host_down(h, false);
+        report.revives += 1;
+    }
+    streak_resets += 1;
+    for h in world.host_ids() {
+        if let Some(ctl) = world.fault_control(h, vol) {
+            ctl.set_plan(FaultPlan::none());
+        }
+    }
+
+    let before = world.net().stats().rpcs_unreachable;
+    world.drain_propagation(16);
+    world.reconcile_until_quiescent(24);
+
+    // Resolve surviving conflicts one at a time, settling between owner
+    // decisions so resolutions never race each other into fresh conflicts.
+    for _ in 0..64 {
+        let mut target = None;
+        'hosts: for h in world.host_ids() {
+            if let Some(p) = world.phys(h, vol) {
+                if let Ok(list) = resolve::pending(&p) {
+                    if let Some(pc) = list.first() {
+                        target = Some((p, pc.file));
+                        break 'hosts;
+                    }
+                }
+            }
+        }
+        let Some((p, file)) = target else { break };
+        if resolve::resolve(&p, file, Resolution::Concatenate).is_ok() {
+            report.resolutions += 1;
+        }
+        world.settle();
+    }
+    world.drain_propagation(16);
+    world.reconcile_until_quiescent(24);
+    report.daemon_unreachable_rpcs += world.net().stats().rpcs_unreachable - before;
+
+    // --- invariants ---------------------------------------------------------
+    check_invariants(&world, &expected, streak_resets, &mut report);
+    report
+}
+
+/// Walks one replica's tree: name -> (file id, version vector, contents).
+fn snapshot_tree(world: &FicusWorld, h: HostId) -> Tree {
+    let vol = world.root_volume();
+    let phys = world.phys(h, vol).expect("host stores the root volume");
+    let mut out = Tree::new();
+    let mut queue = vec![(String::new(), ROOT_FILE)];
+    while let Some((prefix, dir)) = queue.pop() {
+        let Ok(entries) = phys.dir_entries(dir) else {
+            continue;
+        };
+        for e in entries.live() {
+            let path = if prefix.is_empty() {
+                e.name.clone()
+            } else {
+                format!("{prefix}/{}", e.name)
+            };
+            if e.kind.is_directory_like() {
+                queue.push((path.clone(), e.file));
+                out.insert(path, (e.file, VersionVector::new(), Vec::new()));
+            } else if e.kind == VnodeType::Regular {
+                let vv = phys.file_vv(e.file).unwrap_or_default();
+                let size = phys.storage_attr(e.file).map_or(0, |a| a.size) as usize;
+                let content = phys
+                    .read(e.file, 0, size)
+                    .map_or_else(|_| Vec::new(), |b| b.to_vec());
+                out.insert(path, (e.file, vv, content));
+            }
+        }
+    }
+    out
+}
+
+/// Largest number of failed probes one backoff streak admits within
+/// `elapsed_us`, using the schedule's shortest (fully jittered-down)
+/// windows.
+fn max_probes_per_streak(params: &HealthParams, elapsed_us: u64) -> u64 {
+    let floor = 1.0 - params.backoff.jitter.min(1.0) / 2.0;
+    let mut probes = 0u64;
+    let mut waited = 0u64;
+    let mut retry = 1u32;
+    while waited <= elapsed_us && probes < 10_000 {
+        probes += 1;
+        let window = (params.backoff.nominal_delay_us(retry) as f64 * floor) as u64;
+        waited = waited.saturating_add(window.max(1));
+        retry = retry.saturating_add(1);
+    }
+    probes
+}
+
+fn check_invariants(
+    world: &FicusWorld,
+    expected: &BTreeMap<String, Vec<u8>>,
+    streak_resets: u64,
+    report: &mut ChaosReport,
+) {
+    let vol = world.root_volume();
+    let hosts = world.host_ids();
+    let trees: Vec<(HostId, Tree)> = hosts
+        .iter()
+        .map(|&h| (h, snapshot_tree(world, h)))
+        .collect();
+    let mut violate = |msg: String| {
+        if report.violations.len() < 32 {
+            report.violations.push(msg);
+        }
+    };
+
+    // 1. No lost updates: every acknowledged write is on every replica with
+    //    its exact bytes (the shared file converges but to a merged value).
+    for (name, content) in expected {
+        for (h, tree) in &trees {
+            match tree.get(name) {
+                None => violate(format!("host {}: acknowledged '{name}' missing", h.0)),
+                Some((_, _, got)) if got != content => violate(format!(
+                    "host {}: acknowledged '{name}' has wrong bytes",
+                    h.0
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+
+    // 2. Convergence: identical trees — names, file ids, version vectors,
+    //    and contents — on every surviving replica.
+    let (first_host, first) = &trees[0];
+    for (h, tree) in &trees[1..] {
+        if tree.len() != first.len() {
+            violate(format!(
+                "host {} holds {} names, host {} holds {}",
+                h.0,
+                tree.len(),
+                first_host.0,
+                first.len()
+            ));
+        }
+        for (name, (file, vv, content)) in first {
+            match tree.get(name) {
+                None => violate(format!("host {}: '{name}' missing", h.0)),
+                Some((f2, vv2, c2)) => {
+                    if f2 != file {
+                        violate(format!("host {}: '{name}' maps to a different file", h.0));
+                    }
+                    if vv2 != vv {
+                        violate(format!("host {}: '{name}' version vector diverges", h.0));
+                    }
+                    if c2 != content {
+                        violate(format!("host {}: '{name}' contents diverge", h.0));
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. No duplicate conflict reports per log.
+    for &h in &hosts {
+        let Some(phys) = world.phys(h, vol) else {
+            continue;
+        };
+        let reports = phys.conflicts().all();
+        report.conflicts_detected += reports.len() as u64;
+        let mut seen: Vec<(FicusFileId, ReplicaId, VersionVector)> = Vec::new();
+        for r in reports {
+            let key = (r.file, r.other, r.vv.clone());
+            if seen.contains(&key) {
+                violate(format!(
+                    "host {}: duplicate conflict report for file {:?} vs replica {}",
+                    h.0, r.file, r.other.0
+                ));
+            } else {
+                seen.push(key);
+            }
+        }
+    }
+
+    // 4. Bounded probing: daemon RPCs at unreachable peers fit inside what
+    //    the backoff schedule admits over the campaign's duration. Without
+    //    health gating this grows with daemon passes; with it, with the
+    //    (logarithmic, then cap-spaced) window count.
+    let health_params = HealthParams::default();
+    let elapsed = world.clock().now().0;
+    let per_streak = max_probes_per_streak(&health_params, elapsed);
+    let pairs = u64::from(world.host_ids().len() as u32);
+    let pairs = pairs * (pairs - 1);
+    // ×2: the propagation and reconciliation daemons may each spend one
+    // probe on an expired window before it re-arms.
+    let allowance = pairs * (streak_resets + 1) * (per_streak + 2) * 2;
+    report.unreachable_allowance = allowance;
+    if report.daemon_unreachable_rpcs > allowance {
+        violate(format!(
+            "daemons burned {} RPCs on unreachable peers; backoff admits {}",
+            report.daemon_unreachable_rpcs, allowance
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_campaign_passes_and_is_deterministic() {
+        let a = run_campaign(&ChaosParams::default());
+        assert!(a.passed(), "violations: {:#?}", a.violations);
+        assert!(a.writes_ok > 0, "campaign must do real work");
+        let b = run_campaign(&ChaosParams::default());
+        assert_eq!(a.writes_ok, b.writes_ok);
+        assert_eq!(a.writes_failed, b.writes_failed);
+        assert_eq!(a.partitions, b.partitions);
+        assert_eq!(a.daemon_unreachable_rpcs, b.daemon_unreachable_rpcs);
+    }
+
+    #[test]
+    fn quiet_campaign_has_no_faults_to_survive() {
+        let report = run_campaign(&ChaosParams {
+            partition_prob: 0.0,
+            crash_prob: 0.0,
+            export_fault_prob: 0.0,
+            datagram_loss: 0.0,
+            steps: 6,
+            ..ChaosParams::default()
+        });
+        assert!(report.passed(), "violations: {:#?}", report.violations);
+        assert_eq!(report.partitions, 0);
+        assert_eq!(report.crashes, 0);
+        assert_eq!(report.daemon_unreachable_rpcs, 0);
+    }
+}

@@ -1,0 +1,370 @@
+//! Per-peer health tracking with exponential backoff.
+//!
+//! The paper's one-copy availability guarantee (§1, §3) assumes the logical
+//! layer degrades gracefully when replicas vanish: updates proceed against
+//! any accessible replica while reconciliation and propagation quietly
+//! absorb the failures. Absorbing a failure must not mean *re-probing the
+//! corpse on every daemon pass* — a dead peer would then cost a timed-out
+//! exchange per pass, forever, which is exactly the RPC burn Bayou's
+//! anti-entropy scheduling and Coda's disconnected operation avoid with
+//! per-peer state.
+//!
+//! [`PeerHealth`] is that state, one record per peer replica:
+//!
+//! ```text
+//!            failure                  `down_after` consecutive failures
+//! Healthy ───────────▶ Suspect ────────────────────────▶ Down
+//!    ▲                    │                                │
+//!    └────────────────────┴──── any success ◀──────────────┘
+//! ```
+//!
+//! Every failure arms a backoff window drawn from a shared
+//! [`RetryPolicy`] (exponential in the consecutive-failure count, jittered
+//! so peers don't re-probe in lockstep). While the window is open,
+//! [`PeerHealth::should_attempt`] says *skip* — the propagation daemon
+//! requeues the peer's notes without touching the wire and reconciliation
+//! leaves the peer for a later pass. Skips are not failures: they are
+//! accounted separately (`peers_skipped`, `rpcs_avoided`) precisely so the
+//! stats distinguish "the network said no" from "we didn't ask".
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ficus_net::RetryPolicy;
+use ficus_vnode::Timestamp;
+
+use crate::ids::ReplicaId;
+
+/// Health classification of one peer replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// No outstanding failures; attempt freely.
+    Healthy,
+    /// Recent failure(s); attempts are gated by a short backoff window.
+    Suspect,
+    /// `down_after` or more consecutive failures; attempts are gated by a
+    /// long (capped) backoff window.
+    Down,
+}
+
+/// Tunables for the health state machine.
+#[derive(Debug, Clone)]
+pub struct HealthParams {
+    /// Consecutive failures after which a Suspect peer is declared Down.
+    pub down_after: u32,
+    /// Backoff schedule: the delay before re-probing after the k-th
+    /// consecutive failure is `backoff.delay_us(k, ..)` (exponential,
+    /// jittered, capped). The policy's `attempts` field is not used here —
+    /// health never gives up on a peer, it only waits longer.
+    pub backoff: RetryPolicy,
+    /// Seed for the jitter RNG (deterministic campaigns need it fixed).
+    pub seed: u64,
+}
+
+impl Default for HealthParams {
+    fn default() -> Self {
+        HealthParams {
+            down_after: 3,
+            backoff: RetryPolicy {
+                attempts: u32::MAX,
+                base_delay_us: 50_000, // 50 ms: tens of RPC round trips
+                multiplier: 2,
+                max_delay_us: 10_000_000, // 10 s cap on re-probe spacing
+                jitter: 0.25,
+            },
+            seed: 0x0F1C05,
+        }
+    }
+}
+
+/// Point-in-time view of one peer's record (for tests and operators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerSnapshot {
+    /// Current classification.
+    pub state: PeerState,
+    /// Consecutive failures since the last success.
+    pub consecutive_failures: u32,
+    /// Attempts are gated until this instant.
+    pub backoff_until: Timestamp,
+    /// Total failures recorded.
+    pub failures: u64,
+    /// Total successes recorded.
+    pub successes: u64,
+    /// Attempts skipped while a backoff window was open.
+    pub skips: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PeerRecord {
+    state: PeerState,
+    consecutive_failures: u32,
+    backoff_until: Timestamp,
+    failures: u64,
+    successes: u64,
+    skips: u64,
+}
+
+impl PeerRecord {
+    fn fresh() -> Self {
+        PeerRecord {
+            state: PeerState::Healthy,
+            consecutive_failures: 0,
+            backoff_until: Timestamp(0),
+            failures: 0,
+            successes: 0,
+            skips: 0,
+        }
+    }
+}
+
+/// Per-replica health registry shared by the propagation daemon and the
+/// reconciliation scheduler of one host.
+pub struct PeerHealth {
+    params: HealthParams,
+    peers: Mutex<HashMap<ReplicaId, PeerRecord>>,
+    rng: Mutex<StdRng>,
+}
+
+impl PeerHealth {
+    /// Creates a registry with `params` (jitter seeded from
+    /// `params.seed`).
+    #[must_use]
+    pub fn new(params: HealthParams) -> Self {
+        let rng = StdRng::seed_from_u64(params.seed);
+        PeerHealth {
+            params,
+            peers: Mutex::new(HashMap::new()),
+            rng: Mutex::new(rng),
+        }
+    }
+
+    /// The registry's parameters.
+    #[must_use]
+    pub fn params(&self) -> &HealthParams {
+        &self.params
+    }
+
+    /// Records a successful exchange with `peer`: the peer is Healthy again
+    /// and its backoff window closes.
+    pub fn record_success(&self, peer: ReplicaId) {
+        let mut peers = self.peers.lock();
+        let rec = peers.entry(peer).or_insert_with(PeerRecord::fresh);
+        rec.state = PeerState::Healthy;
+        rec.consecutive_failures = 0;
+        rec.backoff_until = Timestamp(0);
+        rec.successes += 1;
+    }
+
+    /// Records a failed exchange with `peer` at time `now`: advances the
+    /// state machine and arms the next (longer) backoff window. Returns the
+    /// new state.
+    pub fn record_failure(&self, peer: ReplicaId, now: Timestamp) -> PeerState {
+        let mut peers = self.peers.lock();
+        let rec = peers.entry(peer).or_insert_with(PeerRecord::fresh);
+        rec.failures += 1;
+        rec.consecutive_failures = rec.consecutive_failures.saturating_add(1);
+        rec.state = if rec.consecutive_failures >= self.params.down_after {
+            PeerState::Down
+        } else {
+            PeerState::Suspect
+        };
+        let delay = self
+            .params
+            .backoff
+            .delay_us(rec.consecutive_failures, &mut self.rng.lock());
+        rec.backoff_until = now.plus_micros(delay);
+        rec.state
+    }
+
+    /// Whether an exchange with `peer` should be attempted at `now`. `false`
+    /// means the peer's backoff window is still open; the skip is counted on
+    /// the peer's record.
+    pub fn should_attempt(&self, peer: ReplicaId, now: Timestamp) -> bool {
+        let mut peers = self.peers.lock();
+        let Some(rec) = peers.get_mut(&peer) else {
+            return true; // never heard of it: optimistically Healthy
+        };
+        if now >= rec.backoff_until {
+            true
+        } else {
+            rec.skips += 1;
+            false
+        }
+    }
+
+    /// The peer's current classification.
+    #[must_use]
+    pub fn state(&self, peer: ReplicaId) -> PeerState {
+        self.peers
+            .lock()
+            .get(&peer)
+            .map_or(PeerState::Healthy, |r| r.state)
+    }
+
+    /// When `peer`'s current backoff window closes (its own notion of "try
+    /// again then"); `Timestamp(0)` when no window is armed.
+    #[must_use]
+    pub fn next_attempt_at(&self, peer: ReplicaId) -> Timestamp {
+        self.peers
+            .lock()
+            .get(&peer)
+            .map_or(Timestamp(0), |r| r.backoff_until)
+    }
+
+    /// The earliest instant, strictly after `now`, at which any currently
+    /// backed-off peer becomes eligible again. `None` when nothing is
+    /// backed off — the scheduler need not wait for anything.
+    #[must_use]
+    pub fn earliest_retry_after(&self, now: Timestamp) -> Option<Timestamp> {
+        self.peers
+            .lock()
+            .values()
+            .map(|r| r.backoff_until)
+            .filter(|&t| t > now)
+            .min()
+    }
+
+    /// The latest instant, strictly after `now`, at which a currently
+    /// backed-off peer becomes eligible again — i.e. the wait that makes
+    /// *every* peer eligible at once. `None` when nothing is backed off.
+    #[must_use]
+    pub fn latest_retry_after(&self, now: Timestamp) -> Option<Timestamp> {
+        self.peers
+            .lock()
+            .values()
+            .map(|r| r.backoff_until)
+            .filter(|&t| t > now)
+            .max()
+    }
+
+    /// Point-in-time copy of `peer`'s record.
+    #[must_use]
+    pub fn snapshot(&self, peer: ReplicaId) -> PeerSnapshot {
+        let peers = self.peers.lock();
+        let rec = peers.get(&peer).cloned().unwrap_or_else(PeerRecord::fresh);
+        PeerSnapshot {
+            state: rec.state,
+            consecutive_failures: rec.consecutive_failures,
+            backoff_until: rec.backoff_until,
+            failures: rec.failures,
+            successes: rec.successes,
+            skips: rec.skips,
+        }
+    }
+
+    /// All peers currently known to the registry, with their states.
+    #[must_use]
+    pub fn states(&self) -> Vec<(ReplicaId, PeerState)> {
+        let mut v: Vec<(ReplicaId, PeerState)> = self
+            .peers
+            .lock()
+            .iter()
+            .map(|(&p, r)| (p, r.state))
+            .collect();
+        v.sort_by_key(|(p, _)| *p);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PEER: ReplicaId = ReplicaId(2);
+
+    fn health() -> PeerHealth {
+        PeerHealth::new(HealthParams {
+            backoff: RetryPolicy {
+                attempts: u32::MAX,
+                base_delay_us: 1_000,
+                multiplier: 2,
+                max_delay_us: 16_000,
+                jitter: 0.0, // deterministic windows for exact assertions
+            },
+            ..HealthParams::default()
+        })
+    }
+
+    #[test]
+    fn unknown_peers_are_healthy_and_attemptable() {
+        let h = health();
+        assert_eq!(h.state(PEER), PeerState::Healthy);
+        assert!(h.should_attempt(PEER, Timestamp(0)));
+        assert_eq!(h.snapshot(PEER).skips, 0);
+    }
+
+    #[test]
+    fn failures_walk_healthy_suspect_down() {
+        let h = health();
+        assert_eq!(h.record_failure(PEER, Timestamp(0)), PeerState::Suspect);
+        assert_eq!(h.record_failure(PEER, Timestamp(0)), PeerState::Suspect);
+        assert_eq!(h.record_failure(PEER, Timestamp(0)), PeerState::Down);
+        assert_eq!(h.state(PEER), PeerState::Down);
+        // Any success resets the machine completely.
+        h.record_success(PEER);
+        assert_eq!(h.state(PEER), PeerState::Healthy);
+        assert_eq!(h.snapshot(PEER).consecutive_failures, 0);
+        assert!(h.should_attempt(PEER, Timestamp(0)));
+    }
+
+    #[test]
+    fn backoff_windows_gate_and_grow() {
+        let h = health();
+        h.record_failure(PEER, Timestamp(0));
+        // Window 1: 1 ms.
+        assert!(!h.should_attempt(PEER, Timestamp(500)));
+        assert!(h.should_attempt(PEER, Timestamp(1_000)));
+        // A second failure at t=1ms arms a 2 ms window.
+        h.record_failure(PEER, Timestamp(1_000));
+        assert_eq!(h.next_attempt_at(PEER), Timestamp(3_000));
+        assert!(!h.should_attempt(PEER, Timestamp(2_999)));
+        assert!(h.should_attempt(PEER, Timestamp(3_000)));
+        assert_eq!(h.snapshot(PEER).skips, 2);
+    }
+
+    #[test]
+    fn backoff_caps_at_policy_max() {
+        let h = health();
+        for _ in 0..40 {
+            h.record_failure(PEER, Timestamp(0));
+        }
+        assert_eq!(h.next_attempt_at(PEER), Timestamp(16_000), "capped");
+        assert_eq!(h.state(PEER), PeerState::Down);
+    }
+
+    #[test]
+    fn earliest_retry_scans_backed_off_peers() {
+        let h = health();
+        assert_eq!(h.earliest_retry_after(Timestamp(0)), None);
+        h.record_failure(ReplicaId(2), Timestamp(0)); // window ends at 1 ms
+        h.record_failure(ReplicaId(3), Timestamp(0));
+        h.record_failure(ReplicaId(3), Timestamp(0)); // window ends at 2 ms
+        assert_eq!(h.earliest_retry_after(Timestamp(0)), Some(Timestamp(1_000)));
+        assert_eq!(
+            h.earliest_retry_after(Timestamp(1_500)),
+            Some(Timestamp(2_000))
+        );
+        assert_eq!(h.earliest_retry_after(Timestamp(2_000)), None);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let windows = |seed| {
+            let h = PeerHealth::new(HealthParams {
+                seed,
+                ..HealthParams::default()
+            });
+            (0..4)
+                .map(|_| {
+                    h.record_failure(PEER, Timestamp(0));
+                    h.next_attempt_at(PEER).0
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(windows(1), windows(1));
+        assert_ne!(windows(1), windows(2));
+    }
+}

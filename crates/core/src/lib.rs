@@ -33,6 +33,11 @@
 //!   daemon with immediate/delayed policies (§3.2).
 //! * [`recon`] — file and directory reconciliation plus the periodic
 //!   subtree protocol (§3.3); conflict detection and reporting.
+//! * [`health`] — per-peer Healthy/Suspect/Down tracking with exponential
+//!   backoff, gating when the daemons re-probe unreachable replicas.
+//! * [`chaos`] — seeded fault-campaign harness: randomized partitions,
+//!   crashes, datagram loss, and vnode faults against a multi-replica
+//!   world, with post-heal convergence invariants.
 //! * [`conflict`] — conflict log and reports to the owner.
 //! * [`resolve`] — the owner's resolution tool: keep-local, take-remote,
 //!   or concatenate-with-markers; resolutions dominate and propagate.
@@ -45,8 +50,10 @@
 
 pub mod access;
 pub mod attrs;
+pub mod chaos;
 pub mod conflict;
 pub mod dirfile;
+pub mod health;
 pub mod ids;
 pub mod logical;
 pub mod phys;
@@ -56,5 +63,6 @@ pub mod resolve;
 pub mod sim;
 pub mod volume;
 
+pub use health::{HealthParams, PeerHealth, PeerState};
 pub use ids::{AllocatorId, FicusFileId, ReplicaId, VolumeName, ROOT_FILE};
 pub use sim::{FicusWorld, WorldParams};

@@ -90,6 +90,9 @@ pub struct NvcEntry {
     pub vv: VersionVector,
     /// When the notification arrived (drives delayed-propagation policy).
     pub noted_at: Timestamp,
+    /// Earliest instant a pull may be attempted (moved forward when a
+    /// requeue follows the origin's backoff schedule).
+    pub not_before: Timestamp,
 }
 
 /// Where an object's storage lives.
@@ -1163,6 +1166,7 @@ impl FicusPhysical {
                         origin,
                         vv,
                         noted_at,
+                        not_before: noted_at,
                     },
                 );
             }
@@ -1170,12 +1174,17 @@ impl FicusPhysical {
     }
 
     /// Drains cache entries noted at or before `cutoff` (propagation-daemon
-    /// policy input). Younger entries stay queued.
-    pub fn take_due_notifications(&self, cutoff: Timestamp) -> Vec<(FicusFileId, NvcEntry)> {
+    /// policy input) whose `not_before` gate has passed as of `now`. Younger
+    /// or backed-off entries stay queued.
+    pub fn take_due_notifications(
+        &self,
+        cutoff: Timestamp,
+        now: Timestamp,
+    ) -> Vec<(FicusFileId, NvcEntry)> {
         let mut nvc = self.nvc.lock();
         let due: Vec<FicusFileId> = nvc
             .iter()
-            .filter(|(_, e)| e.noted_at <= cutoff)
+            .filter(|(_, e)| e.noted_at <= cutoff && e.not_before <= now)
             .map(|(&f, _)| f)
             .collect();
         due.into_iter()
@@ -1185,6 +1194,19 @@ impl FicusPhysical {
 
     /// Puts a notification back (pull failed; retry later).
     pub fn requeue_notification(&self, file: FicusFileId, entry: NvcEntry) {
+        self.nvc.lock().entry(file).or_insert(entry);
+    }
+
+    /// Puts a notification back with its retry gated until `not_before`
+    /// (the origin's backoff window). If a fresher note for the file raced
+    /// in meanwhile, that one wins, matching [`Self::requeue_notification`].
+    pub fn requeue_notification_after(
+        &self,
+        file: FicusFileId,
+        mut entry: NvcEntry,
+        not_before: Timestamp,
+    ) {
+        entry.not_before = not_before;
         self.nvc.lock().entry(file).or_insert(entry);
     }
 

@@ -308,7 +308,7 @@ fn new_version_cache_dedups_and_times() {
     phys.note_new_version(f, ReplicaId(2), vv1.clone()); // duplicate
     assert_eq!(phys.pending_notifications(), 1);
     phys.note_new_version(f, ReplicaId(2), vv2.clone()); // newer replaces
-    let due = phys.take_due_notifications(Timestamp(u64::MAX));
+    let due = phys.take_due_notifications(Timestamp(u64::MAX), Timestamp(u64::MAX));
     assert_eq!(due.len(), 1);
     assert_eq!(due[0].1.vv, vv2);
     assert_eq!(phys.pending_notifications(), 0);

@@ -141,7 +141,7 @@ impl PhysVnode {
             let mut e = ficus_nfs::wire::Enc::new();
             let pending = self
                 .phys
-                .take_due_notifications(Timestamp(u64::MAX))
+                .take_due_notifications(Timestamp(u64::MAX), Timestamp(u64::MAX))
                 .into_iter()
                 .collect::<Vec<_>>();
             e.u32(pending.len() as u32);

@@ -25,6 +25,7 @@ use ficus_nfs::wire::{Dec, Enc};
 use ficus_vnode::{FsError, FsResult, Timestamp};
 
 use crate::access::ReplicaAccess;
+use crate::health::PeerHealth;
 use crate::ids::{FicusFileId, ReplicaId, VolumeName};
 use crate::phys::{FicusPhysical, NvcEntry};
 use crate::recon;
@@ -105,8 +106,20 @@ pub struct PropagationStats {
     pub already_current: u64,
     /// Conflicts detected while pulling.
     pub conflicts: u64,
-    /// Notifications requeued (origin unreachable).
+    /// Notifications requeued after an attempted exchange failed
+    /// (`requeued_down + requeued_timeout`).
     pub requeued: u64,
+    /// Of the requeues, those where the origin looked down (partition or
+    /// crashed host: `Unreachable`).
+    pub requeued_down: u64,
+    /// Of the requeues, those that looked transient (`TimedOut` and other
+    /// retriable failures).
+    pub requeued_timeout: u64,
+    /// Origins left untouched this pass because their health backoff window
+    /// was still open. Not failures: no wire traffic happened.
+    pub peers_skipped: u64,
+    /// Notifications held back (without an RPC) by those skips.
+    pub rpcs_avoided: u64,
     /// Per-file protocol operations answered from a bulk response instead
     /// of issued individually (see [`crate::recon::ReconStats::rpcs_saved`]).
     pub rpcs_saved: u64,
@@ -125,12 +138,17 @@ impl PropagationStats {
         self.already_current += other.already_current;
         self.conflicts += other.conflicts;
         self.requeued += other.requeued;
+        self.requeued_down += other.requeued_down;
+        self.requeued_timeout += other.requeued_timeout;
+        self.peers_skipped += other.peers_skipped;
+        self.rpcs_avoided += other.rpcs_avoided;
         self.rpcs_saved += other.rpcs_saved;
         self.bytes_fetched += other.bytes_fetched;
     }
 }
 
-/// Runs one pass of the propagation daemon over `phys`'s new-version cache.
+/// Runs one pass of the propagation daemon over `phys`'s new-version cache,
+/// with no peer-health gating (every due origin is attempted).
 ///
 /// `connect` maps an origin replica id to a [`ReplicaAccess`] (or fails when
 /// the partition hides it). The caller supplies it because connectivity is
@@ -138,6 +156,61 @@ impl PropagationStats {
 pub fn run_propagation<F>(
     phys: &FicusPhysical,
     policy: PropagationPolicy,
+    connect: F,
+) -> FsResult<PropagationStats>
+where
+    F: Fn(ReplicaId) -> FsResult<Box<dyn ReplicaAccess>>,
+{
+    run_propagation_with_health(phys, policy, None, connect)
+}
+
+/// Requeues a whole origin group after a failed (or skipped) exchange,
+/// gating the retry on the origin's backoff window when health is tracked.
+fn requeue_group(
+    phys: &FicusPhysical,
+    health: Option<&PeerHealth>,
+    origin: ReplicaId,
+    notes: Vec<(FicusFileId, NvcEntry)>,
+) {
+    let not_before = health.map(|h| h.next_attempt_at(origin));
+    for (file, entry) in notes {
+        match not_before {
+            Some(t) => phys.requeue_notification_after(file, entry, t),
+            None => phys.requeue_notification(file, entry),
+        }
+    }
+}
+
+/// Records a failed exchange with `origin` (when health is tracked) and
+/// classifies it in `stats` as down-looking or transient.
+fn tally_failure(
+    stats: &mut PropagationStats,
+    health: Option<&PeerHealth>,
+    origin: ReplicaId,
+    now: Timestamp,
+    err: &FsError,
+    notes_requeued: u64,
+) {
+    if let Some(h) = health {
+        h.record_failure(origin, now);
+    }
+    stats.requeued += notes_requeued;
+    match err {
+        FsError::Unreachable => stats.requeued_down += notes_requeued,
+        _ => stats.requeued_timeout += notes_requeued,
+    }
+}
+
+/// Runs one pass of the propagation daemon over `phys`'s new-version cache.
+///
+/// With `health` supplied, origins whose backoff window is still open are
+/// skipped without wire traffic (their notes are requeued gated on the
+/// window), every failed exchange arms the origin's next window, and every
+/// successful bulk fetch marks the origin Healthy again.
+pub fn run_propagation_with_health<F>(
+    phys: &FicusPhysical,
+    policy: PropagationPolicy,
+    health: Option<&PeerHealth>,
     connect: F,
 ) -> FsResult<PropagationStats>
 where
@@ -159,7 +232,7 @@ where
     // of a connect + attribute round trip per note.
     let mut by_origin: std::collections::BTreeMap<ReplicaId, Vec<(FicusFileId, NvcEntry)>> =
         std::collections::BTreeMap::new();
-    for (file, entry) in phys.take_due_notifications(cutoff) {
+    for (file, entry) in phys.take_due_notifications(cutoff, now) {
         stats.notes_taken += 1;
         by_origin
             .entry(entry.origin)
@@ -167,28 +240,37 @@ where
             .push((file, entry));
     }
     for (origin, notes) in by_origin {
+        if let Some(h) = health {
+            if !h.should_attempt(origin, now) {
+                // Backed off: hold the notes without touching the wire.
+                // Deliberately NOT `requeued` — nothing was attempted.
+                stats.peers_skipped += 1;
+                stats.rpcs_avoided += notes.len() as u64;
+                requeue_group(phys, health, origin, notes);
+                continue;
+            }
+        }
         let access = match connect(origin) {
             Ok(a) => a,
-            Err(_) => {
-                for (file, entry) in notes {
-                    stats.requeued += 1;
-                    phys.requeue_notification(file, entry);
-                }
+            Err(e) => {
+                tally_failure(&mut stats, health, origin, now, &e, notes.len() as u64);
+                requeue_group(phys, health, origin, notes);
                 continue;
             }
         };
         let files: Vec<FicusFileId> = notes.iter().map(|(file, _)| *file).collect();
         let all_attrs = match access.fetch_attrs_bulk(&files) {
             Ok(a) => a,
-            Err(FsError::Unreachable | FsError::TimedOut) => {
-                for (file, entry) in notes {
-                    stats.requeued += 1;
-                    phys.requeue_notification(file, entry);
-                }
+            Err(e @ (FsError::Unreachable | FsError::TimedOut)) => {
+                tally_failure(&mut stats, health, origin, now, &e, notes.len() as u64);
+                requeue_group(phys, health, origin, notes);
                 continue;
             }
             Err(e) => return Err(e),
         };
+        if let Some(h) = health {
+            h.record_success(origin);
+        }
         // n notes answered by one batch instead of n attribute fetches.
         stats.rpcs_saved += (notes.len() - 1) as u64;
         for ((file, entry), remote_attrs) in notes.into_iter().zip(all_attrs) {
@@ -200,9 +282,9 @@ where
                     // tombstone. Drop the note.
                     continue;
                 }
-                Err(FsError::Unreachable | FsError::TimedOut) => {
-                    stats.requeued += 1;
-                    phys.requeue_notification(file, entry);
+                Err(e @ (FsError::Unreachable | FsError::TimedOut)) => {
+                    tally_failure(&mut stats, health, origin, now, &e, 1);
+                    requeue_group(phys, health, origin, vec![(file, entry)]);
                     continue;
                 }
                 Err(e) => return Err(e),
@@ -210,9 +292,9 @@ where
             let result = propagate_one(phys, access.as_ref(), file, &remote_attrs, &mut stats);
             match result {
                 Ok(()) => {}
-                Err(FsError::Unreachable | FsError::TimedOut) => {
-                    stats.requeued += 1;
-                    phys.requeue_notification(file, entry);
+                Err(e @ (FsError::Unreachable | FsError::TimedOut)) => {
+                    tally_failure(&mut stats, health, origin, now, &e, 1);
+                    requeue_group(phys, health, origin, vec![(file, entry)]);
                 }
                 Err(FsError::NotFound) => {
                     // Vanished mid-pull; same as above — drop the note.
@@ -267,13 +349,27 @@ fn propagate_one(
         stats.already_current += 1;
         return Ok(());
     }
-    let data = access.fetch_data(file)?;
-    stats.bytes_fetched += data.len() as u64;
     if local_vv.concurrent_with(&remote_attrs.vv) {
+        // Same dedup as reconciliation: a divergence already on file is
+        // neither re-fetched nor re-reported (a subtree pass may have
+        // beaten this note to it).
+        if phys
+            .conflicts()
+            .for_file(file)
+            .iter()
+            .any(|r| r.other == access.replica() && r.vv == remote_attrs.vv)
+        {
+            stats.rpcs_saved += 1;
+            return Ok(());
+        }
+        let data = access.fetch_data(file)?;
+        stats.bytes_fetched += data.len() as u64;
         phys.stash_conflict_version(file, access.replica(), &remote_attrs.vv, &data)?;
         stats.conflicts += 1;
         return Ok(());
     }
+    let data = access.fetch_data(file)?;
+    stats.bytes_fetched += data.len() as u64;
     phys.apply_remote_version(file, &remote_attrs.vv, &data)?;
     stats.files_pulled += 1;
     Ok(())

@@ -58,6 +58,18 @@ pub struct ReconStats {
     pub rpcs_saved: u64,
     /// File data bytes pulled from the remote.
     pub bytes_fetched: u64,
+    /// Peers this pass never contacted because their health backoff window
+    /// was still open. Not failures: no wire traffic happened.
+    pub peers_skipped: u64,
+    /// Whole-pass exchanges avoided by those skips (one reconciliation
+    /// attempt per skipped peer).
+    pub rpcs_avoided: u64,
+    /// Peer attempts that failed on the wire while the peer was still
+    /// considered retry-worthy (health state short of `Down`). A scheduler
+    /// seeing these on an otherwise quiescent round should wait out the
+    /// backoff and try again rather than declare convergence; once the
+    /// peer is `Down` its failures stop counting here.
+    pub peers_failed: u64,
 }
 
 impl ReconStats {
@@ -72,11 +84,17 @@ impl ReconStats {
         self.remote_missing += other.remote_missing;
         self.rpcs_saved += other.rpcs_saved;
         self.bytes_fetched += other.bytes_fetched;
+        self.peers_skipped += other.peers_skipped;
+        self.rpcs_avoided += other.rpcs_avoided;
+        self.peers_failed += other.peers_failed;
     }
 
     /// Whether the pass changed nothing (used to detect convergence).
     /// Deliberately ignores the cost counters (`rpcs_saved`,
-    /// `bytes_fetched` can be non-zero on a pass that changed no state).
+    /// `bytes_fetched` can be non-zero on a pass that changed no state) and
+    /// the skip counters (a skipped peer changed nothing *yet*; the
+    /// scheduler must consult them separately before declaring the world
+    /// converged — see `FicusWorld::reconcile_until_quiescent`).
     #[must_use]
     pub fn quiescent(&self) -> bool {
         self.entries_inserted == 0

@@ -28,15 +28,17 @@ use ficus_net::{HostId, Network, NetworkParams, SimClock};
 use ficus_nfs::client::{NfsClientFs, NfsClientParams};
 use ficus_nfs::server::NfsServer;
 use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
-use ficus_vnode::{FileSystem, FsError, FsResult, TimeSource, VnodeRef};
+use ficus_vnode::fault::{FaultControl, FaultLayer, FaultPlan};
+use ficus_vnode::{FileSystem, FsError, FsResult, TimeSource, Timestamp, VnodeRef};
 
 use crate::access::{LocalAccess, ReplicaAccess, VnodeAccess};
+use crate::health::{HealthParams, PeerHealth, PeerState};
 use crate::ids::{FicusFileId, ReplicaId, VolumeName};
 use crate::logical::{FicusLogical, LogicalParams};
 use crate::phys::vnode::PhysFs;
 use crate::phys::{FicusPhysical, PhysParams, StorageLayout};
 use crate::propagate::{
-    run_propagation, PropagationPolicy, PropagationStats, UpdateNote, NOTE_SERVICE,
+    run_propagation_with_health, PropagationPolicy, PropagationStats, UpdateNote, NOTE_SERVICE,
 };
 use crate::recon::{reconcile_subtree, ReconStats};
 use crate::volume::Connector;
@@ -64,6 +66,14 @@ pub struct WorldParams {
     /// lookup-and-read RPC (`true`, the default) or the pre-bulk per-file
     /// protocol (`false` — the measurement baseline for E5/E7).
     pub batching: bool,
+    /// Per-peer health tracking (backoff gating of the propagation and
+    /// reconciliation daemons). `None` reverts to the pre-health behavior:
+    /// every daemon pass re-probes every peer — the measurement baseline
+    /// for the bounded-RPC regression test.
+    pub health: Option<HealthParams>,
+    /// Interpose a dormant [`FaultLayer`] on every NFS export, controllable
+    /// via [`FicusWorld::fault_control`] (chaos campaigns arm it mid-run).
+    pub export_faults: bool,
 }
 
 impl Default for WorldParams {
@@ -78,6 +88,8 @@ impl Default for WorldParams {
             propagation: PropagationPolicy::Immediate,
             logical: LogicalParams::default(),
             batching: true,
+            health: Some(HealthParams::default()),
+            export_faults: false,
         }
     }
 }
@@ -92,6 +104,9 @@ pub struct HostState {
     pub physes: Arc<Mutex<HashMap<VolumeName, Arc<FicusPhysical>>>>,
     /// The logical layer.
     pub logical: Arc<FicusLogical>,
+    /// Per-peer health registry shared by this host's daemons (`None` when
+    /// the world runs without health tracking).
+    pub health: Option<Arc<PeerHealth>>,
 }
 
 /// The assembled world.
@@ -103,12 +118,36 @@ pub struct FicusWorld {
     hosts: HashMap<HostId, HostState>,
     /// `(vol, replica) -> host` placement, shared with connectors.
     placement: Arc<Mutex<HashMap<(VolumeName, ReplicaId), HostId>>>,
+    /// Fault controllers for the interposed export layers (only populated
+    /// when `params.export_faults` is set).
+    fault_controls: Mutex<HashMap<(HostId, VolumeName), Arc<FaultControl>>>,
     next_volume_id: u32,
 }
 
 /// RPC service name for a volume replica's NFS export.
 fn export_service(vol: VolumeName, replica: ReplicaId) -> String {
     format!("ficus:{vol}:r{}", replica.0)
+}
+
+/// Registers `(vol, replica)`'s NFS export on `host`, optionally behind a
+/// dormant [`FaultLayer`] whose controller lands in `controls`.
+fn serve_export(
+    net: &Network,
+    host: HostId,
+    vol: VolumeName,
+    replica: ReplicaId,
+    phys: &Arc<FicusPhysical>,
+    export_faults: bool,
+    controls: &Mutex<HashMap<(HostId, VolumeName), Arc<FaultControl>>>,
+) {
+    let mut fs = PhysFs::new(Arc::clone(phys)) as Arc<dyn FileSystem>;
+    if export_faults {
+        let (layer, control) = FaultLayer::new(fs, FaultPlan::none());
+        controls.lock().insert((host, vol), control);
+        fs = layer;
+    }
+    let server = NfsServer::new(fs);
+    server.serve_as(net, host, &export_service(vol, replica));
 }
 
 /// The world's [`Connector`]: local physical layers directly, remote ones
@@ -134,9 +173,9 @@ impl Connector for WorldConnector {
             // Cached mount: verify liveness cheaply.
             return Ok(root.clone());
         }
-        if !self.net.reachable(self.host, at_host) {
-            return Err(FsError::Unreachable);
-        }
+        // No reachability pre-check: the mount's Root RPC travels through
+        // the network and fails with `Unreachable` itself, so attempts at
+        // down peers show up honestly in `NetStats::rpcs_unreachable`.
         let client = NfsClientFs::mount_service(
             self.net.clone(),
             self.host,
@@ -175,6 +214,8 @@ impl FicusWorld {
         let all_root_replicas: Vec<u32> = params.root_replica_hosts.clone();
         let mut hosts = HashMap::new();
         let mut connectors: HashMap<HostId, Arc<WorldConnector>> = HashMap::new();
+        let fault_controls: Mutex<HashMap<(HostId, VolumeName), Arc<FaultControl>>> =
+            Mutex::new(HashMap::new());
 
         for h in 1..=params.hosts {
             let host = HostId(h);
@@ -210,8 +251,15 @@ impl FicusWorld {
                 )
                 .expect("fresh volume replica");
                 // Export it.
-                let server = NfsServer::new(PhysFs::new(Arc::clone(&phys)) as Arc<dyn FileSystem>);
-                server.serve_as(&net, host, &export_service(root_vol, ReplicaId(h)));
+                serve_export(
+                    &net,
+                    host,
+                    root_vol,
+                    ReplicaId(h),
+                    &phys,
+                    params.export_faults,
+                    &fault_controls,
+                );
                 placement.lock().insert((root_vol, ReplicaId(h)), host);
                 physes.lock().insert(root_vol, phys);
             }
@@ -260,12 +308,21 @@ impl FicusWorld {
                 root_locations,
                 params.logical.clone(),
             );
+            // Each host gets its own registry (health is local knowledge)
+            // with a host-salted seed so hosts don't jitter in lockstep.
+            let health = params.health.clone().map(|p| {
+                Arc::new(PeerHealth::new(HealthParams {
+                    seed: p.seed.wrapping_add(u64::from(h)),
+                    ..p
+                }))
+            });
             hosts.insert(
                 host,
                 HostState {
                     ufs,
                     physes,
                     logical,
+                    health,
                 },
             );
         }
@@ -277,6 +334,7 @@ impl FicusWorld {
             root_vol,
             hosts,
             placement,
+            fault_controls,
             next_volume_id: 2,
         }
     }
@@ -335,6 +393,42 @@ impl FicusWorld {
         self.hosts
             .get(&h)
             .and_then(|hs| hs.physes.lock().get(&vol).cloned())
+    }
+
+    /// Host `h`'s peer-health registry, when the world tracks health.
+    #[must_use]
+    pub fn health(&self, h: HostId) -> Option<&Arc<PeerHealth>> {
+        self.hosts.get(&h).and_then(|hs| hs.health.as_ref())
+    }
+
+    /// The fault controller interposed on `(h, vol)`'s NFS export (worlds
+    /// built with `export_faults` only).
+    #[must_use]
+    pub fn fault_control(&self, h: HostId, vol: VolumeName) -> Option<Arc<FaultControl>> {
+        self.fault_controls.lock().get(&(h, vol)).cloned()
+    }
+
+    /// The earliest instant after `now` at which any host's backed-off peer
+    /// becomes eligible for another attempt.
+    #[must_use]
+    pub fn earliest_health_retry(&self, now: Timestamp) -> Option<Timestamp> {
+        self.hosts
+            .values()
+            .filter_map(|hs| hs.health.as_ref())
+            .filter_map(|h| h.earliest_retry_after(now))
+            .min()
+    }
+
+    /// The instant after `now` at which every currently backed-off peer on
+    /// every host is eligible again — the wait that unlocks the whole
+    /// world, used by the convergence loop so one round retries everyone.
+    #[must_use]
+    pub fn latest_health_retry(&self, now: Timestamp) -> Option<Timestamp> {
+        self.hosts
+            .values()
+            .filter_map(|hs| hs.health.as_ref())
+            .filter_map(|h| h.latest_retry_after(now))
+            .max()
     }
 
     // --- network control --------------------------------------------------------
@@ -396,8 +490,15 @@ impl FicusWorld {
                     fsid: 0x1C05_0000 | (u64::from(vol.volume.0) << 8) | u64::from(h),
                 },
             )?;
-            let server = NfsServer::new(PhysFs::new(Arc::clone(&phys)) as Arc<dyn FileSystem>);
-            server.serve_as(&self.net, host, &export_service(vol, ReplicaId(h)));
+            serve_export(
+                &self.net,
+                host,
+                vol,
+                ReplicaId(h),
+                &phys,
+                self.params.export_faults,
+                &self.fault_controls,
+            );
             self.placement.lock().insert((vol, ReplicaId(h)), host);
             state.physes.lock().insert(vol, Arc::clone(&phys));
         }
@@ -460,8 +561,15 @@ impl FicusWorld {
                 fsid: 0x1C05_0000 | (u64::from(vol.volume.0) << 8) | u64::from(host_num),
             },
         )?;
-        let server = NfsServer::new(PhysFs::new(Arc::clone(&phys)) as Arc<dyn FileSystem>);
-        server.serve_as(&self.net, host, &export_service(vol, new_id));
+        serve_export(
+            &self.net,
+            host,
+            vol,
+            new_id,
+            &phys,
+            self.params.export_faults,
+            &self.fault_controls,
+        );
         self.placement.lock().insert((vol, new_id), host);
         state.physes.lock().insert(vol, Arc::clone(&phys));
 
@@ -554,9 +662,10 @@ impl FicusWorld {
             let connect = |origin: ReplicaId| -> FsResult<Box<dyn ReplicaAccess>> {
                 self.access_replica(h, vol, origin)
             };
-            total.absorb(run_propagation(
+            total.absorb(run_propagation_with_health(
                 phys.as_ref(),
                 self.params.propagation,
+                state.health.as_deref(),
                 connect,
             )?);
         }
@@ -579,9 +688,7 @@ impl FicusWorld {
             let phys = self.phys(from, vol).ok_or(FsError::NoReplica)?;
             return Ok(Box::new(LocalAccess::new(phys)));
         }
-        if !self.net.reachable(from, at_host) {
-            return Err(FsError::Unreachable);
-        }
+        // No reachability pre-check — see `WorldConnector::connect`.
         let client = NfsClientFs::mount_service(
             self.net.clone(),
             from,
@@ -609,15 +716,54 @@ impl FicusWorld {
             .iter()
             .map(|(v, p)| (*v, Arc::clone(p)))
             .collect();
+        let health = state.health.as_deref();
         for (vol, phys) in &physes {
             for peer in phys.all_replicas() {
                 let peer = ReplicaId(peer);
                 if peer == phys.replica() {
                     continue;
                 }
+                let now = self.clock.now();
+                if let Some(hl) = health {
+                    if !hl.should_attempt(peer, now) {
+                        // Backed off: leave the peer for a later pass, no
+                        // wire traffic. Not a failure.
+                        total.peers_skipped += 1;
+                        total.rpcs_avoided += 1;
+                        continue;
+                    }
+                }
                 match self.access_replica(h, *vol, peer) {
-                    Ok(access) => total.absorb(reconcile_subtree(phys.as_ref(), access.as_ref())?),
-                    Err(FsError::Unreachable | FsError::TimedOut | FsError::NoReplica) => continue,
+                    Ok(access) => match reconcile_subtree(phys.as_ref(), access.as_ref()) {
+                        Ok(out) => {
+                            if let Some(hl) = health {
+                                hl.record_success(peer);
+                            }
+                            total.absorb(out);
+                        }
+                        // A peer lost mid-pass (crash or partition while the
+                        // BFS was walking) is the same as one lost up front:
+                        // back off and move on; the next eligible pass
+                        // finishes the subtree.
+                        Err(FsError::Unreachable | FsError::TimedOut) => {
+                            if let Some(hl) = health {
+                                if hl.record_failure(peer, self.clock.now()) != PeerState::Down {
+                                    total.peers_failed += 1;
+                                }
+                            }
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    },
+                    Err(FsError::Unreachable | FsError::TimedOut) => {
+                        if let Some(hl) = health {
+                            if hl.record_failure(peer, self.clock.now()) != PeerState::Down {
+                                total.peers_failed += 1;
+                            }
+                        }
+                        continue;
+                    }
+                    Err(FsError::NoReplica) => continue,
                     Err(e) => return Err(e),
                 }
             }
@@ -640,12 +786,71 @@ impl FicusWorld {
                 round.absorb(self.run_reconciliation(h).expect("reconciliation"));
             }
             let quiescent = round.quiescent();
+            let retry_worthy = round.peers_skipped > 0 || round.peers_failed > 0;
             total.absorb(round);
             if quiescent {
-                return total;
+                if !retry_worthy {
+                    return total;
+                }
+                // The round changed nothing, but either backed-off peers
+                // were never asked or an asked peer failed while still
+                // short of `Down`. Wait until every open window has passed
+                // — so the next round retries all of them at once — and go
+                // again. A genuinely dead peer stops counting once its
+                // failure streak reaches `Down` (`peers_failed` excludes
+                // it), so the loop terminates: at most `down_after` failure
+                // rounds per peer before a quiescent round stands.
+                if let Some(t) = self.latest_health_retry(self.clock.now()) {
+                    self.clock.advance_to(t);
+                }
             }
         }
         panic!("replicas failed to converge within {max_rounds} rounds");
+    }
+
+    /// Update notifications still queued (or backed off) in `h`'s
+    /// new-version caches.
+    #[must_use]
+    pub fn pending_notes(&self, h: HostId) -> usize {
+        self.hosts[&h]
+            .physes
+            .lock()
+            .values()
+            .map(|p| p.pending_notifications())
+            .sum()
+    }
+
+    /// Delivers notifications, then runs the propagation daemons until
+    /// every new-version cache drains — advancing the clock past backoff
+    /// windows and delayed-policy ages as needed — or `max_passes` passes
+    /// elapse. Returns the accumulated tallies.
+    pub fn drain_propagation(&self, max_passes: usize) -> PropagationStats {
+        let mut total = PropagationStats::default();
+        self.deliver_notifications();
+        for _ in 0..max_passes {
+            for h in self.host_ids() {
+                if let Ok(s) = self.run_propagation(h) {
+                    total.absorb(s);
+                }
+            }
+            let pending: usize = self.host_ids().iter().map(|&h| self.pending_notes(h)).sum();
+            if pending == 0 {
+                break;
+            }
+            match self.earliest_health_retry(self.clock.now()) {
+                Some(t) => self.clock.advance_to(t),
+                None => match self.params.propagation {
+                    // Notes still too young for the delayed policy: age them.
+                    PropagationPolicy::Delayed(d) => {
+                        self.clock.advance(d);
+                    }
+                    // Nothing to wait for; the leftovers need a peer that
+                    // keeps failing — reconciliation will carry the data.
+                    PropagationPolicy::Immediate => break,
+                },
+            }
+        }
+        total
     }
 
     /// Convenience: deliver notifications, run propagation everywhere, then

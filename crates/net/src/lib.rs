@@ -23,8 +23,10 @@
 
 pub mod clock;
 pub mod network;
+pub mod retry;
 pub mod stats;
 
 pub use clock::SimClock;
 pub use network::{DatagramHandler, HostId, Network, NetworkParams, RpcHandler};
+pub use retry::RetryPolicy;
 pub use stats::NetStats;

@@ -1,0 +1,174 @@
+//! Retry/backoff schedules shared by every RPC-issuing path.
+//!
+//! The paper's environment is "characterized by communications
+//! interruptions" (§3): transient timeouts and dead peers are routine, not
+//! exceptional. Every component that re-attempts an exchange — the NFS
+//! client's retransmit timer, the propagation daemon's requeue schedule,
+//! the peer-health gate — therefore needs the same vocabulary: how many
+//! attempts, how long to wait between them, and how much jitter to spread
+//! synchronized retries apart. [`RetryPolicy`] is that vocabulary, defined
+//! once so the schedules are tunable (and comparable) across layers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An exponential-backoff retry schedule.
+///
+/// Attempt `k` (0-based) is preceded by a delay of
+/// `base_delay_us * multiplier^(k-1)` (no delay before the first attempt),
+/// capped at `max_delay_us`, then spread by ± `jitter/2` of itself. All
+/// randomness comes from a caller-supplied seeded RNG, so schedules are
+/// deterministic per seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (0 means "don't even try once";
+    /// callers treat it as 1).
+    pub attempts: u32,
+    /// Delay before the first retry, in microseconds.
+    pub base_delay_us: u64,
+    /// Multiplier applied to the delay after each failed attempt.
+    pub multiplier: u32,
+    /// Upper bound on any single delay, in microseconds.
+    pub max_delay_us: u64,
+    /// Fraction of each delay randomized (0.0 = deterministic, 0.5 = the
+    /// delay lands anywhere in ±25% of nominal).
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay_us: 10_000, // 10 ms: a few RPC round trips
+            multiplier: 2,
+            max_delay_us: 5_000_000, // 5 s cap
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pre-backoff behavior: `attempts` immediate retransmits with no
+    /// delay between them (what the seed NFS client hard-coded).
+    #[must_use]
+    pub fn immediate(attempts: u32) -> Self {
+        RetryPolicy {
+            attempts,
+            base_delay_us: 0,
+            multiplier: 1,
+            max_delay_us: 0,
+            jitter: 0.0,
+        }
+    }
+
+    /// A single attempt, no retries.
+    #[must_use]
+    pub fn once() -> Self {
+        Self::immediate(1)
+    }
+
+    /// Nominal (jitter-free) delay before retry number `retry` (1-based:
+    /// the delay between attempt `retry-1` and attempt `retry`).
+    #[must_use]
+    pub fn nominal_delay_us(&self, retry: u32) -> u64 {
+        if retry == 0 || self.base_delay_us == 0 {
+            return 0;
+        }
+        let mut d = self.base_delay_us;
+        for _ in 1..retry {
+            d = d.saturating_mul(u64::from(self.multiplier.max(1)));
+            if d >= self.max_delay_us {
+                return self.max_delay_us;
+            }
+        }
+        d.min(self.max_delay_us)
+    }
+
+    /// Jittered delay before retry number `retry` (1-based), drawn from
+    /// `rng`. The result stays within ± `jitter/2` of the nominal delay.
+    pub fn delay_us(&self, retry: u32, rng: &mut StdRng) -> u64 {
+        let nominal = self.nominal_delay_us(retry);
+        if nominal == 0 || self.jitter <= 0.0 {
+            return nominal;
+        }
+        let spread = self.jitter.min(1.0);
+        let roll: f64 = rng.gen(); // [0, 1)
+        let factor = 1.0 - spread / 2.0 + spread * roll;
+        ((nominal as f64) * factor) as u64
+    }
+
+    /// Largest delay `delay_us` can produce for `retry` (nominal plus the
+    /// full upward jitter) — the bound tests assert against.
+    #[must_use]
+    pub fn max_delay_for(&self, retry: u32) -> u64 {
+        let nominal = self.nominal_delay_us(retry);
+        ((nominal as f64) * (1.0 + self.jitter.min(1.0) / 2.0)).ceil() as u64
+    }
+
+    /// Sum of the largest possible delays across a full run of the policy
+    /// (the worst-case wall time a caller can spend waiting).
+    #[must_use]
+    pub fn max_total_delay_us(&self) -> u64 {
+        (1..self.attempts).map(|r| self.max_delay_for(r)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn immediate_policy_has_no_delays() {
+        let p = RetryPolicy::immediate(3);
+        let mut rng = StdRng::seed_from_u64(7);
+        for r in 0..5 {
+            assert_eq!(p.delay_us(r, &mut rng), 0);
+        }
+        assert_eq!(p.max_total_delay_us(), 0);
+    }
+
+    #[test]
+    fn nominal_delays_grow_exponentially_and_cap() {
+        let p = RetryPolicy {
+            attempts: 10,
+            base_delay_us: 100,
+            multiplier: 2,
+            max_delay_us: 500,
+            jitter: 0.0,
+        };
+        assert_eq!(p.nominal_delay_us(1), 100);
+        assert_eq!(p.nominal_delay_us(2), 200);
+        assert_eq!(p.nominal_delay_us(3), 400);
+        assert_eq!(p.nominal_delay_us(4), 500, "capped");
+        assert_eq!(p.nominal_delay_us(30), 500, "stays capped, no overflow");
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_and_is_deterministic() {
+        let p = RetryPolicy {
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (1..5).map(|r| p.delay_us(r, &mut rng)).collect::<Vec<_>>()
+        };
+        let a = draw(1);
+        assert_eq!(a, draw(1), "same seed, same schedule");
+        assert_ne!(a, draw(2), "different seed, different schedule");
+        for (i, d) in a.iter().enumerate() {
+            let r = (i + 1) as u32;
+            let nominal = p.nominal_delay_us(r);
+            assert!(*d >= nominal - nominal / 4, "retry {r}: {d} too small");
+            assert!(*d <= p.max_delay_for(r), "retry {r}: {d} too large");
+        }
+    }
+
+    #[test]
+    fn zero_retry_index_is_free() {
+        let p = RetryPolicy::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.delay_us(0, &mut rng), 0);
+    }
+}

@@ -16,8 +16,10 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
-use ficus_net::{HostId, Network};
+use ficus_net::{HostId, Network, RetryPolicy};
 use ficus_vnode::{
     AccessMode, Credentials, DirEntry, FileSystem, FsError, FsResult, FsStats, OpenFlags, SetAttr,
     TimeSource, Timestamp, Vnode, VnodeAttr, VnodeRef, VnodeType,
@@ -41,6 +43,11 @@ pub struct NfsClientParams {
     pub name_cache_ttl_us: u64,
     /// File-block (read) cache time-to-live in microseconds (0 disables).
     pub data_cache_ttl_us: u64,
+    /// Retransmit schedule for idempotent RPCs that time out — the
+    /// soft-mount per-call retransmit timer. The delay between attempts is
+    /// charged to the shared clock, so backoff is visible on the one
+    /// simulation timeline.
+    pub retry: RetryPolicy,
 }
 
 impl Default for NfsClientParams {
@@ -50,6 +57,7 @@ impl Default for NfsClientParams {
             attr_cache_ttl_us: 3_000_000,
             name_cache_ttl_us: 3_000_000,
             data_cache_ttl_us: 3_000_000,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -62,6 +70,7 @@ impl NfsClientParams {
             attr_cache_ttl_us: 0,
             name_cache_ttl_us: 0,
             data_cache_ttl_us: 0,
+            ..NfsClientParams::default()
         }
     }
 }
@@ -83,6 +92,9 @@ pub struct NfsClientStats {
     pub data_cache_hits: u64,
     /// RPCs issued.
     pub rpcs: u64,
+    /// Timed-out RPCs retransmitted by the per-call retry timer (each
+    /// retransmit is also counted in `rpcs`).
+    pub retransmits: u64,
 }
 
 /// Attribute cache: handle → (attributes, fill time).
@@ -102,6 +114,9 @@ struct ClientShared {
     name_cache: Mutex<NameCache>,
     data_cache: Mutex<DataCache>,
     stats: Mutex<NfsClientStats>,
+    /// Jitter source for the retransmit schedule, seeded from the mount's
+    /// endpoints so runs are deterministic.
+    retry_rng: Mutex<StdRng>,
 }
 
 impl ClientShared {
@@ -118,21 +133,36 @@ impl ClientShared {
         Reply::decode(&reply)
     }
 
-    /// Like [`ClientShared::call`] but retries a timed-out RPC a bounded
-    /// number of times — the soft-mount analogue of the NFS client's
-    /// per-call retransmit timer. Only safe for idempotent (read-only)
-    /// requests; a partition (`Unreachable`) fails fast instead, since
+    /// Like [`ClientShared::call`] but retries a timed-out RPC per the
+    /// mount's [`RetryPolicy`] — the soft-mount analogue of the NFS
+    /// client's per-call retransmit timer, with exponential backoff and
+    /// jitter instead of the classic immediate retransmit storm. The
+    /// backoff delay is charged to the shared clock. Every per-vnode
+    /// operation rides this path (hard-mount semantics): a `TimedOut`
+    /// reply in this simulator always means the server-side operation did
+    /// not execute — the transport found no handler, or a fault layer
+    /// refused the call before touching storage — so retrying mutations is
+    /// safe. A partition (`Unreachable`) fails fast instead, since
     /// retrying cannot help until the partition heals.
     fn call_retry(&self, cred: &Credentials, req: &Request) -> FsResult<Reply> {
-        const RETRIES: u32 = 3;
-        let mut last = FsError::TimedOut;
-        for _ in 0..RETRIES {
+        let attempts = self.params.retry.attempts.max(1);
+        for retry in 0..attempts {
+            if retry > 0 {
+                let delay = self
+                    .params
+                    .retry
+                    .delay_us(retry, &mut self.retry_rng.lock());
+                if delay > 0 {
+                    self.net.clock().advance(delay);
+                }
+                self.stats.lock().retransmits += 1;
+            }
             match self.call(cred, req) {
-                Err(FsError::TimedOut) => last = FsError::TimedOut,
+                Err(FsError::TimedOut) => {}
                 other => return other,
             }
         }
-        Err(last)
+        Err(FsError::TimedOut)
     }
 
     fn cache_attr(&self, fh: FileHandle, attr: &VnodeAttr) {
@@ -197,7 +227,7 @@ impl ClientShared {
                 }
             }
         }
-        let reply = self.call(
+        let reply = self.call_retry(
             cred,
             &Request::Read(fh, block * DATA_BLOCK, DATA_BLOCK as u32),
         )?;
@@ -249,6 +279,7 @@ impl NfsClientFs {
         params: NfsClientParams,
     ) -> FsResult<Self> {
         net.add_host(client);
+        let rng_seed = (u64::from(client.0) << 32) ^ u64::from(server.0);
         let shared = Arc::new(ClientShared {
             net,
             client,
@@ -259,8 +290,9 @@ impl NfsClientFs {
             name_cache: Mutex::new(HashMap::new()),
             data_cache: Mutex::new(HashMap::new()),
             stats: Mutex::new(NfsClientStats::default()),
+            retry_rng: Mutex::new(StdRng::seed_from_u64(rng_seed)),
         });
-        let reply = shared.call(&Credentials::root(), &Request::Root)?;
+        let reply = shared.call_retry(&Credentials::root(), &Request::Root)?;
         let Reply::Node(root_fh, root_attr) = reply else {
             return Err(FsError::Io);
         };
@@ -297,7 +329,10 @@ impl FileSystem for NfsClientFs {
     }
 
     fn statfs(&self) -> FsResult<FsStats> {
-        match self.shared.call(&Credentials::root(), &Request::Statfs)? {
+        match self
+            .shared
+            .call_retry(&Credentials::root(), &Request::Statfs)?
+        {
             Reply::Stats(s) => Ok(s),
             _ => Err(FsError::Io),
         }
@@ -374,7 +409,7 @@ impl Vnode for NfsVnode {
             self.shared.stats.lock().attr_cache_hits += 1;
             return Ok(attr);
         }
-        match self.shared.call(cred, &Request::GetAttr(self.fh))? {
+        match self.shared.call_retry(cred, &Request::GetAttr(self.fh))? {
             Reply::Attr(attr) => {
                 self.shared.cache_attr(self.fh, &attr);
                 Ok(attr)
@@ -384,7 +419,10 @@ impl Vnode for NfsVnode {
     }
 
     fn setattr(&self, cred: &Credentials, set: &SetAttr) -> FsResult<VnodeAttr> {
-        match self.shared.call(cred, &Request::SetAttr(self.fh, *set))? {
+        match self
+            .shared
+            .call_retry(cred, &Request::SetAttr(self.fh, *set))?
+        {
             Reply::Attr(attr) => {
                 self.shared.cache_attr(self.fh, &attr);
                 Ok(attr)
@@ -396,7 +434,7 @@ impl Vnode for NfsVnode {
     fn access(&self, cred: &Credentials, mode: AccessMode) -> FsResult<()> {
         match self
             .shared
-            .call(cred, &Request::Access(self.fh, mode.bits()))?
+            .call_retry(cred, &Request::Access(self.fh, mode.bits()))?
         {
             Reply::Ok => Ok(()),
             _ => Err(FsError::Io),
@@ -418,7 +456,7 @@ impl Vnode for NfsVnode {
             // Cache off: one exact-range RPC.
             return match self
                 .shared
-                .call(cred, &Request::Read(self.fh, offset, len as u32))?
+                .call_retry(cred, &Request::Read(self.fh, offset, len as u32))?
             {
                 Reply::Data(data) => Ok(Bytes::from(data)),
                 _ => Err(FsError::Io),
@@ -449,7 +487,7 @@ impl Vnode for NfsVnode {
     fn write(&self, cred: &Credentials, offset: u64, data: &[u8]) -> FsResult<usize> {
         match self
             .shared
-            .call(cred, &Request::Write(self.fh, offset, data.to_vec()))?
+            .call_retry(cred, &Request::Write(self.fh, offset, data.to_vec()))?
         {
             Reply::Written(n) => {
                 self.shared.invalidate_attr(self.fh);
@@ -464,7 +502,7 @@ impl Vnode for NfsVnode {
     }
 
     fn fsync(&self, cred: &Credentials) -> FsResult<()> {
-        match self.shared.call(cred, &Request::Fsync(self.fh))? {
+        match self.shared.call_retry(cred, &Request::Fsync(self.fh))? {
             Reply::Ok => Ok(()),
             _ => Err(FsError::Io),
         }
@@ -477,7 +515,7 @@ impl Vnode for NfsVnode {
         }
         match self
             .shared
-            .call(cred, &Request::Lookup(self.fh, name.to_owned()))?
+            .call_retry(cred, &Request::Lookup(self.fh, name.to_owned()))?
         {
             Reply::Node(fh, attr) => {
                 self.shared.cache_name(self.fh, name, fh, &attr);
@@ -491,7 +529,7 @@ impl Vnode for NfsVnode {
     fn create(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
         match self
             .shared
-            .call(cred, &Request::Create(self.fh, name.to_owned(), mode))?
+            .call_retry(cred, &Request::Create(self.fh, name.to_owned(), mode))?
         {
             Reply::Node(fh, attr) => {
                 self.shared.cache_name(self.fh, name, fh, &attr);
@@ -505,7 +543,7 @@ impl Vnode for NfsVnode {
     fn mkdir(&self, cred: &Credentials, name: &str, mode: u32) -> FsResult<VnodeRef> {
         match self
             .shared
-            .call(cred, &Request::Mkdir(self.fh, name.to_owned(), mode))?
+            .call_retry(cred, &Request::Mkdir(self.fh, name.to_owned(), mode))?
         {
             Reply::Node(fh, attr) => {
                 self.shared.cache_name(self.fh, name, fh, &attr);
@@ -518,7 +556,7 @@ impl Vnode for NfsVnode {
     fn remove(&self, cred: &Credentials, name: &str) -> FsResult<()> {
         let r = self
             .shared
-            .call(cred, &Request::Remove(self.fh, name.to_owned()))?;
+            .call_retry(cred, &Request::Remove(self.fh, name.to_owned()))?;
         self.shared.purge_name(self.fh, name);
         match r {
             Reply::Ok => Ok(()),
@@ -529,7 +567,7 @@ impl Vnode for NfsVnode {
     fn rmdir(&self, cred: &Credentials, name: &str) -> FsResult<()> {
         let r = self
             .shared
-            .call(cred, &Request::Rmdir(self.fh, name.to_owned()))?;
+            .call_retry(cred, &Request::Rmdir(self.fh, name.to_owned()))?;
         self.shared.purge_name(self.fh, name);
         match r {
             Reply::Ok => Ok(()),
@@ -542,7 +580,7 @@ impl Vnode for NfsVnode {
         if peer.shared.server != self.shared.server {
             return Err(FsError::Xdev);
         }
-        let r = self.shared.call(
+        let r = self.shared.call_retry(
             cred,
             &Request::Rename(self.fh, from.to_owned(), peer.fh, to.to_owned()),
         )?;
@@ -561,7 +599,7 @@ impl Vnode for NfsVnode {
         }
         match self
             .shared
-            .call(cred, &Request::Link(peer.fh, self.fh, name.to_owned()))?
+            .call_retry(cred, &Request::Link(peer.fh, self.fh, name.to_owned()))?
         {
             Reply::Ok => Ok(()),
             _ => Err(FsError::Io),
@@ -569,7 +607,7 @@ impl Vnode for NfsVnode {
     }
 
     fn symlink(&self, cred: &Credentials, name: &str, target: &str) -> FsResult<VnodeRef> {
-        match self.shared.call(
+        match self.shared.call_retry(
             cred,
             &Request::Symlink(self.fh, name.to_owned(), target.to_owned()),
         )? {
@@ -579,7 +617,7 @@ impl Vnode for NfsVnode {
     }
 
     fn readlink(&self, cred: &Credentials) -> FsResult<String> {
-        match self.shared.call(cred, &Request::Readlink(self.fh))? {
+        match self.shared.call_retry(cred, &Request::Readlink(self.fh))? {
             Reply::Path(p) => Ok(p),
             _ => Err(FsError::Io),
         }
@@ -588,7 +626,7 @@ impl Vnode for NfsVnode {
     fn readdir(&self, cred: &Credentials, cookie: u64, count: usize) -> FsResult<Vec<DirEntry>> {
         match self
             .shared
-            .call(cred, &Request::Readdir(self.fh, cookie, count as u32))?
+            .call_retry(cred, &Request::Readdir(self.fh, cookie, count as u32))?
         {
             Reply::Entries(entries) => Ok(entries),
             _ => Err(FsError::Io),

@@ -154,6 +154,7 @@ fn attr_cache_hides_remote_changes_within_ttl() {
             attr_cache_ttl_us: ttl,
             name_cache_ttl_us: 0,
             data_cache_ttl_us: 0,
+            ..NfsClientParams::default()
         },
     )
     .unwrap();
@@ -182,6 +183,7 @@ fn name_cache_hits_avoid_rpcs() {
         attr_cache_ttl_us: 0,
         name_cache_ttl_us: 10_000_000,
         data_cache_ttl_us: 0,
+        ..NfsClientParams::default()
     });
     let cred = Credentials::root();
     let root = r.client.root();
@@ -258,6 +260,7 @@ fn data_cache_serves_rereads_without_rpcs() {
         attr_cache_ttl_us: 0,
         name_cache_ttl_us: 0,
         data_cache_ttl_us: 10_000_000,
+        ..NfsClientParams::default()
     });
     let cred = Credentials::root();
     let root = r.client.root();
@@ -296,6 +299,7 @@ fn data_cache_hides_remote_writes_within_ttl() {
             attr_cache_ttl_us: 0,
             name_cache_ttl_us: 0,
             data_cache_ttl_us: ttl,
+            ..NfsClientParams::default()
         },
     )
     .unwrap();
@@ -326,6 +330,7 @@ fn own_writes_invalidate_own_data_cache() {
         attr_cache_ttl_us: 0,
         name_cache_ttl_us: 0,
         data_cache_ttl_us: 10_000_000,
+        ..NfsClientParams::default()
     });
     let cred = Credentials::root();
     let root = r.client.root();
@@ -335,6 +340,125 @@ fn own_writes_invalidate_own_data_cache() {
     f.write(&cred, 0, b"new").unwrap();
     // Read-your-writes holds for the writing client.
     assert_eq!(&f.read(&cred, 0, 3).unwrap()[..], b"new");
+}
+
+/// A rig whose RPC service times out on demand: the "flaky" front service
+/// fails the next `fail_next` calls with `TimedOut`, then forwards to the
+/// real NFS server. This is how transient server overload looks to a
+/// soft-mounted client.
+fn flaky_rig(
+    params: NfsClientParams,
+) -> (
+    Arc<ficus_net::SimClock>,
+    Network,
+    NfsClientFs,
+    Arc<parking_lot::Mutex<u32>>,
+) {
+    let clock = SimClock::new();
+    let net = Network::fully_connected(Arc::clone(&clock));
+    let ufs = Ufs::format_with_clock(
+        Disk::new(Geometry::small()),
+        UfsParams::default(),
+        Arc::clone(&clock) as Arc<dyn ficus_vnode::TimeSource>,
+    )
+    .unwrap();
+    let server = NfsServer::new(Arc::new(ufs) as Arc<dyn FileSystem>);
+    server.serve_as(&net, SERVER, "real");
+    let fail_next = Arc::new(parking_lot::Mutex::new(0u32));
+    {
+        let fails = Arc::clone(&fail_next);
+        let fwd = net.clone();
+        net.register_rpc(
+            SERVER,
+            "flaky",
+            Arc::new(move |from, req| {
+                {
+                    let mut k = fails.lock();
+                    if *k > 0 {
+                        *k -= 1;
+                        return Err(FsError::TimedOut);
+                    }
+                }
+                fwd.rpc(from, SERVER, "real", req)
+            }),
+        );
+    }
+    let client = NfsClientFs::mount_service(net.clone(), CLIENT, SERVER, "flaky", params).unwrap();
+    (clock, net, client, fail_next)
+}
+
+#[test]
+fn timed_out_rpcs_retransmit_with_backoff() {
+    use ficus_net::RetryPolicy;
+    use ficus_vnode::TimeSource;
+
+    let retry = RetryPolicy {
+        attempts: 4,
+        base_delay_us: 10_000,
+        multiplier: 2,
+        max_delay_us: 1_000_000,
+        jitter: 0.5,
+    };
+    let (clock, _net, client, fail_next) = flaky_rig(NfsClientParams {
+        retry: retry.clone(),
+        ..NfsClientParams::uncached()
+    });
+    let cred = Credentials::root();
+    let root = client.root();
+    root.create(&cred, "a", 0o644)
+        .unwrap()
+        .write(&cred, 0, b"payload")
+        .unwrap();
+    let nfs = root
+        .as_any()
+        .downcast_ref::<crate::client::NfsVnode>()
+        .unwrap();
+
+    // Two transient timeouts, then the server answers.
+    *fail_next.lock() = 2;
+    let before = clock.now();
+    let items = nfs.lookup_read_many(&cred, &["a".to_owned()]).unwrap();
+    assert_eq!(items[0].as_ref().unwrap(), b"payload");
+    assert_eq!(client.stats().retransmits, 2, "one per timed-out attempt");
+
+    // The retransmits waited: two jittered backoff delays (10 ms and 20 ms
+    // nominal, each within ±25%) were charged to the shared clock.
+    let waited = clock.now().micros_since(before);
+    let min = retry.nominal_delay_us(1) * 3 / 4 + retry.nominal_delay_us(2) * 3 / 4;
+    let max = retry.max_delay_for(1) + retry.max_delay_for(2) + 10_000; // + RPC latencies
+    assert!(waited >= min, "waited {waited} < {min}");
+    assert!(waited <= max, "waited {waited} > {max}");
+}
+
+#[test]
+fn retransmits_exhaust_and_surface_timed_out() {
+    use ficus_net::RetryPolicy;
+
+    let (_clock, _net, client, fail_next) = flaky_rig(NfsClientParams {
+        retry: RetryPolicy {
+            attempts: 3,
+            base_delay_us: 1_000,
+            multiplier: 2,
+            max_delay_us: 10_000,
+            jitter: 0.0,
+        },
+        ..NfsClientParams::uncached()
+    });
+    let cred = Credentials::root();
+    let root = client.root();
+    root.create(&cred, "a", 0o644).unwrap();
+    let nfs = root
+        .as_any()
+        .downcast_ref::<crate::client::NfsVnode>()
+        .unwrap();
+
+    // More failures than the policy has attempts: the call gives up.
+    *fail_next.lock() = 100;
+    assert_eq!(
+        nfs.lookup_read_many(&cred, &["a".to_owned()]).unwrap_err(),
+        FsError::TimedOut
+    );
+    assert_eq!(client.stats().retransmits, 2, "attempts - 1 retransmits");
 }
 
 #[test]

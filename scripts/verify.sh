@@ -19,6 +19,11 @@ run() {
 run cargo build --release
 run cargo test -q
 
+# Fixed-seed chaos smoke: seeded fault campaigns (partition + crash +
+# datagram loss + mid-RPC export faults) must converge and hold every
+# invariant. Deterministic per seed, so a failure here is reproducible.
+run cargo test -q --test chaos_campaigns
+
 if [[ "${1:-}" == "--quick" ]]; then
     echo "verify: tier-1 OK (quick mode, workspace tests and lints skipped)"
     exit 0

@@ -1,0 +1,198 @@
+//! Integration: seeded chaos campaigns (§7's "failures may occur more
+//! freely" claim, stress-tested end to end).
+//!
+//! Each campaign composes partitions, host crashes, datagram loss, and
+//! mid-RPC export faults against a multi-replica world, then checks the
+//! post-heal invariants: no acknowledged write lost, full version-vector
+//! and content convergence, no duplicate conflict reports, and daemon
+//! probing of down peers bounded by the health backoff schedule.
+
+use ficus_repro::core::chaos::{run_campaign, ChaosParams};
+use ficus_repro::core::health::HealthParams;
+use ficus_repro::core::ids::ROOT_FILE;
+use ficus_repro::core::sim::{FicusWorld, WorldParams};
+use ficus_repro::net::{HostId, NetworkParams};
+use ficus_repro::vnode::{Credentials, FileSystem};
+
+/// Five distinct seeds, default hostility: every invariant holds on each.
+#[test]
+fn five_seeded_campaigns_pass_all_invariants() {
+    for seed in [1u64, 2, 3, 0xFACADE, 0xDEAD_BEEF] {
+        let report = run_campaign(&ChaosParams {
+            seed,
+            ..ChaosParams::default()
+        });
+        assert!(
+            report.passed(),
+            "seed {seed:#x} violated invariants: {:#?}",
+            report.violations
+        );
+        assert!(report.writes_ok > 0, "seed {seed:#x} did no work");
+    }
+}
+
+/// The ISSUE's named scenario at three fixed seeds: 40% datagram loss, a
+/// partition, and a host crash while propagation is in flight — the
+/// replicas still converge and no acknowledged write is lost.
+#[test]
+fn convergence_after_heavy_loss_partition_and_crash() {
+    for seed in [11u64, 12, 13] {
+        let report = run_campaign(&ChaosParams {
+            seed,
+            datagram_loss: 0.4,
+            partition_prob: 0.5,
+            heal_prob: 0.3,
+            crash_prob: 0.5,
+            revive_prob: 0.3,
+            steps: 24,
+            ..ChaosParams::default()
+        });
+        assert!(
+            report.passed(),
+            "seed {seed} violated invariants: {:#?}",
+            report.violations
+        );
+        assert!(report.partitions >= 1, "seed {seed} never partitioned");
+        assert!(report.crashes >= 1, "seed {seed} never crashed a host");
+        assert!(report.writes_ok > 0, "seed {seed} did no work");
+    }
+}
+
+/// Builds a two-host world, gives host 2 a pending note and a divergence to
+/// chase, downs host 1, and hammers host 2's daemons; returns the
+/// unreachable-RPC count the daemons burned.
+fn down_peer_probe_count(health: Option<HealthParams>, passes: u32, advance_us: u64) -> u64 {
+    let world = FicusWorld::new(WorldParams {
+        hosts: 2,
+        root_replica_hosts: vec![1, 2],
+        health,
+        ..WorldParams::default()
+    });
+    let cred = Credentials::root();
+    world
+        .logical(HostId(1))
+        .root()
+        .create(&cred, "f", 0o644)
+        .unwrap()
+        .write(&cred, 0, b"v1")
+        .unwrap();
+    world.settle();
+    // A fresh update whose notification reaches host 2 right before the
+    // origin dies: the daemon now has a note it cannot drain.
+    let p1 = world.phys(HostId(1), world.root_volume()).unwrap();
+    let f = p1
+        .dir_entries(ROOT_FILE)
+        .unwrap()
+        .live()
+        .next()
+        .unwrap()
+        .file;
+    p1.write(f, 0, b"v2").unwrap();
+    world.deliver_notifications();
+    world.net().set_host_down(HostId(1), true);
+
+    let before = world.net().stats().rpcs_unreachable;
+    for _ in 0..passes {
+        let _ = world.run_propagation(HostId(2));
+        let _ = world.run_reconciliation(HostId(2));
+        world.clock().advance(advance_us);
+    }
+    world.net().stats().rpcs_unreachable - before
+}
+
+/// The regression the tentpole exists for: with health tracking, RPCs at a
+/// down peer are bounded by the backoff schedule; without it, every daemon
+/// pass re-probes and the count grows linearly with passes.
+#[test]
+fn down_peer_rpcs_bounded_by_backoff_not_by_pass_count() {
+    const PASSES: u32 = 40;
+    const ADVANCE_US: u64 = 5_000; // 5 ms between daemon passes
+
+    let unguarded = down_peer_probe_count(None, PASSES, ADVANCE_US);
+    let guarded = down_peer_probe_count(Some(HealthParams::default()), PASSES, ADVANCE_US);
+
+    // No health: both daemons probe the dead origin on every pass.
+    assert!(
+        unguarded >= u64::from(PASSES),
+        "expected at least one unreachable RPC per pass without health \
+         gating, got {unguarded} over {PASSES} passes"
+    );
+    // Health: 40 passes x 5 ms = 200 ms of sim time. The backoff schedule
+    // (50 ms base, doubling, >= 43.75 ms after jitter) admits only a
+    // handful of probe windows in that span — per daemon, plus the initial
+    // probes that arm the backoff.
+    assert!(
+        guarded <= 12,
+        "backoff gating should cap probes at a handful, got {guarded}"
+    );
+    assert!(
+        guarded * 3 <= unguarded,
+        "gating saved too little: {guarded} guarded vs {unguarded} unguarded"
+    );
+}
+
+/// A campaign is a pure function of its parameters: same seed, same story,
+/// byte-for-byte identical report counters.
+#[test]
+fn campaigns_are_deterministic_per_seed() {
+    let params = ChaosParams {
+        seed: 42,
+        steps: 12,
+        datagram_loss: 0.3,
+        ..ChaosParams::default()
+    };
+    let a = run_campaign(&params);
+    let b = run_campaign(&params);
+    assert_eq!(a.writes_ok, b.writes_ok);
+    assert_eq!(a.writes_failed, b.writes_failed);
+    assert_eq!(a.partitions, b.partitions);
+    assert_eq!(a.crashes, b.crashes);
+    assert_eq!(a.faults_armed, b.faults_armed);
+    assert_eq!(a.conflicts_detected, b.conflicts_detected);
+    assert_eq!(a.resolutions, b.resolutions);
+    assert_eq!(a.daemon_unreachable_rpcs, b.daemon_unreachable_rpcs);
+    assert_eq!(a.violations, b.violations);
+}
+
+/// Disabling health in a chaos world must not break convergence — only the
+/// bounded-probing invariant is health's to enforce, and the campaign's
+/// allowance is generous enough that a short, crash-free campaign passes.
+#[test]
+fn quiet_campaign_without_health_still_converges() {
+    let world = FicusWorld::new(WorldParams {
+        hosts: 3,
+        root_replica_hosts: vec![1, 2, 3],
+        health: None,
+        net: NetworkParams {
+            datagram_loss: 0.2,
+            seed: 77,
+            ..NetworkParams::default()
+        },
+        ..WorldParams::default()
+    });
+    let cred = Credentials::root();
+    for h in [1u32, 2, 3] {
+        world
+            .logical(HostId(h))
+            .root()
+            .create(&cred, &format!("h{h}"), 0o644)
+            .unwrap()
+            .write(&cred, 0, format!("from {h}").as_bytes())
+            .unwrap();
+    }
+    world.settle();
+    let vol = world.root_volume();
+    for h in [1u32, 2, 3] {
+        let p = world.phys(HostId(h), vol).unwrap();
+        for name in ["h1", "h2", "h3"] {
+            let e = p
+                .dir_entries(ROOT_FILE)
+                .unwrap()
+                .live()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("{name} missing at host {h}"))
+                .clone();
+            assert!(p.file_vv(e.file).is_ok(), "{name} has storage at {h}");
+        }
+    }
+}

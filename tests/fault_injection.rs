@@ -15,6 +15,7 @@ use ficus_repro::core::ids::{ReplicaId, VolumeName, ROOT_FILE};
 use ficus_repro::core::phys::vnode::PhysFs;
 use ficus_repro::core::phys::{FicusPhysical, PhysParams};
 use ficus_repro::core::recon::reconcile_subtree;
+use ficus_repro::core::sim::{FicusWorld, WorldParams};
 use ficus_repro::net::{HostId, Network, SimClock};
 use ficus_repro::nfs::client::{NfsClientFs, NfsClientParams};
 use ficus_repro::nfs::server::NfsServer;
@@ -122,6 +123,95 @@ fn reconciliation_survives_mid_protocol_remote_faults() {
         assert_eq!(
             &local.read(e.file, 0, 100).unwrap()[..],
             format!("payload {i}").as_bytes()
+        );
+    }
+}
+
+/// The whole stack at once — logical layer on top, NFS transport in the
+/// middle, physical layer below, with the `FaultLayer` interposed on the
+/// NFS export (`export_faults`) — and a fault burst landing in the middle
+/// of a `reconcile_subtree` pass.
+///
+/// Short bursts vanish inside the NFS client's bounded retry; a burst
+/// longer than the retry budget fails the pass, arms the peer's health
+/// backoff, and the next scheduled pass (after the window) finishes the
+/// job. Either way the replicas converge and no state is corrupted.
+#[test]
+fn export_fault_burst_mid_reconciliation_through_the_full_stack() {
+    let world = FicusWorld::new(WorldParams {
+        hosts: 2,
+        root_replica_hosts: vec![1, 2],
+        export_faults: true,
+        ..WorldParams::default()
+    });
+    let vol = world.root_volume();
+    let cred = ficus_repro::vnode::Credentials::root();
+
+    // Content created through the LOGICAL layer at host 1 — the top of the
+    // stack, not a physical-layer shortcut.
+    for i in 0..5 {
+        world
+            .logical(HostId(1))
+            .root()
+            .create(&cred, &format!("doc{i}"), 0o644)
+            .unwrap()
+            .write(&cred, 0, format!("body {i}").as_bytes())
+            .unwrap();
+    }
+
+    // A short burst first: two timeouts are absorbed by the client's
+    // three-attempt retry without the pass even noticing.
+    let control = world.fault_control(HostId(1), vol).expect("export fault");
+    control.set_plan(FaultPlan {
+        ops: vec![],
+        error: FsError::TimedOut,
+        schedule: Schedule::NextN(2),
+    });
+    let stats = world.run_reconciliation(HostId(2)).unwrap();
+    assert_eq!(control.fired(), 2, "the short burst was consumed");
+    assert!(stats.dirs_examined >= 1, "the pass completed regardless");
+
+    // More divergence, then a burst longer than any single call's retry
+    // budget: the pass mid-subtree hits it, fails cleanly, and the
+    // backoff-aware scheduler finishes after the window.
+    for i in 5..8 {
+        world
+            .logical(HostId(1))
+            .root()
+            .create(&cred, &format!("doc{i}"), 0o644)
+            .unwrap()
+            .write(&cred, 0, format!("body {i}").as_bytes())
+            .unwrap();
+    }
+    // 7 = two whole failed passes (three retried mount attempts each) plus
+    // one more fault absorbed by the third pass's retry — long enough to
+    // exercise the backoff scheduler, short enough that the peer never
+    // reaches `Down`.
+    control.set_plan(FaultPlan {
+        ops: vec![],
+        error: FsError::TimedOut,
+        schedule: Schedule::NextN(7),
+    });
+    world.reconcile_until_quiescent(16);
+    assert_eq!(
+        control.fired(),
+        9,
+        "both bursts fully consumed (2 short + 7 long)"
+    );
+
+    // Convergence: every document readable at host 2 with exact bytes.
+    let p2 = world.phys(HostId(2), vol).unwrap();
+    for i in 0..8 {
+        let e = p2
+            .dir_entries(ficus_repro::core::ids::ROOT_FILE)
+            .unwrap()
+            .live()
+            .find(|e| e.name == format!("doc{i}"))
+            .unwrap_or_else(|| panic!("doc{i} missing at host 2"))
+            .clone();
+        assert_eq!(
+            &p2.read(e.file, 0, 100).unwrap()[..],
+            format!("body {i}").as_bytes()
         );
     }
 }

@@ -196,6 +196,7 @@ fn propagation_requeues_across_a_partition_and_recovers() {
     let stats = world.run_propagation(HostId(2)).unwrap();
     assert_eq!(stats.notes_taken, 1);
     assert_eq!(stats.requeued, 1, "unreachable origin must requeue");
+    assert_eq!(stats.requeued_down, 1, "partition reads as a down peer");
     assert_eq!(stats.files_pulled, 0);
     assert_eq!(p2.pending_notifications(), 1, "note survives for retry");
 
@@ -206,6 +207,16 @@ fn propagation_requeues_across_a_partition_and_recovers() {
     assert_eq!(recon_stats.dirs_examined, 0, "partitioned peer skipped");
 
     world.heal();
+    // The failed pull armed replica 1's backoff window on host 2; until it
+    // passes the daemon holds the note without touching the wire.
+    let stats = world.run_propagation(HostId(2)).unwrap();
+    assert_eq!(stats.notes_taken, 0, "note gated by the backoff window");
+    assert_eq!(p2.pending_notifications(), 1);
+    let retry_at = world
+        .health(HostId(2))
+        .unwrap()
+        .next_attempt_at(ReplicaId(1));
+    world.clock().advance_to(retry_at);
     let stats = world.run_propagation(HostId(2)).unwrap();
     assert_eq!(stats.notes_taken, 1);
     assert_eq!(stats.requeued, 0);
