@@ -1,0 +1,4 @@
+//! e10_lcache: see the corresponding module in ficus-bench for the paper claim.
+fn main() {
+    print!("{}", ficus_bench::e10_lcache::run().render());
+}

@@ -44,6 +44,7 @@ pub fn measure(depth: usize) -> GraftCost {
         root_replica_hosts: vec![2, 3], // host 1 stores nothing
         logical: LogicalParams {
             graft_idle_us: 1_000_000,
+            ..LogicalParams::default()
         },
         ..WorldParams::default()
     });

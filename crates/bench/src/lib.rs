@@ -6,6 +6,7 @@
 //! the `exp_*` binaries stay thin and integration tests can assert on the
 //! measured shapes (who wins, by what factor) rather than scraping stdout.
 
+pub mod e10_lcache;
 pub mod e1_layers;
 pub mod e2_open_io;
 pub mod e3_commit;

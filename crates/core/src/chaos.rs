@@ -29,6 +29,11 @@
 //! * **Bounded probing of down peers** — RPCs the daemons burn on
 //!   unreachable peers stay within what the health backoff schedule admits,
 //!   rather than growing with the number of daemon passes.
+//! * **Read-your-acknowledged-writes through the cache** — a logical-layer
+//!   read after quiescence never returns content older than the version the
+//!   same host last acknowledged writing: the lcache's invalidation sources
+//!   (notes, local updates, daemon adoptions, health transitions) must have
+//!   flushed every stale entry by then.
 //!
 //! Everything is deterministic per seed: the campaign RNG, the network loss
 //! RNG, and each host's health jitter RNG are all seeded from
@@ -46,6 +51,8 @@ use ficus_vv::VersionVector;
 
 use crate::health::HealthParams;
 use crate::ids::{FicusFileId, ReplicaId, ROOT_FILE};
+use crate::lcache::LcacheParams;
+use crate::logical::LogicalParams;
 use crate::resolve::{self, Resolution};
 use crate::sim::{FicusWorld, WorldParams};
 
@@ -78,6 +85,10 @@ pub struct ChaosParams {
     /// Per-step probability of a write to the shared file (the conflict
     /// generator: concurrent shared writes across a partition diverge).
     pub shared_write_prob: f64,
+    /// Whether the logical-layer cache ([`crate::lcache`]) is enabled.
+    /// `false` is the coherence-bug control: every invariant must hold
+    /// identically with and without caching.
+    pub caching: bool,
 }
 
 impl Default for ChaosParams {
@@ -95,6 +106,7 @@ impl Default for ChaosParams {
             revive_prob: 0.35,
             export_fault_prob: 0.2,
             shared_write_prob: 0.3,
+            caching: true,
         }
     }
 }
@@ -126,6 +138,10 @@ pub struct ChaosReport {
     pub daemon_unreachable_rpcs: u64,
     /// What the backoff schedule admits for that counter.
     pub unreachable_allowance: u64,
+    /// Logical-cache hits across all hosts (0 when caching is off).
+    pub lcache_hits: u64,
+    /// Logical-cache invalidations across all hosts.
+    pub lcache_invalidations: u64,
     /// Invariant violations (empty = the campaign passed).
     pub violations: Vec<String>,
 }
@@ -165,6 +181,13 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
             seed: params.seed,
             ..HealthParams::default()
         }),
+        logical: LogicalParams {
+            cache: LcacheParams {
+                enabled: params.caching,
+                ..LcacheParams::default()
+            },
+            ..LogicalParams::default()
+        },
         export_faults: true,
         ..WorldParams::default()
     });
@@ -184,6 +207,9 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
 
     // Acknowledged writes: name -> exact bytes owed to the client.
     let mut expected: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    // Which host acknowledged each unique write (invariant 5 reads it back
+    // through that host's caching logical layer).
+    let mut acked_by: BTreeMap<String, HostId> = BTreeMap::new();
     let mut partitioned = false;
     let mut down: Option<HostId> = None;
     // Events that can legitimately reset a peer's backoff streak (each one
@@ -248,6 +274,7 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
                 .and_then(|v| v.write(&cred, 0, &content).map(|_| ()));
             match outcome {
                 Ok(()) => {
+                    acked_by.insert(name.clone(), h);
                     expected.insert(name, content);
                     report.writes_ok += 1;
                 }
@@ -325,7 +352,12 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
     report.daemon_unreachable_rpcs += world.net().stats().rpcs_unreachable - before;
 
     // --- invariants ---------------------------------------------------------
-    check_invariants(&world, &expected, streak_resets, &mut report);
+    check_invariants(&world, &expected, &acked_by, streak_resets, &mut report);
+    for h in world.host_ids() {
+        let s = world.logical(h).stats();
+        report.lcache_hits += s.cache_hits;
+        report.lcache_invalidations += s.invalidations;
+    }
     report
 }
 
@@ -381,6 +413,7 @@ fn max_probes_per_streak(params: &HealthParams, elapsed_us: u64) -> u64 {
 fn check_invariants(
     world: &FicusWorld,
     expected: &BTreeMap<String, Vec<u8>>,
+    acked_by: &BTreeMap<String, HostId>,
     streak_resets: u64,
     report: &mut ChaosReport,
 ) {
@@ -481,6 +514,51 @@ fn check_invariants(
             "daemons burned {} RPCs on unreachable peers; backoff admits {}",
             report.daemon_unreachable_rpcs, allowance
         ));
+    }
+
+    // 5. Read-your-acknowledged-writes through the (possibly caching)
+    //    logical layer: a post-quiescence read never returns content older
+    //    than the version the same host last acknowledged writing. Unique
+    //    files must read back their exact acknowledged bytes at the
+    //    acknowledging host; the shared file's logical view at every host
+    //    must match the converged physical content (a cached entry serving
+    //    anything else is a coherence bug, not a replication bug).
+    let cred = Credentials::root();
+    let read_logical = |h: HostId, name: &str| -> Result<Vec<u8>, FsError> {
+        let v = world.logical(h).root().lookup(&cred, name)?;
+        let size = v.getattr(&cred)?.size as usize;
+        Ok(v.read(&cred, 0, size)?.to_vec())
+    };
+    for (name, &h) in acked_by {
+        let Some(content) = expected.get(name) else {
+            continue;
+        };
+        match read_logical(h, name) {
+            Ok(bytes) if &bytes == content => {}
+            Ok(_) => violate(format!(
+                "host {}: logical read of acknowledged '{name}' returned stale bytes",
+                h.0
+            )),
+            Err(e) => violate(format!(
+                "host {}: logical read of acknowledged '{name}' failed: {e:?}",
+                h.0
+            )),
+        }
+    }
+    if let Some((_, _, converged)) = first.get("shared") {
+        for &h in &hosts {
+            match read_logical(h, "shared") {
+                Ok(bytes) if &bytes == converged => {}
+                Ok(_) => violate(format!(
+                    "host {}: logical read of 'shared' diverges from converged content",
+                    h.0
+                )),
+                Err(e) => violate(format!(
+                    "host {}: logical read of 'shared' failed: {e:?}",
+                    h.0
+                )),
+            }
+        }
     }
 }
 

@@ -28,6 +28,7 @@
 //! stats distinguish "the network said no" from "we didn't ask".
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -120,12 +121,16 @@ impl PeerRecord {
     }
 }
 
+/// Callback fired when a peer's classification changes (Down ↔ Healthy).
+pub type TransitionListener = dyn Fn(ReplicaId, PeerState) + Send + Sync;
+
 /// Per-replica health registry shared by the propagation daemon and the
 /// reconciliation scheduler of one host.
 pub struct PeerHealth {
     params: HealthParams,
     peers: Mutex<HashMap<ReplicaId, PeerRecord>>,
     rng: Mutex<StdRng>,
+    listener: Mutex<Option<Arc<TransitionListener>>>,
 }
 
 impl PeerHealth {
@@ -138,6 +143,7 @@ impl PeerHealth {
             params,
             peers: Mutex::new(HashMap::new()),
             rng: Mutex::new(rng),
+            listener: Mutex::new(None),
         }
     }
 
@@ -147,15 +153,29 @@ impl PeerHealth {
         &self.params
     }
 
+    /// Installs the transition listener. It fires (outside the registry's
+    /// locks) when a peer newly becomes Down and when a non-Healthy peer
+    /// recovers — the two edges a cache cares about: entries learned from a
+    /// now-dead peer are suspect, and a recovered peer may carry versions
+    /// the cache never heard notes about.
+    pub fn set_transition_listener(&self, l: Arc<TransitionListener>) {
+        *self.listener.lock() = Some(l);
+    }
+
     /// Records a successful exchange with `peer`: the peer is Healthy again
     /// and its backoff window closes.
     pub fn record_success(&self, peer: ReplicaId) {
         let mut peers = self.peers.lock();
         let rec = peers.entry(peer).or_insert_with(PeerRecord::fresh);
+        let was = rec.state;
         rec.state = PeerState::Healthy;
         rec.consecutive_failures = 0;
         rec.backoff_until = Timestamp(0);
         rec.successes += 1;
+        drop(peers);
+        if was != PeerState::Healthy {
+            self.fire(peer, PeerState::Healthy);
+        }
     }
 
     /// Records a failed exchange with `peer` at time `now`: advances the
@@ -164,6 +184,7 @@ impl PeerHealth {
     pub fn record_failure(&self, peer: ReplicaId, now: Timestamp) -> PeerState {
         let mut peers = self.peers.lock();
         let rec = peers.entry(peer).or_insert_with(PeerRecord::fresh);
+        let was = rec.state;
         rec.failures += 1;
         rec.consecutive_failures = rec.consecutive_failures.saturating_add(1);
         rec.state = if rec.consecutive_failures >= self.params.down_after {
@@ -176,7 +197,19 @@ impl PeerHealth {
             .backoff
             .delay_us(rec.consecutive_failures, &mut self.rng.lock());
         rec.backoff_until = now.plus_micros(delay);
-        rec.state
+        let state = rec.state;
+        drop(peers);
+        if state == PeerState::Down && was != PeerState::Down {
+            self.fire(peer, PeerState::Down);
+        }
+        state
+    }
+
+    fn fire(&self, peer: ReplicaId, state: PeerState) {
+        let l = self.listener.lock().clone();
+        if let Some(l) = l {
+            l(peer, state);
+        }
     }
 
     /// Whether an exchange with `peer` should be attempted at `now`. `false`
@@ -348,6 +381,30 @@ mod tests {
             Some(Timestamp(2_000))
         );
         assert_eq!(h.earliest_retry_after(Timestamp(2_000)), None);
+    }
+
+    #[test]
+    fn transition_listener_fires_on_down_and_recovery_edges_only() {
+        let h = health();
+        let events: Arc<Mutex<Vec<(ReplicaId, PeerState)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        h.set_transition_listener(Arc::new(move |p, s| sink.lock().push((p, s))));
+        h.record_failure(PEER, Timestamp(0)); // Healthy → Suspect: no event
+        h.record_success(PEER); // Suspect → Healthy: recovery event
+        for _ in 0..3 {
+            h.record_failure(PEER, Timestamp(0)); // third crosses into Down
+        }
+        h.record_failure(PEER, Timestamp(0)); // still Down: no second event
+        h.record_success(PEER); // Down → Healthy
+        h.record_success(PEER); // already Healthy: no event
+        assert_eq!(
+            *events.lock(),
+            vec![
+                (PEER, PeerState::Healthy),
+                (PEER, PeerState::Down),
+                (PEER, PeerState::Healthy),
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,572 @@
+//! The logical-layer cache: notification-invalidated soft state (paper
+//! §2.2, §3.2).
+//!
+//! NFS caches attributes and name translations but its caches are
+//! "uncontrollable" — a server cannot revoke a client's stale entry, which
+//! is exactly why the logical layer mounts its replicas with
+//! `NfsClientParams::uncached()` and pays a full `fetch_attrs` fan-out to
+//! every reachable replica on every bind. Ficus, unlike NFS, *owns* the
+//! coherence channel: every update multicasts a §3.2 notification to the
+//! replicas' hosts, so a logical-layer cache can be kept coherent by the
+//! very datagrams that already feed the physical layer's new-version cache.
+//!
+//! [`Lcache`] is that cache, one per host, with three tables:
+//!
+//! * **attrs** — `(volume, file, replica) → version vector`, so a selection
+//!   round consults cached VVs and only RPCs on miss (the NFS attribute
+//!   cache, made controllable);
+//! * **names** — `(volume, directory, name) → entry`, DNLC-style one layer
+//!   above [`ficus_ufs::Dnlc`], so repeated path binds skip the directory
+//!   slurp (negative entries included);
+//! * **selections** — `(volume, file) → winning replica connection`, so a
+//!   warm re-bind skips the selection round entirely: O(R) RPCs → O(1).
+//!
+//! Coherence rides the existing machinery — no new protocol:
+//!
+//! * a **local update** invalidates the updated file's entries before the
+//!   notification is multicast;
+//! * a **received update note** invalidates the noted file's entries (wired
+//!   in the datagram handler, next to the new-version-cache feed);
+//! * a **propagation pull / reconciliation adoption** invalidates what it
+//!   rewrote (the local replica's VV advanced without a note);
+//! * a **peer health transition** (→ Down or → Healthy) flushes every entry
+//!   learned from that peer — its cached connection is dead, or its state
+//!   is about to be refetchable;
+//! * a **TTL** bounds the staleness of entries whose invalidating note was
+//!   lost to a partition or datagram drop (the fallback, not the
+//!   mechanism; see [`LcacheParams::ttl_us`]).
+//!
+//! Every `rpcs_avoided` increment is honest: the miss path records what the
+//! fetch actually cost on the wire (zero for co-resident replicas), and a
+//! hit claims exactly that recorded cost.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ficus_vnode::{TimeSource, Timestamp, VnodeType};
+use ficus_vv::VersionVector;
+
+use crate::ids::{FicusFileId, ReplicaId, VolumeName};
+use crate::volume::ReplicaConn;
+
+/// Cache tunables.
+#[derive(Debug, Clone)]
+pub struct LcacheParams {
+    /// Master switch; disabled leaves every lookup a miss (and counts
+    /// nothing), reproducing the pre-cache RPC pattern exactly.
+    pub enabled: bool,
+    /// Per-table entry bound; a full table sheds expired entries first and
+    /// clears wholesale as a last resort (caches may always forget).
+    pub capacity: usize,
+    /// Entries older than this are misses, whatever the notification
+    /// channel failed to deliver (microseconds of simulated time).
+    pub ttl_us: u64,
+}
+
+impl Default for LcacheParams {
+    fn default() -> Self {
+        LcacheParams {
+            enabled: true,
+            capacity: 4096,
+            ttl_us: 2_000_000, // two simulated seconds
+        }
+    }
+}
+
+/// Cache behavior counters (merged into
+/// [`crate::logical::LogicalStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LcacheStats {
+    /// Lookups answered from a table.
+    pub hits: u64,
+    /// Lookups that fell through to the wire.
+    pub misses: u64,
+    /// Entries dropped by notes, local updates, health transitions, and
+    /// capacity evictions.
+    pub invalidations: u64,
+    /// RPCs the hits did not issue (each hit claims the recorded wire cost
+    /// of the fetch it replaced).
+    pub rpcs_avoided: u64,
+}
+
+/// A cached `(file, replica)` version vector.
+struct AttrEntry {
+    vv: VersionVector,
+    fetch_rpcs: u64,
+    cached_at: Timestamp,
+}
+
+/// A cached name translation (`target: None` = name known absent).
+struct NameEntry {
+    target: Option<(FicusFileId, VnodeType)>,
+    /// Replica whose directory slurp produced this translation.
+    source: ReplicaId,
+    fetch_rpcs: u64,
+    cached_at: Timestamp,
+}
+
+/// A memoized selection-round winner.
+struct SelEntry {
+    conn: ReplicaConn,
+    vv: VersionVector,
+    round_rpcs: u64,
+    cached_at: Timestamp,
+}
+
+#[derive(Default)]
+struct LcacheState {
+    attrs: HashMap<(VolumeName, FicusFileId, ReplicaId), AttrEntry>,
+    names: HashMap<(VolumeName, FicusFileId, String), NameEntry>,
+    selections: HashMap<(VolumeName, FicusFileId), SelEntry>,
+    stats: LcacheStats,
+}
+
+/// The per-host logical-layer cache.
+pub struct Lcache {
+    params: LcacheParams,
+    clock: Arc<dyn TimeSource>,
+    state: Mutex<LcacheState>,
+}
+
+impl Lcache {
+    /// Creates a cache reading freshness from `clock`.
+    #[must_use]
+    pub fn new(params: LcacheParams, clock: Arc<dyn TimeSource>) -> Arc<Self> {
+        Arc::new(Lcache {
+            params,
+            clock,
+            state: Mutex::new(LcacheState::default()),
+        })
+    }
+
+    /// The cache's parameters.
+    #[must_use]
+    pub fn params(&self) -> &LcacheParams {
+        &self.params
+    }
+
+    /// Behavior counters.
+    #[must_use]
+    pub fn stats(&self) -> LcacheStats {
+        self.state.lock().stats
+    }
+
+    /// Whether `cached_at` is still within the TTL as of `now`.
+    fn fresh(&self, cached_at: Timestamp, now: Timestamp) -> bool {
+        now.micros_since(cached_at) <= self.params.ttl_us
+    }
+
+    /// Cached version vector of `(vol, file)` at `replica`, if fresh.
+    #[must_use]
+    pub fn attr_vv(
+        &self,
+        vol: VolumeName,
+        file: FicusFileId,
+        replica: ReplicaId,
+    ) -> Option<VersionVector> {
+        if !self.params.enabled {
+            return None;
+        }
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        match st.attrs.get(&(vol, file, replica)) {
+            Some(e) if self.fresh(e.cached_at, now) => {
+                let (vv, avoided) = (e.vv.clone(), e.fetch_rpcs);
+                st.stats.hits += 1;
+                st.stats.rpcs_avoided += avoided;
+                Some(vv)
+            }
+            _ => {
+                st.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a freshly fetched version vector and what the fetch cost on
+    /// the wire.
+    pub fn note_attr(
+        &self,
+        vol: VolumeName,
+        file: FicusFileId,
+        replica: ReplicaId,
+        vv: VersionVector,
+        fetch_rpcs: u64,
+    ) {
+        if !self.params.enabled {
+            return;
+        }
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        let cap = self.params.capacity;
+        let ttl = self.params.ttl_us;
+        if st.attrs.len() >= cap {
+            let dropped = shed(&mut st.attrs, cap, |e| now.micros_since(e.cached_at) > ttl);
+            st.stats.invalidations += dropped;
+        }
+        st.attrs.insert(
+            (vol, file, replica),
+            AttrEntry {
+                vv,
+                fetch_rpcs,
+                cached_at: now,
+            },
+        );
+    }
+
+    /// Cached translation of `name` in directory `(vol, dir)`, if fresh.
+    /// Outer `None` = miss; inner `None` = name known absent.
+    #[must_use]
+    pub fn translate(
+        &self,
+        vol: VolumeName,
+        dir: FicusFileId,
+        name: &str,
+    ) -> Option<Option<(FicusFileId, VnodeType)>> {
+        if !self.params.enabled {
+            return None;
+        }
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        match st.names.get(&(vol, dir, name.to_owned())) {
+            Some(e) if self.fresh(e.cached_at, now) => {
+                let (target, avoided) = (e.target, e.fetch_rpcs);
+                st.stats.hits += 1;
+                st.stats.rpcs_avoided += avoided;
+                Some(target)
+            }
+            _ => {
+                st.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a translation learned from `source`'s directory contents
+    /// (`target: None` caches the absence).
+    pub fn note_translation(
+        &self,
+        vol: VolumeName,
+        dir: FicusFileId,
+        name: &str,
+        source: ReplicaId,
+        target: Option<(FicusFileId, VnodeType)>,
+        fetch_rpcs: u64,
+    ) {
+        if !self.params.enabled {
+            return;
+        }
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        let cap = self.params.capacity;
+        let ttl = self.params.ttl_us;
+        if st.names.len() >= cap {
+            let dropped = shed(&mut st.names, cap, |e| now.micros_since(e.cached_at) > ttl);
+            st.stats.invalidations += dropped;
+        }
+        st.names.insert(
+            (vol, dir, name.to_owned()),
+            NameEntry {
+                target,
+                source,
+                fetch_rpcs,
+                cached_at: now,
+            },
+        );
+    }
+
+    /// The memoized selection winner for `(vol, file)`, if fresh.
+    #[must_use]
+    pub fn selection(
+        &self,
+        vol: VolumeName,
+        file: FicusFileId,
+    ) -> Option<(ReplicaConn, VersionVector)> {
+        if !self.params.enabled {
+            return None;
+        }
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        match st.selections.get(&(vol, file)) {
+            Some(e) if self.fresh(e.cached_at, now) => {
+                let out = (e.conn.clone(), e.vv.clone());
+                let avoided = e.round_rpcs;
+                st.stats.hits += 1;
+                st.stats.rpcs_avoided += avoided;
+                Some(out)
+            }
+            _ => {
+                st.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoizes the winner of a selection round and what the whole round
+    /// cost on the wire.
+    pub fn note_selection(
+        &self,
+        vol: VolumeName,
+        file: FicusFileId,
+        conn: ReplicaConn,
+        vv: VersionVector,
+        round_rpcs: u64,
+    ) {
+        if !self.params.enabled {
+            return;
+        }
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        let cap = self.params.capacity;
+        let ttl = self.params.ttl_us;
+        if st.selections.len() >= cap {
+            let dropped = shed(&mut st.selections, cap, |e| {
+                now.micros_since(e.cached_at) > ttl
+            });
+            st.stats.invalidations += dropped;
+        }
+        st.selections.insert(
+            (vol, file),
+            SelEntry {
+                conn,
+                vv,
+                round_rpcs,
+                cached_at: now,
+            },
+        );
+    }
+
+    /// Drops everything known about `(vol, file)`: its per-replica VVs, its
+    /// pinned selection, and — when it is a directory — every translation
+    /// under it. Update notes, local updates, and propagation pulls all land
+    /// here.
+    pub fn invalidate_file(&self, vol: VolumeName, file: FicusFileId) {
+        if !self.params.enabled {
+            return;
+        }
+        let mut st = self.state.lock();
+        let mut dropped = 0u64;
+        let before = st.attrs.len();
+        st.attrs.retain(|&(v, f, _), _| !(v == vol && f == file));
+        dropped += (before - st.attrs.len()) as u64;
+        if st.selections.remove(&(vol, file)).is_some() {
+            dropped += 1;
+        }
+        let before = st.names.len();
+        st.names.retain(|&(v, d, _), _| !(v == vol && d == file));
+        dropped += (before - st.names.len()) as u64;
+        st.stats.invalidations += dropped;
+    }
+
+    /// Flushes every entry learned from `replica` — its cached VVs, the
+    /// translations its directory slurps produced, and any selection pinned
+    /// to it. Called on the peer's → Down and → Healthy health transitions.
+    pub fn invalidate_peer(&self, replica: ReplicaId) {
+        if !self.params.enabled {
+            return;
+        }
+        let mut st = self.state.lock();
+        let mut dropped = 0u64;
+        let before = st.attrs.len();
+        st.attrs.retain(|&(_, _, r), _| r != replica);
+        dropped += (before - st.attrs.len()) as u64;
+        let before = st.names.len();
+        st.names.retain(|_, e| e.source != replica);
+        dropped += (before - st.names.len()) as u64;
+        let before = st.selections.len();
+        st.selections.retain(|_, e| e.conn.replica != replica);
+        dropped += (before - st.selections.len()) as u64;
+        st.stats.invalidations += dropped;
+    }
+
+    /// Flushes every entry of one volume (a reconciliation pass rewrote an
+    /// unknown subset of the local replica).
+    pub fn invalidate_volume(&self, vol: VolumeName) {
+        if !self.params.enabled {
+            return;
+        }
+        let mut st = self.state.lock();
+        let mut dropped = 0u64;
+        let before = st.attrs.len();
+        st.attrs.retain(|&(v, _, _), _| v != vol);
+        dropped += (before - st.attrs.len()) as u64;
+        let before = st.names.len();
+        st.names.retain(|&(v, _, _), _| v != vol);
+        dropped += (before - st.names.len()) as u64;
+        let before = st.selections.len();
+        st.selections.retain(|&(v, _), _| v != vol);
+        dropped += (before - st.selections.len()) as u64;
+        st.stats.invalidations += dropped;
+    }
+
+    /// Empties every table (unmount / crash simulation).
+    pub fn purge_all(&self) {
+        let mut st = self.state.lock();
+        let dropped = (st.attrs.len() + st.names.len() + st.selections.len()) as u64;
+        st.attrs.clear();
+        st.names.clear();
+        st.selections.clear();
+        st.stats.invalidations += dropped;
+    }
+
+    /// Entry counts per table: `(attrs, names, selections)`.
+    #[must_use]
+    pub fn lens(&self) -> (usize, usize, usize) {
+        let st = self.state.lock();
+        (st.attrs.len(), st.names.len(), st.selections.len())
+    }
+}
+
+/// Makes room in a full table: sheds expired entries first, and clears the
+/// whole table if none were (caches may always forget). Returns how many
+/// entries were dropped.
+fn shed<K, V>(table: &mut HashMap<K, V>, capacity: usize, expired: impl Fn(&V) -> bool) -> u64
+where
+    K: std::hash::Hash + Eq,
+{
+    let before = table.len();
+    table.retain(|_, e| !expired(e));
+    if table.len() >= capacity {
+        table.clear();
+    }
+    (before - table.len()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A clock the tests advance by hand (the harness clock ticks on read).
+    #[derive(Default)]
+    struct TestClock(AtomicU64);
+
+    impl TestClock {
+        fn advance(&self, us: u64) {
+            self.0.fetch_add(us, Ordering::Relaxed);
+        }
+    }
+
+    impl TimeSource for TestClock {
+        fn now(&self) -> Timestamp {
+            Timestamp(self.0.load(Ordering::Relaxed))
+        }
+    }
+
+    const VOL: VolumeName = VolumeName {
+        allocator: crate::ids::AllocatorId(1),
+        volume: crate::ids::VolumeId(1),
+    };
+    const F: FicusFileId = FicusFileId {
+        issuer: ReplicaId(1),
+        unique: 7,
+    };
+    const DIR: FicusFileId = FicusFileId {
+        issuer: ReplicaId(0),
+        unique: 0,
+    };
+
+    fn cache(params: LcacheParams) -> (Arc<Lcache>, Arc<TestClock>) {
+        let clock = Arc::new(TestClock::default());
+        let c = Lcache::new(params, Arc::clone(&clock) as Arc<dyn TimeSource>);
+        (c, clock)
+    }
+
+    fn vv(n: u64) -> VersionVector {
+        let mut v = VersionVector::new();
+        v.set(1, n);
+        v
+    }
+
+    #[test]
+    fn attr_miss_then_hit_claims_recorded_cost() {
+        let (c, _) = cache(LcacheParams::default());
+        assert_eq!(c.attr_vv(VOL, F, ReplicaId(2)), None);
+        c.note_attr(VOL, F, ReplicaId(2), vv(3), 3);
+        assert_eq!(c.attr_vv(VOL, F, ReplicaId(2)), Some(vv(3)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.rpcs_avoided), (1, 1, 3));
+    }
+
+    #[test]
+    fn negative_translations_are_cached() {
+        let (c, _) = cache(LcacheParams::default());
+        assert_eq!(c.translate(VOL, DIR, "ghost"), None);
+        c.note_translation(VOL, DIR, "ghost", ReplicaId(2), None, 4);
+        assert_eq!(c.translate(VOL, DIR, "ghost"), Some(None));
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let (c, clock) = cache(LcacheParams {
+            ttl_us: 100,
+            ..LcacheParams::default()
+        });
+        c.note_attr(VOL, F, ReplicaId(2), vv(1), 3);
+        assert!(c.attr_vv(VOL, F, ReplicaId(2)).is_some());
+        clock.advance(101);
+        assert_eq!(c.attr_vv(VOL, F, ReplicaId(2)), None, "past TTL: a miss");
+    }
+
+    #[test]
+    fn invalidate_file_drops_attrs_selection_and_child_names() {
+        let (c, _) = cache(LcacheParams::default());
+        c.note_attr(VOL, F, ReplicaId(2), vv(1), 3);
+        c.note_attr(VOL, F, ReplicaId(3), vv(2), 3);
+        c.note_translation(VOL, F, "kid", ReplicaId(2), None, 4);
+        c.note_translation(VOL, DIR, "other", ReplicaId(2), None, 4);
+        c.invalidate_file(VOL, F);
+        assert_eq!(c.attr_vv(VOL, F, ReplicaId(2)), None);
+        assert_eq!(c.attr_vv(VOL, F, ReplicaId(3)), None);
+        assert_eq!(c.translate(VOL, F, "kid"), None);
+        assert_eq!(
+            c.translate(VOL, DIR, "other"),
+            Some(None),
+            "entries under other directories survive"
+        );
+        assert_eq!(c.stats().invalidations, 3);
+    }
+
+    #[test]
+    fn invalidate_peer_flushes_only_that_peers_entries() {
+        let (c, _) = cache(LcacheParams::default());
+        c.note_attr(VOL, F, ReplicaId(2), vv(1), 3);
+        c.note_attr(VOL, F, ReplicaId(3), vv(2), 3);
+        c.note_translation(VOL, DIR, "a", ReplicaId(2), None, 4);
+        c.note_translation(VOL, DIR, "b", ReplicaId(3), None, 4);
+        c.invalidate_peer(ReplicaId(2));
+        assert_eq!(c.attr_vv(VOL, F, ReplicaId(2)), None);
+        assert!(c.attr_vv(VOL, F, ReplicaId(3)).is_some());
+        assert_eq!(c.translate(VOL, DIR, "a"), None);
+        assert_eq!(c.translate(VOL, DIR, "b"), Some(None));
+    }
+
+    #[test]
+    fn disabled_cache_stores_and_counts_nothing() {
+        let (c, _) = cache(LcacheParams {
+            enabled: false,
+            ..LcacheParams::default()
+        });
+        c.note_attr(VOL, F, ReplicaId(2), vv(1), 3);
+        assert_eq!(c.attr_vv(VOL, F, ReplicaId(2)), None);
+        assert_eq!(c.stats(), LcacheStats::default());
+        assert_eq!(c.lens(), (0, 0, 0));
+    }
+
+    #[test]
+    fn full_table_sheds_expired_entries_first() {
+        let (c, clock) = cache(LcacheParams {
+            capacity: 2,
+            ttl_us: 100,
+            ..LcacheParams::default()
+        });
+        c.note_attr(VOL, F, ReplicaId(2), vv(1), 3);
+        clock.advance(200); // the first entry expires
+        c.note_attr(VOL, F, ReplicaId(3), vv(2), 3);
+        c.note_attr(VOL, F, ReplicaId(4), vv(3), 3); // at capacity: shed
+        assert_eq!(c.attr_vv(VOL, F, ReplicaId(2)), None, "expired and shed");
+        assert!(c.attr_vv(VOL, F, ReplicaId(4)).is_some());
+    }
+}

@@ -41,6 +41,10 @@
 //! * [`conflict`] — conflict log and reports to the owner.
 //! * [`resolve`] — the owner's resolution tool: keep-local, take-remote,
 //!   or concatenate-with-markers; resolutions dominate and propagate.
+//! * [`lcache`] — the notification-invalidated logical-layer cache:
+//!   version-vector/attribute, name-translation, and pinned-selection
+//!   tables, kept coherent by update notes, local updates, and peer-health
+//!   transitions, with a TTL fallback for notes lost to partitions.
 //! * [`logical`] — the logical layer: one-copy abstraction, replica
 //!   selection ("most recent copy available"), concurrency control,
 //!   open/close tunneling (§2.5).
@@ -55,6 +59,7 @@ pub mod conflict;
 pub mod dirfile;
 pub mod health;
 pub mod ids;
+pub mod lcache;
 pub mod logical;
 pub mod phys;
 pub mod propagate;

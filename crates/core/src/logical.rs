@@ -43,6 +43,7 @@ use ficus_vv::VersionVector;
 use crate::attrs::ReplAttrs;
 use crate::dirfile::FicusDir;
 use crate::ids::{EntryId, FicusFileId, ReplicaId, VolumeName, ROOT_FILE};
+use crate::lcache::{Lcache, LcacheParams};
 use crate::propagate::{UpdateNote, NOTE_SERVICE};
 use crate::volume::{Connector, GraftTable, GraftedVolume, ReplicaConn};
 
@@ -51,12 +52,16 @@ use crate::volume::{Connector, GraftTable, GraftedVolume, ReplicaConn};
 pub struct LogicalParams {
     /// Prune grafts idle longer than this (microseconds).
     pub graft_idle_us: u64,
+    /// The notification-invalidated logical-layer cache (see
+    /// [`crate::lcache`]).
+    pub cache: LcacheParams,
 }
 
 impl Default for LogicalParams {
     fn default() -> Self {
         LogicalParams {
             graft_idle_us: 60_000_000, // one simulated minute
+            cache: LcacheParams::default(),
         }
     }
 }
@@ -72,6 +77,15 @@ pub struct LogicalStats {
     pub autografts: u64,
     /// Grafts pruned.
     pub prunes: u64,
+    /// Lcache lookups answered without the wire.
+    pub cache_hits: u64,
+    /// Lcache lookups that fell through to the wire.
+    pub cache_misses: u64,
+    /// Lcache entries dropped by notes, updates, health transitions, and
+    /// evictions.
+    pub invalidations: u64,
+    /// RPCs the cache hits did not issue.
+    pub rpcs_avoided: u64,
 }
 
 /// The logical layer for one host.
@@ -94,6 +108,7 @@ struct LogicalInner {
     locks: Mutex<FileLocks>,
     cred: Credentials,
     stats: Mutex<LogicalStats>,
+    lcache: Arc<Lcache>,
 }
 
 impl FicusLogical {
@@ -111,6 +126,7 @@ impl FicusLogical {
         params: LogicalParams,
     ) -> Arc<Self> {
         let clock: Arc<dyn TimeSource> = Arc::clone(net.clock()) as Arc<dyn TimeSource>;
+        let lcache = Lcache::new(params.cache.clone(), Arc::clone(&clock));
         Arc::new(FicusLogical {
             inner: Arc::new(LogicalInner {
                 host,
@@ -124,14 +140,28 @@ impl FicusLogical {
                 locks: Mutex::new(HashMap::new()),
                 cred: Credentials::root(),
                 stats: Mutex::new(LogicalStats::default()),
+                lcache,
             }),
         })
     }
 
-    /// Behavior counters.
+    /// Behavior counters (the cache fields mirror the lcache's own).
     #[must_use]
     pub fn stats(&self) -> LogicalStats {
-        *self.inner.stats.lock()
+        let mut s = *self.inner.stats.lock();
+        let c = self.inner.lcache.stats();
+        s.cache_hits = c.hits;
+        s.cache_misses = c.misses;
+        s.invalidations = c.invalidations;
+        s.rpcs_avoided = c.rpcs_avoided;
+        s
+    }
+
+    /// The host's logical-layer cache (the harness wires note delivery and
+    /// health transitions to its invalidation entry points).
+    #[must_use]
+    pub fn lcache(&self) -> &Arc<Lcache> {
+        &self.inner.lcache
     }
 
     /// Volumes currently grafted on this host.
@@ -293,9 +323,8 @@ impl LogicalInner {
         Ok(conns)
     }
 
-    /// Reads a control file's full contents from a connection.
-    fn slurp(&self, conn: &ReplicaConn, base: &VnodeRef, name: &str) -> FsResult<Vec<u8>> {
-        let _ = conn;
+    /// Reads a control file's full contents from a vnode.
+    fn slurp(&self, base: &VnodeRef, name: &str) -> FsResult<Vec<u8>> {
         let v = base.lookup(&self.cred, name)?;
         let size = v.getattr(&self.cred)?.size as usize;
         Ok(v.read(&self.cred, 0, size)?.to_vec())
@@ -303,14 +332,14 @@ impl LogicalInner {
 
     /// Fetches the replication attributes of `file` through `conn`.
     fn fetch_attrs(&self, conn: &ReplicaConn, file: FicusFileId) -> FsResult<ReplAttrs> {
-        let data = self.slurp(conn, &conn.root.clone(), &format!(";f;vv;{}", file.hex()))?;
+        let data = self.slurp(&conn.root, &format!(";f;vv;{}", file.hex()))?;
         ReplAttrs::decode(&data)
     }
 
     /// Fetches the entry set of directory `dir` through `conn`.
     fn fetch_dir(&self, conn: &ReplicaConn, dir: FicusFileId) -> FsResult<FicusDir> {
         let dv = self.by_id(conn, dir)?;
-        let data = self.slurp(conn, &dv, ";f;dir")?;
+        let data = self.slurp(&dv, ";f;dir")?;
         FicusDir::decode(&data)
     }
 
@@ -325,40 +354,58 @@ impl LogicalInner {
 
     /// Selects the replica with the most recent copy of `file` that is
     /// currently accessible (the default one-copy-availability read policy).
+    ///
+    /// A memoized winner (the lcache's selection table) answers without any
+    /// wire traffic; otherwise a round runs over the reachable replicas,
+    /// consulting cached version vectors per replica and fetching only on
+    /// miss. The round's winner and per-replica VVs are cached for the next
+    /// bind.
     fn pick_read(
         &self,
         vol: VolumeName,
         file: FicusFileId,
     ) -> FsResult<(ReplicaConn, VersionVector)> {
         self.stats.lock().selections += 1;
+        if let Some((conn, vv)) = self.lcache.selection(vol, file) {
+            return Ok((conn, vv));
+        }
+        let round_before = self.net.stats().rpcs;
         let mut best: Option<(ReplicaConn, VersionVector)> = None;
         for conn in self.conns(vol)? {
-            let attrs = match self.fetch_attrs(&conn, file) {
-                Ok(a) => a,
-                Err(_) => continue, // unreachable or missing here
+            let vv = if let Some(vv) = self.lcache.attr_vv(vol, file, conn.replica) {
+                vv
+            } else {
+                let before = self.net.stats().rpcs;
+                match self.fetch_attrs(&conn, file) {
+                    Ok(a) => {
+                        let cost = self.net.stats().rpcs - before;
+                        self.lcache
+                            .note_attr(vol, file, conn.replica, a.vv.clone(), cost);
+                        a.vv
+                    }
+                    Err(_) => continue, // unreachable or missing here
+                }
             };
             best = Some(match best {
-                None => (conn, attrs.vv),
+                None => (conn, vv),
                 Some((bc, bv)) => {
-                    if attrs.vv.covers(&bv) && attrs.vv != bv {
-                        (conn, attrs.vv)
-                    } else if bv.covers(&attrs.vv) {
+                    if vv.covers(&bv) && vv != bv {
+                        (conn, vv)
+                    } else if bv.covers(&vv) {
                         (bc, bv)
+                    } else if prefer_incomparable(&vv, conn.replica, &bv, bc.replica) {
+                        (conn, vv)
                     } else {
-                        // Incomparable histories: deterministic tie-break on
-                        // history length, then replica id.
-                        let take_new = (attrs.vv.total(), conn.replica) > (bv.total(), bc.replica)
-                            && attrs.vv.total() > bv.total();
-                        if take_new {
-                            (conn, attrs.vv)
-                        } else {
-                            (bc, bv)
-                        }
+                        (bc, bv)
                     }
                 }
             });
         }
-        best.ok_or(FsError::NoReplica)
+        let (conn, vv) = best.ok_or(FsError::NoReplica)?;
+        let round_rpcs = self.net.stats().rpcs - round_before;
+        self.lcache
+            .note_selection(vol, file, conn.clone(), vv.clone(), round_rpcs);
+        Ok((conn, vv))
     }
 
     /// Selects a replica to apply an update at: the local one when present
@@ -416,6 +463,22 @@ impl LogicalInner {
     }
 }
 
+/// Tie-break between two *incomparable* version vectors (neither history
+/// covers the other): prefer the longest history, then the lowest replica
+/// id. Returns true when the `new` candidate should displace `best`.
+fn prefer_incomparable(
+    new_vv: &VersionVector,
+    new_replica: ReplicaId,
+    best_vv: &VersionVector,
+    best_replica: ReplicaId,
+) -> bool {
+    match new_vv.total().cmp(&best_vv.total()) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => new_replica < best_replica,
+    }
+}
+
 /// A logical vnode: the single-copy abstraction over a replicated file.
 pub struct LogicalVnode {
     sys: Arc<LogicalInner>,
@@ -461,6 +524,10 @@ impl LogicalVnode {
 
     fn unpin(&self) {
         *self.pinned.lock() = None;
+        // The pinned replica failed us: a memoized selection (or cached
+        // attributes) for this file may point at the same dead replica, so
+        // drop them and let the retry run a fresh probe round.
+        self.sys.lcache.invalidate_file(self.vol, self.file);
     }
 
     /// Runs `op` against the pinned read replica, re-selecting once if the
@@ -505,6 +572,10 @@ impl LogicalVnode {
         let v = self.sys.by_id(&conn, self.file)?;
         let out = op(&conn, &v)?;
         for &f in notify_files {
+            // A local update is the first invalidation source (§3.2): the
+            // cached VVs and memoized selection for the file are stale the
+            // moment the update lands, before any note is even sent.
+            self.sys.lcache.invalidate_file(self.vol, f);
             self.sys.notify(self.vol, f, conn.replica);
         }
         // Pin reads to the replica that took the update: it is the most
@@ -515,26 +586,62 @@ impl LogicalVnode {
     }
 
     /// Resolves `name` to its entry in this logical directory.
+    ///
+    /// Repeated binds of the same name are answered out of the lcache's
+    /// translation table (DNLC-style, one layer above `ufs::dnlc`); both
+    /// positive and negative results are cached. Explicit-entry names
+    /// (`name#e<creator>.<seq>`, the conflict-inspection syntax) bypass the
+    /// cache — they address one entry of a possibly-conflicted set.
     fn entry_of(&self, name: &str) -> FsResult<(FicusFileId, VnodeType)> {
-        let conn = self.read_conn()?;
-        let d = self.sys.fetch_dir(&conn, self.file)?;
+        let cacheable = !name.contains("#e");
+        if cacheable {
+            if let Some(hit) = self.sys.lcache.translate(self.vol, self.file, name) {
+                return hit.ok_or(FsError::NotFound);
+            }
+        }
+        for attempt in 0..2 {
+            let conn = self.read_conn()?;
+            let before = self.sys.net.stats().rpcs;
+            let d = match self.sys.fetch_dir(&conn, self.file) {
+                Ok(d) => d,
+                Err(FsError::Unreachable | FsError::TimedOut | FsError::Stale) if attempt == 0 => {
+                    self.unpin();
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let cost = self.sys.net.stats().rpcs - before;
+            let looked = Self::entry_in(&d, name);
+            if cacheable {
+                self.sys.lcache.note_translation(
+                    self.vol,
+                    self.file,
+                    name,
+                    conn.replica,
+                    looked,
+                    cost,
+                );
+            }
+            return looked.ok_or(FsError::NotFound);
+        }
+        Err(FsError::NoReplica)
+    }
+
+    /// Looks `name` up in a decoded directory, honoring the explicit-entry
+    /// syntax.
+    fn entry_in(d: &FicusDir, name: &str) -> Option<(FicusFileId, VnodeType)> {
         if let Some((base, rest)) = name.split_once("#e") {
             if let Some((creator, seq)) = rest.split_once('.') {
                 if let (Ok(c), Ok(s)) = (creator.parse::<u32>(), seq.parse::<u64>()) {
-                    if let Some(e) = d
+                    return d
                         .named(base)
                         .into_iter()
                         .find(|e| e.id == EntryId::new(c, s))
-                    {
-                        return Ok((e.file, e.kind));
-                    }
-                    return Err(FsError::NotFound);
+                        .map(|e| (e.file, e.kind));
                 }
             }
         }
-        d.primary(name)
-            .map(|e| (e.file, e.kind))
-            .ok_or(FsError::NotFound)
+        d.primary(name).map(|e| (e.file, e.kind))
     }
 
     /// Autografts the volume a graft point names and returns its root.
@@ -750,5 +857,57 @@ impl Vnode for LogicalVnode {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vv(pairs: &[(u32, u64)]) -> VersionVector {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn incomparable_tie_break_prefers_longer_history() {
+        // <1:3> vs <2:1, 3:1>: incomparable, totals 3 vs 2.
+        let a = vv(&[(1, 3)]);
+        let b = vv(&[(2, 1), (3, 1)]);
+        assert!(a.concurrent_with(&b));
+        assert!(prefer_incomparable(&a, ReplicaId(9), &b, ReplicaId(1)));
+        assert!(!prefer_incomparable(&b, ReplicaId(1), &a, ReplicaId(9)));
+    }
+
+    #[test]
+    fn incomparable_equal_totals_fall_to_lowest_replica_id() {
+        // <1:2> vs <2:2>: incomparable, equal totals — the documented
+        // "then lowest replica id" clause must decide (it used to be dead
+        // code behind a strict total-length conjunction).
+        let a = vv(&[(1, 2)]);
+        let b = vv(&[(2, 2)]);
+        assert!(a.concurrent_with(&b));
+        assert_eq!(a.total(), b.total());
+        // Whichever side arrives second, replica 1 must win.
+        assert!(prefer_incomparable(&a, ReplicaId(1), &b, ReplicaId(2)));
+        assert!(!prefer_incomparable(&b, ReplicaId(2), &a, ReplicaId(1)));
+    }
+
+    #[test]
+    fn tie_break_is_order_independent() {
+        // Scanning [r1, r2] and [r2, r1] must pin the same winner.
+        let a = vv(&[(1, 2), (3, 1)]);
+        let b = vv(&[(2, 3)]);
+        assert!(a.concurrent_with(&b));
+        let fwd = if prefer_incomparable(&b, ReplicaId(2), &a, ReplicaId(1)) {
+            ReplicaId(2)
+        } else {
+            ReplicaId(1)
+        };
+        let rev = if prefer_incomparable(&a, ReplicaId(1), &b, ReplicaId(2)) {
+            ReplicaId(1)
+        } else {
+            ReplicaId(2)
+        };
+        assert_eq!(fwd, rev);
     }
 }

@@ -27,6 +27,7 @@ use ficus_vnode::{FsError, FsResult, Timestamp};
 use crate::access::ReplicaAccess;
 use crate::health::PeerHealth;
 use crate::ids::{FicusFileId, ReplicaId, VolumeName};
+use crate::lcache::Lcache;
 use crate::phys::{FicusPhysical, NvcEntry};
 use crate::recon;
 
@@ -161,7 +162,7 @@ pub fn run_propagation<F>(
 where
     F: Fn(ReplicaId) -> FsResult<Box<dyn ReplicaAccess>>,
 {
-    run_propagation_with_health(phys, policy, None, connect)
+    run_propagation_with_health(phys, policy, None, None, connect)
 }
 
 /// Requeues a whole origin group after a failed (or skipped) exchange,
@@ -207,10 +208,17 @@ fn tally_failure(
 /// skipped without wire traffic (their notes are requeued gated on the
 /// window), every failed exchange arms the origin's next window, and every
 /// successful bulk fetch marks the origin Healthy again.
+///
+/// With `lcache` supplied, every version the daemon adopts (pull, conflict
+/// stash, or directory-reconciliation step) invalidates the co-resident
+/// logical layer's cached entries for the affected file — the daemon
+/// advances local replica state without sending a note to its own host, so
+/// it is itself an invalidation source.
 pub fn run_propagation_with_health<F>(
     phys: &FicusPhysical,
     policy: PropagationPolicy,
     health: Option<&PeerHealth>,
+    lcache: Option<&Lcache>,
     connect: F,
 ) -> FsResult<PropagationStats>
 where
@@ -289,7 +297,14 @@ where
                 }
                 Err(e) => return Err(e),
             };
-            let result = propagate_one(phys, access.as_ref(), file, &remote_attrs, &mut stats);
+            let result = propagate_one(
+                phys,
+                access.as_ref(),
+                file,
+                &remote_attrs,
+                lcache,
+                &mut stats,
+            );
             match result {
                 Ok(()) => {}
                 Err(e @ (FsError::Unreachable | FsError::TimedOut)) => {
@@ -313,6 +328,7 @@ fn propagate_one(
     access: &dyn ReplicaAccess,
     file: FicusFileId,
     remote_attrs: &crate::attrs::ReplAttrs,
+    lcache: Option<&Lcache>,
     stats: &mut PropagationStats,
 ) -> FsResult<()> {
     if remote_attrs.kind.is_directory_like() {
@@ -335,6 +351,19 @@ fn propagate_one(
         stats.conflicts += out.update_conflicts;
         stats.rpcs_saved += out.rpcs_saved;
         stats.bytes_fetched += out.bytes_fetched;
+        if let Some(lc) = lcache {
+            if out.files_pulled
+                + out.entries_inserted
+                + out.entries_tombstoned
+                + out.update_conflicts
+                > 0
+            {
+                // The step may have touched files we can't enumerate here
+                // (child pulls); flushing the volume is the safe coarse
+                // invalidation.
+                lc.invalidate_volume(phys.volume());
+            }
+        }
         return Ok(());
     }
     let local_vv = match phys.file_vv(file) {
@@ -366,12 +395,18 @@ fn propagate_one(
         stats.bytes_fetched += data.len() as u64;
         phys.stash_conflict_version(file, access.replica(), &remote_attrs.vv, &data)?;
         stats.conflicts += 1;
+        if let Some(lc) = lcache {
+            lc.invalidate_file(phys.volume(), file);
+        }
         return Ok(());
     }
     let data = access.fetch_data(file)?;
     stats.bytes_fetched += data.len() as u64;
     phys.apply_remote_version(file, &remote_attrs.vv, &data)?;
     stats.files_pulled += 1;
+    if let Some(lc) = lcache {
+        lc.invalidate_file(phys.volume(), file);
+    }
     Ok(())
 }
 

@@ -272,15 +272,32 @@ impl FicusWorld {
             });
             connectors.insert(host, Arc::clone(&connector));
 
-            // Update-notification delivery: route to the right physical
-            // layer on this host.
+            let root_locations: Vec<(ReplicaId, HostId)> = params
+                .root_replica_hosts
+                .iter()
+                .map(|&r| (ReplicaId(r), HostId(r)))
+                .collect();
+            let logical = FicusLogical::new(
+                host,
+                net.clone(),
+                Arc::clone(&connector) as Arc<dyn Connector>,
+                root_vol,
+                root_locations,
+                params.logical.clone(),
+            );
+
+            // Update-notification delivery: invalidate the logical layer's
+            // cache for the noted file (the §3.2 coherence channel), then
+            // route the note to the right physical layer on this host.
             {
                 let connector = Arc::clone(&connector);
+                let lcache = Arc::clone(logical.lcache());
                 net.register_datagram(
                     host,
                     NOTE_SERVICE,
                     Arc::new(move |_from, payload| {
                         if let Ok(note) = UpdateNote::decode(payload) {
+                            lcache.invalidate_file(note.volume, note.file);
                             if let Some(phys) = connector.local.lock().get(&note.volume) {
                                 if phys.replica() != note.origin {
                                     phys.note_new_version(
@@ -295,19 +312,6 @@ impl FicusWorld {
                 );
             }
 
-            let root_locations: Vec<(ReplicaId, HostId)> = params
-                .root_replica_hosts
-                .iter()
-                .map(|&r| (ReplicaId(r), HostId(r)))
-                .collect();
-            let logical = FicusLogical::new(
-                host,
-                net.clone(),
-                connector,
-                root_vol,
-                root_locations,
-                params.logical.clone(),
-            );
             // Each host gets its own registry (health is local knowledge)
             // with a host-salted seed so hosts don't jitter in lockstep.
             let health = params.health.clone().map(|p| {
@@ -316,6 +320,16 @@ impl FicusWorld {
                     ..p
                 }))
             });
+            // Health transitions (peer → Down, peer → Healthy) flush that
+            // peer's cached VVs, translations, and selections: entries
+            // learned from a now-dead peer are suspect, and a recovered
+            // peer may carry versions whose notes this host never saw.
+            if let Some(hl) = &health {
+                let lcache = Arc::clone(logical.lcache());
+                hl.set_transition_listener(Arc::new(move |peer, _state| {
+                    lcache.invalidate_peer(peer);
+                }));
+            }
             hosts.insert(
                 host,
                 HostState {
@@ -666,6 +680,7 @@ impl FicusWorld {
                 phys.as_ref(),
                 self.params.propagation,
                 state.health.as_deref(),
+                Some(state.logical.lcache().as_ref()),
                 connect,
             )?);
         }
@@ -738,6 +753,11 @@ impl FicusWorld {
                         Ok(out) => {
                             if let Some(hl) = health {
                                 hl.record_success(peer);
+                            }
+                            if !out.quiescent() {
+                                // The pass adopted versions or entries this
+                                // host's logical layer may have cached.
+                                state.logical.lcache().invalidate_volume(*vol);
                             }
                             total.absorb(out);
                         }

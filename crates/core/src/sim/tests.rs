@@ -236,6 +236,7 @@ fn graft_pruning_is_idle_based() {
     let mut w = FicusWorld::new(WorldParams {
         logical: crate::logical::LogicalParams {
             graft_idle_us: 1_000,
+            ..crate::logical::LogicalParams::default()
         },
         ..WorldParams::default()
     });

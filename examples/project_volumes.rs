@@ -24,6 +24,7 @@ fn main() {
         root_replica_hosts: vec![1, 2, 3, 4],
         logical: LogicalParams {
             graft_idle_us: 5_000_000, // prune grafts idle > 5 simulated sec
+            ..LogicalParams::default()
         },
         ..WorldParams::default()
     });

@@ -21,8 +21,14 @@ run cargo test -q
 
 # Fixed-seed chaos smoke: seeded fault campaigns (partition + crash +
 # datagram loss + mid-RPC export faults) must converge and hold every
-# invariant. Deterministic per seed, so a failure here is reproducible.
+# invariant — with the logical-layer cache both enabled and disabled.
+# Deterministic per seed, so a failure here is reproducible.
 run cargo test -q --test chaos_campaigns
+
+# E10 shape assertion: with the lcache on, warm repeated binds must issue
+# strictly fewer wire RPCs (>= 3x fewer) than with it off, and a cold
+# cache must not add traffic.
+run cargo test -q -p ficus-bench e10
 
 if [[ "${1:-}" == "--quick" ]]; then
     echo "verify: tier-1 OK (quick mode, workspace tests and lints skipped)"

@@ -4,8 +4,10 @@
 //! Each campaign composes partitions, host crashes, datagram loss, and
 //! mid-RPC export faults against a multi-replica world, then checks the
 //! post-heal invariants: no acknowledged write lost, full version-vector
-//! and content convergence, no duplicate conflict reports, and daemon
-//! probing of down peers bounded by the health backoff schedule.
+//! and content convergence, no duplicate conflict reports, daemon probing
+//! of down peers bounded by the health backoff schedule, and — with the
+//! logical-layer cache enabled — post-quiescence reads never older than
+//! what the same host last acknowledged writing.
 
 use ficus_repro::core::chaos::{run_campaign, ChaosParams};
 use ficus_repro::core::health::HealthParams;
@@ -131,6 +133,56 @@ fn down_peer_rpcs_bounded_by_backoff_not_by_pass_count() {
     );
 }
 
+/// Cache coherence under chaos: the default campaigns already run with the
+/// logical-layer cache enabled, but this pins it explicitly at two fixed
+/// seeds and checks the cache actually worked (hits happened, invalidation
+/// traffic flowed) while every invariant — including the fifth,
+/// read-your-acknowledged-writes after quiescence — held.
+#[test]
+fn seeded_campaigns_with_caching_enabled_stay_coherent() {
+    for seed in [21u64, 0xCAC4E] {
+        let report = run_campaign(&ChaosParams {
+            seed,
+            caching: true,
+            ..ChaosParams::default()
+        });
+        assert!(
+            report.passed(),
+            "seed {seed:#x} violated invariants with caching on: {:#?}",
+            report.violations
+        );
+        assert!(report.writes_ok > 0, "seed {seed:#x} did no work");
+        assert!(
+            report.lcache_hits > 0,
+            "seed {seed:#x}: the cache never answered a lookup — nothing was exercised"
+        );
+        assert!(
+            report.lcache_invalidations > 0,
+            "seed {seed:#x}: chaos without invalidation traffic is implausible"
+        );
+    }
+}
+
+/// The caching-off control: the same seeds pass the same invariants with
+/// the cache disabled (so a failure above isolates to coherence, not
+/// replication), and a disabled cache never claims a hit.
+#[test]
+fn seeded_campaigns_with_caching_disabled_are_a_clean_control() {
+    for seed in [21u64, 0xCAC4E] {
+        let report = run_campaign(&ChaosParams {
+            seed,
+            caching: false,
+            ..ChaosParams::default()
+        });
+        assert!(
+            report.passed(),
+            "seed {seed:#x} violated invariants with caching off: {:#?}",
+            report.violations
+        );
+        assert_eq!(report.lcache_hits, 0, "disabled cache claimed hits");
+    }
+}
+
 /// A campaign is a pure function of its parameters: same seed, same story,
 /// byte-for-byte identical report counters.
 #[test]
@@ -151,6 +203,8 @@ fn campaigns_are_deterministic_per_seed() {
     assert_eq!(a.conflicts_detected, b.conflicts_detected);
     assert_eq!(a.resolutions, b.resolutions);
     assert_eq!(a.daemon_unreachable_rpcs, b.daemon_unreachable_rpcs);
+    assert_eq!(a.lcache_hits, b.lcache_hits);
+    assert_eq!(a.lcache_invalidations, b.lcache_invalidations);
     assert_eq!(a.violations, b.violations);
 }
 
