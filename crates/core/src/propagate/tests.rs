@@ -9,9 +9,12 @@ use ficus_vnode::{FsError, TimeSource, VnodeType};
 use ficus_vv::VersionVector;
 
 use crate::access::{LocalAccess, ReplicaAccess};
+use crate::health::{HealthParams, PeerHealth};
 use crate::ids::{FicusFileId, ReplicaId, VolumeName, ROOT_FILE};
 use crate::phys::{FicusPhysical, PhysParams};
-use crate::propagate::{run_propagation, PropagationPolicy, UpdateNote};
+use crate::propagate::{
+    run_propagation, run_propagation_with_health, PropagationPolicy, UpdateNote,
+};
 use crate::recon::reconcile_subtree;
 
 fn mk_replica(me: u32, clock: &Arc<SimClock>) -> Arc<FicusPhysical> {
@@ -119,6 +122,58 @@ fn unreachable_origin_requeues() {
     // Connectivity returns; the retry succeeds.
     let stats = run_propagation(&b, PropagationPolicy::Immediate, connect_to(&a)).unwrap();
     assert_eq!(stats.files_pulled, 1);
+}
+
+#[test]
+fn timed_out_origin_requeues_as_transient() {
+    let clock = SimClock::new();
+    let a = mk_replica(1, &clock);
+    let b = mk_replica(2, &clock);
+    let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+    a.write(f, 0, b"new").unwrap();
+    b.note_new_version(f, ReplicaId(1), VersionVector::new());
+    // The origin answers, but too slowly: a timeout, not a partition.
+    let too_slow =
+        |_r: ReplicaId| -> Result<Box<dyn ReplicaAccess>, FsError> { Err(FsError::TimedOut) };
+    let stats = run_propagation(&b, PropagationPolicy::Immediate, too_slow).unwrap();
+    assert_eq!(stats.requeued, 1);
+    assert_eq!(stats.requeued_timeout, 1, "timeout is the transient bucket");
+    assert_eq!(stats.requeued_down, 0);
+    assert_eq!(b.pending_notifications(), 1);
+}
+
+#[test]
+fn backed_off_origin_is_skipped_without_wire_traffic() {
+    let clock = SimClock::new();
+    let a = mk_replica(1, &clock);
+    let b = mk_replica(2, &clock);
+    let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+    a.write(f, 0, b"new").unwrap();
+    b.note_new_version(f, ReplicaId(1), VersionVector::new());
+    // A previous failure armed the origin's backoff window.
+    let health = PeerHealth::new(HealthParams::default());
+    health.record_failure(ReplicaId(1), clock.now());
+    let must_not_connect = |_r: ReplicaId| -> Result<Box<dyn ReplicaAccess>, FsError> {
+        panic!("a backed-off origin must never be dialed")
+    };
+    let stats = run_propagation_with_health(
+        &b,
+        PropagationPolicy::Immediate,
+        Some(&health),
+        None,
+        must_not_connect,
+    )
+    .unwrap();
+    assert_eq!(stats.peers_skipped, 1, "the open window holds the origin");
+    assert_eq!(stats.rpcs_avoided, 1, "one held note, one avoided dial");
+    assert_eq!(stats.requeued, 0, "a skip is not a failure");
+    assert_eq!(
+        b.pending_notifications(),
+        1,
+        "the note waits for the window"
+    );
 }
 
 #[test]

@@ -192,9 +192,11 @@ fn remote_remove_is_applied_and_gc_runs() {
     assert!(a.lookup(ROOT_FILE, "doomed").is_err());
     // Storage reclaimed at A (the delete covered all local updates).
     assert!(a.file_vv(f).is_err());
-    converge(&[&a, &b]);
+    let gc = converge(&[&a, &b]);
     assert_same_tree(&a, &b);
-    // Tombstone fully GC'd on both replicas.
+    // Tombstone fully GC'd on both replicas, and the two-phase purge is
+    // accounted.
+    assert!(gc.tombstones_purged >= 1, "purges must be counted");
     assert!(a.dir_entries(ROOT_FILE).unwrap().entries.is_empty());
     assert!(b.dir_entries(ROOT_FILE).unwrap().entries.is_empty());
 }

@@ -43,6 +43,26 @@ fn logical_create_and_read_everywhere() {
 }
 
 #[test]
+fn logical_stats_account_selection_notification_and_cache_work() {
+    let w = world();
+    let root1 = w.logical(H1).root();
+    let f = root1.create(&cred(), "counted", 0o644).unwrap();
+    f.write(&cred(), 0, b"v1").unwrap();
+    w.settle();
+    // Two binds of the same name at another host: the first falls through
+    // to the wire (a miss), the second is answered by the lcache.
+    let root2 = w.logical(H2).root();
+    root2.lookup(&cred(), "counted").unwrap();
+    root2.lookup(&cred(), "counted").unwrap();
+    let s1 = w.logical(H1).stats();
+    let s2 = w.logical(H2).stats();
+    assert!(s1.notifications >= 1, "the write must multicast a note");
+    assert!(s2.selections >= 1, "binding runs replica selection");
+    assert!(s2.cache_misses >= 1, "first bind goes to the wire");
+    assert!(s2.cache_hits >= 1, "repeated bind is answered locally");
+}
+
+#[test]
 fn update_at_one_host_visible_after_settle() {
     let w = world();
     let root1 = w.logical(H1).root();
@@ -215,6 +235,10 @@ fn volumes_graft_transparently() {
         b"world domination"
     );
     assert!(w.logical(H1).grafted_volumes().contains(&vol));
+    assert!(
+        w.logical(H1).stats().autografts >= 1,
+        "crossing the graft point from a host without a replica must count"
+    );
 }
 
 #[test]
@@ -250,6 +274,7 @@ fn graft_pruning_is_idle_based() {
     assert_eq!(l1.prune_grafts(), 0);
     w.clock().advance(2_000);
     assert_eq!(l1.prune_grafts(), 1, "idle graft pruned");
+    assert_eq!(l1.stats().prunes, 1, "the prune is accounted");
     assert_eq!(l1.grafted_volumes().len(), 1, "root volume stays");
     // Re-grafting on demand works.
     assert!(root1.lookup(&cred(), "aux").is_ok());

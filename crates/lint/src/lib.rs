@@ -1,0 +1,234 @@
+//! `ficus-lint` — project-invariant static analysis for the Ficus
+//! reproduction (DESIGN.md §4.9).
+//!
+//! The workspace carries invariants the compiler cannot see: hard-mount
+//! RPC discipline, seeded determinism, panic-free serving paths, honest
+//! stats accounting, and wire exhaustiveness. This crate enforces them at
+//! the token level — no `syn`, no dependencies — and fails the build on
+//! any unsuppressed violation. Suppressions are explicit, counted, and
+//! must carry a reason:
+//!
+//! ```text
+//! do_risky_thing(); // ficus-lint: allow(no-panic) bounded by caller check
+//! ```
+
+pub mod rules;
+pub mod scan;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{Config, Violation, RULE_IDS};
+pub use scan::SourceFile;
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned.
+    pub files: usize,
+    /// Unsuppressed violations (any ⇒ failure).
+    pub violations: Vec<Violation>,
+    /// Suppressed violations, with the suppression's reason.
+    pub suppressed: Vec<(Violation, String)>,
+}
+
+impl Report {
+    /// Render the human-readable report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "ficus-lint: [{}] {}:{}: {}\n",
+                v.rule, v.rel, v.line, v.msg
+            ));
+        }
+        for (v, reason) in &self.suppressed {
+            out.push_str(&format!(
+                "ficus-lint: suppressed [{}] {}:{}: {}\n",
+                v.rule, v.rel, v.line, reason
+            ));
+        }
+        let mut per_rule = String::new();
+        for rule in RULE_IDS {
+            let n = self.violations.iter().filter(|v| v.rule == rule).count();
+            if n > 0 {
+                per_rule.push_str(&format!(" {rule}:{n}"));
+            }
+        }
+        out.push_str(&format!(
+            "ficus-lint: {} files scanned, {} violations{}, {} suppressed\n",
+            self.files,
+            self.violations.len(),
+            per_rule,
+            self.suppressed.len(),
+        ));
+        out
+    }
+
+    /// Whether the run passes (no unsuppressed violations).
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lints an explicit set of files (fixture mode).
+#[must_use]
+pub fn lint_files(files: Vec<SourceFile>, cfg: Config) -> Report {
+    let raw = rules::run_all(&files, cfg);
+    apply_suppressions(files.len(), &files, raw)
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut paths = Vec::new();
+    collect_rs(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(SourceFile::load(&p, rel)?);
+    }
+    Ok(lint_files(files, Config::default()))
+}
+
+/// Recursively collects `.rs` files, skipping build output, VCS state, the
+/// vendored shims (stand-ins for crates.io code, not project code), and the
+/// lint's own violation fixtures.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "shims" {
+                continue;
+            }
+            if path.ends_with("crates/lint/tests/fixtures") {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let _ = root; // rel computed by the caller
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Applies suppression comments: a matching `allow(rule)` on the violation
+/// line (or the line above, when the comment stands alone) suppresses it.
+/// Suppressions without a reason, and suppressions naming unknown rules,
+/// are violations themselves — never silently honored.
+fn apply_suppressions(nfiles: usize, files: &[SourceFile], raw: Vec<Violation>) -> Report {
+    let mut report = Report {
+        files: nfiles,
+        ..Report::default()
+    };
+    for v in raw {
+        let suppression = files
+            .iter()
+            .find(|f| f.rel == v.rel)
+            .and_then(|f| {
+                f.suppressions.iter().find(|s| {
+                    s.rule == v.rule
+                        && !s.reason.is_empty()
+                        && (s.line == v.line || (s.covers_next && s.line + 1 == v.line))
+                })
+            })
+            .cloned();
+        match suppression {
+            Some(s) => report.suppressed.push((v, s.reason)),
+            None => report.violations.push(v),
+        }
+    }
+    // Malformed suppressions fail the run regardless of what they cover.
+    for f in files {
+        for s in &f.suppressions {
+            if s.reason.is_empty() {
+                report.violations.push(Violation {
+                    rule: "suppression",
+                    rel: f.rel.clone(),
+                    line: s.line,
+                    msg: format!(
+                        "`allow({})` without a reason — every suppression must say why",
+                        s.rule
+                    ),
+                });
+            } else if !RULE_IDS.contains(&s.rule.as_str()) {
+                report.violations.push(Violation {
+                    rule: "suppression",
+                    rel: f.rel.clone(),
+                    line: s.line,
+                    msg: format!(
+                        "`allow({})` names no known rule (known: {})",
+                        s.rule,
+                        RULE_IDS.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.rel, a.line).cmp(&(&b.rel, b.line)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(rel: &str, src: &str) -> Report {
+        lint_files(
+            vec![SourceFile::from_text(rel.into(), src.into())],
+            Config {
+                check_file_mode: true,
+            },
+        )
+    }
+
+    #[test]
+    fn suppression_with_reason_downgrades_to_suppressed() {
+        let r = one(
+            "x.rs",
+            "fn f(c: &C) { c.call() } // ficus-lint: allow(hard-mount) unit fixture\n",
+        );
+        assert!(r.ok(), "{}", r.render());
+        assert_eq!(r.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_a_violation() {
+        let r = one(
+            "x.rs",
+            "fn f(c: &C) { c.call() } // ficus-lint: allow(hard-mount)\n",
+        );
+        assert!(!r.ok());
+        assert!(r.render().contains("without a reason"));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_a_violation() {
+        let r = one(
+            "x.rs",
+            "fn f() {} // ficus-lint: allow(everything) reason\n",
+        );
+        assert!(!r.ok());
+        assert!(r.render().contains("no known rule"));
+    }
+
+    #[test]
+    fn wrong_rule_does_not_suppress() {
+        let r = one(
+            "x.rs",
+            "fn f(c: &C) { c.call() } // ficus-lint: allow(determinism) wrong rule\n",
+        );
+        assert!(!r.ok());
+    }
+}

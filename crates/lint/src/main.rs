@@ -1,0 +1,83 @@
+//! CLI for `ficus-lint`.
+//!
+//! ```text
+//! ficus-lint                      # lint the workspace at the current dir
+//! ficus-lint --root <dir>         # lint the workspace at <dir>
+//! ficus-lint --check-file <f>...  # fixture mode: lint single files with
+//!                                 # every rule in scope
+//! ```
+//!
+//! Exit status: 0 clean, 1 unsuppressed violations, 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+
+use ficus_lint::{lint_files, lint_workspace, Config, SourceFile};
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+fn run(args: Vec<String>) -> i32 {
+    let mut root: Option<PathBuf> = None;
+    let mut check_files: Vec<PathBuf> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--check-file" => match it.next() {
+                Some(f) => check_files.push(PathBuf::from(f)),
+                None => return usage("--check-file needs a path"),
+            },
+            "--help" | "-h" => {
+                return usage("");
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = if check_files.is_empty() {
+        let root = root.unwrap_or_else(|| PathBuf::from("."));
+        match lint_workspace(&root) {
+            Ok(r) => r,
+            Err(err) => {
+                eprintln!("ficus-lint: cannot scan {}: {err}", root.display());
+                return 2;
+            }
+        }
+    } else {
+        let mut files = Vec::new();
+        for path in &check_files {
+            let rel = path.file_name().map_or_else(
+                || path.to_string_lossy().into_owned(),
+                |n| n.to_string_lossy().into_owned(),
+            );
+            match SourceFile::load(Path::new(path), rel) {
+                Ok(f) => files.push(f),
+                Err(err) => {
+                    eprintln!("ficus-lint: cannot read {}: {err}", path.display());
+                    return 2;
+                }
+            }
+        }
+        lint_files(
+            files,
+            Config {
+                check_file_mode: true,
+            },
+        )
+    };
+
+    print!("{}", report.render());
+    i32::from(!report.ok())
+}
+
+fn usage(err: &str) -> i32 {
+    if !err.is_empty() {
+        eprintln!("ficus-lint: {err}");
+    }
+    eprintln!("usage: ficus-lint [--root <dir>] [--check-file <file>]...");
+    i32::from(!err.is_empty()) * 2
+}

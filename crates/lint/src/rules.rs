@@ -1,0 +1,330 @@
+//! The five project-invariant rules (see DESIGN.md §4.9).
+//!
+//! Each rule answers for one invariant an earlier PR introduced but nothing
+//! enforced mechanically:
+//!
+//! * **R1 `hard-mount`** — every NFS client RPC rides `call_retry`; a raw
+//!   `.call(` outside it silently reintroduces soft-mount semantics.
+//! * **R2 `determinism`** — no wall-clock or OS entropy inside `core`,
+//!   `nfs`, `net`; the chaos campaigns and seeded benches depend on it.
+//! * **R3 `no-panic`** — no `unwrap`/`expect`/`panic!` on the
+//!   request-serving and daemon paths; a malformed request must come back
+//!   as an error, not kill the server thread.
+//! * **R4 `stats-honesty`** — every counter field of the stats structs is
+//!   actually maintained in crate code and read by at least one test.
+//! * **R5 `wire-exhaustive`** — every `Request`/`Reply` variant appears in
+//!   encode, decode, and the server dispatch.
+
+use crate::scan::SourceFile;
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule identifier (`hard-mount`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative file.
+    pub rel: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+/// Rule identifiers, in R1..R5 order.
+pub const RULE_IDS: [&str; 5] = [
+    "hard-mount",
+    "determinism",
+    "no-panic",
+    "stats-honesty",
+    "wire-exhaustive",
+];
+
+/// Lint configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Config {
+    /// Fixture mode (`--check-file`): path-based rule scoping is bypassed
+    /// so a single snippet can exercise any rule.
+    pub check_file_mode: bool,
+}
+
+/// Files (by `rel` suffix) on the request-serving and daemon paths (R3).
+const R3_FILES: [&str; 5] = [
+    "crates/nfs/src/server.rs",
+    "crates/nfs/src/wire.rs",
+    "crates/core/src/propagate.rs",
+    "crates/core/src/recon.rs",
+    "crates/core/src/health.rs",
+];
+
+/// Directories whose code must stay deterministic (R2). Benches live in
+/// `crates/bench` and are exempt by construction.
+const R2_DIRS: [&str; 3] = ["crates/core/src", "crates/nfs/src", "crates/net/src"];
+
+/// The stats structs whose counters R4 audits.
+const R4_STRUCTS: [&str; 5] = [
+    "LogicalStats",
+    "ReconStats",
+    "PropagationStats",
+    "LcacheStats",
+    "NfsClientStats",
+];
+
+/// Runs every rule over the file set.
+#[must_use]
+pub fn run_all(files: &[SourceFile], cfg: Config) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        r1_hard_mount(f, cfg, &mut out);
+        r2_determinism(f, cfg, &mut out);
+        r3_no_panic(f, cfg, &mut out);
+    }
+    r4_stats_honesty(files, &mut out);
+    r5_wire_exhaustive(files, cfg, &mut out);
+    out.sort_by(|a, b| (&a.rel, a.line).cmp(&(&b.rel, b.line)));
+    out
+}
+
+/// R1: `.call(` allowed only inside `call_retry` bodies and in the server
+/// (whose dispatch is the far side of the wire, not a client RPC).
+fn r1_hard_mount(f: &SourceFile, cfg: Config, out: &mut Vec<Violation>) {
+    if f.is_all_test() || (!cfg.check_file_mode && f.rel.ends_with("nfs/src/server.rs")) {
+        return;
+    }
+    let allowed = f.fn_bodies("call_retry");
+    for at in f.find_token(".call(") {
+        if f.in_test(at) || allowed.iter().any(|&(s, e)| at >= s && at < e) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "hard-mount",
+            rel: f.rel.clone(),
+            line: f.line_of(at),
+            msg: "raw `.call(` outside `call_retry` bypasses hard-mount retry semantics \
+                  (route the RPC through `call_retry`)"
+                .into(),
+        });
+    }
+}
+
+/// R2: no wall-clock or OS entropy in the deterministic crates.
+fn r2_determinism(f: &SourceFile, cfg: Config, out: &mut Vec<Violation>) {
+    if !cfg.check_file_mode && !R2_DIRS.iter().any(|d| f.rel.starts_with(d)) {
+        return;
+    }
+    if f.is_all_test() {
+        return;
+    }
+    const BANNED: [(&str, &str); 6] = [
+        ("SystemTime::now", "wall-clock time"),
+        ("Instant::now", "wall-clock time"),
+        ("from_entropy", "OS entropy"),
+        ("thread_rng", "OS-seeded RNG"),
+        ("OsRng", "OS entropy"),
+        ("getrandom", "OS entropy"),
+    ];
+    for (tok, what) in BANNED {
+        for at in f.find_token(tok) {
+            if f.in_test(at) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "determinism",
+                rel: f.rel.clone(),
+                line: f.line_of(at),
+                msg: format!(
+                    "`{tok}` injects {what} into a deterministic crate; use the shared \
+                     simulated clock / seeded RNG instead"
+                ),
+            });
+        }
+    }
+}
+
+/// R3: no panicking constructs on the request-serving and daemon paths.
+fn r3_no_panic(f: &SourceFile, cfg: Config, out: &mut Vec<Violation>) {
+    if !cfg.check_file_mode && !R3_FILES.iter().any(|p| f.rel.ends_with(p)) {
+        return;
+    }
+    if f.is_all_test() {
+        return;
+    }
+    const BANNED: [&str; 6] = [
+        ".unwrap()",
+        ".expect(",
+        "panic!",
+        "unreachable!",
+        "todo!",
+        "unimplemented!",
+    ];
+    for tok in BANNED {
+        for at in f.find_token(tok) {
+            if f.in_test(at) {
+                continue;
+            }
+            out.push(Violation {
+                rule: "no-panic",
+                rel: f.rel.clone(),
+                line: f.line_of(at),
+                msg: format!(
+                    "`{tok}` on a request-serving/daemon path can kill the server thread; \
+                     return an `FsResult` error instead"
+                ),
+            });
+        }
+    }
+}
+
+/// R4: every u64 counter in the stats structs is maintained by non-test
+/// crate code (not just folded by `absorb`) and read by at least one test.
+fn r4_stats_honesty(files: &[SourceFile], out: &mut Vec<Violation>) {
+    // Definition ranges of the audited structs, per file — occurrences
+    // inside any definition are never maintenance or test evidence.
+    let def_ranges: Vec<Vec<(usize, usize)>> = files
+        .iter()
+        .map(|f| {
+            R4_STRUCTS
+                .iter()
+                .filter_map(|s| f.struct_u64_fields(s).map(|(_, range)| range))
+                .collect()
+        })
+        .collect();
+
+    for f in files {
+        for sname in R4_STRUCTS {
+            let Some((fields, _)) = f.struct_u64_fields(sname) else {
+                continue;
+            };
+            for (field, line) in fields {
+                let maintained = files
+                    .iter()
+                    .zip(&def_ranges)
+                    .any(|(g, defs)| has_maintenance(g, defs, &field));
+                let tested = files
+                    .iter()
+                    .zip(&def_ranges)
+                    .any(|(g, defs)| has_test_ref(g, defs, &field));
+                if maintained && tested {
+                    continue;
+                }
+                let mut why = Vec::new();
+                if !maintained {
+                    why.push("never incremented or set by non-test crate code");
+                }
+                if !tested {
+                    why.push("never read by any test");
+                }
+                out.push(Violation {
+                    rule: "stats-honesty",
+                    rel: f.rel.clone(),
+                    line,
+                    msg: format!(
+                        "counter `{sname}.{field}` is {} — a stats field nothing maintains \
+                         or asserts is dishonest accounting",
+                        why.join(" and ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// A non-test line that increments or assigns the field, excluding the
+/// `absorb`-style self fold (`self.f += other.f`).
+fn has_maintenance(f: &SourceFile, defs: &[(usize, usize)], field: &str) -> bool {
+    f.find_token(field).into_iter().any(|at| {
+        if f.in_test(at) || defs.iter().any(|&(s, e)| at >= s && at < e) {
+            return false;
+        }
+        let line = f.code_line(at);
+        let squeezed: String = line.split_whitespace().collect();
+        let fold = format!("self.{field}+=other.{field}");
+        if squeezed.contains(&fold) {
+            return false;
+        }
+        line.contains("+=")
+            || squeezed.contains(&format!("{field}:")) // struct-literal init
+            || is_assignment(line, field)
+    })
+}
+
+/// A test-code line that reads (`.field`) or initializes (`field:`) it.
+fn has_test_ref(f: &SourceFile, defs: &[(usize, usize)], field: &str) -> bool {
+    f.find_token(field).into_iter().any(|at| {
+        if !f.in_test(at) || defs.iter().any(|&(s, e)| at >= s && at < e) {
+            return false;
+        }
+        let squeezed: String = f.code_line(at).split_whitespace().collect();
+        squeezed.contains(&format!(".{field}")) || squeezed.contains(&format!("{field}:"))
+    })
+}
+
+/// Whether `line` assigns through the field (`x.field = ...`, not `==`).
+fn is_assignment(line: &str, field: &str) -> bool {
+    let squeezed: String = line.split_whitespace().collect();
+    squeezed
+        .find(&format!(".{field}="))
+        .is_some_and(|at| squeezed.as_bytes().get(at + field.len() + 2) != Some(&b'='))
+}
+
+/// R5: every `Request`/`Reply` variant appears in encode, decode, and the
+/// server dispatch file.
+fn r5_wire_exhaustive(files: &[SourceFile], cfg: Config, out: &mut Vec<Violation>) {
+    // The dispatch side: any non-test file with a `fn dispatch` body.
+    let dispatch_files: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| !f.is_all_test() && !f.fn_bodies("dispatch").is_empty())
+        .collect();
+
+    for f in files {
+        let enc = f.fn_bodies("encode");
+        let dec = f.fn_bodies("decode");
+        if enc.is_empty() || dec.is_empty() {
+            continue;
+        }
+        for ename in ["Request", "Reply"] {
+            let Some(variants) = f.enum_variants(ename) else {
+                continue;
+            };
+            for (variant, line) in variants {
+                let tok = format!("{ename}::{variant}");
+                let mut missing = Vec::new();
+                let occurrences = f.find_token(&tok);
+                if !occurrences
+                    .iter()
+                    .any(|&at| enc.iter().any(|&(s, e)| at >= s && at < e))
+                {
+                    missing.push("encode");
+                }
+                if !occurrences
+                    .iter()
+                    .any(|&at| dec.iter().any(|&(s, e)| at >= s && at < e))
+                {
+                    missing.push("decode");
+                }
+                // In fixture mode a dispatch side may legitimately not
+                // exist; in workspace mode the server must handle every
+                // variant.
+                if !dispatch_files.is_empty() || !cfg.check_file_mode {
+                    let dispatched = dispatch_files
+                        .iter()
+                        .any(|df| df.find_token(&tok).iter().any(|&at| !df.in_test(at)));
+                    if !dispatched {
+                        missing.push("server dispatch");
+                    }
+                }
+                if !missing.is_empty() {
+                    out.push(Violation {
+                        rule: "wire-exhaustive",
+                        rel: f.rel.clone(),
+                        line,
+                        msg: format!(
+                            "wire variant `{tok}` is missing from: {} — every variant must \
+                             cross the wire in both directions and be served",
+                            missing.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

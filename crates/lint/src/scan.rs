@@ -1,0 +1,623 @@
+//! Source-file model for the lint: comment/string masking, test-region
+//! detection, suppression comments, and token/region search helpers.
+//!
+//! Everything here is line/token level — there is deliberately no real
+//! parser (the container has no crates.io, so no `syn`). The masking pass
+//! removes the two things that make token search lie (comments and string
+//! literals); the brace matcher then works reliably on what remains.
+
+use std::path::Path;
+
+/// A lint suppression comment:
+/// `// ficus-lint: allow(<rule>) <reason>`.
+///
+/// A trailing comment suppresses matching violations on its own line; a
+/// comment alone on a line also covers the following line. The reason is
+/// mandatory — an empty reason is itself reported as a violation.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule identifier inside `allow(...)`.
+    pub rule: String,
+    /// Free-text justification after the closing paren.
+    pub reason: String,
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// True when the comment is alone on its line (covers the next line).
+    pub covers_next: bool,
+}
+
+/// A half-open byte range `[start, end)` into the masked source.
+pub type Span = (usize, usize);
+
+/// One scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Original text.
+    pub text: String,
+    /// Same length as `text`, with comments and string/char literal
+    /// contents blanked to spaces (newlines preserved).
+    pub code: String,
+    /// Byte offset of each line start.
+    line_starts: Vec<usize>,
+    /// Parsed `ficus-lint: allow(...)` comments.
+    pub suppressions: Vec<Suppression>,
+    /// Byte ranges of `#[cfg(test)]` modules and `#[test]` functions.
+    test_regions: Vec<(usize, usize)>,
+    /// Whole file is test code (under `tests/`, or a `tests.rs` module).
+    all_test: bool,
+}
+
+impl SourceFile {
+    /// Loads and masks one file. `rel` is the path reported in findings.
+    pub fn load(path: &Path, rel: String) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(SourceFile::from_text(rel, text))
+    }
+
+    /// Builds the model from already-read text (used by unit tests).
+    #[must_use]
+    pub fn from_text(rel: String, text: String) -> SourceFile {
+        let (code, comments) = mask(&text);
+        let mut line_starts = vec![0];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let all_test = rel.starts_with("tests/")
+            || rel.contains("/tests/")
+            || rel.ends_with("/tests.rs")
+            || rel.ends_with("/testing.rs");
+        let mut file = SourceFile {
+            rel,
+            suppressions: Vec::new(),
+            test_regions: Vec::new(),
+            all_test,
+            line_starts,
+            text,
+            code,
+        };
+        file.suppressions = file.parse_suppressions(&comments);
+        file.test_regions = file.find_test_regions();
+        file
+    }
+
+    /// 1-based line number of a byte offset.
+    #[must_use]
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// The masked text of the line containing `offset`.
+    #[must_use]
+    pub fn code_line(&self, offset: usize) -> &str {
+        let line = self.line_of(offset);
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.code.len(), |&e| e.saturating_sub(1));
+        &self.code[start..end]
+    }
+
+    /// Whether `offset` falls in test code.
+    #[must_use]
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.all_test
+            || self
+                .test_regions
+                .iter()
+                .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Whether the whole file is test code.
+    #[must_use]
+    pub fn is_all_test(&self) -> bool {
+        self.all_test
+    }
+
+    fn parse_suppressions(&self, comments: &[(usize, usize)]) -> Vec<Suppression> {
+        let mut out = Vec::new();
+        for &(start, end) in comments {
+            let body = &self.text[start..end];
+            // Doc comments (`///`, `//!`) never carry suppressions — they
+            // may *mention* the syntax when documenting it.
+            if body.starts_with("///") || body.starts_with("//!") || body.starts_with("/*") {
+                continue;
+            }
+            let Some(at) = body.find("ficus-lint:") else {
+                continue;
+            };
+            let rest = body[at + "ficus-lint:".len()..].trim_start();
+            let Some(rest) = rest.strip_prefix("allow(") else {
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let rule = rest[..close].trim().to_string();
+            let reason = rest[close + 1..].trim().to_string();
+            let line = self.line_of(start);
+            let line_start = self.line_starts[line - 1];
+            let covers_next = self.text[line_start..start].trim().is_empty();
+            out.push(Suppression {
+                rule,
+                reason,
+                line,
+                covers_next,
+            });
+        }
+        out
+    }
+
+    /// Regions of `#[cfg(test)] mod ... { }` and `#[test] fn ... { }`.
+    fn find_test_regions(&self) -> Vec<(usize, usize)> {
+        let mut regions = Vec::new();
+        let bytes = self.code.as_bytes();
+        for marker in ["#[cfg(test)]", "#[test]"] {
+            let mut from = 0;
+            while let Some(at) = self.code[from..].find(marker) {
+                let attr_end = from + at + marker.len();
+                from = attr_end;
+                // Skip whitespace and further attributes to the item.
+                let mut i = attr_end;
+                loop {
+                    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if bytes.get(i) == Some(&b'#') {
+                        // Another attribute: skip its [...] group.
+                        while i < bytes.len() && bytes[i] != b'[' {
+                            i += 1;
+                        }
+                        let Some(close) = match_bracket(bytes, i, b'[', b']') else {
+                            break;
+                        };
+                        i = close + 1;
+                    } else {
+                        break;
+                    }
+                }
+                // The item is everything to its closing brace (a `mod x;`
+                // declaration has no body here; the file itself is caught
+                // by the `tests.rs` path rule).
+                if let Some(open) = self.code[i..].find(['{', ';']).map(|o| i + o) {
+                    if bytes[open] == b'{' {
+                        if let Some(close) = match_bracket(bytes, open, b'{', b'}') {
+                            regions.push((attr_end, close + 1));
+                        }
+                    }
+                }
+            }
+        }
+        regions
+    }
+
+    /// Byte offsets of word-bounded occurrences of `needle` in masked code.
+    ///
+    /// A boundary is enforced only on the sides of the needle that start or
+    /// end with an identifier character, so `.call(` and `Request::Root`
+    /// both work.
+    #[must_use]
+    pub fn find_token(&self, needle: &str) -> Vec<usize> {
+        find_token_in(&self.code, needle)
+    }
+
+    /// Body ranges `{..}` (exclusive of braces) of every `fn <name>`.
+    #[must_use]
+    pub fn fn_bodies(&self, name: &str) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let bytes = self.code.as_bytes();
+        for at in find_token_in(&self.code, &format!("fn {name}")) {
+            // The body opens at the next top-level '{' before any ';'
+            // (a trait method declaration ends with ';').
+            let mut i = at;
+            while i < bytes.len() && bytes[i] != b'{' && bytes[i] != b';' {
+                i += 1;
+            }
+            if bytes.get(i) == Some(&b'{') {
+                if let Some(close) = match_bracket(bytes, i, b'{', b'}') {
+                    out.push((i + 1, close));
+                }
+            }
+        }
+        out
+    }
+
+    /// The `{..}` range (exclusive) of `enum|struct <name>`, if defined here.
+    fn item_body(&self, keyword: &str, name: &str) -> Option<(usize, usize)> {
+        let bytes = self.code.as_bytes();
+        for at in find_token_in(&self.code, &format!("{keyword} {name}")) {
+            let mut i = at;
+            while i < bytes.len() && bytes[i] != b'{' && bytes[i] != b';' {
+                i += 1;
+            }
+            if bytes.get(i) == Some(&b'{') {
+                if let Some(close) = match_bracket(bytes, i, b'{', b'}') {
+                    return Some((i + 1, close));
+                }
+            }
+        }
+        None
+    }
+
+    /// Variant names (with 1-based lines) of `enum <name>`, if defined here.
+    #[must_use]
+    pub fn enum_variants(&self, name: &str) -> Option<Vec<(String, usize)>> {
+        let (start, end) = self.item_body("enum", name)?;
+        Some(
+            split_items(&self.code[start..end])
+                .into_iter()
+                .filter_map(|(off, item)| {
+                    leading_ident(item).map(|id| (id, self.line_of(start + off)))
+                })
+                .collect(),
+        )
+    }
+
+    /// `u64` counter fields (with 1-based lines) of `struct <name>`, plus
+    /// the definition's byte range, if defined here.
+    #[must_use]
+    pub fn struct_u64_fields(&self, name: &str) -> Option<(Vec<(String, usize)>, Span)> {
+        let (start, end) = self.item_body("struct", name)?;
+        let fields = split_items(&self.code[start..end])
+            .into_iter()
+            .filter_map(|(off, item)| {
+                let (field, ty) = item.split_once(':')?;
+                let field = field.trim().trim_start_matches("pub").trim();
+                if ty.trim() == "u64" && is_ident(field) {
+                    Some((field.to_string(), self.line_of(start + off)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Some((fields, (start, end)))
+    }
+}
+
+/// Splits a `{..}` body on top-level commas, skipping attributes; yields
+/// `(offset_of_item, item_text)` with attribute groups removed.
+fn split_items(body: &str) -> Vec<(usize, String)> {
+    let bytes = body.as_bytes();
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut item_start = None::<usize>;
+    let mut i = 0;
+    let mut cur = String::new();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'#' if depth == 0 => {
+                // Skip the attribute's [...] group entirely.
+                while i < bytes.len() && bytes[i] != b'[' {
+                    i += 1;
+                }
+                if let Some(close) = match_bracket(bytes, i, b'[', b']') {
+                    i = close + 1;
+                    continue;
+                }
+                break;
+            }
+            b'{' | b'(' | b'[' | b'<' => depth += 1,
+            b'}' | b')' | b']' | b'>' => depth = depth.saturating_sub(1),
+            b',' if depth == 0 => {
+                if let Some(s) = item_start.take() {
+                    items.push((s, std::mem::take(&mut cur)));
+                }
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if !bytes[i].is_ascii_whitespace() && item_start.is_none() {
+            item_start = Some(i);
+        }
+        if item_start.is_some() {
+            cur.push(bytes[i] as char);
+        }
+        i += 1;
+    }
+    if let Some(s) = item_start {
+        if !cur.trim().is_empty() {
+            items.push((s, cur));
+        }
+    }
+    items
+}
+
+fn leading_ident(item: String) -> Option<String> {
+    let id: String = item
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if id.is_empty() {
+        None
+    } else {
+        Some(id)
+    }
+}
+
+/// Whether `s` is a plain identifier.
+#[must_use]
+pub fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !s.starts_with(|c: char| c.is_ascii_digit())
+}
+
+/// Word-bounded occurrences of `needle` in `haystack` (see
+/// [`SourceFile::find_token`]).
+#[must_use]
+pub fn find_token_in(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let hb = haystack.as_bytes();
+    let left_bound = needle.starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_');
+    let right_bound = needle.ends_with(|c: char| c.is_ascii_alphanumeric() || c == '_');
+    let mut from = 0;
+    while let Some(at) = haystack[from..].find(needle) {
+        let at = from + at;
+        from = at + 1;
+        if left_bound && at > 0 && (hb[at - 1].is_ascii_alphanumeric() || hb[at - 1] == b'_') {
+            continue;
+        }
+        let end = at + needle.len();
+        if right_bound && end < hb.len() && (hb[end].is_ascii_alphanumeric() || hb[end] == b'_') {
+            continue;
+        }
+        out.push(at);
+    }
+    out
+}
+
+/// Index of the bracket matching the one at `open` (which must hold
+/// `open_ch`), or `None` if unbalanced. Operates on masked code only.
+fn match_bracket(bytes: &[u8], open: usize, open_ch: u8, close_ch: u8) -> Option<usize> {
+    if bytes.get(open) != Some(&open_ch) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == open_ch {
+            depth += 1;
+        } else if b == close_ch {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Blanks comments and string/char-literal contents to spaces (newlines
+/// preserved, length preserved); returns the masked text and the byte
+/// ranges of the comments (for suppression parsing).
+fn mask(src: &str) -> (String, Vec<(usize, usize)>) {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+                comments.push((start, i));
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1usize;
+                out[i] = b' ';
+                out[i + 1] = b' ';
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else {
+                        if out[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+                comments.push((start, i));
+            }
+            b'"' => i = mask_string(b, &mut out, i),
+            b'r' if raw_string_hashes(b, i).is_some() => {
+                // Raw string r"..."/r#"..."# (also reached for the r of br"").
+                let hashes = raw_string_hashes(b, i).unwrap_or(0);
+                let mut j = i + 1 + hashes + 1; // past r##"
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                while j < b.len() && !b[j..].starts_with(&closer) {
+                    if out[j] != b'\n' {
+                        out[j] = b' ';
+                    }
+                    j += 1;
+                }
+                i = (j + closer.len()).min(b.len());
+            }
+            b'\'' => i = mask_char_or_lifetime(b, &mut out, i),
+            _ => i += 1,
+        }
+    }
+    (
+        String::from_utf8(out)
+            .unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned()),
+        comments,
+    )
+}
+
+/// Number of `#`s in a raw-string opener at `i` (`r"` → 0, `r##"` → 2).
+fn raw_string_hashes(b: &[u8], i: usize) -> Option<usize> {
+    if b.get(i) != Some(&b'r') {
+        return None;
+    }
+    let mut j = i + 1;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        Some(j - i - 1)
+    } else {
+        None
+    }
+}
+
+/// Blanks a `"..."` literal's contents; returns the index past it.
+fn mask_string(b: &[u8], out: &mut [u8], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                out[i] = b' ';
+                if i + 1 < b.len() && b[i + 1] != b'\n' {
+                    out[i + 1] = b' ';
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            _ => {
+                if out[i] != b'\n' {
+                    out[i] = b' ';
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Distinguishes a char literal (blanked) from a lifetime (left alone).
+fn mask_char_or_lifetime(b: &[u8], out: &mut [u8], open: usize) -> usize {
+    if b.get(open + 1) == Some(&b'\\') {
+        // Escaped char literal: blank through the closing quote.
+        let mut i = open + 1;
+        out[i] = b' ';
+        i += 1;
+        if i < b.len() {
+            out[i] = b' '; // the escaped character, even if it is a quote
+            i += 1;
+        }
+        while i < b.len() && b[i] != b'\'' {
+            out[i] = b' ';
+            i += 1;
+        }
+        return (i + 1).min(b.len());
+    }
+    // Unescaped: a closing quote within the next few bytes means a char
+    // literal ('x', multi-byte 'é'); otherwise it is a lifetime ('a).
+    let mut k = open + 1;
+    while k < b.len() && k <= open + 5 && b[k] != b'\n' {
+        if b[k] == b'\'' {
+            if k == open + 1 {
+                break; // '' is not a char literal
+            }
+            for slot in &mut out[open + 1..k] {
+                *slot = b' ';
+            }
+            return k + 1;
+        }
+        k += 1;
+    }
+    open + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_comments_strings_chars_but_not_code() {
+        let src = r#"
+// a .call( in a comment
+fn f() -> char {
+    let s = "a .call( in a string \" still";
+    let c = 'x';
+    let esc = '\'';
+    /* block .unwrap() comment */
+    s.len(); c
+}
+"#;
+        let f = SourceFile::from_text("x.rs".into(), src.to_string());
+        assert!(!f.code.contains(".call("));
+        assert!(!f.code.contains(".unwrap()"));
+        assert!(f.code.contains("s.len()"));
+        assert_eq!(f.code.len(), f.text.len());
+    }
+
+    #[test]
+    fn lifetimes_survive_masking() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let f = SourceFile::from_text("x.rs".into(), src.to_string());
+        assert_eq!(f.code, src);
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod_and_test_fns() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn helper() { y.unwrap(); }\n}\n";
+        let f = SourceFile::from_text("x.rs".into(), src.to_string());
+        let hits = f.find_token(".unwrap()");
+        assert_eq!(hits.len(), 2);
+        assert!(!f.in_test(hits[0]));
+        assert!(f.in_test(hits[1]));
+    }
+
+    #[test]
+    fn suppressions_parse_rule_reason_and_placement() {
+        let src = "fn f() {\n    x.call(); // ficus-lint: allow(hard-mount) trusted path\n    // ficus-lint: allow(no-panic) next line is test-only\n    y.unwrap();\n}\n";
+        let f = SourceFile::from_text("x.rs".into(), src.to_string());
+        assert_eq!(f.suppressions.len(), 2);
+        assert_eq!(f.suppressions[0].rule, "hard-mount");
+        assert_eq!(f.suppressions[0].reason, "trusted path");
+        assert!(!f.suppressions[0].covers_next);
+        assert!(f.suppressions[1].covers_next);
+    }
+
+    #[test]
+    fn enum_and_struct_parsing() {
+        let src = "pub enum Request {\n    Root,\n    #[allow(dead_code)]\n    Read(u64, u32),\n}\npub struct S {\n    pub a: u64,\n    pub b: u32,\n    c: u64,\n}\n";
+        let f = SourceFile::from_text("x.rs".into(), src.to_string());
+        let vars = f.enum_variants("Request").unwrap();
+        assert_eq!(
+            vars.iter().map(|(v, _)| v.as_str()).collect::<Vec<_>>(),
+            ["Root", "Read"]
+        );
+        let (fields, _) = f.struct_u64_fields("S").unwrap();
+        assert_eq!(
+            fields.iter().map(|(v, _)| v.as_str()).collect::<Vec<_>>(),
+            ["a", "c"]
+        );
+    }
+
+    #[test]
+    fn fn_bodies_are_brace_matched() {
+        let src =
+            "fn call_retry(&self) { if x { self.call() } }\nfn other(&self) { self.call() }\n";
+        let f = SourceFile::from_text("x.rs".into(), src.to_string());
+        let bodies = f.fn_bodies("call_retry");
+        assert_eq!(bodies.len(), 1);
+        let calls = f.find_token(".call(");
+        assert_eq!(calls.len(), 2);
+        let (s, e) = bodies[0];
+        assert!(calls[0] >= s && calls[0] < e);
+        assert!(!(calls[1] >= s && calls[1] < e));
+    }
+}

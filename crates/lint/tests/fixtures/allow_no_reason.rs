@@ -1,0 +1,6 @@
+//! Fixture: a suppression without a reason is itself a violation.
+//! Never compiled — scanned by the lint's own self-test.
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now() // ficus-lint: allow(determinism)
+}

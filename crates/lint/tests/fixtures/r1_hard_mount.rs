@@ -1,0 +1,6 @@
+//! Fixture: a raw client RPC outside `call_retry` trips `hard-mount`.
+//! Never compiled — scanned by the lint's own self-test.
+
+pub fn fetch_attr(conn: &Connection, handle: FileHandle) -> Vec<u8> {
+    conn.call(encode_getattr(handle))
+}

@@ -1,0 +1,6 @@
+//! Fixture: wall-clock time in a deterministic crate trips `determinism`.
+//! Never compiled — scanned by the lint's own self-test.
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,6 @@
+//! Fixture: a panicking construct on a serving path trips `no-panic`.
+//! Never compiled — scanned by the lint's own self-test.
+
+pub fn parse_len(buf: &[u8]) -> u32 {
+    u32::from_le_bytes(buf[..4].try_into().unwrap())
+}

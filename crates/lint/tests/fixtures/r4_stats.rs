@@ -1,0 +1,6 @@
+//! Fixture: a stats counter nothing maintains or asserts trips
+//! `stats-honesty`. Never compiled — scanned by the lint's own self-test.
+
+pub struct LogicalStats {
+    pub selections: u64,
+}

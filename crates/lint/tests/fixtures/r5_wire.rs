@@ -1,0 +1,21 @@
+//! Fixture: a wire variant absent from `decode` trips `wire-exhaustive`.
+//! Never compiled — scanned by the lint's own self-test.
+
+pub enum Request {
+    Ping,
+    Pong,
+}
+
+pub fn encode(r: &Request) -> u8 {
+    match r {
+        Request::Ping => 0,
+        Request::Pong => 1,
+    }
+}
+
+pub fn decode(tag: u8) -> Option<Request> {
+    match tag {
+        0 => Some(Request::Ping),
+        _ => None,
+    }
+}

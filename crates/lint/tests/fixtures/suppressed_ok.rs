@@ -1,0 +1,7 @@
+//! Fixture: a violation silenced by a reasoned `allow` — the run stays
+//! clean and the suppression is counted. Never compiled — scanned by the
+//! lint's own self-test.
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now() // ficus-lint: allow(determinism) fixture exercising suppression accounting
+}

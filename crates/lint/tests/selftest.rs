@@ -1,0 +1,98 @@
+//! End-to-end self-tests: the built `ficus-lint` binary against the
+//! violation fixtures and against the real workspace.
+//!
+//! Each fixture under `tests/fixtures/` trips exactly one rule; the
+//! suppressed fixture exits clean but is counted. The workspace run pins
+//! the tree the lint ships with to zero unsuppressed violations.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ficus_lint::RULE_IDS;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Runs the binary with `args`, returning `(exit_code, stdout + stderr)`.
+fn lint(args: &[&dyn AsRef<std::ffi::OsStr>]) -> (i32, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ficus-lint"));
+    for a in args {
+        cmd.arg(a.as_ref());
+    }
+    let out = cmd.output().expect("spawn ficus-lint");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().unwrap_or(-1), text)
+}
+
+fn check_fixture(name: &str) -> (i32, String) {
+    lint(&[&"--check-file", &fixture(name)])
+}
+
+#[test]
+fn each_rule_fixture_trips_exactly_its_rule() {
+    let cases = [
+        ("r1_hard_mount.rs", "hard-mount"),
+        ("r2_determinism.rs", "determinism"),
+        ("r3_no_panic.rs", "no-panic"),
+        ("r4_stats.rs", "stats-honesty"),
+        ("r5_wire.rs", "wire-exhaustive"),
+    ];
+    for (file, rule) in cases {
+        let (code, text) = check_fixture(file);
+        assert_eq!(code, 1, "{file} must fail the lint:\n{text}");
+        assert!(
+            text.contains(&format!("[{rule}]")),
+            "{file} must report [{rule}]:\n{text}"
+        );
+        for other in RULE_IDS.iter().filter(|r| **r != rule) {
+            assert!(
+                !text.contains(&format!("[{other}]")),
+                "{file} must trip only [{rule}], not [{other}]:\n{text}"
+            );
+        }
+    }
+}
+
+#[test]
+fn suppressed_fixture_is_clean_but_counted() {
+    let (code, text) = check_fixture("suppressed_ok.rs");
+    assert_eq!(code, 0, "a reasoned allow must pass:\n{text}");
+    assert!(text.contains("0 violations"), "{text}");
+    assert!(text.contains("1 suppressed"), "{text}");
+    assert!(
+        text.contains("suppressed [determinism]"),
+        "the suppression must be itemized:\n{text}"
+    );
+}
+
+#[test]
+fn reasonless_allow_fails_the_run() {
+    let (code, text) = check_fixture("allow_no_reason.rs");
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("[suppression]"), "{text}");
+    assert!(text.contains("without a reason"), "{text}");
+}
+
+#[test]
+fn unknown_flags_are_a_usage_error() {
+    let (code, text) = lint(&[&"--frobnicate"]);
+    assert_eq!(code, 2, "{text}");
+    assert!(text.contains("usage:"), "{text}");
+}
+
+/// The tree this lint ships with is itself clean — the same invariant the
+/// verify script and CI enforce.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (code, text) = lint(&[&"--root", &root]);
+    assert_eq!(code, 0, "workspace must lint clean:\n{text}");
+    assert!(text.contains(" 0 violations"), "{text}");
+}

@@ -172,6 +172,10 @@ fn attr_cache_hides_remote_changes_within_ttl() {
 
     // Client 1 still sees the stale size from its cache...
     assert_eq!(f1.getattr(&cred).unwrap().size, 0, "stale within TTL");
+    assert!(
+        c1.stats().attr_cache_hits >= 1,
+        "the stale read must have come from the attribute cache"
+    );
     // ...until the TTL expires.
     clock.advance(ttl + 1);
     assert_eq!(f1.getattr(&cred).unwrap().size, 11);

@@ -362,4 +362,28 @@ mod tests {
         let reply = s.handle_wire(b"garbage");
         assert_eq!(Reply::decode(&reply).unwrap_err(), FsError::Io);
     }
+
+    /// Every request variant, truncated at every byte boundary, yields a
+    /// well-formed error reply — never a panic, never a misparse — and the
+    /// server keeps serving afterwards.
+    #[test]
+    fn truncated_requests_of_every_variant_error_cleanly() {
+        let s = server();
+        let cred = Credentials::root();
+        for req in crate::wire::exemplars::requests() {
+            let wire = req.encode(&cred);
+            for cut in 1..wire.len() {
+                let reply = s.handle_wire(&wire[..wire.len() - cut]);
+                assert_eq!(
+                    Reply::decode(&reply).unwrap_err(),
+                    FsError::Io,
+                    "{} cut by {cut}",
+                    req.variant_name()
+                );
+            }
+        }
+        // Still alive: a normal request succeeds after all that abuse.
+        let reply = s.handle_wire(&Request::Root.encode(&cred));
+        assert!(matches!(Reply::decode(&reply), Ok(Reply::Node(..))));
+    }
 }

@@ -96,6 +96,84 @@ pub enum Reply {
     Many(Vec<FsResult<Vec<u8>>>),
 }
 
+impl Request {
+    /// Variant names in tag order — the in-code mirror of the enum that
+    /// `ficus-lint`'s wire-exhaustive rule checks. The roundtrip tests
+    /// assert their exemplar set covers exactly this list, and
+    /// [`Request::variant_name`]'s exhaustive match breaks the build the
+    /// moment a variant is added without growing it.
+    pub const VARIANTS: &'static [&'static str] = &[
+        "Root",
+        "GetAttr",
+        "SetAttr",
+        "Access",
+        "Lookup",
+        "Read",
+        "Write",
+        "Fsync",
+        "Create",
+        "Mkdir",
+        "Remove",
+        "Rmdir",
+        "Rename",
+        "Link",
+        "Symlink",
+        "Readlink",
+        "Readdir",
+        "Statfs",
+        "LookupReadMany",
+    ];
+
+    /// This request's variant name.
+    #[must_use]
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            Request::Root => "Root",
+            Request::GetAttr(..) => "GetAttr",
+            Request::SetAttr(..) => "SetAttr",
+            Request::Access(..) => "Access",
+            Request::Lookup(..) => "Lookup",
+            Request::Read(..) => "Read",
+            Request::Write(..) => "Write",
+            Request::Fsync(..) => "Fsync",
+            Request::Create(..) => "Create",
+            Request::Mkdir(..) => "Mkdir",
+            Request::Remove(..) => "Remove",
+            Request::Rmdir(..) => "Rmdir",
+            Request::Rename(..) => "Rename",
+            Request::Link(..) => "Link",
+            Request::Symlink(..) => "Symlink",
+            Request::Readlink(..) => "Readlink",
+            Request::Readdir(..) => "Readdir",
+            Request::Statfs => "Statfs",
+            Request::LookupReadMany(..) => "LookupReadMany",
+        }
+    }
+}
+
+impl Reply {
+    /// Variant names in tag order (see [`Request::VARIANTS`]).
+    pub const VARIANTS: &'static [&'static str] = &[
+        "Node", "Attr", "Ok", "Data", "Written", "Path", "Entries", "Stats", "Many",
+    ];
+
+    /// This reply's variant name.
+    #[must_use]
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            Reply::Node(..) => "Node",
+            Reply::Attr(..) => "Attr",
+            Reply::Ok => "Ok",
+            Reply::Data(..) => "Data",
+            Reply::Written(..) => "Written",
+            Reply::Path(..) => "Path",
+            Reply::Entries(..) => "Entries",
+            Reply::Stats(..) => "Stats",
+            Reply::Many(..) => "Many",
+        }
+    }
+}
+
 // --- primitive encoders -----------------------------------------------------
 
 /// Byte-buffer encoder.
@@ -209,12 +287,14 @@ impl<'a> Dec<'a> {
 
     /// Reads a `u32`.
     pub fn u32(&mut self) -> FsResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        let bytes = self.take(4)?.try_into().map_err(|_| FsError::Io)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     /// Reads a `u64`.
     pub fn u64(&mut self) -> FsResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        let bytes = self.take(8)?.try_into().map_err(|_| FsError::Io)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Reads length-prefixed bytes.
@@ -664,12 +744,16 @@ impl Reply {
     }
 }
 
+/// Test support: one exemplar value per wire variant. The coverage test in
+/// `tests` pins these lists to [`Request::VARIANTS`] and [`Reply::VARIANTS`]
+/// — the same lists the `ficus-lint` wire-exhaustive rule checks — and the
+/// server's truncation test reuses them so every variant's wire image is
+/// exercised against short reads.
 #[cfg(test)]
-mod tests {
+pub(crate) mod exemplars {
     use super::*;
-    use proptest::prelude::*;
 
-    fn fh(n: u64) -> FileHandle {
+    pub(crate) fn fh(n: u64) -> FileHandle {
         FileHandle {
             fsid: n,
             fileid: n * 7,
@@ -677,17 +761,25 @@ mod tests {
         }
     }
 
-    fn cred() -> Credentials {
-        Credentials {
-            uid: 5,
-            gid: 6,
-            groups: vec![7, 8],
+    pub(crate) fn attr() -> VnodeAttr {
+        VnodeAttr {
+            kind: VnodeType::Regular,
+            mode: 0o644,
+            nlink: 2,
+            uid: 1,
+            gid: 2,
+            size: 99,
+            fsid: 3,
+            fileid: 4,
+            mtime: Timestamp(5),
+            atime: Timestamp(6),
+            ctime: Timestamp(7),
+            blocks: 8,
         }
     }
 
-    #[test]
-    fn every_request_round_trips() {
-        let requests = vec![
+    pub(crate) fn requests() -> Vec<Request> {
+        vec![
             Request::Root,
             Request::GetAttr(fh(1)),
             Request::SetAttr(fh(2), SetAttr::size(10)),
@@ -708,34 +800,13 @@ mod tests {
             Request::Statfs,
             Request::LookupReadMany(fh(19), vec![]),
             Request::LookupReadMany(fh(20), vec![";f;vv;aa".into(), ";f;dirx;bb".into()]),
-        ];
-        for req in requests {
-            let wire = req.encode(&cred());
-            let (c, back) = Request::decode(&wire).unwrap();
-            assert_eq!(c, cred());
-            assert_eq!(back, req, "request {req:?}");
-        }
+        ]
     }
 
-    #[test]
-    fn replies_round_trip() {
-        let attr = VnodeAttr {
-            kind: VnodeType::Regular,
-            mode: 0o644,
-            nlink: 2,
-            uid: 1,
-            gid: 2,
-            size: 99,
-            fsid: 3,
-            fileid: 4,
-            mtime: Timestamp(5),
-            atime: Timestamp(6),
-            ctime: Timestamp(7),
-            blocks: 8,
-        };
-        let replies = vec![
-            Reply::Node(fh(1), attr.clone()),
-            Reply::Attr(attr),
+    pub(crate) fn replies() -> Vec<Reply> {
+        vec![
+            Reply::Node(fh(1), attr()),
+            Reply::Attr(attr()),
             Reply::Ok,
             Reply::Data(b"bytes".to_vec()),
             Reply::Written(17),
@@ -760,8 +831,57 @@ mod tests {
                 Ok(vec![]),
                 Err(FsError::Stale),
             ]),
-        ];
-        for r in replies {
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::exemplars::{self, fh};
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cred() -> Credentials {
+        Credentials {
+            uid: 5,
+            gid: 6,
+            groups: vec![7, 8],
+        }
+    }
+
+    #[test]
+    fn exemplars_cover_every_variant() {
+        use std::collections::BTreeSet;
+        let tagged: BTreeSet<&str> = Request::VARIANTS.iter().copied().collect();
+        assert_eq!(tagged.len(), Request::VARIANTS.len(), "duplicate name");
+        let covered: BTreeSet<&str> = exemplars::requests()
+            .iter()
+            .map(Request::variant_name)
+            .collect();
+        assert_eq!(covered, tagged, "request exemplars must span the enum");
+
+        let tagged: BTreeSet<&str> = Reply::VARIANTS.iter().copied().collect();
+        assert_eq!(tagged.len(), Reply::VARIANTS.len(), "duplicate name");
+        let covered: BTreeSet<&str> = exemplars::replies()
+            .iter()
+            .map(Reply::variant_name)
+            .collect();
+        assert_eq!(covered, tagged, "reply exemplars must span the enum");
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        for req in exemplars::requests() {
+            let wire = req.encode(&cred());
+            let (c, back) = Request::decode(&wire).unwrap();
+            assert_eq!(c, cred());
+            assert_eq!(back, req, "request {req:?}");
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for r in exemplars::replies() {
             let wire = Reply::encode(&Ok(r.clone()));
             assert_eq!(Reply::decode(&wire).unwrap(), r);
         }
@@ -808,7 +928,180 @@ mod tests {
         assert!(Request::decode(&wire).is_err());
     }
 
+    fn arb_fh() -> impl Strategy<Value = FileHandle> {
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(fsid, fileid, gen)| FileHandle {
+            fsid,
+            fileid,
+            gen,
+        })
+    }
+
+    fn arb_ts() -> impl Strategy<Value = Timestamp> {
+        any::<u64>().prop_map(Timestamp)
+    }
+
+    fn arb_kind() -> impl Strategy<Value = VnodeType> {
+        prop_oneof![
+            Just(VnodeType::Regular),
+            Just(VnodeType::Directory),
+            Just(VnodeType::Symlink),
+            Just(VnodeType::GraftPoint),
+        ]
+    }
+
+    fn arb_attr() -> impl Strategy<Value = VnodeAttr> {
+        (
+            (arb_kind(), 0u32..0o7777, any::<u32>(), any::<u32>()),
+            (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            (arb_ts(), arb_ts(), arb_ts(), any::<u64>()),
+        )
+            .prop_map(
+                |(
+                    (kind, mode, nlink, uid),
+                    (gid, size, fsid, fileid),
+                    (mtime, atime, ctime, blocks),
+                )| VnodeAttr {
+                    kind,
+                    mode,
+                    nlink,
+                    uid,
+                    gid,
+                    size,
+                    fsid,
+                    fileid,
+                    mtime,
+                    atime,
+                    ctime,
+                    blocks,
+                },
+            )
+    }
+
+    fn arb_dirent() -> impl Strategy<Value = DirEntry> {
+        ("[a-z]{1,8}", any::<u64>(), arb_kind(), any::<u64>()).prop_map(
+            |(name, fileid, kind, cookie)| DirEntry {
+                name,
+                fileid,
+                kind,
+                cookie,
+            },
+        )
+    }
+
+    /// One strategy arm per [`Request::VARIANTS`] entry, in tag order.
+    fn arb_request() -> impl Strategy<Value = Request> {
+        let name = "[a-z]{1,8}";
+        prop_oneof![
+            Just(Request::Root),
+            arb_fh().prop_map(Request::GetAttr),
+            (
+                arb_fh(),
+                (
+                    proptest::option::of(0u32..0o7777),
+                    proptest::option::of(any::<u32>()),
+                    proptest::option::of(any::<u32>()),
+                ),
+                (
+                    proptest::option::of(any::<u64>()),
+                    proptest::option::of(arb_ts()),
+                    proptest::option::of(arb_ts()),
+                ),
+            )
+                .prop_map(|(h, (mode, uid, gid), (size, mtime, atime))| {
+                    Request::SetAttr(
+                        h,
+                        SetAttr {
+                            mode,
+                            uid,
+                            gid,
+                            size,
+                            mtime,
+                            atime,
+                        },
+                    )
+                }),
+            (arb_fh(), any::<u8>()).prop_map(|(h, m)| Request::Access(h, m)),
+            (arb_fh(), name).prop_map(|(h, n)| Request::Lookup(h, n)),
+            (arb_fh(), any::<u64>(), any::<u32>()).prop_map(|(h, o, l)| Request::Read(h, o, l)),
+            (
+                arb_fh(),
+                any::<u64>(),
+                proptest::collection::vec(any::<u8>(), 0..200)
+            )
+                .prop_map(|(h, o, d)| Request::Write(h, o, d)),
+            arb_fh().prop_map(Request::Fsync),
+            (arb_fh(), name, 0u32..0o7777).prop_map(|(h, n, m)| Request::Create(h, n, m)),
+            (arb_fh(), name, 0u32..0o7777).prop_map(|(h, n, m)| Request::Mkdir(h, n, m)),
+            (arb_fh(), name).prop_map(|(h, n)| Request::Remove(h, n)),
+            (arb_fh(), name).prop_map(|(h, n)| Request::Rmdir(h, n)),
+            (arb_fh(), name, arb_fh(), name).prop_map(|(f, a, t, b)| Request::Rename(f, a, t, b)),
+            (arb_fh(), arb_fh(), name).prop_map(|(d, t, n)| Request::Link(d, t, n)),
+            (arb_fh(), name, "[a-z/.]{1,16}").prop_map(|(h, n, t)| Request::Symlink(h, n, t)),
+            arb_fh().prop_map(Request::Readlink),
+            (arb_fh(), any::<u64>(), any::<u32>()).prop_map(|(h, c, n)| Request::Readdir(h, c, n)),
+            Just(Request::Statfs),
+            (arb_fh(), proptest::collection::vec("[a-z;]{1,12}", 0..4))
+                .prop_map(|(h, names)| Request::LookupReadMany(h, names)),
+        ]
+    }
+
+    /// One strategy arm per [`Reply::VARIANTS`] entry, in tag order.
+    fn arb_reply() -> impl Strategy<Value = Reply> {
+        prop_oneof![
+            (arb_fh(), arb_attr()).prop_map(|(h, a)| Reply::Node(h, a)),
+            arb_attr().prop_map(Reply::Attr),
+            Just(Reply::Ok),
+            proptest::collection::vec(any::<u8>(), 0..200).prop_map(Reply::Data),
+            any::<u32>().prop_map(Reply::Written),
+            "[a-z/.]{0,16}".prop_map(Reply::Path),
+            proptest::collection::vec(arb_dirent(), 0..8).prop_map(Reply::Entries),
+            (
+                (any::<u64>(), any::<u64>()),
+                (any::<u64>(), any::<u64>()),
+                any::<u32>()
+            )
+                .prop_map(
+                    |((total_blocks, free_blocks), (total_inodes, free_inodes), block_size)| {
+                        Reply::Stats(FsStats {
+                            total_blocks,
+                            free_blocks,
+                            total_inodes,
+                            free_inodes,
+                            block_size,
+                        })
+                    }
+                ),
+            proptest::collection::vec(
+                prop_oneof![
+                    proptest::collection::vec(any::<u8>(), 0..32).prop_map(Ok),
+                    Just(Err(FsError::NotFound)),
+                    Just(Err(FsError::Stale)),
+                ],
+                0..5,
+            )
+            .prop_map(Reply::Many),
+        ]
+    }
+
     proptest! {
+        /// Every variant, random payloads: encode → decode is the identity
+        /// on requests (and carries the credentials through unchanged).
+        #[test]
+        fn prop_any_request_round_trips(req in arb_request()) {
+            let wire = req.encode(&cred());
+            let (c, back) = Request::decode(&wire).unwrap();
+            prop_assert_eq!(c, cred());
+            prop_assert_eq!(back, req);
+        }
+
+        /// Every variant, random payloads: encode → decode is the identity
+        /// on replies.
+        #[test]
+        fn prop_any_reply_round_trips(reply in arb_reply()) {
+            let wire = Reply::encode(&Ok(reply.clone()));
+            prop_assert_eq!(Reply::decode(&wire).unwrap(), reply);
+        }
+
         #[test]
         fn prop_setattr_round_trips(
             mode in proptest::option::of(0u32..0o7777),

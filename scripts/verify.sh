@@ -11,6 +11,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The workspace builds warning-clean; keep it that way locally too.
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+
 run() {
     echo "==> $*"
     "$@"
@@ -18,6 +21,12 @@ run() {
 
 run cargo build --release
 run cargo test -q
+
+# Project-invariant lint (DESIGN.md §4.9): hard-mount RPC discipline,
+# determinism, panic-free serving paths, stats honesty, wire
+# exhaustiveness. Fails on any unsuppressed violation and prints the
+# suppression count.
+run cargo run -q -p ficus-lint --release
 
 # Fixed-seed chaos smoke: seeded fault campaigns (partition + crash +
 # datagram loss + mid-RPC export faults) must converge and hold every

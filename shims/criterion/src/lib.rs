@@ -38,6 +38,12 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's fixed iteration count
+    /// ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
     pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),

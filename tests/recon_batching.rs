@@ -205,8 +205,19 @@ fn propagation_requeues_across_a_partition_and_recovers() {
     // nothing is lost.
     let recon_stats = world.run_reconciliation(HostId(1)).unwrap();
     assert_eq!(recon_stats.dirs_examined, 0, "partitioned peer skipped");
+    assert!(
+        recon_stats.peers_failed >= 1,
+        "a retry-worthy peer lost to the partition is accounted"
+    );
 
     world.heal();
+
+    // The failed exchange armed host 1's backoff window for replica 2:
+    // the next pass holds off without wire traffic, and says so.
+    let backed_off = world.run_reconciliation(HostId(1)).unwrap();
+    assert!(backed_off.peers_skipped >= 1, "open window skips the peer");
+    assert!(backed_off.rpcs_avoided >= 1, "each skip avoids an exchange");
+    assert_eq!(backed_off.peers_failed, 0, "a skip is not a failure");
     // The failed pull armed replica 1's backoff window on host 2; until it
     // passes the daemon holds the note without touching the wire.
     let stats = world.run_propagation(HostId(2)).unwrap();
