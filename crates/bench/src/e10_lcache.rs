@@ -25,6 +25,7 @@ use ficus_core::sim::{FicusWorld, WorldParams};
 use ficus_net::HostId;
 use ficus_vnode::{Credentials, FileSystem, OpenFlags};
 
+use crate::report::{Metrics, Report};
 use crate::table::Table;
 
 /// What one configuration measured.
@@ -129,9 +130,10 @@ pub fn measure(caching: bool, files: u32, rounds: u32) -> BindOutcome {
     }
 }
 
-/// Runs E10 and renders its table.
+/// Runs E10 and produces its table and metrics. Wire RPCs and cache
+/// counters are counted events, so every metric is deterministic.
 #[must_use]
-pub fn run() -> Table {
+pub fn run() -> Report {
     let mut t = Table::new(
         "E10: repeated binds across NFS, lcache off vs on (notification-kept caches vs the O(R) fan-out)",
         &[
@@ -146,6 +148,8 @@ pub fn run() -> Table {
             "RPCs avoided",
         ],
     );
+    let mut m = Metrics::new("e10", &t.title);
+    let mut outcomes = Vec::new();
     for caching in [false, true] {
         let o = measure(caching, 8, 6);
         t.row(vec![
@@ -159,13 +163,41 @@ pub fn run() -> Table {
             o.misses.to_string(),
             o.rpcs_avoided.to_string(),
         ]);
+        let key = if o.caching { "on" } else { "off" };
+        m.det(&format!("{key}.cold_rpcs"), "rpcs", o.cold_rpcs as f64);
+        m.det(&format!("{key}.warm_rpcs"), "rpcs", o.warm_rpcs as f64);
+        m.det(&format!("{key}.hits"), "hits", o.hits as f64);
+        m.det(&format!("{key}.misses"), "misses", o.misses as f64);
+        m.det(
+            &format!("{key}.rpcs_avoided"),
+            "rpcs",
+            o.rpcs_avoided as f64,
+        );
+        m.det_tol(
+            &format!("{key}.warm_rpcs_per_bind"),
+            "rpcs/bind",
+            o.warm_rpcs_per_bind(),
+            0.02,
+        );
+        outcomes.push(o);
+    }
+    if outcomes[1].warm_rpcs > 0 {
+        m.det_tol(
+            "warm_rpc_reduction",
+            "ratio",
+            outcomes[0].warm_rpcs as f64 / outcomes[1].warm_rpcs as f64,
+            0.02,
+        );
     }
     t.note(
         "paper expectation (§2.2, §3.2): owning the notification channel lets Ficus cache \
          what NFS cannot; warm binds stop paying the per-replica version-vector fan-out \
          and the directory slurp, leaving only the open/close tunnel itself",
     );
-    t
+    Report {
+        table: t,
+        metrics: m,
+    }
 }
 
 #[cfg(test)]

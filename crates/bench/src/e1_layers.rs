@@ -14,6 +14,7 @@ use ficus_vnode::null::NullLayer;
 use ficus_vnode::testing::SinkFs;
 use ficus_vnode::Credentials;
 
+use crate::report::{Metrics, Report};
 use crate::table::Table;
 
 /// One depth's measurement.
@@ -78,28 +79,43 @@ pub fn marginal_ns(costs: &[DepthCost], pick: impl Fn(&DepthCost) -> f64) -> f64
     }
 }
 
-/// Runs E1 and renders its table.
+/// Runs E1 and produces its table and metrics. Every timing here is
+/// wall-clock and therefore informational only — E1 contributes no
+/// compared metrics (the drift ROADMAP warns about).
 #[must_use]
-pub fn run() -> Table {
+pub fn run() -> Report {
     let costs = measure(8, 2_000_000);
     let mut t = Table::new(
         "E1: layer-crossing cost (paper §6: one procedure call + one pointer indirection)",
         &["null layers", "getattr ns/op", "lookup ns/op"],
     );
+    let mut m = Metrics::new("e1", &t.title);
+    m.det("depths_measured", "count", costs.len() as f64);
     for c in &costs {
         t.row(vec![
             c.depth.to_string(),
             format!("{:.1}", c.getattr_ns),
             format!("{:.1}", c.lookup_ns),
         ]);
+        m.wall(
+            &format!("depth{}.getattr_ns", c.depth),
+            "ns/op",
+            c.getattr_ns,
+        );
+        m.wall(&format!("depth{}.lookup_ns", c.depth), "ns/op", c.lookup_ns);
     }
     let g = marginal_ns(&costs, |c| c.getattr_ns);
     let l = marginal_ns(&costs, |c| c.lookup_ns);
+    m.wall("marginal.getattr_ns", "ns/crossing", g);
+    m.wall("marginal.lookup_ns", "ns/crossing", l);
     t.note(&format!(
         "marginal cost per crossing: getattr {g:.1} ns, lookup {l:.1} ns \
          (paper: 'low' — a dynamic call + Arc deref; lookup also allocates the vnode block)"
     ));
-    t
+    Report {
+        table: t,
+        metrics: m,
+    }
 }
 
 #[cfg(test)]

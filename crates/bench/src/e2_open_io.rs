@@ -22,6 +22,7 @@ use ficus_core::phys::{FicusPhysical, PhysParams, StorageLayout};
 use ficus_ufs::{Disk, DiskStats, Geometry, Ufs, UfsParams};
 use ficus_vnode::{Credentials, FileSystem, LogicalClock, OpenFlags, TimeSource, VnodeType};
 
+use crate::report::{Metrics, Report};
 use crate::table::Table;
 
 /// Measured I/O counts for one configuration.
@@ -117,15 +118,17 @@ pub fn measure_ficus(layout: StorageLayout) -> OpenCost {
     }
 }
 
-/// Runs E2 and renders its table.
+/// Runs E2 and produces its table and metrics. Disk reads are counted in
+/// the simulated UFS, so every metric is deterministic.
 #[must_use]
-pub fn run() -> Table {
+pub fn run() -> Report {
     let ufs = measure_ufs();
     let ficus = measure_ficus(StorageLayout::Tree);
     let mut t = Table::new(
         "E2: open() disk reads, cold vs warm (paper §6: Ficus = +4 I/Os cold, +0 warm)",
         &["stack", "cold reads", "warm reads", "extra vs UFS (cold)"],
     );
+    let mut m = Metrics::new("e2", &t.title);
     t.row(vec![
         "UFS".into(),
         ufs.cold_reads.to_string(),
@@ -138,8 +141,20 @@ pub fn run() -> Table {
         ficus.warm_reads.to_string(),
         format!("+{}", ficus.cold_reads.saturating_sub(ufs.cold_reads)),
     ]);
+    m.det("ufs.cold_reads", "disk reads", ufs.cold_reads as f64);
+    m.det("ufs.warm_reads", "disk reads", ufs.warm_reads as f64);
+    m.det("ficus.cold_reads", "disk reads", ficus.cold_reads as f64);
+    m.det("ficus.warm_reads", "disk reads", ficus.warm_reads as f64);
+    m.det(
+        "ficus.extra_cold_reads",
+        "disk reads",
+        ficus.cold_reads.saturating_sub(ufs.cold_reads) as f64,
+    );
     t.note("paper: UFS cold = dir inode + dir data + file inode; Ficus adds UFS-dir inode+data and aux inode+data");
-    t
+    Report {
+        table: t,
+        metrics: m,
+    }
 }
 
 /// Ignore write traffic; E2 is about the read path (the `since` deltas

@@ -20,7 +20,8 @@ use ficus_core::phys::{FicusPhysical, PhysParams};
 use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
 use ficus_vnode::{Credentials, FileSystem, LogicalClock, TimeSource, VnodeType};
 
-use crate::table::{ratio, Table};
+use crate::report::{Metrics, Report};
+use crate::table::{ratio_of, Table};
 
 /// One configuration's measurement.
 #[derive(Debug, Clone, Copy)]
@@ -103,9 +104,12 @@ pub fn measure(file_size: usize, update_size: usize) -> CommitCost {
     }
 }
 
-/// Runs E3 and renders its table.
+/// Runs E3 and produces its table and metrics. Block writes are counted in
+/// the simulated disk, so every metric is deterministic. A zero in-place
+/// measurement is reported explicitly, never papered over with a
+/// fabricated ratio.
 #[must_use]
-pub fn run() -> Table {
+pub fn run() -> Report {
     let mut t = Table::new(
         "E3: update cost, in-place vs shadow commit (paper §3.2 fn 5: whole-file rewrite)",
         &[
@@ -116,6 +120,7 @@ pub fn run() -> Table {
             "overhead",
         ],
     );
+    let mut m = Metrics::new("e3", &t.title);
     for &(n, k) in &[
         (16 * 1024, 64),
         (256 * 1024, 64),
@@ -129,14 +134,38 @@ pub fn run() -> Table {
             human(k),
             c.inplace_writes.to_string(),
             c.shadow_writes.to_string(),
-            ratio(c.shadow_writes as f64 / c.inplace_writes.max(1) as f64),
+            ratio_of(c.shadow_writes as f64, c.inplace_writes as f64),
         ]);
+        let key = format!("f{}_u{}", human(n), human(k));
+        m.det(
+            &format!("{key}.inplace_writes"),
+            "blocks",
+            c.inplace_writes as f64,
+        );
+        m.det(
+            &format!("{key}.shadow_writes"),
+            "blocks",
+            c.shadow_writes as f64,
+        );
+        // The derived ratio exists only when the denominator measured
+        // anything — a degenerate run must not feed the trajectory.
+        if c.inplace_writes > 0 {
+            m.det_tol(
+                &format!("{key}.overhead_ratio"),
+                "ratio",
+                c.shadow_writes as f64 / c.inplace_writes as f64,
+                0.02,
+            );
+        }
     }
     t.note(
         "paper: cost 'usually small' but 'significant if updating a few points in a large file'",
     );
     t.note("the overhead ratio grows with file size for small updates and approaches 1x for full rewrites");
-    t
+    Report {
+        table: t,
+        metrics: m,
+    }
 }
 
 fn human(bytes: usize) -> String {

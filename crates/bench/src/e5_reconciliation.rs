@@ -12,7 +12,8 @@ use ficus_core::sim::{FicusWorld, WorldParams};
 use ficus_net::HostId;
 use ficus_vnode::{Credentials, FileSystem};
 
-use crate::table::{ratio, Table};
+use crate::report::{Metrics, Report};
+use crate::table::{ratio_of, Table};
 
 /// Outcome of one partition/diverge/heal/reconcile cycle.
 #[derive(Debug, Clone, Copy, Default)]
@@ -193,17 +194,22 @@ pub fn run_batching_scenario(files: usize, batching: bool) -> BatchingOutcome {
     }
 }
 
-/// Runs the E5 batching comparison and renders its table.
+/// Runs the E5 batching comparison and produces its table and metrics
+/// (all deterministic: counted RPCs and bytes on the simulated wire).
 #[must_use]
-pub fn run_batching() -> Table {
+pub fn run_batching() -> Report {
     let mut t = Table::new(
         "E5b: bulk vs per-file reconciliation RPCs (one 100-file directory)",
         &["protocol", "files pulled", "rpcs", "net KiB", "rpcs saved"],
     );
+    let mut m = Metrics::new("e5", &t.title);
     const FILES: usize = 100;
     let per_file = run_batching_scenario(FILES, false);
     let batched = run_batching_scenario(FILES, true);
-    for (name, o) in [("per-file", per_file), ("batched", batched)] {
+    for (name, key, o) in [
+        ("per-file", "b100.per_file", per_file),
+        ("batched", "b100.batched", batched),
+    ] {
         t.row(vec![
             name.into(),
             o.files_pulled.to_string(),
@@ -211,20 +217,40 @@ pub fn run_batching() -> Table {
             (o.bytes / 1024).to_string(),
             o.rpcs_saved.to_string(),
         ]);
+        m.det(
+            &format!("{key}.files_pulled"),
+            "files",
+            o.files_pulled as f64,
+        );
+        m.det(&format!("{key}.rpcs"), "rpcs", o.rpcs as f64);
+        m.det(&format!("{key}.bytes"), "bytes", o.bytes as f64);
+        m.det(&format!("{key}.rpcs_saved"), "rpcs", o.rpcs_saved as f64);
+    }
+    if batched.rpcs > 0 {
+        m.det_tol(
+            "b100.rpc_reduction",
+            "ratio",
+            per_file.rpcs as f64 / batched.rpcs as f64,
+            0.02,
+        );
     }
     t.note(&format!(
         "bulk fetches cut the wire cost {} ({} -> {} rpcs): one dir-with-children fetch replaces per-child attribute round trips",
-        ratio(per_file.rpcs as f64 / batched.rpcs.max(1) as f64),
+        ratio_of(per_file.rpcs as f64, batched.rpcs as f64),
         per_file.rpcs,
         batched.rpcs
     ));
     t.note("'rpcs saved' counts per-file operations answered from bulk responses — an algorithm-level tally, identical across transports; the rpcs column shows the realized wire savings");
-    t
+    Report {
+        table: t,
+        metrics: m,
+    }
 }
 
-/// Runs E5 and renders its table.
+/// Runs E5 and produces its table and metrics (all deterministic: the
+/// scripted scenario runs on the simulated clock and wire).
 #[must_use]
-pub fn run() -> Table {
+pub fn run() -> Report {
     let mut t = Table::new(
         "E5: partition / diverge / heal / reconcile (paper §1: dirs auto-repair, files report)",
         &[
@@ -238,6 +264,7 @@ pub fn run() -> Table {
             "converged",
         ],
     );
+    let mut m = Metrics::new("e5", &t.title);
     for &n in &[4usize, 16, 64] {
         let o = run_scenario(n);
         t.row(vec![
@@ -250,9 +277,44 @@ pub fn run() -> Table {
             format!("{}", o.recon_bytes / 1024),
             o.converged.to_string(),
         ]);
+        let key = format!("div{n}");
+        m.det(
+            &format!("{key}.entries_shipped"),
+            "entries",
+            o.entries_shipped as f64,
+        );
+        m.det(
+            &format!("{key}.files_pulled"),
+            "files",
+            o.files_pulled as f64,
+        );
+        m.det(
+            &format!("{key}.file_conflicts"),
+            "conflicts",
+            o.file_conflicts as f64,
+        );
+        m.det(
+            &format!("{key}.remove_update_conflicts"),
+            "conflicts",
+            o.remove_update_conflicts as f64,
+        );
+        m.det(
+            &format!("{key}.name_collisions"),
+            "conflicts",
+            o.name_collisions as f64,
+        );
+        m.det(&format!("{key}.recon_bytes"), "bytes", o.recon_bytes as f64);
+        m.det(
+            &format!("{key}.converged"),
+            "bool",
+            f64::from(u8::from(o.converged)),
+        );
     }
     t.note("every divergent directory update merges without user action; only the genuinely concurrent file update and the remove-vs-update surface as reports");
-    t
+    Report {
+        table: t,
+        metrics: m,
+    }
 }
 
 #[cfg(test)]

@@ -17,7 +17,8 @@ use ficus_net::HostId;
 use ficus_vnode::{Credentials, FileSystem, TimeSource};
 use ficus_workload::BurstTrain;
 
-use crate::table::{ratio, Table};
+use crate::report::{slug, Metrics, Report};
+use crate::table::{ratio_of, Table};
 
 /// One policy's measured outcome.
 #[derive(Debug, Clone, Copy)]
@@ -28,8 +29,10 @@ pub struct PropagationOutcome {
     pub pulls: u64,
     /// Network bytes spent (notifications + pulls).
     pub bytes: u64,
-    /// Mean microseconds from an update to full replication.
-    pub mean_staleness_us: f64,
+    /// Mean microseconds from an update to full replication, or `None`
+    /// when the run applied no updates — an empty measurement has no mean
+    /// and must say so rather than fabricate one.
+    pub mean_staleness_us: Option<f64>,
 }
 
 /// Drives the burst workload under one policy.
@@ -103,7 +106,11 @@ pub fn measure(policy: PropagationPolicy, bursts: usize, burst_len: usize) -> Pr
         updates,
         pulls,
         bytes: stats.total_bytes(),
-        mean_staleness_us: staleness_total / updates.max(1) as f64,
+        mean_staleness_us: if updates == 0 {
+            None
+        } else {
+            Some(staleness_total / updates as f64)
+        },
     }
 }
 
@@ -159,17 +166,23 @@ pub fn measure_note_batching(files: usize, batching: bool) -> NoteBatchingOutcom
     }
 }
 
-/// Runs the E7 note-batching comparison and renders its table.
+/// Runs the E7 note-batching comparison and produces its table and
+/// metrics. Every number here is a counted RPC or note, so all metrics
+/// are deterministic.
 #[must_use]
-pub fn run_batching() -> Table {
+pub fn run_batching() -> Report {
     let mut t = Table::new(
         "E7b: bulk vs per-file note draining (100 pending notes, one origin)",
         &["protocol", "notes taken", "pulls", "rpcs", "rpcs saved"],
     );
+    let mut m = Metrics::new("e7b", &t.title);
     const FILES: usize = 100;
     let per_file = measure_note_batching(FILES, false);
     let batched = measure_note_batching(FILES, true);
-    for (name, o) in [("per-file", per_file), ("batched", batched)] {
+    for (name, key, o) in [
+        ("per-file", "b100.per_file", per_file),
+        ("batched", "b100.batched", batched),
+    ] {
         t.row(vec![
             name.into(),
             o.notes_taken.to_string(),
@@ -177,19 +190,36 @@ pub fn run_batching() -> Table {
             o.rpcs.to_string(),
             o.rpcs_saved.to_string(),
         ]);
+        m.det(&format!("{key}.notes_taken"), "notes", o.notes_taken as f64);
+        m.det(&format!("{key}.pulls"), "files", o.pulls as f64);
+        m.det(&format!("{key}.rpcs"), "rpcs", o.rpcs as f64);
+        m.det(&format!("{key}.rpcs_saved"), "rpcs", o.rpcs_saved as f64);
+    }
+    if batched.rpcs > 0 {
+        m.det_tol(
+            "b100.rpc_reduction",
+            "ratio",
+            per_file.rpcs as f64 / batched.rpcs as f64,
+            0.02,
+        );
     }
     t.note(&format!(
         "grouping a pass's notes by origin shares one bulk attribute fetch, cutting the drain {} ({} -> {} rpcs)",
-        ratio(per_file.rpcs as f64 / batched.rpcs.max(1) as f64),
+        ratio_of(per_file.rpcs as f64, batched.rpcs as f64),
         per_file.rpcs,
         batched.rpcs
     ));
-    t
+    Report {
+        table: t,
+        metrics: m,
+    }
 }
 
-/// Runs E7 and renders its table.
+/// Runs E7 and produces its table and metrics. Pulls and bytes are counted
+/// in simulated time, so they are deterministic; the drain staleness is a
+/// simulated-clock quantity and deterministic too.
 #[must_use]
-pub fn run() -> Table {
+pub fn run() -> Report {
     let mut t = Table::new(
         "E7: propagation policy under bursty updates (paper §3.2: delay coalesces bursts)",
         &[
@@ -200,6 +230,7 @@ pub fn run() -> Table {
             "drain us/update",
         ],
     );
+    let mut m = Metrics::new("e7", &t.title);
     let bursts = 6;
     let burst_len = 8;
     for (policy, name) in [
@@ -213,14 +244,29 @@ pub fn run() -> Table {
             o.updates.to_string(),
             format!("{:.1}", o.pulls as f64 / 2.0),
             (o.bytes / 1024).to_string(),
-            format!("{:.0}", o.mean_staleness_us),
+            match o.mean_staleness_us {
+                Some(s) => format!("{s:.0}"),
+                None => "n/a (no updates)".into(),
+            },
         ]);
+        let key = slug(name);
+        m.det(&format!("{key}.updates"), "updates", o.updates as f64);
+        m.det(&format!("{key}.pulls"), "files", o.pulls as f64);
+        m.det(&format!("{key}.net_bytes"), "bytes", o.bytes as f64);
+        // Recorded only when the run measured something; a degenerate run
+        // reports no mean rather than a fabricated zero.
+        if let Some(s) = o.mean_staleness_us {
+            m.det_tol(&format!("{key}.drain_us_per_update"), "us/update", s, 0.02);
+        }
     }
     t.note(
         "a delay exceeding the intra-burst gap (2ms) coalesces each 8-update burst toward one pull",
     );
     t.note("immediate propagation pulls near one version per update per peer — maximal freshness, maximal cost");
-    t
+    Report {
+        table: t,
+        metrics: m,
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +300,16 @@ mod tests {
             batched.rpcs
         );
         assert!(batched.rpcs_saved > 0, "bulk fetches were exercised");
+    }
+
+    #[test]
+    fn empty_measurement_reports_no_mean_instead_of_a_fabricated_one() {
+        let o = measure(PropagationPolicy::Immediate, 0, 0);
+        assert_eq!(o.updates, 0);
+        assert_eq!(
+            o.mean_staleness_us, None,
+            "zero updates must yield no staleness mean, not 0/1"
+        );
     }
 
     #[test]

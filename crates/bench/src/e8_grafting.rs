@@ -19,6 +19,7 @@ use ficus_net::HostId;
 use ficus_vnode::api::resolve;
 use ficus_vnode::{Credentials, FileSystem};
 
+use crate::report::{Metrics, Report};
 use crate::table::Table;
 
 /// Cost of resolving across `grafts` graft points.
@@ -97,13 +98,15 @@ pub fn measure(depth: usize) -> GraftCost {
     }
 }
 
-/// Runs E8 and renders its table.
+/// Runs E8 and produces its table and metrics. RPCs are counted on the
+/// simulated wire, so every metric is deterministic.
 #[must_use]
-pub fn run() -> Table {
+pub fn run() -> Report {
     let mut t = Table::new(
         "E8: autograft cost across chained volumes (paper §4.4: dynamic graft, idle prune)",
         &["graft points", "cold RPCs", "warm RPCs", "after-prune RPCs"],
     );
+    let mut m = Metrics::new("e8", &t.title);
     for depth in [1usize, 2, 4] {
         let c = measure(depth);
         t.row(vec![
@@ -112,12 +115,23 @@ pub fn run() -> Table {
             c.warm_rpcs.to_string(),
             c.after_prune_rpcs.to_string(),
         ]);
+        let key = format!("g{depth}");
+        m.det(&format!("{key}.cold_rpcs"), "rpcs", c.cold_rpcs as f64);
+        m.det(&format!("{key}.warm_rpcs"), "rpcs", c.warm_rpcs as f64);
+        m.det(
+            &format!("{key}.after_prune_rpcs"),
+            "rpcs",
+            c.after_prune_rpcs as f64,
+        );
     }
     t.note("cold resolution autografts each volume on the way (no global tables, no broadcast)");
     t.note(
         "pruned grafts re-establish on demand — the after-prune cost matches the cold cost's shape",
     );
-    t
+    Report {
+        table: t,
+        metrics: m,
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
 use ficus_vnode::measure::{MeasureLayer, Op};
 use ficus_vnode::{Credentials, FileSystem, OpenFlags};
 
+use crate::report::{Metrics, Report};
 use crate::table::Table;
 
 /// What each path delivered.
@@ -102,13 +103,15 @@ pub fn name_budget() -> (usize, usize) {
     (255, 255 - overhead)
 }
 
-/// Runs E9 and renders its table.
+/// Runs E9 and produces its table and metrics. Observed opens/closes are
+/// counted events, so every metric is deterministic.
 #[must_use]
-pub fn run() -> Table {
+pub fn run() -> Report {
     let mut t = Table::new(
         "E9: open/close across NFS (paper §2.2-2.3: plain opens vanish; the lookup tunnel delivers)",
         &["path", "opens issued", "opens observed", "closes observed"],
     );
+    let mut m = Metrics::new("e9", &t.title);
     let plain = measure_plain_nfs(50);
     t.row(vec![
         "plain NFS open()".into(),
@@ -123,12 +126,34 @@ pub fn run() -> Table {
         tunnel.opens_observed.to_string(),
         tunnel.closes_observed.to_string(),
     ]);
+    for (key, o) in [("plain", plain), ("tunnel", tunnel)] {
+        m.det(
+            &format!("{key}.opens_issued"),
+            "opens",
+            o.opens_issued as f64,
+        );
+        m.det(
+            &format!("{key}.opens_observed"),
+            "opens",
+            o.opens_observed as f64,
+        );
+        m.det(
+            &format!("{key}.closes_observed"),
+            "closes",
+            o.closes_observed as f64,
+        );
+    }
     let (max, usable) = name_budget();
+    m.det("name_budget.max", "bytes", max as f64);
+    m.det("name_budget.usable", "bytes", usable as f64);
     t.note(&format!(
         "encoding tax: component names {max} -> {usable} usable bytes (paper: 255 -> ~200; \
          'we've never seen a component of even length 40')"
     ));
-    t
+    Report {
+        table: t,
+        metrics: m,
+    }
 }
 
 #[cfg(test)]

@@ -2,9 +2,12 @@
 //! evaluation claim of the Ficus paper (see `EXPERIMENTS.md` at the
 //! repository root for the experiment ↔ paper-claim index).
 //!
-//! Each experiment is a library function returning a [`table::Table`], so
-//! the `exp_*` binaries stay thin and integration tests can assert on the
-//! measured shapes (who wins, by what factor) rather than scraping stdout.
+//! Each experiment is a library function returning a [`report::Report`] —
+//! the rendered [`table::Table`] plus a [`report::Metrics`] set — so the
+//! `exp_*` binaries stay thin, integration tests can assert on the
+//! measured shapes (who wins, by what factor) rather than scraping stdout,
+//! and the `bench-report` binary can serialize the perf trajectory
+//! (`BENCH_<exp>.json`, compared PR-over-PR) without re-running anything.
 
 pub mod e10_lcache;
 pub mod e1_layers;
@@ -16,4 +19,5 @@ pub mod e6_locality;
 pub mod e7_propagation;
 pub mod e8_grafting;
 pub mod e9_nfs_overload;
+pub mod report;
 pub mod table;

@@ -28,8 +28,19 @@ impl Table {
     }
 
     /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row's width does not match the headers — a malformed
+    /// row must fail in the release benches that actually run, not only
+    /// under `debug_assertions`.
     pub fn row(&mut self, cells: Vec<String>) {
-        debug_assert_eq!(cells.len(), self.headers.len());
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "Table::row: malformed row for `{}`",
+            self.title
+        );
         self.rows.push(cells);
     }
 
@@ -40,25 +51,40 @@ impl Table {
 
     /// Finds a cell by row predicate and column header (for test
     /// assertions).
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than one row matches `row_key`: a silent
+    /// first-match would let a shape test assert against the wrong row.
+    /// Tables probed through `cell` must key their rows uniquely.
     #[must_use]
     pub fn cell(&self, row_key: &str, column: &str) -> Option<&str> {
         let col = self.headers.iter().position(|h| h == column)?;
-        self.rows
+        let mut matches = self
+            .rows
             .iter()
-            .find(|r| r.first().is_some_and(|c| c == row_key))
-            .and_then(|r| r.get(col))
-            .map(String::as_str)
+            .filter(|r| r.first().is_some_and(|c| c == row_key));
+        let found = matches.next()?;
+        let extra = matches.count();
+        assert_eq!(
+            extra,
+            0,
+            "Table::cell: ambiguous row key `{row_key}` in `{}` ({} rows match)",
+            self.title,
+            extra + 1
+        );
+        found.get(col).map(String::as_str)
     }
 
-    /// Renders the table as aligned text.
+    /// Renders the table as aligned text. Column widths count `char`s, not
+    /// bytes, so multi-byte cells (`§`, `×`, ...) stay aligned.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        let width_of = |s: &String| s.chars().count();
+        let mut widths: Vec<usize> = self.headers.iter().map(width_of).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
-                if cell.len() > widths[i] {
-                    widths[i] = cell.len();
-                }
+                widths[i] = widths[i].max(width_of(cell));
             }
         }
         let mut out = String::new();
@@ -68,7 +94,7 @@ impl Table {
             let _ = write!(line, "{h:<w$}  ");
         }
         let _ = writeln!(out, "{}", line.trim_end());
-        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().chars().count()));
         for row in &self.rows {
             let mut line = String::new();
             for (c, w) in row.iter().zip(&widths) {
@@ -95,6 +121,18 @@ pub fn ratio(x: f64) -> String {
     format!("{x:.1}x")
 }
 
+/// Formats `num / den` as a ratio, reporting a zero denominator explicitly
+/// instead of fabricating a plausible-looking number from an empty
+/// measurement.
+#[must_use]
+pub fn ratio_of(num: f64, den: f64) -> String {
+    if den == 0.0 {
+        "n/a (zero denominator)".into()
+    } else {
+        ratio(num / den)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +156,58 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(ratio(4.02), "4.0x");
+    }
+
+    #[test]
+    fn ratio_of_reports_a_zero_denominator_instead_of_fabricating() {
+        assert_eq!(ratio_of(5.0, 2.0), "2.5x");
+        assert_eq!(ratio_of(5.0, 0.0), "n/a (zero denominator)");
+        assert_eq!(ratio_of(0.0, 0.0), "n/a (zero denominator)");
+    }
+
+    #[test]
+    #[should_panic(expected = "ambiguous row key")]
+    fn duplicate_row_keys_fail_loudly() {
+        let mut t = Table::new("dups", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["alpha".into(), "2".into()]);
+        let _ = t.cell("alpha", "value");
+    }
+
+    #[test]
+    fn unique_key_lookup_still_works_among_duplicates_of_other_keys() {
+        let mut t = Table::new("dups", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["alpha".into(), "2".into()]);
+        t.row(vec!["beta".into(), "3".into()]);
+        assert_eq!(t.cell("beta", "value"), Some("3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed row")]
+    fn malformed_rows_fail_in_release_too() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn multibyte_cells_align_by_chars_not_bytes() {
+        let mut t = Table::new("unicode", &["§ section", "ratio"]);
+        t.row(vec!["§3.2 ×4".into(), "5.9x".into()]);
+        t.row(vec!["plain".into(), "1.0x".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, separator, and both rows: the second column must start at
+        // the same *character* offset everywhere. Byte-based widths would
+        // shift the rows containing multi-byte `§`/`×` cells.
+        let col2_at = |line: &str, token: &str| {
+            let byte_at = line.find(token).unwrap();
+            line[..byte_at].chars().count()
+        };
+        let header_at = col2_at(lines[1], "ratio");
+        assert_eq!(col2_at(lines[3], "5.9x"), header_at);
+        assert_eq!(col2_at(lines[4], "1.0x"), header_at);
+        // And the separator spans the header's char width exactly.
+        assert_eq!(lines[2].chars().count(), lines[1].chars().count());
     }
 }

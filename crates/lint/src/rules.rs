@@ -61,12 +61,13 @@ const R3_FILES: [&str; 5] = [
 const R2_DIRS: [&str; 3] = ["crates/core/src", "crates/nfs/src", "crates/net/src"];
 
 /// The stats structs whose counters R4 audits.
-const R4_STRUCTS: [&str; 5] = [
+const R4_STRUCTS: [&str; 6] = [
     "LogicalStats",
     "ReconStats",
     "PropagationStats",
     "LcacheStats",
     "NfsClientStats",
+    "Metrics",
 ];
 
 /// Runs every rule over the file set.

@@ -45,11 +45,21 @@ if [[ "${1:-}" == "--quick" ]]; then
 fi
 
 # The root package does not depend on ficus-bench, so the bare release
-# build above skips the exp_* binaries — build the whole workspace before
-# anything regenerates results/ from target/release/.
+# build above skips the exp_* and bench-report binaries — build the whole
+# workspace first; bench-report below then regenerates results/ from
+# target/release/.
 run cargo build --release --workspace
 run cargo test -q --workspace
 run cargo clippy --all-targets -- -D warnings
 run cargo fmt --check
+
+# Perf trajectory (DESIGN.md §4.10): re-run every experiment, regenerate
+# results/exp_*.txt and results/BENCH_*.json, and gate the deterministic
+# metrics against the committed baseline (the very files being rewritten —
+# the baseline is read before the rewrite). Wallclock-class metrics (the
+# E1/E4/E6 drift) are recorded but never compared. A nonzero exit here
+# means a deterministic metric left its tolerance band: either fix the
+# regression or commit the regenerated JSON with an explanation.
+run target/release/bench-report --out results --compare results
 
 echo "verify: OK"
