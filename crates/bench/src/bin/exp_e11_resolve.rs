@@ -1,0 +1,4 @@
+//! e11_resolve: see the corresponding module in ficus-bench for the paper claim.
+fn main() {
+    print!("{}", ficus_bench::e11_resolve::run().render());
+}

@@ -10,6 +10,7 @@
 //! (`BENCH_<exp>.json`, compared PR-over-PR) without re-running anything.
 
 pub mod e10_lcache;
+pub mod e11_resolve;
 pub mod e1_layers;
 pub mod e2_open_io;
 pub mod e3_commit;

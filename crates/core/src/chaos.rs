@@ -34,6 +34,12 @@
 //!   same host last acknowledged writing: the lcache's invalidation sources
 //!   (notes, local updates, daemon adoptions, health transitions) must have
 //!   flushed every stale entry by then.
+//! * **Unattended resolution** (only when a [`ResolutionPolicy`] is armed) —
+//!   after the heal, automatic resolution alone must leave zero pending
+//!   conflicts at every host, with no manual [`Resolution`] applied, and
+//!   every line of the converged shared file must be bytes some client
+//!   actually wrote (policies may merge acknowledged writes; they may not
+//!   fabricate content).
 //!
 //! Everything is deterministic per seed: the campaign RNG, the network loss
 //! RNG, and each host's health jitter RNG are all seeded from
@@ -46,7 +52,7 @@ use rand::{Rng, SeedableRng};
 
 use ficus_net::{HostId, NetworkParams};
 use ficus_vnode::fault::{FaultPlan, Schedule};
-use ficus_vnode::{Credentials, FileSystem, FsError, TimeSource, VnodeType};
+use ficus_vnode::{Credentials, FileSystem, FsError, SetAttr, TimeSource, VnodeType};
 use ficus_vv::VersionVector;
 
 use crate::health::HealthParams;
@@ -54,6 +60,7 @@ use crate::ids::{FicusFileId, ReplicaId, ROOT_FILE};
 use crate::lcache::LcacheParams;
 use crate::logical::LogicalParams;
 use crate::resolve::{self, Resolution};
+use crate::resolver::{ResolutionPolicy, ResolverConfig};
 use crate::sim::{FicusWorld, WorldParams};
 
 /// Campaign shape: how long, how hostile, and from which seed.
@@ -89,6 +96,10 @@ pub struct ChaosParams {
     /// `false` is the coherence-bug control: every invariant must hold
     /// identically with and without caching.
     pub caching: bool,
+    /// Automatic conflict resolution policy, volume-wide. `None` keeps the
+    /// owner in the loop (cleanup applies manual [`Resolution`]s); `Some`
+    /// arms the resolver daemon and the unattended-resolution invariant.
+    pub resolver: Option<ResolutionPolicy>,
 }
 
 impl Default for ChaosParams {
@@ -107,6 +118,7 @@ impl Default for ChaosParams {
             export_fault_prob: 0.2,
             shared_write_prob: 0.3,
             caching: true,
+            resolver: None,
         }
     }
 }
@@ -134,6 +146,19 @@ pub struct ChaosReport {
     pub conflicts_detected: u64,
     /// Owner resolutions applied during cleanup.
     pub resolutions: u64,
+    /// Conflicts the resolver daemon examined (when armed).
+    pub auto_attempted: u64,
+    /// Conflicts the resolver daemon committed a merge for.
+    pub auto_resolved: u64,
+    /// Conflicts the resolver daemon declined (left for the owner).
+    pub auto_declined: u64,
+    /// Bytes written by committed automatic resolutions.
+    pub auto_bytes_merged: u64,
+    /// Conflicts still pending somewhere after cleanup.
+    pub residual_pending: u64,
+    /// RPC round trips spent by the cleanup resolution phase (applying
+    /// resolutions and propagating them to quiescence).
+    pub resolution_rpcs: u64,
     /// Unreachable-peer RPCs charged to daemon passes.
     pub daemon_unreachable_rpcs: u64,
     /// What the backoff schedule admits for that counter.
@@ -189,6 +214,7 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
             ..LogicalParams::default()
         },
         export_faults: true,
+        resolver: params.resolver.map(ResolverConfig::uniform),
         ..WorldParams::default()
     });
     let vol = world.root_volume();
@@ -207,6 +233,9 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
 
     // Acknowledged writes: name -> exact bytes owed to the client.
     let mut expected: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    // Every content a client *attempted* to put in the shared file (plus its
+    // seed): the no-fabricated-bytes invariant allows exactly these lines.
+    let mut shared_attempts: Vec<Vec<u8>> = vec![b"base".to_vec()];
     // Which host acknowledged each unique write (invariant 5 reads it back
     // through that host's caching logical layer).
     let mut acked_by: BTreeMap<String, HostId> = BTreeMap::new();
@@ -284,11 +313,15 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
         if rng.gen_bool(params.shared_write_prob) {
             let h = pick_host(&mut rng);
             let content = format!("s{step}-h{}", h.0).into_bytes();
-            let outcome = world
-                .logical(h)
-                .root()
-                .lookup(&cred, "shared")
-                .and_then(|v| v.write(&cred, 0, &content).map(|_| ()));
+            shared_attempts.push(content.clone());
+            // Write + truncate: the shared file always holds exactly one
+            // attempted content (or a policy merge of attempts), never a
+            // splice of an overwrite over a longer predecessor.
+            let outcome = world.logical(h).root().lookup(&cred, "shared").and_then(|v| {
+                v.write(&cred, 0, &content)?;
+                v.setattr(&cred, &SetAttr::size(content.len() as u64))
+                    .map(|_| ())
+            });
             match outcome {
                 Ok(()) => report.writes_ok += 1,
                 Err(_) => report.writes_failed += 1,
@@ -303,6 +336,18 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
         }
         let recon_host = HostId(1 + (step % params.hosts));
         let _ = world.run_reconciliation(recon_host);
+        if params.resolver.is_some() {
+            // The resolver daemon rides the same cadence as the others:
+            // whatever reconciliation stashed this round gets a resolution
+            // attempt at the replica holding the stash.
+            for h in world.host_ids() {
+                let s = world.run_resolution(h);
+                report.auto_attempted += s.attempted;
+                report.auto_resolved += s.resolved;
+                report.auto_declined += s.declined;
+                report.auto_bytes_merged += s.bytes_merged;
+            }
+        }
         report.daemon_unreachable_rpcs += world.net().stats().rpcs_unreachable - before;
 
         world.clock().advance(params.step_us);
@@ -327,38 +372,80 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
     world.drain_propagation(16);
     world.reconcile_until_quiescent(24);
 
-    // Resolve surviving conflicts one at a time, settling between owner
-    // decisions so resolutions never race each other into fresh conflicts.
-    for _ in 0..64 {
-        let mut target = None;
-        'hosts: for h in world.host_ids() {
-            if let Some(p) = world.phys(h, vol) {
-                if let Ok(list) = resolve::pending(&p) {
-                    if let Some(pc) = list.first() {
-                        target = Some((p, pc.file));
-                        break 'hosts;
+    let rpcs_before_resolution = world.net().stats().rpcs;
+    if params.resolver.is_some() {
+        // Unattended cleanup: alternate resolution passes with propagation
+        // until no host reports a pending conflict. Resolutions dominate
+        // their inputs, so each round strictly shrinks the pending set (the
+        // identical-bytes absorption in recon breaks symmetric-merge ties).
+        for _ in 0..32 {
+            for h in world.host_ids() {
+                let s = world.run_resolution(h);
+                report.auto_attempted += s.attempted;
+                report.auto_resolved += s.resolved;
+                report.auto_declined += s.declined;
+                report.auto_bytes_merged += s.bytes_merged;
+            }
+            world.drain_propagation(16);
+            world.reconcile_until_quiescent(24);
+            if count_pending(&world) == 0 {
+                break;
+            }
+        }
+    } else {
+        // Resolve surviving conflicts one at a time, settling between owner
+        // decisions so resolutions never race each other into fresh
+        // conflicts.
+        for _ in 0..64 {
+            let mut target = None;
+            'hosts: for h in world.host_ids() {
+                if let Some(p) = world.phys(h, vol) {
+                    if let Ok(list) = resolve::pending(&p) {
+                        if let Some(pc) = list.first() {
+                            target = Some((p, pc.file));
+                            break 'hosts;
+                        }
                     }
                 }
             }
+            let Some((p, file)) = target else { break };
+            if resolve::resolve(&p, file, Resolution::Concatenate).is_ok() {
+                report.resolutions += 1;
+            }
+            world.settle();
         }
-        let Some((p, file)) = target else { break };
-        if resolve::resolve(&p, file, Resolution::Concatenate).is_ok() {
-            report.resolutions += 1;
-        }
-        world.settle();
+        world.drain_propagation(16);
+        world.reconcile_until_quiescent(24);
     }
-    world.drain_propagation(16);
-    world.reconcile_until_quiescent(24);
+    report.resolution_rpcs = world.net().stats().rpcs - rpcs_before_resolution;
+    report.residual_pending = count_pending(&world);
     report.daemon_unreachable_rpcs += world.net().stats().rpcs_unreachable - before;
 
     // --- invariants ---------------------------------------------------------
     check_invariants(&world, &expected, &acked_by, streak_resets, &mut report);
+    if params.resolver.is_some() {
+        check_unattended_resolution(&world, &shared_attempts, &mut report);
+    }
     for h in world.host_ids() {
         let s = world.logical(h).stats();
         report.lcache_hits += s.cache_hits;
         report.lcache_invalidations += s.invalidations;
     }
     report
+}
+
+/// Conflicts pending across every host holding the root volume.
+fn count_pending(world: &FicusWorld) -> u64 {
+    let vol = world.root_volume();
+    let mut n = 0u64;
+    for h in world.host_ids() {
+        if let Some(p) = world.phys(h, vol) {
+            if let Ok(list) = resolve::pending(&p) {
+                n += list.len() as u64;
+            }
+        }
+    }
+    n
 }
 
 /// Walks one replica's tree: name -> (file id, version vector, contents).
@@ -562,6 +649,76 @@ fn check_invariants(
     }
 }
 
+/// Invariant 6 — unattended resolution (resolver armed): the campaign must
+/// end with zero pending conflicts everywhere, without a single manual
+/// [`Resolution`], and the converged shared file must be made exclusively of
+/// contents clients actually attempted to write (a policy may pick one or
+/// merge several; it may not invent bytes).
+fn check_unattended_resolution(
+    world: &FicusWorld,
+    shared_attempts: &[Vec<u8>],
+    report: &mut ChaosReport,
+) {
+    let vol = world.root_volume();
+    let mut violate = |msg: String| {
+        if report.violations.len() < 32 {
+            report.violations.push(msg);
+        }
+    };
+
+    if report.resolutions != 0 {
+        violate(format!(
+            "{} manual resolutions applied despite the armed resolver",
+            report.resolutions
+        ));
+    }
+    if report.residual_pending != 0 {
+        violate(format!(
+            "{} conflicts still pending after automatic cleanup",
+            report.residual_pending
+        ));
+    }
+    for h in world.host_ids() {
+        let Some(phys) = world.phys(h, vol) else {
+            continue;
+        };
+        match resolve::pending(&phys) {
+            Ok(list) if list.is_empty() => {}
+            Ok(list) => violate(format!(
+                "host {}: {} conflicts pending after automatic cleanup",
+                h.0,
+                list.len()
+            )),
+            Err(e) => violate(format!("host {}: pending() failed: {e:?}", h.0)),
+        }
+    }
+
+    // No fabricated bytes: every line of the converged shared file is one
+    // attempted content, whole. (Shared writes truncate, so the file is
+    // always one attempt or a policy merge of attempts — never a splice.)
+    let Some(phys) = world.host_ids().first().and_then(|&h| world.phys(h, vol)) else {
+        return;
+    };
+    let Ok(entry) = phys.lookup(ROOT_FILE, "shared") else {
+        violate("shared file missing after cleanup".to_owned());
+        return;
+    };
+    let size = phys.storage_attr(entry.file).map_or(0, |a| a.size) as usize;
+    let Ok(bytes) = phys.read(entry.file, 0, size) else {
+        violate("shared file unreadable after cleanup".to_owned());
+        return;
+    };
+    let body = bytes.strip_suffix(b"\n").unwrap_or(&bytes);
+    for line in body.split(|&b| b == b'\n') {
+        if !shared_attempts.iter().any(|a| a == line) {
+            violate(format!(
+                "shared file holds fabricated line {:?}",
+                String::from_utf8_lossy(line)
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -576,6 +733,23 @@ mod tests {
         assert_eq!(a.writes_failed, b.writes_failed);
         assert_eq!(a.partitions, b.partitions);
         assert_eq!(a.daemon_unreachable_rpcs, b.daemon_unreachable_rpcs);
+    }
+
+    #[test]
+    fn armed_resolver_runs_the_campaign_unattended() {
+        let report = run_campaign(&ChaosParams {
+            resolver: Some(ResolutionPolicy::AppendMerge),
+            steps: 12,
+            ..ChaosParams::default()
+        });
+        assert!(report.passed(), "violations: {:#?}", report.violations);
+        assert_eq!(report.resolutions, 0, "no human stepped in");
+        assert_eq!(report.residual_pending, 0);
+        assert_eq!(
+            report.auto_attempted,
+            report.auto_resolved + report.auto_declined,
+            "every examined conflict is either committed or declined"
+        );
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub enum ConflictKind {
     /// Two live directory entries share one name after a merge (kept, but
     /// noteworthy).
     NameCollision,
+    /// One file ended up with several live entries in the same directory —
+    /// the double name a partitioned rename leaves behind. Reported when
+    /// [`crate::resolver::DirPolicy::collapse_renames`] repairs it.
+    RenameRace,
 }
 
 /// One conflict report.

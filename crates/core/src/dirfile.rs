@@ -103,10 +103,25 @@ pub struct MergeOutcome {
     /// Tombstones purged by two-phase GC during this merge.
     pub purged: Vec<EntryId>,
     /// Tombstones newly applied whose files must be checked for
-    /// remove/update conflicts: `(entry, file, file vv at deletion)`.
-    pub suspects: Vec<(EntryId, FicusFileId, VersionVector)>,
+    /// remove/update conflicts.
+    pub suspects: Vec<Suspect>,
     /// Whether the local directory changed at all (entries or knowledge).
     pub changed: bool,
+}
+
+/// A tombstone this merge applied whose file may hold updates the deleter
+/// never saw. The name is captured here because the tombstone itself may be
+/// purged by two-phase GC within the same merge pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suspect {
+    /// The tombstoned entry.
+    pub entry: EntryId,
+    /// The name the entry bore.
+    pub name: String,
+    /// The file it pointed at.
+    pub file: FicusFileId,
+    /// The file's version vector as recorded at deletion time.
+    pub deleted_vv: VersionVector,
 }
 
 /// Per-replica event knowledge: `row[r]` = highest event sequence originated
@@ -290,7 +305,12 @@ impl FicusDir {
                             continue; // processed (and purged) here before
                         }
                         out.tombstoned.push(r.id);
-                        out.suspects.push((r.id, r.file, r.deleted_file_vv.clone()));
+                        out.suspects.push(Suspect {
+                            entry: r.id,
+                            name: r.name.clone(),
+                            file: r.file,
+                            deleted_vv: r.deleted_file_vv.clone(),
+                        });
                         self.entries.push(r.clone());
                         out.changed = true;
                     } else {
@@ -305,7 +325,12 @@ impl FicusDir {
                         l.death = Some(death);
                         l.deleted_file_vv = r.deleted_file_vv.clone();
                         out.tombstoned.push(r.id);
-                        out.suspects.push((r.id, r.file, r.deleted_file_vv.clone()));
+                        out.suspects.push(Suspect {
+                            entry: r.id,
+                            name: r.name.clone(),
+                            file: r.file,
+                            deleted_vv: r.deleted_file_vv.clone(),
+                        });
                         out.changed = true;
                     }
                 }

@@ -41,6 +41,9 @@
 //! * [`conflict`] — conflict log and reports to the owner.
 //! * [`resolve`] — the owner's resolution tool: keep-local, take-remote,
 //!   or concatenate-with-markers; resolutions dominate and propagate.
+//! * [`resolver`] — automatic conflict resolution policies (last-writer-
+//!   wins, append-only log merge, set-like merge) run by the daemons at the
+//!   stashing replica, plus the opt-in directory-race policies.
 //! * [`lcache`] — the notification-invalidated logical-layer cache:
 //!   version-vector/attribute, name-translation, and pinned-selection
 //!   tables, kept coherent by update notes, local updates, and peer-health
@@ -65,6 +68,7 @@ pub mod phys;
 pub mod propagate;
 pub mod recon;
 pub mod resolve;
+pub mod resolver;
 pub mod sim;
 pub mod volume;
 

@@ -32,7 +32,7 @@
 //! (see [`vnode`]), including the overloaded-lookup control plane of §2.3,
 //! so a remote logical layer reaches it through NFS unmodified.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
@@ -49,6 +49,7 @@ use crate::attrs::ReplAttrs;
 use crate::conflict::{ConflictKind, ConflictLog};
 use crate::dirfile::{FicusDir, FicusEntry, MergeOutcome};
 use crate::ids::{EntryId, FicusFileId, ReplicaId, VolumeName, ROOT_FILE};
+use crate::resolver::DirPolicy;
 
 pub mod vnode;
 
@@ -70,6 +71,8 @@ pub struct PhysParams {
     pub layout: StorageLayout,
     /// fsid reported by the exported vnode stack.
     pub fsid: u64,
+    /// Directory-race handling beyond the paper's automatic entry merge.
+    pub dir_policy: DirPolicy,
 }
 
 impl Default for PhysParams {
@@ -77,6 +80,7 @@ impl Default for PhysParams {
         PhysParams {
             layout: StorageLayout::Tree,
             fsid: 0x1C05,
+            dir_policy: DirPolicy::default(),
         }
     }
 }
@@ -115,6 +119,7 @@ pub struct FicusPhysical {
     layout: StorageLayout,
     clock: Arc<dyn TimeSource>,
     fsid: u64,
+    dir_policy: DirPolicy,
     cred: Credentials,
     big: ReentrantMutex<()>,
     index: Mutex<HashMap<FicusFileId, Loc>>,
@@ -207,6 +212,7 @@ impl FicusPhysical {
             layout: params.layout,
             clock,
             fsid: params.fsid,
+            dir_policy: params.dir_policy,
             cred: Credentials::root(),
             big: ReentrantMutex::new(()),
             index: Mutex::new(HashMap::new()),
@@ -941,7 +947,55 @@ impl FicusPhysical {
         loc.parent_ufs
             .rename(&self.cred, &shadow_name, &peer, &file.hex())?;
         attrs.vv.merge(new_vv);
+        // A version that dominates a stashed divergence is its resolution
+        // arriving from elsewhere: the stash is obsolete.
+        self.gc_covered_stashes(file, &mut attrs)?;
         self.write_repl_attrs(file, &attrs)?;
+        Ok(())
+    }
+
+    /// Joins `remote_vv` into a file whose remote content proved
+    /// byte-identical to the local content — a false conflict in the §3.3
+    /// sense (same bytes, divergent histories), so the histories merge with
+    /// no new update and no owner involvement. Symmetric automatic
+    /// resolutions converge through this path instead of re-conflicting.
+    pub fn absorb_identical_version(
+        &self,
+        file: FicusFileId,
+        remote_vv: &VersionVector,
+    ) -> FsResult<()> {
+        let _g = self.big.lock();
+        let mut attrs = self.repl_attrs(file)?;
+        attrs.vv.merge(remote_vv);
+        self.gc_covered_stashes(file, &mut attrs)?;
+        self.write_repl_attrs(file, &attrs)
+    }
+
+    /// Discards stashed conflict siblings whose reported histories the
+    /// file's vector now covers (a dominating resolution arrived), clearing
+    /// the conflict flag when no stash remains pending. A stash with no
+    /// recorded history is never discarded — only positively-covered
+    /// divergences are obsolete.
+    fn gc_covered_stashes(&self, file: FicusFileId, attrs: &mut ReplAttrs) -> FsResult<()> {
+        if !attrs.conflict {
+            return Ok(());
+        }
+        let reports = self.conflicts.for_file(file);
+        let mut remaining = 0usize;
+        for origin in self.conflict_versions(file)? {
+            let mut stash_vv = VersionVector::new();
+            for r in reports.iter().filter(|r| r.other == origin) {
+                stash_vv.merge(&r.vv);
+            }
+            if !stash_vv.is_empty() && attrs.vv.covers(&stash_vv) {
+                self.discard_conflict_version(file, origin)?;
+            } else {
+                remaining += 1;
+            }
+        }
+        if remaining == 0 {
+            attrs.conflict = false;
+        }
         Ok(())
     }
 
@@ -1280,8 +1334,15 @@ impl FicusPhysical {
         let _g = self.big.lock();
         let mut d = self.dir_entries(dir)?;
         let all = self.all_replicas();
-        let out = d.merge_from(remote_entries, remote_replica, self.me, &all);
-        if out.changed {
+        let mut out = d.merge_from(remote_entries, remote_replica, self.me, &all);
+        // Partitioned-rename repair (opt-in): a rename is tombstone + fresh
+        // entry, so two partitions renaming one file leave two live entries
+        // for it after the merge. Collapse to the lowest entry id.
+        let mut policy_changed = false;
+        if self.dir_policy.collapse_renames {
+            policy_changed = self.collapse_rename_aliases(&mut d, remote_replica)?;
+        }
+        if out.changed || policy_changed {
             self.store_dir_entries(dir, &d)?;
         }
         let mut attrs = self.repl_attrs(dir)?;
@@ -1311,38 +1372,118 @@ impl FicusPhysical {
             }
         }
         // Handle files whose entries this merge tombstoned.
-        for (_entry_id, file, deleted_vv) in &out.suspects {
-            if self.has_live_reference(*file)? {
+        let mut resurrected = false;
+        for suspect in &out.suspects {
+            let file = suspect.file;
+            if self.has_live_reference(file)? {
                 continue;
             }
-            match self.file_vv(*file) {
+            match self.file_vv(file) {
                 Ok(local_vv) => {
-                    if deleted_vv.covers(&local_vv) {
+                    if suspect.deleted_vv.covers(&local_vv) {
                         let kind = self
-                            .repl_attrs(*file)
+                            .repl_attrs(file)
                             .map(|a| a.kind)
                             .unwrap_or(VnodeType::Regular);
-                        self.gc_file_storage(*file, kind)?;
+                        self.gc_file_storage(file, kind)?;
                     } else {
                         // Local updates the deleter never saw: the
                         // remove/update conflict. Preserve and report.
                         self.conflicts.report(
                             self.vol,
-                            *file,
+                            file,
                             ConflictKind::RemoveUpdate,
                             self.me,
                             self.me,
                             local_vv,
                             self.clock.now(),
                         );
-                        self.orphan_file(*file)?;
+                        if self.dir_policy.resurrect_updates
+                            && self.resurrect_entry(&mut d, &suspect.name, file)?
+                        {
+                            resurrected = true;
+                        } else {
+                            self.orphan_file(file)?;
+                        }
                     }
                 }
                 Err(FsError::NotFound) => {}
                 Err(e) => return Err(e),
             }
         }
+        if resurrected {
+            self.store_dir_entries(dir, &d)?;
+            out.changed = true;
+        }
+        if policy_changed || resurrected {
+            // Policy edits are local updates to the directory: bump so the
+            // repaired entry set propagates like any other change.
+            self.bump_vv(dir)?;
+        }
         Ok(out)
+    }
+
+    /// Tombstones all but the lowest-id live entry for any file with several
+    /// live entries in this directory, reporting a
+    /// [`ConflictKind::RenameRace`] once per file. Returns whether anything
+    /// changed.
+    fn collapse_rename_aliases(&self, d: &mut FicusDir, other: ReplicaId) -> FsResult<bool> {
+        let mut by_file: BTreeMap<FicusFileId, Vec<EntryId>> = BTreeMap::new();
+        for e in d.live() {
+            by_file.entry(e.file).or_default().push(e.id);
+        }
+        let mut changed = false;
+        for (file, mut ids) in by_file {
+            if ids.len() < 2 {
+                continue;
+            }
+            ids.sort();
+            let file_vv = self.file_vv(file).unwrap_or_default();
+            for loser in &ids[1..] {
+                let death = EntryId::new(self.me.0, self.next_unique()?);
+                d.tombstone(*loser, &file_vv, death, self.me)?;
+                changed = true;
+            }
+            let already = self
+                .conflicts
+                .for_file(file)
+                .iter()
+                .any(|r| r.kind == ConflictKind::RenameRace);
+            if !already {
+                self.conflicts.report(
+                    self.vol,
+                    file,
+                    ConflictKind::RenameRace,
+                    self.me,
+                    other,
+                    file_vv,
+                    self.clock.now(),
+                );
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Re-links a remove/update survivor into the directory instead of the
+    /// orphanage: under its tombstoned name when that name is free again,
+    /// else `<name>.recovered`. Returns false (caller orphans) when both
+    /// names are taken or the file's attributes are gone.
+    fn resurrect_entry(&self, d: &mut FicusDir, base: &str, file: FicusFileId) -> FsResult<bool> {
+        let Ok(attrs) = self.repl_attrs(file) else {
+            return Ok(false);
+        };
+        let name = if d.primary(base).is_none() {
+            base.to_owned()
+        } else {
+            let alt = format!("{base}.recovered");
+            if d.primary(&alt).is_some() {
+                return Ok(false);
+            }
+            alt
+        };
+        let id = EntryId::new(self.me.0, self.next_unique()?);
+        d.insert(FicusEntry::live(&name, file, attrs.kind, id), self.me)?;
+        Ok(true)
     }
 
     // --- recovery ------------------------------------------------------------------------

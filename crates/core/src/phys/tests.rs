@@ -575,3 +575,223 @@ fn flat_and_tree_layouts_equivalent_semantics() {
         assert_eq!(phys.read(f, 0, 1).unwrap_err(), FsError::NotFound);
     }
 }
+
+// --- directory-race policies and covered-stash GC -------------------------
+
+fn fresh_with_policy(dir_policy: crate::resolver::DirPolicy) -> Arc<FicusPhysical> {
+    let disk = Disk::new(Geometry::medium());
+    let ufs = Ufs::format(disk, UfsParams::default()).unwrap();
+    FicusPhysical::create_volume(
+        Arc::new(ufs),
+        "vol_a",
+        VolumeName::new(1, 1),
+        ReplicaId(1),
+        &[1, 2],
+        clock(),
+        PhysParams {
+            dir_policy,
+            ..PhysParams::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn resurrect_policy_relinks_a_remove_update_survivor() {
+    let a = fresh_with_policy(crate::resolver::DirPolicy {
+        resurrect_updates: true,
+        collapse_renames: false,
+    });
+    let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"v1").unwrap();
+    let mut remote = a.dir_entries(ROOT_FILE).unwrap();
+    let entry_id = remote.entries[0].id;
+    let vv_at_delete = a.file_vv(f).unwrap();
+    remote
+        .tombstone(
+            entry_id,
+            &vv_at_delete,
+            crate::ids::EntryId::new(2, 999),
+            ReplicaId(2),
+        )
+        .unwrap();
+    a.write(f, 0, b"v2 unseen by deleter").unwrap();
+
+    let out = a
+        .merge_dir(ROOT_FILE, &remote, ReplicaId(2), &VersionVector::single(2))
+        .unwrap();
+    assert_eq!(out.tombstoned.len(), 1);
+    // Still reported — the policy changes disposal, not detection.
+    assert_eq!(a.conflicts().count_kind(ConflictKind::RemoveUpdate), 1);
+    // But the survivor is back in the name space, not the orphanage.
+    assert_eq!(a.orphans().unwrap(), vec![]);
+    let e = a.lookup(ROOT_FILE, "f").unwrap();
+    assert_eq!(e.file, f, "re-linked under its old name");
+    assert_eq!(&a.read(f, 0, 32).unwrap()[..], b"v2 unseen by deleter");
+}
+
+#[test]
+fn resurrect_policy_uses_recovered_suffix_when_the_name_was_retaken() {
+    let a = fresh_with_policy(crate::resolver::DirPolicy {
+        resurrect_updates: true,
+        collapse_renames: false,
+    });
+    let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"old").unwrap();
+    let mut remote = a.dir_entries(ROOT_FILE).unwrap();
+    let entry_id = remote.entries[0].id;
+    let vv_at_delete = a.file_vv(f).unwrap();
+    remote
+        .tombstone(
+            entry_id,
+            &vv_at_delete,
+            crate::ids::EntryId::new(2, 999),
+            ReplicaId(2),
+        )
+        .unwrap();
+    // The deleter then created a NEW file under the same name.
+    let g = FicusFileId::new(2, 77);
+    remote
+        .insert(
+            crate::dirfile::FicusEntry::live(
+                "f",
+                g,
+                VnodeType::Regular,
+                crate::ids::EntryId::new(2, 1000),
+            ),
+            ReplicaId(2),
+        )
+        .unwrap();
+    a.write(f, 0, b"updated meanwhile").unwrap();
+
+    a.merge_dir(ROOT_FILE, &remote, ReplicaId(2), &VersionVector::single(2))
+        .unwrap();
+    assert_eq!(a.lookup(ROOT_FILE, "f").unwrap().file, g, "new file keeps the name");
+    let e = a.lookup(ROOT_FILE, "f.recovered").unwrap();
+    assert_eq!(e.file, f, "survivor re-linked under <name>.recovered");
+    assert_eq!(a.orphans().unwrap(), vec![]);
+}
+
+#[test]
+fn collapse_policy_repairs_a_partitioned_rename() {
+    // Both replicas renamed "orig" concurrently: after the merge the file
+    // has two live entries. The policy keeps the lowest entry id.
+    let a = fresh_with_policy(crate::resolver::DirPolicy {
+        resurrect_updates: false,
+        collapse_renames: true,
+    });
+    let f = a.create(ROOT_FILE, "orig", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"content").unwrap();
+    // Remote view: "orig" tombstoned, re-inserted as "theirs".
+    let mut remote = a.dir_entries(ROOT_FILE).unwrap();
+    let entry_id = remote.entries[0].id;
+    let vv = a.file_vv(f).unwrap();
+    remote
+        .tombstone(entry_id, &vv, crate::ids::EntryId::new(2, 999), ReplicaId(2))
+        .unwrap();
+    remote
+        .insert(
+            crate::dirfile::FicusEntry::live(
+                "theirs",
+                f,
+                VnodeType::Regular,
+                crate::ids::EntryId::new(2, 1000),
+            ),
+            ReplicaId(2),
+        )
+        .unwrap();
+    // Local renamed it too.
+    a.rename(ROOT_FILE, "orig", ROOT_FILE, "mine").unwrap();
+    let mine_id = a.lookup(ROOT_FILE, "mine").unwrap().id;
+    let theirs_id = crate::ids::EntryId::new(2, 1000);
+
+    a.merge_dir(ROOT_FILE, &remote, ReplicaId(2), &VersionVector::single(2))
+        .unwrap();
+    let d = a.dir_entries(ROOT_FILE).unwrap();
+    let live: Vec<_> = d.live().filter(|e| e.file == f).collect();
+    assert_eq!(live.len(), 1, "exactly one winner");
+    let winner = std::cmp::min(mine_id, theirs_id);
+    assert_eq!(live[0].id, winner, "lowest entry id wins");
+    assert_eq!(a.conflicts().count_kind(ConflictKind::RenameRace), 1);
+    // Idempotent: merging the same remote view again changes nothing more.
+    a.merge_dir(ROOT_FILE, &remote, ReplicaId(2), &VersionVector::single(2))
+        .unwrap();
+    assert_eq!(a.conflicts().count_kind(ConflictKind::RenameRace), 1);
+    assert_eq!(
+        a.dir_entries(ROOT_FILE)
+            .unwrap()
+            .live()
+            .filter(|e| e.file == f)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn default_policy_leaves_rename_aliases_alone() {
+    // Without the policy the merge keeps both names (a legal hard link).
+    let a = tree();
+    let f = a.create(ROOT_FILE, "orig", VnodeType::Regular).unwrap();
+    let mut remote = a.dir_entries(ROOT_FILE).unwrap();
+    let entry_id = remote.entries[0].id;
+    let vv = a.file_vv(f).unwrap();
+    remote
+        .tombstone(entry_id, &vv, crate::ids::EntryId::new(2, 999), ReplicaId(2))
+        .unwrap();
+    remote
+        .insert(
+            crate::dirfile::FicusEntry::live(
+                "theirs",
+                f,
+                VnodeType::Regular,
+                crate::ids::EntryId::new(2, 1000),
+            ),
+            ReplicaId(2),
+        )
+        .unwrap();
+    a.rename(ROOT_FILE, "orig", ROOT_FILE, "mine").unwrap();
+    a.merge_dir(ROOT_FILE, &remote, ReplicaId(2), &VersionVector::single(2))
+        .unwrap();
+    let d = a.dir_entries(ROOT_FILE).unwrap();
+    assert_eq!(d.live().filter(|e| e.file == f).count(), 2);
+    assert_eq!(a.conflicts().count_kind(ConflictKind::RenameRace), 0);
+}
+
+#[test]
+fn a_dominating_version_sweeps_covered_stashes() {
+    // A stashed divergence whose history the file's vector later covers is
+    // an already-resolved conflict arriving from elsewhere: stash discarded,
+    // flag cleared.
+    let phys = tree();
+    let f = phys.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    phys.write(f, 0, b"ours").unwrap();
+    let mut their_vv = VersionVector::single(2);
+    phys.stash_conflict_version(f, ReplicaId(2), &their_vv, b"theirs")
+        .unwrap();
+    assert!(phys.repl_attrs(f).unwrap().conflict);
+    assert_eq!(phys.conflict_versions(f).unwrap(), vec![ReplicaId(2)]);
+    // A resolution made elsewhere: joins both histories + a fresh update.
+    let mut resolved_vv = phys.file_vv(f).unwrap();
+    resolved_vv.merge(&their_vv);
+    resolved_vv.increment(2);
+    their_vv = resolved_vv.clone();
+    phys.apply_remote_version(f, &their_vv, b"resolved").unwrap();
+    assert_eq!(&phys.read(f, 0, 16).unwrap()[..], b"resolved");
+    assert!(!phys.repl_attrs(f).unwrap().conflict, "conflict swept");
+    assert_eq!(phys.conflict_versions(f).unwrap(), vec![]);
+}
+
+#[test]
+fn absorb_identical_version_joins_histories_without_an_update() {
+    let phys = tree();
+    let f = phys.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    phys.write(f, 0, b"same bytes").unwrap();
+    let mine = phys.file_vv(f).unwrap();
+    let theirs = VersionVector::single(2);
+    assert!(mine.concurrent_with(&theirs));
+    phys.absorb_identical_version(f, &theirs).unwrap();
+    let joined = phys.file_vv(f).unwrap();
+    assert!(joined.covers(&mine) && joined.covers(&theirs));
+    assert_eq!(joined.total(), mine.total() + theirs.total(), "no new update added");
+    assert_eq!(&phys.read(f, 0, 16).unwrap()[..], b"same bytes");
+}

@@ -126,6 +126,10 @@ pub struct PropagationStats {
     pub rpcs_saved: u64,
     /// File data bytes pulled from origins.
     pub bytes_fetched: u64,
+    /// Concurrent versions whose fetched bytes matched the local content —
+    /// false conflicts whose vectors were joined in place instead of
+    /// stashing (see [`crate::recon::ReconStats::identical_merges`]).
+    pub identical_merges: u64,
 }
 
 impl PropagationStats {
@@ -145,6 +149,7 @@ impl PropagationStats {
         self.rpcs_avoided += other.rpcs_avoided;
         self.rpcs_saved += other.rpcs_saved;
         self.bytes_fetched += other.bytes_fetched;
+        self.identical_merges += other.identical_merges;
     }
 }
 
@@ -351,11 +356,13 @@ fn propagate_one(
         stats.conflicts += out.update_conflicts;
         stats.rpcs_saved += out.rpcs_saved;
         stats.bytes_fetched += out.bytes_fetched;
+        stats.identical_merges += out.identical_merges;
         if let Some(lc) = lcache {
             if out.files_pulled
                 + out.entries_inserted
                 + out.entries_tombstoned
                 + out.update_conflicts
+                + out.identical_merges
                 > 0
             {
                 // The step may have touched files we can't enumerate here
@@ -393,6 +400,17 @@ fn propagate_one(
         }
         let data = access.fetch_data(file)?;
         stats.bytes_fetched += data.len() as u64;
+        let size = phys.storage_attr(file)?.size as usize;
+        if phys.read(file, 0, size)?[..] == data[..] {
+            // Same bytes under divergent histories — a false conflict:
+            // join the vectors in place, nothing to stash or report.
+            phys.absorb_identical_version(file, &remote_attrs.vv)?;
+            stats.identical_merges += 1;
+            if let Some(lc) = lcache {
+                lc.invalidate_file(phys.volume(), file);
+            }
+            return Ok(());
+        }
         phys.stash_conflict_version(file, access.replica(), &remote_attrs.vv, &data)?;
         stats.conflicts += 1;
         if let Some(lc) = lcache {

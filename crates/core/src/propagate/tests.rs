@@ -210,6 +210,29 @@ fn concurrent_pull_becomes_conflict() {
 }
 
 #[test]
+fn concurrent_identical_bytes_are_absorbed_not_stashed() {
+    let clock = SimClock::new();
+    let a = mk_replica(1, &clock);
+    let b = mk_replica(2, &clock);
+    let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"base").unwrap();
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+    // Diverged histories, same bytes — the false conflict.
+    a.write(f, 0, b"same").unwrap();
+    b.write(f, 0, b"same").unwrap();
+    b.note_new_version(f, ReplicaId(1), VersionVector::new());
+    let stats = run_propagation(&b, PropagationPolicy::Immediate, connect_to(&a)).unwrap();
+    assert_eq!(stats.identical_merges, 1);
+    assert_eq!(stats.conflicts, 0);
+    let attrs = b.repl_attrs(f).unwrap();
+    assert!(!attrs.conflict, "no conflict flagged");
+    assert!(
+        attrs.vv.covers(&a.file_vv(f).unwrap()),
+        "histories joined in place"
+    );
+}
+
+#[test]
 fn directory_note_triggers_reconciliation_step() {
     let clock = SimClock::new();
     let a = mk_replica(1, &clock);

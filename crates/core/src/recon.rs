@@ -70,6 +70,11 @@ pub struct ReconStats {
     /// backoff and try again rather than declare convergence; once the
     /// peer is `Down` its failures stop counting here.
     pub peers_failed: u64,
+    /// Concurrent versions whose fetched bytes matched the local content
+    /// exactly — false conflicts (same data, divergent histories): the
+    /// vectors were joined in place instead of stashing a copy. Symmetric
+    /// automatic resolutions converge through this counter.
+    pub identical_merges: u64,
 }
 
 impl ReconStats {
@@ -87,6 +92,7 @@ impl ReconStats {
         self.peers_skipped += other.peers_skipped;
         self.rpcs_avoided += other.rpcs_avoided;
         self.peers_failed += other.peers_failed;
+        self.identical_merges += other.identical_merges;
     }
 
     /// Whether the pass changed nothing (used to detect convergence).
@@ -102,6 +108,7 @@ impl ReconStats {
             && self.tombstones_purged == 0
             && self.files_pulled == 0
             && self.update_conflicts == 0
+            && self.identical_merges == 0
     }
 }
 
@@ -155,6 +162,14 @@ pub fn reconcile_file_with_attrs(
         }
         let data = remote.fetch_data(file)?;
         stats.bytes_fetched += data.len() as u64;
+        let size = local.storage_attr(file)?.size as usize;
+        if local.read(file, 0, size)?[..] == data[..] {
+            // Same bytes under divergent histories — a false conflict:
+            // join the vectors in place, nothing to stash or report.
+            local.absorb_identical_version(file, &remote_attrs.vv)?;
+            stats.identical_merges += 1;
+            return Ok(());
+        }
         local.stash_conflict_version(file, remote.replica(), &remote_attrs.vv, &data)?;
         stats.update_conflicts += 1;
         return Ok(());

@@ -51,9 +51,12 @@ pub fn pending(phys: &FicusPhysical) -> FsResult<Vec<PendingConflict>> {
         if !attrs.conflict {
             continue; // already resolved
         }
+        let Ok(versions) = phys.conflict_versions(report.file) else {
+            continue; // stash storage unreadable: skip, don't abort the list
+        };
         out.push(PendingConflict {
             file: report.file,
-            versions: phys.conflict_versions(report.file)?,
+            versions,
         });
     }
     Ok(out)
@@ -220,5 +223,71 @@ mod tests {
             resolve(&a, f, Resolution::TakeRemote(ReplicaId(9))).unwrap_err(),
             FsError::NotFound
         );
+    }
+
+    // Daemon-reachable error paths (automatic resolution can race with
+    // removals, prior resolutions, and stash discards): clean errors, never
+    // a panic.
+
+    #[test]
+    fn take_remote_with_no_stash_left_is_notfound() {
+        let (a, _b, f) = conflicted();
+        a.discard_conflict_version(f, ReplicaId(2)).unwrap();
+        assert_eq!(
+            resolve(&a, f, Resolution::TakeRemote(ReplicaId(2))).unwrap_err(),
+            FsError::NotFound
+        );
+        assert!(a.repl_attrs(f).unwrap().conflict, "flag untouched");
+    }
+
+    #[test]
+    fn keep_local_with_an_empty_version_set_still_resolves() {
+        let (a, _b, f) = conflicted();
+        a.discard_conflict_version(f, ReplicaId(2)).unwrap();
+        let p = pending(&a).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].versions, vec![], "flagged but nothing stashed");
+        resolve(&a, f, Resolution::KeepLocal).unwrap();
+        assert!(!a.repl_attrs(f).unwrap().conflict);
+        assert!(pending(&a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn resolving_twice_is_invalid() {
+        let (a, _b, f) = conflicted();
+        resolve(&a, f, Resolution::KeepLocal).unwrap();
+        assert_eq!(
+            resolve(&a, f, Resolution::KeepLocal).unwrap_err(),
+            FsError::Invalid
+        );
+    }
+
+    #[test]
+    fn resolving_a_since_deleted_file_is_notfound() {
+        let (a, _b, f) = conflicted();
+        a.remove(ROOT_FILE, "f").unwrap();
+        assert_eq!(
+            resolve(&a, f, Resolution::KeepLocal).unwrap_err(),
+            FsError::NotFound
+        );
+    }
+
+    #[test]
+    fn pending_skips_a_removed_file_without_aborting_the_list() {
+        let (a, b, _f) = conflicted();
+        // A second conflicted file alongside the first.
+        let g = a.create(ROOT_FILE, "g", VnodeType::Regular).unwrap();
+        a.write(g, 0, b"base").unwrap();
+        reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+        a.write(g, 0, b"GG").unwrap();
+        b.write(g, 0, b"HH").unwrap();
+        let mut stats = ReconStats::default();
+        reconcile_file(&a, &LocalAccess::new(Arc::clone(&b)), g, &mut stats).unwrap();
+        assert_eq!(stats.update_conflicts, 1);
+        assert_eq!(pending(&a).unwrap().len(), 2);
+        a.remove(ROOT_FILE, "f").unwrap();
+        let p = pending(&a).unwrap();
+        assert_eq!(p.len(), 1, "the removed file is skipped, not fatal");
+        assert_eq!(p[0].file, g);
     }
 }

@@ -1,0 +1,426 @@
+//! Automatic conflict resolution policies (the other half of §1's story).
+//!
+//! The paper resolves directory conflicts automatically but only *reports*
+//! regular-file conflicts to the owner. This module closes that gap with
+//! pluggable resolvers over [`crate::resolve`], grounded in the CRDT
+//! observation (Ahmed-Nacer et al., *File system on CRDT*, 2012) that a
+//! merge function which is a **deterministic, order-independent function of
+//! the divergent version set** lets every replica resolve unattended and
+//! still converge:
+//!
+//! * [`ResolutionPolicy::LastWriterWins`] — keep the version with the most
+//!   recorded updates (version-vector total as the update-time proxy),
+//!   breaking ties toward the lowest replica id. Never declines.
+//! * [`ResolutionPolicy::AppendMerge`] — append-only log merge: the common
+//!   line prefix once, then every version's divergent suffix, in replica-id
+//!   order. Both suffixes survive. Declines binary content.
+//! * [`ResolutionPolicy::SetMerge`] — set-like merge: the order-independent
+//!   union of the non-empty lines of every version, sorted. Declines binary
+//!   content.
+//!
+//! [`auto_resolve`] is the daemon entry point: it runs at the
+//! conflict-stashing replica (where the divergent versions already sit as
+//! `.c<replica>` siblings), merges, and commits through
+//! [`FicusPhysical::resolve_conflict`] so the resolution dominates every
+//! input vector and propagates like any update. Two replicas resolving the
+//! same divergence concurrently produce byte-identical content whose
+//! vectors the identical-version merge in `recon`/`propagate` then joins —
+//! no livelock, no human step.
+//!
+//! [`DirPolicy`] extends the same idea to the directory races the paper's
+//! algorithm leaves to the owner: resurrecting remove/update survivors into
+//! the name space instead of the orphanage, and collapsing the double name
+//! a partitioned rename leaves behind.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ficus_vnode::FsResult;
+use ficus_vv::VersionVector;
+
+use crate::ids::{FicusFileId, ReplicaId};
+use crate::lcache::Lcache;
+use crate::phys::FicusPhysical;
+use crate::resolve::{self, PendingConflict};
+
+/// One divergent version of a conflicted file, as a resolver sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictVersion {
+    /// Replica whose update produced this version (the local replica for
+    /// the locally stored content, the stash origin for a `.c` sibling).
+    pub origin: ReplicaId,
+    /// The version's recorded history.
+    pub vv: VersionVector,
+    /// The version's bytes.
+    pub data: Vec<u8>,
+}
+
+/// A conflict-resolution policy: a pure function of the divergent version
+/// set.
+///
+/// Implementations must be deterministic and order-independent (any
+/// permutation of `versions` yields the same bytes) — that is what lets
+/// every replica run them unattended and still converge.
+pub trait Resolver {
+    /// Merges the divergent versions into one content, or `None` to decline
+    /// (leave the conflict for the owner).
+    fn merge(&self, versions: &[ConflictVersion]) -> Option<Vec<u8>>;
+}
+
+/// The named policies, selectable per file or per volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ResolutionPolicy {
+    /// Keep the version with the largest version-vector total; ties go to
+    /// the lowest replica id.
+    LastWriterWins,
+    /// Append-only log merge: common line prefix + every divergent suffix.
+    AppendMerge,
+    /// Set-like merge: sorted union of every version's non-empty lines.
+    SetMerge,
+}
+
+impl ResolutionPolicy {
+    /// Every policy, in a fixed order (campaign sweeps iterate this).
+    pub const ALL: [ResolutionPolicy; 3] = [
+        ResolutionPolicy::LastWriterWins,
+        ResolutionPolicy::AppendMerge,
+        ResolutionPolicy::SetMerge,
+    ];
+
+    /// The policy's canonical name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ResolutionPolicy::LastWriterWins => "lww",
+            ResolutionPolicy::AppendMerge => "append",
+            ResolutionPolicy::SetMerge => "set",
+        }
+    }
+
+    /// Parses a policy name (canonical or long form).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "lww" | "last-writer-wins" => Some(ResolutionPolicy::LastWriterWins),
+            "append" | "append-merge" => Some(ResolutionPolicy::AppendMerge),
+            "set" | "set-merge" => Some(ResolutionPolicy::SetMerge),
+            _ => None,
+        }
+    }
+
+    /// The policy's resolver implementation.
+    #[must_use]
+    pub fn resolver(self) -> &'static dyn Resolver {
+        match self {
+            ResolutionPolicy::LastWriterWins => &LastWriterWins,
+            ResolutionPolicy::AppendMerge => &AppendMerge,
+            ResolutionPolicy::SetMerge => &SetMerge,
+        }
+    }
+}
+
+/// Last-writer-wins: the version with the most recorded updates is "the
+/// last writer" (version vectors are the paper's only update-time source —
+/// [`crate::attrs::ReplAttrs`] carries no modification time), with the
+/// lowest origin id as the deterministic tie-break. Never declines.
+pub struct LastWriterWins;
+
+impl Resolver for LastWriterWins {
+    fn merge(&self, versions: &[ConflictVersion]) -> Option<Vec<u8>> {
+        versions
+            .iter()
+            .max_by_key(|v| (v.vv.total(), std::cmp::Reverse(v.origin)))
+            .map(|v| v.data.clone())
+    }
+}
+
+/// Append-only log merge: the longest common line prefix appears once, then
+/// each version's divergent suffix in origin order — "preserving both
+/// suffixes". Two partitions appending the same line each keep their copy
+/// (a log's duplicates are content, not noise). Declines binary content
+/// (any NUL byte).
+pub struct AppendMerge;
+
+impl Resolver for AppendMerge {
+    fn merge(&self, versions: &[ConflictVersion]) -> Option<Vec<u8>> {
+        if versions.len() < 2 || has_binary(versions) {
+            return None;
+        }
+        let ordered = by_origin(versions);
+        let split: Vec<Vec<&[u8]>> = ordered.iter().map(|v| lines(&v.data)).collect();
+        let first = split.first()?;
+        // Longest line prefix common to every version.
+        let mut common = 0;
+        'scan: while common < first.len() {
+            for s in &split[1..] {
+                if s.get(common) != first.get(common) {
+                    break 'scan;
+                }
+            }
+            common += 1;
+        }
+        let mut out: Vec<&[u8]> = first[..common].to_vec();
+        for s in &split {
+            out.extend_from_slice(&s[common..]);
+        }
+        Some(join_lines(&out, trailing_newline(versions)))
+    }
+}
+
+/// Set-like merge: the union of every version's non-empty lines, sorted —
+/// order-independent by construction (the CRDT paper's grow-only set shape).
+/// Declines binary content.
+pub struct SetMerge;
+
+impl Resolver for SetMerge {
+    fn merge(&self, versions: &[ConflictVersion]) -> Option<Vec<u8>> {
+        if versions.len() < 2 || has_binary(versions) {
+            return None;
+        }
+        let mut set: BTreeSet<&[u8]> = BTreeSet::new();
+        for v in versions {
+            for l in lines(&v.data) {
+                if !l.is_empty() {
+                    set.insert(l);
+                }
+            }
+        }
+        let out: Vec<&[u8]> = set.into_iter().collect();
+        Some(join_lines(&out, trailing_newline(versions)))
+    }
+}
+
+fn has_binary(versions: &[ConflictVersion]) -> bool {
+    versions.iter().any(|v| v.data.contains(&0))
+}
+
+fn trailing_newline(versions: &[ConflictVersion]) -> bool {
+    versions.iter().any(|v| v.data.ends_with(b"\n"))
+}
+
+/// Versions sorted by origin id — the canonical order that makes every
+/// policy independent of stash/arrival order.
+fn by_origin(versions: &[ConflictVersion]) -> Vec<&ConflictVersion> {
+    let mut v: Vec<&ConflictVersion> = versions.iter().collect();
+    v.sort_by_key(|c| c.origin);
+    v
+}
+
+/// Splits content into lines (one optional trailing newline stripped).
+fn lines(data: &[u8]) -> Vec<&[u8]> {
+    let body = data.strip_suffix(b"\n").unwrap_or(data);
+    if body.is_empty() {
+        return Vec::new();
+    }
+    body.split(|&b| b == b'\n').collect()
+}
+
+fn join_lines(out: &[&[u8]], newline: bool) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for (i, l) in out.iter().enumerate() {
+        if i > 0 {
+            bytes.push(b'\n');
+        }
+        bytes.extend_from_slice(l);
+    }
+    if newline && !bytes.is_empty() {
+        bytes.push(b'\n');
+    }
+    bytes
+}
+
+/// Which policy resolves which file: one volume-wide default plus per-file
+/// overrides ("selected per file or per volume").
+#[derive(Debug, Clone)]
+pub struct ResolverConfig {
+    /// Policy for files without an override.
+    pub default: ResolutionPolicy,
+    /// Per-file overrides.
+    pub per_file: BTreeMap<FicusFileId, ResolutionPolicy>,
+}
+
+impl ResolverConfig {
+    /// One policy for every file in the volume.
+    #[must_use]
+    pub fn uniform(policy: ResolutionPolicy) -> Self {
+        ResolverConfig {
+            default: policy,
+            per_file: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a per-file override.
+    #[must_use]
+    pub fn with_file(mut self, file: FicusFileId, policy: ResolutionPolicy) -> Self {
+        self.per_file.insert(file, policy);
+        self
+    }
+
+    /// The policy governing `file`.
+    #[must_use]
+    pub fn policy_for(&self, file: FicusFileId) -> ResolutionPolicy {
+        self.per_file.get(&file).copied().unwrap_or(self.default)
+    }
+}
+
+/// Directory-race handling beyond the paper's automatic entry merge (both
+/// knobs default off, preserving the report-and-orphan behavior).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirPolicy {
+    /// On a remove/update race, re-link the surviving updates into the
+    /// directory (under the old name, or `<name>.recovered` when the old
+    /// name was retaken) instead of moving them to the orphanage. The
+    /// conflict is still reported.
+    pub resurrect_updates: bool,
+    /// After a merge, collapse multiple live entries in one directory that
+    /// reference the same file — the double name a partitioned rename
+    /// leaves — keeping the lowest entry id and tombstoning the rest
+    /// (reported as [`crate::conflict::ConflictKind::RenameRace`]).
+    /// Deliberate same-directory hard links are collapsed too, which is why
+    /// this is opt-in.
+    pub collapse_renames: bool,
+}
+
+/// Honest accounting for one automatic-resolution pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolveStats {
+    /// Pending conflicts the pass examined.
+    pub attempted: u64,
+    /// Conflicts resolved and committed (dominating vector written).
+    pub resolved: u64,
+    /// Conflicts left for the owner: policy declined (binary content), a
+    /// stash was unreadable, or the commit failed.
+    pub declined: u64,
+    /// Bytes of merged content committed by the resolved conflicts.
+    pub bytes_merged: u64,
+}
+
+impl ResolveStats {
+    /// Accumulates another pass's tallies.
+    pub fn absorb(&mut self, other: ResolveStats) {
+        self.attempted += other.attempted;
+        self.resolved += other.resolved;
+        self.declined += other.declined;
+        self.bytes_merged += other.bytes_merged;
+    }
+}
+
+/// Runs one automatic-resolution pass over every conflict pending at this
+/// replica.
+///
+/// For each conflict the divergent version set is assembled — the local
+/// content plus every stashed `.c<replica>` sibling, each with the history
+/// its conflict reports recorded — and handed to the file's policy. A merge
+/// is committed through [`FicusPhysical::resolve_conflict`], so the result
+/// carries the join of every input vector plus one fresh local update: it
+/// dominates, and ordinary propagation carries it everywhere. Declines
+/// (and any per-file storage error) leave that conflict pending for the
+/// owner; the pass never fails as a whole and never panics.
+pub fn auto_resolve(
+    phys: &FicusPhysical,
+    config: &ResolverConfig,
+    lcache: Option<&Lcache>,
+) -> ResolveStats {
+    let mut stats = ResolveStats::default();
+    let Ok(pendings) = resolve::pending(phys) else {
+        return stats;
+    };
+    for p in pendings {
+        stats.attempted += 1;
+        match resolve_one(phys, &p, config.policy_for(p.file)) {
+            Ok(Some(bytes)) => {
+                stats.resolved += 1;
+                stats.bytes_merged += bytes;
+                if let Some(lc) = lcache {
+                    lc.invalidate_file(phys.volume(), p.file);
+                }
+            }
+            Ok(None) | Err(_) => stats.declined += 1,
+        }
+    }
+    stats
+}
+
+/// Resolves one pending conflict; `Ok(Some(bytes))` on commit, `Ok(None)`
+/// when the policy declines.
+fn resolve_one(
+    phys: &FicusPhysical,
+    p: &PendingConflict,
+    policy: ResolutionPolicy,
+) -> FsResult<Option<u64>> {
+    if p.versions.is_empty() {
+        // Flagged but nothing stashed (e.g. a stash discarded out of band):
+        // there is no version set to merge; the owner decides.
+        return Ok(None);
+    }
+    let attrs = phys.repl_attrs(p.file)?;
+    let size = phys.storage_attr(p.file)?.size as usize;
+    let local = phys.read(p.file, 0, size)?.to_vec();
+    let reports = phys.conflicts().for_file(p.file);
+    let mut versions = vec![ConflictVersion {
+        origin: phys.replica(),
+        vv: attrs.vv.clone(),
+        data: local.clone(),
+    }];
+    // The join of every reported divergent history — what the resolution
+    // must dominate (same join as the owner's manual tool).
+    let mut others = VersionVector::new();
+    for r in &reports {
+        others.merge(&r.vv);
+    }
+    for origin in &p.versions {
+        let mut vv = VersionVector::new();
+        for r in reports.iter().filter(|r| r.other == *origin) {
+            vv.merge(&r.vv);
+        }
+        let data = phys.read_conflict_version(p.file, *origin)?.to_vec();
+        versions.push(ConflictVersion {
+            origin: *origin,
+            vv,
+            data,
+        });
+    }
+    // Reduce to the antichain of maximal versions: a stash whose history
+    // another candidate covers is the same version seen via a different
+    // replica (e.g. two peers that both adopted one write), not an extra
+    // divergent suffix — merging it twice would duplicate its content.
+    // Ties (identical vectors) keep the earliest candidate, i.e. the local
+    // copy first. Versions with an empty (unknown) history are never
+    // pruned: their bytes cannot be proven redundant.
+    let pruned: Vec<ConflictVersion> = versions
+        .iter()
+        .enumerate()
+        .filter(|(i, v)| {
+            v.vv.is_empty()
+                || !versions.iter().enumerate().any(|(j, w)| {
+                    j != *i && w.vv.covers(&v.vv) && (!v.vv.covers(&w.vv) || j < *i)
+                })
+        })
+        .map(|(_, v)| v.clone())
+        .collect();
+    if pruned.len() == 1 && pruned[0].origin == phys.replica() {
+        // Every stash turned out to be a history the local version already
+        // covers: nothing divergent remains. Commit keep-local.
+        phys.resolve_conflict(p.file, &others)?;
+        for origin in &p.versions {
+            let _ = phys.discard_conflict_version(p.file, *origin);
+        }
+        return Ok(Some(0));
+    }
+    let Some(merged) = policy.resolver().merge(&pruned) else {
+        return Ok(None);
+    };
+    if merged != local {
+        phys.write(p.file, 0, &merged)?;
+        phys.truncate(p.file, merged.len() as u64)?;
+    }
+    phys.resolve_conflict(p.file, &others)?;
+    for origin in &p.versions {
+        // A failed discard leaves a stale stash behind; the covered-stash
+        // sweep in `apply_remote_version` collects it later.
+        let _ = phys.discard_conflict_version(p.file, *origin);
+    }
+    Ok(Some(merged.len() as u64))
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,382 @@
+use super::*;
+use std::sync::Arc;
+
+use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
+use ficus_vnode::{LogicalClock, TimeSource, VnodeType};
+
+use crate::access::LocalAccess;
+use crate::ids::{VolumeName, ROOT_FILE};
+use crate::phys::PhysParams;
+use crate::recon::{reconcile_file, reconcile_subtree, ReconStats};
+use crate::resolve::pending;
+
+fn cv(origin: u32, vv: &[(u32, u64)], data: &[u8]) -> ConflictVersion {
+    let mut v = VersionVector::new();
+    for &(r, n) in vv {
+        v.set(r, n);
+    }
+    ConflictVersion {
+        origin: ReplicaId(origin),
+        vv: v,
+        data: data.to_vec(),
+    }
+}
+
+/// Every permutation of three elements, for order-independence checks.
+fn permutations3(vs: &[ConflictVersion]) -> Vec<Vec<ConflictVersion>> {
+    assert_eq!(vs.len(), 3);
+    [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ]
+    .iter()
+    .map(|idx| idx.iter().map(|&i| vs[i].clone()).collect())
+    .collect()
+}
+
+#[test]
+fn lww_picks_the_largest_vv_total() {
+    let vs = vec![
+        cv(1, &[(1, 2)], b"short history"),
+        cv(2, &[(1, 2), (2, 3)], b"long history"),
+    ];
+    assert_eq!(
+        LastWriterWins.merge(&vs).unwrap(),
+        b"long history".to_vec()
+    );
+}
+
+#[test]
+fn lww_breaks_total_ties_toward_the_lowest_replica_id() {
+    let vs = vec![
+        cv(3, &[(3, 5)], b"replica three"),
+        cv(1, &[(1, 5)], b"replica one"),
+        cv(2, &[(2, 5)], b"replica two"),
+    ];
+    for p in permutations3(&vs) {
+        assert_eq!(LastWriterWins.merge(&p).unwrap(), b"replica one".to_vec());
+    }
+}
+
+#[test]
+fn lww_never_declines_binary_content() {
+    let vs = vec![cv(1, &[(1, 1)], b"\x00\x01"), cv(2, &[(2, 9)], b"\x02\x00")];
+    assert_eq!(LastWriterWins.merge(&vs).unwrap(), b"\x02\x00".to_vec());
+}
+
+#[test]
+fn append_merge_keeps_the_common_prefix_once_and_both_suffixes() {
+    let vs = vec![
+        cv(2, &[(2, 2)], b"base\nfrom two\n"),
+        cv(1, &[(1, 2)], b"base\nfrom one\n"),
+    ];
+    assert_eq!(
+        AppendMerge.merge(&vs).unwrap(),
+        b"base\nfrom one\nfrom two\n".to_vec()
+    );
+}
+
+#[test]
+fn append_merge_keeps_duplicate_appends_from_both_sides() {
+    // A log's duplicates are content: both partitions appended "tick".
+    let vs = vec![
+        cv(1, &[(1, 2)], b"log\ntick\n"),
+        cv(2, &[(2, 2)], b"log\ntock\ntick\n"),
+    ];
+    assert_eq!(
+        AppendMerge.merge(&vs).unwrap(),
+        b"log\ntick\ntock\ntick\n".to_vec()
+    );
+}
+
+#[test]
+fn append_merge_declines_binary_and_singletons() {
+    assert_eq!(
+        AppendMerge.merge(&[cv(1, &[(1, 1)], b"a\n\x00b"), cv(2, &[(2, 1)], b"a\n")]),
+        None
+    );
+    assert_eq!(AppendMerge.merge(&[cv(1, &[(1, 1)], b"alone\n")]), None);
+}
+
+#[test]
+fn set_merge_unions_lines_sorted_and_deduplicated() {
+    let vs = vec![
+        cv(2, &[(2, 2)], b"pear\napple\n"),
+        cv(1, &[(1, 2)], b"apple\nmango\n"),
+    ];
+    assert_eq!(
+        SetMerge.merge(&vs).unwrap(),
+        b"apple\nmango\npear\n".to_vec()
+    );
+}
+
+#[test]
+fn set_merge_declines_binary() {
+    assert_eq!(
+        SetMerge.merge(&[cv(1, &[(1, 1)], b"\x00"), cv(2, &[(2, 1)], b"x\n")]),
+        None
+    );
+}
+
+#[test]
+fn every_policy_is_order_independent() {
+    // Satellite: the same divergent version set in any stash/arrival order
+    // yields byte-identical content (mirrors the pick_read tie-break test).
+    let vs = vec![
+        cv(3, &[(3, 4)], b"shared\ngamma\n"),
+        cv(1, &[(1, 2)], b"shared\nalpha\n"),
+        cv(2, &[(2, 4)], b"shared\nbeta\nbeta2\n"),
+    ];
+    for policy in ResolutionPolicy::ALL {
+        let canonical = policy.resolver().merge(&vs).unwrap();
+        for p in permutations3(&vs) {
+            assert_eq!(
+                policy.resolver().merge(&p).unwrap(),
+                canonical,
+                "{} depended on version order",
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn policy_names_parse_back() {
+    for policy in ResolutionPolicy::ALL {
+        assert_eq!(ResolutionPolicy::parse(policy.name()), Some(policy));
+    }
+    assert_eq!(
+        ResolutionPolicy::parse("last-writer-wins"),
+        Some(ResolutionPolicy::LastWriterWins)
+    );
+    assert_eq!(ResolutionPolicy::parse("nonsense"), None);
+}
+
+#[test]
+fn config_prefers_the_per_file_override() {
+    let f1 = FicusFileId::new(1, 7);
+    let f2 = FicusFileId::new(1, 8);
+    let cfg = ResolverConfig::uniform(ResolutionPolicy::LastWriterWins)
+        .with_file(f1, ResolutionPolicy::SetMerge);
+    assert_eq!(cfg.policy_for(f1), ResolutionPolicy::SetMerge);
+    assert_eq!(cfg.policy_for(f2), ResolutionPolicy::LastWriterWins);
+}
+
+fn mk(me: u32, replicas: &[u32]) -> Arc<FicusPhysical> {
+    let ufs = Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap();
+    FicusPhysical::create_volume(
+        Arc::new(ufs),
+        "vol",
+        VolumeName::new(1, 1),
+        ReplicaId(me),
+        replicas,
+        Arc::new(LogicalClock::new()) as Arc<dyn TimeSource>,
+        PhysParams::default(),
+    )
+    .unwrap()
+}
+
+/// Two replicas with one conflicted file (stash at `a`), divergent text
+/// suffixes over a shared base line.
+fn conflicted(a_text: &[u8], b_text: &[u8]) -> (Arc<FicusPhysical>, Arc<FicusPhysical>, FicusFileId)
+{
+    let a = mk(1, &[1, 2]);
+    let b = mk(2, &[1, 2]);
+    let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"base\n").unwrap();
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+    a.truncate(f, 0).unwrap();
+    a.write(f, 0, a_text).unwrap();
+    b.truncate(f, 0).unwrap();
+    b.write(f, 0, b_text).unwrap();
+    let mut stats = ReconStats::default();
+    reconcile_file(&a, &LocalAccess::new(Arc::clone(&b)), f, &mut stats).unwrap();
+    assert_eq!(stats.update_conflicts, 1);
+    (a, b, f)
+}
+
+#[test]
+fn auto_resolve_commits_a_dominating_merge() {
+    let (a, b, f) = conflicted(b"base\nfrom a\n", b"base\nfrom b\n");
+    let cfg = ResolverConfig::uniform(ResolutionPolicy::AppendMerge);
+    let stats = auto_resolve(&a, &cfg, None);
+    assert_eq!(stats.attempted, 1);
+    assert_eq!(stats.resolved, 1);
+    assert_eq!(stats.declined, 0);
+    let merged = b"base\nfrom a\nfrom b\n";
+    assert_eq!(stats.bytes_merged, merged.len() as u64);
+    assert!(!a.repl_attrs(f).unwrap().conflict);
+    assert!(pending(&a).unwrap().is_empty());
+    assert_eq!(a.conflict_versions(f).unwrap(), vec![]);
+    assert_eq!(&a.read(f, 0, 64).unwrap()[..], merged);
+    // Dominates both inputs: b pulls it as an ordinary update.
+    let mut stats = ReconStats::default();
+    reconcile_file(&b, &LocalAccess::new(Arc::clone(&a)), f, &mut stats).unwrap();
+    assert_eq!(stats.files_pulled, 1);
+    assert_eq!(stats.update_conflicts, 0);
+    assert_eq!(&b.read(f, 0, 64).unwrap()[..], merged);
+}
+
+#[test]
+fn auto_resolve_declines_binary_under_merge_policies_and_leaves_it_pending() {
+    let (a, _b, f) = conflicted(b"x\n\x00a", b"x\n\x00b");
+    let cfg = ResolverConfig::uniform(ResolutionPolicy::SetMerge);
+    let stats = auto_resolve(&a, &cfg, None);
+    assert_eq!(stats.attempted, 1);
+    assert_eq!(stats.resolved, 0);
+    assert_eq!(stats.declined, 1);
+    assert_eq!(stats.bytes_merged, 0);
+    assert!(a.repl_attrs(f).unwrap().conflict, "left for the owner");
+    assert_eq!(pending(&a).unwrap().len(), 1);
+    assert_eq!(a.conflict_versions(f).unwrap(), vec![ReplicaId(2)]);
+}
+
+#[test]
+fn auto_resolve_lww_adopts_the_longer_history() {
+    let a = mk(1, &[1, 2]);
+    let b = mk(2, &[1, 2]);
+    let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    a.write(f, 0, b"base").unwrap();
+    reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+    a.write(f, 0, b"aaaa").unwrap();
+    b.write(f, 0, b"b1b1").unwrap();
+    b.write(f, 0, b"bbbb").unwrap();
+    let mut stats = ReconStats::default();
+    reconcile_file(&a, &LocalAccess::new(Arc::clone(&b)), f, &mut stats).unwrap();
+    assert_eq!(stats.update_conflicts, 1);
+    let a_total = a.repl_attrs(f).unwrap().vv.total();
+    let stats = auto_resolve(
+        &a,
+        &ResolverConfig::uniform(ResolutionPolicy::LastWriterWins),
+        None,
+    );
+    assert_eq!(stats.resolved, 1);
+    assert_eq!(
+        &a.read(f, 0, 16).unwrap()[..],
+        b"bbbb",
+        "b's two writes out-total a's one"
+    );
+    assert!(
+        a.repl_attrs(f).unwrap().vv.total() > a_total,
+        "resolution added history"
+    );
+}
+
+#[test]
+fn auto_resolve_lww_ties_keep_the_lowest_replica_id() {
+    // Symmetric histories (one truncate + one write each side): equal
+    // totals, so the deterministic tie-break keeps replica 1's content.
+    let (a, _b, f) = conflicted(b"aaa\n", b"bbb\n");
+    let stats = auto_resolve(
+        &a,
+        &ResolverConfig::uniform(ResolutionPolicy::LastWriterWins),
+        None,
+    );
+    assert_eq!(stats.resolved, 1);
+    assert_eq!(&a.read(f, 0, 16).unwrap()[..], b"aaa\n");
+}
+
+#[test]
+fn stash_arrival_order_does_not_change_the_resolution() {
+    // Satellite: three replicas diverge; a stashes b's and c's versions in
+    // both arrival orders — byte-identical content, same dominating VV.
+    for policy in ResolutionPolicy::ALL {
+        let mut outcomes = Vec::new();
+        for flip in [false, true] {
+            let a = mk(1, &[1, 2, 3]);
+            let b = mk(2, &[1, 2, 3]);
+            let c = mk(3, &[1, 2, 3]);
+            let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+            a.write(f, 0, b"base\n").unwrap();
+            reconcile_subtree(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+            reconcile_subtree(&c, &LocalAccess::new(Arc::clone(&a))).unwrap();
+            a.write(f, 5, b"one\n").unwrap();
+            b.write(f, 5, b"two\n").unwrap();
+            c.write(f, 5, b"three\n").unwrap();
+            let mut stats = ReconStats::default();
+            let (first, second) = if flip { (&c, &b) } else { (&b, &c) };
+            reconcile_file(&a, &LocalAccess::new(Arc::clone(first)), f, &mut stats).unwrap();
+            reconcile_file(&a, &LocalAccess::new(Arc::clone(second)), f, &mut stats).unwrap();
+            assert_eq!(stats.update_conflicts, 2);
+            let s = auto_resolve(&a, &ResolverConfig::uniform(policy), None);
+            assert_eq!(s.resolved, 1, "{}", policy.name());
+            let size = a.storage_attr(f).unwrap().size as usize;
+            outcomes.push((a.read(f, 0, size).unwrap().to_vec(), a.repl_attrs(f).unwrap().vv));
+        }
+        assert_eq!(
+            outcomes[0], outcomes[1],
+            "{}: arrival order changed the outcome",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn symmetric_resolution_converges_without_another_conflict() {
+    // Both replicas hold the other's version and resolve independently; the
+    // merge function is symmetric, so the bytes agree and the identical-
+    // version merge joins the histories instead of re-conflicting.
+    let (a, b, f) = conflicted(b"base\nalpha\n", b"base\nbeta\n");
+    let mut stats = ReconStats::default();
+    reconcile_file(&b, &LocalAccess::new(Arc::clone(&a)), f, &mut stats).unwrap();
+    assert_eq!(stats.update_conflicts, 1, "b stashed a's version too");
+    let cfg = ResolverConfig::uniform(ResolutionPolicy::AppendMerge);
+    assert_eq!(auto_resolve(&a, &cfg, None).resolved, 1);
+    assert_eq!(auto_resolve(&b, &cfg, None).resolved, 1);
+    let bytes_a = a.read(f, 0, 64).unwrap().to_vec();
+    let bytes_b = b.read(f, 0, 64).unwrap().to_vec();
+    assert_eq!(bytes_a, bytes_b, "symmetric policies agree byte-for-byte");
+    // Cross-reconcile both ways: histories join, no new stash, no flag.
+    let mut stats = ReconStats::default();
+    reconcile_file(&a, &LocalAccess::new(Arc::clone(&b)), f, &mut stats).unwrap();
+    reconcile_file(&b, &LocalAccess::new(Arc::clone(&a)), f, &mut stats).unwrap();
+    assert_eq!(stats.update_conflicts, 0);
+    assert!(stats.identical_merges >= 1, "false conflict suppressed");
+    assert!(!a.repl_attrs(f).unwrap().conflict);
+    assert!(!b.repl_attrs(f).unwrap().conflict);
+    assert_eq!(a.repl_attrs(f).unwrap().vv, b.repl_attrs(f).unwrap().vv);
+}
+
+#[test]
+fn empty_version_set_is_declined_not_resolved() {
+    let (a, _b, f) = conflicted(b"aa\n", b"bb\n");
+    a.discard_conflict_version(f, ReplicaId(2)).unwrap();
+    let stats = auto_resolve(
+        &a,
+        &ResolverConfig::uniform(ResolutionPolicy::LastWriterWins),
+        None,
+    );
+    assert_eq!(stats.attempted, 1);
+    assert_eq!(stats.declined, 1, "nothing stashed: the owner decides");
+    assert!(a.repl_attrs(f).unwrap().conflict);
+}
+
+#[test]
+fn resolve_stats_absorb_accumulates() {
+    let mut total = ResolveStats::default();
+    total.absorb(ResolveStats {
+        attempted: 2,
+        resolved: 1,
+        declined: 1,
+        bytes_merged: 10,
+    });
+    total.absorb(ResolveStats {
+        attempted: 1,
+        resolved: 1,
+        declined: 0,
+        bytes_merged: 5,
+    });
+    assert_eq!(
+        total,
+        ResolveStats {
+            attempted: 3,
+            resolved: 2,
+            declined: 1,
+            bytes_merged: 15,
+        }
+    );
+}

@@ -41,6 +41,7 @@ use crate::propagate::{
     run_propagation_with_health, PropagationPolicy, PropagationStats, UpdateNote, NOTE_SERVICE,
 };
 use crate::recon::{reconcile_subtree, ReconStats};
+use crate::resolver::{auto_resolve, DirPolicy, ResolveStats, ResolverConfig};
 use crate::volume::Connector;
 
 /// World construction parameters.
@@ -74,6 +75,13 @@ pub struct WorldParams {
     /// Interpose a dormant [`FaultLayer`] on every NFS export, controllable
     /// via [`FicusWorld::fault_control`] (chaos campaigns arm it mid-run).
     pub export_faults: bool,
+    /// Automatic conflict-resolution configuration used by
+    /// [`FicusWorld::run_resolution`]. `None` (the default) keeps every
+    /// file conflict pending for the owner — the paper's behavior.
+    pub resolver: Option<ResolverConfig>,
+    /// Directory-race handling applied by every physical layer (partitioned
+    /// renames, remove/update resurrection). Defaults to all-off.
+    pub dir_policy: DirPolicy,
 }
 
 impl Default for WorldParams {
@@ -90,6 +98,8 @@ impl Default for WorldParams {
             batching: true,
             health: Some(HealthParams::default()),
             export_faults: false,
+            resolver: None,
+            dir_policy: DirPolicy::default(),
         }
     }
 }
@@ -247,6 +257,7 @@ impl FicusWorld {
                     PhysParams {
                         layout: params.layout,
                         fsid: 0x1C05_0000 | u64::from(h),
+                        dir_policy: params.dir_policy,
                     },
                 )
                 .expect("fresh volume replica");
@@ -502,6 +513,7 @@ impl FicusWorld {
                 PhysParams {
                     layout: self.params.layout,
                     fsid: 0x1C05_0000 | (u64::from(vol.volume.0) << 8) | u64::from(h),
+                    dir_policy: self.params.dir_policy,
                 },
             )?;
             serve_export(
@@ -573,6 +585,7 @@ impl FicusWorld {
             PhysParams {
                 layout: self.params.layout,
                 fsid: 0x1C05_0000 | (u64::from(vol.volume.0) << 8) | u64::from(host_num),
+                dir_policy: self.params.dir_policy,
             },
         )?;
         serve_export(
@@ -685,6 +698,26 @@ impl FicusWorld {
             )?);
         }
         Ok(total)
+    }
+
+    /// Runs one automatic-resolution pass on every physical layer of `h`
+    /// (the post-recon/propagation daemon step). A no-op returning empty
+    /// stats when the world has no resolver configured.
+    pub fn run_resolution(&self, h: HostId) -> ResolveStats {
+        let mut total = ResolveStats::default();
+        let Some(config) = &self.params.resolver else {
+            return total;
+        };
+        let state = &self.hosts[&h];
+        let physes: Vec<Arc<FicusPhysical>> = state.physes.lock().values().cloned().collect();
+        for phys in &physes {
+            total.absorb(auto_resolve(
+                phys.as_ref(),
+                config,
+                Some(state.logical.lcache().as_ref()),
+            ));
+        }
+        total
     }
 
     /// Builds a [`ReplicaAccess`] from host `h` to `(vol, replica)`.

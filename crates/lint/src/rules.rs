@@ -48,12 +48,14 @@ pub struct Config {
 }
 
 /// Files (by `rel` suffix) on the request-serving and daemon paths (R3).
-const R3_FILES: [&str; 5] = [
+const R3_FILES: [&str; 7] = [
     "crates/nfs/src/server.rs",
     "crates/nfs/src/wire.rs",
     "crates/core/src/propagate.rs",
     "crates/core/src/recon.rs",
     "crates/core/src/health.rs",
+    "crates/core/src/resolve.rs",
+    "crates/core/src/resolver.rs",
 ];
 
 /// Directories whose code must stay deterministic (R2). Benches live in
@@ -61,12 +63,13 @@ const R3_FILES: [&str; 5] = [
 const R2_DIRS: [&str; 3] = ["crates/core/src", "crates/nfs/src", "crates/net/src"];
 
 /// The stats structs whose counters R4 audits.
-const R4_STRUCTS: [&str; 6] = [
+const R4_STRUCTS: [&str; 7] = [
     "LogicalStats",
     "ReconStats",
     "PropagationStats",
     "LcacheStats",
     "NfsClientStats",
+    "ResolveStats",
     "Metrics",
 ];
 

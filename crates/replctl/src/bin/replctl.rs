@@ -1,0 +1,159 @@
+//! replctl — the owner's conflict console, from the shell.
+//!
+//! Drives `ficus_replctl::conflicts` against its deterministic
+//! demonstration world (three hosts, one partitioned shared-file
+//! divergence), so the interactive resolution path is exercisable
+//! end-to-end without a daemon:
+//!
+//! ```text
+//! replctl policies                         # the automatic policies
+//! replctl conflicts list                   # what the owner would be shown
+//! replctl conflicts resolve --policy set   # retire the backlog automatically
+//! replctl conflicts resolve --manual take-remote=2
+//! ```
+
+use std::process::ExitCode;
+
+use ficus_core::ids::ReplicaId;
+use ficus_core::resolve::Resolution;
+use ficus_core::resolver::ResolutionPolicy;
+use ficus_replctl::conflicts;
+
+const USAGE: &str = "\
+replctl: inspect and resolve replica conflicts (demonstration world).
+
+usage: replctl policies
+       replctl conflicts list
+       replctl conflicts resolve --policy <lww|append|set>
+       replctl conflicts resolve --manual <keep-local|take-remote=<replica>|concatenate>
+";
+
+fn parse_manual(arg: &str) -> Result<Resolution, String> {
+    if let Some(rest) = arg.strip_prefix("take-remote=") {
+        let n: u32 = rest
+            .parse()
+            .map_err(|_| format!("take-remote wants a replica number, got `{rest}`"))?;
+        return Ok(Resolution::TakeRemote(ReplicaId(n)));
+    }
+    match arg {
+        "keep-local" => Ok(Resolution::KeepLocal),
+        "concatenate" => Ok(Resolution::Concatenate),
+        other => Err(format!("unknown manual resolution `{other}`")),
+    }
+}
+
+fn cmd_policies() {
+    println!("available automatic resolution policies:");
+    for p in ResolutionPolicy::ALL {
+        let what = match p {
+            ResolutionPolicy::LastWriterWins => {
+                "adopt the version with the most recorded updates (replica id breaks ties)"
+            }
+            ResolutionPolicy::AppendMerge => {
+                "append-only log merge: common prefix once, then every divergent suffix"
+            }
+            ResolutionPolicy::SetMerge => {
+                "set-like merge: order-independent union of lines, sorted, deduplicated"
+            }
+        };
+        println!("  {:<8} {what}", p.name());
+    }
+}
+
+fn cmd_list() {
+    let world = conflicts::demo_world();
+    let rows = conflicts::list(&world);
+    if rows.is_empty() {
+        println!("no conflicts pending");
+        return;
+    }
+    println!("{:<6} {:<28} {:<10} versions stashed from", "host", "file", "name");
+    for r in &rows {
+        println!(
+            "{:<6} {:<28} {:<10} {}",
+            r.host,
+            r.file.hex(),
+            r.name.as_deref().unwrap_or("-"),
+            r.versions
+                .iter()
+                .map(|v| format!("replica {v}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+}
+
+fn cmd_resolve_policy(name: &str) -> Result<(), String> {
+    let policy = ResolutionPolicy::parse(name).ok_or(format!("unknown policy `{name}`"))?;
+    let world = conflicts::demo_world();
+    let before = conflicts::list(&world).len();
+    let stats = conflicts::apply_policy(&world, policy);
+    let after = conflicts::list(&world).len();
+    println!(
+        "policy {}: {} pending -> {} pending ({} resolved, {} declined, {} bytes merged)",
+        policy.name(),
+        before,
+        after,
+        stats.resolved,
+        stats.declined,
+        stats.bytes_merged
+    );
+    if let Some(bytes) = conflicts::read_at(&world, 1, "shared") {
+        println!("converged shared content:\n{}", String::from_utf8_lossy(&bytes));
+    }
+    Ok(())
+}
+
+fn cmd_resolve_manual(arg: &str) -> Result<(), String> {
+    let resolution = parse_manual(arg)?;
+    let world = conflicts::demo_world();
+    let rows = conflicts::list(&world);
+    let Some(row) = rows.first() else {
+        println!("no conflicts pending");
+        return Ok(());
+    };
+    conflicts::apply_manual(&world, row.host, row.file, resolution)
+        .map_err(|e| format!("resolution failed: {e:?}"))?;
+    println!(
+        "resolved {} at host {} with {arg}; {} conflicts remain",
+        row.name.as_deref().unwrap_or(&row.file.hex()),
+        row.host,
+        conflicts::list(&world).len()
+    );
+    if let Some(bytes) = conflicts::read_at(&world, row.host, "shared") {
+        println!("resulting shared content:\n{}", String::from_utf8_lossy(&bytes));
+    }
+    Ok(())
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let words: Vec<&str> = args.iter().map(String::as_str).collect();
+    match words.as_slice() {
+        [] | ["--help"] | ["-h"] => {
+            print!("{USAGE}");
+            Ok(true)
+        }
+        ["policies"] => {
+            cmd_policies();
+            Ok(true)
+        }
+        ["conflicts", "list"] => {
+            cmd_list();
+            Ok(true)
+        }
+        ["conflicts", "resolve", "--policy", name] => cmd_resolve_policy(name).map(|()| true),
+        ["conflicts", "resolve", "--manual", arg] => cmd_resolve_manual(arg).map(|()| true),
+        _ => Err(format!("unrecognized arguments: {}", words.join(" "))),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("replctl: error: {e}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Conflict inspection and disposal — the owner's console.
+//!
+//! The paper reports file conflicts "to the owner" (§1); this module is
+//! what the owner (or an operator script) runs: list the conflicts pending
+//! across a world's hosts, then retire them — either with one manual
+//! [`Resolution`] at a time, or by handing a whole host's backlog to a
+//! named automatic policy from `ficus_core::resolver`.
+//!
+//! The `replctl` binary drives these helpers against a deterministic
+//! demonstration world (a partition breeds one shared-file divergence), so
+//! the interactive path stays first-class — and observable from a shell —
+//! alongside the automatic daemon mode.
+
+use ficus_core::ids::FicusFileId;
+use ficus_core::resolve::{self, Resolution};
+use ficus_core::resolver::{auto_resolve, ResolutionPolicy, ResolveStats, ResolverConfig};
+use ficus_core::sim::{FicusWorld, WorldParams};
+use ficus_net::HostId;
+use ficus_vnode::{Credentials, FileSystem, FsError, FsResult};
+
+/// One pending conflict at one host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictRow {
+    /// Host whose replica holds the stash.
+    pub host: u32,
+    /// The conflicted file.
+    pub file: FicusFileId,
+    /// Name the file bears at that host's root (when still linked).
+    pub name: Option<String>,
+    /// Replicas whose divergent versions are stashed there.
+    pub versions: Vec<u32>,
+}
+
+/// Lists every pending conflict across a world's hosts, in host order.
+#[must_use]
+pub fn list(world: &FicusWorld) -> Vec<ConflictRow> {
+    let vol = world.root_volume();
+    let mut out = Vec::new();
+    for h in world.host_ids() {
+        let Some(phys) = world.phys(h, vol) else {
+            continue;
+        };
+        let Ok(pending) = resolve::pending(&phys) else {
+            continue;
+        };
+        for p in pending {
+            let name = phys
+                .dir_entries(ficus_core::ids::ROOT_FILE)
+                .ok()
+                .and_then(|d| d.live().find(|e| e.file == p.file).map(|e| e.name.clone()));
+            out.push(ConflictRow {
+                host: h.0,
+                file: p.file,
+                name,
+                versions: p.versions.iter().map(|r| r.0).collect(),
+            });
+        }
+    }
+    out
+}
+
+/// Applies `policy` to every pending conflict at every host, then settles
+/// the world so the resolutions propagate. Returns the accumulated stats.
+pub fn apply_policy(world: &FicusWorld, policy: ResolutionPolicy) -> ResolveStats {
+    let vol = world.root_volume();
+    let config = ResolverConfig::uniform(policy);
+    let mut total = ResolveStats::default();
+    // Two rounds with a settle between: resolving at one host can surface
+    // the same divergence at another, and the second round retires it.
+    for _ in 0..2 {
+        for h in world.host_ids() {
+            if let Some(phys) = world.phys(h, vol) {
+                total.absorb(auto_resolve(&phys, &config, None));
+            }
+        }
+        world.settle();
+    }
+    total
+}
+
+/// Applies one manual [`Resolution`] to `file` at `host`, then settles the
+/// world so the decision propagates.
+pub fn apply_manual(
+    world: &FicusWorld,
+    host: u32,
+    file: FicusFileId,
+    resolution: Resolution,
+) -> FsResult<()> {
+    let vol = world.root_volume();
+    let phys = world.phys(HostId(host), vol).ok_or(FsError::NotFound)?;
+    resolve::resolve(&phys, file, resolution)?;
+    world.settle();
+    Ok(())
+}
+
+/// Builds the deterministic demonstration world the CLI operates on: three
+/// hosts, a shared file updated on both sides of a partition, healed and
+/// reconciled — exactly one concurrent-update conflict, stashed at the
+/// detecting replica.
+///
+/// # Panics
+///
+/// Panics if the fixture cannot be built (harness bug, not user input).
+#[must_use]
+pub fn demo_world() -> FicusWorld {
+    let world = FicusWorld::new(WorldParams {
+        hosts: 3,
+        root_replica_hosts: vec![1, 2, 3],
+        ..WorldParams::default()
+    });
+    let cred = Credentials::root();
+    world
+        .logical(HostId(1))
+        .root()
+        .create(&cred, "shared", 0o644)
+        .expect("create shared")
+        .write(&cred, 0, b"base\n")
+        .expect("seed shared");
+    world.settle();
+    world.partition(&[&[HostId(1)], &[HostId(2), HostId(3)]]);
+    for (h, text) in [(1u32, "base\nfrom host 1\n"), (2, "base\nfrom host 2\n")] {
+        world
+            .logical(HostId(h))
+            .root()
+            .lookup(&cred, "shared")
+            .expect("lookup shared")
+            .write(&cred, 0, text.as_bytes())
+            .expect("divergent write");
+    }
+    world.heal();
+    world.settle();
+    world
+}
+
+/// Reads the shared demo file's bytes at `host` (for showing outcomes).
+#[must_use]
+pub fn read_at(world: &FicusWorld, host: u32, name: &str) -> Option<Vec<u8>> {
+    let cred = Credentials::root();
+    let v = world.logical(HostId(host)).root().lookup(&cred, name).ok()?;
+    let size = v.getattr(&cred).ok()?.size as usize;
+    Some(v.read(&cred, 0, size).ok()?.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_demo_world_reports_the_divergence_at_every_host() {
+        let world = demo_world();
+        let rows = list(&world);
+        // One divergent file; each host holds the other side's stash.
+        assert_eq!(rows.len(), 3, "rows: {rows:?}");
+        for row in &rows {
+            assert_eq!(row.file, rows[0].file, "one conflicted file");
+            assert_eq!(row.name.as_deref(), Some("shared"));
+            assert!(!row.versions.is_empty());
+        }
+    }
+
+    #[test]
+    fn a_named_policy_clears_the_backlog_and_converges() {
+        let world = demo_world();
+        let stats = apply_policy(&world, ResolutionPolicy::AppendMerge);
+        assert!(stats.resolved >= 1, "stats: {stats:?}");
+        assert_eq!(list(&world), vec![], "nothing left pending");
+        let contents: Vec<Vec<u8>> = (1..=3)
+            .map(|h| read_at(&world, h, "shared").expect("readable"))
+            .collect();
+        assert_eq!(contents[0], contents[1]);
+        assert_eq!(contents[1], contents[2]);
+        let text = String::from_utf8(contents[0].clone()).unwrap();
+        assert!(text.contains("from host 1") && text.contains("from host 2"));
+    }
+
+    #[test]
+    fn a_manual_resolution_still_works_from_the_console() {
+        let world = demo_world();
+        let rows = list(&world);
+        let row = &rows[0];
+        apply_manual(&world, row.host, row.file, Resolution::KeepLocal).unwrap();
+        assert_eq!(list(&world), vec![]);
+    }
+
+    #[test]
+    fn manual_resolution_of_an_unknown_file_is_a_clean_error() {
+        let world = demo_world();
+        let bogus = FicusFileId::new(9, 999);
+        assert!(apply_manual(&world, 1, bogus, Resolution::KeepLocal).is_err());
+        assert!(apply_manual(&world, 99, bogus, Resolution::KeepLocal).is_err());
+    }
+}

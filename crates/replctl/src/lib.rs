@@ -29,6 +29,13 @@
 //! under independent site crashes ([`scenario::FailureModel::Crash`]) or
 //! random network partitions ([`scenario::FailureModel::Partition`]).
 
+//!
+//! Beyond the availability baselines, [`conflicts`] is the owner's console:
+//! list the conflicts a world has pending and retire them with a manual
+//! [`ficus_core::resolve::Resolution`] or a named automatic policy — the
+//! `replctl` binary exposes it from the shell.
+
+pub mod conflicts;
 pub mod policy;
 pub mod scenario;
 pub mod sim;

@@ -30,14 +30,22 @@ run cargo run -q -p ficus-lint --release
 
 # Fixed-seed chaos smoke: seeded fault campaigns (partition + crash +
 # datagram loss + mid-RPC export faults) must converge and hold every
-# invariant — with the logical-layer cache both enabled and disabled.
-# Deterministic per seed, so a failure here is reproducible.
+# invariant — with the logical-layer cache both enabled and disabled, and
+# with the automatic conflict resolver armed under every policy (which
+# adds the sixth invariant: nothing left pending, no byte fabricated, no
+# human resolution). Deterministic per seed, so a failure here is
+# reproducible.
 run cargo test -q --test chaos_campaigns
 
 # E10 shape assertion: with the lcache on, warm repeated binds must issue
 # strictly fewer wire RPCs (>= 3x fewer) than with it off, and a cold
 # cache must not add traffic.
 run cargo test -q -p ficus-bench e10
+
+# E11 shape assertion: the manual baseline needs a human to retire its
+# backlog; every automatic policy ends the same campaign with zero pending
+# conflicts and zero manual resolutions.
+run cargo test -q -p ficus-bench e11
 
 if [[ "${1:-}" == "--quick" ]]; then
     echo "verify: tier-1 OK (quick mode, workspace tests and lints skipped)"

@@ -12,6 +12,7 @@
 use ficus_repro::core::chaos::{run_campaign, ChaosParams};
 use ficus_repro::core::health::HealthParams;
 use ficus_repro::core::ids::ROOT_FILE;
+use ficus_repro::core::resolver::ResolutionPolicy;
 use ficus_repro::core::sim::{FicusWorld, WorldParams};
 use ficus_repro::net::{HostId, NetworkParams};
 use ficus_repro::vnode::{Credentials, FileSystem};
@@ -58,6 +59,62 @@ fn convergence_after_heavy_loss_partition_and_crash() {
         assert!(report.crashes >= 1, "seed {seed} never crashed a host");
         assert!(report.writes_ok > 0, "seed {seed} did no work");
     }
+}
+
+/// The resolver acceptance matrix: five seeds with partitions, crashes, and
+/// datagram loss, under every automatic policy. Each campaign must end with
+/// zero pending conflicts, full convergence, and not one manual
+/// [`ficus_repro::core::resolve::Resolution`] — the owner never steps in.
+#[test]
+fn auto_resolver_campaigns_end_with_nothing_pending_under_every_policy() {
+    for policy in ResolutionPolicy::ALL {
+        for seed in [1u64, 2, 3, 0xFACADE, 0xDEAD_BEEF] {
+            let report = run_campaign(&ChaosParams {
+                seed,
+                resolver: Some(policy),
+                shared_write_prob: 0.5, // more concurrent scribbles to merge
+                ..ChaosParams::default()
+            });
+            assert!(
+                report.passed(),
+                "policy {} seed {seed:#x} violated invariants: {:#?}",
+                policy.name(),
+                report.violations
+            );
+            assert_eq!(
+                report.resolutions, 0,
+                "policy {} seed {seed:#x}: a human had to step in",
+                policy.name()
+            );
+            assert_eq!(
+                report.residual_pending, 0,
+                "policy {} seed {seed:#x}: conflicts left pending",
+                policy.name()
+            );
+            assert!(report.writes_ok > 0, "seed {seed:#x} did no work");
+        }
+    }
+}
+
+/// Campaigns stay deterministic with the resolver armed: the new counters
+/// are part of the reproducible story.
+#[test]
+fn auto_resolver_campaigns_are_deterministic_per_seed() {
+    let params = ChaosParams {
+        seed: 42,
+        steps: 12,
+        resolver: Some(ResolutionPolicy::SetMerge),
+        ..ChaosParams::default()
+    };
+    let a = run_campaign(&params);
+    let b = run_campaign(&params);
+    assert_eq!(a.auto_attempted, b.auto_attempted);
+    assert_eq!(a.auto_resolved, b.auto_resolved);
+    assert_eq!(a.auto_declined, b.auto_declined);
+    assert_eq!(a.auto_bytes_merged, b.auto_bytes_merged);
+    assert_eq!(a.residual_pending, b.residual_pending);
+    assert_eq!(a.resolution_rpcs, b.resolution_rpcs);
+    assert_eq!(a.violations, b.violations);
 }
 
 /// Builds a two-host world, gives host 2 a pending note and a divergence to
