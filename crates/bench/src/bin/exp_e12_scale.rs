@@ -1,0 +1,4 @@
+//! e12_scale: see the corresponding module in ficus-bench for the paper claim.
+fn main() {
+    print!("{}", ficus_bench::e12_scale::run().render());
+}

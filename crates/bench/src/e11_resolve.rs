@@ -99,11 +99,31 @@ pub fn run() -> Report {
             r.resolutions.to_string(),
         ]);
         let k = o.label;
-        m.det(&format!("{k}.conflicts"), "reports", r.conflicts_detected as f64);
-        m.det(&format!("{k}.auto_resolved"), "conflicts", r.auto_resolved as f64);
-        m.det(&format!("{k}.auto_declined"), "conflicts", r.auto_declined as f64);
-        m.det(&format!("{k}.bytes_merged"), "bytes", r.auto_bytes_merged as f64);
-        m.det(&format!("{k}.resolution_rpcs"), "rpcs", r.resolution_rpcs as f64);
+        m.det(
+            &format!("{k}.conflicts"),
+            "reports",
+            r.conflicts_detected as f64,
+        );
+        m.det(
+            &format!("{k}.auto_resolved"),
+            "conflicts",
+            r.auto_resolved as f64,
+        );
+        m.det(
+            &format!("{k}.auto_declined"),
+            "conflicts",
+            r.auto_declined as f64,
+        );
+        m.det(
+            &format!("{k}.bytes_merged"),
+            "bytes",
+            r.auto_bytes_merged as f64,
+        );
+        m.det(
+            &format!("{k}.resolution_rpcs"),
+            "rpcs",
+            r.resolution_rpcs as f64,
+        );
         m.det(
             &format!("{k}.residual_pending"),
             "conflicts",

@@ -17,6 +17,7 @@ use ficus_nfs::wire::{Dec, Enc};
 use ficus_vnode::{Credentials, FsError, FsResult, VnodeRef};
 
 use crate::attrs::ReplAttrs;
+use crate::changelog::LogSuffix;
 use crate::dirfile::FicusDir;
 use crate::ids::{FicusFileId, ReplicaId};
 use crate::phys::FicusPhysical;
@@ -149,6 +150,10 @@ pub trait ReplicaAccess: Send + Sync {
             children,
         })
     }
+
+    /// The replica's change-log suffix since sequence `from` — the pulling
+    /// side of the recon cursor protocol (see [`crate::changelog`]).
+    fn fetch_changes(&self, from: u64) -> FsResult<LogSuffix>;
 }
 
 /// Direct access to a co-resident physical layer.
@@ -186,6 +191,10 @@ impl ReplicaAccess for LocalAccess {
 
     fn fetch_dir_with_children(&self, dir: FicusFileId) -> FsResult<DirWithChildren> {
         DirWithChildren::gather(&self.phys, dir)
+    }
+
+    fn fetch_changes(&self, from: u64) -> FsResult<LogSuffix> {
+        Ok(self.phys.changelog_suffix(from))
     }
 }
 
@@ -321,6 +330,16 @@ impl ReplicaAccess for VnodeAccess {
             attrs,
             children,
         })
+    }
+
+    fn fetch_changes(&self, from: u64) -> FsResult<LogSuffix> {
+        let name = format!(";f;log;{from:016x}");
+        if let Some(items) = self.bulk_read(std::slice::from_ref(&name)) {
+            let payload = items?.into_iter().next().ok_or(FsError::Io)??;
+            return LogSuffix::decode(&payload);
+        }
+        let ctl = self.root.lookup(&self.cred, &name)?;
+        LogSuffix::decode(&self.slurp(&ctl)?)
     }
 }
 

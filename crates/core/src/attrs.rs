@@ -68,28 +68,18 @@ impl ReplAttrs {
     }
 }
 
-/// Appends a version vector to an encoder.
+/// Appends a version vector to an encoder, using the sparse codec
+/// (delta-compressed varint pairs, zero slots skipped) framed as one
+/// length-prefixed byte field. At 256 replicas with a handful of writers
+/// this is an order of magnitude smaller than a dense slot array.
 pub fn encode_vv(e: &mut Enc, vv: &VersionVector) {
-    e.u32(vv.width() as u32);
-    for (replica, count) in vv.iter() {
-        e.u32(replica);
-        e.u64(count);
-    }
+    e.bytes(&ficus_vv::sparse_encode(vv));
 }
 
 /// Reads a version vector from a decoder.
 pub fn decode_vv(d: &mut Dec<'_>) -> FsResult<VersionVector> {
-    let n = d.u32()? as usize;
-    if n > 1 << 20 {
-        return Err(FsError::Io);
-    }
-    let mut vv = VersionVector::new();
-    for _ in 0..n {
-        let replica = d.u32()?;
-        let count = d.u64()?;
-        vv.set(replica, count);
-    }
-    Ok(vv)
+    let buf = d.bytes()?;
+    ficus_vv::sparse_decode(&buf).map_err(|_| FsError::Io)
 }
 
 #[cfg(test)]

@@ -62,6 +62,7 @@ use crate::logical::LogicalParams;
 use crate::resolve::{self, Resolution};
 use crate::resolver::{ResolutionPolicy, ResolverConfig};
 use crate::sim::{FicusWorld, WorldParams};
+use crate::topology::ReconTopology;
 
 /// Campaign shape: how long, how hostile, and from which seed.
 #[derive(Debug, Clone)]
@@ -100,6 +101,13 @@ pub struct ChaosParams {
     /// owner in the loop (cleanup applies manual [`Resolution`]s); `Some`
     /// arms the resolver daemon and the unattended-resolution invariant.
     pub resolver: Option<ResolutionPolicy>,
+    /// Which peers each reconciliation pass engages (all-pairs, ring, or
+    /// partial mesh). The invariants are topology-independent; only the
+    /// number of rounds convergence takes changes.
+    pub topology: ReconTopology,
+    /// Whether reconciliation passes ride the change log (cursor exchange +
+    /// dirty suffix) instead of walking the whole subtree every time.
+    pub incremental: bool,
 }
 
 impl Default for ChaosParams {
@@ -119,6 +127,8 @@ impl Default for ChaosParams {
             shared_write_prob: 0.3,
             caching: true,
             resolver: None,
+            topology: ReconTopology::AllPairs,
+            incremental: false,
         }
     }
 }
@@ -167,6 +177,18 @@ pub struct ChaosReport {
     pub lcache_hits: u64,
     /// Logical-cache invalidations across all hosts.
     pub lcache_invalidations: u64,
+    /// Change-log records appended across all hosts (updates, adoptions,
+    /// stashes, resolver commits).
+    pub log_appends: u64,
+    /// Change-log records evicted by the capacity bound across all hosts.
+    pub log_truncations: u64,
+    /// Peer cursors that fell below a remote log floor and were rebuilt.
+    pub cursor_resets: u64,
+    /// Reconciliation passes that fell back to a full subtree walk (first
+    /// contact, grafting, or a cursor reset).
+    pub full_walk_fallbacks: u64,
+    /// Wire bytes the sparse version-vector encoding saved vs dense slots.
+    pub sparse_vv_bytes_saved: u64,
     /// Invariant violations (empty = the campaign passed).
     pub violations: Vec<String>,
 }
@@ -215,8 +237,14 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
         },
         export_faults: true,
         resolver: params.resolver.map(ResolverConfig::uniform),
+        topology: params.topology,
+        incremental: params.incremental,
         ..WorldParams::default()
     });
+    // A ring moves a change one hop per round, so the cleanup budgets scale
+    // with the host count instead of assuming all-pairs fan-out.
+    let recon_budget = (2 * params.hosts as usize + 8).max(24);
+    let drain_budget = (params.hosts as usize + 4).max(16);
     let vol = world.root_volume();
     let cred = Credentials::root();
     let mut report = ChaosReport::default();
@@ -317,11 +345,15 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
             // Write + truncate: the shared file always holds exactly one
             // attempted content (or a policy merge of attempts), never a
             // splice of an overwrite over a longer predecessor.
-            let outcome = world.logical(h).root().lookup(&cred, "shared").and_then(|v| {
-                v.write(&cred, 0, &content)?;
-                v.setattr(&cred, &SetAttr::size(content.len() as u64))
-                    .map(|_| ())
-            });
+            let outcome = world
+                .logical(h)
+                .root()
+                .lookup(&cred, "shared")
+                .and_then(|v| {
+                    v.write(&cred, 0, &content)?;
+                    v.setattr(&cred, &SetAttr::size(content.len() as u64))
+                        .map(|_| ())
+                });
             match outcome {
                 Ok(()) => report.writes_ok += 1,
                 Err(_) => report.writes_failed += 1,
@@ -369,8 +401,8 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
     }
 
     let before = world.net().stats().rpcs_unreachable;
-    world.drain_propagation(16);
-    world.reconcile_until_quiescent(24);
+    world.drain_propagation(drain_budget);
+    world.reconcile_until_quiescent(recon_budget);
 
     let rpcs_before_resolution = world.net().stats().rpcs;
     if params.resolver.is_some() {
@@ -386,8 +418,8 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
                 report.auto_declined += s.declined;
                 report.auto_bytes_merged += s.bytes_merged;
             }
-            world.drain_propagation(16);
-            world.reconcile_until_quiescent(24);
+            world.drain_propagation(drain_budget);
+            world.reconcile_until_quiescent(recon_budget);
             if count_pending(&world) == 0 {
                 break;
             }
@@ -414,8 +446,8 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
             }
             world.settle();
         }
-        world.drain_propagation(16);
-        world.reconcile_until_quiescent(24);
+        world.drain_propagation(drain_budget);
+        world.reconcile_until_quiescent(recon_budget);
     }
     report.resolution_rpcs = world.net().stats().rpcs - rpcs_before_resolution;
     report.residual_pending = count_pending(&world);
@@ -430,6 +462,14 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
         let s = world.logical(h).stats();
         report.lcache_hits += s.cache_hits;
         report.lcache_invalidations += s.invalidations;
+        if let Some(p) = world.phys(h, vol) {
+            let cs = p.changelog_stats();
+            report.log_appends += cs.log_appends;
+            report.log_truncations += cs.log_truncations;
+            report.cursor_resets += cs.cursor_resets;
+            report.full_walk_fallbacks += cs.full_walk_fallbacks;
+            report.sparse_vv_bytes_saved += cs.sparse_vv_bytes_saved;
+        }
     }
     report
 }

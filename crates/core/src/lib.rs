@@ -25,6 +25,11 @@
 //! * [`dirfile`] — Ficus directories as data files: entries carrying
 //!   globally unique entry ids, tombstones, and two-phase GC state; the
 //!   merge function that makes directory reconciliation automatic (§3.3).
+//! * [`changelog`] — the per-volume change log / dirty set: every
+//!   committed mutation appends a compact record, and reconciliation
+//!   exchanges log cursors so a pass costs O(changes), not O(files).
+//! * [`topology`] — which peers a reconciliation pass engages: all-pairs,
+//!   ring, or partial mesh over the replica ids.
 //! * [`phys`] — the physical layer: dual-mapping storage over UFS, the
 //!   exported vnode interface with the overloaded-lookup control plane
 //!   (§2.3), the shadow-file atomic commit (§3.2), and the new-version
@@ -57,6 +62,7 @@
 
 pub mod access;
 pub mod attrs;
+pub mod changelog;
 pub mod chaos;
 pub mod conflict;
 pub mod dirfile;
@@ -70,6 +76,7 @@ pub mod recon;
 pub mod resolve;
 pub mod resolver;
 pub mod sim;
+pub mod topology;
 pub mod volume;
 
 pub use health::{HealthParams, PeerHealth, PeerState};

@@ -46,6 +46,7 @@ use ficus_vnode::{
 use ficus_vv::VersionVector;
 
 use crate::attrs::ReplAttrs;
+use crate::changelog::{ChangeLog, ChangelogStats, LogSuffix};
 use crate::conflict::{ConflictKind, ConflictLog};
 use crate::dirfile::{FicusDir, FicusEntry, MergeOutcome};
 use crate::ids::{EntryId, FicusFileId, ReplicaId, VolumeName, ROOT_FILE};
@@ -73,6 +74,10 @@ pub struct PhysParams {
     pub fsid: u64,
     /// Directory-race handling beyond the paper's automatic entry merge.
     pub dir_policy: DirPolicy,
+    /// Change-log ring size: how many committed mutations stay available
+    /// for incremental reconciliation before cursors below the floor force
+    /// a full-walk fallback.
+    pub changelog_capacity: usize,
 }
 
 impl Default for PhysParams {
@@ -81,6 +86,7 @@ impl Default for PhysParams {
             layout: StorageLayout::Tree,
             fsid: 0x1C05,
             dir_policy: DirPolicy::default(),
+            changelog_capacity: 1024,
         }
     }
 }
@@ -125,6 +131,7 @@ pub struct FicusPhysical {
     index: Mutex<HashMap<FicusFileId, Loc>>,
     nvc: Mutex<HashMap<FicusFileId, NvcEntry>>,
     conflicts: ConflictLog,
+    changelog: ChangeLog,
     seq: AtomicU64,
     seq_reserved: AtomicU64,
     opens: Mutex<Vec<(FicusFileId, OpenFlags, bool)>>,
@@ -218,6 +225,7 @@ impl FicusPhysical {
             index: Mutex::new(HashMap::new()),
             nvc: Mutex::new(HashMap::new()),
             conflicts: ConflictLog::new(),
+            changelog: ChangeLog::new(params.changelog_capacity),
             seq: AtomicU64::new(1),
             seq_reserved: AtomicU64::new(0),
             opens: Mutex::new(Vec::new()),
@@ -477,7 +485,74 @@ impl FicusPhysical {
         let mut attrs = self.repl_attrs(file)?;
         attrs.vv.increment(self.me.0);
         self.write_repl_attrs(file, &attrs)?;
+        self.log_change(file, attrs.kind.is_directory_like(), &attrs.vv);
         Ok(attrs.vv)
+    }
+
+    // --- change log (incremental reconciliation's dirty set) --------------
+
+    /// Appends one committed mutation to the volume change log.
+    fn log_change(&self, file: FicusFileId, dir_like: bool, vv: &VersionVector) {
+        let width = self.all_replicas.read().len();
+        self.changelog.append(file, dir_like, vv, width);
+    }
+
+    /// What changed here since sequence `from` — the serving side of the
+    /// recon cursor protocol (`;f;log;<hex>` on the control plane).
+    #[must_use]
+    pub fn changelog_suffix(&self, from: u64) -> LogSuffix {
+        self.changelog.suffix(from)
+    }
+
+    /// The cursor this replica holds into `peer`'s change log.
+    #[must_use]
+    pub fn peer_cursor(&self, peer: ReplicaId) -> Option<u64> {
+        self.changelog.cursor(peer)
+    }
+
+    /// Advances the cursor into `peer`'s change log.
+    pub fn set_peer_cursor(&self, peer: ReplicaId, next: u64) {
+        self.changelog.set_cursor(peer, next);
+    }
+
+    /// Every recon cursor this replica holds, in peer order.
+    #[must_use]
+    pub fn peer_cursors(&self) -> Vec<(ReplicaId, u64)> {
+        self.changelog.cursors()
+    }
+
+    /// Records retained in the change log right now.
+    #[must_use]
+    pub fn changelog_len(&self) -> usize {
+        self.changelog.len()
+    }
+
+    /// The sequence number the next change-log append will get.
+    #[must_use]
+    pub fn changelog_next_seq(&self) -> u64 {
+        self.changelog.next_seq()
+    }
+
+    /// Oldest change-log sequence still retained.
+    #[must_use]
+    pub fn changelog_floor(&self) -> u64 {
+        self.changelog.floor()
+    }
+
+    /// Counter snapshot for the change-log machinery.
+    #[must_use]
+    pub fn changelog_stats(&self) -> ChangelogStats {
+        self.changelog.stats()
+    }
+
+    /// Records that an incremental pass lost (or never had) its cursor.
+    pub fn note_cursor_reset(&self) {
+        self.changelog.note_cursor_reset();
+    }
+
+    /// Records a fallback to a full subtree walk.
+    pub fn note_full_walk(&self) {
+        self.changelog.note_full_walk();
     }
 
     // --- lookup / create / remove / rename / link -----------------------------
@@ -951,6 +1026,7 @@ impl FicusPhysical {
         // arriving from elsewhere: the stash is obsolete.
         self.gc_covered_stashes(file, &mut attrs)?;
         self.write_repl_attrs(file, &attrs)?;
+        self.log_change(file, false, &attrs.vv);
         Ok(())
     }
 
@@ -966,9 +1042,17 @@ impl FicusPhysical {
     ) -> FsResult<()> {
         let _g = self.big.lock();
         let mut attrs = self.repl_attrs(file)?;
+        let before = attrs.vv.clone();
         attrs.vv.merge(remote_vv);
         self.gc_covered_stashes(file, &mut attrs)?;
-        self.write_repl_attrs(file, &attrs)
+        self.write_repl_attrs(file, &attrs)?;
+        if attrs.vv != before {
+            // Only a history that actually grew is a change peers need to
+            // hear about; logging no-op absorptions would keep rings busy
+            // forever.
+            self.log_change(file, attrs.kind.is_directory_like(), &attrs.vv);
+        }
+        Ok(())
     }
 
     /// Discards stashed conflict siblings whose reported histories the
@@ -1040,6 +1124,7 @@ impl FicusPhysical {
                 own_ufs: None,
             },
         );
+        self.log_change(file, false, vv);
         Ok(())
     }
 
@@ -1064,7 +1149,9 @@ impl FicusPhysical {
             vv: vv.clone(),
             conflict: false,
         };
-        self.materialize_dir(parent_dir, file, &attrs)
+        self.materialize_dir(parent_dir, file, &attrs)?;
+        self.log_change(file, true, vv);
+        Ok(())
     }
 
     /// Stores a conflicting remote version beside the local one and flags
@@ -1093,6 +1180,10 @@ impl FicusPhysical {
             remote_vv.clone(),
             self.clock.now(),
         );
+        // The stash leaves the local history untouched, but the file's
+        // replication state changed (flag + sibling) — peers pulling this
+        // replica incrementally must still re-examine it.
+        self.log_change(file, false, &attrs.vv);
         Ok(())
     }
 
@@ -1154,7 +1245,9 @@ impl FicusPhysical {
         attrs.vv.merge(other_vv);
         attrs.vv.increment(self.me.0);
         attrs.conflict = false;
-        self.write_repl_attrs(file, &attrs)
+        self.write_repl_attrs(file, &attrs)?;
+        self.log_change(file, false, &attrs.vv);
+        Ok(())
     }
 
     /// Moves a remove/update-conflicted file's data into the orphanage so
@@ -1346,8 +1439,10 @@ impl FicusPhysical {
             self.store_dir_entries(dir, &d)?;
         }
         let mut attrs = self.repl_attrs(dir)?;
+        let vv_before = attrs.vv.clone();
         attrs.vv.merge(remote_dir_vv);
         self.write_repl_attrs(dir, &attrs)?;
+        let vv_grew = attrs.vv != vv_before;
         // Report retained name collisions (automatically repaired, but the
         // owner should hear about them) — once per collided file, not once
         // per reconciliation pass.
@@ -1417,8 +1512,14 @@ impl FicusPhysical {
         }
         if policy_changed || resurrected {
             // Policy edits are local updates to the directory: bump so the
-            // repaired entry set propagates like any other change.
+            // repaired entry set propagates like any other change (the bump
+            // also logs the change).
             self.bump_vv(dir)?;
+        } else if out.changed || vv_grew {
+            // Merges that only confirmed existing state stay out of the
+            // log, or ring reconciliation would re-ship every directory
+            // forever.
+            self.log_change(dir, true, &attrs.vv);
         }
         Ok(out)
     }

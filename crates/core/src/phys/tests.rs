@@ -666,7 +666,11 @@ fn resurrect_policy_uses_recovered_suffix_when_the_name_was_retaken() {
 
     a.merge_dir(ROOT_FILE, &remote, ReplicaId(2), &VersionVector::single(2))
         .unwrap();
-    assert_eq!(a.lookup(ROOT_FILE, "f").unwrap().file, g, "new file keeps the name");
+    assert_eq!(
+        a.lookup(ROOT_FILE, "f").unwrap().file,
+        g,
+        "new file keeps the name"
+    );
     let e = a.lookup(ROOT_FILE, "f.recovered").unwrap();
     assert_eq!(e.file, f, "survivor re-linked under <name>.recovered");
     assert_eq!(a.orphans().unwrap(), vec![]);
@@ -687,7 +691,12 @@ fn collapse_policy_repairs_a_partitioned_rename() {
     let entry_id = remote.entries[0].id;
     let vv = a.file_vv(f).unwrap();
     remote
-        .tombstone(entry_id, &vv, crate::ids::EntryId::new(2, 999), ReplicaId(2))
+        .tombstone(
+            entry_id,
+            &vv,
+            crate::ids::EntryId::new(2, 999),
+            ReplicaId(2),
+        )
         .unwrap();
     remote
         .insert(
@@ -736,7 +745,12 @@ fn default_policy_leaves_rename_aliases_alone() {
     let entry_id = remote.entries[0].id;
     let vv = a.file_vv(f).unwrap();
     remote
-        .tombstone(entry_id, &vv, crate::ids::EntryId::new(2, 999), ReplicaId(2))
+        .tombstone(
+            entry_id,
+            &vv,
+            crate::ids::EntryId::new(2, 999),
+            ReplicaId(2),
+        )
         .unwrap();
     remote
         .insert(
@@ -775,7 +789,8 @@ fn a_dominating_version_sweeps_covered_stashes() {
     resolved_vv.merge(&their_vv);
     resolved_vv.increment(2);
     their_vv = resolved_vv.clone();
-    phys.apply_remote_version(f, &their_vv, b"resolved").unwrap();
+    phys.apply_remote_version(f, &their_vv, b"resolved")
+        .unwrap();
     assert_eq!(&phys.read(f, 0, 16).unwrap()[..], b"resolved");
     assert!(!phys.repl_attrs(f).unwrap().conflict, "conflict swept");
     assert_eq!(phys.conflict_versions(f).unwrap(), vec![]);
@@ -792,6 +807,10 @@ fn absorb_identical_version_joins_histories_without_an_update() {
     phys.absorb_identical_version(f, &theirs).unwrap();
     let joined = phys.file_vv(f).unwrap();
     assert!(joined.covers(&mine) && joined.covers(&theirs));
-    assert_eq!(joined.total(), mine.total() + theirs.total(), "no new update added");
+    assert_eq!(
+        joined.total(),
+        mine.total() + theirs.total(),
+        "no new update added"
+    );
     assert_eq!(&phys.read(f, 0, 16).unwrap()[..], b"same bytes");
 }

@@ -16,6 +16,7 @@
 //! | `;f;o;<bits>;<hex>`   | open notification for a file (returns it)     |
 //! | `;f;c;<bits>;<hex>`   | close notification                            |
 //! | `;f;nvc`              | read the new-version cache (volume root)      |
+//! | `;f;log;<hex>`        | read the change-log suffix since sequence     |
 //! | `;f;stat`             | read the storage file system's statistics     |
 //!
 //! The `;f;` prefix is reserved: ordinary component names may not begin
@@ -166,6 +167,10 @@ impl PhysVnode {
             let dir = FicusFileId::from_hex(hex)?;
             let dx = crate::access::DirWithChildren::gather(&self.phys, dir)?;
             return Ok(self.ctl(dx.encode()));
+        }
+        if let Some(hex) = rest.strip_prefix("log;") {
+            let from = u64::from_str_radix(hex, 16).map_err(|_| FsError::Invalid)?;
+            return Ok(self.ctl(self.phys.changelog_suffix(from).encode()));
         }
         if let Some(hex) = rest.strip_prefix("id;") {
             let file = FicusFileId::from_hex(hex)?;

@@ -22,13 +22,22 @@
 //!
 //! Reconciliation is one-directional (pull): running it at both replicas —
 //! as the periodic daemon does — converges them.
+//!
+//! At scale, walking the whole subtree against every peer is the cost that
+//! kills: O(files × peers) per sweep. [`reconcile_incremental`] replaces
+//! the walk with the change-log cursor protocol (see [`crate::changelog`]):
+//! ask the remote "what changed since my cursor?", feed only that dirty
+//! suffix through the same per-directory and per-file machinery, and fall
+//! back to the full walk only when the cursor is unusable (first contact,
+//! e.g. a freshly grafted replica, or log truncation).
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use ficus_vnode::{FsError, FsResult};
 
 use crate::access::ReplicaAccess;
 use crate::attrs::ReplAttrs;
+use crate::changelog::ChangeRecord;
 use crate::ids::{FicusFileId, ROOT_FILE};
 use crate::phys::FicusPhysical;
 
@@ -276,6 +285,95 @@ pub fn reconcile_subtree(
             }
         }
     }
+    Ok(stats)
+}
+
+/// O(changes) reconciliation: pull the remote's change-log suffix since
+/// this replica's cursor and reconcile only the files and directories it
+/// names, instead of walking the whole subtree.
+///
+/// Fallback rules (the only paths that pay for a full walk):
+///
+/// * **First contact** — no cursor for this peer yet (fresh world, or a
+///   freshly grafted replica): full subtree walk, then adopt the remote's
+///   `next_seq` as the cursor. The suffix is fetched *before* the walk, so
+///   nothing committed before the walk can fall between cursor positions.
+/// * **Cursor loss** — the remote's ring truncated past our cursor
+///   ([`crate::changelog::LogSuffix::truncated`]): counted as a cursor
+///   reset, then the same full walk + re-baseline.
+///
+/// Neither fallback touches `rpcs_avoided` — that counter is strictly the
+/// scheduler's "peer skipped in backoff" currency, and double-charging it
+/// here would let a graft masquerade as saved work.
+///
+/// The cursor only advances when the pass succeeds end to end; a wire
+/// error mid-pass leaves it in place so the next pass re-pulls the same
+/// records (all reconciliation steps are idempotent).
+pub fn reconcile_incremental(
+    local: &FicusPhysical,
+    remote: &dyn ReplicaAccess,
+) -> FsResult<ReconStats> {
+    let peer = remote.replica();
+    let cursor = local.peer_cursor(peer);
+    let suffix = remote.fetch_changes(cursor.unwrap_or(0))?;
+    let usable = cursor.is_some() && !suffix.truncated;
+    if !usable {
+        if cursor.is_some() {
+            local.note_cursor_reset();
+        }
+        local.note_full_walk();
+        let stats = reconcile_subtree(local, remote)?;
+        local.set_peer_cursor(peer, suffix.next_seq);
+        return Ok(stats);
+    }
+
+    let mut stats = ReconStats::default();
+    // Dedup: only the newest record per file matters (its vector is the
+    // remote's current one — every vector change is logged). BTreeMap keyed
+    // by file, keeping the highest seq, then re-sorted by seq so parents
+    // (whose mkdir preceded any child activity) reconcile before children.
+    let mut newest: BTreeMap<FicusFileId, ChangeRecord> = BTreeMap::new();
+    for r in suffix.records {
+        newest.insert(r.file, r);
+    }
+    let mut dirs: Vec<&ChangeRecord> = newest.values().filter(|r| r.dir_like).collect();
+    dirs.sort_by_key(|r| r.seq);
+    for r in dirs {
+        if local.dir_entries(r.file).is_err() {
+            // The directory never reached this replica (its parent's
+            // record would have adopted it) or is locally gone; either
+            // way there is nothing to merge into here.
+            continue;
+        }
+        stats.absorb(reconcile_dir(local, remote, r.file)?);
+    }
+
+    let mut files: Vec<FicusFileId> = Vec::new();
+    for r in newest.values().filter(|r| !r.dir_like) {
+        let Ok(local_vv) = local.file_vv(r.file) else {
+            // No local storage: the file's entry (and adoption) rides its
+            // parent directory's record, not the per-file path.
+            continue;
+        };
+        if local_vv.covers(&r.vv) {
+            // The logged history is already ours — the attribute fetch the
+            // full walk would have issued is provably unnecessary.
+            stats.rpcs_saved += 1;
+            continue;
+        }
+        files.push(r.file);
+    }
+    if !files.is_empty() {
+        let attrs = remote.fetch_attrs_bulk(&files)?;
+        for (file, item) in files.iter().zip(attrs) {
+            match item {
+                Ok(a) => reconcile_file_with_attrs(local, remote, *file, &a, &mut stats)?,
+                Err(FsError::NotFound) => stats.remote_missing += 1,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    local.set_peer_cursor(peer, suffix.next_seq);
     Ok(stats)
 }
 

@@ -405,6 +405,10 @@ impl<A: crate::access::ReplicaAccess> crate::access::ReplicaAccess for Instrumen
         self.dirs.lock().push(dir);
         self.inner.fetch_dir_with_children(dir)
     }
+
+    fn fetch_changes(&self, from: u64) -> ficus_vnode::FsResult<crate::changelog::LogSuffix> {
+        self.inner.fetch_changes(from)
+    }
 }
 
 #[test]
@@ -577,5 +581,191 @@ mod convergence_prop {
                 prop_assert!(b.repl_attrs(e.file).is_ok(), "b missing {}", e.file);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental (changelog-driven) reconciliation
+// ---------------------------------------------------------------------------
+
+mod incremental {
+    use super::*;
+    use crate::recon::reconcile_incremental;
+
+    #[test]
+    fn first_contact_falls_back_to_full_walk_without_a_reset() {
+        let (a, b) = pair();
+        let f = b.create(ROOT_FILE, "seed", VnodeType::Regular).unwrap();
+        b.write(f, 0, b"seed bytes").unwrap();
+
+        let stats = reconcile_incremental(&a, &LocalAccess::new(Arc::clone(&b))).unwrap();
+        assert_eq!(stats.entries_inserted, 1);
+        assert_eq!(stats.files_pulled, 1);
+        assert_eq!(
+            stats.rpcs_avoided, 0,
+            "the fallback is real work, not an avoided exchange"
+        );
+        assert_eq!(&a.read(f, 0, 100).unwrap()[..], b"seed bytes");
+
+        let cs = a.changelog_stats();
+        assert_eq!(cs.full_walk_fallbacks, 1);
+        assert_eq!(cs.cursor_resets, 0, "first contact is not a cursor reset");
+        // The cursor was captured before the walk, so nothing is missed and
+        // nothing is replayed.
+        assert_eq!(a.peer_cursor(ReplicaId(2)), Some(b.changelog_next_seq()));
+    }
+
+    #[test]
+    fn quiescent_incremental_pass_does_no_walk() {
+        let (a, b) = pair();
+        for i in 0..4 {
+            let f = b
+                .create(ROOT_FILE, &format!("f{i}"), VnodeType::Regular)
+                .unwrap();
+            b.write(f, 0, format!("payload {i}").as_bytes()).unwrap();
+        }
+        reconcile_incremental(&a, &LocalAccess::new(Arc::clone(&b))).unwrap();
+
+        let access = Instrumented::new(LocalAccess::new(Arc::clone(&b)));
+        let stats = reconcile_incremental(&a, &access).unwrap();
+        assert!(stats.quiescent());
+        assert_eq!(
+            stats.dirs_examined, 0,
+            "no subtree walk when the log is clean"
+        );
+        assert!(access.dirs.lock().is_empty());
+        assert_eq!(access.data_fetches(), 0);
+    }
+
+    #[test]
+    fn incremental_pass_touches_only_the_dirty_suffix() {
+        let (a, b) = pair();
+        let mut files = Vec::new();
+        for i in 0..6 {
+            let f = b
+                .create(ROOT_FILE, &format!("f{i}"), VnodeType::Regular)
+                .unwrap();
+            b.write(f, 0, format!("payload {i}").as_bytes()).unwrap();
+            files.push(f);
+        }
+        b.mkdir(ROOT_FILE, "steady").unwrap();
+        reconcile_incremental(&a, &LocalAccess::new(Arc::clone(&b))).unwrap();
+
+        // One file goes dirty; the next pass must not re-examine the other
+        // five or any directory.
+        b.write(files[3], 0, b"fresh contents").unwrap();
+        let access = Instrumented::new(LocalAccess::new(Arc::clone(&b)));
+        let stats = reconcile_incremental(&a, &access).unwrap();
+        assert_eq!(stats.files_pulled, 1);
+        assert_eq!(access.data_fetches(), 1);
+        assert!(
+            access.dirs.lock().is_empty(),
+            "a file-only dirty set must not trigger directory fetches"
+        );
+        assert_eq!(&a.read(files[3], 0, 100).unwrap()[..], b"fresh contents");
+    }
+
+    #[test]
+    fn covered_records_are_skipped_and_counted() {
+        let (a, b) = pair();
+        // Establish b's cursor on a before a does anything.
+        reconcile_incremental(&b, &LocalAccess::new(Arc::clone(&a))).unwrap();
+        let f = b.create(ROOT_FILE, "shared", VnodeType::Regular).unwrap();
+        b.write(f, 0, b"v1").unwrap();
+        reconcile_incremental(&a, &LocalAccess::new(Arc::clone(&b))).unwrap();
+
+        // a's adoption appended to a's own log; b already covers those
+        // versions, so b's next pass skips them without fetching.
+        let access = Instrumented::new(LocalAccess::new(Arc::clone(&a)));
+        let stats = reconcile_incremental(&b, &access).unwrap();
+        assert!(stats.quiescent());
+        assert!(stats.rpcs_saved >= 1, "covered records count as saved work");
+        assert_eq!(access.data_fetches(), 0);
+    }
+
+    #[test]
+    fn new_directory_in_the_suffix_is_adopted() {
+        let (a, b) = pair();
+        reconcile_incremental(&a, &LocalAccess::new(Arc::clone(&b))).unwrap();
+
+        let d = b.mkdir(ROOT_FILE, "fresh").unwrap();
+        let f = b.create(d, "inside", VnodeType::Regular).unwrap();
+        b.write(f, 0, b"nested").unwrap();
+
+        let stats = reconcile_incremental(&a, &LocalAccess::new(Arc::clone(&b))).unwrap();
+        assert!(stats.entries_inserted >= 2);
+        assert_eq!(&a.read(f, 0, 100).unwrap()[..], b"nested");
+        assert_same_tree(&a, &b);
+    }
+
+    #[test]
+    fn log_truncation_resets_cursor_and_still_converges() {
+        let mk_small = |me: u32| {
+            let ufs = Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap();
+            FicusPhysical::create_volume(
+                Arc::new(ufs),
+                &format!("small_r{me}"),
+                VolumeName::new(1, 1),
+                ReplicaId(me),
+                &[1, 2],
+                Arc::new(LogicalClock::new()) as Arc<dyn TimeSource>,
+                PhysParams {
+                    changelog_capacity: 4,
+                    ..PhysParams::default()
+                },
+            )
+            .unwrap()
+        };
+        let a = mk_small(1);
+        let b = mk_small(2);
+        let f = b.create(ROOT_FILE, "churn", VnodeType::Regular).unwrap();
+        b.write(f, 0, b"v0").unwrap();
+        reconcile_incremental(&a, &LocalAccess::new(Arc::clone(&b))).unwrap();
+        assert_eq!(a.changelog_stats().cursor_resets, 0);
+
+        // Push the log past its capacity so a's cursor falls off the floor.
+        for i in 0..10u8 {
+            b.write(f, 0, &[b'w', i]).unwrap();
+        }
+        assert!(b.changelog_stats().log_truncations > 0);
+
+        let stats = reconcile_incremental(&a, &LocalAccess::new(Arc::clone(&b))).unwrap();
+        assert_eq!(stats.files_pulled, 1);
+        let cs = a.changelog_stats();
+        assert_eq!(
+            cs.cursor_resets, 1,
+            "a live cursor below the floor is a reset"
+        );
+        assert_eq!(cs.full_walk_fallbacks, 2);
+        assert_eq!(&a.read(f, 0, 100).unwrap()[..], &[b'w', 9]);
+
+        // The reset re-captured a fresh cursor: the next pass is incremental
+        // and clean.
+        let stats = reconcile_incremental(&a, &LocalAccess::new(Arc::clone(&b))).unwrap();
+        assert!(stats.quiescent());
+        assert_eq!(stats.dirs_examined, 0);
+    }
+
+    #[test]
+    fn incremental_matches_full_walk_outcome() {
+        // Same divergence reconciled both ways lands on the same tree.
+        let mk_pair = || {
+            let a = mk_replica(1, &[1, 2]);
+            let b = mk_replica(2, &[1, 2]);
+            let d = b.mkdir(ROOT_FILE, "dir").unwrap();
+            let f1 = b.create(d, "one", VnodeType::Regular).unwrap();
+            b.write(f1, 0, b"first").unwrap();
+            let f2 = b.create(ROOT_FILE, "two", VnodeType::Regular).unwrap();
+            b.write(f2, 0, b"second").unwrap();
+            (a, b)
+        };
+        let (a1, b1) = mk_pair();
+        let s_full = reconcile_subtree(&a1, &LocalAccess::new(Arc::clone(&b1))).unwrap();
+        let (a2, b2) = mk_pair();
+        let s_inc = reconcile_incremental(&a2, &LocalAccess::new(Arc::clone(&b2))).unwrap();
+        assert_eq!(s_full.entries_inserted, s_inc.entries_inserted);
+        assert_eq!(s_full.files_pulled, s_inc.files_pulled);
+        assert_same_tree(&a1, &a2);
+        assert_same_tree(&b1, &b2);
     }
 }

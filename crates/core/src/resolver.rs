@@ -391,9 +391,10 @@ fn resolve_one(
         .enumerate()
         .filter(|(i, v)| {
             v.vv.is_empty()
-                || !versions.iter().enumerate().any(|(j, w)| {
-                    j != *i && w.vv.covers(&v.vv) && (!v.vv.covers(&w.vv) || j < *i)
-                })
+                || !versions
+                    .iter()
+                    .enumerate()
+                    .any(|(j, w)| j != *i && w.vv.covers(&v.vv) && (!v.vv.covers(&w.vv) || j < *i))
         })
         .map(|(_, v)| v.clone())
         .collect();

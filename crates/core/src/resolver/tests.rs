@@ -44,10 +44,7 @@ fn lww_picks_the_largest_vv_total() {
         cv(1, &[(1, 2)], b"short history"),
         cv(2, &[(1, 2), (2, 3)], b"long history"),
     ];
-    assert_eq!(
-        LastWriterWins.merge(&vs).unwrap(),
-        b"long history".to_vec()
-    );
+    assert_eq!(LastWriterWins.merge(&vs).unwrap(), b"long history".to_vec());
 }
 
 #[test]
@@ -182,8 +179,10 @@ fn mk(me: u32, replicas: &[u32]) -> Arc<FicusPhysical> {
 
 /// Two replicas with one conflicted file (stash at `a`), divergent text
 /// suffixes over a shared base line.
-fn conflicted(a_text: &[u8], b_text: &[u8]) -> (Arc<FicusPhysical>, Arc<FicusPhysical>, FicusFileId)
-{
+fn conflicted(
+    a_text: &[u8],
+    b_text: &[u8],
+) -> (Arc<FicusPhysical>, Arc<FicusPhysical>, FicusFileId) {
     let a = mk(1, &[1, 2]);
     let b = mk(2, &[1, 2]);
     let f = a.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
@@ -305,10 +304,14 @@ fn stash_arrival_order_does_not_change_the_resolution() {
             let s = auto_resolve(&a, &ResolverConfig::uniform(policy), None);
             assert_eq!(s.resolved, 1, "{}", policy.name());
             let size = a.storage_attr(f).unwrap().size as usize;
-            outcomes.push((a.read(f, 0, size).unwrap().to_vec(), a.repl_attrs(f).unwrap().vv));
+            outcomes.push((
+                a.read(f, 0, size).unwrap().to_vec(),
+                a.repl_attrs(f).unwrap().vv,
+            ));
         }
         assert_eq!(
-            outcomes[0], outcomes[1],
+            outcomes[0],
+            outcomes[1],
             "{}: arrival order changed the outcome",
             policy.name()
         );

@@ -40,8 +40,9 @@ use crate::phys::{FicusPhysical, PhysParams, StorageLayout};
 use crate::propagate::{
     run_propagation_with_health, PropagationPolicy, PropagationStats, UpdateNote, NOTE_SERVICE,
 };
-use crate::recon::{reconcile_subtree, ReconStats};
+use crate::recon::{reconcile_incremental, reconcile_subtree, ReconStats};
 use crate::resolver::{auto_resolve, DirPolicy, ResolveStats, ResolverConfig};
+use crate::topology::{recon_peers, ReconTopology};
 use crate::volume::Connector;
 
 /// World construction parameters.
@@ -82,6 +83,15 @@ pub struct WorldParams {
     /// Directory-race handling applied by every physical layer (partitioned
     /// renames, remove/update resurrection). Defaults to all-off.
     pub dir_policy: DirPolicy,
+    /// Which peers one reconciliation pass engages ([`ReconTopology`]).
+    /// Defaults to all-pairs — the historical O(N²) behavior.
+    pub topology: ReconTopology,
+    /// Whether reconciliation uses the change-log cursor protocol
+    /// ([`crate::recon::reconcile_incremental`]) instead of walking the
+    /// whole subtree every pass. Defaults to `false` (full walks).
+    pub incremental: bool,
+    /// Change-log ring capacity per volume replica.
+    pub changelog_capacity: usize,
 }
 
 impl Default for WorldParams {
@@ -100,6 +110,9 @@ impl Default for WorldParams {
             export_faults: false,
             resolver: None,
             dir_policy: DirPolicy::default(),
+            topology: ReconTopology::AllPairs,
+            incremental: false,
+            changelog_capacity: 1024,
         }
     }
 }
@@ -258,6 +271,7 @@ impl FicusWorld {
                         layout: params.layout,
                         fsid: 0x1C05_0000 | u64::from(h),
                         dir_policy: params.dir_policy,
+                        changelog_capacity: params.changelog_capacity,
                     },
                 )
                 .expect("fresh volume replica");
@@ -382,6 +396,18 @@ impl FicusWorld {
     #[must_use]
     pub fn root_volume(&self) -> VolumeName {
         self.root_vol
+    }
+
+    /// The reconciliation topology this world was built with.
+    #[must_use]
+    pub fn topology(&self) -> ReconTopology {
+        self.params.topology
+    }
+
+    /// Whether reconciliation passes use the incremental (change-log) path.
+    #[must_use]
+    pub fn incremental(&self) -> bool {
+        self.params.incremental
     }
 
     /// One host's state.
@@ -514,6 +540,7 @@ impl FicusWorld {
                     layout: self.params.layout,
                     fsid: 0x1C05_0000 | (u64::from(vol.volume.0) << 8) | u64::from(h),
                     dir_policy: self.params.dir_policy,
+                    changelog_capacity: self.params.changelog_capacity,
                 },
             )?;
             serve_export(
@@ -586,6 +613,7 @@ impl FicusWorld {
                 layout: self.params.layout,
                 fsid: 0x1C05_0000 | (u64::from(vol.volume.0) << 8) | u64::from(host_num),
                 dir_policy: self.params.dir_policy,
+                changelog_capacity: self.params.changelog_capacity,
             },
         )?;
         serve_export(
@@ -766,10 +794,19 @@ impl FicusWorld {
             .collect();
         let health = state.health.as_deref();
         for (vol, phys) in &physes {
-            for peer in phys.all_replicas() {
-                let peer = ReplicaId(peer);
-                if peer == phys.replica() {
-                    continue;
+            // The topology decides which peers this pass engages: all of
+            // them (all-pairs), the ring successor, or the mesh set. The
+            // candidate list is longer than the quota so a backed-off or
+            // failing successor is deterministically routed around — the
+            // next live replica in id order takes its place until the
+            // backoff window re-opens.
+            let candidates =
+                recon_peers(self.params.topology, phys.replica(), &phys.all_replicas());
+            let quota = self.params.topology.quota(candidates.len());
+            let mut engaged = 0usize;
+            for peer in candidates {
+                if engaged >= quota {
+                    break;
                 }
                 let now = self.clock.now();
                 if let Some(hl) = health {
@@ -782,7 +819,11 @@ impl FicusWorld {
                     }
                 }
                 match self.access_replica(h, *vol, peer) {
-                    Ok(access) => match reconcile_subtree(phys.as_ref(), access.as_ref()) {
+                    Ok(access) => match if self.params.incremental {
+                        reconcile_incremental(phys.as_ref(), access.as_ref())
+                    } else {
+                        reconcile_subtree(phys.as_ref(), access.as_ref())
+                    } {
                         Ok(out) => {
                             if let Some(hl) = health {
                                 hl.record_success(peer);
@@ -793,6 +834,7 @@ impl FicusWorld {
                                 state.logical.lcache().invalidate_volume(*vol);
                             }
                             total.absorb(out);
+                            engaged += 1;
                         }
                         // A peer lost mid-pass (crash or partition while the
                         // BFS was walking) is the same as one lost up front:

@@ -557,3 +557,89 @@ fn statfs_reports_real_storage_numbers_across_nfs() {
     let after = w.logical(H1).statfs().unwrap().free_blocks;
     assert!(after < before, "{after} !< {before}");
 }
+
+#[test]
+fn incremental_graft_full_walk_counts_each_file_once() {
+    // Satellite fix: a newly grafted replica has no usable cursor, so its
+    // first pass is a full walk. The fallback's results flow into the pass
+    // stats exactly once, and `rpcs_avoided` stays untouched (it counts
+    // health-backoff skips, not fallbacks).
+    let mut w = FicusWorld::new(WorldParams {
+        hosts: 3,
+        root_replica_hosts: vec![1, 2],
+        incremental: true,
+        ..WorldParams::default()
+    });
+    let root = w.logical(H1).root();
+    for i in 0..4 {
+        root.create(&cred(), &format!("f{i}"), 0o644)
+            .unwrap()
+            .write(&cred(), 0, format!("payload {i}").as_bytes())
+            .unwrap();
+    }
+    w.settle();
+
+    w.add_replica(w.root_volume(), 3).unwrap();
+    let s1 = w.run_reconciliation(H3).unwrap();
+    assert_eq!(s1.files_pulled, 4, "every file adopted exactly once");
+    assert_eq!(
+        s1.rpcs_avoided, 0,
+        "a fallback walk is not an avoided exchange"
+    );
+    let p3 = w.phys(H3, w.root_volume()).unwrap();
+    let cs = p3.changelog_stats();
+    assert_eq!(cs.full_walk_fallbacks, 2, "one first-contact walk per peer");
+    assert_eq!(
+        cs.cursor_resets, 0,
+        "grafting is first contact, not a reset"
+    );
+
+    // The walk captured cursors, so the next pass is incremental and finds
+    // nothing — no file is reported a second time.
+    let s2 = w.run_reconciliation(H3).unwrap();
+    assert_eq!(s2.files_pulled, 0);
+    assert_eq!(s2.entries_inserted, 0);
+    assert_eq!(s2.dirs_examined, 0, "clean logs mean no walk at all");
+}
+
+#[test]
+fn ring_topology_converges_with_incremental_recon() {
+    use crate::topology::ReconTopology;
+    let w = FicusWorld::new(WorldParams {
+        hosts: 4,
+        root_replica_hosts: vec![1, 2, 3, 4],
+        topology: ReconTopology::Ring,
+        incremental: true,
+        ..WorldParams::default()
+    });
+    const H4: HostId = HostId(4);
+
+    // Diverge while partitioned so reconciliation (not update notification)
+    // has to carry the change around the ring.
+    w.partition(&[&[H1], &[H2, H3, H4]]);
+    let f = w
+        .logical(H1)
+        .root()
+        .create(&cred(), "ringed", 0o644)
+        .unwrap();
+    f.write(&cred(), 0, b"around the ring").unwrap();
+    w.heal();
+    w.settle();
+
+    for h in [H1, H2, H3, H4] {
+        let v = w.logical(h).root().lookup(&cred(), "ringed").unwrap();
+        assert_eq!(
+            &v.read(&cred(), 0, 100).unwrap()[..],
+            b"around the ring",
+            "host {h}"
+        );
+    }
+    // Each replica talked to exactly its ring successor.
+    for h in [H1, H2, H3, H4] {
+        let p = w.phys(h, w.root_volume()).unwrap();
+        let cursors = p.peer_cursors();
+        assert_eq!(cursors.len(), 1, "host {h} holds one cursor, its successor");
+        let succ = if h == H4 { 1 } else { h.0 + 1 };
+        assert_eq!(cursors[0].0, crate::ids::ReplicaId(succ), "host {h}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Reconciliation topologies: which peers one pass engages.
+//!
+//! All-pairs reconciliation — every replica pulling from every other —
+//! costs O(N²) peer engagements per sweep and stops scaling long before
+//! the ROADMAP's hundreds of replicas. The paper's §3.3 subtree protocol
+//! already hints at structured passes; this module makes the structure a
+//! configuration choice:
+//!
+//! * [`ReconTopology::AllPairs`] — the historical behavior, kept as the
+//!   default (and as the baseline the scale experiment compares against).
+//! * [`ReconTopology::Ring`] — each replica pulls from its successor in
+//!   replica-id order (cyclic). One sweep costs O(N) engagements, and a
+//!   change reaches every replica within N sweeps as adoptions re-log it
+//!   hop by hop.
+//! * [`ReconTopology::PartialMesh`] — each replica pulls from its next
+//!   `fanout` successors: ring latency divided by the fanout, still O(N·f)
+//!   per sweep.
+//!
+//! [`recon_peers`] returns *candidates in preference order*; the caller
+//! (the recon daemon in [`crate::sim`]) walks the list, skipping peers the
+//! health tracker ([`crate::health`]) holds in backoff, until it has
+//! engaged the topology's quota. That is what makes a Down successor
+//! deterministic rather than fatal: the ring simply routes past it to the
+//! next live replica, and re-probes when the backoff window expires.
+
+use std::collections::BTreeSet;
+
+use crate::ids::ReplicaId;
+
+/// Which peers a reconciliation pass engages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReconTopology {
+    /// Pull from every other replica (O(N²) per sweep) — the baseline.
+    #[default]
+    AllPairs,
+    /// Pull from the next replica in cyclic id order (O(N) per sweep).
+    Ring,
+    /// Pull from the next `fanout` replicas in cyclic id order.
+    PartialMesh {
+        /// Successors each replica engages per pass (≥ 1).
+        fanout: usize,
+    },
+}
+
+impl ReconTopology {
+    /// How many peers one pass should successfully engage (candidates
+    /// beyond this quota are only tried when earlier ones are skipped).
+    #[must_use]
+    pub fn quota(&self, peers: usize) -> usize {
+        match *self {
+            ReconTopology::AllPairs => peers,
+            ReconTopology::Ring => 1.min(peers),
+            ReconTopology::PartialMesh { fanout } => fanout.max(1).min(peers),
+        }
+    }
+
+    /// Short human-readable form for consoles and reports.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match *self {
+            ReconTopology::AllPairs => "all-pairs".to_owned(),
+            ReconTopology::Ring => "ring".to_owned(),
+            ReconTopology::PartialMesh { fanout } => format!("mesh/{fanout}"),
+        }
+    }
+}
+
+/// Candidate peers for `me`, in the order the pass should try them.
+///
+/// For [`ReconTopology::AllPairs`] this is ascending id order (the
+/// historical iteration order, preserved exactly). For the structured
+/// topologies it is cyclic successor order starting after `me`, so the
+/// quota-sized prefix is the ring successor / mesh set and everything
+/// after it is the deterministic detour route around unhealthy peers.
+#[must_use]
+pub fn recon_peers(topology: ReconTopology, me: ReplicaId, all: &BTreeSet<u32>) -> Vec<ReplicaId> {
+    let others = || all.iter().copied().filter(|&r| r != me.0);
+    match topology {
+        ReconTopology::AllPairs => others().map(ReplicaId).collect(),
+        ReconTopology::Ring | ReconTopology::PartialMesh { .. } => others()
+            .filter(|&r| r > me.0)
+            .chain(others().filter(|&r| r < me.0))
+            .map(ReplicaId)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> BTreeSet<u32> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn all_pairs_is_ascending_order_without_self() {
+        let peers = recon_peers(ReconTopology::AllPairs, ReplicaId(2), &set(&[1, 2, 3, 4]));
+        assert_eq!(peers, vec![ReplicaId(1), ReplicaId(3), ReplicaId(4)]);
+        assert_eq!(ReconTopology::AllPairs.quota(3), 3);
+    }
+
+    #[test]
+    fn ring_candidates_are_cyclic_successors() {
+        let all = set(&[1, 2, 3, 5]);
+        assert_eq!(
+            recon_peers(ReconTopology::Ring, ReplicaId(3), &all),
+            vec![ReplicaId(5), ReplicaId(1), ReplicaId(2)]
+        );
+        // The highest id wraps to the lowest.
+        assert_eq!(
+            recon_peers(ReconTopology::Ring, ReplicaId(5), &all)[0],
+            ReplicaId(1)
+        );
+        assert_eq!(ReconTopology::Ring.quota(3), 1);
+    }
+
+    #[test]
+    fn mesh_quota_is_fanout_capped_by_peer_count() {
+        let t = ReconTopology::PartialMesh { fanout: 2 };
+        assert_eq!(t.quota(5), 2);
+        assert_eq!(t.quota(1), 1);
+        assert_eq!(ReconTopology::PartialMesh { fanout: 0 }.quota(5), 1);
+        assert_eq!(
+            recon_peers(t, ReplicaId(4), &set(&[1, 2, 3, 4]))[..2],
+            [ReplicaId(1), ReplicaId(2)]
+        );
+    }
+
+    #[test]
+    fn lone_replica_has_no_candidates() {
+        assert!(recon_peers(ReconTopology::Ring, ReplicaId(1), &set(&[1])).is_empty());
+        assert_eq!(ReconTopology::Ring.quota(0), 0);
+        assert_eq!(ReconTopology::Ring.describe(), "ring");
+        assert_eq!(
+            ReconTopology::PartialMesh { fanout: 3 }.describe(),
+            "mesh/3"
+        );
+        assert_eq!(ReconTopology::AllPairs.describe(), "all-pairs");
+    }
+}

@@ -10,6 +10,7 @@
 //! replctl conflicts list                   # what the owner would be shown
 //! replctl conflicts resolve --policy set   # retire the backlog automatically
 //! replctl conflicts resolve --manual take-remote=2
+//! replctl recon status                     # change logs, cursors, topology
 //! ```
 
 use std::process::ExitCode;
@@ -17,7 +18,7 @@ use std::process::ExitCode;
 use ficus_core::ids::ReplicaId;
 use ficus_core::resolve::Resolution;
 use ficus_core::resolver::ResolutionPolicy;
-use ficus_replctl::conflicts;
+use ficus_replctl::{conflicts, recon};
 
 const USAGE: &str = "\
 replctl: inspect and resolve replica conflicts (demonstration world).
@@ -26,6 +27,7 @@ usage: replctl policies
        replctl conflicts list
        replctl conflicts resolve --policy <lww|append|set>
        replctl conflicts resolve --manual <keep-local|take-remote=<replica>|concatenate>
+       replctl recon status
 ";
 
 fn parse_manual(arg: &str) -> Result<Resolution, String> {
@@ -67,7 +69,10 @@ fn cmd_list() {
         println!("no conflicts pending");
         return;
     }
-    println!("{:<6} {:<28} {:<10} versions stashed from", "host", "file", "name");
+    println!(
+        "{:<6} {:<28} {:<10} versions stashed from",
+        "host", "file", "name"
+    );
     for r in &rows {
         println!(
             "{:<6} {:<28} {:<10} {}",
@@ -99,7 +104,10 @@ fn cmd_resolve_policy(name: &str) -> Result<(), String> {
         stats.bytes_merged
     );
     if let Some(bytes) = conflicts::read_at(&world, 1, "shared") {
-        println!("converged shared content:\n{}", String::from_utf8_lossy(&bytes));
+        println!(
+            "converged shared content:\n{}",
+            String::from_utf8_lossy(&bytes)
+        );
     }
     Ok(())
 }
@@ -121,7 +129,10 @@ fn cmd_resolve_manual(arg: &str) -> Result<(), String> {
         conflicts::list(&world).len()
     );
     if let Some(bytes) = conflicts::read_at(&world, row.host, "shared") {
-        println!("resulting shared content:\n{}", String::from_utf8_lossy(&bytes));
+        println!(
+            "resulting shared content:\n{}",
+            String::from_utf8_lossy(&bytes)
+        );
     }
     Ok(())
 }
@@ -144,6 +155,10 @@ fn run() -> Result<bool, String> {
         }
         ["conflicts", "resolve", "--policy", name] => cmd_resolve_policy(name).map(|()| true),
         ["conflicts", "resolve", "--manual", arg] => cmd_resolve_manual(arg).map(|()| true),
+        ["recon", "status"] => {
+            print!("{}", recon::render(&recon::demo_world()));
+            Ok(true)
+        }
         _ => Err(format!("unrecognized arguments: {}", words.join(" "))),
     }
 }

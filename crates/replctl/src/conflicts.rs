@@ -136,7 +136,11 @@ pub fn demo_world() -> FicusWorld {
 #[must_use]
 pub fn read_at(world: &FicusWorld, host: u32, name: &str) -> Option<Vec<u8>> {
     let cred = Credentials::root();
-    let v = world.logical(HostId(host)).root().lookup(&cred, name).ok()?;
+    let v = world
+        .logical(HostId(host))
+        .root()
+        .lookup(&cred, name)
+        .ok()?;
     let size = v.getattr(&cred).ok()?.size as usize;
     Some(v.read(&cred, 0, size).ok()?.to_vec())
 }

@@ -33,10 +33,13 @@
 //! Beyond the availability baselines, [`conflicts`] is the owner's console:
 //! list the conflicts a world has pending and retire them with a manual
 //! [`ficus_core::resolve::Resolution`] or a named automatic policy — the
-//! `replctl` binary exposes it from the shell.
+//! `replctl` binary exposes it from the shell. [`recon`] is the companion
+//! reconciliation console: per-replica change-log spans, peer cursors, and
+//! the configured topology's next engagement, over a deterministic ring.
 
 pub mod conflicts;
 pub mod policy;
+pub mod recon;
 pub mod scenario;
 pub mod sim;
 

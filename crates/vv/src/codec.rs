@@ -1,0 +1,308 @@
+//! Compact wire encodings for version vectors.
+//!
+//! At hundreds of replicas, a dense one-slot-per-replica vector is almost
+//! all zeros: a file written by 3 replicas out of 256 carries 253 empty
+//! slots on every RPC and in every change-log record. The **sparse**
+//! encoding here ships only the non-zero entries as sorted
+//! `(replica, count)` pairs, delta-compressed and varint-packed, so its
+//! size tracks the number of *writers*, not the replica-set width.
+//!
+//! Layout (all integers LEB128 varints):
+//!
+//! ```text
+//! entries:u  (replica_delta:u count:u)*
+//! ```
+//!
+//! The first entry's `replica_delta` is the replica id itself; each later
+//! entry stores `replica - prev_replica - 1`, so sorted ids cost one byte
+//! each almost always. Counts are at least 1 ([`VersionVector`] never
+//! stores zeros), encoded as-is.
+//!
+//! [`sparse_decode`] is total: truncation at any byte, trailing bytes,
+//! varint overflow, zero counts, and replica ids past `u32::MAX` all come
+//! back as [`CodecError`], never a panic. The **dense** encoding (a `u32`
+//! width then one `u64` slot per replica id below it) is kept as the
+//! baseline the benchmarks and the `sparse_vv_bytes_saved` counter compare
+//! against.
+
+use std::fmt;
+
+use crate::vector::{ReplicaTag, VersionVector};
+
+/// Why a byte string is not a valid encoded version vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the announced entries were read.
+    Truncated,
+    /// Bytes remain after the announced entries.
+    Trailing,
+    /// A varint ran past 64 bits, or a replica id past `u32::MAX`.
+    Overflow,
+    /// An entry carried a zero count (non-canonical: zeros are skipped).
+    ZeroCount,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated version vector"),
+            CodecError::Trailing => write!(f, "trailing bytes after version vector"),
+            CodecError::Overflow => write!(f, "version vector varint overflow"),
+            CodecError::ZeroCount => write!(f, "zero count in version vector"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends `v` as a LEB128 varint.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from `bytes[*at..]`, advancing `at`.
+fn get_varint(bytes: &[u8], at: &mut usize) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes.get(*at).ok_or(CodecError::Truncated)?;
+        *at += 1;
+        let payload = u64::from(b & 0x7f);
+        if shift >= 64 || (shift == 63 && payload > 1) {
+            return Err(CodecError::Overflow);
+        }
+        v |= payload << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes `vv` sparsely: only non-zero entries, delta + varint packed.
+#[must_use]
+pub fn sparse_encode(vv: &VersionVector) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + vv.width() * 3);
+    put_varint(&mut out, vv.width() as u64);
+    let mut prev: Option<ReplicaTag> = None;
+    for (r, c) in vv.iter() {
+        let delta = match prev {
+            None => u64::from(r),
+            Some(p) => u64::from(r - p - 1),
+        };
+        put_varint(&mut out, delta);
+        put_varint(&mut out, c);
+        prev = Some(r);
+    }
+    out
+}
+
+/// Decodes a [`sparse_encode`] byte string, rejecting every malformation.
+pub fn sparse_decode(bytes: &[u8]) -> Result<VersionVector, CodecError> {
+    let mut at = 0usize;
+    let entries = get_varint(bytes, &mut at)?;
+    if entries > u64::from(u32::MAX) {
+        return Err(CodecError::Overflow);
+    }
+    let mut vv = VersionVector::new();
+    let mut prev: Option<ReplicaTag> = None;
+    for _ in 0..entries {
+        let delta = get_varint(bytes, &mut at)?;
+        let replica = match prev {
+            None => delta,
+            Some(p) => u64::from(p)
+                .checked_add(1)
+                .and_then(|b| b.checked_add(delta))
+                .ok_or(CodecError::Overflow)?,
+        };
+        let replica = ReplicaTag::try_from(replica).map_err(|_| CodecError::Overflow)?;
+        let count = get_varint(bytes, &mut at)?;
+        if count == 0 {
+            return Err(CodecError::ZeroCount);
+        }
+        vv.set(replica, count);
+        prev = Some(replica);
+    }
+    if at != bytes.len() {
+        return Err(CodecError::Trailing);
+    }
+    Ok(vv)
+}
+
+/// Encodes `vv` densely: `u32` width (highest replica id + 1), then one
+/// little-endian `u64` count slot per replica id below the width, zeros
+/// included. This is the naive at-scale layout the sparse encoding exists
+/// to beat; benchmarks keep it as the comparison column.
+#[must_use]
+pub fn dense_encode(vv: &VersionVector) -> Vec<u8> {
+    let width = vv.iter().last().map_or(0, |(r, _)| r as usize + 1);
+    let mut out = Vec::with_capacity(4 + width * 8);
+    out.extend_from_slice(&(width as u32).to_le_bytes());
+    for r in 0..width {
+        out.extend_from_slice(&vv.get(r as ReplicaTag).to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a [`dense_encode`] byte string; zero slots are skipped so the
+/// result is canonical.
+pub fn dense_decode(bytes: &[u8]) -> Result<VersionVector, CodecError> {
+    let head: [u8; 4] = bytes
+        .get(..4)
+        .and_then(|b| b.try_into().ok())
+        .ok_or(CodecError::Truncated)?;
+    let width = u32::from_le_bytes(head) as usize;
+    let body = bytes.get(4..).ok_or(CodecError::Truncated)?;
+    if body.len() < width * 8 {
+        return Err(CodecError::Truncated);
+    }
+    if body.len() > width * 8 {
+        return Err(CodecError::Trailing);
+    }
+    let mut vv = VersionVector::new();
+    for r in 0..width {
+        let slot: [u8; 8] = body[r * 8..r * 8 + 8]
+            .try_into()
+            .map_err(|_| CodecError::Truncated)?;
+        vv.set(r as ReplicaTag, u64::from_le_bytes(slot));
+    }
+    Ok(vv)
+}
+
+/// Bytes a dense encoding costs for a replica set of `n` members — the
+/// baseline `sparse_vv_bytes_saved` accounting charges against.
+#[must_use]
+pub fn dense_len(n_replicas: usize) -> usize {
+    4 + 8 * n_replicas
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn vv_of(pairs: &[(u32, u64)]) -> VersionVector {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn empty_vector_costs_one_byte() {
+        let vv = VersionVector::new();
+        let wire = sparse_encode(&vv);
+        assert_eq!(wire, vec![0]);
+        assert_eq!(sparse_decode(&wire), Ok(vv));
+    }
+
+    #[test]
+    fn three_writers_among_256_replicas_cost_entries_not_slots() {
+        // The ISSUE's headline case: 3 writers, replica ids up to 255.
+        let vv = vv_of(&[(7, 1), (100, 2), (255, 40)]);
+        let sparse = sparse_encode(&vv);
+        let dense = dense_encode(&vv);
+        assert_eq!(sparse_decode(&sparse), Ok(vv.clone()));
+        assert_eq!(dense_decode(&dense), Ok(vv));
+        assert_eq!(dense.len(), dense_len(256));
+        assert!(
+            sparse.len() * 10 <= dense.len(),
+            "sparse {} vs dense {}",
+            sparse.len(),
+            dense.len()
+        );
+    }
+
+    #[test]
+    fn zero_count_and_trailing_and_overflow_are_rejected() {
+        // entries=1, replica=0, count=0 — non-canonical.
+        assert_eq!(sparse_decode(&[1, 0, 0]), Err(CodecError::ZeroCount));
+        // Valid vector plus a trailing byte.
+        let mut wire = sparse_encode(&vv_of(&[(1, 1)]));
+        wire.push(0);
+        assert_eq!(sparse_decode(&wire), Err(CodecError::Trailing));
+        // An 11-byte varint can't fit in 64 bits.
+        let wire = [
+            1u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 1, 1,
+        ];
+        assert_eq!(sparse_decode(&wire), Err(CodecError::Overflow));
+        // Replica delta pushing past u32::MAX.
+        let mut wire = Vec::new();
+        put_varint(&mut wire, 2);
+        put_varint(&mut wire, u64::from(u32::MAX)); // first replica = MAX
+        put_varint(&mut wire, 1);
+        put_varint(&mut wire, 0); // next replica = MAX + 1 — overflow
+        put_varint(&mut wire, 1);
+        assert_eq!(sparse_decode(&wire), Err(CodecError::Overflow));
+    }
+
+    #[test]
+    fn dense_rejects_truncation_and_trailing() {
+        let wire = dense_encode(&vv_of(&[(2, 9)]));
+        for cut in 0..wire.len() {
+            assert!(dense_decode(&wire[..cut]).is_err(), "cut {cut}");
+        }
+        let mut extra = wire;
+        extra.push(0);
+        assert_eq!(dense_decode(&extra), Err(CodecError::Trailing));
+    }
+
+    fn arb_vv() -> impl Strategy<Value = VersionVector> {
+        proptest::collection::btree_map(0u32..600, 1u64..1_000_000, 0..12)
+            .prop_map(|m| m.into_iter().collect())
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sparse_round_trips(vv in arb_vv()) {
+            let wire = sparse_encode(&vv);
+            prop_assert_eq!(sparse_decode(&wire), Ok(vv));
+        }
+
+        #[test]
+        fn prop_dense_and_sparse_agree(vv in arb_vv()) {
+            // Dense→decode skips zero slots, so both paths land on the
+            // same canonical vector.
+            let via_dense = dense_decode(&dense_encode(&vv)).unwrap();
+            let via_sparse = sparse_decode(&sparse_encode(&vv)).unwrap();
+            prop_assert_eq!(&via_dense, &vv);
+            prop_assert_eq!(&via_sparse, &vv);
+        }
+
+        #[test]
+        fn prop_zero_slots_are_skipped(pairs in proptest::collection::vec((0u32..64, 0u64..4), 0..12)) {
+            // Built with explicit zeros: the canonical vector drops them and
+            // the sparse wire never mentions them.
+            let vv: VersionVector = pairs.iter().copied().collect();
+            let writers = vv.width();
+            let wire = sparse_encode(&vv);
+            prop_assert_eq!(wire[0] as usize, writers);
+            prop_assert_eq!(sparse_decode(&wire), Ok(vv));
+        }
+
+        #[test]
+        fn prop_sparse_decode_is_total_under_truncation(vv in arb_vv()) {
+            let wire = sparse_encode(&vv);
+            for cut in 0..wire.len() {
+                // Every proper prefix must error (never panic): the entry
+                // count promises more data than a cut delivers.
+                prop_assert!(sparse_decode(&wire[..cut]).is_err(), "cut {}", cut);
+            }
+        }
+
+        #[test]
+        fn prop_sparse_decode_survives_junk(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            // Arbitrary bytes either decode to some canonical vector that
+            // re-encodes to the same bytes, or error cleanly.
+            if let Ok(vv) = sparse_decode(&bytes) {
+                prop_assert_eq!(sparse_encode(&vv), bytes);
+            }
+        }
+    }
+}

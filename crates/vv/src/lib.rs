@@ -27,8 +27,10 @@
 //! assert_eq!(joined.compare(&b), Ordering::Dominates);
 //! ```
 
+pub mod codec;
 mod vector;
 
+pub use codec::{dense_decode, dense_encode, dense_len, sparse_decode, sparse_encode, CodecError};
 pub use vector::{Ordering, ReplicaTag, VersionVector};
 
 #[cfg(test)]

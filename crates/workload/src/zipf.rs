@@ -72,6 +72,23 @@ impl Zipf {
             self.cdf[i] - self.cdf[i - 1]
         }
     }
+
+    /// Draws until `k` *distinct* items have been seen and returns them in
+    /// ascending order (capped at `n`, so asking for more items than exist
+    /// returns all of them).
+    ///
+    /// This is the dirty-set generator for the reconciliation-at-scale
+    /// experiment: a hot-skewed choice of which files a burst of client
+    /// traffic touched, deterministic per seeded RNG.
+    #[must_use]
+    pub fn distinct_sample(&self, rng: &mut StdRng, k: usize) -> Vec<usize> {
+        let want = k.min(self.cdf.len());
+        let mut seen = std::collections::BTreeSet::new();
+        while seen.len() < want {
+            seen.insert(self.sample(rng));
+        }
+        seen.into_iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +139,25 @@ mod tests {
     #[should_panic(expected = "at least one item")]
     fn empty_rejected() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn distinct_sample_is_sorted_unique_and_deterministic() {
+        let z = Zipf::new(40, 1.0);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let sa = z.distinct_sample(&mut a, 12);
+        let sb = z.distinct_sample(&mut b, 12);
+        assert_eq!(sa, sb);
+        assert_eq!(sa.len(), 12);
+        assert!(sa.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        assert!(sa.iter().all(|&i| i < 40));
+    }
+
+    #[test]
+    fn distinct_sample_caps_at_population() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.distinct_sample(&mut rng, 50), vec![0, 1, 2, 3, 4]);
     }
 }

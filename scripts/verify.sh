@@ -47,6 +47,12 @@ run cargo test -q -p ficus-bench e10
 # conflicts and zero manual resolutions.
 run cargo test -q -p ficus-bench e11
 
+# E12 shape assertion: with change logs + ring topology, a quiescent pass
+# costs a flat per-engagement constant per host (no per-file work), a dirty
+# pass grows with the changed-file count, and the sparse version-vector
+# encoding stays under a tenth of the dense frame at 256 replicas.
+run cargo test -q -p ficus-bench e12
+
 if [[ "${1:-}" == "--quick" ]]; then
     echo "verify: tier-1 OK (quick mode, workspace tests and lints skipped)"
     exit 0

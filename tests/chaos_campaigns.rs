@@ -82,12 +82,14 @@ fn auto_resolver_campaigns_end_with_nothing_pending_under_every_policy() {
                 report.violations
             );
             assert_eq!(
-                report.resolutions, 0,
+                report.resolutions,
+                0,
                 "policy {} seed {seed:#x}: a human had to step in",
                 policy.name()
             );
             assert_eq!(
-                report.residual_pending, 0,
+                report.residual_pending,
+                0,
                 "policy {} seed {seed:#x}: conflicts left pending",
                 policy.name()
             );
@@ -306,4 +308,73 @@ fn quiet_campaign_without_health_still_converges() {
             assert!(p.file_vv(e.file).is_ok(), "{name} has storage at {h}");
         }
     }
+}
+
+/// Chaos at scale under the O(changes) machinery: a 16-replica world on a
+/// ring topology with incremental (change-log-driven) reconciliation, with
+/// partitions, crashes, and datagram loss all armed. Every post-heal
+/// invariant must hold — including unattended resolution, since conflicts
+/// must still converge when each pass only talks to one successor. The
+/// resolver is `SetMerge` (idempotent): a concatenating policy like
+/// `AppendMerge` compounds merge-of-merge output across the ~N ring hops a
+/// change needs to circulate, ballooning the shared file.
+#[test]
+fn sixteen_replica_ring_campaign_passes_all_invariants() {
+    use ficus_repro::core::topology::ReconTopology;
+    for seed in [5u64, 0x051C_40FF] {
+        let report = run_campaign(&ChaosParams {
+            seed,
+            hosts: 16,
+            steps: 12,
+            topology: ReconTopology::Ring,
+            incremental: true,
+            resolver: Some(ResolutionPolicy::SetMerge),
+            ..ChaosParams::default()
+        });
+        assert!(
+            report.passed(),
+            "seed {seed:#x} violated invariants on the ring: {:#?}",
+            report.violations
+        );
+        assert!(report.writes_ok > 0, "seed {seed:#x} did no work");
+        assert!(
+            report.log_appends > 0,
+            "seed {seed:#x}: incremental recon without log appends is implausible"
+        );
+        assert!(
+            report.full_walk_fallbacks >= 16,
+            "seed {seed:#x}: every replica's first contact with its successor \
+             is a fallback walk"
+        );
+        assert!(
+            report.sparse_vv_bytes_saved > 0,
+            "seed {seed:#x}: 16-wide vectors with few writers must compress"
+        );
+    }
+}
+
+/// Ring campaigns stay deterministic per seed, changelog and topology
+/// counters included.
+#[test]
+fn ring_campaigns_are_deterministic_per_seed() {
+    use ficus_repro::core::topology::ReconTopology;
+    let params = ChaosParams {
+        seed: 99,
+        hosts: 16,
+        steps: 8,
+        topology: ReconTopology::Ring,
+        incremental: true,
+        resolver: Some(ResolutionPolicy::SetMerge),
+        ..ChaosParams::default()
+    };
+    let a = run_campaign(&params);
+    let b = run_campaign(&params);
+    assert_eq!(a.writes_ok, b.writes_ok);
+    assert_eq!(a.conflicts_detected, b.conflicts_detected);
+    assert_eq!(a.log_appends, b.log_appends);
+    assert_eq!(a.log_truncations, b.log_truncations);
+    assert_eq!(a.cursor_resets, b.cursor_resets);
+    assert_eq!(a.full_walk_fallbacks, b.full_walk_fallbacks);
+    assert_eq!(a.sparse_vv_bytes_saved, b.sparse_vv_bytes_saved);
+    assert_eq!(a.violations, b.violations);
 }
