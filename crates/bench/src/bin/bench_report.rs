@@ -1,6 +1,6 @@
 //! bench-report — the machine-readable perf trajectory.
 //!
-//! Runs every experiment (e1–e12), regenerates the human-readable
+//! Runs every experiment (e1–e13), regenerates the human-readable
 //! `results/exp_*.txt` tables, and writes one `BENCH_<exp>.json` per
 //! experiment plus a `BENCH_SUMMARY.json` roll-up. With `--compare <dir>`
 //! it first loads the committed baseline JSON from `<dir>` and diffs every
@@ -15,8 +15,8 @@ use std::process::ExitCode;
 
 use ficus_bench::report::{compare, Json, Metrics};
 use ficus_bench::{
-    e10_lcache, e11_resolve, e12_scale, e1_layers, e2_open_io, e3_commit, e4_availability,
-    e5_reconciliation, e6_locality, e7_propagation, e8_grafting, e9_nfs_overload,
+    e10_lcache, e11_resolve, e12_scale, e13_delta, e1_layers, e2_open_io, e3_commit,
+    e4_availability, e5_reconciliation, e6_locality, e7_propagation, e8_grafting, e9_nfs_overload,
 };
 
 /// One runnable experiment: id, txt artifact name, and a producer of the
@@ -133,10 +133,22 @@ const EXPERIMENTS: &[Experiment] = &[
             (r.render(), r.metrics)
         },
     },
+    Experiment {
+        id: "e13",
+        txt: "exp_e13_delta.txt",
+        run: || {
+            let commit = e13_delta::run();
+            let transfer = e13_delta::run_transfer();
+            let text = format!("{}{}", commit.render(), transfer.render());
+            let mut m = commit.metrics;
+            m.merge(transfer.metrics);
+            (text, m)
+        },
+    },
 ];
 
 const USAGE: &str = "\
-bench-report: run the e1-e12 experiments, write results/*.txt and BENCH_*.json,
+bench-report: run the e1-e13 experiments, write results/*.txt and BENCH_*.json,
 and optionally gate on a committed baseline.
 
 usage: bench-report [--out DIR] [--compare DIR] [--only IDS]

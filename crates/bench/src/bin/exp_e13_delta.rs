@@ -1,0 +1,5 @@
+//! e13_delta: see the corresponding module in ficus-bench for the claim.
+fn main() {
+    print!("{}", ficus_bench::e13_delta::run().render());
+    print!("{}", ficus_bench::e13_delta::run_transfer().render());
+}

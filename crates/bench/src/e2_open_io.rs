@@ -12,8 +12,9 @@
 //! Plain-UFS cold open of `dir/file` = directory inode + directory data +
 //! file inode = **3 reads**. The Ficus path additionally reads the
 //! underlying UFS directory (inode + data, to map the hex handle) and the
-//! auxiliary attributes file (inode + data) = **7 reads**, i.e. **+4**.
-//! Warm opens are free in both systems.
+//! auxiliary attributes file (inode + data) — the paper's four extra I/Os —
+//! plus, since chunked storage (DESIGN.md §4.13), the chunk-map data page
+//! = **8 reads**, i.e. **+5**. Warm opens are free in both systems.
 
 use std::sync::Arc;
 
@@ -125,7 +126,7 @@ pub fn run() -> Report {
     let ufs = measure_ufs();
     let ficus = measure_ficus(StorageLayout::Tree);
     let mut t = Table::new(
-        "E2: open() disk reads, cold vs warm (paper §6: Ficus = +4 I/Os cold, +0 warm)",
+        "E2: open() disk reads, cold vs warm (paper §6: +4 I/Os cold, +1 chunk map; +0 warm)",
         &["stack", "cold reads", "warm reads", "extra vs UFS (cold)"],
     );
     let mut m = Metrics::new("e2", &t.title);
@@ -150,7 +151,7 @@ pub fn run() -> Report {
         "disk reads",
         ficus.cold_reads.saturating_sub(ufs.cold_reads) as f64,
     );
-    t.note("paper: UFS cold = dir inode + dir data + file inode; Ficus adds UFS-dir inode+data and aux inode+data");
+    t.note("paper: UFS cold = dir inode + dir data + file inode; Ficus adds UFS-dir inode+data, aux inode+data, chunk-map page");
     Report {
         table: t,
         metrics: m,
@@ -176,13 +177,13 @@ mod tests {
     }
 
     #[test]
-    fn ficus_cold_open_costs_four_extra_reads() {
+    fn ficus_cold_open_costs_five_extra_reads() {
         let ufs = measure_ufs();
         let ficus = measure_ficus(StorageLayout::Tree);
         assert_eq!(
             ficus.cold_reads - ufs.cold_reads,
-            4,
-            "the paper's four extra I/Os (ficus={}, ufs={})",
+            5,
+            "the paper's four extra I/Os plus the chunk-map page (ficus={}, ufs={})",
             ficus.cold_reads,
             ufs.cold_reads
         );

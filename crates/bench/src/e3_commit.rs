@@ -7,11 +7,12 @@
 //!
 //! We update `k` bytes of an `n`-byte file two ways and count the disk
 //! blocks written: **in-place** (what a plain UFS write does) versus
-//! **shadow commit** (write the whole new contents to a shadow, fsync,
-//! atomic rename — what Ficus propagation does). The in-place path writes
-//! O(k / block) blocks; the shadow path writes O(n / block), so the
-//! overhead ratio grows with the file size and shrinks as the update
-//! approaches a full rewrite.
+//! **whole-file shadow commit** (write the whole new contents, fsync,
+//! atomic swap — the paper's §3.2 behavior, measured here with delta
+//! commit *disabled*). The in-place path writes O(k / block) blocks; the
+//! whole-file shadow path writes O(n / block), so the overhead ratio grows
+//! with the file size and shrinks as the update approaches a full rewrite.
+//! E13 measures the chunked *delta* commit that removes this blow-up.
 
 use std::sync::Arc;
 
@@ -79,7 +80,12 @@ pub fn measure(file_size: usize, update_size: usize) -> CommitCost {
         ReplicaId(1),
         &[1, 2],
         clock,
-        PhysParams::default(),
+        PhysParams {
+            // The whole-file §3.2 baseline: every chunk rewritten on
+            // commit. E13 measures the delta path this PR adds.
+            delta_commit: false,
+            ..PhysParams::default()
+        },
     )
     .unwrap();
     let file = phys.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
@@ -198,13 +204,14 @@ mod tests {
     fn full_rewrite_costs_converge() {
         let c = measure(128 * 1024, 128 * 1024);
         let ratio = c.shadow_writes as f64 / c.inplace_writes as f64;
-        // The shadow still pays block allocation for the fresh shadow file
-        // and frees the displaced blocks (synchronous bitmap writes), so a
-        // small constant factor remains; the blow-up of the small-update
-        // case is gone.
+        // The shadow pays a constant factor per chunk — every chunk is its
+        // own UFS file, so a full rewrite buys an inode, directory entry,
+        // and allocation-bitmap sync writes per 4 KiB, plus the per-chunk
+        // fsync — but the factor is independent of file size: the
+        // small-update blow-up (thousands-fold above) is gone.
         assert!(
-            ratio < 5.0,
-            "full rewrite should cost the same order: {ratio}"
+            ratio < 25.0,
+            "full rewrite should cost a bounded constant factor: {ratio}"
         );
     }
 

@@ -12,6 +12,7 @@
 pub mod e10_lcache;
 pub mod e11_resolve;
 pub mod e12_scale;
+pub mod e13_delta;
 pub mod e1_layers;
 pub mod e2_open_io;
 pub mod e3_commit;

@@ -18,6 +18,7 @@ use ficus_vnode::{Credentials, FsError, FsResult, VnodeRef};
 
 use crate::attrs::ReplAttrs;
 use crate::changelog::LogSuffix;
+use crate::chunks::{self, ChunkMap};
 use crate::dirfile::FicusDir;
 use crate::ids::{FicusFileId, ReplicaId};
 use crate::phys::FicusPhysical;
@@ -154,6 +155,122 @@ pub trait ReplicaAccess: Send + Sync {
     /// The replica's change-log suffix since sequence `from` — the pulling
     /// side of the recon cursor protocol (see [`crate::changelog`]).
     fn fetch_changes(&self, from: u64) -> FsResult<LogSuffix>;
+
+    /// The chunk map of one regular file — the per-chunk digests delta
+    /// transfer compares (DESIGN.md §4.13). The default reports
+    /// `Unsupported`; callers fall back to [`ReplicaAccess::fetch_data`].
+    fn fetch_chunk_map(&self, file: FicusFileId) -> FsResult<ChunkMap> {
+        let _ = file;
+        Err(FsError::Unsupported)
+    }
+
+    /// Concatenated bytes of chunks `[start, start + count)` of one file.
+    /// Same fallback contract as [`ReplicaAccess::fetch_chunk_map`].
+    fn fetch_chunks(&self, file: FicusFileId, start: u32, count: u32) -> FsResult<Vec<u8>> {
+        let _ = (file, start, count);
+        Err(FsError::Unsupported)
+    }
+}
+
+/// Files at or below this many chunks skip the delta protocol entirely:
+/// one whole-file read costs no more than the map exchange would.
+pub const SMALL_FILE_CHUNKS: usize = 2;
+
+/// What one delta-aware file fetch shipped and reused.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaFetch {
+    /// The assembled new contents.
+    pub data: Vec<u8>,
+    /// Chunks pulled over the wire (zero for a whole-file fetch).
+    pub blocks_shipped: u64,
+    /// Chunks reused from the local replica (digest and length match).
+    pub blocks_reused: u64,
+    /// Bytes actually transferred (delta chunks, or the whole file).
+    pub bytes_fetched: u64,
+}
+
+/// Fetches a file's new contents, shipping only changed chunks when both
+/// sides speak the chunk protocol (DESIGN.md §4.13).
+///
+/// The local chunk map and the remote's (via `;f;map;`) are compared by
+/// digest; only dirty chunks travel, coalesced into contiguous `;f;blk;`
+/// range reads. Every shortcoming degrades to the whole-file fetch: a
+/// file too small to bother (≤ [`SMALL_FILE_CHUNKS`] chunks), a peer that
+/// does not serve maps, mismatched chunk sizes, a local replica with no
+/// usable copy, or any piece — fetched or reused — whose digest disagrees
+/// with the map that promised it (a torn local chunk, or a remote whose
+/// map and data raced an update).
+pub fn fetch_file_delta(
+    access: &dyn ReplicaAccess,
+    phys: &FicusPhysical,
+    file: FicusFileId,
+) -> FsResult<DeltaFetch> {
+    if let Some(delta) = try_delta(access, phys, file) {
+        return Ok(delta);
+    }
+    let data = access.fetch_data(file)?;
+    Ok(DeltaFetch {
+        bytes_fetched: data.len() as u64,
+        data,
+        ..DeltaFetch::default()
+    })
+}
+
+/// The delta path proper; `None` means "use the whole-file fallback".
+/// Errors inside the attempt are folded into `None` on purpose — if the
+/// transport is genuinely down the fallback's own fetch will say so.
+fn try_delta(
+    access: &dyn ReplicaAccess,
+    phys: &FicusPhysical,
+    file: FicusFileId,
+) -> Option<DeltaFetch> {
+    let local = phys.chunk_map(file).ok()?;
+    let remote = access.fetch_chunk_map(file).ok()?;
+    if remote.chunks.len() <= SMALL_FILE_CHUNKS || remote.chunk_size != local.chunk_size {
+        return None;
+    }
+    let dirty = chunks::dirty_indices(&local, &remote);
+    let mut fetched: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+    let mut bytes_fetched = 0u64;
+    for (start, count) in chunks::contiguous_ranges(&dirty) {
+        let buf = access.fetch_chunks(file, start, count).ok()?;
+        // Slice the range payload into per-chunk pieces by map lengths.
+        let mut off = 0usize;
+        for i in start..start + count {
+            let entry = remote.chunks.get(i as usize)?;
+            let end = off.checked_add(entry.len as usize)?;
+            fetched.insert(i, buf.get(off..end)?.to_vec());
+            off = end;
+        }
+        if off != buf.len() {
+            return None;
+        }
+        bytes_fetched += buf.len() as u64;
+    }
+    // Assemble: dirty chunks from the fetch, the rest from the local copy.
+    let mut data = Vec::with_capacity(remote.size as usize);
+    for (i, entry) in remote.chunks.iter().enumerate() {
+        let piece = match fetched.remove(&(i as u32)) {
+            Some(p) => p,
+            None => {
+                let off = (i as u64) * u64::from(remote.chunk_size);
+                phys.read(file, off, entry.len as usize).ok()?.to_vec()
+            }
+        };
+        if piece.len() != entry.len as usize || chunks::digest(&piece) != entry.digest {
+            return None;
+        }
+        data.extend_from_slice(&piece);
+    }
+    if data.len() as u64 != remote.size {
+        return None;
+    }
+    Some(DeltaFetch {
+        data,
+        blocks_shipped: dirty.len() as u64,
+        blocks_reused: (remote.chunks.len() - dirty.len()) as u64,
+        bytes_fetched,
+    })
 }
 
 /// Direct access to a co-resident physical layer.
@@ -195,6 +312,14 @@ impl ReplicaAccess for LocalAccess {
 
     fn fetch_changes(&self, from: u64) -> FsResult<LogSuffix> {
         Ok(self.phys.changelog_suffix(from))
+    }
+
+    fn fetch_chunk_map(&self, file: FicusFileId) -> FsResult<ChunkMap> {
+        self.phys.chunk_map(file)
+    }
+
+    fn fetch_chunks(&self, file: FicusFileId, start: u32, count: u32) -> FsResult<Vec<u8>> {
+        self.phys.read_chunk_range(file, start, count)
     }
 }
 
@@ -341,6 +466,25 @@ impl ReplicaAccess for VnodeAccess {
         let ctl = self.root.lookup(&self.cred, &name)?;
         LogSuffix::decode(&self.slurp(&ctl)?)
     }
+
+    fn fetch_chunk_map(&self, file: FicusFileId) -> FsResult<ChunkMap> {
+        let name = format!(";f;map;{}", file.hex());
+        if let Some(items) = self.bulk_read(std::slice::from_ref(&name)) {
+            let payload = items?.into_iter().next().ok_or(FsError::Io)??;
+            return ChunkMap::decode(&payload);
+        }
+        let ctl = self.root.lookup(&self.cred, &name)?;
+        ChunkMap::decode(&self.slurp(&ctl)?)
+    }
+
+    fn fetch_chunks(&self, file: FicusFileId, start: u32, count: u32) -> FsResult<Vec<u8>> {
+        let name = format!(";f;blk;{};{start:08x};{count:08x}", file.hex());
+        if let Some(items) = self.bulk_read(std::slice::from_ref(&name)) {
+            return items?.into_iter().next().ok_or(FsError::Io)?;
+        }
+        let ctl = self.root.lookup(&self.cred, &name)?;
+        self.slurp(&ctl)
+    }
 }
 
 #[cfg(test)]
@@ -354,12 +498,16 @@ mod tests {
     use crate::phys::PhysParams;
 
     fn phys() -> Arc<FicusPhysical> {
+        phys_replica(ReplicaId(1))
+    }
+
+    fn phys_replica(me: ReplicaId) -> Arc<FicusPhysical> {
         let ufs = Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap();
         FicusPhysical::create_volume(
             Arc::new(ufs),
             "vol",
             VolumeName::new(1, 1),
-            ReplicaId(1),
+            me,
             &[1, 2],
             Arc::new(LogicalClock::new()) as Arc<dyn TimeSource>,
             PhysParams::default(),
@@ -438,6 +586,132 @@ mod tests {
             local.fetch_dir_with_children(f).unwrap_err(),
             FsError::NotDir
         );
+    }
+
+    #[test]
+    fn chunk_surface_agrees_local_and_vnode() {
+        let p = phys();
+        let f = p.create(ROOT_FILE, "file", VnodeType::Regular).unwrap();
+        p.write(f, 0, &vec![5u8; 3 * 4096 + 17]).unwrap();
+
+        let local = LocalAccess::new(Arc::clone(&p));
+        let via_vnode = VnodeAccess::new(ReplicaId(1), PhysFs::new(Arc::clone(&p)).root());
+        let per_file = VnodeAccess::per_file(ReplicaId(1), PhysFs::new(Arc::clone(&p)).root());
+
+        let want_map = local.fetch_chunk_map(f).unwrap();
+        assert_eq!(want_map.chunks.len(), 4);
+        assert_eq!(via_vnode.fetch_chunk_map(f).unwrap(), want_map);
+        assert_eq!(per_file.fetch_chunk_map(f).unwrap(), want_map);
+
+        let want = local.fetch_chunks(f, 1, 2).unwrap();
+        assert_eq!(want.len(), 2 * 4096);
+        assert_eq!(via_vnode.fetch_chunks(f, 1, 2).unwrap(), want);
+        assert_eq!(per_file.fetch_chunks(f, 1, 2).unwrap(), want);
+        // Out-of-range requests fail identically everywhere.
+        assert_eq!(local.fetch_chunks(f, 3, 2).unwrap_err(), FsError::Invalid);
+        assert_eq!(
+            via_vnode.fetch_chunks(f, 3, 2).unwrap_err(),
+            FsError::Invalid
+        );
+    }
+
+    #[test]
+    fn delta_fetch_ships_only_changed_chunks() {
+        // Replica 1 holds the newer version; replica 2 pulls it.
+        let p1 = phys_replica(ReplicaId(1));
+        let p2 = phys_replica(ReplicaId(2));
+        let f = p1.create(ROOT_FILE, "big", VnodeType::Regular).unwrap();
+        let mut data = vec![7u8; 16 * 4096];
+        p1.write(f, 0, &data).unwrap();
+        p2.adopt_file(
+            ROOT_FILE,
+            f,
+            VnodeType::Regular,
+            &p1.file_vv(f).unwrap(),
+            &data,
+        )
+        .unwrap();
+
+        // A one-chunk edit at the origin.
+        p1.write(f, 2 * 4096 + 5, &[9u8; 100]).unwrap();
+        data[2 * 4096 + 5..2 * 4096 + 105].fill(9);
+
+        let acc = VnodeAccess::new(ReplicaId(1), PhysFs::new(Arc::clone(&p1)).root());
+        let pulled = fetch_file_delta(&acc, &p2, f).unwrap();
+        assert_eq!(pulled.data, data);
+        assert_eq!(pulled.blocks_shipped, 1);
+        assert_eq!(pulled.blocks_reused, 15);
+        assert_eq!(pulled.bytes_fetched, 4096);
+    }
+
+    #[test]
+    fn delta_fetch_falls_back_to_whole_file() {
+        let p1 = phys_replica(ReplicaId(1));
+        let p2 = phys_replica(ReplicaId(2));
+
+        // Small files skip the map exchange entirely.
+        let small = p1.create(ROOT_FILE, "small", VnodeType::Regular).unwrap();
+        p1.write(small, 0, b"tiny").unwrap();
+        p2.adopt_file(
+            ROOT_FILE,
+            small,
+            VnodeType::Regular,
+            &p1.file_vv(small).unwrap(),
+            b"tiny",
+        )
+        .unwrap();
+        let acc = VnodeAccess::new(ReplicaId(1), PhysFs::new(Arc::clone(&p1)).root());
+        let pulled = fetch_file_delta(&acc, &p2, small).unwrap();
+        assert_eq!(pulled.data, b"tiny");
+        assert_eq!(pulled.blocks_shipped, 0);
+        assert_eq!(pulled.blocks_reused, 0);
+        assert_eq!(pulled.bytes_fetched, 4);
+
+        // A file the local replica has never stored also goes whole.
+        let fresh = p1.create(ROOT_FILE, "fresh", VnodeType::Regular).unwrap();
+        let body = vec![3u8; 5 * 4096];
+        p1.write(fresh, 0, &body).unwrap();
+        let pulled = fetch_file_delta(&acc, &p2, fresh).unwrap();
+        assert_eq!(pulled.data, body);
+        assert_eq!(pulled.blocks_shipped, 0);
+        assert_eq!(pulled.bytes_fetched, body.len() as u64);
+
+        // An access layer without the chunk protocol (trait defaults)
+        // degrades the same way.
+        struct NoChunks(LocalAccess);
+        impl ReplicaAccess for NoChunks {
+            fn replica(&self) -> ReplicaId {
+                self.0.replica()
+            }
+            fn fetch_attrs(&self, file: FicusFileId) -> FsResult<ReplAttrs> {
+                self.0.fetch_attrs(file)
+            }
+            fn fetch_data(&self, file: FicusFileId) -> FsResult<Vec<u8>> {
+                self.0.fetch_data(file)
+            }
+            fn fetch_dir(&self, dir: FicusFileId) -> FsResult<(FicusDir, ReplAttrs)> {
+                self.0.fetch_dir(dir)
+            }
+            fn fetch_changes(&self, from: u64) -> FsResult<LogSuffix> {
+                self.0.fetch_changes(from)
+            }
+        }
+        let big = p1.create(ROOT_FILE, "big", VnodeType::Regular).unwrap();
+        let body = vec![4u8; 8 * 4096];
+        p1.write(big, 0, &body).unwrap();
+        p2.adopt_file(
+            ROOT_FILE,
+            big,
+            VnodeType::Regular,
+            &p1.file_vv(big).unwrap(),
+            &body,
+        )
+        .unwrap();
+        let legacy = NoChunks(LocalAccess::new(Arc::clone(&p1)));
+        let pulled = fetch_file_delta(&legacy, &p2, big).unwrap();
+        assert_eq!(pulled.data, body);
+        assert_eq!(pulled.blocks_shipped, 0);
+        assert_eq!(pulled.bytes_fetched, body.len() as u64);
     }
 
     #[test]

@@ -189,6 +189,17 @@ pub struct ChaosReport {
     pub full_walk_fallbacks: u64,
     /// Wire bytes the sparse version-vector encoding saved vs dense slots.
     pub sparse_vv_bytes_saved: u64,
+    /// Chunk files written across all hosts (commits, adoptions, local
+    /// writes — see [`crate::chunks::ChunkStats`]).
+    pub chunks_written: u64,
+    /// Chunks delta commits kept from the previous map across all hosts.
+    pub chunks_reused: u64,
+    /// Shadow maps atomically swapped in across all hosts.
+    pub maps_committed: u64,
+    /// Chunks shipped over the wire by delta-aware pulls.
+    pub blocks_shipped: u64,
+    /// Chunks delta-aware pulls reused from the puller's replica.
+    pub blocks_reused: u64,
     /// Invariant violations (empty = the campaign passed).
     pub violations: Vec<String>,
 }
@@ -364,10 +375,16 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
         let before = world.net().stats().rpcs_unreachable;
         world.deliver_notifications();
         for h in world.host_ids() {
-            let _ = world.run_propagation(h);
+            if let Ok(s) = world.run_propagation(h) {
+                report.blocks_shipped += s.blocks_shipped;
+                report.blocks_reused += s.blocks_reused;
+            }
         }
         let recon_host = HostId(1 + (step % params.hosts));
-        let _ = world.run_reconciliation(recon_host);
+        if let Ok(s) = world.run_reconciliation(recon_host) {
+            report.blocks_shipped += s.blocks_shipped;
+            report.blocks_reused += s.blocks_reused;
+        }
         if params.resolver.is_some() {
             // The resolver daemon rides the same cadence as the others:
             // whatever reconciliation stashed this round gets a resolution
@@ -401,8 +418,10 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
     }
 
     let before = world.net().stats().rpcs_unreachable;
-    world.drain_propagation(drain_budget);
-    world.reconcile_until_quiescent(recon_budget);
+    let ps = world.drain_propagation(drain_budget);
+    let rs = world.reconcile_until_quiescent(recon_budget);
+    report.blocks_shipped += ps.blocks_shipped + rs.blocks_shipped;
+    report.blocks_reused += ps.blocks_reused + rs.blocks_reused;
 
     let rpcs_before_resolution = world.net().stats().rpcs;
     if params.resolver.is_some() {
@@ -418,8 +437,10 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
                 report.auto_declined += s.declined;
                 report.auto_bytes_merged += s.bytes_merged;
             }
-            world.drain_propagation(drain_budget);
-            world.reconcile_until_quiescent(recon_budget);
+            let ps = world.drain_propagation(drain_budget);
+            let rs = world.reconcile_until_quiescent(recon_budget);
+            report.blocks_shipped += ps.blocks_shipped + rs.blocks_shipped;
+            report.blocks_reused += ps.blocks_reused + rs.blocks_reused;
             if count_pending(&world) == 0 {
                 break;
             }
@@ -446,8 +467,10 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
             }
             world.settle();
         }
-        world.drain_propagation(drain_budget);
-        world.reconcile_until_quiescent(recon_budget);
+        let ps = world.drain_propagation(drain_budget);
+        let rs = world.reconcile_until_quiescent(recon_budget);
+        report.blocks_shipped += ps.blocks_shipped + rs.blocks_shipped;
+        report.blocks_reused += ps.blocks_reused + rs.blocks_reused;
     }
     report.resolution_rpcs = world.net().stats().rpcs - rpcs_before_resolution;
     report.residual_pending = count_pending(&world);
@@ -469,6 +492,10 @@ pub fn run_campaign(params: &ChaosParams) -> ChaosReport {
             report.cursor_resets += cs.cursor_resets;
             report.full_walk_fallbacks += cs.full_walk_fallbacks;
             report.sparse_vv_bytes_saved += cs.sparse_vv_bytes_saved;
+            let ks = p.chunk_stats();
+            report.chunks_written += ks.chunks_written;
+            report.chunks_reused += ks.chunks_reused;
+            report.maps_committed += ks.maps_committed;
         }
     }
     report
@@ -773,6 +800,15 @@ mod tests {
         assert_eq!(a.writes_failed, b.writes_failed);
         assert_eq!(a.partitions, b.partitions);
         assert_eq!(a.daemon_unreachable_rpcs, b.daemon_unreachable_rpcs);
+        // The chunked-storage machinery is deterministic too: same seed,
+        // same chunk traffic (R2 would flag any wall-clock sneaking in).
+        assert!(a.chunks_written > 0, "campaign writes go through chunks");
+        assert!(a.maps_committed > 0, "propagated versions swap maps");
+        assert_eq!(a.chunks_written, b.chunks_written);
+        assert_eq!(a.chunks_reused, b.chunks_reused);
+        assert_eq!(a.maps_committed, b.maps_committed);
+        assert_eq!(a.blocks_shipped, b.blocks_shipped);
+        assert_eq!(a.blocks_reused, b.blocks_reused);
     }
 
     #[test]

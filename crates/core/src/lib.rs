@@ -28,6 +28,9 @@
 //! * [`changelog`] — the per-volume change log / dirty set: every
 //!   committed mutation appends a compact record, and reconciliation
 //!   exchanges log cursors so a pass costs O(changes), not O(files).
+//! * [`chunks`] — chunked replica storage: the per-file block map over
+//!   fixed-size chunks that lets shadow commit write only dirty chunks
+//!   (§3.2 footnote 5) and propagation ship only changed ones.
 //! * [`topology`] — which peers a reconciliation pass engages: all-pairs,
 //!   ring, or partial mesh over the replica ids.
 //! * [`phys`] — the physical layer: dual-mapping storage over UFS, the
@@ -64,6 +67,7 @@ pub mod access;
 pub mod attrs;
 pub mod changelog;
 pub mod chaos;
+pub mod chunks;
 pub mod conflict;
 pub mod dirfile;
 pub mod health;

@@ -9,7 +9,11 @@
 //! * each object's replication attributes live in an **auxiliary UFS file**
 //!   (`a` for the directory itself, `<hex>.a` for children);
 //! * the Ficus file handle is encoded as a **hexadecimal string used as a
-//!   UFS pathname** (`<hex>` data file, `<hex>.d` child-directory subtree).
+//!   UFS pathname** (`<hex>` for a file, `<hex>.d` child-directory subtree);
+//! * a regular file's contents are chunked (DESIGN.md §4.13): `<hex>` holds
+//!   the encoded [`ChunkMap`] naming the chunk files (`<hex>.k<gen>`) that
+//!   compose the replica, so shadow commit and propagation move only dirty
+//!   chunks instead of whole files (§3.2 footnote 5).
 //!
 //! Two layouts are provided, the ablation behind experiment E6:
 //!
@@ -24,9 +28,11 @@
 //!
 //! The physical layer also implements the replication machinery that must
 //! live next to the data: version-vector maintenance on every update, the
-//! **shadow-file atomic commit** used by update propagation (§3.2), the
-//! **new-version cache** fed by update notifications, and crash recovery
-//! (discard shadows, keep originals).
+//! **shadow-map atomic commit** used by update propagation (§3.2: dirty
+//! chunks + a new map are fsynced, then one UFS rename swaps the map
+//! reference), the **new-version cache** fed by update notifications, and
+//! crash recovery (discard shadow maps and unreferenced chunks, keep
+//! originals).
 //!
 //! Everything the layer offers is also exported through the vnode interface
 //! (see [`vnode`]), including the overloaded-lookup control plane of §2.3,
@@ -47,6 +53,7 @@ use ficus_vv::VersionVector;
 
 use crate::attrs::ReplAttrs;
 use crate::changelog::{ChangeLog, ChangelogStats, LogSuffix};
+use crate::chunks::{self, ChunkEntry, ChunkMap, ChunkStats, CommitPoint, DEFAULT_CHUNK_SIZE};
 use crate::conflict::{ConflictKind, ConflictLog};
 use crate::dirfile::{FicusDir, FicusEntry, MergeOutcome};
 use crate::ids::{EntryId, FicusFileId, ReplicaId, VolumeName, ROOT_FILE};
@@ -78,6 +85,12 @@ pub struct PhysParams {
     /// for incremental reconciliation before cursors below the floor force
     /// a full-walk fallback.
     pub changelog_capacity: usize,
+    /// Chunk size (bytes) of the per-file block map (DESIGN.md §4.13).
+    pub chunk_size: u32,
+    /// Whether shadow commit writes only dirty chunks (`true` — the repair
+    /// of §3.2 footnote 5) or rewrites every chunk (`false` — the
+    /// whole-file baseline E3 and E13 measure against).
+    pub delta_commit: bool,
 }
 
 impl Default for PhysParams {
@@ -87,6 +100,8 @@ impl Default for PhysParams {
             fsid: 0x1C05,
             dir_policy: DirPolicy::default(),
             changelog_capacity: 1024,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            delta_commit: true,
         }
     }
 }
@@ -135,6 +150,36 @@ pub struct FicusPhysical {
     seq: AtomicU64,
     seq_reserved: AtomicU64,
     opens: Mutex<Vec<(FicusFileId, OpenFlags, bool)>>,
+    chunk_size: u32,
+    delta_commit: bool,
+    chunk_counters: ChunkCounters,
+    crash_plan: Mutex<Option<CommitPoint>>,
+}
+
+/// Atomic counters behind [`ChunkStats`].
+#[derive(Default)]
+struct ChunkCounters {
+    chunks_written: AtomicU64,
+    chunks_reused: AtomicU64,
+    maps_committed: AtomicU64,
+    commit_aborts: AtomicU64,
+    shadows_discarded: AtomicU64,
+    shadow_discard_failures: AtomicU64,
+    orphan_chunks_removed: AtomicU64,
+}
+
+impl ChunkCounters {
+    fn snapshot(&self) -> ChunkStats {
+        ChunkStats {
+            chunks_written: self.chunks_written.load(AtomicOrdering::Relaxed),
+            chunks_reused: self.chunks_reused.load(AtomicOrdering::Relaxed),
+            maps_committed: self.maps_committed.load(AtomicOrdering::Relaxed),
+            commit_aborts: self.commit_aborts.load(AtomicOrdering::Relaxed),
+            shadows_discarded: self.shadows_discarded.load(AtomicOrdering::Relaxed),
+            shadow_discard_failures: self.shadow_discard_failures.load(AtomicOrdering::Relaxed),
+            orphan_chunks_removed: self.orphan_chunks_removed.load(AtomicOrdering::Relaxed),
+        }
+    }
 }
 
 /// Name of the directory-content file inside a directory's UFS dir.
@@ -153,6 +198,13 @@ const META_FILE: &str = "meta";
 const ORPHANAGE: &str = "lost+found";
 /// Allocation batch persisted ahead of use.
 const SEQ_BATCH: u64 = 64;
+
+/// UFS name of one chunk of a file's contents: `<hex>.k<generation:016x>`.
+/// Generations are minted from the volume's unique counter and never
+/// reused, so a chunk file is immutable once its map commits.
+fn chunk_name(file: FicusFileId, generation: u64) -> String {
+    format!("{}.k{generation:016x}", file.hex())
+}
 
 impl FicusPhysical {
     /// Creates a brand-new volume replica inside `base_name` under the root
@@ -229,6 +281,10 @@ impl FicusPhysical {
             seq: AtomicU64::new(1),
             seq_reserved: AtomicU64::new(0),
             opens: Mutex::new(Vec::new()),
+            chunk_size: params.chunk_size.max(1),
+            delta_commit: params.delta_commit,
+            chunk_counters: ChunkCounters::default(),
+            crash_plan: Mutex::new(None),
         })
     }
 
@@ -595,7 +651,13 @@ impl FicusPhysical {
         };
         let file = FicusFileId::new(self.me.0, self.next_unique()?);
         let entry_id = EntryId::new(self.me.0, self.next_unique()?);
-        scope.create(&self.cred, &file.hex(), 0o644)?;
+        // An empty file is an empty chunk map — chunk files appear lazily
+        // as data is written.
+        self.write_named(
+            &scope,
+            &file.hex(),
+            &ChunkMap::empty(self.chunk_size).encode(),
+        )?;
         let mut attrs = ReplAttrs::new(kind);
         attrs.vv.increment(self.me.0);
         self.write_named(
@@ -920,6 +982,14 @@ impl FicusPhysical {
                 }
             }
         } else {
+            // Chunks first (the map names them), then the map and aux.
+            if let Ok(map) = self.load_map(&loc.parent_ufs, file) {
+                for e in &map.chunks {
+                    let _ = loc
+                        .parent_ufs
+                        .remove(&self.cred, &chunk_name(file, e.generation));
+                }
+            }
             let _ = loc.parent_ufs.remove(&self.cred, &file.hex());
             let _ = loc
                 .parent_ufs
@@ -931,39 +1001,242 @@ impl FicusPhysical {
 
     // --- file data --------------------------------------------------------------
 
-    fn data_vnode(&self, file: FicusFileId) -> FsResult<VnodeRef> {
+    /// Location scope of a regular file (its chunk map and chunks live in
+    /// the parent's UFS directory).
+    fn file_scope(&self, file: FicusFileId) -> FsResult<VnodeRef> {
         let loc = self.loc_of(file)?;
         if loc.own_ufs.is_some() {
             return Err(FsError::IsDir);
         }
-        loc.parent_ufs.lookup(&self.cred, &file.hex())
+        Ok(loc.parent_ufs)
     }
 
-    /// Reads file data.
+    /// Decodes the chunk map stored at `<hex>`.
+    fn load_map(&self, scope: &VnodeRef, file: FicusFileId) -> FsResult<ChunkMap> {
+        ChunkMap::decode(&self.read_whole(scope, &file.hex())?)
+    }
+
+    /// Reads one chunk's bytes.
+    fn read_chunk(
+        &self,
+        scope: &VnodeRef,
+        file: FicusFileId,
+        entry: &ChunkEntry,
+    ) -> FsResult<Vec<u8>> {
+        let v = scope.lookup(&self.cred, &chunk_name(file, entry.generation))?;
+        Ok(v.read(&self.cred, 0, entry.len as usize)?.to_vec())
+    }
+
+    /// Writes one chunk file (create if missing), optionally fsyncing it.
+    fn write_chunk_file(
+        &self,
+        scope: &VnodeRef,
+        file: FicusFileId,
+        generation: u64,
+        bytes: &[u8],
+        fsync: bool,
+    ) -> FsResult<()> {
+        let name = chunk_name(file, generation);
+        let v = match scope.lookup(&self.cred, &name) {
+            Ok(v) => v,
+            Err(FsError::NotFound) => scope.create(&self.cred, &name, 0o600)?,
+            Err(e) => return Err(e),
+        };
+        if !bytes.is_empty() {
+            v.write(&self.cred, 0, bytes)?;
+        }
+        v.setattr(&self.cred, &SetAttr::size(bytes.len() as u64))?;
+        if fsync {
+            v.fsync(&self.cred)?;
+        }
+        self.chunk_counters
+            .chunks_written
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        Ok(())
+    }
+
+    /// Writes one chunk and records its entry at `idx` (appending when the
+    /// index is one past the end).
+    fn put_chunk(
+        &self,
+        scope: &VnodeRef,
+        file: FicusFileId,
+        map: &mut ChunkMap,
+        idx: usize,
+        bytes: &[u8],
+        generation: u64,
+    ) -> FsResult<()> {
+        self.write_chunk_file(scope, file, generation, bytes, false)?;
+        let entry = ChunkEntry {
+            generation,
+            len: bytes.len() as u32,
+            digest: chunks::digest(bytes),
+        };
+        if idx < map.chunks.len() {
+            map.chunks[idx] = entry;
+        } else {
+            map.chunks.push(entry);
+        }
+        Ok(())
+    }
+
+    /// Stores `data` as a fresh chunked file: all-new chunk generations and
+    /// an in-place map write (used by adoption, where no older version can
+    /// need protecting).
+    fn store_chunked(&self, scope: &VnodeRef, file: FicusFileId, data: &[u8]) -> FsResult<()> {
+        let mut map = ChunkMap::empty(self.chunk_size);
+        for piece in chunks::split(data, self.chunk_size) {
+            let generation = self.next_unique()?;
+            let idx = map.chunks.len();
+            self.put_chunk(scope, file, &mut map, idx, piece, generation)?;
+        }
+        map.size = data.len() as u64;
+        self.write_named(scope, &file.hex(), &map.encode())?;
+        Ok(())
+    }
+
+    /// Grows the map with zero bytes to `new_size`: the short tail chunk is
+    /// re-padded and zero chunks appended. No-op when already that large.
+    fn zero_extend(
+        &self,
+        scope: &VnodeRef,
+        file: FicusFileId,
+        map: &mut ChunkMap,
+        new_size: u64,
+    ) -> FsResult<()> {
+        if new_size <= map.size {
+            return Ok(());
+        }
+        let csize = u64::from(map.chunk_size.max(1));
+        if let Some(tail) = map.chunks.last().copied() {
+            let tail_idx = map.chunks.len() - 1;
+            let want = csize.min(new_size - tail_idx as u64 * csize) as usize;
+            if want > tail.len as usize {
+                let mut bytes = self.read_chunk(scope, file, &tail)?;
+                bytes.resize(want, 0);
+                self.put_chunk(scope, file, map, tail_idx, &bytes, tail.generation)?;
+            }
+        }
+        while (map.chunks.len() as u64) * csize < new_size {
+            let cstart = map.chunks.len() as u64 * csize;
+            let clen = csize.min(new_size - cstart) as usize;
+            let generation = self.next_unique()?;
+            let idx = map.chunks.len();
+            self.put_chunk(scope, file, map, idx, &vec![0u8; clen], generation)?;
+        }
+        map.size = new_size;
+        Ok(())
+    }
+
+    /// Reads file data (gathered across chunks).
     pub fn read(&self, file: FicusFileId, offset: u64, len: usize) -> FsResult<Bytes> {
         let _g = self.big.lock();
-        self.data_vnode(file)?.read(&self.cred, offset, len)
+        let scope = self.file_scope(file)?;
+        let map = self.load_map(&scope, file)?;
+        let end = map.size.min(offset.saturating_add(len as u64));
+        if offset >= end {
+            return Ok(Bytes::new());
+        }
+        let csize = u64::from(map.chunk_size.max(1));
+        let first = (offset / csize) as usize;
+        let last = ((end - 1) / csize) as usize;
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        for idx in first..=last {
+            let entry = *map.chunks.get(idx).ok_or(FsError::Io)?;
+            let bytes = self.read_chunk(&scope, file, &entry)?;
+            let cstart = idx as u64 * csize;
+            let s = offset.saturating_sub(cstart) as usize;
+            let e = ((end - cstart) as usize).min(bytes.len());
+            if s < e {
+                out.extend_from_slice(&bytes[s..e]);
+            }
+        }
+        Ok(Bytes::from(out))
     }
 
     /// Writes file data, bumping the version vector (one update originated
     /// at this replica).
+    ///
+    /// Local writes modify chunks in place (read-modify-write of the
+    /// affected chunks plus an in-place map rewrite): like direct UFS
+    /// writes before chunking, they are not atomic under a crash — only
+    /// *propagated* versions carry the §3.2 commit guarantee.
     pub fn write(&self, file: FicusFileId, offset: u64, data: &[u8]) -> FsResult<usize> {
         let _g = self.big.lock();
-        let n = self.data_vnode(file)?.write(&self.cred, offset, data)?;
+        let scope = self.file_scope(file)?;
+        if !data.is_empty() {
+            let mut map = self.load_map(&scope, file)?;
+            let csize = u64::from(map.chunk_size.max(1));
+            let end = offset + data.len() as u64;
+            // Zero-fill any gap below the write, then splice the data over
+            // the affected chunk range.
+            self.zero_extend(&scope, file, &mut map, offset)?;
+            let total = map.size.max(end);
+            let first = (offset / csize) as usize;
+            let last = ((end - 1) / csize) as usize;
+            for idx in first..=last {
+                let cstart = idx as u64 * csize;
+                let clen = csize.min(total - cstart) as usize;
+                let mut buf = match map.chunks.get(idx) {
+                    Some(e) => self.read_chunk(&scope, file, e)?,
+                    None => Vec::new(),
+                };
+                buf.resize(clen, 0);
+                let dstart = cstart.max(offset);
+                let dend = (cstart + clen as u64).min(end);
+                if dstart < dend {
+                    let di = (dstart - offset) as usize;
+                    let bi = (dstart - cstart) as usize;
+                    let n = (dend - dstart) as usize;
+                    buf[bi..bi + n].copy_from_slice(&data[di..di + n]);
+                }
+                let generation = match map.chunks.get(idx) {
+                    Some(e) => e.generation,
+                    None => self.next_unique()?,
+                };
+                self.put_chunk(&scope, file, &mut map, idx, &buf, generation)?;
+            }
+            map.size = total;
+            self.write_named(&scope, &file.hex(), &map.encode())?;
+        }
         self.bump_vv(file)?;
-        Ok(n)
+        Ok(data.len())
     }
 
     /// Truncates file data, bumping the version vector.
     pub fn truncate(&self, file: FicusFileId, size: u64) -> FsResult<()> {
         let _g = self.big.lock();
-        self.data_vnode(file)?
-            .setattr(&self.cred, &SetAttr::size(size))?;
+        let scope = self.file_scope(file)?;
+        let mut map = self.load_map(&scope, file)?;
+        if size < map.size {
+            let csize = u64::from(map.chunk_size.max(1));
+            let keep = size.div_ceil(csize) as usize;
+            for e in map.chunks.drain(keep..) {
+                let _ = scope.remove(&self.cred, &chunk_name(file, e.generation));
+            }
+            if size > 0 {
+                let tail_idx = keep - 1;
+                let tail = map.chunks[tail_idx];
+                let tlen = (size - tail_idx as u64 * csize) as usize;
+                if tlen < tail.len as usize {
+                    let mut bytes = self.read_chunk(&scope, file, &tail)?;
+                    bytes.truncate(tlen);
+                    self.put_chunk(&scope, file, &mut map, tail_idx, &bytes, tail.generation)?;
+                }
+            }
+            map.size = size;
+            self.write_named(&scope, &file.hex(), &map.encode())?;
+        } else if size > map.size {
+            self.zero_extend(&scope, file, &mut map, size)?;
+            self.write_named(&scope, &file.hex(), &map.encode())?;
+        }
         self.bump_vv(file)?;
         Ok(())
     }
 
-    /// UFS-level attributes of the object's storage (size, times).
+    /// UFS-level attributes of the object's storage (size, times). For a
+    /// regular file the inode is the chunk map's; the size reported is the
+    /// logical file size the map records.
     pub fn storage_attr(&self, file: FicusFileId) -> FsResult<VnodeAttr> {
         let _g = self.big.lock();
         let loc = self.loc_of(file)?;
@@ -971,7 +1244,63 @@ impl FicusPhysical {
             let (scope, content, _) = self.dir_names(file, &loc)?;
             scope.lookup(&self.cred, &content)?.getattr(&self.cred)
         } else {
-            self.data_vnode(file)?.getattr(&self.cred)
+            let map = self.load_map(&loc.parent_ufs, file)?;
+            let mut attr = loc
+                .parent_ufs
+                .lookup(&self.cred, &file.hex())?
+                .getattr(&self.cred)?;
+            attr.size = map.size;
+            Ok(attr)
+        }
+    }
+
+    /// The chunk map of a regular file — the delta-propagation manifest
+    /// served at `;f;map;<hex>` on the control plane.
+    pub fn chunk_map(&self, file: FicusFileId) -> FsResult<ChunkMap> {
+        let _g = self.big.lock();
+        let scope = self.file_scope(file)?;
+        self.load_map(&scope, file)
+    }
+
+    /// Concatenated bytes of chunks `[start, start + count)` — served at
+    /// `;f;blk;<hex>;<start>;<count>` on the control plane.
+    pub fn read_chunk_range(&self, file: FicusFileId, start: u32, count: u32) -> FsResult<Vec<u8>> {
+        let _g = self.big.lock();
+        let scope = self.file_scope(file)?;
+        let map = self.load_map(&scope, file)?;
+        let end = start.checked_add(count).ok_or(FsError::Invalid)? as usize;
+        if end > map.chunks.len() {
+            return Err(FsError::Invalid);
+        }
+        let mut out = Vec::new();
+        for e in &map.chunks[start as usize..end] {
+            out.extend_from_slice(&self.read_chunk(&scope, file, e)?);
+        }
+        Ok(out)
+    }
+
+    /// Counter snapshot for the chunked-storage machinery.
+    #[must_use]
+    pub fn chunk_stats(&self) -> ChunkStats {
+        self.chunk_counters.snapshot()
+    }
+
+    /// Arms a one-shot injected crash at `at` inside the next chunked
+    /// commit (test/chaos hook). The commit returns `FsError::Io` and
+    /// leaves its debris in place, modelling power loss — recovery at the
+    /// next mount must clean up.
+    pub fn arm_commit_crash(&self, at: CommitPoint) {
+        *self.crash_plan.lock() = Some(at);
+    }
+
+    /// Consumes an armed crash if it matches `at`.
+    fn take_crash(&self, at: CommitPoint) -> bool {
+        let mut plan = self.crash_plan.lock();
+        if *plan == Some(at) {
+            *plan = None;
+            true
+        } else {
+            false
         }
     }
 
@@ -989,14 +1318,22 @@ impl FicusPhysical {
     // --- shadow commit and remote versions ----------------------------------------
 
     /// Atomically replaces `file`'s contents with `data`, adopting
-    /// `new_vv`, via the single-file atomic commit service of §3.2.
+    /// `new_vv`, via the single-file atomic commit service of §3.2 —
+    /// chunked, so only *dirty* chunks hit the disk (footnote 5's "update a
+    /// few bytes of a large file" cost goes away).
     ///
-    /// Sequence: write the shadow, force it to disk, atomically swap the
-    /// low-level directory reference (UFS rename), then persist the merged
-    /// attributes. A crash before the swap leaves the original intact (the
-    /// shadow is discarded during recovery); a crash between swap and
-    /// attribute write leaves the data newer than its recorded vector, which
-    /// a later propagation pass simply repeats.
+    /// Sequence: write every chunk whose bytes differ from the committed
+    /// map under a fresh generation and force it to disk; write the shadow
+    /// *map* (`<hex>.s`) and force it; atomically swap the map reference
+    /// (UFS rename); then persist the merged attributes. A crash before the
+    /// swap leaves the original map and all its chunks intact (recovery
+    /// discards the shadow map and sweeps unreferenced chunks); a crash
+    /// between swap and attribute write leaves the data newer than its
+    /// recorded vector, which a later propagation pass simply repeats.
+    ///
+    /// A *genuine* failure mid-commit (as opposed to an injected crash)
+    /// removes the shadow map and the fresh chunks before returning — a
+    /// failed rename must not leak its shadow until the next recovery.
     pub fn apply_remote_version(
         &self,
         file: FicusFileId,
@@ -1011,16 +1348,39 @@ impl FicusPhysical {
         if attrs.vv.concurrent_with(new_vv) {
             return Err(FsError::Conflict);
         }
-        let loc = self.loc_of(file)?;
-        if loc.own_ufs.is_some() {
-            return Err(FsError::IsDir);
+        let scope = self.file_scope(file)?;
+        let old_map = self.load_map(&scope, file)?;
+        let armed = self.crash_plan.lock().is_some();
+        let mut fresh: Vec<u64> = Vec::new();
+        let new_map = match self.commit_chunked(&scope, file, &old_map, data, &mut fresh) {
+            Ok(m) => m,
+            Err(e) => {
+                // An injected crash models power loss: leave the debris for
+                // recovery to prove it cleans up. A real error cleans up
+                // here.
+                let injected = armed && self.crash_plan.lock().is_none();
+                if !injected {
+                    self.discard_commit_debris(&scope, file, &fresh);
+                    self.chunk_counters
+                        .commit_aborts
+                        .fetch_add(1, AtomicOrdering::Relaxed);
+                }
+                return Err(e);
+            }
+        };
+        self.chunk_counters
+            .maps_committed
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        // The swap happened: generations only the old map referenced are
+        // garbage (best-effort; recovery sweeps stragglers).
+        for e in &old_map.chunks {
+            if !new_map.references(e.generation) {
+                let _ = scope.remove(&self.cred, &chunk_name(file, e.generation));
+            }
         }
-        let shadow_name = format!("{}{}", file.hex(), SHADOW_SUFFIX);
-        self.write_named(&loc.parent_ufs, &shadow_name, data)?;
-        // The atomic point: one low-level directory reference changes.
-        let peer = loc.parent_ufs.clone();
-        loc.parent_ufs
-            .rename(&self.cred, &shadow_name, &peer, &file.hex())?;
+        if self.take_crash(CommitPoint::BeforeAttrWrite) {
+            return Err(FsError::Io);
+        }
         attrs.vv.merge(new_vv);
         // A version that dominates a stashed divergence is its resolution
         // arriving from elsewhere: the stash is obsolete.
@@ -1028,6 +1388,75 @@ impl FicusPhysical {
         self.write_repl_attrs(file, &attrs)?;
         self.log_change(file, false, &attrs.vv);
         Ok(())
+    }
+
+    /// The data-moving half of [`FicusPhysical::apply_remote_version`]: up
+    /// to and including the atomic map swap. Fresh chunk generations are
+    /// recorded in `fresh` so the caller can clean up on genuine failure.
+    fn commit_chunked(
+        &self,
+        scope: &VnodeRef,
+        file: FicusFileId,
+        old_map: &ChunkMap,
+        data: &[u8],
+        fresh: &mut Vec<u64>,
+    ) -> FsResult<ChunkMap> {
+        let mut new_map = ChunkMap::empty(old_map.chunk_size);
+        new_map.size = data.len() as u64;
+        for (idx, piece) in chunks::split(data, old_map.chunk_size).iter().enumerate() {
+            let dg = chunks::digest(piece);
+            if self.delta_commit {
+                if let Some(e) = old_map.chunks.get(idx) {
+                    if e.len as usize == piece.len() && e.digest == dg {
+                        // Clean chunk: the committed bytes are already on
+                        // disk under a generation the old map protects.
+                        new_map.chunks.push(*e);
+                        self.chunk_counters
+                            .chunks_reused
+                            .fetch_add(1, AtomicOrdering::Relaxed);
+                        continue;
+                    }
+                }
+            }
+            let generation = self.next_unique()?;
+            if self.take_crash(CommitPoint::MidChunkWrite) {
+                // Power loss partway through a chunk write: a torn prefix
+                // exists under a generation no map references.
+                let _ = self.write_chunk_file(
+                    scope,
+                    file,
+                    generation,
+                    &piece[..piece.len() / 2],
+                    false,
+                );
+                return Err(FsError::Io);
+            }
+            self.write_chunk_file(scope, file, generation, piece, true)?;
+            fresh.push(generation);
+            new_map.chunks.push(ChunkEntry {
+                generation,
+                len: piece.len() as u32,
+                digest: dg,
+            });
+        }
+        let shadow_name = format!("{}{}", file.hex(), SHADOW_SUFFIX);
+        self.write_named(scope, &shadow_name, &new_map.encode())?;
+        if self.take_crash(CommitPoint::BeforeMapSwap) {
+            return Err(FsError::Io);
+        }
+        // The atomic point: one low-level directory reference changes.
+        let peer = scope.clone();
+        scope.rename(&self.cred, &shadow_name, &peer, &file.hex())?;
+        Ok(new_map)
+    }
+
+    /// Removes the debris of a genuinely failed commit: the shadow map and
+    /// every chunk written under a fresh generation.
+    fn discard_commit_debris(&self, scope: &VnodeRef, file: FicusFileId, fresh: &[u64]) {
+        let _ = scope.remove(&self.cred, &format!("{}{}", file.hex(), SHADOW_SUFFIX));
+        for &generation in fresh {
+            let _ = scope.remove(&self.cred, &chunk_name(file, generation));
+        }
     }
 
     /// Joins `remote_vv` into a file whose remote content proved
@@ -1106,7 +1535,7 @@ impl FicusPhysical {
             StorageLayout::Tree => parent_loc.own_ufs.clone().ok_or(FsError::NotDir)?,
             StorageLayout::Flat => self.base.clone(),
         };
-        self.write_named(&scope, &file.hex(), data)?;
+        self.store_chunked(&scope, file, data)?;
         let attrs = ReplAttrs {
             kind,
             vv: vv.clone(),
@@ -1261,6 +1690,14 @@ impl FicusPhysical {
             return Ok(()); // directories are not orphaned
         }
         let orphanage = self.base.lookup(&self.cred, ORPHANAGE)?;
+        // The map still names the chunks, so move them first (while it is
+        // readable), then the map and aux. Orphaned data stays whole.
+        if let Ok(map) = self.load_map(&loc.parent_ufs, file) {
+            for e in &map.chunks {
+                let name = chunk_name(file, e.generation);
+                let _ = loc.parent_ufs.rename(&self.cred, &name, &orphanage, &name);
+            }
+        }
         let _ = loc
             .parent_ufs
             .rename(&self.cred, &file.hex(), &orphanage, &file.hex());
@@ -1590,7 +2027,12 @@ impl FicusPhysical {
     // --- recovery ------------------------------------------------------------------------
 
     /// Rebuilds the location index by walking the UFS storage, discards
-    /// shadow files, and restores the id counter.
+    /// shadow maps and unreferenced chunks, and restores the id counter.
+    ///
+    /// Scan-level failures (a directory that cannot be read, a subtree that
+    /// cannot be entered) are hard errors — a half-built index would
+    /// silently hide files. Per-name cleanup failures are counted in
+    /// [`ChunkStats`] instead of aborting the mount.
     fn recover(&self) -> FsResult<()> {
         let _g = self.big.lock();
         self.load_seq()?;
@@ -1600,97 +2042,191 @@ impl FicusPhysical {
                 let base = self.base.clone();
                 self.scan_tree(&base)
             }
-            StorageLayout::Flat => self.scan_flat(),
+            StorageLayout::Flat => {
+                let base = self.base.clone();
+                self.scan_scope(&base, false)
+            }
         }
     }
 
     fn scan_tree(&self, scope: &VnodeRef) -> FsResult<()> {
+        self.scan_scope(scope, true)
+    }
+
+    /// Walks one UFS directory of the volume, classifying every name
+    /// structurally ([`ScanName`]) and acting per kind. `recurse` is true
+    /// for the tree layout (child directories are UFS subtrees).
+    fn scan_scope(&self, scope: &VnodeRef, recurse: bool) -> FsResult<()> {
+        let mut chunks_seen: Vec<(FicusFileId, u64, String)> = Vec::new();
+        let mut data_seen: BTreeSet<FicusFileId> = BTreeSet::new();
         let mut cookie = 0;
         loop {
             let page = scope.readdir(&self.cred, cookie, 64)?;
             if page.is_empty() {
-                return Ok(());
+                break;
             }
             cookie = page.last().expect("non-empty").cookie;
             for de in page {
-                if de.name == DIR_FILE
-                    || de.name == DIR_AUX
-                    || de.name == META_FILE
-                    || de.name == ORPHANAGE
-                {
-                    continue;
-                }
-                if let Some(hex) = de.name.strip_suffix(SUBDIR_SUFFIX) {
-                    if let Ok(file) = FicusFileId::from_hex(hex) {
-                        let own = scope.lookup(&self.cred, &de.name)?;
-                        self.index.lock().insert(
-                            file,
-                            Loc {
-                                parent_ufs: scope.clone(),
-                                own_ufs: Some(own.clone()),
-                            },
-                        );
-                        self.scan_tree(&own)?;
-                        continue;
+                match classify_scan_name(&de.name) {
+                    ScanName::Meta | ScanName::Aux | ScanName::Stash | ScanName::Foreign => {}
+                    ScanName::Subdir(file) => {
+                        if recurse {
+                            let own = scope.lookup(&self.cred, &de.name)?;
+                            self.index.lock().insert(
+                                file,
+                                Loc {
+                                    parent_ufs: scope.clone(),
+                                    own_ufs: Some(own.clone()),
+                                },
+                            );
+                            self.scan_tree(&own)?;
+                        }
                     }
-                }
-                if de.name.ends_with(SHADOW_SUFFIX) {
-                    // "The original replica is retained during recovery and
-                    // the shadow discarded."
-                    let _ = scope.remove(&self.cred, &de.name);
-                    continue;
-                }
-                if de.name.ends_with(AUX_SUFFIX) || de.name.contains(".c") {
-                    continue;
-                }
-                if let Ok(file) = FicusFileId::from_hex(&de.name) {
-                    self.index.lock().insert(
-                        file,
-                        Loc {
+                    ScanName::FlatDir(file) => {
+                        if !recurse {
+                            self.index.lock().insert(
+                                file,
+                                Loc {
+                                    parent_ufs: scope.clone(),
+                                    own_ufs: Some(scope.clone()),
+                                },
+                            );
+                        }
+                    }
+                    ScanName::Shadow => self.discard_shadow(scope, &de.name),
+                    ScanName::Chunk(file, generation) => {
+                        chunks_seen.push((file, generation, de.name));
+                    }
+                    ScanName::Data(file) => {
+                        data_seen.insert(file);
+                        // In the flat layout a directory id's `.dir` entry
+                        // wins over a stray data file of the same id.
+                        self.index.lock().entry(file).or_insert(Loc {
                             parent_ufs: scope.clone(),
                             own_ufs: None,
-                        },
-                    );
+                        });
+                    }
                 }
+            }
+        }
+        self.sweep_orphan_chunks(scope, &data_seen, chunks_seen);
+        Ok(())
+    }
+
+    /// Discards a shadow map left by a crashed commit ("the original
+    /// replica is retained during recovery and the shadow discarded").
+    ///
+    /// A shadow that *cannot* be discarded is no longer silently ignored —
+    /// it would otherwise survive every recovery unreported. The failure is
+    /// counted in [`ChunkStats::shadow_discard_failures`].
+    fn discard_shadow(&self, scope: &VnodeRef, name: &str) {
+        match scope.remove(&self.cred, name) {
+            Ok(()) => {
+                self.chunk_counters
+                    .shadows_discarded
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+            }
+            Err(FsError::NotFound) => {}
+            Err(_) => {
+                self.chunk_counters
+                    .shadow_discard_failures
+                    .fetch_add(1, AtomicOrdering::Relaxed);
             }
         }
     }
 
-    fn scan_flat(&self) -> FsResult<()> {
-        let mut cookie = 0;
-        loop {
-            let page = self.base.readdir(&self.cred, cookie, 64)?;
-            if page.is_empty() {
-                return Ok(());
+    /// Removes chunk files whose generation the owner's committed map does
+    /// not reference — debris of a crashed commit. A map that fails to
+    /// decode keeps every chunk: recovery must never destroy data it cannot
+    /// prove orphaned (local in-place map writes are not crash-atomic).
+    fn sweep_orphan_chunks(
+        &self,
+        scope: &VnodeRef,
+        data_seen: &BTreeSet<FicusFileId>,
+        chunks_seen: Vec<(FicusFileId, u64, String)>,
+    ) {
+        if chunks_seen.is_empty() {
+            return;
+        }
+        let owners: BTreeSet<FicusFileId> = chunks_seen.iter().map(|c| c.0).collect();
+        let mut maps: HashMap<FicusFileId, Option<ChunkMap>> = HashMap::new();
+        for &file in &owners {
+            if data_seen.contains(&file) {
+                maps.insert(file, self.load_map(scope, file).ok());
             }
-            cookie = page.last().expect("non-empty").cookie;
-            for de in page {
-                if de.name.ends_with(SHADOW_SUFFIX) {
-                    let _ = self.base.remove(&self.cred, &de.name);
-                    continue;
+        }
+        for (file, generation, name) in chunks_seen {
+            let referenced = match maps.get(&file) {
+                Some(Some(map)) => map.references(generation),
+                Some(None) => true, // undecodable map: keep everything
+                None => false,      // no map at all: nothing references it
+            };
+            if !referenced && scope.remove(&self.cred, &name).is_ok() {
+                self.chunk_counters
+                    .orphan_chunks_removed
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+            }
+        }
+    }
+}
+
+/// What a UFS name inside a volume scope is, parsed structurally (hex file
+/// id + suffix kind). Replaces the loose substring tests recovery used to
+/// run (`.contains(".c")` could misfile a legal name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScanName {
+    /// `d`, `a`, `meta`, `lost+found`.
+    Meta,
+    /// `<hex>.d` — child-directory UFS subtree (tree layout).
+    Subdir(FicusFileId),
+    /// `<hex>.dir` — directory content file (flat layout).
+    FlatDir(FicusFileId),
+    /// `<hex>.a` — auxiliary attributes.
+    Aux,
+    /// `<hex>.s` — shadow map of a crashed commit.
+    Shadow,
+    /// `<hex>.c<replica>` — stashed conflict sibling.
+    Stash,
+    /// `<hex>.k<generation:016x>` — one chunk of a file's contents.
+    Chunk(FicusFileId, u64),
+    /// `<hex>` — a file's chunk map.
+    Data(FicusFileId),
+    /// Not a name this layer writes.
+    Foreign,
+}
+
+fn classify_scan_name(name: &str) -> ScanName {
+    if name == DIR_FILE || name == DIR_AUX || name == META_FILE || name == ORPHANAGE {
+        return ScanName::Meta;
+    }
+    if let Ok(file) = FicusFileId::from_hex(name) {
+        return ScanName::Data(file);
+    }
+    let Some((hex, suffix)) = name.split_once('.') else {
+        return ScanName::Foreign;
+    };
+    let Ok(file) = FicusFileId::from_hex(hex) else {
+        return ScanName::Foreign;
+    };
+    match suffix {
+        "d" => ScanName::Subdir(file),
+        "dir" => ScanName::FlatDir(file),
+        "a" => ScanName::Aux,
+        "s" => ScanName::Shadow,
+        _ => {
+            if let Some(rep) = suffix.strip_prefix('c') {
+                if rep.parse::<u32>().is_ok() {
+                    return ScanName::Stash;
                 }
-                if let Some(hex) = de.name.strip_suffix(".dir") {
-                    if let Ok(file) = FicusFileId::from_hex(hex) {
-                        self.index.lock().insert(
-                            file,
-                            Loc {
-                                parent_ufs: self.base.clone(),
-                                own_ufs: Some(self.base.clone()),
-                            },
-                        );
+            }
+            if let Some(g) = suffix.strip_prefix('k') {
+                if g.len() == 16 {
+                    if let Ok(generation) = u64::from_str_radix(g, 16) {
+                        return ScanName::Chunk(file, generation);
                     }
-                    continue;
-                }
-                if de.name.ends_with(AUX_SUFFIX) || de.name.contains(".c") {
-                    continue;
-                }
-                if let Ok(file) = FicusFileId::from_hex(&de.name) {
-                    self.index.lock().entry(file).or_insert(Loc {
-                        parent_ufs: self.base.clone(),
-                        own_ufs: None,
-                    });
                 }
             }
+            ScanName::Foreign
         }
     }
 }

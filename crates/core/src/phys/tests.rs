@@ -814,3 +814,177 @@ fn absorb_identical_version_joins_histories_without_an_update() {
     );
     assert_eq!(&phys.read(f, 0, 16).unwrap()[..], b"same bytes");
 }
+
+// --- chunked-commit crash matrix (DESIGN.md §4.13) --------------------------
+
+use crate::chunks::CommitPoint;
+
+/// A volume on a shared UFS handle so the test can drop the physical layer
+/// and remount it (the recovery pass) over the same disk state.
+fn crash_world(layout: StorageLayout) -> (Arc<dyn FileSystem>, Arc<FicusPhysical>) {
+    let ufs: Arc<dyn FileSystem> =
+        Arc::new(Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap());
+    let phys = FicusPhysical::create_volume(
+        Arc::clone(&ufs),
+        "vol",
+        VolumeName::new(1, 1),
+        ReplicaId(1),
+        &[1, 2],
+        clock(),
+        PhysParams {
+            layout,
+            ..PhysParams::default()
+        },
+    )
+    .unwrap();
+    (ufs, phys)
+}
+
+fn remount(ufs: &Arc<dyn FileSystem>, layout: StorageLayout) -> Arc<FicusPhysical> {
+    FicusPhysical::mount(
+        Arc::clone(ufs),
+        "vol",
+        VolumeName::new(1, 1),
+        ReplicaId(1),
+        &[1, 2],
+        clock(),
+        PhysParams {
+            layout,
+            ..PhysParams::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn commit_crash_matrix_original_intact_or_new_complete() {
+    // A crash at every point of the chunked commit, in both layouts. The
+    // §3.2 guarantee: after remount the file reads as the original or as
+    // the complete new version — never a torn mixture — and recovery has
+    // removed every shadow map and unreferenced chunk the crash left.
+    for layout in [StorageLayout::Tree, StorageLayout::Flat] {
+        for at in [
+            CommitPoint::MidChunkWrite,
+            CommitPoint::BeforeMapSwap,
+            CommitPoint::BeforeAttrWrite,
+        ] {
+            let (ufs, phys) = crash_world(layout);
+            let f = phys.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+            let original: Vec<u8> = (0..5 * 4096u32).map(|i| (i % 251) as u8).collect();
+            phys.write(f, 0, &original).unwrap();
+            let mut new_data = original.clone();
+            new_data[4096..4200].fill(0xEE);
+            let mut vv = phys.file_vv(f).unwrap();
+            vv.increment(2);
+
+            phys.arm_commit_crash(at);
+            assert_eq!(
+                phys.apply_remote_version(f, &vv, &new_data).unwrap_err(),
+                FsError::Io,
+                "{layout:?}/{at:?}: injected crash surfaces as Io"
+            );
+            drop(phys);
+
+            let phys2 = remount(&ufs, layout);
+            let got = phys2.read(f, 0, new_data.len() + 16).unwrap();
+            match at {
+                // Crashed before the map swap: the original governs.
+                CommitPoint::MidChunkWrite | CommitPoint::BeforeMapSwap => {
+                    assert_eq!(&got[..], &original[..], "{layout:?}/{at:?}")
+                }
+                // The swap is the commit point: past it the new version is
+                // complete even though the attributes never made it out.
+                CommitPoint::BeforeAttrWrite => {
+                    assert_eq!(&got[..], &new_data[..], "{layout:?}/{at:?}")
+                }
+            }
+
+            let stats = phys2.chunk_stats();
+            match at {
+                CommitPoint::MidChunkWrite => {
+                    // The torn chunk is unreferenced debris.
+                    assert!(
+                        stats.orphan_chunks_removed >= 1,
+                        "{layout:?}/{at:?}: {stats:?}"
+                    );
+                    assert_eq!(stats.shadows_discarded, 0, "{layout:?}/{at:?}: {stats:?}");
+                }
+                CommitPoint::BeforeMapSwap => {
+                    // Both the shadow map and its fresh chunk are debris.
+                    assert_eq!(stats.shadows_discarded, 1, "{layout:?}/{at:?}: {stats:?}");
+                    assert!(
+                        stats.orphan_chunks_removed >= 1,
+                        "{layout:?}/{at:?}: {stats:?}"
+                    );
+                }
+                CommitPoint::BeforeAttrWrite => {
+                    // The commit finished its storage work; nothing to sweep.
+                    assert_eq!(stats.shadows_discarded, 0, "{layout:?}/{at:?}: {stats:?}");
+                    assert_eq!(
+                        stats.orphan_chunks_removed, 0,
+                        "{layout:?}/{at:?}: {stats:?}"
+                    );
+                }
+            }
+
+            // The interrupted propagation simply retries and completes.
+            phys2.apply_remote_version(f, &vv, &new_data).unwrap();
+            assert_eq!(
+                &phys2.read(f, 0, new_data.len()).unwrap()[..],
+                &new_data[..]
+            );
+            assert!(phys2.file_vv(f).unwrap().covers(&vv));
+        }
+    }
+}
+
+#[test]
+fn genuine_commit_error_cleans_up_without_recovery() {
+    // A commit that fails for a real reason (not an injected power loss)
+    // discards its own debris immediately: no shadow, no fresh chunks, and
+    // the abort is counted.
+    let (_ufs, phys) = crash_world(StorageLayout::Tree);
+    let f = phys.create(ROOT_FILE, "f", VnodeType::Regular).unwrap();
+    phys.write(f, 0, &vec![1u8; 3 * 4096]).unwrap();
+    let mut vv = phys.file_vv(f).unwrap();
+    vv.increment(2);
+    // Concurrent vector: rejected before any storage work.
+    let alien = VersionVector::single(2);
+    assert_eq!(
+        phys.apply_remote_version(f, &alien, b"x").unwrap_err(),
+        FsError::Conflict
+    );
+    assert_eq!(phys.chunk_stats().commit_aborts, 0, "no storage work yet");
+}
+
+#[test]
+fn zero_length_commit_round_trips() {
+    // An empty new version: the shadow map is a zero-chunk map written
+    // through `write_named`'s empty-payload path, and every chunk of the
+    // old contents is released.
+    for layout in [StorageLayout::Tree, StorageLayout::Flat] {
+        let (ufs, phys) = crash_world(layout);
+        let f = phys
+            .create(ROOT_FILE, "shrinks", VnodeType::Regular)
+            .unwrap();
+        phys.write(f, 0, &vec![9u8; 2 * 4096 + 7]).unwrap();
+        let old_map = phys.chunk_map(f).unwrap();
+        assert_eq!(old_map.chunks.len(), 3);
+        let mut vv = phys.file_vv(f).unwrap();
+        vv.increment(2);
+        phys.apply_remote_version(f, &vv, b"").unwrap();
+
+        assert_eq!(phys.read(f, 0, 64).unwrap().len(), 0);
+        assert_eq!(phys.storage_attr(f).unwrap().size, 0);
+        let map = phys.chunk_map(f).unwrap();
+        assert_eq!((map.size, map.chunks.len()), (0, 0));
+
+        // Survives a remount unchanged, with nothing for recovery to sweep.
+        drop(phys);
+        let phys2 = remount(&ufs, layout);
+        assert_eq!(phys2.read(f, 0, 64).unwrap().len(), 0);
+        let stats = phys2.chunk_stats();
+        assert_eq!(stats.shadows_discarded, 0);
+        assert_eq!(stats.orphan_chunks_removed, 0);
+    }
+}

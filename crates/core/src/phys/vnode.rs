@@ -18,6 +18,8 @@
 //! | `;f;nvc`              | read the new-version cache (volume root)      |
 //! | `;f;log;<hex>`        | read the change-log suffix since sequence     |
 //! | `;f;stat`             | read the storage file system's statistics     |
+//! | `;f;map;<hex>`        | read a file's chunk map (per-chunk digests)   |
+//! | `;f;blk;<hex>;<s>;<n>`| read chunks `[s, s+n)` of a file (hex args)   |
 //!
 //! The `;f;` prefix is reserved: ordinary component names may not begin
 //! with it, and the budget it consumes out of the 255-byte name limit is
@@ -171,6 +173,22 @@ impl PhysVnode {
         if let Some(hex) = rest.strip_prefix("log;") {
             let from = u64::from_str_radix(hex, 16).map_err(|_| FsError::Invalid)?;
             return Ok(self.ctl(self.phys.changelog_suffix(from).encode()));
+        }
+        if let Some(hex) = rest.strip_prefix("map;") {
+            let file = FicusFileId::from_hex(hex)?;
+            return Ok(self.ctl(self.phys.chunk_map(file)?.encode()));
+        }
+        if let Some(args) = rest.strip_prefix("blk;") {
+            let mut it = args.split(';');
+            let file = FicusFileId::from_hex(it.next().ok_or(FsError::Invalid)?)?;
+            let start = u32::from_str_radix(it.next().ok_or(FsError::Invalid)?, 16)
+                .map_err(|_| FsError::Invalid)?;
+            let count = u32::from_str_radix(it.next().ok_or(FsError::Invalid)?, 16)
+                .map_err(|_| FsError::Invalid)?;
+            if it.next().is_some() {
+                return Err(FsError::Invalid);
+            }
+            return Ok(self.ctl(self.phys.read_chunk_range(file, start, count)?));
         }
         if let Some(hex) = rest.strip_prefix("id;") {
             let file = FicusFileId::from_hex(hex)?;

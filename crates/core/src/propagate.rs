@@ -24,7 +24,7 @@
 use ficus_nfs::wire::{Dec, Enc};
 use ficus_vnode::{FsError, FsResult, Timestamp};
 
-use crate::access::ReplicaAccess;
+use crate::access::{fetch_file_delta, ReplicaAccess};
 use crate::health::PeerHealth;
 use crate::ids::{FicusFileId, ReplicaId, VolumeName};
 use crate::lcache::Lcache;
@@ -130,6 +130,13 @@ pub struct PropagationStats {
     /// false conflicts whose vectors were joined in place instead of
     /// stashing (see [`crate::recon::ReconStats::identical_merges`]).
     pub identical_merges: u64,
+    /// Chunks shipped over the wire by delta-aware pulls (DESIGN.md
+    /// §4.13). Whole-file fallback fetches count zero here; their cost
+    /// shows up in `bytes_fetched` alone.
+    pub blocks_shipped: u64,
+    /// Chunks a delta-aware pull reused from the local replica instead of
+    /// fetching (digest and length matched the remote's map).
+    pub blocks_reused: u64,
 }
 
 impl PropagationStats {
@@ -150,6 +157,8 @@ impl PropagationStats {
         self.rpcs_saved += other.rpcs_saved;
         self.bytes_fetched += other.bytes_fetched;
         self.identical_merges += other.identical_merges;
+        self.blocks_shipped += other.blocks_shipped;
+        self.blocks_reused += other.blocks_reused;
     }
 }
 
@@ -398,8 +407,11 @@ fn propagate_one(
             stats.rpcs_saved += 1;
             return Ok(());
         }
-        let data = access.fetch_data(file)?;
-        stats.bytes_fetched += data.len() as u64;
+        let pulled = fetch_file_delta(access, phys, file)?;
+        stats.bytes_fetched += pulled.bytes_fetched;
+        stats.blocks_shipped += pulled.blocks_shipped;
+        stats.blocks_reused += pulled.blocks_reused;
+        let data = pulled.data;
         let size = phys.storage_attr(file)?.size as usize;
         if phys.read(file, 0, size)?[..] == data[..] {
             // Same bytes under divergent histories — a false conflict:
@@ -418,9 +430,11 @@ fn propagate_one(
         }
         return Ok(());
     }
-    let data = access.fetch_data(file)?;
-    stats.bytes_fetched += data.len() as u64;
-    phys.apply_remote_version(file, &remote_attrs.vv, &data)?;
+    let pulled = fetch_file_delta(access, phys, file)?;
+    stats.bytes_fetched += pulled.bytes_fetched;
+    stats.blocks_shipped += pulled.blocks_shipped;
+    stats.blocks_reused += pulled.blocks_reused;
+    phys.apply_remote_version(file, &remote_attrs.vv, &pulled.data)?;
     stats.files_pulled += 1;
     if let Some(lc) = lcache {
         lc.invalidate_file(phys.volume(), file);

@@ -35,7 +35,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use ficus_vnode::{FsError, FsResult};
 
-use crate::access::ReplicaAccess;
+use crate::access::{fetch_file_delta, ReplicaAccess};
 use crate::attrs::ReplAttrs;
 use crate::changelog::ChangeRecord;
 use crate::ids::{FicusFileId, ROOT_FILE};
@@ -84,6 +84,13 @@ pub struct ReconStats {
     /// vectors were joined in place instead of stashing a copy. Symmetric
     /// automatic resolutions converge through this counter.
     pub identical_merges: u64,
+    /// Chunks shipped over the wire by delta-aware pulls (DESIGN.md
+    /// §4.13). Whole-file fallback fetches count zero here; their cost
+    /// shows up in `bytes_fetched` alone.
+    pub blocks_shipped: u64,
+    /// Chunks a delta-aware pull reused from the local replica instead of
+    /// fetching (digest and length matched the remote's map).
+    pub blocks_reused: u64,
 }
 
 impl ReconStats {
@@ -102,6 +109,8 @@ impl ReconStats {
         self.rpcs_avoided += other.rpcs_avoided;
         self.peers_failed += other.peers_failed;
         self.identical_merges += other.identical_merges;
+        self.blocks_shipped += other.blocks_shipped;
+        self.blocks_reused += other.blocks_reused;
     }
 
     /// Whether the pass changed nothing (used to detect convergence).
@@ -169,8 +178,11 @@ pub fn reconcile_file_with_attrs(
             stats.rpcs_saved += 1; // the data fetch we did not repeat
             return Ok(()); // already reported this exact divergence
         }
-        let data = remote.fetch_data(file)?;
-        stats.bytes_fetched += data.len() as u64;
+        let pulled = fetch_file_delta(remote, local, file)?;
+        stats.bytes_fetched += pulled.bytes_fetched;
+        stats.blocks_shipped += pulled.blocks_shipped;
+        stats.blocks_reused += pulled.blocks_reused;
+        let data = pulled.data;
         let size = local.storage_attr(file)?.size as usize;
         if local.read(file, 0, size)?[..] == data[..] {
             // Same bytes under divergent histories — a false conflict:
@@ -183,9 +195,11 @@ pub fn reconcile_file_with_attrs(
         stats.update_conflicts += 1;
         return Ok(());
     }
-    let data = remote.fetch_data(file)?;
-    stats.bytes_fetched += data.len() as u64;
-    local.apply_remote_version(file, &remote_attrs.vv, &data)?;
+    let pulled = fetch_file_delta(remote, local, file)?;
+    stats.bytes_fetched += pulled.bytes_fetched;
+    stats.blocks_shipped += pulled.blocks_shipped;
+    stats.blocks_reused += pulled.blocks_reused;
+    local.apply_remote_version(file, &remote_attrs.vv, &pulled.data)?;
     stats.files_pulled += 1;
     Ok(())
 }

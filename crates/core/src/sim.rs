@@ -92,6 +92,11 @@ pub struct WorldParams {
     pub incremental: bool,
     /// Change-log ring capacity per volume replica.
     pub changelog_capacity: usize,
+    /// Chunk size of the physical layer's per-file block maps.
+    pub chunk_size: u32,
+    /// Whether shadow commit writes only dirty chunks (`false` is the
+    /// whole-file baseline E13 measures against).
+    pub delta_commit: bool,
 }
 
 impl Default for WorldParams {
@@ -113,6 +118,8 @@ impl Default for WorldParams {
             topology: ReconTopology::AllPairs,
             incremental: false,
             changelog_capacity: 1024,
+            chunk_size: crate::chunks::DEFAULT_CHUNK_SIZE,
+            delta_commit: true,
         }
     }
 }
@@ -272,6 +279,8 @@ impl FicusWorld {
                         fsid: 0x1C05_0000 | u64::from(h),
                         dir_policy: params.dir_policy,
                         changelog_capacity: params.changelog_capacity,
+                        chunk_size: params.chunk_size,
+                        delta_commit: params.delta_commit,
                     },
                 )
                 .expect("fresh volume replica");
@@ -541,6 +550,8 @@ impl FicusWorld {
                     fsid: 0x1C05_0000 | (u64::from(vol.volume.0) << 8) | u64::from(h),
                     dir_policy: self.params.dir_policy,
                     changelog_capacity: self.params.changelog_capacity,
+                    chunk_size: self.params.chunk_size,
+                    delta_commit: self.params.delta_commit,
                 },
             )?;
             serve_export(
@@ -614,6 +625,8 @@ impl FicusWorld {
                 fsid: 0x1C05_0000 | (u64::from(vol.volume.0) << 8) | u64::from(host_num),
                 dir_policy: self.params.dir_policy,
                 changelog_capacity: self.params.changelog_capacity,
+                chunk_size: self.params.chunk_size,
+                delta_commit: self.params.delta_commit,
             },
         )?;
         serve_export(

@@ -48,7 +48,7 @@ pub struct Config {
 }
 
 /// Files (by `rel` suffix) on the request-serving and daemon paths (R3).
-const R3_FILES: [&str; 8] = [
+const R3_FILES: [&str; 9] = [
     "crates/nfs/src/server.rs",
     "crates/nfs/src/wire.rs",
     "crates/core/src/propagate.rs",
@@ -57,6 +57,7 @@ const R3_FILES: [&str; 8] = [
     "crates/core/src/resolve.rs",
     "crates/core/src/resolver.rs",
     "crates/core/src/changelog.rs",
+    "crates/core/src/chunks.rs",
 ];
 
 /// Directories whose code must stay deterministic (R2). Benches live in
@@ -64,7 +65,7 @@ const R3_FILES: [&str; 8] = [
 const R2_DIRS: [&str; 3] = ["crates/core/src", "crates/nfs/src", "crates/net/src"];
 
 /// The stats structs whose counters R4 audits.
-const R4_STRUCTS: [&str; 8] = [
+const R4_STRUCTS: [&str; 9] = [
     "LogicalStats",
     "ReconStats",
     "PropagationStats",
@@ -73,6 +74,7 @@ const R4_STRUCTS: [&str; 8] = [
     "ResolveStats",
     "Metrics",
     "ChangelogStats",
+    "ChunkStats",
 ];
 
 /// Runs every rule over the file set.

@@ -11,6 +11,7 @@
 //! replctl conflicts resolve --policy set   # retire the backlog automatically
 //! replctl conflicts resolve --manual take-remote=2
 //! replctl recon status                     # change logs, cursors, topology
+//! replctl chunks status                    # block maps, delta-commit counters
 //! ```
 
 use std::process::ExitCode;
@@ -18,7 +19,7 @@ use std::process::ExitCode;
 use ficus_core::ids::ReplicaId;
 use ficus_core::resolve::Resolution;
 use ficus_core::resolver::ResolutionPolicy;
-use ficus_replctl::{conflicts, recon};
+use ficus_replctl::{chunks, conflicts, recon};
 
 const USAGE: &str = "\
 replctl: inspect and resolve replica conflicts (demonstration world).
@@ -28,6 +29,7 @@ usage: replctl policies
        replctl conflicts resolve --policy <lww|append|set>
        replctl conflicts resolve --manual <keep-local|take-remote=<replica>|concatenate>
        replctl recon status
+       replctl chunks status
 ";
 
 fn parse_manual(arg: &str) -> Result<Resolution, String> {
@@ -157,6 +159,13 @@ fn run() -> Result<bool, String> {
         ["conflicts", "resolve", "--manual", arg] => cmd_resolve_manual(arg).map(|()| true),
         ["recon", "status"] => {
             print!("{}", recon::render(&recon::demo_world()));
+            Ok(true)
+        }
+        ["chunks", "status"] => {
+            print!(
+                "{}",
+                chunks::render(&chunks::demo_world(), chunks::DEMO_FILE)
+            );
             Ok(true)
         }
         _ => Err(format!("unrecognized arguments: {}", words.join(" "))),

@@ -36,7 +36,10 @@
 //! `replctl` binary exposes it from the shell. [`recon`] is the companion
 //! reconciliation console: per-replica change-log spans, peer cursors, and
 //! the configured topology's next engagement, over a deterministic ring.
+//! [`chunks`] completes the set for the block-map storage layer: per-replica
+//! chunk maps and the delta-commit counters (DESIGN.md §4.13).
 
+pub mod chunks;
 pub mod conflicts;
 pub mod policy;
 pub mod recon;

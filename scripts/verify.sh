@@ -53,6 +53,12 @@ run cargo test -q -p ficus-bench e11
 # encoding stays under a tenth of the dense frame at 256 replicas.
 run cargo test -q -p ficus-bench e12
 
+# E13 shape assertion: a 64 KiB edit of a 16 MiB file must commit at least
+# 10x fewer disk blocks under chunked shadow commit than the whole-file
+# baseline, delta propagation must ship exactly the dirty chunks (and
+# reuse the rest), and a full rewrite must cost the same either way.
+run cargo test -q -p ficus-bench e13
+
 if [[ "${1:-}" == "--quick" ]]; then
     echo "verify: tier-1 OK (quick mode, workspace tests and lints skipped)"
     exit 0

@@ -49,12 +49,23 @@ fn replication_over_encrypted_storage() {
     phys.write(f, 0, b"the plans").unwrap();
     assert_eq!(&phys.read(f, 0, 100).unwrap()[..], b"the plans");
 
-    // The bytes on the raw UFS are NOT the plaintext.
+    // The bytes on the raw UFS are NOT the plaintext. Under the block-map
+    // layout (DESIGN.md §4.13) `<hex>` holds the chunk map; the data lives
+    // in the one chunk object `<hex>.k<gen>` — both ciphertext on disk.
     let base = raw_ufs.root().lookup(&cred, "vol").unwrap();
-    let stored = base.lookup(&cred, &f.hex()).unwrap();
+    let map = phys.chunk_map(f).unwrap();
+    assert_eq!(map.chunks.len(), 1);
+    let chunk_name = format!("{}.k{:016x}", f.hex(), map.chunks[0].generation);
+    let stored = base.lookup(&cred, &chunk_name).unwrap();
     let raw = stored.read(&cred, 0, 100).unwrap();
     assert_eq!(raw.len(), 9);
     assert_ne!(&raw[..], b"the plans", "storage holds ciphertext");
+    let raw_map = base
+        .lookup(&cred, &f.hex())
+        .unwrap()
+        .read(&cred, 0, 100)
+        .unwrap();
+    assert_ne!(&raw_map[..9.min(raw_map.len())], b"the plans");
 
     // Reconciliation between two key-holding replicas works unchanged.
     let (_ufs2, phys2) = encrypted_phys(2, Disk::new(Geometry::medium()));
