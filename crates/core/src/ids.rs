@@ -101,8 +101,14 @@ impl FicusFileId {
         if s.len() != 24 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
             return Err(FsError::Invalid);
         }
-        let issuer = u32::from_str_radix(&s[..8], 16).map_err(|_| FsError::Invalid)?;
-        let unique = u64::from_str_radix(&s[8..], 16).map_err(|_| FsError::Invalid)?;
+        let issuer = s
+            .get(..8)
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or(FsError::Invalid)?;
+        let unique = s
+            .get(8..)
+            .and_then(|l| u64::from_str_radix(l, 16).ok())
+            .ok_or(FsError::Invalid)?;
         Ok(FicusFileId {
             issuer: ReplicaId(issuer),
             unique,

@@ -144,7 +144,9 @@ pub struct FicusPhysical {
     cred: Credentials,
     big: ReentrantMutex<()>,
     index: Mutex<HashMap<FicusFileId, Loc>>,
-    nvc: Mutex<HashMap<FicusFileId, NvcEntry>>,
+    // BTreeMap: `take_due_notifications` drains in iteration order, and the
+    // propagation daemon's pull order must be deterministic per seed.
+    nvc: Mutex<BTreeMap<FicusFileId, NvcEntry>>,
     conflicts: ConflictLog,
     changelog: ChangeLog,
     seq: AtomicU64,
@@ -275,7 +277,7 @@ impl FicusPhysical {
             cred: Credentials::root(),
             big: ReentrantMutex::new(()),
             index: Mutex::new(HashMap::new()),
-            nvc: Mutex::new(HashMap::new()),
+            nvc: Mutex::new(BTreeMap::new()),
             conflicts: ConflictLog::new(),
             changelog: ChangeLog::new(params.changelog_capacity),
             seq: AtomicU64::new(1),
@@ -405,8 +407,9 @@ impl FicusPhysical {
         match self.base.lookup(&self.cred, META_FILE) {
             Ok(meta) => {
                 let data = meta.read(&self.cred, 0, 8)?;
-                if data.len() == 8 {
-                    let v = u64::from_le_bytes(data[..].try_into().expect("8 bytes"));
+                let slice: &[u8] = data.as_ref();
+                if let Ok(bytes) = <[u8; 8]>::try_from(slice) {
+                    let v = u64::from_le_bytes(bytes);
                     self.seq.store(v, AtomicOrdering::Relaxed);
                     self.seq_reserved.store(v, AtomicOrdering::Relaxed);
                 }
@@ -1072,8 +1075,8 @@ impl FicusPhysical {
             len: bytes.len() as u32,
             digest: chunks::digest(bytes),
         };
-        if idx < map.chunks.len() {
-            map.chunks[idx] = entry;
+        if let Some(slot) = map.chunks.get_mut(idx) {
+            *slot = entry;
         } else {
             map.chunks.push(entry);
         }
@@ -1147,8 +1150,8 @@ impl FicusPhysical {
             let cstart = idx as u64 * csize;
             let s = offset.saturating_sub(cstart) as usize;
             let e = ((end - cstart) as usize).min(bytes.len());
-            if s < e {
-                out.extend_from_slice(&bytes[s..e]);
+            if let Some(piece) = bytes.get(s..e) {
+                out.extend_from_slice(piece);
             }
         }
         Ok(Bytes::from(out))
@@ -1269,11 +1272,12 @@ impl FicusPhysical {
         let scope = self.file_scope(file)?;
         let map = self.load_map(&scope, file)?;
         let end = start.checked_add(count).ok_or(FsError::Invalid)? as usize;
-        if end > map.chunks.len() {
-            return Err(FsError::Invalid);
-        }
+        let range = map
+            .chunks
+            .get(start as usize..end)
+            .ok_or(FsError::Invalid)?;
         let mut out = Vec::new();
-        for e in &map.chunks[start as usize..end] {
+        for e in range {
             out.extend_from_slice(&self.read_chunk(&scope, file, e)?);
         }
         Ok(out)
@@ -1422,13 +1426,8 @@ impl FicusPhysical {
             if self.take_crash(CommitPoint::MidChunkWrite) {
                 // Power loss partway through a chunk write: a torn prefix
                 // exists under a generation no map references.
-                let _ = self.write_chunk_file(
-                    scope,
-                    file,
-                    generation,
-                    &piece[..piece.len() / 2],
-                    false,
-                );
+                let torn = piece.get(..piece.len() / 2).unwrap_or_default();
+                let _ = self.write_chunk_file(scope, file, generation, torn, false);
                 return Err(FsError::Io);
             }
             self.write_chunk_file(scope, file, generation, piece, true)?;
@@ -1639,7 +1638,8 @@ impl FicusPhysical {
             if page.is_empty() {
                 break;
             }
-            cookie = page.last().expect("non-empty").cookie;
+            let Some(last) = page.last() else { break };
+            cookie = last.cookie;
             for de in page {
                 if let Some(rest) = de.name.strip_prefix(&prefix) {
                     if let Ok(r) = rest.parse::<u32>() {
@@ -1771,9 +1771,13 @@ impl FicusPhysical {
             .filter(|(_, e)| e.noted_at <= cutoff && e.not_before <= now)
             .map(|(&f, _)| f)
             .collect();
-        due.into_iter()
-            .map(|f| (f, nvc.remove(&f).expect("key just listed")))
-            .collect()
+        let mut out = Vec::with_capacity(due.len());
+        for f in due {
+            if let Some(entry) = nvc.remove(&f) {
+                out.push((f, entry));
+            }
+        }
+        out
     }
 
     /// Puts a notification back (pull failed; retry later).
@@ -1977,7 +1981,7 @@ impl FicusPhysical {
             }
             ids.sort();
             let file_vv = self.file_vv(file).unwrap_or_default();
-            for loser in &ids[1..] {
+            for loser in ids.get(1..).unwrap_or_default() {
                 let death = EntryId::new(self.me.0, self.next_unique()?);
                 d.tombstone(*loser, &file_vv, death, self.me)?;
                 changed = true;
@@ -2062,10 +2066,8 @@ impl FicusPhysical {
         let mut cookie = 0;
         loop {
             let page = scope.readdir(&self.cred, cookie, 64)?;
-            if page.is_empty() {
-                break;
-            }
-            cookie = page.last().expect("non-empty").cookie;
+            let Some(last) = page.last() else { break };
+            cookie = last.cookie;
             for de in page {
                 match classify_scan_name(&de.name) {
                     ScanName::Meta | ScanName::Aux | ScanName::Stash | ScanName::Foreign => {}

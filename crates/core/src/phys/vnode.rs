@@ -121,7 +121,7 @@ impl PhysVnode {
 
     /// Handles an overloaded (control) lookup name.
     fn control_lookup(&self, name: &str) -> FsResult<VnodeRef> {
-        let rest = &name[CTL_PREFIX.len()..];
+        let rest = name.get(CTL_PREFIX.len()..).ok_or(FsError::Invalid)?;
         if rest == "dir" {
             let d = self.phys.dir_entries(self.file)?;
             return Ok(self.ctl(d.encode()));
@@ -453,8 +453,9 @@ impl Vnode for CtlVnode {
 
     fn read(&self, _cred: &Credentials, offset: u64, len: usize) -> FsResult<Bytes> {
         let start = (offset as usize).min(self.data.len());
-        let end = (start + len).min(self.data.len());
-        Ok(Bytes::copy_from_slice(&self.data[start..end]))
+        let end = (start.saturating_add(len)).min(self.data.len());
+        let piece = self.data.get(start..end).unwrap_or_default();
+        Ok(Bytes::copy_from_slice(piece))
     }
 
     fn write(&self, _cred: &Credentials, _offset: u64, _data: &[u8]) -> FsResult<usize> {
@@ -517,5 +518,155 @@ impl Vnode for CtlVnode {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ficus_ufs::{Disk, Geometry, Ufs, UfsParams};
+    use ficus_vnode::{LogicalClock, TimeSource};
+
+    use crate::ids::{ReplicaId, VolumeName, ROOT_FILE};
+    use crate::phys::PhysParams;
+
+    /// A fresh single-volume physical layer with one regular file, plus the
+    /// root vnode the control lookups are driven through.
+    fn harness() -> (Arc<FicusPhysical>, VnodeRef, FicusFileId) {
+        let ufs = Ufs::format(Disk::new(Geometry::medium()), UfsParams::default()).unwrap();
+        let phys = FicusPhysical::create_volume(
+            Arc::new(ufs),
+            "vol",
+            VolumeName::new(1, 1),
+            ReplicaId(1),
+            &[1],
+            Arc::new(LogicalClock::new()) as Arc<dyn TimeSource>,
+            PhysParams::default(),
+        )
+        .unwrap();
+        let f = phys.create(ROOT_FILE, "file", VnodeType::Regular).unwrap();
+        phys.write(f, 0, b"control-plane test payload").unwrap();
+        let root = PhysFs::new(Arc::clone(&phys)).root();
+        (phys, root, f)
+    }
+
+    fn ctl_err(root: &VnodeRef, name: &str) -> FsError {
+        root.lookup(&Credentials::root(), name)
+            .expect_err("malformed control name must be rejected")
+    }
+
+    #[test]
+    fn well_formed_map_and_blk_resolve() {
+        let (_phys, root, f) = harness();
+        let cred = Credentials::root();
+        assert!(root.lookup(&cred, &format!(";f;map;{}", f.hex())).is_ok());
+        assert!(root
+            .lookup(&cred, &format!(";f;blk;{};0;1", f.hex()))
+            .is_ok());
+    }
+
+    #[test]
+    fn map_rejects_non_hex_id() {
+        let (_phys, root, _f) = harness();
+        assert_eq!(
+            ctl_err(&root, &format!(";f;map;{}", "z".repeat(24))),
+            FsError::Invalid
+        );
+    }
+
+    #[test]
+    fn map_rejects_short_id() {
+        let (_phys, root, _f) = harness();
+        assert_eq!(ctl_err(&root, ";f;map;abc"), FsError::Invalid);
+    }
+
+    #[test]
+    fn map_rejects_overlong_id() {
+        let (_phys, root, _f) = harness();
+        assert_eq!(
+            ctl_err(&root, &format!(";f;map;{}", "0".repeat(25))),
+            FsError::Invalid
+        );
+    }
+
+    #[test]
+    fn blk_rejects_missing_start_and_count() {
+        let (_phys, root, f) = harness();
+        assert_eq!(
+            ctl_err(&root, &format!(";f;blk;{}", f.hex())),
+            FsError::Invalid
+        );
+        assert_eq!(
+            ctl_err(&root, &format!(";f;blk;{};0", f.hex())),
+            FsError::Invalid
+        );
+    }
+
+    #[test]
+    fn blk_rejects_empty_args() {
+        let (_phys, root, _f) = harness();
+        assert_eq!(ctl_err(&root, ";f;blk;"), FsError::Invalid);
+    }
+
+    #[test]
+    fn blk_rejects_non_hex_start_or_count() {
+        let (_phys, root, f) = harness();
+        assert_eq!(
+            ctl_err(&root, &format!(";f;blk;{};xyz;1", f.hex())),
+            FsError::Invalid
+        );
+        assert_eq!(
+            ctl_err(&root, &format!(";f;blk;{};0;xyz", f.hex())),
+            FsError::Invalid
+        );
+    }
+
+    #[test]
+    fn blk_rejects_start_overflowing_u32() {
+        let (_phys, root, f) = harness();
+        // Nine hex digits: one past u32::MAX's width.
+        assert_eq!(
+            ctl_err(&root, &format!(";f;blk;{};100000000;1", f.hex())),
+            FsError::Invalid
+        );
+    }
+
+    #[test]
+    fn blk_start_plus_count_overflow_is_an_error_not_a_panic() {
+        let (_phys, root, f) = harness();
+        assert_eq!(
+            ctl_err(&root, &format!(";f;blk;{};ffffffff;ffffffff", f.hex())),
+            FsError::Invalid
+        );
+    }
+
+    #[test]
+    fn blk_rejects_trailing_args() {
+        let (_phys, root, f) = harness();
+        assert_eq!(
+            ctl_err(&root, &format!(";f;blk;{};0;1;0", f.hex())),
+            FsError::Invalid
+        );
+    }
+
+    #[test]
+    fn log_rejects_non_hex_sequence() {
+        let (_phys, root, _f) = harness();
+        assert_eq!(ctl_err(&root, ";f;log;xyz"), FsError::Invalid);
+    }
+
+    #[test]
+    fn open_note_rejects_non_numeric_bits() {
+        let (_phys, root, f) = harness();
+        assert_eq!(
+            ctl_err(&root, &format!(";f;o;notanum;{}", f.hex())),
+            FsError::Invalid
+        );
+    }
+
+    #[test]
+    fn bare_prefix_is_rejected() {
+        let (_phys, root, _f) = harness();
+        assert_eq!(ctl_err(&root, ";f;"), FsError::Invalid);
     }
 }

@@ -151,16 +151,16 @@ impl Resolver for AppendMerge {
         // Longest line prefix common to every version.
         let mut common = 0;
         'scan: while common < first.len() {
-            for s in &split[1..] {
+            for s in split.get(1..).unwrap_or_default() {
                 if s.get(common) != first.get(common) {
                     break 'scan;
                 }
             }
             common += 1;
         }
-        let mut out: Vec<&[u8]> = first[..common].to_vec();
+        let mut out: Vec<&[u8]> = first.get(..common).unwrap_or_default().to_vec();
         for s in &split {
-            out.extend_from_slice(&s[common..]);
+            out.extend_from_slice(s.get(common..).unwrap_or_default());
         }
         Some(join_lines(&out, trailing_newline(versions)))
     }

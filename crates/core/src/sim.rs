@@ -19,7 +19,7 @@
 //! The harness is deterministic: one shared [`SimClock`], seeded loss, no
 //! wall-clock anywhere.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -131,7 +131,7 @@ pub struct HostState {
     /// Physical layers for the volume replicas stored here (shared with the
     /// host's connector and datagram handler, so volumes created later are
     /// visible everywhere).
-    pub physes: Arc<Mutex<HashMap<VolumeName, Arc<FicusPhysical>>>>,
+    pub physes: Arc<Mutex<BTreeMap<VolumeName, Arc<FicusPhysical>>>>,
     /// The logical layer.
     pub logical: Arc<FicusLogical>,
     /// Per-peer health registry shared by this host's daemons (`None` when
@@ -145,9 +145,11 @@ pub struct FicusWorld {
     net: Network,
     params: WorldParams,
     root_vol: VolumeName,
-    hosts: HashMap<HostId, HostState>,
+    // BTreeMap, not HashMap: world-wide sweeps (tick, settle, audits) iterate
+    // hosts and must visit them in a deterministic order for seeded runs.
+    hosts: BTreeMap<HostId, HostState>,
     /// `(vol, replica) -> host` placement, shared with connectors.
-    placement: Arc<Mutex<HashMap<(VolumeName, ReplicaId), HostId>>>,
+    placement: Arc<Mutex<BTreeMap<(VolumeName, ReplicaId), HostId>>>,
     /// Fault controllers for the interposed export layers (only populated
     /// when `params.export_faults` is set).
     fault_controls: Mutex<HashMap<(HostId, VolumeName), Arc<FaultControl>>>,
@@ -185,7 +187,7 @@ fn serve_export(
 struct WorldConnector {
     host: HostId,
     net: Network,
-    local: Arc<Mutex<HashMap<VolumeName, Arc<FicusPhysical>>>>,
+    local: Arc<Mutex<BTreeMap<VolumeName, Arc<FicusPhysical>>>>,
     mounts: Mutex<HashMap<(VolumeName, ReplicaId), VnodeRef>>,
 }
 
@@ -238,11 +240,11 @@ impl FicusWorld {
         let clock = SimClock::new();
         let net = Network::new(Arc::clone(&clock), params.net.clone());
         let root_vol = VolumeName::new(1, 1);
-        let placement: Arc<Mutex<HashMap<(VolumeName, ReplicaId), HostId>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let placement: Arc<Mutex<BTreeMap<(VolumeName, ReplicaId), HostId>>> =
+            Arc::new(Mutex::new(BTreeMap::new()));
 
         let all_root_replicas: Vec<u32> = params.root_replica_hosts.clone();
-        let mut hosts = HashMap::new();
+        let mut hosts = BTreeMap::new();
         let mut connectors: HashMap<HostId, Arc<WorldConnector>> = HashMap::new();
         let fault_controls: Mutex<HashMap<(HostId, VolumeName), Arc<FaultControl>>> =
             Mutex::new(HashMap::new());
@@ -263,8 +265,8 @@ impl FicusWorld {
                 )
                 .expect("disk large enough for a UFS"),
             );
-            let physes: Arc<Mutex<HashMap<VolumeName, Arc<FicusPhysical>>>> =
-                Arc::new(Mutex::new(HashMap::new()));
+            let physes: Arc<Mutex<BTreeMap<VolumeName, Arc<FicusPhysical>>>> =
+                Arc::new(Mutex::new(BTreeMap::new()));
             if params.root_replica_hosts.contains(&h) {
                 assert!(h <= params.hosts, "replica host outside host range");
                 let phys = FicusPhysical::create_volume(

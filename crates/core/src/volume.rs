@@ -13,7 +13,7 @@
 //! longer needed is quietly pruned at a later time" (§4.4) — [`GraftTable::prune`]
 //! implements exactly that idle-based pruning.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ficus_net::HostId;
@@ -61,7 +61,9 @@ pub struct GraftedVolume {
 /// The per-host table of grafted volumes.
 #[derive(Default)]
 pub struct GraftTable {
-    entries: HashMap<VolumeName, GraftedVolume>,
+    // BTreeMap, not HashMap: prune() returns the victim list in map
+    // order, which must be deterministic across seeded runs.
+    entries: BTreeMap<VolumeName, GraftedVolume>,
 }
 
 impl GraftTable {

@@ -1,0 +1,887 @@
+//! Whole-program model for the graph rules (DESIGN.md §4.14): a
+//! lightweight Rust item parser (no `syn` — the masked-token scan of
+//! [`crate::scan`] extended to items), a cross-crate call graph, and
+//! per-function ordered effect summaries.
+//!
+//! The parser is deliberately approximate in the safe direction: a call
+//! site resolves to *every* workspace function the name could denote
+//! (methods by name across all impls, free functions by name), so the
+//! reachability the rules compute over-approximates the true call graph.
+//! Test code (`#[cfg(test)]` regions, `#[test]` functions, `tests/`
+//! files) is excluded on both ends: test functions are neither analysis
+//! roots nor resolution candidates, and panic sites inside them are
+//! invisible — a serving path cannot call code that is compiled out.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::scan::{find_token_in, SourceFile};
+
+/// One parsed `fn` item.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Index of the defining file in the scanned set.
+    pub file: usize,
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl` type, when the item is a method.
+    pub impl_type: Option<String>,
+    /// Byte offset of the `fn` keyword (for line reporting).
+    pub at: usize,
+    /// Body range `{..}` (exclusive of braces); `None` for bodyless
+    /// trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Whether the item is test code (never a root, callee, or site).
+    pub is_test: bool,
+    /// Ordered intra-body effects (calls, writes, syncs, renames, locks,
+    /// panic sources), by byte offset.
+    pub effects: Vec<Effect>,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, `name` for free functions.
+    #[must_use]
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One ordered effect inside a function body.
+#[derive(Debug, Clone)]
+pub struct Effect {
+    /// Byte offset of the token in the defining file.
+    pub at: usize,
+    /// What happens there.
+    pub kind: EffectKind,
+}
+
+/// Effect classes the rules consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EffectKind {
+    /// A call site: resolved callee candidates (indices into `fns`).
+    Call {
+        /// Callee name as written (for witness rendering).
+        name: String,
+        /// Resolved candidate functions.
+        candidates: Vec<usize>,
+    },
+    /// A data write (`.write(`, `.truncate(`).
+    Write,
+    /// A durability point (`.fsync(`, `.sync(`, `sync_all`, `sync_data`).
+    Sync,
+    /// An atomic publication (`.rename(`).
+    Rename,
+    /// A lock acquisition (`.lock(`) — recorded for summaries/JSON only.
+    Lock,
+    /// A panic source; the string names the construct for the report.
+    Panic(String),
+}
+
+/// Crash-safety summary of one function, used to propagate R7 state
+/// through call sites (see [`CallGraph::crash_summaries`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CrashSummary {
+    /// Contains a write (directly or via callees).
+    pub has_write: bool,
+    /// Contains a sync (directly or via callees).
+    pub has_sync: bool,
+    /// State after the last write/sync: `true` = dirty (last was an
+    /// unsynced write), `false` = clean or no write/sync at all.
+    pub exits_dirty: bool,
+    /// Whether any write/sync occurs at all (distinguishes "exits clean
+    /// because it synced" from "touches nothing, entry state persists").
+    pub touches: bool,
+    /// A rename occurs before any write or sync — a pure publication
+    /// that fires when the *caller* holds unsynced data.
+    pub renames_first: bool,
+}
+
+/// The whole-program model.
+pub struct CallGraph {
+    /// Every parsed function, in file order.
+    pub fns: Vec<FnItem>,
+    /// Name → candidate functions (non-test only).
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// (impl type, name) → candidates (non-test only).
+    by_type_name: BTreeMap<(String, String), Vec<usize>>,
+    /// Free functions (no impl type) by name, non-test only.
+    free_by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Binary crates that sit on top of the library stack. The libraries
+/// cannot depend on them, so their fns must not become resolution
+/// candidates — a name collision (`parse`, `take`, …) would otherwise
+/// fabricate an edge from a serving path into bench/tooling code.
+const NON_CALLEE_DIRS: [&str; 3] = ["crates/bench/", "crates/workload/", "crates/replctl/"];
+
+/// Rust keywords and constructs that look like call heads but are not.
+const NOT_CALLS: [&str; 18] = [
+    "if", "else", "while", "match", "for", "loop", "return", "in", "as", "let", "mut", "ref",
+    "move", "where", "fn", "unsafe", "dyn", "break",
+];
+
+impl CallGraph {
+    /// Parses every file and links call sites to candidates.
+    #[must_use]
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        let mut fns = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            parse_fns(fi, f, &mut fns);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_type_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, item) in fns.iter().enumerate() {
+            if item.is_test
+                || NON_CALLEE_DIRS
+                    .iter()
+                    .any(|d| files[item.file].rel.starts_with(d))
+            {
+                continue;
+            }
+            by_name.entry(item.name.clone()).or_default().push(i);
+            match &item.impl_type {
+                Some(t) => by_type_name
+                    .entry((t.clone(), item.name.clone()))
+                    .or_default()
+                    .push(i),
+                None => free_by_name.entry(item.name.clone()).or_default().push(i),
+            }
+        }
+        let mut graph = CallGraph {
+            fns,
+            by_name,
+            by_type_name,
+            free_by_name,
+        };
+        graph.resolve_calls(files);
+        graph
+    }
+
+    /// Fills in call candidates, now that the full index exists.
+    fn resolve_calls(&mut self, files: &[SourceFile]) {
+        let known_types: BTreeSet<String> =
+            self.by_type_name.keys().map(|(t, _)| t.clone()).collect();
+        for i in 0..self.fns.len() {
+            if self.fns[i].is_test {
+                continue;
+            }
+            let file = &files[self.fns[i].file];
+            let impl_type = self.fns[i].impl_type.clone();
+            let mut resolved = Vec::new();
+            for (ei, eff) in self.fns[i].effects.iter().enumerate() {
+                if let EffectKind::Call { name, .. } = &eff.kind {
+                    let head = call_head(file, eff.at);
+                    let cands = self.candidates(name, head, impl_type.as_deref(), &known_types);
+                    resolved.push((ei, cands));
+                }
+            }
+            for (ei, cands) in resolved {
+                if let EffectKind::Call { candidates, .. } = &mut self.fns[i].effects[ei].kind {
+                    *candidates = cands;
+                }
+            }
+        }
+    }
+
+    /// Resolution: method calls match every method of that name; `T::f`
+    /// matches `impl T` methods when `T` is a workspace type; bare calls
+    /// match free functions.
+    fn candidates(
+        &self,
+        name: &str,
+        head: CallHead,
+        enclosing: Option<&str>,
+        known_types: &BTreeSet<String>,
+    ) -> Vec<usize> {
+        match head {
+            CallHead::Method => self.by_name.get(name).cloned().unwrap_or_default(),
+            CallHead::Path(qual) => {
+                let ty = if qual == "Self" {
+                    enclosing.map(str::to_string)
+                } else {
+                    Some(qual)
+                };
+                if let Some(ty) = ty {
+                    if known_types.contains(&ty) {
+                        return self
+                            .by_type_name
+                            .get(&(ty, name.to_string()))
+                            .cloned()
+                            .unwrap_or_default();
+                    }
+                }
+                // A module path (`chunks::digest`) or foreign type: any
+                // free function of that name.
+                self.free_by_name.get(name).cloned().unwrap_or_default()
+            }
+            CallHead::Bare => self.free_by_name.get(name).cloned().unwrap_or_default(),
+        }
+    }
+
+    /// Functions (by index) matching a `(file-suffix, name)` root spec.
+    /// With `any_file`, the suffix is ignored (fixture mode).
+    #[must_use]
+    pub fn roots(
+        &self,
+        files: &[SourceFile],
+        specs: &[(&str, &str)],
+        any_file: bool,
+    ) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_test)
+            .filter(|(_, f)| {
+                specs.iter().any(|(suffix, name)| {
+                    f.name == *name && (any_file || files[f.file].rel.ends_with(suffix))
+                })
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// BFS over resolved call edges from `roots`; returns, per reached
+    /// function, the index of the function it was first reached from
+    /// (roots map to themselves).
+    #[must_use]
+    pub fn reach(&self, roots: &[usize]) -> BTreeMap<usize, usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if !parent.contains_key(&r) {
+                parent.insert(r, r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for eff in &self.fns[i].effects {
+                if let EffectKind::Call { candidates, .. } = &eff.kind {
+                    for &c in candidates {
+                        // First discovery wins — overwriting an existing
+                        // parent could close a cycle in the witness chain.
+                        if !self.fns[c].is_test && !parent.contains_key(&c) {
+                            parent.insert(c, i);
+                            queue.push_back(c);
+                        }
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call path `root → … → target` as qualified names.
+    #[must_use]
+    pub fn witness(&self, parent: &BTreeMap<usize, usize>, target: usize) -> Vec<String> {
+        let mut path = vec![self.fns[target].qualified()];
+        let mut cur = target;
+        while let Some(&p) = parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            path.push(self.fns[p].qualified());
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Fixpoint crash-safety summaries for every function (R7). Cycles
+    /// converge because every field only grows toward "dirtier".
+    #[must_use]
+    pub fn crash_summaries(&self) -> Vec<CrashSummary> {
+        let mut sums = vec![CrashSummary::default(); self.fns.len()];
+        for _round in 0..64 {
+            let mut changed = false;
+            for i in 0..self.fns.len() {
+                let next = self.summarize(i, &sums);
+                if next != sums[i] {
+                    sums[i] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        sums
+    }
+
+    /// One function's summary given the current estimates of its callees.
+    fn summarize(&self, i: usize, sums: &[CrashSummary]) -> CrashSummary {
+        let mut s = CrashSummary::default();
+        for eff in &self.fns[i].effects {
+            match &eff.kind {
+                EffectKind::Write => {
+                    s.has_write = true;
+                    s.touches = true;
+                    s.exits_dirty = true;
+                }
+                EffectKind::Sync => {
+                    s.has_sync = true;
+                    s.touches = true;
+                    s.exits_dirty = false;
+                }
+                EffectKind::Rename => {
+                    if !s.touches {
+                        s.renames_first = true;
+                    }
+                }
+                EffectKind::Call { candidates, .. } => {
+                    let m = merge_candidates(candidates, sums);
+                    if m.renames_first && !s.touches {
+                        s.renames_first = true;
+                    }
+                    s.has_write |= m.has_write;
+                    s.has_sync |= m.has_sync;
+                    if m.touches {
+                        s.touches = true;
+                        s.exits_dirty = m.exits_dirty;
+                    }
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Walks one function's effect order with R7's dirty-state machine;
+    /// calls `flag` at every rename that publishes unsynced data.
+    pub fn walk_crash_order(
+        &self,
+        i: usize,
+        sums: &[CrashSummary],
+        mut flag: impl FnMut(usize, &str),
+    ) {
+        let mut dirty = false;
+        for eff in &self.fns[i].effects {
+            match &eff.kind {
+                EffectKind::Write => dirty = true,
+                EffectKind::Sync => dirty = false,
+                EffectKind::Rename => {
+                    if dirty {
+                        flag(eff.at, "rename");
+                    }
+                }
+                EffectKind::Call { name, candidates } => {
+                    let m = merge_candidates(candidates, sums);
+                    // A pure-publication callee fires against *our*
+                    // unsynced writes; a callee with internal writes
+                    // answers for its own order when it is analyzed.
+                    if dirty && m.renames_first {
+                        flag(eff.at, name);
+                    }
+                    if m.touches {
+                        dirty = m.exits_dirty;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Worst-case merge over a call site's candidates: writes are assumed if
+/// any candidate writes; the exit is clean only when every candidate
+/// that touches data exits clean.
+fn merge_candidates(candidates: &[usize], sums: &[CrashSummary]) -> CrashSummary {
+    let mut m = CrashSummary::default();
+    for &c in candidates {
+        let s = sums[c];
+        m.has_write |= s.has_write;
+        m.has_sync |= s.has_sync;
+        m.renames_first |= s.renames_first;
+        m.touches |= s.touches;
+        m.exits_dirty |= s.touches && s.exits_dirty;
+    }
+    m
+}
+
+/// Syntactic shape of a call head.
+enum CallHead {
+    /// `x.name(…)` — method call.
+    Method,
+    /// `Qual::name(…)` — path call; the string is the last qualifier.
+    Path(String),
+    /// `name(…)` — free call.
+    Bare,
+}
+
+/// Classifies the call at `at` (offset of the callee identifier start).
+fn call_head(file: &SourceFile, at: usize) -> CallHead {
+    let b = file.code.as_bytes();
+    let mut j = at;
+    while j > 0 && b[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    if j > 0 && b[j - 1] == b'.' {
+        return CallHead::Method;
+    }
+    if j >= 2 && b[j - 1] == b':' && b[j - 2] == b':' {
+        // Walk back over the qualifying segment (identifier or `>` of a
+        // turbofish/generic — treated as unknown).
+        let mut k = j - 2;
+        let seg_end = k;
+        while k > 0 && (b[k - 1].is_ascii_alphanumeric() || b[k - 1] == b'_') {
+            k -= 1;
+        }
+        if k < seg_end {
+            return CallHead::Path(file.code[k..seg_end].to_string());
+        }
+        return CallHead::Path(String::new());
+    }
+    CallHead::Bare
+}
+
+/// Panic-source tokens (name, report label).
+const PANIC_TOKENS: [(&str, &str); 6] = [
+    (".unwrap()", ".unwrap()"),
+    (".expect(", ".expect(…)"),
+    ("panic!", "panic!"),
+    ("unreachable!", "unreachable!"),
+    ("todo!", "todo!"),
+    ("unimplemented!", "unimplemented!"),
+];
+
+/// Parses every `fn` item of one file into `out`.
+fn parse_fns(fi: usize, file: &SourceFile, out: &mut Vec<FnItem>) {
+    let impls = impl_blocks(file);
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    for at in find_token_in(code, "fn") {
+        // The token scan also hits `fn(` types and `fn` in `extern fn`;
+        // a real item has an identifier next.
+        let mut i = at + 2;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        if i == name_start {
+            continue;
+        }
+        let name = code[name_start..i].to_string();
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) == Some(&b'<') {
+            let Some(end) = skip_generics(bytes, i) else {
+                continue;
+            };
+            i = end;
+        }
+        if bytes.get(i) != Some(&b'(') {
+            continue;
+        }
+        let Some(params_end) = match_round(bytes, i) else {
+            continue;
+        };
+        i = params_end + 1;
+        // Return type / where clause up to the body or a `;` declaration.
+        while i < bytes.len() && bytes[i] != b'{' && bytes[i] != b';' {
+            i += 1;
+        }
+        let body = if bytes.get(i) == Some(&b'{') {
+            match_curly(bytes, i).map(|close| (i + 1, close))
+        } else {
+            None
+        };
+        let impl_type = impls
+            .iter()
+            .filter(|(s, e, _)| at >= *s && at < *e)
+            .map(|(_, _, t)| t.clone())
+            .next_back();
+        let is_test = file.is_all_test() || file.in_test(at);
+        let effects = match body {
+            Some((s, e)) if !is_test => body_effects(file, s, e),
+            _ => Vec::new(),
+        };
+        out.push(FnItem {
+            file: fi,
+            name,
+            impl_type,
+            at,
+            body,
+            is_test,
+            effects,
+        });
+    }
+}
+
+/// `impl` block ranges with the implemented type's last path segment
+/// (`impl Trait for Type` → `Type`; `impl Type` → `Type`).
+fn impl_blocks(file: &SourceFile) -> Vec<(usize, usize, String)> {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for at in find_token_in(code, "impl") {
+        let mut i = at + 4;
+        if bytes.get(i) == Some(&b'<') {
+            let Some(end) = skip_generics(bytes, i) else {
+                continue;
+            };
+            i = end;
+        }
+        let Some(open) = code[i..].find('{').map(|o| i + o) else {
+            continue;
+        };
+        let header = &code[i..open];
+        // `for` splits trait from type; the type is the last segment of
+        // the final path, generics stripped.
+        let type_part = match header.rfind(" for ") {
+            Some(p) => &header[p + 5..],
+            None => header,
+        };
+        let type_name: String = type_part
+            .trim()
+            .split("::")
+            .last()
+            .unwrap_or("")
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if type_name.is_empty() {
+            continue;
+        }
+        if let Some(close) = match_curly(bytes, open) {
+            out.push((open, close, type_name));
+        }
+    }
+    out
+}
+
+/// Ordered effects of one body range.
+fn body_effects(file: &SourceFile, start: usize, end: usize) -> Vec<Effect> {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let mut effects = Vec::new();
+
+    // Panic tokens.
+    for (tok, label) in PANIC_TOKENS {
+        for at in find_token_in(code, tok) {
+            if at >= start && at < end {
+                effects.push(Effect {
+                    at,
+                    kind: EffectKind::Panic(label.to_string()),
+                });
+            }
+        }
+    }
+
+    // Ordered-effect tokens. `.rename(`, `.fsync(` … are *both* effect
+    // atoms and calls; the atom classification wins (the callee's body
+    // implements the effect, it does not precede it).
+    const EFFECT_TOKENS: [(&str, EffectKind); 7] = [
+        (".write(", EffectKind::Write),
+        (".truncate(", EffectKind::Write),
+        (".fsync(", EffectKind::Sync),
+        (".sync(", EffectKind::Sync),
+        ("sync_all", EffectKind::Sync),
+        ("sync_data", EffectKind::Sync),
+        (".rename(", EffectKind::Rename),
+    ];
+    let mut effect_offsets = BTreeSet::new();
+    for (tok, kind) in EFFECT_TOKENS {
+        for at in find_token_in(code, tok) {
+            if at >= start && at < end {
+                // Token offsets point at `.`; the identifier starts at +1.
+                let id_at = at + usize::from(tok.starts_with('.'));
+                effect_offsets.insert(id_at);
+                effects.push(Effect {
+                    at,
+                    kind: kind.clone(),
+                });
+            }
+        }
+    }
+    for at in find_token_in(code, ".lock(") {
+        if at >= start && at < end {
+            effect_offsets.insert(at + 1);
+            effects.push(Effect {
+                at,
+                kind: EffectKind::Lock,
+            });
+        }
+    }
+
+    // Call sites: an identifier directly (modulo whitespace) before `(`,
+    // that is not a keyword, a macro (`name!`), or an effect atom.
+    let mut i = start;
+    while i < end {
+        if bytes[i] == b'(' {
+            let mut j = i;
+            while j > start && bytes[j - 1].is_ascii_whitespace() {
+                j -= 1;
+            }
+            if j > start && (bytes[j - 1].is_ascii_alphanumeric() || bytes[j - 1] == b'_') {
+                let name_end = j;
+                let mut k = j;
+                while k > start && (bytes[k - 1].is_ascii_alphanumeric() || bytes[k - 1] == b'_') {
+                    k -= 1;
+                }
+                let name = &code[k..name_end];
+                if !NOT_CALLS.contains(&name)
+                    && !name.starts_with(|c: char| c.is_ascii_digit())
+                    && !effect_offsets.contains(&k)
+                {
+                    effects.push(Effect {
+                        at: k,
+                        kind: EffectKind::Call {
+                            name: name.to_string(),
+                            candidates: Vec::new(),
+                        },
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+
+    effects.sort_by_key(|e| e.at);
+    effects
+}
+
+/// Keywords an array literal can directly follow (`for x in [..]`,
+/// `return [..]`); a `[` after one is a literal, not an index.
+const NOT_INDEXED: [&str; 9] = [
+    "in", "return", "as", "else", "match", "break", "move", "if", "while",
+];
+
+/// Slice/array index expressions in `[start, end)` of a file's masked
+/// code: a `[` whose previous non-space char closes a value expression
+/// (identifier, `)`, or `]`), excluding the never-panicking full-range
+/// `[..]` and array literals after a keyword. Used by R6 for the
+/// wire-facing crates.
+#[must_use]
+pub fn index_sites(file: &SourceFile, start: usize, end: usize) -> Vec<usize> {
+    let bytes = file.code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        if bytes[i] == b'[' {
+            let mut j = i;
+            while j > start && bytes[j - 1] == b' ' {
+                j -= 1;
+            }
+            let prev = if j > start { bytes[j - 1] } else { b' ' };
+            let mut k = j;
+            while k > start && (bytes[k - 1].is_ascii_alphanumeric() || bytes[k - 1] == b'_') {
+                k -= 1;
+            }
+            let word = &file.code[k..j];
+            if NOT_INDEXED.contains(&word) {
+                i += 1;
+                continue;
+            }
+            if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']' {
+                let inner_end = match_square(bytes, i);
+                let inner = inner_end.map(|e| file.code[i + 1..e].trim());
+                if inner != Some("..") {
+                    out.push(i);
+                }
+                if let Some(e) = inner_end {
+                    i = e;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `<…>` matcher that ignores the `>` of `->` arrows.
+fn skip_generics(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' if i > 0 && bytes[i - 1] == b'-' => {}
+            b'>' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn match_round(bytes: &[u8], open: usize) -> Option<usize> {
+    match_delim(bytes, open, b'(', b')')
+}
+
+fn match_curly(bytes: &[u8], open: usize) -> Option<usize> {
+    match_delim(bytes, open, b'{', b'}')
+}
+
+fn match_square(bytes: &[u8], open: usize) -> Option<usize> {
+    match_delim(bytes, open, b'[', b']')
+}
+
+fn match_delim(bytes: &[u8], open: usize, oc: u8, cc: u8) -> Option<usize> {
+    if bytes.get(open) != Some(&oc) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == oc {
+            depth += 1;
+        } else if b == cc {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(srcs: &[(&str, &str)]) -> Vec<SourceFile> {
+        srcs.iter()
+            .map(|(rel, src)| SourceFile::from_text((*rel).into(), (*src).into()))
+            .collect()
+    }
+
+    #[test]
+    fn parses_free_fns_methods_and_test_regions() {
+        let fs = files(&[(
+            "a.rs",
+            "fn free() { helper(); }\n\
+             fn helper() {}\n\
+             impl Widget { fn spin(&self) { self.free(); } }\n\
+             #[cfg(test)]\nmod tests { fn t() { free(); } }\n",
+        )]);
+        let g = CallGraph::build(&fs);
+        let names: Vec<String> = g.fns.iter().map(FnItem::qualified).collect();
+        assert_eq!(names, ["free", "helper", "Widget::spin", "t"]);
+        assert!(g.fns[3].is_test);
+    }
+
+    #[test]
+    fn calls_resolve_methods_paths_and_bare() {
+        let fs = files(&[(
+            "a.rs",
+            "fn top() { helper(); Widget::make(); }\n\
+             fn helper() {}\n\
+             impl Widget { fn make() {} fn run(&self) { self.helper2(); } }\n\
+             impl Gear { fn helper2(&self) {} }\n",
+        )]);
+        let g = CallGraph::build(&fs);
+        let top = &g.fns[0];
+        let resolved: Vec<(String, usize)> = top
+            .effects
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EffectKind::Call { name, candidates } => Some((name.clone(), candidates.len())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(resolved, [("helper".into(), 1), ("make".into(), 1)]);
+        // `.helper2(` method call resolves by name across impls.
+        let run = g.fns.iter().find(|f| f.name == "run").unwrap();
+        let m = run
+            .effects
+            .iter()
+            .find_map(|e| match &e.kind {
+                EffectKind::Call { name, candidates } if name == "helper2" => {
+                    Some(candidates.len())
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(m, 1);
+    }
+
+    #[test]
+    fn reach_and_witness_cross_file() {
+        let fs = files(&[
+            ("a.rs", "fn dispatch() { middle(); }\n"),
+            (
+                "b.rs",
+                "fn middle() { deep(); }\nfn deep() { x.unwrap() }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&fs);
+        let roots = g.roots(&fs, &[("a.rs", "dispatch")], false);
+        assert_eq!(roots.len(), 1);
+        let reach = g.reach(&roots);
+        let deep = g.fns.iter().position(|f| f.name == "deep").unwrap();
+        assert!(reach.contains_key(&deep));
+        assert_eq!(g.witness(&reach, deep), ["dispatch", "middle", "deep"]);
+    }
+
+    #[test]
+    fn test_fns_are_not_callees() {
+        let fs = files(&[(
+            "a.rs",
+            "fn dispatch() { helper(); }\n\
+             #[cfg(test)]\nmod tests { fn helper() { x.unwrap() } }\n",
+        )]);
+        let g = CallGraph::build(&fs);
+        let roots = g.roots(&fs, &[("a.rs", "dispatch")], false);
+        let reach = g.reach(&roots);
+        // Only the root itself: the test helper is not a candidate.
+        assert_eq!(reach.len(), 1);
+    }
+
+    #[test]
+    fn crash_summary_sees_sync_through_calls() {
+        let fs = files(&[(
+            "a.rs",
+            "fn commit(f: &F) { write_all(f); f.rename(a, b); }\n\
+             fn write_all(f: &F) { f.write(d); f.fsync(c); }\n\
+             fn sloppy(f: &F) { f.write(d); f.rename(a, b); }\n",
+        )]);
+        let g = CallGraph::build(&fs);
+        let sums = g.crash_summaries();
+        let commit = g.fns.iter().position(|f| f.name == "commit").unwrap();
+        let sloppy = g.fns.iter().position(|f| f.name == "sloppy").unwrap();
+        let mut flagged = Vec::new();
+        g.walk_crash_order(commit, &sums, |at, what| {
+            flagged.push((at, what.to_string()))
+        });
+        assert!(flagged.is_empty(), "synced commit is clean: {flagged:?}");
+        g.walk_crash_order(sloppy, &sums, |at, what| {
+            flagged.push((at, what.to_string()))
+        });
+        assert_eq!(flagged.len(), 1, "unsynced write published by rename");
+    }
+
+    #[test]
+    fn pure_publication_callee_fires_at_the_call_site() {
+        let fs = files(&[(
+            "a.rs",
+            "fn caller(f: &F) { f.write(d); publish(f); }\n\
+             fn publish(f: &F) { f.rename(a, b); }\n",
+        )]);
+        let g = CallGraph::build(&fs);
+        let sums = g.crash_summaries();
+        let caller = g.fns.iter().position(|f| f.name == "caller").unwrap();
+        let mut flagged = Vec::new();
+        g.walk_crash_order(caller, &sums, |_, what| flagged.push(what.to_string()));
+        assert_eq!(flagged, ["publish"]);
+    }
+
+    #[test]
+    fn index_sites_skip_full_range_and_types() {
+        let f = SourceFile::from_text(
+            "a.rs".into(),
+            "fn f(buf: &[u8], n: usize) -> u8 { let all = &buf[..]; buf[n] }\n".into(),
+        );
+        let sites = index_sites(&f, 0, f.code.len());
+        assert_eq!(sites.len(), 1, "only `buf[n]` panics");
+    }
+}

@@ -12,6 +12,7 @@
 //! do_risky_thing(); // ficus-lint: allow(no-panic) bounded by caller check
 //! ```
 
+pub mod graph;
 pub mod rules;
 pub mod scan;
 
@@ -70,6 +71,73 @@ impl Report {
     pub fn ok(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Render the machine-readable report (`results/LINT_REPORT.json`).
+    /// R6/R7 findings carry their call-path witness. This is a findings
+    /// artifact, not a bench artifact — it is never `--compare`d.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn violation(v: &Violation) -> String {
+            let witness = v
+                .witness
+                .iter()
+                .map(|w| json_str(w))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"msg\":{},\"witness\":[{}]}}",
+                json_str(v.rule),
+                json_str(&v.rel),
+                v.line,
+                json_str(&v.msg),
+                witness
+            )
+        }
+        let violations: Vec<String> = self.violations.iter().map(violation).collect();
+        let suppressed: Vec<String> = self
+            .suppressed
+            .iter()
+            .map(|(v, reason)| {
+                let v = violation(v);
+                format!("{{\"finding\":{v},\"reason\":{}}}", json_str(reason))
+            })
+            .collect();
+        let mut per_rule = Vec::new();
+        for rule in RULE_IDS {
+            let n = self.violations.iter().filter(|v| v.rule == rule).count();
+            if n > 0 {
+                per_rule.push(format!("{}:{n}", json_str(rule)));
+            }
+        }
+        format!(
+            "{{\"files_scanned\":{},\"ok\":{},\"per_rule\":{{{}}},\
+             \"violations\":[{}],\"suppressed\":[{}]}}\n",
+            self.files,
+            self.ok(),
+            per_rule.join(","),
+            violations.join(","),
+            suppressed.join(",")
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Lints an explicit set of files (fixture mode).
@@ -121,33 +189,57 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Resul
     Ok(())
 }
 
+/// Finds a well-formed suppression for `v`: same rule, on the violation
+/// line (or the line above, when the comment stands alone). Returns
+/// `(file index, suppression index)`.
+fn matching_suppression(files: &[SourceFile], v: &Violation) -> Option<(usize, usize)> {
+    files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.rel == v.rel)
+        .find_map(|(fi, f)| {
+            f.suppressions
+                .iter()
+                .position(|s| {
+                    s.rule == v.rule
+                        && !s.reason.is_empty()
+                        && (s.line == v.line || (s.covers_next && s.line + 1 == v.line))
+                })
+                .map(|si| (fi, si))
+        })
+}
+
 /// Applies suppression comments: a matching `allow(rule)` on the violation
 /// line (or the line above, when the comment stands alone) suppresses it.
 /// Suppressions without a reason, and suppressions naming unknown rules,
 /// are violations themselves — never silently honored.
+///
+/// R9 (`dead-allow`): a well-formed suppression that suppressed nothing in
+/// this run is itself a violation — stale suppression debt does not rot in
+/// place. A deliberately-kept one can be covered by `allow(dead-allow)`
+/// with a reason; an `allow(dead-allow)` that itself covers nothing is
+/// dead with no further appeal, so the rule terminates.
 fn apply_suppressions(nfiles: usize, files: &[SourceFile], raw: Vec<Violation>) -> Report {
     let mut report = Report {
         files: nfiles,
         ..Report::default()
     };
+    let mut used: Vec<Vec<bool>> = files
+        .iter()
+        .map(|f| vec![false; f.suppressions.len()])
+        .collect();
     for v in raw {
-        let suppression = files
-            .iter()
-            .find(|f| f.rel == v.rel)
-            .and_then(|f| {
-                f.suppressions.iter().find(|s| {
-                    s.rule == v.rule
-                        && !s.reason.is_empty()
-                        && (s.line == v.line || (s.covers_next && s.line + 1 == v.line))
-                })
-            })
-            .cloned();
-        match suppression {
-            Some(s) => report.suppressed.push((v, s.reason)),
+        match matching_suppression(files, &v) {
+            Some((fi, si)) => {
+                used[fi][si] = true;
+                let reason = files[fi].suppressions[si].reason.clone();
+                report.suppressed.push((v, reason));
+            }
             None => report.violations.push(v),
         }
     }
-    // Malformed suppressions fail the run regardless of what they cover.
+    // Malformed suppressions fail the run regardless of what they cover
+    // (and are already violations, so deadness does not apply to them).
     for f in files {
         for s in &f.suppressions {
             if s.reason.is_empty() {
@@ -159,6 +251,7 @@ fn apply_suppressions(nfiles: usize, files: &[SourceFile], raw: Vec<Violation>) 
                         "`allow({})` without a reason — every suppression must say why",
                         s.rule
                     ),
+                    witness: Vec::new(),
                 });
             } else if !RULE_IDS.contains(&s.rule.as_str()) {
                 report.violations.push(Violation {
@@ -170,6 +263,54 @@ fn apply_suppressions(nfiles: usize, files: &[SourceFile], raw: Vec<Violation>) 
                         s.rule,
                         RULE_IDS.join(", ")
                     ),
+                    witness: Vec::new(),
+                });
+            }
+        }
+    }
+    // R9 round 1: well-formed, unused, non-dead-allow suppressions.
+    let mut dead = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (si, s) in f.suppressions.iter().enumerate() {
+            let well_formed = !s.reason.is_empty() && RULE_IDS.contains(&s.rule.as_str());
+            if !well_formed || used[fi][si] || s.rule == "dead-allow" {
+                continue;
+            }
+            dead.push(Violation {
+                rule: "dead-allow",
+                rel: f.rel.clone(),
+                line: s.line,
+                msg: format!(
+                    "`allow({})` no longer suppresses anything — delete the stale \
+                     suppression (or cover it with `allow(dead-allow)` and a reason \
+                     if it must stay)",
+                    s.rule
+                ),
+                witness: Vec::new(),
+            });
+        }
+    }
+    for v in dead {
+        match matching_suppression(files, &v) {
+            Some((fi, si)) => {
+                used[fi][si] = true;
+                let reason = files[fi].suppressions[si].reason.clone();
+                report.suppressed.push((v, reason));
+            }
+            None => report.violations.push(v),
+        }
+    }
+    // R9 round 2: an `allow(dead-allow)` that covered nothing is dead too,
+    // with no further suppression round.
+    for (fi, f) in files.iter().enumerate() {
+        for (si, s) in f.suppressions.iter().enumerate() {
+            if s.rule == "dead-allow" && !s.reason.is_empty() && !used[fi][si] {
+                report.violations.push(Violation {
+                    rule: "dead-allow",
+                    rel: f.rel.clone(),
+                    line: s.line,
+                    msg: "`allow(dead-allow)` covers no stale suppression — delete it".into(),
+                    witness: Vec::new(),
                 });
             }
         }

@@ -5,11 +5,15 @@
 //! ficus-lint --root <dir>         # lint the workspace at <dir>
 //! ficus-lint --check-file <f>...  # fixture mode: lint single files with
 //!                                 # every rule in scope
+//! ficus-lint --json <path>        # also write the machine-readable report
+//! ficus-lint --max-wall-secs <n>  # fail (exit 2) if analysis exceeds n s
 //! ```
 //!
-//! Exit status: 0 clean, 1 unsuppressed violations, 2 usage or I/O error.
+//! Exit status: 0 clean, 1 unsuppressed violations, 2 usage or I/O error
+//! (including a blown `--max-wall-secs` budget).
 
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use ficus_lint::{lint_files, lint_workspace, Config, SourceFile};
 
@@ -20,6 +24,8 @@ fn main() {
 fn run(args: Vec<String>) -> i32 {
     let mut root: Option<PathBuf> = None;
     let mut check_files: Vec<PathBuf> = Vec::new();
+    let mut json_out: Option<PathBuf> = None;
+    let mut max_wall_secs: Option<u64> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -31,12 +37,21 @@ fn run(args: Vec<String>) -> i32 {
                 Some(f) => check_files.push(PathBuf::from(f)),
                 None => return usage("--check-file needs a path"),
             },
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--max-wall-secs" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => max_wall_secs = Some(n),
+                _ => return usage("--max-wall-secs needs a whole number of seconds"),
+            },
             "--help" | "-h" => {
                 return usage("");
             }
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
+    let started = Instant::now();
 
     let report = if check_files.is_empty() {
         let root = root.unwrap_or_else(|| PathBuf::from("."));
@@ -70,7 +85,27 @@ fn run(args: Vec<String>) -> i32 {
         )
     };
 
+    let elapsed = started.elapsed();
     print!("{}", report.render());
+    if let Some(path) = &json_out {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(err) = std::fs::write(path, report.to_json()) {
+            eprintln!("ficus-lint: cannot write {}: {err}", path.display());
+            return 2;
+        }
+    }
+    if let Some(budget) = max_wall_secs {
+        if elapsed.as_secs_f64() > budget as f64 {
+            eprintln!(
+                "ficus-lint: analysis took {:.2}s, over the {budget}s wall-clock budget — \
+                 the lint gate must not become the slowest gate",
+                elapsed.as_secs_f64()
+            );
+            return 2;
+        }
+    }
     i32::from(!report.ok())
 }
 
@@ -78,6 +113,9 @@ fn usage(err: &str) -> i32 {
     if !err.is_empty() {
         eprintln!("ficus-lint: {err}");
     }
-    eprintln!("usage: ficus-lint [--root <dir>] [--check-file <file>]...");
+    eprintln!(
+        "usage: ficus-lint [--root <dir>] [--check-file <file>]... \
+         [--json <path>] [--max-wall-secs <n>]"
+    );
     i32::from(!err.is_empty()) * 2
 }

@@ -198,6 +198,12 @@ impl SourceFile {
         regions
     }
 
+    /// Byte offset of the start of the (masked) line containing `offset`.
+    #[must_use]
+    pub fn code_line_start(&self, offset: usize) -> usize {
+        self.code[..offset].rfind('\n').map_or(0, |p| p + 1)
+    }
+
     /// Byte offsets of word-bounded occurrences of `needle` in masked code.
     ///
     /// A boundary is enforced only on the sides of the needle that start or

@@ -1,0 +1,20 @@
+//! R6 fixture (test exclusion): the only `dispatch` lives inside
+//! `#[cfg(test)]`, so it is neither a root nor a callee — test code may
+//! index and panic freely.
+
+fn frame_len(buf: &[u8]) -> usize {
+    buf.len()
+}
+
+#[cfg(test)]
+mod tests {
+    fn dispatch(buf: &[u8]) -> u8 {
+        buf[0]
+    }
+
+    #[test]
+    fn drives_the_test_only_dispatch() {
+        assert_eq!(dispatch(&[7]), 7);
+        assert_eq!(super::frame_len(&[7]), 1);
+    }
+}

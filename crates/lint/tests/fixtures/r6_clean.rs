@@ -1,0 +1,10 @@
+//! R6 fixture (clean): the same reachable helper, but the wire input is
+//! read through `.get(…)`, so nothing on the path can panic.
+
+fn dispatch(buf: &[u8]) -> u8 {
+    decode_frame(buf)
+}
+
+fn decode_frame(buf: &[u8]) -> u8 {
+    buf.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,10 @@
+//! R6 fixture (suppressed): the reachable index carries a reasoned allow,
+//! so the run is clean but the finding is counted.
+
+fn dispatch(buf: &[u8]) -> u8 {
+    decode_frame(buf)
+}
+
+fn decode_frame(buf: &[u8]) -> u8 {
+    buf[0] // ficus-lint: allow(transitive-panic) caller pads frames to 1 byte minimum
+}

@@ -1,0 +1,10 @@
+//! R6 fixture (violating): a slice index reachable from a serving entry
+//! point through a helper — the witness is `dispatch → decode_frame`.
+
+fn dispatch(buf: &[u8]) -> u8 {
+    decode_frame(buf)
+}
+
+fn decode_frame(buf: &[u8]) -> u8 {
+    buf[0]
+}

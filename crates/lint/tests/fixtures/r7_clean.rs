@@ -1,0 +1,16 @@
+//! R7 fixture (clean): the shadow is synced before the rename publishes
+//! it, so the commit point is original-or-new.
+
+struct Store;
+
+impl Store {
+    fn write(&self, _data: &[u8]) {}
+    fn sync_all(&self) {}
+    fn rename(&self, _from: &str, _to: &str) {}
+}
+
+fn adopt_file(store: &Store) {
+    store.write(b"new version");
+    store.sync_all();
+    store.rename("shadow", "live");
+}

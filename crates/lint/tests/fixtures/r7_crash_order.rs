@@ -1,0 +1,16 @@
+//! R7 fixture (violating): `adopt_file` renames a shadow into place while
+//! its write is still unsynced — a crash between the two publishes torn
+//! state.
+
+struct Store;
+
+impl Store {
+    fn write(&self, _data: &[u8]) {}
+    fn sync_all(&self) {}
+    fn rename(&self, _from: &str, _to: &str) {}
+}
+
+fn adopt_file(store: &Store) {
+    store.write(b"new version");
+    store.rename("shadow", "live");
+}

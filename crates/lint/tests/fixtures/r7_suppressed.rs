@@ -1,0 +1,15 @@
+//! R7 fixture (suppressed): the unsynced rename carries a reasoned allow,
+//! so the run is clean but the finding is counted.
+
+struct Store;
+
+impl Store {
+    fn write(&self, _data: &[u8]) {}
+    fn sync_all(&self) {}
+    fn rename(&self, _from: &str, _to: &str) {}
+}
+
+fn adopt_file(store: &Store) {
+    store.write(b"scratch state");
+    store.rename("shadow", "live") // ficus-lint: allow(crash-order) scratch file, rebuilt from the log on recovery
+}

@@ -1,0 +1,10 @@
+//! R8 fixture (clean): the iteration drains into a sort on the spot, so
+//! the hash order never escapes.
+
+use std::collections::HashMap;
+
+fn ordered_keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}

@@ -1,0 +1,12 @@
+//! R8 fixture (violating): `HashMap` iteration order escapes into the
+//! returned `Vec`.
+
+use std::collections::HashMap;
+
+fn order_leak(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _v) in m.iter() {
+        out.push(*k);
+    }
+    out
+}

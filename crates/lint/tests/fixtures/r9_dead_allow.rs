@@ -1,0 +1,7 @@
+//! R9 fixture (violating): a suppression that no longer suppresses
+//! anything is itself a violation — suppression debt must not rot.
+
+fn quiet() -> u32 {
+    // ficus-lint: allow(determinism) the clock call below is long gone
+    42
+}

@@ -1,0 +1,13 @@
+//! R9 fixture (clean): the allow still matches a real finding on the next
+//! line, so it is alive and the run is clean.
+
+use std::collections::HashMap;
+
+fn order_leak(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    // ficus-lint: allow(iter-order) diagnostic dump only, never compared across runs
+    for (k, _v) in m.iter() {
+        out.push(*k);
+    }
+    out
+}

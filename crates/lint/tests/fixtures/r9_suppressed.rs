@@ -1,0 +1,9 @@
+//! R9 fixture (suppressed): a dead allow kept deliberately, with the
+//! `dead-allow` finding itself suppressed — the one appeal the rule
+//! grants, and `allow(dead-allow)` gets no appeal of its own.
+
+fn quiet() -> u32 {
+    // ficus-lint: allow(dead-allow) kept while the entropy migration lands in the next change
+    // ficus-lint: allow(determinism) the clock call below is long gone
+    42
+}

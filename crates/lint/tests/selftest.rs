@@ -43,6 +43,10 @@ fn each_rule_fixture_trips_exactly_its_rule() {
         ("r3_no_panic.rs", "no-panic"),
         ("r4_stats.rs", "stats-honesty"),
         ("r5_wire.rs", "wire-exhaustive"),
+        ("r6_transitive_panic.rs", "transitive-panic"),
+        ("r7_crash_order.rs", "crash-order"),
+        ("r8_iter_order.rs", "iter-order"),
+        ("r9_dead_allow.rs", "dead-allow"),
     ];
     for (file, rule) in cases {
         let (code, text) = check_fixture(file);
@@ -58,6 +62,80 @@ fn each_rule_fixture_trips_exactly_its_rule() {
             );
         }
     }
+}
+
+/// The clean twin of each graph-rule fixture passes outright: the same
+/// shape with the panic source removed, the sync inserted, the order
+/// drained into a sort — and the test-only `dispatch`, which must be
+/// neither a root nor a callee.
+#[test]
+fn graph_rule_clean_fixtures_pass() {
+    for file in [
+        "r6_clean.rs",
+        "r6_cfg_test_excluded.rs",
+        "r7_clean.rs",
+        "r8_clean.rs",
+    ] {
+        let (code, text) = check_fixture(file);
+        assert_eq!(code, 0, "{file} must lint clean:\n{text}");
+        assert!(text.contains("0 violations"), "{file}:\n{text}");
+        assert!(text.contains("0 suppressed"), "{file}:\n{text}");
+    }
+}
+
+/// The suppressed twin of each graph-rule fixture is clean but counted,
+/// and the allow is alive (no `dead-allow` cascade).
+#[test]
+fn graph_rule_suppressed_fixtures_are_clean_but_counted() {
+    for (file, rule) in [
+        ("r6_suppressed.rs", "transitive-panic"),
+        ("r7_suppressed.rs", "crash-order"),
+        ("r8_suppressed.rs", "iter-order"),
+        ("r9_live_allow.rs", "iter-order"),
+        ("r9_suppressed.rs", "dead-allow"),
+    ] {
+        let (code, text) = check_fixture(file);
+        assert_eq!(code, 0, "{file} must pass with its allow:\n{text}");
+        assert!(text.contains("0 violations"), "{file}:\n{text}");
+        assert!(text.contains("1 suppressed"), "{file}:\n{text}");
+        assert!(
+            text.contains(&format!("suppressed [{rule}]")),
+            "{file} must itemize the suppressed [{rule}]:\n{text}"
+        );
+    }
+}
+
+/// The machine-readable report carries the call-path witness for the
+/// graph rules — the JSON consumer sees *why* a line is reachable.
+#[test]
+fn json_report_carries_call_path_witnesses() {
+    for (file, root_fn, callee) in [
+        ("r6_transitive_panic.rs", "dispatch", "decode_frame"),
+        ("r7_crash_order.rs", "adopt_file", "adopt_file"),
+    ] {
+        let json_path = std::env::temp_dir().join(format!("ficus_lint_selftest_{file}.json"));
+        let (code, text) = lint(&[&"--check-file", &fixture(file), &"--json", &json_path]);
+        assert_eq!(code, 1, "{file} must fail:\n{text}");
+        let json = std::fs::read_to_string(&json_path).expect("JSON report written");
+        let _ = std::fs::remove_file(&json_path);
+        assert!(json.contains("\"witness\""), "{file} JSON:\n{json}");
+        assert!(
+            json.contains(&format!("\"{root_fn}\"")) && json.contains(&format!("\"{callee}\"")),
+            "{file} witness must name the path {root_fn} → {callee}:\n{json}"
+        );
+    }
+}
+
+/// A generous wall-clock budget passes; a zero-second budget trips the
+/// budget exit code so CI can keep the gate fast.
+#[test]
+fn wall_clock_budget_is_enforced() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (code, text) = lint(&[&"--root", &root, &"--max-wall-secs", &"10"]);
+    assert_eq!(code, 0, "10s is ample for the whole tree:\n{text}");
+    let (code, text) = lint(&[&"--root", &root, &"--max-wall-secs", &"0"]);
+    assert_eq!(code, 2, "a 0s budget must blow:\n{text}");
+    assert!(text.contains("wall-clock budget"), "{text}");
 }
 
 #[test]

@@ -1,6 +1,6 @@
 //! Hosts, partitions, RPC, and datagram delivery.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -65,10 +65,12 @@ struct PendingDatagram {
 
 #[derive(Default)]
 struct Topology {
+    // BTreeMap, not HashMap: topology snapshots (`partition_of`, host lists)
+    // iterate these maps and feed seeded-run determinism checks.
     /// Partition group per host. Hosts talk iff their groups are equal.
-    group: HashMap<HostId, u32>,
+    group: BTreeMap<HostId, u32>,
     /// Hosts that are down entirely (crashed, not merely partitioned).
-    down: HashMap<HostId, bool>,
+    down: BTreeMap<HostId, bool>,
 }
 
 /// The simulated network.

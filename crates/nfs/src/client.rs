@@ -475,7 +475,8 @@ impl Vnode for NfsVnode {
                 break; // EOF
             }
             let take = (data.len() - within).min((end - pos) as usize);
-            out.extend_from_slice(&data[within..within + take]);
+            let piece = data.get(within..within + take).ok_or(FsError::Io)?;
+            out.extend_from_slice(piece);
             pos += take as u64;
             if data.len() < DATA_BLOCK as usize {
                 break; // short block: EOF inside this block

@@ -6,7 +6,7 @@
 //! live vnodes; losing it (server "reboot") turns outstanding handles into
 //! [`FsError::Stale`], which is exactly how real NFS behaves.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -20,7 +20,9 @@ use crate::NFS_SERVICE;
 /// An NFS server exporting one vnode stack.
 pub struct NfsServer {
     export: Arc<dyn FileSystem>,
-    handles: Mutex<HashMap<FileHandle, VnodeRef>>,
+    // BTreeMap, not HashMap: mint() scans the table for reuse and
+    // shedding, and that walk must not leak hash order.
+    handles: Mutex<BTreeMap<FileHandle, VnodeRef>>,
     next_gen: Mutex<u64>,
 }
 
@@ -30,7 +32,7 @@ impl NfsServer {
     pub fn new(export: Arc<dyn FileSystem>) -> Arc<Self> {
         Arc::new(NfsServer {
             export,
-            handles: Mutex::new(HashMap::new()),
+            handles: Mutex::new(BTreeMap::new()),
             next_gen: Mutex::new(1),
         })
     }

@@ -14,7 +14,7 @@ use ficus_vnode::{
 /// The server mints handles; the client treats them as opaque tokens. A
 /// handle outlives any server state — presenting one the server can no
 /// longer interpret yields [`FsError::Stale`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileHandle {
     /// Exported file system id.
     pub fsid: u64,
@@ -272,11 +272,9 @@ impl<'a> Dec<'a> {
     }
 
     fn take(&mut self, n: usize) -> FsResult<&'a [u8]> {
-        if self.pos + n > self.buf.len() {
-            return Err(FsError::Io);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(FsError::Io)?;
+        let s = self.buf.get(self.pos..end).ok_or(FsError::Io)?;
+        self.pos = end;
         Ok(s)
     }
 

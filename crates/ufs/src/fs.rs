@@ -28,6 +28,15 @@ use crate::dnlc::{Dnlc, NameEntry};
 use crate::inode::{Inode, NDIRECT, ROOT_INO};
 use crate::layout::Layout;
 
+/// Reads the little-endian `u64` at `off` in an on-disk block, failing with
+/// [`FsError::Io`] instead of panicking if the block is shorter than expected.
+pub(crate) fn u64_le_at(data: &[u8], off: usize) -> FsResult<u64> {
+    data.get(off..off + 8)
+        .and_then(|b| <[u8; 8]>::try_from(b).ok())
+        .map(u64::from_le_bytes)
+        .ok_or(FsError::Io)
+}
+
 /// Mount parameters.
 #[derive(Debug, Clone)]
 pub struct UfsParams {
@@ -181,6 +190,7 @@ impl Ufs {
 
 impl FileSystem for Ufs {
     fn root(&self) -> VnodeRef {
+        // ficus-lint: allow(transitive-panic) root() has no error channel and mount() already proved the root inode reads back
         make_vnode(&self.inner, ROOT_INO).expect("root inode must exist on a mounted file system")
     }
 
@@ -389,7 +399,7 @@ impl UfsInner {
     ) -> FsResult<u64> {
         let mut data = self.cache.read(ptr_block)?;
         let off = (index * 8) as usize;
-        let mut bno = u64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"));
+        let mut bno = u64_le_at(&data, off)?;
         if bno == 0 && allocate {
             bno = self.alloc_block()?;
             if pointer_target {
@@ -521,7 +531,7 @@ impl UfsInner {
         let mut changed = false;
         for i in 0..ptrs {
             let off = (i * 8) as usize;
-            let bno = u64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"));
+            let bno = u64_le_at(&data, off)?;
             if bno == 0 {
                 continue;
             }
@@ -637,10 +647,10 @@ impl UfsVnode {
         Ok(inode)
     }
 
-    fn attr_of(&self, inode: &Inode) -> VnodeAttr {
+    fn attr_of(&self, inode: &Inode) -> FsResult<VnodeAttr> {
         let bs = u64::from(self.fs.layout.geometry.block_size);
-        VnodeAttr {
-            kind: inode.kind.expect("checked by inode()"),
+        Ok(VnodeAttr {
+            kind: inode.kind.ok_or(FsError::Stale)?,
             mode: inode.mode,
             nlink: inode.nlink,
             uid: inode.uid,
@@ -652,7 +662,7 @@ impl UfsVnode {
             atime: inode.atime,
             ctime: inode.ctime,
             blocks: inode.size.div_ceil(bs) * (bs / 512),
-        }
+        })
     }
 
     fn require_dir(&self) -> FsResult<()> {
@@ -778,7 +788,7 @@ impl Vnode for UfsVnode {
     fn getattr(&self, _cred: &Credentials) -> FsResult<VnodeAttr> {
         let _g = self.fs.big.lock();
         let inode = self.inode()?;
-        Ok(self.attr_of(&inode))
+        self.attr_of(&inode)
     }
 
     fn setattr(&self, cred: &Credentials, set: &SetAttr) -> FsResult<VnodeAttr> {
@@ -832,7 +842,7 @@ impl Vnode for UfsVnode {
         }
         inode.ctime = now;
         self.fs.write_inode(self.ino, &inode)?;
-        Ok(self.attr_of(&inode))
+        self.attr_of(&inode)
     }
 
     fn access(&self, cred: &Credentials, mode: AccessMode) -> FsResult<()> {

@@ -101,13 +101,10 @@ fn blocks_of(fs: &Ufs, inode: &Inode) -> FsResult<Vec<u64>> {
     }
     let read_ptrs = |bno: u64| -> FsResult<Vec<u64>> {
         let data = cache.read(bno)?;
-        Ok((0..ptrs)
-            .map(|i| {
-                let off = (i * 8) as usize;
-                u64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"))
-            })
-            .filter(|&b| b != 0)
-            .collect())
+        (0..ptrs)
+            .map(|i| crate::fs::u64_le_at(&data, (i * 8) as usize))
+            .filter(|b| !matches!(b, Ok(0)))
+            .collect()
     };
     if inode.indirect != 0 {
         out.push(inode.indirect);

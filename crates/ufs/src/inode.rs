@@ -139,8 +139,18 @@ impl Inode {
             4 => Some(VnodeType::GraftPoint),
             _ => return Err(FsError::Io),
         };
-        let u32_at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().expect("4 bytes"));
-        let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("8 bytes"));
+        // The length check above guarantees every fixed offset below is in
+        // range, so the zero fallback is unreachable (and panic-free).
+        let u32_at = |o: usize| {
+            buf.get(o..o + 4)
+                .and_then(|b| <[u8; 4]>::try_from(b).ok())
+                .map_or(0, u32::from_le_bytes)
+        };
+        let u64_at = |o: usize| {
+            buf.get(o..o + 8)
+                .and_then(|b| <[u8; 8]>::try_from(b).ok())
+                .map_or(0, u64::from_le_bytes)
+        };
         let mut direct = [0u64; NDIRECT];
         for (i, d) in direct.iter_mut().enumerate() {
             *d = u64_at(52 + i * 8);

@@ -298,10 +298,10 @@ impl Process {
         let mut cookie = 0;
         loop {
             let page = dir.readdir(&self.cred, cookie, 128)?;
-            if page.is_empty() {
+            let Some(last) = page.last() else {
                 return Ok(out);
-            }
-            cookie = page.last().expect("non-empty").cookie;
+            };
+            cookie = last.cookie;
             out.extend(page);
         }
     }

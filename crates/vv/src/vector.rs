@@ -140,7 +140,9 @@ impl VersionVector {
             (false, false) => Ordering::Equal,
             (true, false) => Ordering::Dominates,
             (false, true) => Ordering::Dominated,
-            (true, true) => unreachable!("early return above"),
+            // Short-circuited above, but Concurrent is also the right
+            // answer here, so no panic arm is needed.
+            (true, true) => Ordering::Concurrent,
         }
     }
 

@@ -22,11 +22,15 @@ run() {
 run cargo build --release
 run cargo test -q
 
-# Project-invariant lint (DESIGN.md §4.9): hard-mount RPC discipline,
-# determinism, panic-free serving paths, stats honesty, wire
-# exhaustiveness. Fails on any unsuppressed violation and prints the
-# suppression count.
-run cargo run -q -p ficus-lint --release
+# Project-invariant lint (DESIGN.md §4.9, §4.14): the per-file rules
+# (hard-mount RPC discipline, determinism, panic-free serving paths,
+# stats honesty, wire exhaustiveness) plus the whole-program graph rules
+# (transitive panic-freedom, crash-safe rename ordering, deterministic
+# iteration, dead suppressions). Fails on any unsuppressed violation,
+# writes the machine-readable report, and holds the graph analysis to a
+# 10-second wall-clock budget so the gate stays fast.
+run cargo run -q -p ficus-lint --release -- \
+    --json results/LINT_REPORT.json --max-wall-secs 10
 
 # Fixed-seed chaos smoke: seeded fault campaigns (partition + crash +
 # datagram loss + mid-RPC export faults) must converge and hold every
